@@ -1,0 +1,51 @@
+// Ablation (DESIGN.md §6): CEG_OCR random-walk sampling budget for the
+// cycle-closing-rate statistics. Expected: accuracy of max-hop-max on
+// large-cycle queries stabilizes as the walk budget grows; tiny budgets
+// inject sampling noise.
+#include <iostream>
+
+#include "bench_common.h"
+#include "harness/experiment.h"
+#include "harness/qerror.h"
+#include "stats/cycle_closing.h"
+#include "stats/markov_table.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace cegraph;
+  const int instances = bench::InstancesFromArgs(argc, argv, 10);
+
+  auto dw =
+      bench::MakeDatasetWorkload("hetionet_like", "cyclic", instances, 0xAB4);
+  auto large = query::FilterLargeCycles(dw.workload);
+  stats::MarkovTable markov(dw.graph, 3);
+
+  std::cout << "Ablation: CEG_OCR walk budget (max-hop-max@ocr, "
+               "hetionet_like, large cycles, queries="
+            << large.size() << ")\n\n";
+  util::TablePrinter table(
+      {"walks-per-key", "median", "trimmed-mean", "max"});
+  for (int walks : {50, 200, 1000, 4000}) {
+    stats::CycleClosingOptions options;
+    options.walks_per_key = walks;
+    stats::CycleClosingRates rates(dw.graph, options);
+    OptimisticSpec spec;
+    spec.ceg_kind = OptimisticCeg::kCegOcr;
+    OptimisticEstimator estimator(markov, spec, &rates);
+    std::vector<double> signed_logs;
+    for (const auto& wq : large) {
+      auto est = estimator.Estimate(wq.query);
+      if (!est.ok()) continue;
+      signed_logs.push_back(
+          harness::SignedLogQError(*est, wq.true_cardinality));
+    }
+    const auto stats = util::ComputeBoxStats(signed_logs);
+    table.AddRow({std::to_string(walks),
+                  util::TablePrinter::Num(stats.median),
+                  util::TablePrinter::Num(stats.trimmed_mean),
+                  util::TablePrinter::Num(stats.max)});
+  }
+  table.Print(std::cout);
+  std::cout << "(signed log10 q-error)\n";
+  return 0;
+}

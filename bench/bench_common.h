@@ -1,0 +1,69 @@
+#ifndef CEGRAPH_BENCH_BENCH_COMMON_H_
+#define CEGRAPH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "query/templates.h"
+#include "query/workload.h"
+
+namespace cegraph::bench {
+
+/// The workload suites of §6.1, keyed the way the figures reference them.
+inline std::vector<query::QueryTemplate> SuiteByName(
+    const std::string& name) {
+  if (name == "job") return query::JobLikeTemplates();
+  if (name == "acyclic") return query::AcyclicTemplates();
+  if (name == "cyclic") return query::CyclicTemplates();
+  if (name == "gcare-acyclic") return query::GCareAcyclicTemplates();
+  if (name == "gcare-cyclic") return query::GCareCyclicTemplates();
+  std::fprintf(stderr, "unknown suite %s\n", name.c_str());
+  std::abort();
+}
+
+/// Builds the named dataset and instantiates the named workload suite on
+/// it. Exits on failure (benches are leaf binaries).
+struct DatasetWorkload {
+  graph::Graph graph;
+  std::vector<query::WorkloadQuery> workload;
+};
+
+inline DatasetWorkload MakeDatasetWorkload(const std::string& dataset,
+                                           const std::string& suite,
+                                           int instances_per_template,
+                                           uint64_t seed) {
+  auto g = graph::MakeDataset(dataset);
+  if (!g.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", dataset.c_str(),
+                 g.status().ToString().c_str());
+    std::abort();
+  }
+  query::WorkloadOptions options;
+  options.instances_per_template = instances_per_template;
+  options.seed = seed;
+  auto wl = query::GenerateWorkload(*g, SuiteByName(suite), options);
+  if (!wl.ok()) {
+    std::fprintf(stderr, "workload %s on %s: %s\n", suite.c_str(),
+                 dataset.c_str(), wl.status().ToString().c_str());
+    std::abort();
+  }
+  return {std::move(*g), std::move(*wl)};
+}
+
+/// Benches accept one optional argument scaling the per-template instance
+/// count (e.g. `bench_fig9_acyclic 5` for a quick run).
+inline int InstancesFromArgs(int argc, char** argv, int default_instances) {
+  if (argc > 1) {
+    const int v = std::atoi(argv[1]);
+    if (v > 0) return v;
+  }
+  return default_instances;
+}
+
+}  // namespace cegraph::bench
+
+#endif  // CEGRAPH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,58 @@
+// Extension experiments beyond the paper:
+//  - §8 future work: does picking the path whose extensions have the most
+//    regular degree distributions (min-CV / min-entropy) beat the
+//    recommended max-hop-max heuristic?
+//  - §7 future work: the Markl-style maximum-entropy estimator built from
+//    the *same* Markov-table statistics, solved by iterative proportional
+//    fitting — a holistic alternative to picking any single CEG path.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "estimators/dispersion_path.h"
+#include "estimators/max_entropy.h"
+#include "estimators/optimistic.h"
+#include "harness/experiment.h"
+#include "stats/dispersion.h"
+#include "stats/markov_table.h"
+
+int main(int argc, char** argv) {
+  using namespace cegraph;
+  const int instances = bench::InstancesFromArgs(argc, argv, 8);
+
+  std::cout << "Extensions beyond the paper (h=2): dispersion-guided path "
+               "picking (S8) and the maximum-entropy estimator (S7)\n\n";
+  for (const char* dataset :
+       {"imdb_like", "hetionet_like", "epinions_like"}) {
+    auto dw =
+        bench::MakeDatasetWorkload(dataset, "acyclic", instances, 0xE01);
+    auto acyclic = query::FilterAcyclic(dw.workload);
+
+    stats::MarkovTable markov(dw.graph, 2);
+    stats::DispersionCatalog dispersion(dw.graph);
+    OptimisticEstimator max_hop_max(markov, OptimisticSpec{});
+    OptimisticSpec min_spec;
+    min_spec.path_length = ceg::Ceg::HopMode::kMinHop;
+    min_spec.aggregator = Aggregator::kMinAggr;
+    OptimisticEstimator min_hop_min(markov, min_spec);
+    DispersionGuidedEstimator min_cv(
+        markov, dispersion, DispersionGuidedEstimator::Objective::kMinCv);
+    DispersionGuidedEstimator min_entropy(
+        markov, dispersion,
+        DispersionGuidedEstimator::Objective::kMinEntropy);
+    MaxEntropyEstimator max_entropy(markov);
+
+    auto result = harness::RunEstimatorSuite(
+        {&max_hop_max, &min_hop_min, &min_cv, &min_entropy, &max_entropy},
+        acyclic);
+    harness::PrintSuiteResult(std::cout,
+                              std::string(dataset) + " / acyclic", result);
+  }
+  std::cout << "Reading guide: min-cv-path conditions path choice on how "
+               "defensible each uniformity assumption is, and lands "
+               "between min-aggr and max-aggr; max-entropy fuses all "
+               "stored statistics into one holistic estimate instead of "
+               "choosing a path, trading CEG_O's systematic "
+               "underestimation for mild overestimation.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Figure 10: the 9 optimistic estimators plus P* on CEG_O over
+// cyclic queries whose only cycles are triangles (h = 3, §6.2.1).
+// Expected shape: same conclusions as Figure 9 — the max aggregator wins,
+// max-hop performs at least as well as min-hop.
+#include <iostream>
+
+#include "bench_common.h"
+#include "harness/experiment.h"
+#include "stats/markov_table.h"
+
+int main(int argc, char** argv) {
+  using namespace cegraph;
+  const int instances = bench::InstancesFromArgs(argc, argv, 12);
+
+  const char* datasets[] = {"dblp_like", "watdiv_like", "hetionet_like",
+                            "epinions_like"};
+
+  std::cout << "Figure 10: optimistic estimators on CEG_O, cyclic queries "
+               "with only triangles (h=3)\n\n";
+  for (const char* dataset : datasets) {
+    auto dw =
+        bench::MakeDatasetWorkload(dataset, "cyclic", instances, 0xF10);
+    auto triangles = query::FilterTrianglesOnly(dw.workload);
+    if (triangles.empty()) {
+      std::cout << "== " << dataset << ": no triangle-only queries ==\n\n";
+      continue;
+    }
+    stats::MarkovTable markov(dw.graph, 3);
+    auto result = harness::RunOptimisticSuite(
+        markov, nullptr, OptimisticCeg::kCegO, triangles);
+    harness::PrintSuiteResult(std::cout,
+                              std::string(dataset) + " / cyclic(triangles)",
+                              result);
+  }
+  return 0;
+}

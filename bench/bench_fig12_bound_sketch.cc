@@ -1,0 +1,94 @@
+// Reproduces Figure 12: the effect of the bound-sketch optimization on the
+// max-hop-max optimistic estimator (left column) and on MOLP (right
+// column) at partitioning budgets K in {1, 4, 16, 64, 128} (h = 2, §6.3).
+// Expected shape: MOLP improves steadily with K; max-hop-max improves on
+// hetionet/epinions and barely moves on imdb; most per-query errors
+// strictly improve.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "estimators/bound_sketch.h"
+#include "harness/qerror.h"
+#include "util/box_stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace cegraph;
+
+void RunPanel(const std::string& dataset, const std::string& suite,
+              BoundSketchEstimator::Inner inner, int instances) {
+  auto dw = bench::MakeDatasetWorkload(dataset, suite, instances, 0xF12);
+  auto acyclic = query::FilterAcyclic(dw.workload);
+
+  const char* inner_name =
+      inner == BoundSketchEstimator::Inner::kOptimisticMaxHopMax
+          ? "max-hop-max"
+          : "MOLP";
+  std::cout << "== " << dataset << " / " << suite << " / " << inner_name
+            << " (queries=" << acyclic.size() << ") ==\n";
+  util::TablePrinter table({"K", "p25", "median", "p75", "trimmed-mean",
+                            "%improved-vs-K1"});
+
+  std::vector<double> base_qerrors;
+  for (int k : {1, 4, 16, 64, 128}) {
+    BoundSketchEstimator::Options options;
+    options.budget_k = k;
+    options.markov_h = 2;
+    BoundSketchEstimator estimator(dw.graph, inner, options);
+    std::vector<double> signed_logs;
+    std::vector<double> qerrors;
+    for (const auto& wq : acyclic) {
+      auto est = estimator.Estimate(wq.query);
+      if (!est.ok()) continue;
+      signed_logs.push_back(
+          harness::SignedLogQError(*est, wq.true_cardinality));
+      qerrors.push_back(harness::QError(*est, wq.true_cardinality));
+    }
+    const auto stats = util::ComputeBoxStats(signed_logs);
+    double improved = 0;
+    if (k == 1) {
+      base_qerrors = qerrors;
+    } else {
+      size_t count = 0;
+      for (size_t i = 0; i < qerrors.size() && i < base_qerrors.size();
+           ++i) {
+        count += qerrors[i] < base_qerrors[i] - 1e-12;
+      }
+      improved = qerrors.empty()
+                     ? 0
+                     : 100.0 * static_cast<double>(count) / qerrors.size();
+    }
+    table.AddRow({std::to_string(k), util::TablePrinter::Num(stats.p25),
+                  util::TablePrinter::Num(stats.median),
+                  util::TablePrinter::Num(stats.p75),
+                  util::TablePrinter::Num(stats.trimmed_mean),
+                  k == 1 ? "-" : util::TablePrinter::Num(improved)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int instances = cegraph::bench::InstancesFromArgs(argc, argv, 4);
+  std::cout << "Figure 12: bound-sketch effect at K in {1,4,16,64,128} "
+               "(h=2)\n\n";
+  struct Panel {
+    const char* dataset;
+    const char* suite;
+  };
+  const Panel panels[] = {{"imdb_like", "job"},
+                          {"hetionet_like", "acyclic"},
+                          {"epinions_like", "acyclic"}};
+  for (const Panel& p : panels) {
+    RunPanel(p.dataset, p.suite,
+             cegraph::BoundSketchEstimator::Inner::kOptimisticMaxHopMax,
+             instances);
+    RunPanel(p.dataset, p.suite, cegraph::BoundSketchEstimator::Inner::kMolp,
+             instances);
+  }
+  return 0;
+}

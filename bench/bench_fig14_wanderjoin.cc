@@ -1,0 +1,101 @@
+// Reproduces Figure 14: max-hop-max vs the WanderJoin sampling estimator
+// at sampling ratios {0.01%, 0.1%, 0.25%, 0.5%, 0.75%}, with average
+// estimation times (§6.5). Expected shape: WJ accuracy improves with the
+// ratio and eventually beats max-hop-max in mean accuracy, but at one to
+// two orders of magnitude higher estimation time on the larger datasets
+// (max-hop-max's latency is data-size independent; WJ's grows).
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "estimators/optimistic.h"
+#include "estimators/wander_join.h"
+#include "harness/experiment.h"
+#include "stats/markov_table.h"
+
+namespace {
+
+using namespace cegraph;
+
+/// WJ as evaluated in §6.5: five independent runs, averaged. (The paper
+/// averages per-run results; averaging the estimates keeps a query with
+/// one failed walk-set from degenerating to a 0 estimate.)
+class AveragedWanderJoin : public CardinalityEstimator {
+ public:
+  AveragedWanderJoin(const graph::Graph& g, double ratio) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      WanderJoinOptions options;
+      options.sampling_ratio = ratio;
+      options.min_samples = 2;
+      options.seed = 0xF14 + seed;
+      runs_.push_back(std::make_unique<WanderJoinEstimator>(g, options));
+    }
+    name_ = runs_[0]->name();
+  }
+
+  std::string name() const override { return name_; }
+
+  util::StatusOr<double> Estimate(const query::QueryGraph& q) const override {
+    double total = 0;
+    for (const auto& run : runs_) {
+      auto est = run->Estimate(q);
+      if (!est.ok()) return est.status();
+      total += *est;
+    }
+    return total / static_cast<double>(runs_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<WanderJoinEstimator>> runs_;
+  std::string name_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cegraph;
+  const int instances = bench::InstancesFromArgs(argc, argv, 8);
+
+  struct Panel {
+    const char* dataset;
+    const char* suite;
+  };
+  const Panel panels[] = {{"imdb_like", "job"},
+                          {"dblp_like", "acyclic"},
+                          {"hetionet_like", "acyclic"},
+                          {"epinions_like", "acyclic"},
+                          {"yago_like", "gcare-acyclic"}};
+
+  std::cout << "Figure 14: max-hop-max vs WanderJoin at sampling ratios "
+               "{1%,5%,10%,25%,50%}\n(paper ratios 0.01%-0.75% rescaled "
+               "for the ~500x smaller stand-in datasets; see DESIGN.md "
+               "S3)\n\n";
+  for (const Panel& panel : panels) {
+    auto dw = bench::MakeDatasetWorkload(panel.dataset, panel.suite,
+                                         instances, 0xF14);
+    auto acyclic = query::FilterAcyclic(dw.workload);
+
+    stats::MarkovTable markov(dw.graph, 2);
+    OptimisticEstimator mhm(markov, OptimisticSpec{});
+    // Warm the Markov table so max-hop-max timings reflect estimation
+    // cost, not one-time statistics collection (the paper's Markov tables
+    // are precomputed).
+    for (const auto& wq : acyclic) (void)mhm.Estimate(wq.query);
+
+    // Sampling-ratio substitution (DESIGN.md §3): our stand-in datasets
+    // are two to three orders of magnitude smaller than the paper's, so
+    // the paper's ratios {0.01%..0.75%} are rescaled to keep the absolute
+    // number of walks per query comparable. The analysis — at which ratio
+    // does WJ overtake max-hop-max, and at what time cost — is unchanged.
+    std::vector<std::unique_ptr<AveragedWanderJoin>> wjs;
+    std::vector<const CardinalityEstimator*> estimators = {&mhm};
+    for (double ratio : {0.01, 0.05, 0.10, 0.25, 0.50}) {
+      wjs.push_back(std::make_unique<AveragedWanderJoin>(dw.graph, ratio));
+      estimators.push_back(wjs.back().get());
+    }
+    auto result = harness::RunEstimatorSuite(estimators, acyclic);
+    harness::PrintSuiteResult(
+        std::cout, std::string(panel.dataset) + " / " + panel.suite, result);
+  }
+  return 0;
+}

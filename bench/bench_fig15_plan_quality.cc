@@ -1,0 +1,153 @@
+// Reproduces Figure 15: plan quality under injected estimates (§6.6). The
+// Acyclic workload runs through the DP join optimizer + hash-join executor
+// once per estimator configuration: the RDF-3X-style default estimator and
+// the 9 optimistic estimators. Queries where every configuration picks
+// effectively the same plan (< 10% spread in intermediate tuples) are
+// filtered out, as in the paper. Expected shape: all 9 optimistic
+// estimators beat the default (positive median log-speedup); max-aggr
+// estimators produce the best plans.
+#include <cmath>
+#include <iostream>
+#include <algorithm>
+#include <memory>
+
+#include "bench_common.h"
+#include "estimators/default_rdf3x.h"
+#include "estimators/optimistic.h"
+#include "planner/dp_optimizer.h"
+#include "planner/executor.h"
+#include "stats/markov_table.h"
+#include "util/box_stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace cegraph;
+
+void RunPanel(const std::string& dataset, const std::string& suite,
+              int instances) {
+  auto g = graph::MakeDataset(dataset);
+  if (!g.ok()) std::abort();
+  // Execution-friendly workload: the executor fully materializes every
+  // intermediate (unlike RDF-3X's pipelined operators), so cap the output
+  // size to keep even the *bad* plans finishable within the tuple budget.
+  query::WorkloadOptions wl_options;
+  wl_options.instances_per_template = instances;
+  wl_options.seed = 0xF15;
+  wl_options.max_cardinality = 2e6;
+  auto wl = query::GenerateWorkload(*g, bench::SuiteByName(suite),
+                                    wl_options);
+  if (!wl.ok()) {
+    std::cout << "== " << dataset
+              << ": workload generation failed: " << wl.status() << " ==\n\n";
+    return;
+  }
+  bench::DatasetWorkload dw{std::move(*g), std::move(*wl)};
+
+  stats::MarkovTable markov(dw.graph, 2);
+  DefaultRdf3xEstimator rdf3x(dw.graph);
+  std::vector<std::unique_ptr<OptimisticEstimator>> owned;
+  std::vector<const CardinalityEstimator*> estimators = {&rdf3x};
+  std::vector<std::string> names = {"rdf3x-default"};
+  for (const auto& spec : AllOptimisticSpecs()) {
+    owned.push_back(std::make_unique<OptimisticEstimator>(markov, spec));
+    estimators.push_back(owned.back().get());
+    names.push_back(SpecName(spec));
+  }
+
+  planner::Executor executor(dw.graph);
+  // cost[e][q] = intermediate tuples of estimator e's plan on query q.
+  std::vector<std::vector<double>> cost(estimators.size());
+  std::vector<std::vector<double>> seconds(estimators.size());
+
+  size_t kept = 0;
+  for (const auto& wq : dw.workload) {
+    std::vector<double> tuples(estimators.size());
+    std::vector<double> wall(estimators.size());
+    bool ok = true;
+    for (size_t e = 0; e < estimators.size() && ok; ++e) {
+      planner::DpOptimizer optimizer(*estimators[e]);
+      auto plan = optimizer.Optimize(wq.query);
+      if (!plan.ok()) {
+        ok = false;
+        break;
+      }
+      constexpr uint64_t kBudget = 10'000'000;
+      auto run = executor.Execute(wq.query, *plan, kBudget);
+      if (!run.ok()) {
+        if (run.status().code() == util::StatusCode::kResourceExhausted) {
+          // A plan so bad it blew the materialization budget: charge it
+          // the cap (the paper's analogue of a timed-out configuration).
+          tuples[e] = static_cast<double>(kBudget);
+          wall[e] = 10.0;
+          continue;
+        }
+        ok = false;
+        break;
+      }
+      tuples[e] = static_cast<double>(run->total_intermediate_tuples) + 1;
+      wall[e] = run->wall_seconds;
+    }
+    if (!ok) continue;
+    // Filter queries where all configurations are effectively identical.
+    const double lo = *std::min_element(tuples.begin(), tuples.end());
+    const double hi = *std::max_element(tuples.begin(), tuples.end());
+    if (hi < 1.1 * lo) continue;
+    ++kept;
+    for (size_t e = 0; e < estimators.size(); ++e) {
+      cost[e].push_back(tuples[e]);
+      seconds[e].push_back(wall[e]);
+    }
+  }
+
+  std::cout << "== " << dataset << " (queries kept=" << kept << ") ==\n";
+  util::TablePrinter table({"estimator", "speedup-p25", "speedup-median",
+                            "speedup-p75", "geo-mean-speedup",
+                            "mean-exec-ms"});
+  for (size_t e = 1; e < estimators.size(); ++e) {
+    // log10 speedup of estimator e's plan vs the default estimator's plan,
+    // measured in materialized intermediate tuples (machine-independent).
+    std::vector<double> speedups;
+    double log_sum = 0, ms_sum = 0;
+    for (size_t qi = 0; qi < cost[e].size(); ++qi) {
+      const double s = std::log10(cost[0][qi] / cost[e][qi]);
+      speedups.push_back(s);
+      log_sum += s;
+      ms_sum += seconds[e][qi] * 1000;
+    }
+    const auto stats = util::ComputeBoxStats(speedups);
+    table.AddRow(
+        {names[e], util::TablePrinter::Num(stats.p25),
+         util::TablePrinter::Num(stats.median),
+         util::TablePrinter::Num(stats.p75),
+         util::TablePrinter::Num(
+             speedups.empty()
+                 ? 0
+                 : std::pow(10.0, log_sum / speedups.size())),
+         util::TablePrinter::Num(
+             speedups.empty() ? 0 : ms_sum / speedups.size())});
+  }
+  table.Print(std::cout);
+  std::cout << "(speedup columns are log10 intermediate-tuple ratios vs "
+               "the rdf3x-default plan; > 0 = better plan)\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int instances = cegraph::bench::InstancesFromArgs(argc, argv, 3);
+  std::cout << "Figure 15: plan quality under injected estimates\n\n";
+  // Panel substitution (DESIGN.md §3): the paper runs DBLP + WatDiv. Our
+  // dblp_like stand-in is so dense at laptop scale that its 5-8-edge
+  // queries produce 1e7-1e8+ outputs, which a fully materializing executor
+  // cannot finish under any plan; imdb_like with the JOB-like templates
+  // exercises the same experiment on label-correlated data (plan-quality
+  // differences require correlation — on the uncorrelated epinions control
+  // even the magic-constant default ranks plans correctly). The paper also
+  // filters to queries whose plans actually differ ("we were left with 15
+  // queries for DBLP and 8 for WatDiv"); the spread filter below is the
+  // same device.
+  RunPanel("imdb_like", "job", 2 * instances);
+  RunPanel("watdiv_like", "acyclic", instances);
+  return 0;
+}

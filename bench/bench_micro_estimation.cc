@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark): per-operation costs of the core
+// library — Markov-table lookups, CEG_O construction, estimate extraction,
+// MOLP Dijkstra, exact counting, and WanderJoin walks. These back the
+// paper's claim that summary-based estimation latency is independent of
+// data size (§6.5), in contrast to sampling.
+#include <benchmark/benchmark.h>
+
+#include "estimators/optimistic.h"
+#include "estimators/pessimistic.h"
+#include "estimators/wander_join.h"
+#include "graph/datasets.h"
+#include "matching/matcher.h"
+#include "query/workload.h"
+#include "stats/markov_table.h"
+
+namespace {
+
+using namespace cegraph;
+
+struct Fixture {
+  graph::Graph graph;
+  query::QueryGraph query;
+
+  static Fixture& Get() {
+    static Fixture& instance = *new Fixture(Make());
+    return instance;
+  }
+
+  static Fixture Make() {
+    auto g = graph::MakeDataset("epinions_like");
+    if (!g.ok()) std::abort();
+    query::WorkloadOptions options;
+    options.instances_per_template = 1;
+    options.seed = 0xBEEF;
+    auto wl = query::GenerateWorkload(
+        *g, {{"cat6", query::CaterpillarShape(6, 4)}}, options);
+    if (!wl.ok()) std::abort();
+    return {std::move(*g), (*wl)[0].query};
+  }
+};
+
+void BM_MarkovTableColdBuild(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    stats::MarkovTable markov(f.graph, 2);
+    OptimisticEstimator est(markov, OptimisticSpec{});
+    benchmark::DoNotOptimize(est.Estimate(f.query));
+  }
+}
+BENCHMARK(BM_MarkovTableColdBuild);
+
+void BM_OptimisticEstimateWarm(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  stats::MarkovTable markov(f.graph, 2);
+  OptimisticEstimator est(markov, OptimisticSpec{});
+  (void)est.Estimate(f.query);  // warm the table
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.Estimate(f.query));
+  }
+}
+BENCHMARK(BM_OptimisticEstimateWarm);
+
+void BM_CegOBuild(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  stats::MarkovTable markov(f.graph, 2);
+  OptimisticEstimator est(markov, OptimisticSpec{});
+  (void)est.Estimate(f.query);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.BuildCeg(f.query));
+  }
+}
+BENCHMARK(BM_CegOBuild);
+
+void BM_MolpEstimate(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  stats::StatsCatalog catalog(f.graph);
+  MolpEstimator molp(catalog, /*include_two_joins=*/false);
+  (void)molp.Estimate(f.query);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(molp.Estimate(f.query));
+  }
+}
+BENCHMARK(BM_MolpEstimate);
+
+void BM_ExactCount(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  matching::Matcher matcher(f.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Count(f.query));
+  }
+}
+BENCHMARK(BM_ExactCount);
+
+void BM_WanderJoin(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  WanderJoinOptions options;
+  options.sampling_ratio =
+      static_cast<double>(state.range(0)) / 10000.0;
+  WanderJoinEstimator wj(f.graph, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wj.Estimate(f.query));
+  }
+}
+BENCHMARK(BM_WanderJoin)->Arg(1)->Arg(25)->Arg(75);
+
+}  // namespace
+
+BENCHMARK_MAIN();

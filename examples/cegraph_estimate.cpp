@@ -1,0 +1,124 @@
+// cegraph_estimate: command-line cardinality estimation for ad-hoc graphs
+// and queries.
+//
+// Usage:
+//   cegraph_estimate --dataset imdb_like --query "(a)-[3]->(b); (b)-[5]->(c)"
+//   cegraph_estimate --graph my_graph.txt --query "..." [--h 3] [--truth]
+//
+// The graph file format is the edge-list text format of
+// graph/graph_io.h; the query syntax is query/parser.h's Cypher-like
+// pattern language. Prints the 9 optimistic estimators, the MOLP and CBS
+// bounds and (with --truth) the exact cardinality.
+#include <cstring>
+#include <iostream>
+#include <optional>
+
+#include "estimators/optimistic.h"
+#include "estimators/pessimistic.h"
+#include "graph/datasets.h"
+#include "graph/graph_io.h"
+#include "matching/matcher.h"
+#include "query/parser.h"
+#include "stats/markov_table.h"
+#include "util/table_printer.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: cegraph_estimate (--dataset NAME | --graph FILE) "
+               "--query PATTERN [--h N] [--truth]\n"
+            << "  datasets: ";
+  for (const auto& name : cegraph::graph::DatasetNames()) {
+    std::cerr << name << " ";
+  }
+  std::cerr << "\n  query example: \"(a)-[3]->(b); (b)<-[5]-(c)\"\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cegraph;
+
+  std::optional<std::string> dataset, graph_file, query_text;
+  int h = 2;
+  bool want_truth = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--graph") {
+      graph_file = next();
+    } else if (arg == "--query") {
+      query_text = next();
+    } else if (arg == "--h") {
+      auto v = next();
+      if (v) h = std::atoi(v->c_str());
+    } else if (arg == "--truth") {
+      want_truth = true;
+    } else {
+      return Usage();
+    }
+  }
+  if ((!dataset && !graph_file) || !query_text || h < 1) return Usage();
+
+  util::StatusOr<graph::Graph> g =
+      dataset ? graph::MakeDataset(*dataset) : graph::LoadGraph(*graph_file);
+  if (!g.ok()) {
+    std::cerr << "graph: " << g.status() << "\n";
+    return 1;
+  }
+  auto q = query::ParseQuery(*query_text);
+  if (!q.ok()) {
+    std::cerr << "query: " << q.status() << "\n";
+    return 1;
+  }
+  if (!q->IsConnected()) {
+    std::cerr << "query: pattern must be connected\n";
+    return 1;
+  }
+  for (const auto& e : q->edges()) {
+    if (e.label >= g->num_labels()) {
+      std::cerr << "query: label " << e.label << " out of range (graph has "
+                << g->num_labels() << " labels)\n";
+      return 1;
+    }
+  }
+
+  std::cout << "graph: " << g->num_vertices() << " vertices, "
+            << g->num_edges() << " edges, " << g->num_labels()
+            << " labels\nquery: " << query::FormatQuery(*q) << "\n\n";
+
+  util::TablePrinter table({"estimator", "estimate"});
+  stats::MarkovTable markov(*g, h);
+  for (const auto& spec : AllOptimisticSpecs()) {
+    OptimisticEstimator estimator(markov, spec);
+    auto est = estimator.Estimate(*q);
+    table.AddRow({SpecName(spec),
+                  est.ok() ? util::TablePrinter::Num(*est)
+                           : est.status().ToString()});
+  }
+  stats::StatsCatalog catalog(*g);
+  MolpEstimator molp(catalog, /*include_two_joins=*/true);
+  CbsEstimator cbs(catalog);
+  for (const CardinalityEstimator* estimator :
+       {static_cast<const CardinalityEstimator*>(&molp),
+        static_cast<const CardinalityEstimator*>(&cbs)}) {
+    auto est = estimator->Estimate(*q);
+    table.AddRow({estimator->name(),
+                  est.ok() ? util::TablePrinter::Num(*est)
+                           : est.status().ToString()});
+  }
+  if (want_truth) {
+    matching::Matcher matcher(*g);
+    auto truth = matcher.Count(*q);
+    table.AddRow({"exact", truth.ok() ? util::TablePrinter::Num(*truth)
+                                      : truth.status().ToString()});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Estimator tour: every estimator family in the library, side by side, on
+// a realistic workload — the paper's Fig. 13/14 cast on one dataset.
+//
+// Shows per-query estimates from: the best optimistic estimator
+// (max-hop-max on CEG_O), the MOLP pessimistic bound (with and without
+// 2-join statistics), CBS, AGM, Characteristic Sets, SumRDF and
+// WanderJoin, next to the exact cardinality.
+#include <iostream>
+
+#include "estimators/characteristic_sets.h"
+#include "estimators/optimistic.h"
+#include "estimators/pessimistic.h"
+#include "estimators/sumrdf.h"
+#include "estimators/wander_join.h"
+#include "graph/datasets.h"
+#include "query/templates.h"
+#include "query/workload.h"
+#include "stats/char_sets.h"
+#include "stats/markov_table.h"
+#include "stats/summary_graph.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace cegraph;
+
+  auto g = *graph::MakeDataset("epinions_like");
+  std::cout << "Dataset: epinions_like (" << g.num_vertices() << " V, "
+            << g.num_edges() << " E, " << g.num_labels() << " labels)\n\n";
+
+  query::WorkloadOptions options;
+  options.instances_per_template = 3;
+  options.seed = 2024;
+  auto workload = *query::GenerateWorkload(
+      g,
+      {{"path3", query::PathShape(3)},
+       {"star3", query::StarShape(3)},
+       {"cat5", query::CaterpillarShape(5, 3)}},
+      options);
+
+  stats::MarkovTable markov(g, 2);
+  OptimisticEstimator max_hop_max(markov, OptimisticSpec{});
+  stats::StatsCatalog catalog(g);
+  MolpEstimator molp(catalog, /*include_two_joins=*/false);
+  MolpEstimator molp2j(catalog, /*include_two_joins=*/true);
+  CbsEstimator cbs(catalog);
+  stats::CharacteristicSets cs(g);
+  CharacteristicSetsEstimator cs_est(cs);
+  stats::SummaryGraph summary(g, 48);
+  SumRdfEstimator sumrdf(summary);
+  WanderJoinOptions wj_options;
+  wj_options.sampling_ratio = 0.10;
+  WanderJoinEstimator wj(g, wj_options);
+
+  const std::vector<std::pair<std::string, const CardinalityEstimator*>>
+      estimators = {{"max-hop-max", &max_hop_max}, {"molp", &molp},
+                    {"molp+2j", &molp2j},          {"cbs", &cbs},
+                    {"cs", &cs_est},               {"sumrdf", &sumrdf},
+                    {"wj-10%", &wj}};
+
+  std::vector<std::string> headers = {"query", "truth"};
+  for (const auto& [name, _] : estimators) headers.push_back(name);
+  util::TablePrinter table(std::move(headers));
+
+  int qid = 0;
+  for (const auto& wq : workload) {
+    std::vector<std::string> row = {
+        wq.template_name + "#" + std::to_string(qid++),
+        util::TablePrinter::Num(wq.true_cardinality)};
+    for (const auto& [name, estimator] : estimators) {
+      auto est = estimator->Estimate(wq.query);
+      row.push_back(est.ok() ? util::TablePrinter::Num(*est) : "fail");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading guide: molp/molp+2j/cbs never fall below the "
+               "truth column (they are worst-case bounds; molp+2j <= "
+               "molp); cs and sumrdf sit far below it; max-hop-max "
+               "tracks it closest — the paper's Fig. 13 in miniature.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef CEGRAPH_CEG_CEG_D_H_
+#define CEGRAPH_CEG_CEG_D_H_
+
+#include <vector>
+
+#include "ceg/ceg.h"
+#include "ceg/ceg_m.h"
+#include "query/query_graph.h"
+#include "stats/degree_stats.h"
+#include "util/status.h"
+
+namespace cegraph::ceg {
+
+/// A cover of the query's attributes (Appendix D, Definition 1): a set of
+/// (relation, attribute-subset) pairs whose attribute subsets union to all
+/// attributes. Relations are indexed into DegreeStats::relations().
+struct Cover {
+  /// covered[i] = attribute bitmask covered by relation i (possibly 0).
+  std::vector<query::VertexSet> covered;
+};
+
+/// Enumerates all minimal-form covers where each relation covers a subset
+/// of its own attributes; used by the DBPLP bound and by the CBS-style
+/// coverage enumeration. `per_relation_choices` restricts each relation's
+/// options (e.g. CBS allows only 0, |A_i|-1 or |A_i| attributes).
+std::vector<Cover> EnumerateCovers(const query::QueryGraph& q,
+                                   const stats::DegreeStats& stats,
+                                   bool cbs_choices_only);
+
+/// Builds CEG_D for `cover` (Appendix D): nodes are attribute subsets; for
+/// every (relation j, A_j) in the cover and every A'_j ⊆ A_j there is an
+/// extension edge from each W ⊇ A'_j to W ∪ A_j with weight
+/// deg(A'_j, A_j, R_j). No projection edges. Node ids equal subset masks.
+util::StatusOr<BuiltCegM> BuildCegD(const query::QueryGraph& q,
+                                    const stats::DegreeStats& stats,
+                                    const Cover& cover);
+
+}  // namespace cegraph::ceg
+
+#endif  // CEGRAPH_CEG_CEG_D_H_

@@ -1,0 +1,23 @@
+#ifndef CEGRAPH_CEG_CEG_OCR_H_
+#define CEGRAPH_CEG_CEG_OCR_H_
+
+#include "ceg/ceg_o.h"
+#include "stats/cycle_closing.h"
+
+namespace cegraph::ceg {
+
+/// Builds CEG_OCR (§4.3): identical to CEG_O except that whenever an edge
+/// S -> S' adds the single query edge that closes a cycle of length > h
+/// whose other edges are all in S, its average-degree weight is replaced by
+/// the pre-computed cycle-closing probability P(E_prev * E_next | E_close)
+/// from `rates`. This prevents the estimator from pricing the closing edge
+/// as a fresh extension (which is what makes CEG_O estimate a *path* query
+/// instead of the cycle, §4.3).
+util::StatusOr<BuiltCegO> BuildCegOcr(const query::QueryGraph& q,
+                                      const stats::MarkovTable& markov,
+                                      const stats::CycleClosingRates& rates,
+                                      const CegOOptions& options = {});
+
+}  // namespace cegraph::ceg
+
+#endif  // CEGRAPH_CEG_CEG_OCR_H_

@@ -1,0 +1,61 @@
+#ifndef CEGRAPH_ESTIMATORS_BOUND_SKETCH_H_
+#define CEGRAPH_ESTIMATORS_BOUND_SKETCH_H_
+
+#include "estimators/estimator.h"
+#include "graph/graph.h"
+
+namespace cegraph {
+
+/// The bound-sketch partitioning optimization of Cai et al. [5]
+/// (§5.2.1-5.2.2), applicable to *any* CEG estimator:
+///  1. Run the inner estimator once on the unpartitioned data and recover
+///     its chosen CEG path.
+///  2. S = the query's join attributes that are not extension attributes
+///     through a bound edge of that path.
+///  3. Hash-partition each relation on its attributes in S into
+///     B = floor(K^(1/|S|)) buckets per attribute, producing K sub-queries
+///     Q_{j1..jz} whose relations are the matching partition pieces.
+///  4. The final estimate is the sum of the inner estimates of the K
+///     sub-queries, each computed over partition-specific statistics
+///     (the paper's "we worked backwards from the queries to find the
+///     necessary statistics"; our lazy catalogs realize this directly).
+///
+/// Inner estimators supported: the max-hop-max optimistic estimator (the
+/// paper's Fig. 12 left column) and MOLP (right column).
+class BoundSketchEstimator : public CardinalityEstimator {
+ public:
+  enum class Inner { kOptimisticMaxHopMax, kMolp };
+
+  struct Options {
+    int budget_k = 4;        ///< partitioning budget K (1 = no partitioning)
+    int markov_h = 2;        ///< Markov table size for the optimistic inner
+    bool molp_two_joins = false;  ///< 2-join stats for the MOLP inner
+  };
+
+  BoundSketchEstimator(const graph::Graph& g, Inner inner,
+                       const Options& options)
+      : g_(g), inner_(inner), options_(options) {}
+
+  std::string name() const override;
+
+  util::StatusOr<double> Estimate(const query::QueryGraph& q) const override;
+
+ private:
+  /// Estimate on one (possibly partition-filtered) graph where query edge i
+  /// uses relation/label i.
+  util::StatusOr<double> InnerEstimate(const graph::Graph& g,
+                                       const query::QueryGraph& q) const;
+
+  /// Derives the partition attribute set S from the inner estimator's
+  /// chosen path on the unpartitioned data.
+  util::StatusOr<query::VertexSet> PartitionAttributes(
+      const query::QueryGraph& q) const;
+
+  const graph::Graph& g_;
+  Inner inner_;
+  Options options_;
+};
+
+}  // namespace cegraph
+
+#endif  // CEGRAPH_ESTIMATORS_BOUND_SKETCH_H_

@@ -1,0 +1,41 @@
+#include "estimators/characteristic_sets.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace cegraph {
+
+util::StatusOr<double> CharacteristicSetsEstimator::Estimate(
+    const query::QueryGraph& q) const {
+  if (q.num_edges() == 0) {
+    return util::InvalidArgumentError("empty query");
+  }
+  // Decompose into out-stars by source vertex.
+  std::map<query::QVertex, std::vector<graph::Label>> stars;
+  for (const query::QueryEdge& e : q.edges()) {
+    stars[e.src].push_back(e.label);
+  }
+
+  double estimate = 1.0;
+  size_t star_vertex_occurrences = 0;
+  for (const auto& [center, labels] : stars) {
+    estimate *= cs_.EstimateStar(labels);
+    // Distinct vertices of this star: the center plus one leaf per edge
+    // (leaves that coincide in the query still count once).
+    std::set<query::QVertex> verts = {center};
+    for (const query::QueryEdge& e : q.edges()) {
+      if (e.src == center) verts.insert(e.dst);
+    }
+    star_vertex_occurrences += verts.size();
+  }
+  // Each query vertex mentioned by more than one star is an independence
+  // join: correct by 1/|V| per extra occurrence.
+  const size_t dup = star_vertex_occurrences - q.num_vertices();
+  for (size_t i = 0; i < dup; ++i) {
+    estimate /= static_cast<double>(cs_.num_graph_vertices());
+  }
+  return estimate;
+}
+
+}  // namespace cegraph

@@ -1,0 +1,23 @@
+#include "estimators/default_rdf3x.h"
+
+namespace cegraph {
+
+util::StatusOr<double> DefaultRdf3xEstimator::Estimate(
+    const query::QueryGraph& q) const {
+  if (q.num_edges() == 0) {
+    return util::InvalidArgumentError("empty query");
+  }
+  double estimate = 1.0;
+  for (const query::QueryEdge& e : q.edges()) {
+    estimate *= static_cast<double>(g_.RelationSize(e.label));
+  }
+  // One magic selectivity per join occurrence: each vertex shared by k
+  // edges contributes k-1 equality predicates.
+  for (query::QVertex v = 0; v < q.num_vertices(); ++v) {
+    const uint32_t degree = q.Degree(v);
+    for (uint32_t i = 1; i < degree; ++i) estimate *= magic_selectivity_;
+  }
+  return std::max(estimate, 1.0);
+}
+
+}  // namespace cegraph

@@ -1,0 +1,33 @@
+#ifndef CEGRAPH_ESTIMATORS_DEFAULT_RDF3X_H_
+#define CEGRAPH_ESTIMATORS_DEFAULT_RDF3X_H_
+
+#include "estimators/estimator.h"
+#include "graph/graph.h"
+
+namespace cegraph {
+
+/// A stand-in for the open-source RDF-3X default estimator used as the
+/// plan-quality baseline in §6.6 ("basic statistics about the original
+/// triple counts and some 'magic' constants"): the product of relation
+/// sizes with a fixed magic join selectivity per join-vertex occurrence.
+/// Like the original it is wildly inaccurate (the paper measured a median
+/// q-error of 127x underestimation vs. <2x for the optimistic estimators),
+/// which is exactly the property the plan-quality experiment needs.
+class DefaultRdf3xEstimator : public CardinalityEstimator {
+ public:
+  explicit DefaultRdf3xEstimator(const graph::Graph& g,
+                                 double magic_selectivity = 0.01)
+      : g_(g), magic_selectivity_(magic_selectivity) {}
+
+  std::string name() const override { return "rdf3x-default"; }
+
+  util::StatusOr<double> Estimate(const query::QueryGraph& q) const override;
+
+ private:
+  const graph::Graph& g_;
+  double magic_selectivity_;
+};
+
+}  // namespace cegraph
+
+#endif  // CEGRAPH_ESTIMATORS_DEFAULT_RDF3X_H_

@@ -1,0 +1,101 @@
+#include "estimators/dispersion_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ceg/ceg_o.h"
+
+namespace cegraph {
+
+util::StatusOr<double> DispersionGuidedEstimator::Estimate(
+    const query::QueryGraph& q) const {
+  if (AnyEmptyRelation(markov_.graph(), q)) return 0.0;
+  auto built = ceg::BuildCegO(q, markov_);
+  if (!built.ok()) return built.status();
+  const ceg::Ceg& ceg = built->ceg;
+
+  // Per-edge irregularity cost.
+  std::vector<double> cost(ceg.num_edges(), -1);
+  std::vector<double> known_costs;
+  for (size_t ei = 0; ei < ceg.num_edges(); ++ei) {
+    const auto& provenance = built->edge_provenance[ei];
+    const query::QueryGraph pattern = q.ExtractPattern(provenance.pattern);
+    // Re-express the intersection in the extracted pattern's edge
+    // numbering: ExtractPattern keeps edges in ascending original order.
+    query::EdgeSet local_i = 0;
+    {
+      uint32_t local = 0;
+      for (uint32_t i = 0; i < q.num_edges(); ++i) {
+        if (!(provenance.pattern & (query::EdgeSet{1} << i))) continue;
+        if (provenance.intersection & (query::EdgeSet{1} << i)) {
+          local_i |= query::EdgeSet{1} << local;
+        }
+        ++local;
+      }
+    }
+    auto dispersion = dispersion_.Get(pattern, local_i);
+    if (!dispersion.ok()) continue;  // neutral cost assigned below
+    const double c = objective_ == Objective::kMinCv
+                         ? std::log1p(dispersion->cv2)
+                         : 1.0 - dispersion->entropy;
+    cost[ei] = c;
+    known_costs.push_back(c);
+  }
+  double neutral = 0;
+  if (!known_costs.empty()) {
+    std::nth_element(known_costs.begin(),
+                     known_costs.begin() + known_costs.size() / 2,
+                     known_costs.end());
+    neutral = known_costs[known_costs.size() / 2];
+  }
+  for (double& c : cost) {
+    if (c < 0) c = neutral;
+  }
+
+  // DP over the DAG: minimize summed irregularity; carry the estimate's
+  // log-weight along the argmin. Ties break toward the larger estimate
+  // (the paper's anti-underestimation default).
+  std::vector<int> indegree(ceg.num_nodes(), 0);
+  for (const auto& e : ceg.edges()) ++indegree[e.to];
+  std::vector<uint32_t> topo;
+  for (uint32_t v = 0; v < ceg.num_nodes(); ++v) {
+    if (indegree[v] == 0) topo.push_back(v);
+  }
+  for (size_t i = 0; i < topo.size(); ++i) {
+    for (uint32_t ei : ceg.OutEdges(topo[i])) {
+      if (--indegree[ceg.edges()[ei].to] == 0) {
+        topo.push_back(ceg.edges()[ei].to);
+      }
+    }
+  }
+  if (topo.size() != ceg.num_nodes()) {
+    return util::InternalError("CEG_O must be a DAG");
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best_cost(ceg.num_nodes(), kInf);
+  std::vector<double> best_log(ceg.num_nodes(), -kInf);
+  best_cost[ceg.source()] = 0;
+  best_log[ceg.source()] = 0;
+  for (uint32_t v : topo) {
+    if (std::isinf(best_cost[v])) continue;
+    for (uint32_t ei : ceg.OutEdges(v)) {
+      const auto& e = ceg.edges()[ei];
+      const double nc = best_cost[v] + cost[ei];
+      const double nl = best_log[v] + e.log_weight;
+      if (nc < best_cost[e.to] - 1e-12 ||
+          (nc < best_cost[e.to] + 1e-12 && nl > best_log[e.to])) {
+        best_cost[e.to] = nc;
+        best_log[e.to] = nl;
+      }
+    }
+  }
+  if (std::isinf(best_cost[ceg.sink()])) {
+    return util::InternalError("CEG sink unreachable");
+  }
+  return std::exp2(best_log[ceg.sink()]);
+}
+
+}  // namespace cegraph

@@ -1,0 +1,47 @@
+#ifndef CEGRAPH_ESTIMATORS_DISPERSION_PATH_H_
+#define CEGRAPH_ESTIMATORS_DISPERSION_PATH_H_
+
+#include "estimators/estimator.h"
+#include "stats/dispersion.h"
+#include "stats/markov_table.h"
+
+namespace cegraph {
+
+/// The estimator sketched as future work in the paper's §8: keep CEG_O's
+/// average-degree weights as the *estimate*, but pick the path whose
+/// extension steps have the most *regular* degree distributions — the
+/// ones where the uniformity assumption is most defensible.
+///
+/// Path selection minimizes the summed per-edge irregularity cost:
+///   kMinCv:      cost(edge) = log(1 + CV^2)   (log-additive variance
+///                inflation: the second moment of a product of independent
+///                steps multiplies by (1 + CV^2) per step)
+///   kMinEntropy: cost(edge) = 1 - normalized extension entropy
+/// Edges whose dispersion cannot be computed (too large to materialize)
+/// get the neutral cost of the catalog-wide median, so they neither
+/// attract nor repel the path.
+class DispersionGuidedEstimator : public CardinalityEstimator {
+ public:
+  enum class Objective { kMinCv, kMinEntropy };
+
+  DispersionGuidedEstimator(const stats::MarkovTable& markov,
+                            const stats::DispersionCatalog& dispersion,
+                            Objective objective = Objective::kMinCv)
+      : markov_(markov), dispersion_(dispersion), objective_(objective) {}
+
+  std::string name() const override {
+    return objective_ == Objective::kMinCv ? "min-cv-path"
+                                           : "min-entropy-path";
+  }
+
+  util::StatusOr<double> Estimate(const query::QueryGraph& q) const override;
+
+ private:
+  const stats::MarkovTable& markov_;
+  const stats::DispersionCatalog& dispersion_;
+  Objective objective_;
+};
+
+}  // namespace cegraph
+
+#endif  // CEGRAPH_ESTIMATORS_DISPERSION_PATH_H_

@@ -1,0 +1,7 @@
+#include "estimators/estimator.h"
+
+// CardinalityEstimator is a pure interface; this translation unit anchors
+// its vtable (key function emission) so every estimator links against one
+// definition.
+
+namespace cegraph {}  // namespace cegraph

@@ -1,0 +1,44 @@
+#ifndef CEGRAPH_ESTIMATORS_ESTIMATOR_H_
+#define CEGRAPH_ESTIMATORS_ESTIMATOR_H_
+
+#include <string>
+
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace cegraph {
+
+/// The common interface of every cardinality estimator in this library
+/// (optimistic CEG estimators, MOLP/CBS pessimistic bounds, Characteristic
+/// Sets, SumRDF, WanderJoin, the bound-sketch refinement, and the
+/// RDF-3X-style default). Estimates are output cardinalities of the natural
+/// join the query denotes.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Short stable identifier, e.g. "max-hop-max", "molp", "wj-0.25%".
+  virtual std::string name() const = 0;
+
+  /// Estimates |Q|. Implementations may fail (e.g. SumRDF times out on
+  /// dense summaries, mirroring §6.4); harnesses drop such queries from
+  /// every estimator's distribution, as the paper does.
+  virtual util::StatusOr<double> Estimate(
+      const query::QueryGraph& q) const = 0;
+};
+
+/// Convenience: true iff every relation referenced by `q` is non-empty in
+/// a graph with `relation_size(label)` semantics. Estimators use this to
+/// return an exact 0 for queries over empty relations (which otherwise
+/// produce log-of-zero weights).
+template <typename Graph>
+bool AnyEmptyRelation(const Graph& g, const query::QueryGraph& q) {
+  for (const query::QueryEdge& e : q.edges()) {
+    if (g.RelationSize(e.label) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace cegraph
+
+#endif  // CEGRAPH_ESTIMATORS_ESTIMATOR_H_

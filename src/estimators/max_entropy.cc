@@ -1,0 +1,86 @@
+#include "estimators/max_entropy.h"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "query/subquery.h"
+
+namespace cegraph {
+
+namespace {
+
+using query::EdgeSet;
+
+}  // namespace
+
+util::StatusOr<double> MaxEntropyEstimator::Estimate(
+    const query::QueryGraph& q) const {
+  if (q.num_edges() == 0 || !q.IsConnected()) {
+    return util::InvalidArgumentError("query must be non-empty and connected");
+  }
+  if (q.num_edges() > 16) {
+    return util::InvalidArgumentError("max-entropy limited to 16 edges");
+  }
+  if (AnyEmptyRelation(markov_.graph(), q)) return 0.0;
+
+  // Sample space: uniform assignments of the query's vertex variables to
+  // graph vertices, |V|^n outcomes. Predicate P_e holds when the assigned
+  // pair is an edge of R_e, so for a sub-query S
+  //   sel(S) = |join of S| / |V|^(vertices touched by S),
+  // since the untouched variables are free.
+  const double v = static_cast<double>(markov_.graph().num_vertices());
+  const double space = std::pow(v, q.num_vertices());
+
+  struct Constraint {
+    EdgeSet subset;
+    double selectivity;
+  };
+  std::vector<Constraint> constraints;
+  for (EdgeSet s : query::ConnectedSubsets(q, markov_.h())) {
+    auto card = markov_.Cardinality(q.ExtractPattern(s));
+    if (!card.ok()) return card.status();
+    if (*card == 0) return 0.0;  // an empty sub-query empties the query
+    const int touched = std::popcount(q.VerticesOf(s));
+    constraints.push_back({s, *card / std::pow(v, touched)});
+  }
+
+  // Iterative proportional fitting over the 2^m predicate-outcome atoms.
+  // Each constraint is the binary partition {atoms ⊇ S} vs rest with mass
+  // target sel(S); scaling both sides preserves normalization and
+  // converges to the maximum-entropy distribution (generalized iterative
+  // scaling).
+  const size_t num_atoms = size_t{1} << q.num_edges();
+  std::vector<double> p(num_atoms, 1.0 / static_cast<double>(num_atoms));
+
+  double worst = 1;
+  for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    worst = 0;
+    for (const Constraint& constraint : constraints) {
+      double in_mass = 0;
+      for (size_t b = 0; b < num_atoms; ++b) {
+        if ((b & constraint.subset) == constraint.subset) in_mass += p[b];
+      }
+      const double out_mass = 1.0 - in_mass;
+      const double target = constraint.selectivity;
+      if (in_mass <= 0 || out_mass <= 0) continue;  // degenerate; skip
+      const double scale_in = target / in_mass;
+      const double scale_out = (1.0 - target) / out_mass;
+      for (size_t b = 0; b < num_atoms; ++b) {
+        if ((b & constraint.subset) == constraint.subset) {
+          p[b] *= scale_in;
+        } else {
+          p[b] *= scale_out;
+        }
+      }
+      worst = std::max(worst, std::fabs(in_mass - target) /
+                                  std::max(target, 1e-300));
+    }
+    if (worst < options_.tolerance) break;
+  }
+
+  const double full_mass = p[num_atoms - 1];
+  return full_mass * space;
+}
+
+}  // namespace cegraph

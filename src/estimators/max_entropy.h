@@ -1,0 +1,55 @@
+#ifndef CEGRAPH_ESTIMATORS_MAX_ENTROPY_H_
+#define CEGRAPH_ESTIMATORS_MAX_ENTROPY_H_
+
+#include "estimators/estimator.h"
+#include "stats/markov_table.h"
+
+namespace cegraph {
+
+/// The maximum-entropy estimator sketched in the paper's §7 (Markl et
+/// al. [18]) and explicitly left to future work: "Multiway join queries
+/// can be modeled as estimating the selectivity of the full join
+/// predicate ... This way, one can construct another optimistic estimator
+/// using the same statistics."
+///
+/// Model: each query edge e is a join predicate P_e over the Cartesian
+/// product of the query's relations. The Markov table supplies the exact
+/// selectivity of every conjunction over a *connected* sub-query S with
+/// |S| <= h:
+///     sel(S) = |join of S| / prod_{e in S} |R_e|.
+/// The estimator computes the maximum-entropy distribution over the 2^m
+/// predicate-outcome atoms consistent with those selectivities — by
+/// iterative proportional fitting (IPF), the standard ME solver for
+/// marginal constraints — and returns
+///     estimate = P(all predicates hold) * prod_e |R_e|.
+///
+/// With constraints only up to size h, the ME distribution fills in the
+/// remaining correlations "as independently as possible", which
+/// generalizes the conditional-independence chain formulas of CEG_O paths
+/// into a single holistic estimate.
+class MaxEntropyEstimator : public CardinalityEstimator {
+ public:
+  struct Options {
+    int max_iterations = 200;
+    double tolerance = 1e-9;
+  };
+
+  explicit MaxEntropyEstimator(const stats::MarkovTable& markov)
+      : markov_(markov) {}
+  MaxEntropyEstimator(const stats::MarkovTable& markov,
+                      const Options& options)
+      : markov_(markov), options_(options) {}
+
+  std::string name() const override { return "max-entropy"; }
+
+  /// Supports queries with up to 16 edges (2^16 atoms).
+  util::StatusOr<double> Estimate(const query::QueryGraph& q) const override;
+
+ private:
+  const stats::MarkovTable& markov_;
+  Options options_;
+};
+
+}  // namespace cegraph
+
+#endif  // CEGRAPH_ESTIMATORS_MAX_ENTROPY_H_

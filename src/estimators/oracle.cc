@@ -1,0 +1,30 @@
+#include "estimators/oracle.h"
+
+#include <cmath>
+
+namespace cegraph {
+
+util::StatusOr<double> PStarEstimate(const ceg::Ceg& ceg,
+                                     double true_cardinality,
+                                     size_t max_paths, bool* truncated) {
+  if (true_cardinality <= 0) {
+    return util::InvalidArgumentError("true cardinality must be positive");
+  }
+  const auto paths = ceg.EnumerateSimplePaths(max_paths, truncated);
+  if (paths.empty()) {
+    return util::NotFoundError("CEG has no (source, sink) path");
+  }
+  const double target_log = std::log2(true_cardinality);
+  double best_estimate = 0;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (const auto& path : paths) {
+    const double err = std::fabs(path.log_weight - target_log);
+    if (err < best_error) {
+      best_error = err;
+      best_estimate = std::exp2(path.log_weight);
+    }
+  }
+  return best_estimate;
+}
+
+}  // namespace cegraph

@@ -1,0 +1,25 @@
+#ifndef CEGRAPH_ESTIMATORS_ORACLE_H_
+#define CEGRAPH_ESTIMATORS_ORACLE_H_
+
+#include "ceg/ceg.h"
+#include "util/status.h"
+
+namespace cegraph {
+
+/// The P* oracle of §6.2.3: among every (∅, Q) path of a CEG, the estimate
+/// of the path whose q-error against the true cardinality is smallest.
+/// P* measures the headroom left in a CEG for better path-picking
+/// heuristics; it is not a deployable estimator (it needs the truth).
+///
+/// Paths are enumerated explicitly up to `max_paths`; if the cap is hit the
+/// result is a lower bound on the oracle's quality (reported via
+/// `truncated`). The cap matters only for extremely path-rich CEGs (e.g.
+/// 12-edge stars); the paper's 6-8-edge workloads enumerate fully.
+util::StatusOr<double> PStarEstimate(const ceg::Ceg& ceg,
+                                     double true_cardinality,
+                                     size_t max_paths = 2'000'000,
+                                     bool* truncated = nullptr);
+
+}  // namespace cegraph
+
+#endif  // CEGRAPH_ESTIMATORS_ORACLE_H_

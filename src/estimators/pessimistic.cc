@@ -1,0 +1,239 @@
+#include "estimators/pessimistic.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "lp/simplex.h"
+
+namespace cegraph {
+
+namespace {
+
+using query::VertexSet;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+util::StatusOr<double> MolpEstimator::Estimate(
+    const query::QueryGraph& q) const {
+  if (q.num_edges() == 0 || !q.IsConnected()) {
+    return util::InvalidArgumentError("query must be non-empty and connected");
+  }
+  if (AnyEmptyRelation(catalog_.graph(), q)) return 0.0;
+  auto stats = stats::DegreeStats::Build(catalog_, q, include_two_joins_);
+  if (!stats.ok()) return stats.status();
+  auto log_bound = ceg::MolpMinLogWeight(q, *stats);
+  if (!log_bound.ok()) return log_bound.status();
+  if (std::isinf(*log_bound)) {
+    return util::InternalError("MOLP sink unreachable");
+  }
+  return std::exp2(*log_bound);
+}
+
+util::StatusOr<double> MolpViaLp(const query::QueryGraph& q,
+                                 const stats::DegreeStats& stats,
+                                 bool include_projection_inequalities) {
+  const uint32_t n = q.num_vertices();
+  if (n > 14) return util::InvalidArgumentError("too many attributes");
+  const VertexSet full = (VertexSet{1} << n) - 1;
+
+  // One LP variable per non-empty attribute subset; s_emptyset == 0 is
+  // substituted away. Variable index = subset - 1.
+  lp::LpProblem problem;
+  problem.num_vars = full;  // subsets 1..full
+  problem.objective.assign(problem.num_vars, 0.0);
+  problem.objective[full - 1] = 1.0;  // maximize s_A
+
+  auto var = [&](VertexSet w) { return static_cast<size_t>(w) - 1; };
+
+  if (include_projection_inequalities) {
+    // s_X <= s_Y for X ⊂ Y: single-attribute removals suffice (they
+    // compose transitively).
+    for (VertexSet y = 1; y <= full; ++y) {
+      for (uint32_t v = 0; v < n; ++v) {
+        const VertexSet bit = VertexSet{1} << v;
+        if (!(y & bit)) continue;
+        const VertexSet x = y & ~bit;
+        std::vector<double> row(problem.num_vars, 0.0);
+        if (x != 0) row[var(x)] += 1.0;
+        row[var(y)] -= 1.0;
+        problem.AddLe(std::move(row), 0.0);
+      }
+    }
+  }
+
+  // Extension inequalities: s_{Y∪E} <= s_{X∪E} + log deg(X, Y, R) for all
+  // E ⊆ A. Equivalently, for every W1 ⊇ X: s_{W1 ∪ Y} <= s_{W1} + log deg.
+  for (const stats::StatRelation& rel : stats.relations()) {
+    for (const auto& [key, value] : rel.deg) {
+      const auto& [x, y] = key;
+      if (x == y || value <= 0) continue;
+      const double log_deg = std::log2(value);
+      for (VertexSet w1 = 0; w1 <= full; ++w1) {
+        if ((w1 & x) != x) continue;
+        const VertexSet w2 = w1 | y;
+        if (w2 == w1) continue;
+        std::vector<double> row(problem.num_vars, 0.0);
+        row[var(w2)] += 1.0;
+        if (w1 != 0) row[var(w1)] -= 1.0;
+        problem.AddLe(std::move(row), log_deg);
+      }
+    }
+  }
+
+  auto solution = lp::SolveLp(problem);
+  if (!solution.ok()) return solution.status();
+  switch (solution->status) {
+    case lp::LpStatus::kOptimal:
+      return solution->objective;
+    case lp::LpStatus::kUnbounded:
+      return kInf;  // insufficient statistics: no finite bound
+    case lp::LpStatus::kInfeasible:
+      return util::InternalError("MOLP infeasible (should not happen)");
+  }
+  return util::InternalError("unknown LP status");
+}
+
+util::StatusOr<double> CbsEstimator::Estimate(
+    const query::QueryGraph& q) const {
+  if (q.num_edges() == 0 || !q.IsConnected()) {
+    return util::InvalidArgumentError("query must be non-empty and connected");
+  }
+  if (AnyEmptyRelation(catalog_.graph(), q)) return 0.0;
+  auto stats = stats::DegreeStats::Build(catalog_, q,
+                                         /*include_two_joins=*/false);
+  if (!stats.ok()) return stats.status();
+
+  const uint32_t n = q.num_vertices();
+  const VertexSet full = (VertexSet{1} << n) - 1;
+
+  // Set-cover DP over attribute subsets: best[T] = min log-cost of a
+  // partial coverage (prefix of relations) whose covered union is T.
+  std::vector<double> best(static_cast<size_t>(full) + 1, kInf);
+  best[0] = 0;
+  for (const stats::StatRelation& rel : stats->relations()) {
+    // Options: cover all attrs (factor |R|), all-but-one (factor = degree
+    // of the uncovered attribute), or none (factor 1).
+    struct Option {
+      VertexSet covered;
+      double log_cost;
+    };
+    std::vector<Option> options;
+    options.push_back({0, 0.0});
+    const VertexSet attrs = rel.attrs;
+    const double card = rel.Get(0, attrs);
+    if (card > 0) options.push_back({attrs, std::log2(card)});
+    for (uint32_t v = 0; v < n; ++v) {
+      const VertexSet bit = VertexSet{1} << v;
+      if (!(attrs & bit)) continue;
+      const VertexSet covered = attrs & ~bit;
+      if (covered == 0) continue;  // |A_i|-1 == 0: same as covering none
+      const double deg = rel.Get(bit, attrs);
+      if (deg > 0) options.push_back({covered, std::log2(deg)});
+    }
+    std::vector<double> next(best.size(), kInf);
+    for (VertexSet t = 0; t <= full; ++t) {
+      if (std::isinf(best[t])) continue;
+      for (const Option& option : options) {
+        const VertexSet nt = t | option.covered;
+        next[nt] = std::min(next[nt], best[t] + option.log_cost);
+      }
+    }
+    best = std::move(next);
+  }
+  if (std::isinf(best[full])) {
+    return util::InternalError("no feasible CBS coverage");
+  }
+  return std::exp2(best[full]);
+}
+
+util::StatusOr<double> DbplpBoundForCover(const query::QueryGraph& q,
+                                          const stats::DegreeStats& stats,
+                                          const ceg::Cover& cover) {
+  const uint32_t n = q.num_vertices();
+  lp::LpProblem problem;
+  problem.num_vars = n;
+  problem.objective.assign(n, -1.0);  // maximize -(sum v_a) == minimize sum
+
+  const auto& relations = stats.relations();
+  if (cover.covered.size() != relations.size()) {
+    return util::InvalidArgumentError("cover arity mismatch");
+  }
+  for (size_t j = 0; j < relations.size(); ++j) {
+    const VertexSet a_j = cover.covered[j];
+    if (a_j == 0) continue;
+    for (VertexSet sub = a_j;; sub = (sub - 1) & a_j) {
+      const double deg = relations[j].Get(sub, a_j);
+      if (deg > 0) {
+        // sum_{a in A_j \ sub} v_a >= log deg(sub, A_j).
+        std::vector<double> row(n, 0.0);
+        for (uint32_t v = 0; v < n; ++v) {
+          if ((a_j & ~sub) & (VertexSet{1} << v)) row[v] = 1.0;
+        }
+        problem.AddGe(std::move(row), std::log2(deg));
+      }
+      if (sub == 0) break;
+    }
+  }
+
+  auto solution = lp::SolveLp(problem);
+  if (!solution.ok()) return solution.status();
+  if (solution->status != lp::LpStatus::kOptimal) {
+    return util::InternalError("DBPLP LP not optimal");
+  }
+  return -solution->objective;
+}
+
+util::StatusOr<double> BestDbplpBound(const query::QueryGraph& q,
+                                      const stats::DegreeStats& stats) {
+  const std::vector<ceg::Cover> covers =
+      ceg::EnumerateCovers(q, stats, /*cbs_choices_only=*/false);
+  if (covers.empty()) {
+    return util::NotFoundError("query has no cover");
+  }
+  double best = kInf;
+  for (const ceg::Cover& cover : covers) {
+    auto bound = DbplpBoundForCover(q, stats, cover);
+    if (!bound.ok()) return bound.status();
+    best = std::min(best, *bound);
+  }
+  return best;
+}
+
+util::StatusOr<double> AgmBound(const query::QueryGraph& q,
+                                const stats::DegreeStats& stats) {
+  const uint32_t n = q.num_vertices();
+  const auto& relations = stats.relations();
+  // Only base relations participate in the classical AGM bound; we use
+  // every relation whose full cardinality deg(0, attrs) is known, which
+  /// for base-only stats is exactly the base relations.
+  std::vector<std::pair<VertexSet, double>> rels;  // (attrs, log|R|)
+  for (const stats::StatRelation& rel : relations) {
+    const double card = rel.Get(0, rel.attrs);
+    if (card > 0) rels.push_back({rel.attrs, std::log2(card)});
+  }
+  lp::LpProblem problem;
+  problem.num_vars = rels.size();
+  problem.objective.assign(rels.size(), 0.0);
+  for (size_t i = 0; i < rels.size(); ++i) {
+    problem.objective[i] = -rels[i].second;  // maximize -(sum x log|R|)
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    std::vector<double> row(rels.size(), 0.0);
+    for (size_t i = 0; i < rels.size(); ++i) {
+      if (rels[i].first & (VertexSet{1} << v)) row[i] = 1.0;
+    }
+    problem.AddGe(std::move(row), 1.0);
+  }
+  auto solution = lp::SolveLp(problem);
+  if (!solution.ok()) return solution.status();
+  if (solution->status != lp::LpStatus::kOptimal) {
+    return util::InternalError("AGM LP not optimal");
+  }
+  return -solution->objective;
+}
+
+}  // namespace cegraph

@@ -1,0 +1,85 @@
+#ifndef CEGRAPH_ESTIMATORS_PESSIMISTIC_H_
+#define CEGRAPH_ESTIMATORS_PESSIMISTIC_H_
+
+#include <vector>
+
+#include "ceg/ceg_d.h"
+#include "ceg/ceg_m.h"
+#include "estimators/estimator.h"
+#include "stats/degree_stats.h"
+
+namespace cegraph {
+
+/// The MOLP pessimistic estimator (§5.1, Joglekar & Ré [9]): the optimal
+/// value of the MOLP linear program, computed combinatorially as the
+/// minimum-weight (∅, A) path of CEG_M (Theorem 5.1) via Dijkstra on the
+/// implicit lattice. 2^molp is a guaranteed upper bound on |Q|
+/// (Proposition 5.1).
+class MolpEstimator : public CardinalityEstimator {
+ public:
+  /// `include_two_joins` adds the degree statistics of 2-edge join results
+  /// (§5.1.1) so MOLP's statistics strictly contain the optimistic
+  /// estimators' (the paper's Fig. 13 configuration).
+  MolpEstimator(const stats::StatsCatalog& catalog, bool include_two_joins)
+      : catalog_(catalog), include_two_joins_(include_two_joins) {}
+
+  std::string name() const override {
+    return include_two_joins_ ? "molp+2j" : "molp";
+  }
+
+  util::StatusOr<double> Estimate(const query::QueryGraph& q) const override;
+
+ private:
+  const stats::StatsCatalog& catalog_;
+  bool include_two_joins_;
+};
+
+/// Solves the MOLP linear program *numerically* with the simplex solver —
+/// the reference implementation used by tests to validate Theorem 5.1
+/// against the combinatorial Dijkstra solution. Returns the optimum in
+/// log2 domain. `include_projection_inequalities` toggles the s_X <= s_Y
+/// constraints (Appendix A proves they are redundant).
+util::StatusOr<double> MolpViaLp(const query::QueryGraph& q,
+                                 const stats::DegreeStats& stats,
+                                 bool include_projection_inequalities = true);
+
+/// The CBS estimator of Cai et al. [5] (§5.2): the minimum over coverages
+/// — assignments of 0, |A_i|-1 or |A_i| attributes to each relation whose
+/// union covers all attributes — of the bounding-formula product
+/// prod_i deg(uncovered_i, A_i, R_i). Computed by set-cover DP over the
+/// attribute lattice (equivalent to enumerating BFG/FCG formulas).
+/// Appendix B: equals MOLP on acyclic queries over binary relations;
+/// Appendix C: may *under*estimate on cyclic queries.
+class CbsEstimator : public CardinalityEstimator {
+ public:
+  explicit CbsEstimator(const stats::StatsCatalog& catalog)
+      : catalog_(catalog) {}
+
+  std::string name() const override { return "cbs"; }
+
+  util::StatusOr<double> Estimate(const query::QueryGraph& q) const override;
+
+ private:
+  const stats::StatsCatalog& catalog_;
+};
+
+/// The DBPLP bound (Appendix D) for one cover: the optimum of the covering
+/// LP  min sum_a v_a  s.t.  sum_{a in A_j \ A'_j} v_a >= log deg(A'_j,
+/// pi_{A_j} R_j). Returns log2 of the bound.
+util::StatusOr<double> DbplpBoundForCover(const query::QueryGraph& q,
+                                          const stats::DegreeStats& stats,
+                                          const ceg::Cover& cover);
+
+/// The best (smallest) DBPLP bound over all covers (log2 domain).
+util::StatusOr<double> BestDbplpBound(const query::QueryGraph& q,
+                                      const stats::DegreeStats& stats);
+
+/// The AGM bound (Atserias-Grohe-Marx [4]): the fractional-edge-cover LP
+/// min sum_i x_i log|R_i| s.t. each attribute covered with total weight
+/// >= 1. Returns log2 of the bound.
+util::StatusOr<double> AgmBound(const query::QueryGraph& q,
+                                const stats::DegreeStats& stats);
+
+}  // namespace cegraph
+
+#endif  // CEGRAPH_ESTIMATORS_PESSIMISTIC_H_

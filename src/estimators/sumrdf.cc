@@ -1,0 +1,245 @@
+#include "estimators/sumrdf.h"
+
+#include <vector>
+
+namespace cegraph {
+
+namespace {
+
+using query::QueryEdge;
+using query::QueryGraph;
+using query::QVertex;
+
+constexpr uint32_t kUnassigned = 0xFFFFFFFF;
+
+/// The SumRDF expected-cardinality semantics: summed over summary
+/// embeddings sigma,
+///   prod_edges w(sigma(u), l, sigma(v)) / (s_u * s_v) * prod_vertices s_v.
+/// Exactly like exact counting, this factorizes over pendant trees, so we
+/// peel degree-1 query vertices with a bucket-indexed DP and only search
+/// over the cyclic core. The DP makes SumRDF linear-time on acyclic
+/// queries (which is what lets it answer the paper's acyclic workloads at
+/// all); dense cyclic cores can still blow up and hit the step budget —
+/// the analogue of SumRDF's timeouts in §6.4.
+struct PeelStep {
+  uint32_t edge_index;
+  QVertex removed;
+  QVertex anchor;
+};
+
+std::vector<PeelStep> PeelPendantTrees(const QueryGraph& q,
+                                       query::EdgeSet* core_edges) {
+  const uint32_t m = q.num_edges();
+  std::vector<bool> edge_live(m, true);
+  std::vector<int> degree(q.num_vertices(), 0);
+  for (uint32_t i = 0; i < m; ++i) {
+    const QueryEdge& e = q.edge(i);
+    if (e.src == e.dst) continue;
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  std::vector<PeelStep> steps;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (QVertex v = 0; v < q.num_vertices(); ++v) {
+      if (degree[v] != 1) continue;
+      for (uint32_t ei : q.IncidentEdges(v)) {
+        if (!edge_live[ei]) continue;
+        const QueryEdge& e = q.edge(ei);
+        if (e.src == e.dst) continue;
+        const QVertex other = e.src == v ? e.dst : e.src;
+        edge_live[ei] = false;
+        --degree[v];
+        --degree[other];
+        steps.push_back({ei, v, other});
+        progressed = true;
+        break;
+      }
+    }
+  }
+  query::EdgeSet core = 0;
+  for (uint32_t i = 0; i < m; ++i) {
+    if (edge_live[i]) core |= query::EdgeSet{1} << i;
+  }
+  *core_edges = core;
+  return steps;
+}
+
+class SumRdfComputation {
+ public:
+  SumRdfComputation(const stats::SummaryGraph& summary, const QueryGraph& q,
+                    uint64_t budget)
+      : summary_(summary), q_(q), budget_(budget) {}
+
+  util::StatusOr<double> Run() {
+    query::EdgeSet core = 0;
+    const std::vector<PeelStep> peel = PeelPendantTrees(q_, &core);
+    weights_.assign(q_.num_vertices(), {});
+    for (const PeelStep& step : peel) {
+      CEGRAPH_RETURN_IF_ERROR(ApplyPeelStep(step));
+    }
+
+    if (core == 0) {
+      // Pure tree: close out at the final anchor, folding its bucket-size
+      // vertex factor.
+      const QVertex root = peel.back().anchor;
+      double total = 0;
+      for (uint32_t b = 0; b < summary_.num_buckets(); ++b) {
+        total += static_cast<double>(summary_.bucket_size(b)) *
+                 Weight(root, b);
+      }
+      return total;
+    }
+
+    // Backtracking over the core in a connected edge order.
+    for (uint32_t i = 0; i < q_.num_edges(); ++i) {
+      if (core & (query::EdgeSet{1} << i)) core_order_.push_back(i);
+    }
+    OrderCoreEdges();
+    assignment_.assign(q_.num_vertices(), kUnassigned);
+    total_ = 0;
+    CEGRAPH_RETURN_IF_ERROR(Search(0, 1.0));
+    return total_;
+  }
+
+ private:
+  double Weight(QVertex u, uint32_t bucket) const {
+    return weights_[u].empty() ? 1.0 : weights_[u][bucket];
+  }
+
+  std::vector<double>& MutableWeight(QVertex u) {
+    if (weights_[u].empty()) {
+      weights_[u].assign(summary_.num_buckets(), 1.0);
+    }
+    return weights_[u];
+  }
+
+  /// w_anchor[b] *= sum_{b'} w_edge(b ~ b') / s_b * w_removed[b'];
+  /// the removed vertex's own bucket-size factor cancels one denominator.
+  util::Status ApplyPeelStep(const PeelStep& step) {
+    const QueryEdge& e = q_.edge(step.edge_index);
+    const bool removed_is_src = (e.src == step.removed);
+    std::vector<double>& anchor_w = MutableWeight(step.anchor);
+    for (uint32_t b = 0; b < summary_.num_buckets(); ++b) {
+      if (++steps_ > budget_) {
+        return util::ResourceExhaustedError("sumrdf step budget exceeded");
+      }
+      if (summary_.bucket_size(b) == 0) {
+        anchor_w[b] = 0;  // empty bucket: no vertex can map here
+        continue;
+      }
+      double sum = 0;
+      const auto& supers = removed_is_src ? summary_.InEdges(b, e.label)
+                                          : summary_.OutEdges(b, e.label);
+      for (const auto& [b2, w] : supers) {
+        sum += w * Weight(step.removed, b2);
+      }
+      anchor_w[b] *= sum / static_cast<double>(summary_.bucket_size(b));
+    }
+    return util::Status::OK();
+  }
+
+  void OrderCoreEdges() {
+    // Reorder core edges so each is connected to the prefix.
+    std::vector<uint32_t> order;
+    std::vector<bool> used(core_order_.size(), false);
+    uint32_t bound = 0;
+    order.push_back(core_order_[0]);
+    used[0] = true;
+    bound |= (1u << q_.edge(core_order_[0]).src) |
+             (1u << q_.edge(core_order_[0]).dst);
+    while (order.size() < core_order_.size()) {
+      for (size_t i = 0; i < core_order_.size(); ++i) {
+        if (used[i]) continue;
+        const QueryEdge& e = q_.edge(core_order_[i]);
+        if ((bound & (1u << e.src)) || (bound & (1u << e.dst))) {
+          used[i] = true;
+          order.push_back(core_order_[i]);
+          bound |= (1u << e.src) | (1u << e.dst);
+          break;
+        }
+      }
+    }
+    core_order_ = std::move(order);
+  }
+
+  util::Status Search(size_t depth, double weight) {
+    if (++steps_ > budget_) {
+      return util::ResourceExhaustedError("sumrdf step budget exceeded");
+    }
+    if (depth == core_order_.size()) {
+      total_ += weight;
+      return util::Status::OK();
+    }
+    const QueryEdge& e = q_.edge(core_order_[depth]);
+    const bool sb = assignment_[e.src] != kUnassigned;
+    const bool db = assignment_[e.dst] != kUnassigned;
+
+    if (sb && db) {
+      const double w =
+          summary_.EdgeWeight(assignment_[e.src], e.label,
+                              assignment_[e.dst]);
+      if (w <= 0) return util::Status::OK();
+      const double factor =
+          w /
+          (static_cast<double>(summary_.bucket_size(assignment_[e.src])) *
+           static_cast<double>(summary_.bucket_size(assignment_[e.dst])));
+      return Search(depth + 1, weight * factor);
+    }
+
+    if (!sb && !db) {
+      // Seed: per-superedge contribution w, times pendant weights of the
+      // two newly bound vertices (their s factors cancel).
+      for (uint32_t b1 = 0; b1 < summary_.num_buckets(); ++b1) {
+        for (const auto& [b2, w] : summary_.OutEdges(b1, e.label)) {
+          if (e.src == e.dst && b1 != b2) continue;
+          assignment_[e.src] = b1;
+          assignment_[e.dst] = b2;
+          double contribution = weight * w * Weight(e.src, b1);
+          if (e.dst != e.src) contribution *= Weight(e.dst, b2);
+          CEGRAPH_RETURN_IF_ERROR(Search(depth + 1, contribution));
+          assignment_[e.src] = kUnassigned;
+          assignment_[e.dst] = kUnassigned;
+        }
+      }
+      return util::Status::OK();
+    }
+
+    const uint32_t anchor = sb ? assignment_[e.src] : assignment_[e.dst];
+    const auto& supers = sb ? summary_.OutEdges(anchor, e.label)
+                            : summary_.InEdges(anchor, e.label);
+    const QVertex nv = sb ? e.dst : e.src;
+    for (const auto& [b2, w] : supers) {
+      const double factor =
+          w / static_cast<double>(summary_.bucket_size(anchor)) *
+          Weight(nv, b2);
+      assignment_[nv] = b2;
+      CEGRAPH_RETURN_IF_ERROR(Search(depth + 1, weight * factor));
+      assignment_[nv] = kUnassigned;
+    }
+    return util::Status::OK();
+  }
+
+  const stats::SummaryGraph& summary_;
+  const QueryGraph& q_;
+  uint64_t budget_;
+  uint64_t steps_ = 0;
+  std::vector<std::vector<double>> weights_;  // pendant-tree DP, per bucket
+  std::vector<uint32_t> core_order_;
+  std::vector<uint32_t> assignment_;
+  double total_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<double> SumRdfEstimator::Estimate(
+    const query::QueryGraph& q) const {
+  if (q.num_edges() == 0 || !q.IsConnected()) {
+    return util::InvalidArgumentError("query must be non-empty and connected");
+  }
+  SumRdfComputation computation(summary_, q, step_budget_);
+  return computation.Run();
+}
+
+}  // namespace cegraph

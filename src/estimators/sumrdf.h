@@ -1,0 +1,37 @@
+#ifndef CEGRAPH_ESTIMATORS_SUMRDF_H_
+#define CEGRAPH_ESTIMATORS_SUMRDF_H_
+
+#include "estimators/estimator.h"
+#include "stats/summary_graph.h"
+
+namespace cegraph {
+
+/// The SumRDF baseline (Stefanoni et al. [30], §6.4): matches the query
+/// homomorphically on the summary graph and returns the expected
+/// cardinality over uniformly random instantiations of each superedge —
+/// the summary-level uniformity ("possible worlds") assumption. For each
+/// summary embedding sigma the expected count is
+///   prod_edges w(sigma(u), l, sigma(v)) / (|sigma(u)| * |sigma(v)|)
+///   * prod_vertices |sigma(v)|,
+/// summed over embeddings. Backtracking over a dense summary can blow up,
+/// so the estimator carries a step budget and fails with ResourceExhausted
+/// — the analogue of SumRDF's timeouts in the paper ("SumRDF timed out on
+/// several queries"); harnesses drop those queries for all estimators.
+class SumRdfEstimator : public CardinalityEstimator {
+ public:
+  SumRdfEstimator(const stats::SummaryGraph& summary,
+                  uint64_t step_budget = 50'000'000)
+      : summary_(summary), step_budget_(step_budget) {}
+
+  std::string name() const override { return "sumrdf"; }
+
+  util::StatusOr<double> Estimate(const query::QueryGraph& q) const override;
+
+ private:
+  const stats::SummaryGraph& summary_;
+  uint64_t step_budget_;
+};
+
+}  // namespace cegraph
+
+#endif  // CEGRAPH_ESTIMATORS_SUMRDF_H_

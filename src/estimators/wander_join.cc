@@ -1,0 +1,108 @@
+#include "estimators/wander_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace cegraph {
+
+namespace {
+
+using graph::VertexId;
+using query::QueryEdge;
+using query::QueryGraph;
+
+constexpr VertexId kUnassigned = 0xFFFFFFFF;
+
+}  // namespace
+
+std::string WanderJoinEstimator::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wj-%.4g%%", options_.sampling_ratio * 100);
+  return buf;
+}
+
+util::StatusOr<double> WanderJoinEstimator::Estimate(
+    const query::QueryGraph& q) const {
+  if (q.num_edges() == 0 || !q.IsConnected()) {
+    return util::InvalidArgumentError("query must be non-empty and connected");
+  }
+  if (AnyEmptyRelation(g_, q)) return 0.0;
+
+  // Walk plan: start from the smallest relation, then always extend a
+  // bound vertex (check edges verified in place).
+  uint32_t start = 0;
+  for (uint32_t i = 1; i < q.num_edges(); ++i) {
+    if (g_.RelationSize(q.edge(i).label) <
+        g_.RelationSize(q.edge(start).label)) {
+      start = i;
+    }
+  }
+  std::vector<uint32_t> order = {start};
+  {
+    std::vector<bool> used(q.num_edges(), false);
+    used[start] = true;
+    uint32_t bound = (1u << q.edge(start).src) | (1u << q.edge(start).dst);
+    while (order.size() < q.num_edges()) {
+      // Prefer check edges (both endpoints bound) for early pruning.
+      uint32_t pick = q.num_edges();
+      for (uint32_t i = 0; i < q.num_edges(); ++i) {
+        if (used[i]) continue;
+        const QueryEdge& e = q.edge(i);
+        const bool sb = bound & (1u << e.src), db = bound & (1u << e.dst);
+        if (sb && db) {
+          pick = i;
+          break;
+        }
+        if (pick == q.num_edges() && (sb || db)) pick = i;
+      }
+      used[pick] = true;
+      order.push_back(pick);
+      bound |= (1u << q.edge(pick).src) | (1u << q.edge(pick).dst);
+    }
+  }
+
+  const auto start_rel = g_.RelationEdges(q.edge(start).label);
+  const double rel_size = static_cast<double>(start_rel.size());
+  const int num_walks = std::max<int>(
+      options_.min_samples,
+      static_cast<int>(std::ceil(options_.sampling_ratio * rel_size)));
+
+  util::Rng rng(options_.seed);
+  std::vector<VertexId> assignment(q.num_vertices(), kUnassigned);
+  double total = 0;
+  for (int walk = 0; walk < num_walks; ++walk) {
+    std::fill(assignment.begin(), assignment.end(), kUnassigned);
+    double weight = rel_size;  // inverse of the 1/|R_start| start prob.
+    const graph::Edge& se = start_rel[rng.Uniform(start_rel.size())];
+    const QueryEdge& sq = q.edge(start);
+    if (sq.src == sq.dst && se.src != se.dst) continue;  // failed walk
+    assignment[sq.src] = se.src;
+    assignment[sq.dst] = se.dst;
+    bool ok = true;
+    for (size_t step = 1; step < order.size() && ok; ++step) {
+      const QueryEdge& e = q.edge(order[step]);
+      const bool sb = assignment[e.src] != kUnassigned;
+      const bool db = assignment[e.dst] != kUnassigned;
+      if (sb && db) {
+        ok = g_.HasEdge(assignment[e.src], assignment[e.dst], e.label);
+        continue;
+      }
+      const auto candidates = sb
+                                  ? g_.OutNeighbors(assignment[e.src], e.label)
+                                  : g_.InNeighbors(assignment[e.dst], e.label);
+      if (candidates.empty()) {
+        ok = false;
+        break;
+      }
+      const VertexId choice = candidates[rng.Uniform(candidates.size())];
+      assignment[sb ? e.dst : e.src] = choice;
+      weight *= static_cast<double>(candidates.size());
+    }
+    if (ok) total += weight;
+  }
+  return total / num_walks;
+}
+
+}  // namespace cegraph

@@ -1,0 +1,44 @@
+#ifndef CEGRAPH_ESTIMATORS_WANDER_JOIN_H_
+#define CEGRAPH_ESTIMATORS_WANDER_JOIN_H_
+
+#include "estimators/estimator.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace cegraph {
+
+/// Options for the WanderJoin estimator (§6.5).
+struct WanderJoinOptions {
+  /// Fraction of the start relation sampled (with replacement); the
+  /// paper's experiments use 0.0001 .. 0.0075.
+  double sampling_ratio = 0.0025;
+  /// At least this many walks regardless of the ratio (tiny relations).
+  int min_samples = 1;
+  uint64_t seed = 99;
+};
+
+/// The WanderJoin sampling-based estimator (Li et al. [15] as deployed in
+/// G-CARE [25], §6.5): pick a start query edge, sample matching data edges
+/// with replacement, extend each sample one query edge at a time by
+/// choosing a uniformly random candidate, and correct by the product of the
+/// candidate-set sizes (inverse sampling probability). The sum of the
+/// per-walk estimates is scaled by 1/(sampling_ratio * |R_start|) * |R_start|
+/// — i.e. the mean per-walk estimate times the start-relation size.
+/// Unbiased; variance shrinks with the sampling ratio.
+class WanderJoinEstimator : public CardinalityEstimator {
+ public:
+  WanderJoinEstimator(const graph::Graph& g, const WanderJoinOptions& options)
+      : g_(g), options_(options) {}
+
+  std::string name() const override;
+
+  util::StatusOr<double> Estimate(const query::QueryGraph& q) const override;
+
+ private:
+  const graph::Graph& g_;
+  WanderJoinOptions options_;
+};
+
+}  // namespace cegraph
+
+#endif  // CEGRAPH_ESTIMATORS_WANDER_JOIN_H_

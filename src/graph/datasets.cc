@@ -1,0 +1,143 @@
+#include "graph/datasets.h"
+
+#include <array>
+
+#include "graph/generators.h"
+
+namespace cegraph::graph {
+
+namespace {
+
+struct DatasetSpec {
+  DatasetInfo info;
+  GeneratorConfig config;
+};
+
+/// The six stand-in datasets (DESIGN.md §3). Sizes are laptop-scale but the
+/// *shape* parameters (density, label count, skew, correlation) track the
+/// paper's Table 2 datasets:
+///  - imdb_like:     mid-size, many labels, strong correlation (entity types)
+///  - yago_like:     sparse knowledge graph, many labels
+///  - dblp_like:     few labels, high average degree
+///  - watdiv_like:   schema-regular (many types, low skew)
+///  - hetionet_like: small but dense, few labels
+///  - epinions_like: random uncorrelated labels (the paper's control)
+std::vector<DatasetSpec> BuildSpecs() {
+  std::vector<DatasetSpec> specs;
+
+  {
+    DatasetSpec s;
+    s.info = {"imdb_like", "Movies", "IMDb (27M V, 65M E, 127 labels)",
+              16000, 96000, 48};
+    s.config = {.num_vertices = 16000,
+                .num_edges = 96000,
+                .num_labels = 48,
+                .num_types = 6,
+                .label_zipf_s = 1.1,
+                .preferential_p = 0.6,
+                .random_labels = false,
+                .seed = 0xCE61};
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.info = {"yago_like", "Knowledge Graph", "YAGO (13M V, 16M E, 91 labels)",
+              24000, 36000, 40};
+    s.config = {.num_vertices = 24000,
+                .num_edges = 36000,
+                .num_labels = 40,
+                .num_types = 8,
+                .label_zipf_s = 1.2,
+                .preferential_p = 0.65,
+                .random_labels = false,
+                .seed = 0xCE62};
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.info = {"dblp_like", "Citations", "DBLP (23M V, 56M E, 27 labels)",
+              12000, 72000, 12};
+    s.config = {.num_vertices = 12000,
+                .num_edges = 72000,
+                .num_labels = 12,
+                .num_types = 4,
+                .label_zipf_s = 1.0,
+                .preferential_p = 0.7,
+                .random_labels = false,
+                .seed = 0xCE63};
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.info = {"watdiv_like", "Products", "WatDiv (1M V, 11M E, 86 labels)",
+              8000, 44000, 30};
+    s.config = {.num_vertices = 8000,
+                .num_edges = 44000,
+                .num_labels = 30,
+                .num_types = 10,
+                .label_zipf_s = 0.6,   // schema-regular: mild skew
+                .preferential_p = 0.3,  // near-uniform degrees
+                .random_labels = false,
+                .seed = 0xCE64};
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.info = {"hetionet_like", "Social Networks",
+              "Hetionet (45K V, 2M E, 24 labels)", 2500, 50000, 24};
+    s.config = {.num_vertices = 2500,
+                .num_edges = 50000,
+                .num_labels = 24,
+                .num_types = 5,
+                .label_zipf_s = 1.0,
+                .preferential_p = 0.55,
+                .random_labels = false,
+                .seed = 0xCE65};
+    specs.push_back(s);
+  }
+  {
+    DatasetSpec s;
+    s.info = {"epinions_like", "Consumer Reviews",
+              "Epinions (76K V, 509K E, 50 labels)", 4000, 27000, 25};
+    s.config = {.num_vertices = 4000,
+                .num_edges = 27000,
+                .num_labels = 25,
+                .num_types = 1,
+                .label_zipf_s = 1.0,
+                .preferential_p = 0.6,
+                .random_labels = true,  // the paper's uncorrelated control
+                .seed = 0xCE66};
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+const std::vector<DatasetSpec>& Specs() {
+  static const std::vector<DatasetSpec>& specs =
+      *new std::vector<DatasetSpec>(BuildSpecs());
+  return specs;
+}
+
+}  // namespace
+
+std::vector<std::string> DatasetNames() {
+  std::vector<std::string> names;
+  for (const auto& s : Specs()) names.push_back(s.info.name);
+  return names;
+}
+
+util::StatusOr<DatasetInfo> GetDatasetInfo(const std::string& name) {
+  for (const auto& s : Specs()) {
+    if (s.info.name == name) return s.info;
+  }
+  return util::NotFoundError("unknown dataset: " + name);
+}
+
+util::StatusOr<Graph> MakeDataset(const std::string& name) {
+  for (const auto& s : Specs()) {
+    if (s.info.name == name) return GenerateGraph(s.config);
+  }
+  return util::NotFoundError("unknown dataset: " + name);
+}
+
+}  // namespace cegraph::graph

@@ -1,0 +1,37 @@
+#ifndef CEGRAPH_GRAPH_DATASETS_H_
+#define CEGRAPH_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace cegraph::graph {
+
+/// Metadata describing a named stand-in dataset (Table 2 of the paper).
+struct DatasetInfo {
+  std::string name;      ///< e.g. "imdb_like"
+  std::string domain;    ///< e.g. "Movies"
+  std::string paper_counterpart;  ///< e.g. "IMDb (27M V, 65M E, 127 labels)"
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;        ///< requested edge count (actual may differ
+                                 ///< slightly after deduplication)
+  uint32_t num_labels = 0;
+};
+
+/// Names of the six stand-in datasets, in the paper's Table 2 order:
+/// imdb_like, yago_like, dblp_like, watdiv_like, hetionet_like,
+/// epinions_like.
+std::vector<std::string> DatasetNames();
+
+/// Returns the metadata for `name`; NotFound for unknown names.
+util::StatusOr<DatasetInfo> GetDatasetInfo(const std::string& name);
+
+/// Materializes the named dataset (deterministic). NotFound for unknown
+/// names. See DESIGN.md §3 for the substitution rationale per dataset.
+util::StatusOr<Graph> MakeDataset(const std::string& name);
+
+}  // namespace cegraph::graph
+
+#endif  // CEGRAPH_GRAPH_DATASETS_H_

@@ -1,0 +1,97 @@
+#include "graph/generators.h"
+
+#include <vector>
+
+namespace cegraph::graph {
+
+util::StatusOr<Graph> GenerateGraph(const GeneratorConfig& config) {
+  if (config.num_vertices == 0 || config.num_labels == 0) {
+    return util::InvalidArgumentError("empty vertex or label domain");
+  }
+  util::Rng rng(config.seed);
+  util::ZipfDistribution label_dist(config.num_labels, config.label_zipf_s);
+
+  // Vertex types drive label correlation.
+  std::vector<uint32_t> type(config.num_vertices);
+  const uint32_t num_types = std::max(1u, config.num_types);
+  for (auto& t : type) {
+    t = static_cast<uint32_t>(rng.Uniform(num_types));
+  }
+
+  // Preferential-attachment pool: every accepted edge feeds its endpoints
+  // back into the pool, so high-degree vertices keep attracting edges.
+  std::vector<VertexId> pool;
+  pool.reserve(2 * config.num_edges);
+
+  auto pick_vertex = [&]() -> VertexId {
+    if (!pool.empty() && rng.Bernoulli(config.preferential_p)) {
+      return pool[rng.Uniform(pool.size())];
+    }
+    return static_cast<VertexId>(rng.Uniform(config.num_vertices));
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(config.num_edges);
+  // Oversample: deduplication in Graph::Create may drop repeats.
+  const uint64_t attempts = config.num_edges + config.num_edges / 4 + 16;
+  for (uint64_t i = 0; i < attempts && edges.size() < config.num_edges; ++i) {
+    const VertexId src = pick_vertex();
+    const VertexId dst = pick_vertex();
+    if (src == dst) continue;
+    Label label;
+    if (config.random_labels) {
+      label = static_cast<Label>(rng.Uniform(config.num_labels));
+    } else {
+      // Rotate the skewed label distribution by the source's type so that
+      // vertices of the same type emit correlated label sets.
+      const uint64_t base = label_dist.Sample(rng);
+      const uint64_t stride =
+          std::max<uint64_t>(1, config.num_labels / num_types);
+      label = static_cast<Label>((base + type[src] * stride) %
+                                 config.num_labels);
+    }
+    edges.push_back({src, dst, label});
+    pool.push_back(src);
+    pool.push_back(dst);
+  }
+
+  // Entity types double as vertex labels, so generated datasets support
+  // the paper's vertex-label extension out of the box.
+  std::vector<VertexLabel> vertex_labels(type.begin(), type.end());
+  return Graph::Create(config.num_vertices, config.num_labels,
+                       std::move(edges), std::move(vertex_labels));
+}
+
+Graph MakeRunningExampleGraph() {
+  // Labels: A=0, B=1, C=2, D=3, E=4. A small graph in the spirit of the
+  // paper's Fig. 2: a chain of relations A -> B -> {C, D, E} with skewed
+  // fan-outs so that different CEG paths give different estimates.
+  constexpr Label kA = 0, kB = 1, kC = 2, kD = 3, kE = 4;
+  std::vector<Edge> edges = {
+      // A edges into the B-sources.
+      {0, 4, kA},
+      {1, 4, kA},
+      {2, 4, kA},
+      {3, 5, kA},
+      // B edges (2 of them, as in Table 1 of the paper).
+      {4, 6, kB},
+      {5, 7, kB},
+      // C edges out of B-destinations (3 B->C pairs overall).
+      {6, 8, kC},
+      {6, 9, kC},
+      {7, 8, kC},
+      // D edges out of B-destinations.
+      {6, 10, kD},
+      {7, 10, kD},
+      {7, 11, kD},
+      // E edges out of B-destinations; vertex 6 has E-out-degree 3.
+      {6, 12, kE},
+      {6, 13, kE},
+      {6, 14, kE},
+      {7, 12, kE},
+  };
+  auto g = Graph::Create(16, 5, std::move(edges));
+  return std::move(g).value();
+}
+
+}  // namespace cegraph::graph

@@ -1,0 +1,134 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace cegraph::graph {
+
+util::StatusOr<Graph> Graph::Create(uint32_t num_vertices, uint32_t num_labels,
+                                    std::vector<Edge> edges,
+                                    std::vector<VertexLabel> vertex_labels) {
+  if (!vertex_labels.empty() && vertex_labels.size() != num_vertices) {
+    return util::InvalidArgumentError("vertex label arity mismatch");
+  }
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return util::InvalidArgumentError("edge endpoint out of range");
+    }
+    if (e.label >= num_labels) {
+      return util::InvalidArgumentError("edge label out of range");
+    }
+  }
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.num_labels_ = num_labels;
+  g.vertex_labels_ = std::move(vertex_labels);
+  for (VertexLabel vl : g.vertex_labels_) {
+    g.num_vertex_labels_ = std::max(g.num_vertex_labels_, vl + 1);
+  }
+
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.label != b.label) return a.label < b.label;
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  g.edges_ = std::move(edges);
+
+  const uint64_t m = g.edges_.size();
+  g.rel_off_.assign(num_labels + 1, 0);
+  for (const Edge& e : g.edges_) ++g.rel_off_[e.label + 1];
+  for (uint32_t l = 0; l < num_labels; ++l) g.rel_off_[l + 1] += g.rel_off_[l];
+
+  g.rel_size_.assign(num_labels, 0);
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    g.rel_size_[l] = g.rel_off_[l + 1] - g.rel_off_[l];
+  }
+
+  // Forward CSR straight from the (label, src, dst) sort order.
+  g.fwd_dst_.resize(m);
+  g.fwd_off_.assign(num_labels, {});
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    auto& off = g.fwd_off_[l];
+    off.assign(num_vertices + 1, g.rel_off_[l]);
+    for (uint64_t i = g.rel_off_[l]; i < g.rel_off_[l + 1]; ++i) {
+      ++off[g.edges_[i].src + 1];
+    }
+    // off currently holds counts shifted by one, based at rel_off_[l].
+    for (uint32_t v = 0; v < num_vertices; ++v) {
+      off[v + 1] += off[v] - g.rel_off_[l];
+    }
+    for (uint64_t i = g.rel_off_[l]; i < g.rel_off_[l + 1]; ++i) {
+      g.fwd_dst_[i] = g.edges_[i].dst;
+    }
+  }
+
+  // Backward CSR: bucket edges by (label, dst), then fill sources in
+  // (dst, src) order.
+  std::vector<Edge> by_dst = g.edges_;
+  std::sort(by_dst.begin(), by_dst.end(), [](const Edge& a, const Edge& b) {
+    if (a.label != b.label) return a.label < b.label;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.src < b.src;
+  });
+  g.bwd_src_.resize(m);
+  g.bwd_off_.assign(num_labels, {});
+  {
+    uint64_t i = 0;
+    for (uint32_t l = 0; l < num_labels; ++l) {
+      auto& off = g.bwd_off_[l];
+      off.assign(num_vertices + 1, g.rel_off_[l]);
+      for (uint64_t j = g.rel_off_[l]; j < g.rel_off_[l + 1]; ++j) {
+        ++off[by_dst[j].dst + 1];
+      }
+      for (uint32_t v = 0; v < num_vertices; ++v) {
+        off[v + 1] += off[v] - g.rel_off_[l];
+      }
+      for (uint64_t j = g.rel_off_[l]; j < g.rel_off_[l + 1]; ++j, ++i) {
+        g.bwd_src_[j] = by_dst[j].src;
+      }
+    }
+  }
+
+  // Per-relation summary statistics.
+  g.max_out_degree_.assign(num_labels, 0);
+  g.max_in_degree_.assign(num_labels, 0);
+  g.distinct_src_.assign(num_labels, 0);
+  g.distinct_dst_.assign(num_labels, 0);
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    for (uint32_t v = 0; v < num_vertices; ++v) {
+      const uint32_t od =
+          static_cast<uint32_t>(g.fwd_off_[l][v + 1] - g.fwd_off_[l][v]);
+      const uint32_t id =
+          static_cast<uint32_t>(g.bwd_off_[l][v + 1] - g.bwd_off_[l][v]);
+      g.max_out_degree_[l] = std::max(g.max_out_degree_[l], od);
+      g.max_in_degree_[l] = std::max(g.max_in_degree_[l], id);
+      if (od > 0) ++g.distinct_src_[l];
+      if (id > 0) ++g.distinct_dst_[l];
+    }
+  }
+
+  return g;
+}
+
+std::span<const Edge> Graph::RelationEdges(Label l) const {
+  return {edges_.data() + rel_off_[l],
+          static_cast<size_t>(rel_off_[l + 1] - rel_off_[l])};
+}
+
+std::span<const VertexId> Graph::OutNeighbors(VertexId v, Label l) const {
+  const auto& off = fwd_off_[l];
+  return {fwd_dst_.data() + off[v], static_cast<size_t>(off[v + 1] - off[v])};
+}
+
+std::span<const VertexId> Graph::InNeighbors(VertexId v, Label l) const {
+  const auto& off = bwd_off_[l];
+  return {bwd_src_.data() + off[v], static_cast<size_t>(off[v + 1] - off[v])};
+}
+
+bool Graph::HasEdge(VertexId src, VertexId dst, Label l) const {
+  const auto nbrs = OutNeighbors(src, l);
+  return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+}
+
+}  // namespace cegraph::graph

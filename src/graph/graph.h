@@ -1,0 +1,135 @@
+#ifndef CEGRAPH_GRAPH_GRAPH_H_
+#define CEGRAPH_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cegraph::graph {
+
+/// Vertex identifier; vertices are dense integers [0, num_vertices).
+using VertexId = uint32_t;
+/// Edge-label identifier; labels are dense integers [0, num_labels).
+/// Each label corresponds to one binary relation R_l(src, dst), matching the
+/// paper's representation of a labeled graph as one table per edge label
+/// (Fig. 2).
+using Label = uint32_t;
+
+/// Vertex-label identifier. Vertex labels are optional (every vertex gets
+/// label 0 when none are supplied); the paper treats them as a
+/// straightforward extension of the Markov table (§6.1), which is exactly
+/// how this library realizes them: labeled patterns flow through the same
+/// lazy catalog.
+using VertexLabel = uint32_t;
+
+/// A directed labeled edge (one tuple of relation `label`).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Label label = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) = default;
+};
+
+/// An immutable edge-labeled directed graph with per-label forward and
+/// backward adjacency (CSR), the storage substrate for every estimator in
+/// this library.
+///
+/// Design notes:
+///  - Parallel edges with identical (src, dst, label) are deduplicated:
+///    a relation is a *set* of tuples.
+///  - Adjacency lists are sorted, enabling O(log d) membership tests and
+///    linear-time ordered intersections in the matcher.
+///  - Per-label summary statistics used by the estimators (relation size,
+///    max in/out degree, number of distinct sources/destinations) are
+///    precomputed at construction.
+class Graph {
+ public:
+  /// Builds a graph from an edge list. Fails with InvalidArgument if any
+  /// endpoint is >= num_vertices or any label is >= num_labels.
+  /// `vertex_labels` is optional: empty means "all vertices share label 0".
+  static util::StatusOr<Graph> Create(
+      uint32_t num_vertices, uint32_t num_labels, std::vector<Edge> edges,
+      std::vector<VertexLabel> vertex_labels = {});
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  uint32_t num_labels() const { return num_labels_; }
+  /// Total number of (deduplicated) edges across all labels.
+  uint64_t num_edges() const { return edges_.size(); }
+
+  /// All edges of relation `l`, sorted by (src, dst).
+  std::span<const Edge> RelationEdges(Label l) const;
+
+  /// |R_l|: the cardinality of relation `l`.
+  uint64_t RelationSize(Label l) const { return rel_size_[l]; }
+
+  /// Out-neighbors of `v` via label `l`, sorted ascending.
+  std::span<const VertexId> OutNeighbors(VertexId v, Label l) const;
+  /// In-neighbors of `v` via label `l`, sorted ascending.
+  std::span<const VertexId> InNeighbors(VertexId v, Label l) const;
+
+  uint32_t OutDegree(VertexId v, Label l) const {
+    return static_cast<uint32_t>(OutNeighbors(v, l).size());
+  }
+  uint32_t InDegree(VertexId v, Label l) const {
+    return static_cast<uint32_t>(InNeighbors(v, l).size());
+  }
+
+  /// True iff edge (src --l--> dst) exists. O(log out-degree).
+  bool HasEdge(VertexId src, VertexId dst, Label l) const;
+
+  /// deg(src, R_l): maximum out-degree of any vertex in relation `l`.
+  uint32_t MaxOutDegree(Label l) const { return max_out_degree_[l]; }
+  /// deg(dst, R_l): maximum in-degree of any vertex in relation `l`.
+  uint32_t MaxInDegree(Label l) const { return max_in_degree_[l]; }
+  /// |pi_src(R_l)|: number of distinct sources in relation `l`.
+  uint64_t NumDistinctSources(Label l) const { return distinct_src_[l]; }
+  /// |pi_dst(R_l)|: number of distinct destinations in relation `l`.
+  uint64_t NumDistinctDests(Label l) const { return distinct_dst_[l]; }
+
+  /// Returns a copy of all edges (used by partitioning / re-labeling views).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The label of vertex `v` (0 when the graph is vertex-unlabeled).
+  VertexLabel vertex_label(VertexId v) const {
+    return vertex_labels_.empty() ? 0 : vertex_labels_[v];
+  }
+  /// Number of distinct vertex-label values (>= 1).
+  uint32_t num_vertex_labels() const { return num_vertex_labels_; }
+
+ private:
+  Graph() = default;
+
+  uint32_t num_vertices_ = 0;
+  uint32_t num_labels_ = 0;
+
+  // Edges sorted by (label, src, dst); rel_off_[l]..rel_off_[l+1] delimits
+  // relation l.
+  std::vector<Edge> edges_;
+  std::vector<uint64_t> rel_off_;
+
+  // Forward CSR: for label l, fwd_off_[l][v]..fwd_off_[l][v+1] indexes into
+  // fwd_dst_ (global array aligned with edges_ order).
+  std::vector<std::vector<uint64_t>> fwd_off_;
+  std::vector<VertexId> fwd_dst_;
+
+  // Backward CSR, sorted by (label, dst, src).
+  std::vector<std::vector<uint64_t>> bwd_off_;
+  std::vector<VertexId> bwd_src_;
+
+  std::vector<VertexLabel> vertex_labels_;
+  uint32_t num_vertex_labels_ = 1;
+
+  std::vector<uint64_t> rel_size_;
+  std::vector<uint32_t> max_out_degree_;
+  std::vector<uint32_t> max_in_degree_;
+  std::vector<uint64_t> distinct_src_;
+  std::vector<uint64_t> distinct_dst_;
+};
+
+}  // namespace cegraph::graph
+
+#endif  // CEGRAPH_GRAPH_GRAPH_H_

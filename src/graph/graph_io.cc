@@ -1,0 +1,91 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace cegraph::graph {
+
+util::Status WriteGraphText(const Graph& g, std::ostream& os) {
+  os << "# cegraph edge list: num_vertices num_labels, then optional\n"
+     << "# 'v vertex vertex_label' lines, then src dst label\n";
+  os << g.num_vertices() << " " << g.num_labels() << "\n";
+  if (g.num_vertex_labels() > 1) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (g.vertex_label(v) != 0) {
+        os << "v " << v << " " << g.vertex_label(v) << "\n";
+      }
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    os << e.src << " " << e.dst << " " << e.label << "\n";
+  }
+  if (!os) return util::InternalError("write failed");
+  return util::Status::OK();
+}
+
+util::StatusOr<Graph> ReadGraphText(std::istream& is) {
+  std::string line;
+  bool have_header = false;
+  uint64_t num_vertices = 0, num_labels = 0;
+  std::vector<Edge> edges;
+  std::vector<VertexLabel> vertex_labels;
+  size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    if (have_header && line[start] == 'v') {
+      std::istringstream vfields(line.substr(start + 1));
+      uint64_t vertex, vlabel;
+      if (!(vfields >> vertex >> vlabel) || vertex >= num_vertices) {
+        return util::InvalidArgumentError(
+            "malformed vertex-label line " + std::to_string(line_number));
+      }
+      if (vertex_labels.empty()) {
+        vertex_labels.assign(static_cast<size_t>(num_vertices), 0);
+      }
+      vertex_labels[vertex] = static_cast<VertexLabel>(vlabel);
+      continue;
+    }
+    std::istringstream fields(line);
+    if (!have_header) {
+      if (!(fields >> num_vertices >> num_labels)) {
+        return util::InvalidArgumentError(
+            "malformed header at line " + std::to_string(line_number));
+      }
+      if (num_vertices > 0xFFFFFFFFull || num_labels > 0xFFFFFFFFull) {
+        return util::InvalidArgumentError("header out of range");
+      }
+      have_header = true;
+      continue;
+    }
+    uint64_t src, dst, label;
+    if (!(fields >> src >> dst >> label)) {
+      return util::InvalidArgumentError(
+          "malformed edge at line " + std::to_string(line_number));
+    }
+    edges.push_back({static_cast<VertexId>(src), static_cast<VertexId>(dst),
+                     static_cast<Label>(label)});
+  }
+  if (!have_header) {
+    return util::InvalidArgumentError("missing header line");
+  }
+  return Graph::Create(static_cast<uint32_t>(num_vertices),
+                       static_cast<uint32_t>(num_labels), std::move(edges),
+                       std::move(vertex_labels));
+}
+
+util::Status SaveGraph(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return util::NotFoundError("cannot open for writing: " + path);
+  return WriteGraphText(g, os);
+}
+
+util::StatusOr<Graph> LoadGraph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return util::NotFoundError("cannot open: " + path);
+  return ReadGraphText(is);
+}
+
+}  // namespace cegraph::graph

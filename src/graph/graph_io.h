@@ -1,0 +1,32 @@
+#ifndef CEGRAPH_GRAPH_GRAPH_IO_H_
+#define CEGRAPH_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace cegraph::graph {
+
+/// Text edge-list serialization, one edge per line:
+///
+///   # comment lines and blank lines are ignored
+///   <num_vertices> <num_labels>        (header, first data line)
+///   v <vertex> <vertex_label>          (optional vertex-label lines)
+///   <src> <dst> <label>                (one per edge)
+///
+/// This is the interchange format of the `cegraph_estimate` CLI and of
+/// users bringing their own graphs (the same shape as the G-CARE
+/// benchmark's edge lists). Vertex-label lines may be omitted entirely
+/// for vertex-unlabeled graphs.
+util::Status WriteGraphText(const Graph& g, std::ostream& os);
+util::StatusOr<Graph> ReadGraphText(std::istream& is);
+
+/// File convenience wrappers.
+util::Status SaveGraph(const Graph& g, const std::string& path);
+util::StatusOr<Graph> LoadGraph(const std::string& path);
+
+}  // namespace cegraph::graph
+
+#endif  // CEGRAPH_GRAPH_GRAPH_IO_H_

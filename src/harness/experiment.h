@@ -1,0 +1,63 @@
+#ifndef CEGRAPH_HARNESS_EXPERIMENT_H_
+#define CEGRAPH_HARNESS_EXPERIMENT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "estimators/estimator.h"
+#include "estimators/optimistic.h"
+#include "query/workload.h"
+#include "stats/cycle_closing.h"
+#include "stats/markov_table.h"
+#include "util/box_stats.h"
+
+namespace cegraph::harness {
+
+/// The accuracy distribution of one estimator over a workload, in the
+/// paper's reporting format (box statistics of signed log10 q-errors plus
+/// the 10%-trimmed mean).
+struct EstimatorReport {
+  std::string name;
+  util::BoxStats signed_log_qerror;
+  size_t failures = 0;       ///< queries where the estimator erred out
+  double total_seconds = 0;  ///< summed estimation time
+  double mean_millis() const {
+    return signed_log_qerror.count == 0
+               ? 0
+               : 1000.0 * total_seconds /
+                     static_cast<double>(signed_log_qerror.count);
+  }
+};
+
+struct SuiteResult {
+  std::vector<EstimatorReport> reports;
+  size_t queries_used = 0;
+  size_t queries_dropped = 0;  ///< dropped because some estimator failed
+};
+
+/// Runs every estimator over the workload. When `drop_on_any_failure` is
+/// set (the paper's convention for SumRDF timeouts), a query on which any
+/// estimator fails is removed from *all* distributions.
+SuiteResult RunEstimatorSuite(
+    const std::vector<const CardinalityEstimator*>& estimators,
+    const std::vector<query::WorkloadQuery>& workload,
+    bool drop_on_any_failure = true);
+
+/// Runs the 9 optimistic estimators of §4.2 plus the P* oracle over one
+/// CEG kind, building each query's CEG exactly once. Reports come back in
+/// the paper's order (min/avg/max aggregator within max/min/all hops),
+/// with P* last.
+SuiteResult RunOptimisticSuite(const stats::MarkovTable& markov,
+                               const stats::CycleClosingRates* rates,
+                               OptimisticCeg kind,
+                               const std::vector<query::WorkloadQuery>& workload,
+                               size_t pstar_max_paths = 200'000);
+
+/// Prints a suite as an aligned table (one row per estimator).
+void PrintSuiteResult(std::ostream& os, const std::string& title,
+                      const SuiteResult& result);
+
+}  // namespace cegraph::harness
+
+#endif  // CEGRAPH_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,21 @@
+#include "harness/qerror.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cegraph::harness {
+
+double QError(double estimate, double truth) {
+  if (truth <= 0) return std::numeric_limits<double>::quiet_NaN();
+  if (estimate <= 0) return std::numeric_limits<double>::infinity();
+  return std::max(truth / estimate, estimate / truth);
+}
+
+double SignedLogQError(double estimate, double truth) {
+  const double q = QError(estimate, truth);
+  const double magnitude = std::log10(q);
+  return estimate < truth ? -magnitude : magnitude;
+}
+
+}  // namespace cegraph::harness

@@ -1,0 +1,18 @@
+#ifndef CEGRAPH_HARNESS_QERROR_H_
+#define CEGRAPH_HARNESS_QERROR_H_
+
+namespace cegraph::harness {
+
+/// The q-error of an estimate (§6.2): max{c/e, e/c} >= 1. An estimate of
+/// 0 for a non-empty query yields +infinity.
+double QError(double estimate, double truth);
+
+/// The paper's box-plot metric: log10 of the q-error, negated for
+/// underestimates ("if a q-error was an underestimate, we put a negative
+/// sign to it"), so distributions order from worst underestimation to
+/// worst overestimation and 0 is a perfect estimate.
+double SignedLogQError(double estimate, double truth);
+
+}  // namespace cegraph::harness
+
+#endif  // CEGRAPH_HARNESS_QERROR_H_

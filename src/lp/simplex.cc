@@ -1,0 +1,195 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cegraph::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Columns: structural vars, slack vars, artificial
+/// vars, RHS. Row 0 is the objective (maximization, stored as z-row).
+class Tableau {
+ public:
+  Tableau(const LpProblem& p) {
+    m_ = p.rows.size();
+    n_ = p.num_vars;
+    // Count artificials: one per negative-RHS row.
+    for (double b : p.rhs) {
+      if (b < -kEps) ++num_artificial_;
+    }
+    cols_ = n_ + m_ + num_artificial_ + 1;  // + RHS
+    a_.assign(m_ + 1, std::vector<double>(cols_, 0.0));
+    basis_.assign(m_, 0);
+
+    size_t art = 0;
+    for (size_t i = 0; i < m_; ++i) {
+      double sign = 1.0;
+      if (p.rhs[i] < -kEps) sign = -1.0;  // flip row so RHS >= 0
+      for (size_t j = 0; j < n_; ++j) a_[i + 1][j] = sign * p.rows[i][j];
+      a_[i + 1][n_ + i] = sign;  // slack (negative slack if flipped)
+      a_[i + 1][cols_ - 1] = sign * p.rhs[i];
+      if (sign < 0) {
+        a_[i + 1][n_ + m_ + art] = 1.0;  // artificial
+        basis_[i] = n_ + m_ + art;
+        ++art;
+      } else {
+        basis_[i] = n_ + i;
+      }
+    }
+    objective_ = p.objective;
+  }
+
+  LpSolution Solve() {
+    LpSolution out;
+    if (num_artificial_ > 0) {
+      // Phase 1: minimize the sum of artificials == maximize -(sum).
+      for (size_t j = 0; j < cols_; ++j) a_[0][j] = 0.0;
+      for (size_t j = n_ + m_; j < n_ + m_ + num_artificial_; ++j) {
+        a_[0][j] = -1.0;
+      }
+      PriceOutBasis();
+      if (!Iterate()) {
+        out.status = LpStatus::kUnbounded;  // cannot happen in phase 1
+        return out;
+      }
+      // With the z-row storing +c (phase-1 c = -1 on artificials), the
+      // z-row RHS equals the *negated* objective, i.e. +sum(artificials).
+      if (a_[0][cols_ - 1] > kEps) {
+        out.status = LpStatus::kInfeasible;
+        return out;
+      }
+      // Drive out any artificial still in the basis (degenerate).
+      for (size_t i = 0; i < m_; ++i) {
+        if (basis_[i] < n_ + m_) continue;
+        bool pivoted = false;
+        for (size_t j = 0; j < n_ + m_ && !pivoted; ++j) {
+          if (std::fabs(a_[i + 1][j]) > kEps) {
+            Pivot(i, j);
+            pivoted = true;
+          }
+        }
+        // If the row is all-zero over structural+slack columns the
+        // constraint is redundant; leave it.
+      }
+    }
+
+    // Phase 2.
+    for (size_t j = 0; j < cols_; ++j) a_[0][j] = 0.0;
+    for (size_t j = 0; j < n_; ++j) a_[0][j] = objective_[j];
+    // Forbid artificials from re-entering.
+    for (size_t j = n_ + m_; j < n_ + m_ + num_artificial_; ++j) {
+      a_[0][j] = -1e30;
+    }
+    PriceOutBasis();
+    if (!Iterate()) {
+      out.status = LpStatus::kUnbounded;
+      return out;
+    }
+    out.status = LpStatus::kOptimal;
+    // The z-row RHS accumulates the negated objective value.
+    out.objective = -a_[0][cols_ - 1];
+    out.x.assign(n_, 0.0);
+    for (size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) out.x[basis_[i]] = a_[i + 1][cols_ - 1];
+    }
+    return out;
+  }
+
+ private:
+  /// Makes the z-row consistent with the current basis (reduced costs of
+  /// basic variables must be zero).
+  void PriceOutBasis() {
+    for (size_t i = 0; i < m_; ++i) {
+      const double coeff = a_[0][basis_[i]];
+      if (std::fabs(coeff) <= kEps) continue;
+      for (size_t j = 0; j < cols_; ++j) {
+        a_[0][j] -= coeff * a_[i + 1][j];
+      }
+    }
+  }
+
+  /// Runs primal simplex with Bland's rule. Returns false on unboundedness.
+  bool Iterate() {
+    for (;;) {
+      // Entering column: smallest index with positive reduced cost.
+      size_t enter = cols_;
+      for (size_t j = 0; j + 1 < cols_; ++j) {
+        if (a_[0][j] > kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == cols_) return true;  // optimal
+      // Leaving row: min ratio, ties by smallest basis index (Bland).
+      size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < m_; ++i) {
+        if (a_[i + 1][enter] <= kEps) continue;
+        const double ratio = a_[i + 1][cols_ - 1] / a_[i + 1][enter];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave == m_ || basis_[i] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+      if (leave == m_) return false;  // unbounded
+      Pivot(leave, enter);
+    }
+  }
+
+  void Pivot(size_t row, size_t col) {
+    const double pivot = a_[row + 1][col];
+    for (size_t j = 0; j < cols_; ++j) a_[row + 1][j] /= pivot;
+    for (size_t i = 0; i <= m_; ++i) {
+      if (i == row + 1) continue;
+      const double factor = a_[i][col];
+      if (std::fabs(factor) <= kEps) continue;
+      for (size_t j = 0; j < cols_; ++j) {
+        a_[i][j] -= factor * a_[row + 1][j];
+      }
+    }
+    basis_[row] = col;
+  }
+
+  size_t m_ = 0, n_ = 0, cols_ = 0, num_artificial_ = 0;
+  std::vector<std::vector<double>> a_;
+  std::vector<size_t> basis_;
+  std::vector<double> objective_;
+};
+
+}  // namespace
+
+void LpProblem::AddLe(std::vector<double> coeffs, double bound) {
+  coeffs.resize(num_vars, 0.0);
+  rows.push_back(std::move(coeffs));
+  rhs.push_back(bound);
+}
+
+void LpProblem::AddGe(std::vector<double> coeffs, double bound) {
+  coeffs.resize(num_vars, 0.0);
+  for (double& c : coeffs) c = -c;
+  rows.push_back(std::move(coeffs));
+  rhs.push_back(-bound);
+}
+
+util::StatusOr<LpSolution> SolveLp(const LpProblem& problem) {
+  if (problem.objective.size() != problem.num_vars) {
+    return util::InvalidArgumentError("objective size mismatch");
+  }
+  for (const auto& row : problem.rows) {
+    if (row.size() != problem.num_vars) {
+      return util::InvalidArgumentError("constraint row size mismatch");
+    }
+  }
+  if (problem.rows.size() != problem.rhs.size()) {
+    return util::InvalidArgumentError("rhs size mismatch");
+  }
+  Tableau tableau(problem);
+  return tableau.Solve();
+}
+
+}  // namespace cegraph::lp

@@ -1,0 +1,42 @@
+#ifndef CEGRAPH_LP_SIMPLEX_H_
+#define CEGRAPH_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace cegraph::lp {
+
+/// A linear program in standard inequality form:
+///     maximize    c . x
+///     subject to  A x <= b,   x >= 0.
+/// Constraints with negative b are allowed (two-phase simplex). Callers
+/// encode ">=" rows by negation and equalities as inequality pairs.
+struct LpProblem {
+  size_t num_vars = 0;
+  std::vector<double> objective;            ///< c, size num_vars
+  std::vector<std::vector<double>> rows;    ///< A, each row size num_vars
+  std::vector<double> rhs;                  ///< b, size rows.size()
+
+  /// Appends the constraint `coeffs . x <= bound`.
+  void AddLe(std::vector<double> coeffs, double bound);
+  /// Appends `coeffs . x >= bound` (stored negated).
+  void AddGe(std::vector<double> coeffs, double bound);
+};
+
+enum class LpStatus { kOptimal, kUnbounded, kInfeasible };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> x;
+};
+
+/// Solves `problem` with a dense two-phase primal simplex using Bland's
+/// rule (no cycling). Suitable for the small LPs of this library (MOLP has
+/// 2^|A| variables with |A| <= 10; DBPLP and AGM are smaller still).
+util::StatusOr<LpSolution> SolveLp(const LpProblem& problem);
+
+}  // namespace cegraph::lp
+
+#endif  // CEGRAPH_LP_SIMPLEX_H_

@@ -1,0 +1,533 @@
+#include "matching/matcher.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace cegraph::matching {
+
+namespace {
+
+using graph::Graph;
+using graph::Label;
+using graph::VertexId;
+using query::EdgeSet;
+using query::QueryEdge;
+using query::QueryGraph;
+using query::QVertex;
+
+/// A pendant-tree peel step: `removed` had exactly one incident live edge
+/// `edge_index`, anchored at `anchor`.
+struct PeelStep {
+  uint32_t edge_index;
+  QVertex removed;
+  QVertex anchor;
+};
+
+/// Peels degree-1 query vertices (never via self-loops) until only the
+/// 2-core remains. Returns the peel sequence in removal order; `core_edges`
+/// receives the surviving edges.
+std::vector<PeelStep> PeelPendantTrees(const QueryGraph& q,
+                                       EdgeSet* core_edges) {
+  const uint32_t m = q.num_edges();
+  std::vector<bool> edge_live(m, true);
+  std::vector<int> degree(q.num_vertices(), 0);
+  for (uint32_t i = 0; i < m; ++i) {
+    const QueryEdge& e = q.edge(i);
+    if (e.src == e.dst) continue;  // self-loops stay in the core
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  std::vector<PeelStep> steps;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (QVertex v = 0; v < q.num_vertices(); ++v) {
+      if (degree[v] != 1) continue;
+      // Find the single live non-self-loop edge at v.
+      for (uint32_t ei : q.IncidentEdges(v)) {
+        if (!edge_live[ei]) continue;
+        const QueryEdge& e = q.edge(ei);
+        if (e.src == e.dst) continue;
+        const QVertex other = e.src == v ? e.dst : e.src;
+        edge_live[ei] = false;
+        --degree[v];
+        --degree[other];
+        steps.push_back({ei, v, other});
+        progressed = true;
+        break;
+      }
+    }
+  }
+  EdgeSet core = 0;
+  for (uint32_t i = 0; i < m; ++i) {
+    if (edge_live[i]) core |= EdgeSet{1} << i;
+  }
+  *core_edges = core;
+  return steps;
+}
+
+/// Per-query-vertex weight vectors for the pendant-tree DP. A vertex with no
+/// accumulated weight is implicitly all-ones.
+class WeightTable {
+ public:
+  WeightTable(uint32_t num_qvertices, uint32_t num_vertices)
+      : num_vertices_(num_vertices), weights_(num_qvertices) {}
+
+  bool HasWeights(QVertex u) const { return !weights_[u].empty(); }
+
+  double Get(QVertex u, VertexId v) const {
+    return weights_[u].empty() ? 1.0 : weights_[u][v];
+  }
+
+  std::vector<double>& Mutable(QVertex u) {
+    if (weights_[u].empty()) weights_[u].assign(num_vertices_, 1.0);
+    return weights_[u];
+  }
+
+ private:
+  uint32_t num_vertices_;
+  std::vector<std::vector<double>> weights_;
+};
+
+/// Folds one peel step into the anchor's weight vector:
+///   w_anchor[v] *= sum over data-neighbors u of v (via the peeled edge)
+///                  of w_removed[u].
+void ApplyPeelStep(const Graph& g, const QueryGraph& q, const PeelStep& step,
+                   WeightTable& weights) {
+  const QueryEdge& e = q.edge(step.edge_index);
+  const bool removed_is_src = (e.src == step.removed);
+  std::vector<double>& anchor_w = weights.Mutable(step.anchor);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (anchor_w[v] == 0.0) continue;
+    double sum = 0;
+    // If the removed vertex is the edge source, the anchor plays the
+    // destination role, so its data-candidates' neighbors come via
+    // InNeighbors; symmetrically otherwise.
+    const auto nbrs = removed_is_src ? g.InNeighbors(v, e.label)
+                                     : g.OutNeighbors(v, e.label);
+    for (VertexId u : nbrs) sum += weights.Get(step.removed, u);
+    anchor_w[v] *= sum;
+  }
+}
+
+/// Backtracking search over the core edges. Employed only for cyclic
+/// queries; pendant weights are folded in at the leaves.
+class CoreSearch {
+ public:
+  CoreSearch(const Graph& g, const QueryGraph& q, EdgeSet core,
+             const WeightTable& weights, const MatchOptions& options)
+      : g_(g), q_(q), weights_(weights), options_(options) {
+    for (uint32_t i = 0; i < q.num_edges(); ++i) {
+      if (core & (EdgeSet{1} << i)) core_edges_.push_back(i);
+    }
+    assignment_.assign(q.num_vertices(), kUnassigned);
+    PlanOrder();
+  }
+
+  util::StatusOr<double> Run() {
+    count_ = 0;
+    steps_ = 0;
+    const util::Status status = Search(0, 1.0);
+    if (!status.ok()) return status;
+    return count_;
+  }
+
+ private:
+  static constexpr VertexId kUnassigned = 0xFFFFFFFF;
+
+  struct PlanStep {
+    uint32_t edge_index;
+    // The vertex newly bound by this step, or kNoNewVertex if both
+    // endpoints are already bound (a pure "check" edge closing a cycle).
+    QVertex new_vertex;
+    bool new_is_src;
+  };
+  static constexpr QVertex kNoNewVertex = 0xFFFFFFFF;
+
+  /// Greedy matching order: start from the smallest relation; repeatedly
+  /// prefer check edges (free pruning), otherwise extend via the edge whose
+  /// relation has the smallest maximum fan-out.
+  void PlanOrder() {
+    std::vector<bool> used(core_edges_.size(), false);
+    uint32_t bound_mask = 0;  // query-vertex bitmask
+
+    // Seed: smallest relation among core edges.
+    size_t seed = 0;
+    for (size_t i = 1; i < core_edges_.size(); ++i) {
+      if (g_.RelationSize(q_.edge(core_edges_[i]).label) <
+          g_.RelationSize(q_.edge(core_edges_[seed]).label)) {
+        seed = i;
+      }
+    }
+    const QueryEdge& se = q_.edge(core_edges_[seed]);
+    plan_.push_back({core_edges_[seed], kNoNewVertex, false});  // seed scan
+    bound_mask |= (1u << se.src) | (1u << se.dst);
+    used[seed] = true;
+
+    while (plan_.size() < core_edges_.size() + 0 &&
+           std::count(used.begin(), used.end(), true) <
+               static_cast<long>(core_edges_.size())) {
+      // First, take any check edges.
+      bool added = false;
+      for (size_t i = 0; i < core_edges_.size(); ++i) {
+        if (used[i]) continue;
+        const QueryEdge& e = q_.edge(core_edges_[i]);
+        const bool src_bound = bound_mask & (1u << e.src);
+        const bool dst_bound = bound_mask & (1u << e.dst);
+        if (src_bound && dst_bound) {
+          plan_.push_back({core_edges_[i], kNoNewVertex, false});
+          used[i] = true;
+          added = true;
+        }
+      }
+      if (added) continue;
+      // Otherwise extend: pick the connected edge with the smallest
+      // worst-case fan-out.
+      size_t best = core_edges_.size();
+      uint64_t best_fanout = UINT64_MAX;
+      for (size_t i = 0; i < core_edges_.size(); ++i) {
+        if (used[i]) continue;
+        const QueryEdge& e = q_.edge(core_edges_[i]);
+        const bool src_bound = bound_mask & (1u << e.src);
+        const bool dst_bound = bound_mask & (1u << e.dst);
+        if (!src_bound && !dst_bound) continue;
+        const uint64_t fanout = src_bound ? g_.MaxOutDegree(e.label)
+                                          : g_.MaxInDegree(e.label);
+        if (fanout < best_fanout) {
+          best_fanout = fanout;
+          best = i;
+        }
+      }
+      if (best == core_edges_.size()) break;  // disconnected core: caller
+                                              // guarantees connectivity
+      const QueryEdge& e = q_.edge(core_edges_[best]);
+      const bool src_bound = bound_mask & (1u << e.src);
+      const QVertex nv = src_bound ? e.dst : e.src;
+      plan_.push_back({core_edges_[best], nv, !src_bound});
+      bound_mask |= 1u << nv;
+      used[best] = true;
+    }
+
+    // Record which query vertices carry pendant weights, applied when bound.
+  }
+
+  util::Status Search(size_t depth, double weight_product) {
+    if (depth == plan_.size()) {
+      count_ += weight_product;
+      if (count_ > options_.max_count) {
+        return util::OutOfRangeError("count exceeds max_count");
+      }
+      return util::Status::OK();
+    }
+    const PlanStep& step = plan_[depth];
+    const QueryEdge& e = q_.edge(step.edge_index);
+
+    if (depth == 0) {
+      // Seed scan over the whole relation.
+      for (const graph::Edge& de : g_.RelationEdges(e.label)) {
+        if (++steps_ > options_.step_budget) {
+          return util::ResourceExhaustedError("matcher step budget exceeded");
+        }
+        if (e.src == e.dst && de.src != de.dst) continue;
+        assignment_[e.src] = de.src;
+        assignment_[e.dst] = de.dst;
+        double w = weight_product * weights_.Get(e.src, de.src);
+        if (e.dst != e.src) w *= weights_.Get(e.dst, de.dst);
+        if (w != 0.0) {
+          CEGRAPH_RETURN_IF_ERROR(Search(depth + 1, w));
+        }
+        assignment_[e.src] = kUnassigned;
+        assignment_[e.dst] = kUnassigned;
+      }
+      return util::Status::OK();
+    }
+
+    if (step.new_vertex == kNoNewVertex) {
+      // Check edge: both endpoints bound.
+      if (++steps_ > options_.step_budget) {
+        return util::ResourceExhaustedError("matcher step budget exceeded");
+      }
+      if (!g_.HasEdge(assignment_[e.src], assignment_[e.dst], e.label)) {
+        return util::Status::OK();
+      }
+      return Search(depth + 1, weight_product);
+    }
+
+    // Extension edge.
+    const QVertex nv = step.new_vertex;
+    const VertexId anchor =
+        step.new_is_src ? assignment_[e.dst] : assignment_[e.src];
+    const auto candidates = step.new_is_src
+                                ? g_.InNeighbors(anchor, e.label)
+                                : g_.OutNeighbors(anchor, e.label);
+    for (VertexId cand : candidates) {
+      if (++steps_ > options_.step_budget) {
+        return util::ResourceExhaustedError("matcher step budget exceeded");
+      }
+      const double w = weight_product * weights_.Get(nv, cand);
+      if (w == 0.0) continue;
+      assignment_[nv] = cand;
+      CEGRAPH_RETURN_IF_ERROR(Search(depth + 1, w));
+      assignment_[nv] = kUnassigned;
+    }
+    return util::Status::OK();
+  }
+
+  const Graph& g_;
+  const QueryGraph& q_;
+  const WeightTable& weights_;
+  const MatchOptions& options_;
+  std::vector<uint32_t> core_edges_;
+  std::vector<PlanStep> plan_;
+  std::vector<VertexId> assignment_;
+  double count_ = 0;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<double> Matcher::Count(const query::QueryGraph& q,
+                                      const MatchOptions& options) const {
+  if (q.num_edges() == 0) {
+    return util::InvalidArgumentError("empty query");
+  }
+  if (!q.IsConnected()) {
+    return util::InvalidArgumentError("query must be connected");
+  }
+
+  EdgeSet core = 0;
+  const std::vector<PeelStep> peel = PeelPendantTrees(q, &core);
+  WeightTable weights(q.num_vertices(), g_.num_vertices());
+  // Vertex-label constraints enter as 0/1 masks on the weight vectors;
+  // the tree DP and the core search both consume weights exactly once per
+  // binding, so masking here enforces the constraint everywhere.
+  if (q.has_vertex_constraints()) {
+    for (QVertex u = 0; u < q.num_vertices(); ++u) {
+      const graph::VertexLabel need = q.vertex_constraint(u);
+      if (need == QueryGraph::kAnyVertexLabel) continue;
+      std::vector<double>& w = weights.Mutable(u);
+      for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+        if (g_.vertex_label(v) != need) w[v] = 0.0;
+      }
+    }
+  }
+  for (const PeelStep& step : peel) {
+    ApplyPeelStep(g_, q, step, weights);
+  }
+
+  if (core == 0) {
+    // Pure tree: the final anchor vertex holds the full product.
+    const QVertex root = peel.back().anchor;
+    double total = 0;
+    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+      total += weights.Get(root, v);
+      if (total > options.max_count) {
+        return util::OutOfRangeError("count exceeds max_count");
+      }
+    }
+    return total;
+  }
+
+  CoreSearch search(g_, q, core, weights, options);
+  return search.Run();
+}
+
+util::Status Matcher::Enumerate(
+    const query::QueryGraph& q, const MatchOptions& options,
+    const std::function<bool(const std::vector<graph::VertexId>&)>& callback)
+    const {
+  if (q.num_edges() == 0 || !q.IsConnected()) {
+    return util::InvalidArgumentError("query must be non-empty and connected");
+  }
+  // Simple backtracking over all edges in a connected order (no DP; callers
+  // use this for small patterns only).
+  std::vector<uint32_t> order;
+  std::vector<bool> used(q.num_edges(), false);
+  uint32_t bound_mask = 0;
+  order.push_back(0);
+  used[0] = true;
+  bound_mask |= (1u << q.edge(0).src) | (1u << q.edge(0).dst);
+  while (order.size() < q.num_edges()) {
+    for (uint32_t i = 0; i < q.num_edges(); ++i) {
+      if (used[i]) continue;
+      const QueryEdge& e = q.edge(i);
+      if ((bound_mask & (1u << e.src)) || (bound_mask & (1u << e.dst))) {
+        order.push_back(i);
+        used[i] = true;
+        bound_mask |= (1u << e.src) | (1u << e.dst);
+        break;
+      }
+    }
+  }
+
+  std::vector<VertexId> assignment(q.num_vertices(), 0xFFFFFFFF);
+  uint64_t steps = 0;
+  auto satisfies = [&](QVertex u, VertexId v) {
+    const graph::VertexLabel need = q.vertex_constraint(u);
+    return need == QueryGraph::kAnyVertexLabel ||
+           g_.vertex_label(v) == need;
+  };
+  // Recursive lambda over the edge order.
+  std::function<util::Status(size_t)> rec =
+      [&](size_t depth) -> util::Status {
+    if (depth == order.size()) {
+      if (!callback(assignment)) {
+        return util::OutOfRangeError("enumeration stopped by callback");
+      }
+      return util::Status::OK();
+    }
+    const QueryEdge& e = q.edge(order[depth]);
+    const bool src_bound = assignment[e.src] != 0xFFFFFFFF;
+    const bool dst_bound = assignment[e.dst] != 0xFFFFFFFF;
+    if (++steps > options.step_budget) {
+      return util::ResourceExhaustedError("enumeration step budget exceeded");
+    }
+    if (src_bound && dst_bound) {
+      if (!g_.HasEdge(assignment[e.src], assignment[e.dst], e.label)) {
+        return util::Status::OK();
+      }
+      return rec(depth + 1);
+    }
+    if (!src_bound && !dst_bound) {
+      for (const graph::Edge& de : g_.RelationEdges(e.label)) {
+        if (++steps > options.step_budget) {
+          return util::ResourceExhaustedError(
+              "enumeration step budget exceeded");
+        }
+        if (e.src == e.dst && de.src != de.dst) continue;
+        if (!satisfies(e.src, de.src) || !satisfies(e.dst, de.dst)) continue;
+        assignment[e.src] = de.src;
+        assignment[e.dst] = de.dst;
+        CEGRAPH_RETURN_IF_ERROR(rec(depth + 1));
+        assignment[e.src] = 0xFFFFFFFF;
+        assignment[e.dst] = 0xFFFFFFFF;
+      }
+      return util::Status::OK();
+    }
+    const QVertex nv = src_bound ? e.dst : e.src;
+    const VertexId anchor = src_bound ? assignment[e.src] : assignment[e.dst];
+    const auto candidates = src_bound ? g_.OutNeighbors(anchor, e.label)
+                                      : g_.InNeighbors(anchor, e.label);
+    for (VertexId cand : candidates) {
+      if (++steps > options.step_budget) {
+        return util::ResourceExhaustedError(
+            "enumeration step budget exceeded");
+      }
+      if (!satisfies(nv, cand)) continue;
+      assignment[nv] = cand;
+      CEGRAPH_RETURN_IF_ERROR(rec(depth + 1));
+      assignment[nv] = 0xFFFFFFFF;
+    }
+    return util::Status::OK();
+  };
+
+  util::Status status = rec(0);
+  if (!status.ok() && status.code() == util::StatusCode::kOutOfRange) {
+    return util::Status::OK();  // clean early stop requested by callback
+  }
+  return status;
+}
+
+util::StatusOr<std::vector<graph::Label>> Matcher::SampleShapeEmbedding(
+    const query::QueryGraph& shape, util::Rng& rng, int max_restarts,
+    std::vector<graph::VertexId>* assignment_out) const {
+  if (shape.num_edges() == 0 || !shape.IsConnected()) {
+    return util::InvalidArgumentError("shape must be non-empty and connected");
+  }
+  if (g_.num_edges() == 0) {
+    return util::NotFoundError("graph has no edges");
+  }
+
+  // Connected edge order starting from edge 0.
+  std::vector<uint32_t> order;
+  {
+    std::vector<bool> used(shape.num_edges(), false);
+    uint32_t bound_mask = 0;
+    order.push_back(0);
+    used[0] = true;
+    bound_mask |= (1u << shape.edge(0).src) | (1u << shape.edge(0).dst);
+    while (order.size() < shape.num_edges()) {
+      for (uint32_t i = 0; i < shape.num_edges(); ++i) {
+        if (used[i]) continue;
+        const QueryEdge& e = shape.edge(i);
+        if ((bound_mask & (1u << e.src)) || (bound_mask & (1u << e.dst))) {
+          order.push_back(i);
+          used[i] = true;
+          bound_mask |= (1u << e.src) | (1u << e.dst);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<VertexId> assignment;
+  std::vector<graph::Label> labels(shape.num_edges(), 0);
+
+  // Any-label adjacency collector.
+  std::vector<std::pair<VertexId, graph::Label>> cands;
+  auto collect = [&](VertexId v, bool outgoing) {
+    cands.clear();
+    for (graph::Label l = 0; l < g_.num_labels(); ++l) {
+      const auto nbrs = outgoing ? g_.OutNeighbors(v, l)
+                                 : g_.InNeighbors(v, l);
+      for (VertexId u : nbrs) cands.emplace_back(u, l);
+    }
+  };
+
+  for (int attempt = 0; attempt < max_restarts; ++attempt) {
+    assignment.assign(shape.num_vertices(), 0xFFFFFFFF);
+    bool ok = true;
+    for (size_t step = 0; step < order.size() && ok; ++step) {
+      const QueryEdge& e = shape.edge(order[step]);
+      const bool src_bound = assignment[e.src] != 0xFFFFFFFF;
+      const bool dst_bound = assignment[e.dst] != 0xFFFFFFFF;
+      if (!src_bound && !dst_bound) {
+        const graph::Edge& de =
+            g_.edges()[rng.Uniform(g_.num_edges())];
+        if (e.src == e.dst && de.src != de.dst) {
+          ok = false;
+          break;
+        }
+        assignment[e.src] = de.src;
+        assignment[e.dst] = de.dst;
+        labels[order[step]] = de.label;
+        continue;
+      }
+      if (src_bound && dst_bound) {
+        // Need any edge between the bound endpoints; pick a random label
+        // among those present.
+        std::vector<graph::Label> present;
+        for (graph::Label l = 0; l < g_.num_labels(); ++l) {
+          if (g_.HasEdge(assignment[e.src], assignment[e.dst], l)) {
+            present.push_back(l);
+          }
+        }
+        if (present.empty()) {
+          ok = false;
+          break;
+        }
+        labels[order[step]] = present[rng.Uniform(present.size())];
+        continue;
+      }
+      const QVertex nv = src_bound ? e.dst : e.src;
+      const VertexId anchor =
+          src_bound ? assignment[e.src] : assignment[e.dst];
+      collect(anchor, /*outgoing=*/src_bound);
+      if (cands.empty()) {
+        ok = false;
+        break;
+      }
+      const auto& [u, l] = cands[rng.Uniform(cands.size())];
+      assignment[nv] = u;
+      labels[order[step]] = l;
+    }
+    if (ok) {
+      if (assignment_out != nullptr) *assignment_out = assignment;
+      return labels;
+    }
+  }
+  return util::NotFoundError("no embedding found within restart budget");
+}
+
+}  // namespace cegraph::matching

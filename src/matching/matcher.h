@@ -1,0 +1,75 @@
+#ifndef CEGRAPH_MATCHING_MATCHER_H_
+#define CEGRAPH_MATCHING_MATCHER_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cegraph::matching {
+
+/// Resource limits for exact matching. Counting aborts with
+/// ResourceExhausted / OutOfRange instead of running away; workload
+/// generation drops such queries, mirroring the paper's per-query time
+/// limits.
+struct MatchOptions {
+  /// Backtracking-step budget (candidate vertices tried).
+  uint64_t step_budget = 200'000'000;
+  /// Early-exit threshold: counting stops with OutOfRange once the exact
+  /// count provably exceeds this value.
+  double max_count = std::numeric_limits<double>::infinity();
+};
+
+/// Exact subgraph-matching / join engine over a labeled graph.
+///
+/// `Count` computes the exact number of homomorphisms of a query into the
+/// graph — i.e. the output cardinality of the natural join Q = ⋈ R_i, which
+/// is the quantity every estimator in the paper approximates. The
+/// implementation decomposes the query into its 2-core plus pendant trees:
+/// pendant trees are counted by message-passing dynamic programming in
+/// O(|q| · |E|) (no enumeration), and only the core — whose matches are
+/// constrained by its cycles — is enumerated by label-indexed backtracking.
+/// Acyclic queries therefore never enumerate at all, which is what makes
+/// computing ground truth for thousands of workload queries feasible.
+class Matcher {
+ public:
+  explicit Matcher(const graph::Graph& g) : g_(g) {}
+
+  /// Exact homomorphism count of `q` (the join output size). Counts are
+  /// returned as double; all counts in this library are < 2^53 so doubles
+  /// are exact. Fails with InvalidArgument for empty/disconnected queries,
+  /// ResourceExhausted when the step budget is exceeded and OutOfRange when
+  /// the count exceeds options.max_count.
+  util::StatusOr<double> Count(const query::QueryGraph& q,
+                               const MatchOptions& options = {}) const;
+
+  /// Enumerates every homomorphism; `callback` receives the assignment
+  /// (query vertex -> data vertex) and returns false to stop early.
+  /// Used for materializing small-size joins when building degree
+  /// statistics (§5.1.1).
+  util::Status Enumerate(
+      const query::QueryGraph& q, const MatchOptions& options,
+      const std::function<bool(const std::vector<graph::VertexId>&)>&
+          callback) const;
+
+  /// Samples one *label-oblivious* embedding of `shape` (labels in `shape`
+  /// are ignored) by randomized backtracking with up to `max_restarts`
+  /// restarts. On success returns the matched label of each shape edge —
+  /// this is how workload instantiation guarantees non-empty queries
+  /// ("randomly matching each edge of the query template one at a time",
+  /// §6.1). Optionally returns the vertex assignment.
+  util::StatusOr<std::vector<graph::Label>> SampleShapeEmbedding(
+      const query::QueryGraph& shape, util::Rng& rng, int max_restarts = 200,
+      std::vector<graph::VertexId>* assignment = nullptr) const;
+
+ private:
+  const graph::Graph& g_;
+};
+
+}  // namespace cegraph::matching
+
+#endif  // CEGRAPH_MATCHING_MATCHER_H_

@@ -1,0 +1,162 @@
+#include "planner/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <vector>
+
+namespace cegraph::planner {
+
+namespace {
+
+using graph::VertexId;
+using query::QueryEdge;
+using query::QVertex;
+
+/// A materialized intermediate relation: a schema (query vertices, sorted)
+/// and rows of matching data vertices.
+struct Table {
+  std::vector<QVertex> schema;
+  std::vector<std::vector<VertexId>> rows;
+};
+
+Table ScanEdge(const graph::Graph& g, const QueryEdge& e) {
+  Table t;
+  if (e.src == e.dst) {
+    t.schema = {e.src};
+    for (const graph::Edge& de : g.RelationEdges(e.label)) {
+      if (de.src == de.dst) t.rows.push_back({de.src});
+    }
+    return t;
+  }
+  t.schema = {std::min(e.src, e.dst), std::max(e.src, e.dst)};
+  const bool src_first = e.src < e.dst;
+  for (const graph::Edge& de : g.RelationEdges(e.label)) {
+    if (src_first) {
+      t.rows.push_back({de.src, de.dst});
+    } else {
+      t.rows.push_back({de.dst, de.src});
+    }
+  }
+  return t;
+}
+
+uint64_t HashKey(const std::vector<VertexId>& row,
+                 const std::vector<size_t>& cols) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t c : cols) {
+    h ^= row[c];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Hash join of two tables on their shared schema vertices.
+util::StatusOr<Table> HashJoin(const Table& left, const Table& right,
+                               uint64_t* tuples_budget) {
+  Table out;
+  // Shared vertices and column maps.
+  std::vector<QVertex> shared;
+  std::vector<size_t> left_key_cols, right_key_cols;
+  for (size_t i = 0; i < left.schema.size(); ++i) {
+    for (size_t j = 0; j < right.schema.size(); ++j) {
+      if (left.schema[i] == right.schema[j]) {
+        shared.push_back(left.schema[i]);
+        left_key_cols.push_back(i);
+        right_key_cols.push_back(j);
+      }
+    }
+  }
+  // Output schema: left schema + right-only vertices (sorted merge).
+  out.schema = left.schema;
+  std::vector<size_t> right_extra_cols;
+  for (size_t j = 0; j < right.schema.size(); ++j) {
+    if (std::find(left.schema.begin(), left.schema.end(), right.schema[j]) ==
+        left.schema.end()) {
+      out.schema.push_back(right.schema[j]);
+      right_extra_cols.push_back(j);
+    }
+  }
+
+  // Build on the smaller side.
+  const bool build_left = left.rows.size() <= right.rows.size();
+  const Table& build = build_left ? left : right;
+  const Table& probe = build_left ? right : left;
+  const auto& build_keys = build_left ? left_key_cols : right_key_cols;
+  const auto& probe_keys = build_left ? right_key_cols : left_key_cols;
+
+  std::unordered_multimap<uint64_t, size_t> table;
+  table.reserve(build.rows.size());
+  for (size_t r = 0; r < build.rows.size(); ++r) {
+    table.emplace(HashKey(build.rows[r], build_keys), r);
+  }
+
+  auto keys_equal = [&](const std::vector<VertexId>& a,
+                        const std::vector<VertexId>& b) {
+    for (size_t k = 0; k < build_keys.size(); ++k) {
+      if (a[build_keys[k]] != b[probe_keys[k]]) return false;
+    }
+    return true;
+  };
+
+  for (const auto& prow : probe.rows) {
+    const uint64_t h = HashKey(prow, probe_keys);
+    auto [begin, end] = table.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      const auto& brow = build.rows[it->second];
+      if (!keys_equal(brow, prow)) continue;
+      // Assemble the output row in out.schema order.
+      const auto& lrow = build_left ? brow : prow;
+      const auto& rrow = build_left ? prow : brow;
+      std::vector<VertexId> row = lrow;
+      for (size_t j : right_extra_cols) row.push_back(rrow[j]);
+      out.rows.push_back(std::move(row));
+      if (out.rows.size() > *tuples_budget) {
+        return util::ResourceExhaustedError("executor tuple budget exceeded");
+      }
+    }
+  }
+  *tuples_budget -= out.rows.size();
+  return out;
+}
+
+}  // namespace
+
+util::StatusOr<ExecutionResult> Executor::Execute(
+    const query::QueryGraph& q, const Plan& plan,
+    uint64_t tuple_budget) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<Table> tables(plan.nodes.size());
+  uint64_t budget = tuple_budget;
+  uint64_t intermediates = 0;
+
+  // Plan nodes are already in post-order (children before parents) by
+  // construction in DpOptimizer.
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    if (node.left < 0) {
+      tables[i] = ScanEdge(g_, q.edge(node.scan_edge));
+    } else {
+      auto joined = HashJoin(tables[node.left], tables[node.right], &budget);
+      if (!joined.ok()) return joined.status();
+      tables[i] = std::move(*joined);
+      if (static_cast<int>(i) != plan.root) {
+        intermediates += tables[i].rows.size();
+      }
+      // Children are no longer needed; free them eagerly.
+      tables[node.left] = Table{};
+      tables[node.right] = Table{};
+    }
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  ExecutionResult result;
+  result.output_cardinality =
+      static_cast<double>(tables[plan.root].rows.size());
+  result.total_intermediate_tuples = intermediates;
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace cegraph::planner

@@ -1,0 +1,42 @@
+#ifndef CEGRAPH_PLANNER_EXECUTOR_H_
+#define CEGRAPH_PLANNER_EXECUTOR_H_
+
+#include "graph/graph.h"
+#include "planner/dp_optimizer.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace cegraph::planner {
+
+/// Execution metrics of one plan. `total_intermediate_tuples` is the
+/// machine-independent cost proxy (the quantity bad cardinality estimates
+/// inflate); `wall_seconds` is the measured runtime.
+struct ExecutionResult {
+  double output_cardinality = 0;
+  uint64_t total_intermediate_tuples = 0;
+  double wall_seconds = 0;
+};
+
+/// Executes join plans with in-memory hash joins, materializing every
+/// internal node — the execution half of the paper's §6.6 plan-quality
+/// experiment. Plans chosen under different injected estimators run
+/// through identical machinery, so runtime differences reflect plan
+/// quality alone.
+class Executor {
+ public:
+  explicit Executor(const graph::Graph& g) : g_(g) {}
+
+  /// Runs `plan` for `q`. Aborts with ResourceExhausted once more than
+  /// `tuple_budget` intermediate tuples have been materialized.
+  util::StatusOr<ExecutionResult> Execute(const query::QueryGraph& q,
+                                          const Plan& plan,
+                                          uint64_t tuple_budget = 50'000'000)
+      const;
+
+ private:
+  const graph::Graph& g_;
+};
+
+}  // namespace cegraph::planner
+
+#endif  // CEGRAPH_PLANNER_EXECUTOR_H_

@@ -1,0 +1,185 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <map>
+
+namespace cegraph::query {
+
+namespace {
+
+/// Minimal recursive-descent scanner over the pattern syntax.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  util::StatusOr<std::string> Identifier() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return util::InvalidArgumentError("expected identifier at offset " +
+                                        std::to_string(start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  util::StatusOr<uint64_t> Number() {
+    SkipSpace();
+    const size_t start = pos_;
+    uint64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return util::InvalidArgumentError("expected number at offset " +
+                                        std::to_string(start));
+    }
+    return value;
+  }
+
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<QueryGraph> ParseQuery(std::string_view text) {
+  Scanner scanner(text);
+  std::map<std::string, QVertex> var_ids;
+  std::vector<QueryEdge> edges;
+  std::vector<graph::VertexLabel> constraints;
+
+  auto node = [&]() -> util::StatusOr<QVertex> {
+    if (!scanner.Consume("(")) {
+      return util::InvalidArgumentError("expected '(' at offset " +
+                                        std::to_string(scanner.position()));
+    }
+    auto name = scanner.Identifier();
+    if (!name.ok()) return name.status();
+    graph::VertexLabel constraint = QueryGraph::kAnyVertexLabel;
+    if (scanner.Consume(":")) {
+      auto label = scanner.Number();
+      if (!label.ok()) return label.status();
+      constraint = static_cast<graph::VertexLabel>(*label);
+    }
+    if (!scanner.Consume(")")) {
+      return util::InvalidArgumentError("expected ')' at offset " +
+                                        std::to_string(scanner.position()));
+    }
+    auto [it, inserted] =
+        var_ids.try_emplace(*name, static_cast<QVertex>(var_ids.size()));
+    if (inserted) {
+      constraints.push_back(constraint);
+    } else if (constraint != QueryGraph::kAnyVertexLabel) {
+      if (constraints[it->second] != QueryGraph::kAnyVertexLabel &&
+          constraints[it->second] != constraint) {
+        return util::InvalidArgumentError("conflicting constraint on '" +
+                                          *name + "'");
+      }
+      constraints[it->second] = constraint;
+    }
+    return it->second;
+  };
+
+  while (!scanner.AtEnd()) {
+    auto left = node();
+    if (!left.ok()) return left.status();
+
+    // Arrow: -[l]-> (forward) or <-[l]- (backward).
+    bool forward;
+    if (scanner.Consume("-[")) {
+      forward = true;
+    } else if (scanner.Consume("<-[")) {
+      forward = false;
+    } else {
+      return util::InvalidArgumentError("expected '-[' or '<-[' at offset " +
+                                        std::to_string(scanner.position()));
+    }
+    auto label = scanner.Number();
+    if (!label.ok()) return label.status();
+    const std::string_view tail = forward ? "]->" : "]-";
+    if (!scanner.Consume(tail)) {
+      return util::InvalidArgumentError("expected '" + std::string(tail) +
+                                        "' at offset " +
+                                        std::to_string(scanner.position()));
+    }
+
+    auto right = node();
+    if (!right.ok()) return right.status();
+
+    QueryEdge edge;
+    edge.src = forward ? *left : *right;
+    edge.dst = forward ? *right : *left;
+    edge.label = static_cast<graph::Label>(*label);
+    edges.push_back(edge);
+
+    if (!scanner.Consume(";") && !scanner.Consume(",")) {
+      if (!scanner.AtEnd()) {
+        return util::InvalidArgumentError(
+            "expected ';' between clauses at offset " +
+            std::to_string(scanner.position()));
+      }
+    }
+  }
+  if (edges.empty()) {
+    return util::InvalidArgumentError("empty query");
+  }
+  bool any_constraint = false;
+  for (graph::VertexLabel c : constraints) {
+    any_constraint |= (c != QueryGraph::kAnyVertexLabel);
+  }
+  return QueryGraph::Create(
+      static_cast<uint32_t>(var_ids.size()), std::move(edges),
+      any_constraint ? std::move(constraints)
+                     : std::vector<graph::VertexLabel>{});
+}
+
+std::string FormatQuery(const QueryGraph& q) {
+  auto node = [&](QVertex v) {
+    std::string out = "(a" + std::to_string(v);
+    if (q.vertex_constraint(v) != QueryGraph::kAnyVertexLabel) {
+      out += ":" + std::to_string(q.vertex_constraint(v));
+    }
+    return out + ")";
+  };
+  std::string out;
+  for (uint32_t i = 0; i < q.num_edges(); ++i) {
+    const QueryEdge& e = q.edge(i);
+    if (!out.empty()) out += "; ";
+    out += node(e.src) + "-[" + std::to_string(e.label) + "]->" +
+           node(e.dst);
+  }
+  return out;
+}
+
+}  // namespace cegraph::query

@@ -1,0 +1,32 @@
+#ifndef CEGRAPH_QUERY_PARSER_H_
+#define CEGRAPH_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace cegraph::query {
+
+/// Parses a subgraph query from a compact Cypher-like pattern syntax:
+///
+///   (a)-[3]->(b); (b)-[7]->(c); (c)<-[3]-(a)
+///
+/// Each clause is one query edge: named variables in parentheses, a
+/// numeric edge label in brackets, and an arrow giving the direction.
+/// Clauses are separated by ';' or ','. Variables are mapped to dense
+/// query-vertex ids in first-occurrence order. Whitespace is free.
+///
+/// A variable may carry a vertex-label constraint, written once as
+/// "(a:2)": the variable then only matches data vertices with vertex
+/// label 2 (the paper's vertex-label extension). Re-declaring a variable
+/// with a conflicting constraint is an error.
+util::StatusOr<QueryGraph> ParseQuery(std::string_view text);
+
+/// Renders a query in the same syntax (variables named a0, a1, ...).
+std::string FormatQuery(const QueryGraph& q);
+
+}  // namespace cegraph::query
+
+#endif  // CEGRAPH_QUERY_PARSER_H_

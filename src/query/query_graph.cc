@@ -1,0 +1,204 @@
+#include "query/query_graph.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace cegraph::query {
+
+util::StatusOr<QueryGraph> QueryGraph::Create(
+    uint32_t num_vertices, std::vector<QueryEdge> edges,
+    std::vector<graph::VertexLabel> vertex_constraints) {
+  if (!vertex_constraints.empty() &&
+      vertex_constraints.size() != num_vertices) {
+    return util::InvalidArgumentError("vertex constraint arity mismatch");
+  }
+  if (edges.size() > 32) {
+    return util::InvalidArgumentError("queries are limited to 32 edges");
+  }
+  if (num_vertices > 32) {
+    return util::InvalidArgumentError("queries are limited to 32 vertices");
+  }
+  for (const QueryEdge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return util::InvalidArgumentError("query edge endpoint out of range");
+    }
+  }
+  QueryGraph q;
+  q.num_vertices_ = num_vertices;
+  q.edges_ = std::move(edges);
+  q.vertex_constraints_ = std::move(vertex_constraints);
+  q.incident_.assign(num_vertices, {});
+  for (uint32_t i = 0; i < q.edges_.size(); ++i) {
+    q.incident_[q.edges_[i].src].push_back(i);
+    if (q.edges_[i].dst != q.edges_[i].src) {
+      q.incident_[q.edges_[i].dst].push_back(i);
+    }
+  }
+  return q;
+}
+
+VertexSet QueryGraph::VerticesOf(EdgeSet s) const {
+  VertexSet v = 0;
+  for (uint32_t i = 0; i < num_edges(); ++i) {
+    if (s & (EdgeSet{1} << i)) {
+      v |= VertexSet{1} << edges_[i].src;
+      v |= VertexSet{1} << edges_[i].dst;
+    }
+  }
+  return v;
+}
+
+bool QueryGraph::IsConnectedSubset(EdgeSet s) const {
+  if (s == 0) return false;
+  // BFS over edges: two edges are adjacent if they share a vertex.
+  const uint32_t first = static_cast<uint32_t>(std::countr_zero(s));
+  EdgeSet visited = EdgeSet{1} << first;
+  VertexSet frontier_vertices = (VertexSet{1} << edges_[first].src) |
+                                (VertexSet{1} << edges_[first].dst);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (uint32_t i = 0; i < num_edges(); ++i) {
+      const EdgeSet bit = EdgeSet{1} << i;
+      if (!(s & bit) || (visited & bit)) continue;
+      const VertexSet ev = (VertexSet{1} << edges_[i].src) |
+                           (VertexSet{1} << edges_[i].dst);
+      if (ev & frontier_vertices) {
+        visited |= bit;
+        frontier_vertices |= ev;
+        grew = true;
+      }
+    }
+  }
+  return visited == s;
+}
+
+bool QueryGraph::IsConnected() const {
+  if (num_edges() == 0) return num_vertices() <= 1;
+  if (!IsConnectedSubset(AllEdges())) return false;
+  // Also require no isolated vertices.
+  return std::popcount(VerticesOf(AllEdges())) ==
+         static_cast<int>(num_vertices_);
+}
+
+int QueryGraph::CyclomaticNumber(EdgeSet s) const {
+  if (s == 0) return 0;
+  // Count components via union-find over the touched vertices.
+  std::vector<int> parent(num_vertices_);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  int edge_count = 0;
+  for (uint32_t i = 0; i < num_edges(); ++i) {
+    if (!(s & (EdgeSet{1} << i))) continue;
+    ++edge_count;
+    const int a = find(static_cast<int>(edges_[i].src));
+    const int b = find(static_cast<int>(edges_[i].dst));
+    if (a != b) parent[a] = b;
+  }
+  const VertexSet vs = VerticesOf(s);
+  int vertex_count = std::popcount(vs);
+  int components = 0;
+  for (uint32_t v = 0; v < num_vertices_; ++v) {
+    if ((vs & (VertexSet{1} << v)) && find(static_cast<int>(v)) ==
+                                          static_cast<int>(v)) {
+      ++components;
+    }
+  }
+  // Union-find roots may not be representative vertices of vs only; count
+  // roots among touched vertices.
+  (void)vertex_count;
+  return edge_count - std::popcount(vs) + components;
+}
+
+QueryGraph QueryGraph::ExtractPattern(EdgeSet s,
+                                      std::vector<QVertex>* vertex_map) const {
+  std::vector<int> remap(num_vertices_, -1);
+  std::vector<QVertex> rev;
+  std::vector<QueryEdge> sub_edges;
+  for (uint32_t i = 0; i < num_edges(); ++i) {
+    if (!(s & (EdgeSet{1} << i))) continue;
+    const QueryEdge& e = edges_[i];
+    for (QVertex v : {e.src, e.dst}) {
+      if (remap[v] < 0) {
+        remap[v] = static_cast<int>(rev.size());
+        rev.push_back(v);
+      }
+    }
+    sub_edges.push_back({static_cast<QVertex>(remap[e.src]),
+                         static_cast<QVertex>(remap[e.dst]), e.label});
+  }
+  if (vertex_map != nullptr) *vertex_map = rev;
+  std::vector<graph::VertexLabel> sub_constraints;
+  if (!vertex_constraints_.empty()) {
+    sub_constraints.reserve(rev.size());
+    for (QVertex original : rev) {
+      sub_constraints.push_back(vertex_constraints_[original]);
+    }
+  }
+  auto result = Create(static_cast<uint32_t>(rev.size()),
+                       std::move(sub_edges), std::move(sub_constraints));
+  return std::move(result).value();
+}
+
+namespace {
+
+std::string CodeUnderPermutation(
+    const std::vector<QueryEdge>& edges,
+    const std::vector<graph::VertexLabel>& constraints,
+    const std::vector<uint32_t>& perm) {
+  std::vector<std::array<uint32_t, 3>> mapped;
+  mapped.reserve(edges.size());
+  for (const QueryEdge& e : edges) {
+    mapped.push_back({perm[e.src], perm[e.dst], e.label});
+  }
+  std::sort(mapped.begin(), mapped.end());
+  std::string code;
+  code.reserve(mapped.size() * 6);
+  for (const auto& t : mapped) {
+    code.push_back(static_cast<char>('0' + t[0]));
+    code.push_back(static_cast<char>('0' + t[1]));
+    code.append(std::to_string(t[2]));
+    code.push_back(';');
+  }
+  if (!constraints.empty()) {
+    // Vertex-label constraints in permuted vertex order.
+    std::vector<graph::VertexLabel> permuted(constraints.size());
+    for (uint32_t v = 0; v < constraints.size(); ++v) {
+      permuted[perm[v]] = constraints[v];
+    }
+    code.push_back('|');
+    for (graph::VertexLabel c : permuted) {
+      code.append(c == QueryGraph::kAnyVertexLabel ? "*"
+                                                   : std::to_string(c));
+      code.push_back(',');
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+std::string QueryGraph::CanonicalCode() const {
+  std::vector<uint32_t> perm(num_vertices_);
+  std::iota(perm.begin(), perm.end(), 0);
+  // Drop all-wildcard constraint vectors so labeled and unlabeled
+  // constructions of the same pattern share a code.
+  std::vector<graph::VertexLabel> constraints =
+      has_vertex_constraints() ? vertex_constraints_
+                               : std::vector<graph::VertexLabel>{};
+  if (num_vertices_ > kCanonicalVertexLimit) {
+    return "id:" + CodeUnderPermutation(edges_, constraints, perm);
+  }
+  std::string best = CodeUnderPermutation(edges_, constraints, perm);
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    std::string code = CodeUnderPermutation(edges_, constraints, perm);
+    if (code < best) best = std::move(code);
+  }
+  return best;
+}
+
+}  // namespace cegraph::query

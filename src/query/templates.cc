@@ -1,0 +1,179 @@
+#include "query/templates.h"
+
+namespace cegraph::query {
+
+namespace {
+
+QueryGraph Make(uint32_t n, std::vector<QueryEdge> edges) {
+  auto q = QueryGraph::Create(n, std::move(edges));
+  return std::move(q).value();
+}
+
+}  // namespace
+
+QueryGraph PathShape(int k) {
+  std::vector<QueryEdge> edges;
+  for (int i = 0; i < k; ++i) {
+    edges.push_back({static_cast<QVertex>(i), static_cast<QVertex>(i + 1), 0});
+  }
+  return Make(static_cast<uint32_t>(k + 1), std::move(edges));
+}
+
+QueryGraph StarShape(int k) {
+  std::vector<QueryEdge> edges;
+  for (int i = 0; i < k; ++i) {
+    edges.push_back({0, static_cast<QVertex>(i + 1), 0});
+  }
+  return Make(static_cast<uint32_t>(k + 1), std::move(edges));
+}
+
+QueryGraph CycleShape(int k) {
+  std::vector<QueryEdge> edges;
+  for (int i = 0; i < k; ++i) {
+    edges.push_back({static_cast<QVertex>(i),
+                     static_cast<QVertex>((i + 1) % k), 0});
+  }
+  return Make(static_cast<uint32_t>(k), std::move(edges));
+}
+
+QueryGraph CaterpillarShape(int k, int d) {
+  // Spine path 0..d; extra leaves attached to the spine midpoint.
+  std::vector<QueryEdge> edges;
+  for (int i = 0; i < d; ++i) {
+    edges.push_back({static_cast<QVertex>(i), static_cast<QVertex>(i + 1), 0});
+  }
+  const QVertex mid = static_cast<QVertex>(d / 2);
+  QVertex next = static_cast<QVertex>(d + 1);
+  for (int i = d; i < k; ++i) {
+    edges.push_back({mid, next, 0});
+    ++next;
+  }
+  return Make(next, std::move(edges));
+}
+
+QueryGraph CliqueK4Shape() {
+  return Make(4, {{0, 1, 0},
+                  {0, 2, 0},
+                  {0, 3, 0},
+                  {1, 2, 0},
+                  {1, 3, 0},
+                  {2, 3, 0}});
+}
+
+QueryGraph DiamondShape() {
+  // 4-cycle 0-1-2-3 plus the chord 0-2.
+  return Make(4, {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}, {3, 0, 0}, {0, 2, 0}});
+}
+
+QueryGraph BowtieShape() {
+  // Triangles 0-1-2 and 0-3-4 sharing vertex 0.
+  return Make(5, {{0, 1, 0},
+                  {1, 2, 0},
+                  {2, 0, 0},
+                  {0, 3, 0},
+                  {3, 4, 0},
+                  {4, 0, 0}});
+}
+
+QueryGraph SquareTwoTrianglesShape() {
+  // Square 0-1-2-3, triangle apexes 4 (on side 0-1) and 5 (on side 1-2).
+  return Make(6, {{0, 1, 0},
+                  {1, 2, 0},
+                  {2, 3, 0},
+                  {3, 0, 0},
+                  {0, 4, 0},
+                  {4, 1, 0},
+                  {1, 5, 0},
+                  {5, 2, 0}});
+}
+
+QueryGraph SquareTriangleShape() {
+  // Square 0-1-2-3 plus a triangle on side 0-1 with apex 4.
+  return Make(5, {{0, 1, 0},
+                  {1, 2, 0},
+                  {2, 3, 0},
+                  {3, 0, 0},
+                  {0, 4, 0},
+                  {4, 1, 0},
+                  {0, 2, 0}});
+}
+
+QueryGraph PetalShape(int paths, int len) {
+  // `paths` internally-disjoint paths of `len` edges between 0 and 1.
+  std::vector<QueryEdge> edges;
+  QVertex next = 2;
+  for (int p = 0; p < paths; ++p) {
+    QVertex prev = 0;
+    for (int i = 0; i < len - 1; ++i) {
+      edges.push_back({prev, next, 0});
+      prev = next++;
+    }
+    edges.push_back({prev, 1, 0});
+  }
+  return Make(next, std::move(edges));
+}
+
+std::vector<QueryTemplate> JobLikeTemplates() {
+  std::vector<QueryTemplate> out;
+  out.push_back({"job_star4", StarShape(4)});
+  out.push_back({"job_path4", PathShape(4)});
+  out.push_back({"job_fork4", CaterpillarShape(4, 3)});
+  // Twin star: centers 0 and 1 joined, leaves 2,3 on 0 and 4 on 1.
+  out.push_back({"job_twinstar4",
+                 Make(5, {{0, 1, 0}, {0, 2, 0}, {0, 3, 0}, {1, 4, 0}})});
+  out.push_back({"job_cat5_d3", CaterpillarShape(5, 3)});
+  out.push_back({"job_cat5_d4", CaterpillarShape(5, 4)});
+  out.push_back({"job_cat6_d4", CaterpillarShape(6, 4)});
+  return out;
+}
+
+std::vector<QueryTemplate> AcyclicTemplates() {
+  std::vector<QueryTemplate> out;
+  for (int k : {6, 7, 8}) {
+    for (int d = 2; d <= k; ++d) {
+      out.push_back({"acyclic_k" + std::to_string(k) + "_d" +
+                         std::to_string(d),
+                     CaterpillarShape(k, d)});
+    }
+  }
+  return out;
+}
+
+std::vector<QueryTemplate> CyclicTemplates() {
+  std::vector<QueryTemplate> out;
+  out.push_back({"cyc_triangle", CycleShape(3)});
+  out.push_back({"cyc_4cycle", CycleShape(4)});
+  out.push_back({"cyc_diamond", DiamondShape()});
+  out.push_back({"cyc_6cycle", CycleShape(6)});
+  out.push_back({"cyc_k4", CliqueK4Shape()});
+  out.push_back({"cyc_bowtie", BowtieShape()});
+  out.push_back({"cyc_square_2tri", SquareTwoTrianglesShape()});
+  out.push_back({"cyc_square_tri", SquareTriangleShape()});
+  return out;
+}
+
+std::vector<QueryTemplate> GCareAcyclicTemplates() {
+  std::vector<QueryTemplate> out;
+  for (int k : {3, 6, 9, 12}) {
+    out.push_back({"gcare_path" + std::to_string(k), PathShape(k)});
+    out.push_back({"gcare_star" + std::to_string(k), StarShape(k)});
+  }
+  for (int k : {6, 9, 12}) {
+    out.push_back({"gcare_tree" + std::to_string(k),
+                   CaterpillarShape(k, (k + 2) / 2)});
+  }
+  return out;
+}
+
+std::vector<QueryTemplate> GCareCyclicTemplates() {
+  std::vector<QueryTemplate> out;
+  out.push_back({"gcare_cycle6", CycleShape(6)});
+  out.push_back({"gcare_cycle9", CycleShape(9)});
+  out.push_back({"gcare_clique6", CliqueK4Shape()});
+  out.push_back({"gcare_flower6", BowtieShape()});
+  out.push_back({"gcare_petal6", PetalShape(2, 3)});
+  out.push_back({"gcare_petal9", PetalShape(3, 3)});
+  return out;
+}
+
+}  // namespace cegraph::query

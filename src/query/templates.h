@@ -1,0 +1,72 @@
+#ifndef CEGRAPH_QUERY_TEMPLATES_H_
+#define CEGRAPH_QUERY_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace cegraph::query {
+
+/// A query *shape*: a pattern graph whose labels are placeholders (0) and
+/// whose edge directions are randomized at instantiation time (the paper's
+/// Fig. 8 explicitly omits directions). Workload generation binds labels by
+/// sampling real embeddings (§6.1).
+struct QueryTemplate {
+  std::string name;
+  QueryGraph shape;
+};
+
+/// --- basic shapes -------------------------------------------------------
+
+/// Path with `k` edges: a1 -> a2 -> ... -> a_{k+1}.
+QueryGraph PathShape(int k);
+/// Star with `k` edges out of a central vertex.
+QueryGraph StarShape(int k);
+/// Cycle with `k` edges.
+QueryGraph CycleShape(int k);
+/// Caterpillar tree with `k` edges and diameter `d` (2 <= d <= k): a spine
+/// path of `d` edges with the remaining k-d edges attached as leaves of the
+/// spine's midpoint. These are the Fig.-8-style acyclic templates covering
+/// every depth between star (d=2) and path (d=k).
+QueryGraph CaterpillarShape(int k, int d);
+/// Complete graph on 4 vertices (6 edges).
+QueryGraph CliqueK4Shape();
+/// 4-cycle with a crossing (chord) edge: 5 edges, cycles are triangles only.
+QueryGraph DiamondShape();
+/// Two triangles sharing one vertex: 6 edges ("flower"/bowtie).
+QueryGraph BowtieShape();
+/// Square with two triangles on adjacent sides (8 edges).
+QueryGraph SquareTwoTrianglesShape();
+/// Square plus a triangle sharing one edge (7 edges).
+QueryGraph SquareTriangleShape();
+/// `paths` parallel paths of `len` edges each between a common source and
+/// sink ("petal" queries from G-CARE).
+QueryGraph PetalShape(int paths, int len);
+
+/// --- workload template suites (DESIGN.md §4) ------------------------------
+
+/// JOB-like acyclic join templates: four 4-edge, two 5-edge, one 6-edge
+/// trees (the shape mix of the transformed JOB workload, §6.1).
+std::vector<QueryTemplate> JobLikeTemplates();
+
+/// The Acyclic workload of §6.1: 6-, 7-, 8-edge trees, one per diameter
+/// d in [2, k] (18 templates -> 360 queries at 20 instances each).
+std::vector<QueryTemplate> AcyclicTemplates();
+
+/// The Cyclic workload of §6.1 (templates from reference [20]): 4-cycle,
+/// diamond with crossing edge, 6-cycle, K4, two triangles with a common
+/// vertex, square with two triangles, square with a triangle.
+std::vector<QueryTemplate> CyclicTemplates();
+
+/// G-CARE-style acyclic templates: 3-, 6-, 9-, 12-edge stars and paths plus
+/// random trees.
+std::vector<QueryTemplate> GCareAcyclicTemplates();
+
+/// G-CARE-style cyclic templates: 6- and 9-edge cycles, 6-edge clique (K4),
+/// 6-edge flower, 6- and 9-edge petals.
+std::vector<QueryTemplate> GCareCyclicTemplates();
+
+}  // namespace cegraph::query
+
+#endif  // CEGRAPH_QUERY_TEMPLATES_H_

@@ -1,0 +1,128 @@
+#include "query/workload.h"
+
+#include <set>
+
+#include "query/subquery.h"
+
+namespace cegraph::query {
+
+namespace {
+
+/// Randomizes edge directions of a template shape.
+QueryGraph RandomizeDirections(const QueryGraph& shape, double flip_p,
+                               util::Rng& rng) {
+  std::vector<QueryEdge> edges = shape.edges();
+  for (QueryEdge& e : edges) {
+    if (rng.Bernoulli(flip_p)) std::swap(e.src, e.dst);
+  }
+  auto q = QueryGraph::Create(shape.num_vertices(), std::move(edges));
+  return std::move(q).value();
+}
+
+/// Serialization key used to deduplicate instances.
+std::string InstanceKey(const QueryGraph& q) {
+  std::string key;
+  for (const QueryEdge& e : q.edges()) {
+    key += std::to_string(e.src) + ">" + std::to_string(e.dst) + ":" +
+           std::to_string(e.label) + ";";
+  }
+  for (QVertex v = 0; v < q.num_vertices(); ++v) {
+    key += std::to_string(q.vertex_constraint(v)) + ",";
+  }
+  return key;
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<WorkloadQuery>> GenerateWorkload(
+    const graph::Graph& g, const std::vector<QueryTemplate>& templates,
+    const WorkloadOptions& options) {
+  matching::Matcher matcher(g);
+  util::Rng rng(options.seed);
+  std::vector<WorkloadQuery> out;
+  std::set<std::string> seen;
+
+  for (const QueryTemplate& tmpl : templates) {
+    int produced = 0;
+    int attempts = 0;
+    const int attempt_budget =
+        options.instances_per_template * options.max_attempts_per_instance;
+    while (produced < options.instances_per_template &&
+           attempts < attempt_budget) {
+      ++attempts;
+      QueryGraph oriented =
+          RandomizeDirections(tmpl.shape, options.flip_probability, rng);
+      std::vector<graph::VertexId> assignment;
+      auto labels = matcher.SampleShapeEmbedding(oriented, rng, 200,
+                                                 &assignment);
+      if (!labels.ok()) continue;
+      std::vector<QueryEdge> edges = oriented.edges();
+      for (uint32_t i = 0; i < edges.size(); ++i) {
+        edges[i].label = (*labels)[i];
+      }
+      std::vector<graph::VertexLabel> constraints;
+      if (options.vertex_label_probability > 0) {
+        constraints.assign(oriented.num_vertices(),
+                           QueryGraph::kAnyVertexLabel);
+        bool any = false;
+        for (uint32_t v = 0; v < oriented.num_vertices(); ++v) {
+          if (rng.Bernoulli(options.vertex_label_probability)) {
+            constraints[v] = g.vertex_label(assignment[v]);
+            any = true;
+          }
+        }
+        if (!any) constraints.clear();
+      }
+      auto labeled = QueryGraph::Create(oriented.num_vertices(),
+                                        std::move(edges),
+                                        std::move(constraints));
+      if (!labeled.ok()) continue;
+      const std::string key = InstanceKey(*labeled);
+      if (seen.contains(key)) continue;
+
+      matching::MatchOptions match_options;
+      match_options.step_budget = options.count_step_budget;
+      match_options.max_count = options.max_cardinality;
+      auto count = matcher.Count(*labeled, match_options);
+      if (!count.ok()) continue;  // budget exceeded or too large: drop
+      if (*count <= 0) continue;  // defensive; embeddings guarantee > 0
+      seen.insert(key);
+      out.push_back({std::move(*labeled), tmpl.name, *count});
+      ++produced;
+    }
+  }
+  if (out.empty()) {
+    return util::NotFoundError("workload generation produced no queries");
+  }
+  return out;
+}
+
+std::vector<WorkloadQuery> FilterTrianglesOnly(
+    const std::vector<WorkloadQuery>& workload) {
+  std::vector<WorkloadQuery> out;
+  for (const WorkloadQuery& wq : workload) {
+    if (wq.query.IsAcyclic()) continue;
+    if (LargestChordlessCycle(wq.query) == 3) out.push_back(wq);
+  }
+  return out;
+}
+
+std::vector<WorkloadQuery> FilterLargeCycles(
+    const std::vector<WorkloadQuery>& workload) {
+  std::vector<WorkloadQuery> out;
+  for (const WorkloadQuery& wq : workload) {
+    if (HasChordlessCycleLongerThan(wq.query, 3)) out.push_back(wq);
+  }
+  return out;
+}
+
+std::vector<WorkloadQuery> FilterAcyclic(
+    const std::vector<WorkloadQuery>& workload) {
+  std::vector<WorkloadQuery> out;
+  for (const WorkloadQuery& wq : workload) {
+    if (wq.query.IsAcyclic()) out.push_back(wq);
+  }
+  return out;
+}
+
+}  // namespace cegraph::query

@@ -1,0 +1,71 @@
+#ifndef CEGRAPH_QUERY_WORKLOAD_H_
+#define CEGRAPH_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "matching/matcher.h"
+#include "query/query_graph.h"
+#include "query/templates.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace cegraph::query {
+
+/// One workload query together with its exact cardinality (the ground truth
+/// for q-error computation).
+struct WorkloadQuery {
+  QueryGraph query;
+  std::string template_name;
+  double true_cardinality = 0;
+};
+
+/// Workload-generation knobs (§6.1 of the paper).
+struct WorkloadOptions {
+  /// Query instances to generate per template.
+  int instances_per_template = 20;
+  uint64_t seed = 1;
+  /// Step budget for exact counting of one query; queries whose ground
+  /// truth cannot be computed within the budget are dropped (the paper used
+  /// per-dataset time limits for the same purpose).
+  uint64_t count_step_budget = 200'000'000;
+  /// Queries with more results than this are dropped (keeps ground truth
+  /// within double-exact range and experiments fast).
+  double max_cardinality = 1e12;
+  /// Retries per requested instance before giving up on it.
+  int max_attempts_per_instance = 40;
+  /// Probability of flipping each template edge's direction at
+  /// instantiation (Fig. 8 templates are undirected).
+  double flip_probability = 0.5;
+  /// Probability that each query vertex is constrained to the vertex
+  /// label it matched in the sampled embedding (the paper's vertex-label
+  /// extension; 0 = vertex-unlabeled queries).
+  double vertex_label_probability = 0.0;
+};
+
+/// Instantiates `templates` against `g`: randomizes edge directions, binds
+/// labels by sampling a real embedding (guaranteeing non-empty output),
+/// deduplicates, and computes exact cardinalities. Deterministic given
+/// `options.seed`.
+util::StatusOr<std::vector<WorkloadQuery>> GenerateWorkload(
+    const graph::Graph& g, const std::vector<QueryTemplate>& templates,
+    const WorkloadOptions& options);
+
+/// Filters to cyclic queries whose only chordless cycles are triangles
+/// (the population of the paper's Fig. 10).
+std::vector<WorkloadQuery> FilterTrianglesOnly(
+    const std::vector<WorkloadQuery>& workload);
+
+/// Filters to queries containing a chordless cycle of 4 or more edges
+/// (the population of the paper's Fig. 11).
+std::vector<WorkloadQuery> FilterLargeCycles(
+    const std::vector<WorkloadQuery>& workload);
+
+/// Filters to acyclic queries.
+std::vector<WorkloadQuery> FilterAcyclic(
+    const std::vector<WorkloadQuery>& workload);
+
+}  // namespace cegraph::query
+
+#endif  // CEGRAPH_QUERY_WORKLOAD_H_

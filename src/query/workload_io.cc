@@ -1,0 +1,69 @@
+#include "query/workload_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "query/parser.h"
+
+namespace cegraph::query {
+
+util::Status WriteWorkloadText(const std::vector<WorkloadQuery>& workload,
+                               std::ostream& os) {
+  os << "# cegraph workload: template_name true_cardinality pattern\n";
+  os.precision(17);
+  for (const WorkloadQuery& wq : workload) {
+    if (wq.template_name.find_first_of(" \t") != std::string::npos) {
+      return util::InvalidArgumentError(
+          "template names must not contain whitespace: " + wq.template_name);
+    }
+    os << wq.template_name << " " << wq.true_cardinality << " "
+       << FormatQuery(wq.query) << "\n";
+  }
+  if (!os) return util::InternalError("write failed");
+  return util::Status::OK();
+}
+
+util::StatusOr<std::vector<WorkloadQuery>> ReadWorkloadText(
+    std::istream& is) {
+  std::vector<WorkloadQuery> out;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream fields(line);
+    WorkloadQuery wq;
+    std::string pattern;
+    if (!(fields >> wq.template_name >> wq.true_cardinality) ||
+        !std::getline(fields, pattern)) {
+      return util::InvalidArgumentError("malformed workload line " +
+                                        std::to_string(line_number));
+    }
+    auto q = ParseQuery(pattern);
+    if (!q.ok()) {
+      return util::InvalidArgumentError(
+          "line " + std::to_string(line_number) + ": " +
+          q.status().message());
+    }
+    wq.query = std::move(*q);
+    out.push_back(std::move(wq));
+  }
+  return out;
+}
+
+util::Status SaveWorkload(const std::vector<WorkloadQuery>& workload,
+                          const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return util::NotFoundError("cannot open for writing: " + path);
+  return WriteWorkloadText(workload, os);
+}
+
+util::StatusOr<std::vector<WorkloadQuery>> LoadWorkload(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return util::NotFoundError("cannot open: " + path);
+  return ReadWorkloadText(is);
+}
+
+}  // namespace cegraph::query

@@ -1,0 +1,32 @@
+#ifndef CEGRAPH_QUERY_WORKLOAD_IO_H_
+#define CEGRAPH_QUERY_WORKLOAD_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "query/workload.h"
+#include "util/status.h"
+
+namespace cegraph::query {
+
+/// Text serialization for workloads, one query per line:
+///
+///   # comments allowed
+///   <template_name> <true_cardinality> <pattern>
+///
+/// where <pattern> uses the parser syntax (query/parser.h). Ground truth
+/// travels with the query so expensive exact counts are computed once and
+/// reused across bench runs and machines.
+util::Status WriteWorkloadText(const std::vector<WorkloadQuery>& workload,
+                               std::ostream& os);
+util::StatusOr<std::vector<WorkloadQuery>> ReadWorkloadText(std::istream& is);
+
+util::Status SaveWorkload(const std::vector<WorkloadQuery>& workload,
+                          const std::string& path);
+util::StatusOr<std::vector<WorkloadQuery>> LoadWorkload(
+    const std::string& path);
+
+}  // namespace cegraph::query
+
+#endif  // CEGRAPH_QUERY_WORKLOAD_IO_H_

@@ -1,0 +1,54 @@
+#include "stats/char_sets.h"
+
+#include <cmath>
+
+namespace cegraph::stats {
+
+CharacteristicSets::CharacteristicSets(const graph::Graph& g)
+    : num_vertices_(g.num_vertices()) {
+  std::map<std::set<graph::Label>, Group> by_set;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::set<graph::Label> cs;
+    for (graph::Label l = 0; l < g.num_labels(); ++l) {
+      if (g.OutDegree(v, l) > 0) cs.insert(l);
+    }
+    if (cs.empty()) continue;
+    Group& group = by_set[cs];
+    group.char_set = cs;
+    ++group.vertex_count;
+    for (graph::Label l : cs) {
+      group.label_edges[l] += g.OutDegree(v, l);
+    }
+  }
+  for (auto& [cs, group] : by_set) groups_.push_back(std::move(group));
+}
+
+double CharacteristicSets::EstimateStar(
+    const std::vector<graph::Label>& labels) const {
+  // Count multiplicity per distinct label.
+  std::map<graph::Label, int> need;
+  for (graph::Label l : labels) ++need[l];
+
+  double total = 0;
+  for (const Group& group : groups_) {
+    bool covers = true;
+    for (const auto& [l, cnt] : need) {
+      if (!group.char_set.contains(l)) {
+        covers = false;
+        break;
+      }
+    }
+    if (!covers) continue;
+    double contribution = static_cast<double>(group.vertex_count);
+    for (const auto& [l, cnt] : need) {
+      const double avg =
+          static_cast<double>(group.label_edges.at(l)) /
+          static_cast<double>(group.vertex_count);
+      contribution *= std::pow(avg, cnt);
+    }
+    total += contribution;
+  }
+  return total;
+}
+
+}  // namespace cegraph::stats

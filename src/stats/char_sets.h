@@ -1,0 +1,46 @@
+#ifndef CEGRAPH_STATS_CHAR_SETS_H_
+#define CEGRAPH_STATS_CHAR_SETS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cegraph::stats {
+
+/// The Characteristic Sets summary of Neumann & Moerkotte [22] (§6.4):
+/// vertices are grouped by their characteristic set — the set of distinct
+/// outgoing edge labels — and, per group, the summary stores the number of
+/// member vertices and the total number of outgoing edges per label (from
+/// which average per-label multiplicities follow).
+class CharacteristicSets {
+ public:
+  explicit CharacteristicSets(const graph::Graph& g);
+
+  struct Group {
+    std::set<graph::Label> char_set;
+    uint64_t vertex_count = 0;
+    /// label -> total number of outgoing edges with that label across the
+    /// group's vertices.
+    std::map<graph::Label, uint64_t> label_edges;
+  };
+
+  const std::vector<Group>& groups() const { return groups_; }
+  uint32_t num_graph_vertices() const { return num_vertices_; }
+
+  /// Estimated number of matches of an out-star whose center emits one
+  /// edge per entry of `labels` (labels may repeat): the CS formula
+  /// sum over groups G containing all labels of
+  ///   |G| * prod_l (avg multiplicity of l in G)^{count(l)}.
+  double EstimateStar(const std::vector<graph::Label>& labels) const;
+
+ private:
+  uint32_t num_vertices_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace cegraph::stats
+
+#endif  // CEGRAPH_STATS_CHAR_SETS_H_

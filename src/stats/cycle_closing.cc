@@ -1,0 +1,84 @@
+#include "stats/cycle_closing.h"
+
+#include <vector>
+
+namespace cegraph::stats {
+
+namespace {
+
+using graph::Label;
+using graph::VertexId;
+
+}  // namespace
+
+double CycleClosingRates::Rate(const ClosingKey& key) const {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const double rate = Sample(key);
+  cache_.emplace(key, rate);
+  return rate;
+}
+
+double CycleClosingRates::Sample(const ClosingKey& key) const {
+  // Derive a per-key deterministic stream so the rate does not depend on
+  // the order in which keys are first requested.
+  util::Rng rng(options_.seed ^ ClosingKeyHash()(key));
+
+  const auto first_rel = g_.RelationEdges(key.first_label);
+  if (first_rel.empty() || g_.RelationSize(key.last_label) == 0) {
+    return 0.5 / (options_.walks_per_key + 1);
+  }
+
+  int completed = 0;
+  int closed = 0;
+  std::vector<std::pair<VertexId, Label>> any_nbrs;
+  auto collect_any = [&](VertexId v) {
+    any_nbrs.clear();
+    for (Label l = 0; l < g_.num_labels(); ++l) {
+      for (VertexId u : g_.OutNeighbors(v, l)) any_nbrs.emplace_back(u, l);
+      for (VertexId u : g_.InNeighbors(v, l)) any_nbrs.emplace_back(u, l);
+    }
+  };
+
+  const int64_t max_attempts = static_cast<int64_t>(options_.walks_per_key) *
+                               options_.max_attempt_factor;
+  for (int64_t trial = 0;
+       trial < max_attempts && completed < options_.walks_per_key; ++trial) {
+    // 1. Start edge: uniform tuple of the first relation, oriented.
+    const graph::Edge& fe = first_rel[rng.Uniform(first_rel.size())];
+    const VertexId start = key.first_forward ? fe.src : fe.dst;
+    VertexId cur = key.first_forward ? fe.dst : fe.src;
+
+    // 2. Intermediate random hops over any label/direction.
+    const int mid = static_cast<int>(
+        rng.Uniform(static_cast<uint64_t>(options_.max_mid_hops) + 1));
+    bool dead = false;
+    for (int hop = 0; hop < mid && !dead; ++hop) {
+      collect_any(cur);
+      if (any_nbrs.empty()) {
+        dead = true;
+        break;
+      }
+      cur = any_nbrs[rng.Uniform(any_nbrs.size())].first;
+    }
+    if (dead) continue;
+
+    // 3. Final edge with the last label, oriented.
+    const auto last_nbrs = key.last_forward
+                               ? g_.OutNeighbors(cur, key.last_label)
+                               : g_.InNeighbors(cur, key.last_label);
+    if (last_nbrs.empty()) continue;
+    const VertexId end = last_nbrs[rng.Uniform(last_nbrs.size())];
+
+    // 4. Closing check.
+    ++completed;
+    const bool has_close =
+        key.close_from_end
+            ? g_.HasEdge(end, start, key.close_label)
+            : g_.HasEdge(start, end, key.close_label);
+    closed += has_close;
+  }
+  return (closed + 0.5) / (completed + 1.0);
+}
+
+}  // namespace cegraph::stats

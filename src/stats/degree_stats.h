@@ -1,0 +1,112 @@
+#ifndef CEGRAPH_STATS_DEGREE_STATS_H_
+#define CEGRAPH_STATS_DEGREE_STATS_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace cegraph::stats {
+
+/// Maximum-degree statistics of one relation over up to 3 attributes,
+/// keyed by attribute-subset bitmask pairs: Get(X, Y) = deg(X, Y, R) =
+/// max over values v of X of the number of distinct Y-values co-occurring
+/// with v (§5.1). Get(X, X) == 1 and Get(0, Y) == |pi_Y(R)| by definition.
+struct DegreeMap {
+  uint32_t num_attrs = 0;
+  /// deg[X][Y]; 0 means "not defined" (X not a subset of Y).
+  std::array<std::array<double, 8>, 8> deg{};
+
+  double Get(uint32_t x, uint32_t y) const { return deg[x][y]; }
+};
+
+/// Computes the full DegreeMap of a materialized relation given as tuples
+/// over `num_attrs` (<= 3) attributes. Tuples beyond index num_attrs-1 are
+/// ignored.
+DegreeMap ComputeDegreeMap(
+    uint32_t num_attrs,
+    const std::vector<std::array<graph::VertexId, 3>>& tuples);
+
+/// Per-graph cache of degree statistics: base-relation statistics are
+/// derived from the graph's CSR summaries in O(1); degree statistics of
+/// small-size join results (§5.1.1) are materialized once per isomorphism
+/// class and shared across the whole workload.
+class StatsCatalog {
+ public:
+  /// `materialize_cap`: join results with more tuples than this are not
+  /// materialized (TwoJoin returns nullptr); estimators then simply run
+  /// without those extra statistics, which only loosens bounds (it never
+  /// breaks soundness).
+  explicit StatsCatalog(const graph::Graph& g,
+                        uint64_t materialize_cap = 4'000'000)
+      : g_(g), materialize_cap_(materialize_cap) {}
+
+  StatsCatalog(const StatsCatalog&) = delete;
+  StatsCatalog& operator=(const StatsCatalog&) = delete;
+
+  const graph::Graph& graph() const { return g_; }
+
+  /// Degree map of base relation `l` with local attributes {0 = src,
+  /// 1 = dst}.
+  const DegreeMap& BaseRelation(graph::Label l) const;
+
+  /// Degree statistics of the join result of a connected 2-edge pattern.
+  struct JoinStats {
+    query::QueryGraph representative;  ///< pattern the stats are numbered in
+    DegreeMap deg;                     ///< attrs = representative's vertices
+    double cardinality = 0;            ///< |join result|
+  };
+
+  /// Returns stats for `pattern` (a connected 2-edge query), or nullptr if
+  /// the join was too large to materialize. The caller must map attribute
+  /// ids through FindIsomorphism(pattern, result->representative).
+  const JoinStats* TwoJoin(const query::QueryGraph& pattern) const;
+
+ private:
+  const graph::Graph& g_;
+  uint64_t materialize_cap_;
+  mutable std::unordered_map<graph::Label, DegreeMap> base_cache_;
+  mutable std::unordered_map<std::string, std::unique_ptr<JoinStats>>
+      join_cache_;
+};
+
+/// One statistics-bearing relation of a query, with attributes expressed as
+/// query-vertex bitmasks. This is the uniform input format of CEG_M / CBS /
+/// DBPLP: base relations and small-join results look identical here.
+struct StatRelation {
+  query::VertexSet attrs = 0;
+  /// deg[(X, Y)] with X subset of Y subset of attrs (bitmasks over query
+  /// vertices).
+  std::map<std::pair<query::VertexSet, query::VertexSet>, double> deg;
+  std::string description;
+
+  double Get(query::VertexSet x, query::VertexSet y) const {
+    auto it = deg.find({x, y});
+    return it == deg.end() ? 0.0 : it->second;
+  }
+};
+
+/// The degree statistics available to the pessimistic estimators for one
+/// query: one StatRelation per query edge, plus (optionally, §5.1.1) one
+/// per connected 2-edge sub-query.
+class DegreeStats {
+ public:
+  static util::StatusOr<DegreeStats> Build(const StatsCatalog& catalog,
+                                           const query::QueryGraph& q,
+                                           bool include_two_joins);
+
+  const std::vector<StatRelation>& relations() const { return relations_; }
+
+ private:
+  std::vector<StatRelation> relations_;
+};
+
+}  // namespace cegraph::stats
+
+#endif  // CEGRAPH_STATS_DEGREE_STATS_H_

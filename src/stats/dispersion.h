@@ -1,0 +1,65 @@
+#ifndef CEGRAPH_STATS_DISPERSION_H_
+#define CEGRAPH_STATS_DISPERSION_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace cegraph::stats {
+
+/// Dispersion statistics of one CEG_O extension step: how *regular* the
+/// conditional degree behind the average-degree weight |E|/|I| really is.
+/// For each embedding of the intersection pattern I, let X be the number
+/// of ways it extends to the pattern E (zero included). Then:
+///   mean       = E[X] = |E| / |I|          (the CEG_O edge weight)
+///   cv2        = Var[X] / E[X]^2           (squared coefficient of variation;
+///                                           0 iff the uniformity assumption
+///                                           is exact)
+///   entropy    = Shannon entropy (bits) of the distribution of extensions
+///                over I-embeddings, normalized by log2 |E| so 1 = maximal
+///                regularity (every extension equally likely).
+struct ExtensionDispersion {
+  double mean = 0;
+  double cv2 = 0;
+  double entropy = 0;
+};
+
+/// Per-graph catalog of extension-dispersion statistics, cached by the
+/// isomorphism class of the (E, I) pattern pair. This is the statistics
+/// substrate for the paper's §8 future-work estimator ("one can use
+/// variance, standard deviation, or entropies of the distributions of
+/// small-size joins as edge weights in a CEG ... and pick the
+/// minimum-weight, e.g. 'lowest entropy', paths").
+class DispersionCatalog {
+ public:
+  /// `materialize_cap`: extension patterns with more embeddings than this
+  /// are not analyzed (Get returns NotFound; callers fall back to a
+  /// neutral weight).
+  explicit DispersionCatalog(const graph::Graph& g,
+                             uint64_t materialize_cap = 2'000'000)
+      : g_(g), materialize_cap_(materialize_cap) {}
+
+  DispersionCatalog(const DispersionCatalog&) = delete;
+  DispersionCatalog& operator=(const DispersionCatalog&) = delete;
+
+  /// Dispersion of extending `intersection` to `pattern`, where
+  /// `intersection_edges` selects I's edges within `pattern`'s edge
+  /// numbering. `pattern` must have <= 3 edges (Markov-table sized).
+  util::StatusOr<ExtensionDispersion> Get(
+      const query::QueryGraph& pattern,
+      query::EdgeSet intersection_edges) const;
+
+  size_t num_cached() const { return cache_.size(); }
+
+ private:
+  const graph::Graph& g_;
+  uint64_t materialize_cap_;
+  mutable std::unordered_map<std::string, ExtensionDispersion> cache_;
+};
+
+}  // namespace cegraph::stats
+
+#endif  // CEGRAPH_STATS_DISPERSION_H_

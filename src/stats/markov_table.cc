@@ -1,0 +1,26 @@
+#include "stats/markov_table.h"
+
+namespace cegraph::stats {
+
+bool MarkovTable::Contains(const query::QueryGraph& pattern) const {
+  return pattern.num_edges() >= 1 &&
+         pattern.num_edges() <= static_cast<uint32_t>(h_) &&
+         pattern.IsConnected();
+}
+
+util::StatusOr<double> MarkovTable::Cardinality(
+    const query::QueryGraph& pattern) const {
+  if (!Contains(pattern)) {
+    return util::InvalidArgumentError(
+        "pattern not covered by this Markov table");
+  }
+  const std::string key = pattern.CanonicalCode();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto count = matcher_.Count(pattern);
+  if (!count.ok()) return count.status();
+  cache_.emplace(key, *count);
+  return *count;
+}
+
+}  // namespace cegraph::stats

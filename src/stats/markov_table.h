@@ -1,0 +1,69 @@
+#ifndef CEGRAPH_STATS_MARKOV_TABLE_H_
+#define CEGRAPH_STATS_MARKOV_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "matching/matcher.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace cegraph::stats {
+
+/// A Markov table of size h (§4.1): the exact cardinality of every join
+/// (pattern) with at most `h` edges. This generalizes the XML Markov tables
+/// of Aboulnaga et al. [2] to arbitrary connected patterns exactly as the
+/// graph-catalogue estimator [20] does.
+///
+/// The table is *lazy and workload-driven*, matching the paper's setup
+/// ("we generated workload-specific Markov tables"): pattern cardinalities
+/// are computed on first use with the exact matcher and memoized under the
+/// pattern's canonical (isomorphism-invariant) code, so every isomorphic
+/// sub-query across the workload shares one entry.
+class MarkovTable {
+ public:
+  /// Creates a size-`h` table over `g`. `h` must be >= 1 (the paper uses
+  /// h = 2 and h = 3).
+  MarkovTable(const graph::Graph& g, int h)
+      : g_(g), matcher_(g), h_(h) {}
+
+  MarkovTable(const MarkovTable&) = delete;
+  MarkovTable& operator=(const MarkovTable&) = delete;
+
+  int h() const { return h_; }
+  const graph::Graph& graph() const { return g_; }
+
+  /// True iff `pattern` is stored by this table (connected, 1..h edges).
+  bool Contains(const query::QueryGraph& pattern) const;
+
+  /// The exact cardinality of `pattern` (which must satisfy
+  /// Contains(pattern)). Computed on first use; cached thereafter.
+  util::StatusOr<double> Cardinality(const query::QueryGraph& pattern) const;
+
+  /// Number of memoized entries (the "Markov table size" the paper reports
+  /// in MBs; each entry is one pattern cardinality).
+  size_t num_entries() const { return cache_.size(); }
+
+  /// Approximate resident size of the table in bytes: per entry, the
+  /// canonical key plus the stored cardinality. The paper reports < 0.6 MB
+  /// for any workload-dataset combination at h <= 3; this accessor lets
+  /// benches verify the same property for the lazy tables here.
+  size_t ApproximateSizeBytes() const {
+    size_t bytes = 0;
+    for (const auto& [key, value] : cache_) {
+      bytes += key.size() + sizeof(value);
+    }
+    return bytes;
+  }
+
+ private:
+  const graph::Graph& g_;
+  matching::Matcher matcher_;
+  int h_;
+  mutable std::unordered_map<std::string, double> cache_;
+};
+
+}  // namespace cegraph::stats
+
+#endif  // CEGRAPH_STATS_MARKOV_TABLE_H_

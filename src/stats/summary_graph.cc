@@ -1,0 +1,70 @@
+#include "stats/summary_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/random.h"
+
+namespace cegraph::stats {
+
+SummaryGraph::SummaryGraph(const graph::Graph& g, uint32_t target_buckets,
+                           uint64_t seed)
+    : num_labels_(g.num_labels()) {
+  target_buckets = std::max(1u, target_buckets);
+
+  // Bucket assignment: hash of the vertex's label signature (which labels
+  // occur on its out- and in-edges), so structurally similar vertices share
+  // buckets, mixed with a seed to keep bucketing deterministic but
+  // unbiased.
+  std::vector<uint32_t> bucket_of(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint64_t sig = seed;
+    for (graph::Label l = 0; l < g.num_labels(); ++l) {
+      if (g.OutDegree(v, l) > 0) sig = util::MixHash(sig ^ (2 * l + 1));
+      if (g.InDegree(v, l) > 0) sig = util::MixHash(sig ^ (2 * l + 2));
+    }
+    bucket_of[v] = static_cast<uint32_t>(sig % target_buckets);
+  }
+
+  bucket_size_.assign(target_buckets, 0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++bucket_size_[bucket_of[v]];
+  }
+
+  // Aggregate superedge weights.
+  out_.assign(num_labels_, std::vector<std::vector<std::pair<uint32_t,
+                                                             double>>>(
+                               target_buckets));
+  in_.assign(num_labels_, std::vector<std::vector<std::pair<uint32_t,
+                                                            double>>>(
+                              target_buckets));
+  std::map<std::tuple<graph::Label, uint32_t, uint32_t>, double> weights;
+  for (const graph::Edge& e : g.edges()) {
+    ++weights[{e.label, bucket_of[e.src], bucket_of[e.dst]}];
+  }
+  for (const auto& [key, w] : weights) {
+    const auto& [label, b1, b2] = key;
+    out_[label][b1].emplace_back(b2, w);
+    in_[label][b2].emplace_back(b1, w);
+  }
+}
+
+double SummaryGraph::EdgeWeight(uint32_t b1, graph::Label label,
+                                uint32_t b2) const {
+  for (const auto& [b, w] : out_[label][b1]) {
+    if (b == b2) return w;
+  }
+  return 0;
+}
+
+const std::vector<std::pair<uint32_t, double>>& SummaryGraph::OutEdges(
+    uint32_t b1, graph::Label label) const {
+  return out_[label][b1];
+}
+
+const std::vector<std::pair<uint32_t, double>>& SummaryGraph::InEdges(
+    uint32_t b2, graph::Label label) const {
+  return in_[label][b2];
+}
+
+}  // namespace cegraph::stats

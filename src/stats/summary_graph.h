@@ -1,0 +1,57 @@
+#ifndef CEGRAPH_STATS_SUMMARY_GRAPH_H_
+#define CEGRAPH_STATS_SUMMARY_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cegraph::stats {
+
+/// A SumRDF-style summary graph (Stefanoni et al. [30], §6.4): vertices are
+/// collapsed into buckets (here: by a hash of their in/out label signature,
+/// targeting `target_buckets` buckets) and the summary stores, per
+/// (bucket, label, bucket) triple, the number of underlying edges.
+///
+/// Substitution note (DESIGN.md §3): the original SumRDF builds its summary
+/// with a typed minimization and answers queries by counting possible
+/// worlds; we reproduce its *mechanism* — a quotient graph whose estimate
+/// is the expected cardinality over uniformly random instantiations of each
+/// superedge — which is the same uniformity assumption the paper describes
+/// ("each possible world has the same probability").
+class SummaryGraph {
+ public:
+  SummaryGraph(const graph::Graph& g, uint32_t target_buckets,
+               uint64_t seed = 7);
+
+  uint32_t num_buckets() const {
+    return static_cast<uint32_t>(bucket_size_.size());
+  }
+  uint64_t bucket_size(uint32_t b) const { return bucket_size_[b]; }
+
+  /// Superedge weight: number of data edges with `label` from bucket `b1`
+  /// to bucket `b2`.
+  double EdgeWeight(uint32_t b1, graph::Label label, uint32_t b2) const;
+
+  /// All non-empty (b2, weight) superedges out of `b1` via `label`.
+  const std::vector<std::pair<uint32_t, double>>& OutEdges(
+      uint32_t b1, graph::Label label) const;
+  /// All non-empty (b1, weight) superedges into `b2` via `label`.
+  const std::vector<std::pair<uint32_t, double>>& InEdges(
+      uint32_t b2, graph::Label label) const;
+
+  uint32_t num_labels() const { return num_labels_; }
+
+ private:
+  uint32_t num_labels_;
+  std::vector<uint64_t> bucket_size_;
+  // out_[label][bucket] -> list of (dst bucket, weight).
+  std::vector<std::vector<std::vector<std::pair<uint32_t, double>>>> out_;
+  std::vector<std::vector<std::vector<std::pair<uint32_t, double>>>> in_;
+  std::vector<std::pair<uint32_t, double>> empty_;
+};
+
+}  // namespace cegraph::stats
+
+#endif  // CEGRAPH_STATS_SUMMARY_GRAPH_H_

@@ -1,0 +1,54 @@
+#include "util/box_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cegraph::util {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = (q / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+BoxStats ComputeBoxStats(std::vector<double> values) {
+  BoxStats out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.count = values.size();
+  out.min = values.front();
+  out.max = values.back();
+  out.p25 = Percentile(values, 25);
+  out.median = Percentile(values, 50);
+  out.p75 = Percentile(values, 75);
+  double sum = 0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+
+  // Trimmed mean: drop the top 10% by magnitude (the paper's convention for
+  // reporting mean q-error without extreme outliers).
+  std::sort(values.begin(), values.end(),
+            [](double a, double b) { return std::fabs(a) < std::fabs(b); });
+  const size_t keep =
+      values.size() - values.size() / 10;  // floor(n*0.9) rounded up
+  double tsum = 0;
+  for (size_t i = 0; i < keep; ++i) tsum += values[i];
+  out.trimmed_mean = keep == 0 ? 0 : tsum / static_cast<double>(keep);
+  return out;
+}
+
+std::string BoxStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.3g p25=%.3g med=%.3g p75=%.3g max=%.3g "
+                "mean=%.3g tmean=%.3g",
+                count, min, p25, median, p75, max, mean, trimmed_mean);
+  return buf;
+}
+
+}  // namespace cegraph::util

@@ -1,0 +1,35 @@
+#ifndef CEGRAPH_UTIL_BOX_STATS_H_
+#define CEGRAPH_UTIL_BOX_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace cegraph::util {
+
+/// Summary statistics mirroring the paper's box plots (§6.2): 25th/50th/75th
+/// percentiles, min/max, and the mean computed after dropping the top 10% of
+/// the distribution by magnitude ("excluding the top 10% of the distribution
+/// (ignoring under/over estimations)").
+struct BoxStats {
+  size_t count = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double max = 0;
+  double mean = 0;          ///< plain arithmetic mean
+  double trimmed_mean = 0;  ///< mean after dropping top 10% by |value|
+
+  /// One-line rendering, e.g. "n=360 min=-2.1 p25=-0.3 med=0.1 ...".
+  std::string ToString() const;
+};
+
+/// Computes BoxStats over `values`. Returns all-zero stats for empty input.
+BoxStats ComputeBoxStats(std::vector<double> values);
+
+/// Linear-interpolated percentile of a *sorted* vector; q in [0, 100].
+double Percentile(const std::vector<double>& sorted, double q);
+
+}  // namespace cegraph::util
+
+#endif  // CEGRAPH_UTIL_BOX_STATS_H_

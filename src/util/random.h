@@ -1,0 +1,76 @@
+#ifndef CEGRAPH_UTIL_RANDOM_H_
+#define CEGRAPH_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cegraph::util {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every stochastic component in the library (dataset generators, workload
+/// instantiation, cycle-closing-rate walks, WanderJoin, bound-sketch hashing
+/// of experiments) takes an explicit `Rng` or seed so that experiments are
+/// exactly reproducible across runs and platforms. We deliberately avoid
+/// std::mt19937 + std::uniform_int_distribution because distribution output
+/// is not specified portably by the standard.
+class Rng {
+ public:
+  /// Seeds the generator; distinct seeds give independent-looking streams.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Returns an index in [0, weights.size()) chosen proportionally to
+  /// `weights` (non-negative; at least one must be positive).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Returns a Zipfian-distributed value in [0, n) with exponent `s`.
+  /// Computed by inversion over the precomputable harmonic CDF is too
+  /// expensive for large n, so this uses rejection-inversion is overkill;
+  /// we use the simple CDF-free approximation of sampling u^( -1/(s-1) )
+  /// only when s>1, otherwise a linear-scan CDF for small n. For the sizes
+  /// used here (n <= a few hundred for labels), a cached CDF is used by
+  /// ZipfDistribution below; this helper is for one-off draws.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Precomputed Zipf(n, s) sampler over ranks {0, ..., n-1}; rank 0 is the
+/// most frequent. Sampling is O(log n) via binary search on the CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `k`.
+  double Pmf(uint64_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// 64-bit mix hash (SplitMix64 finalizer); used for bound-sketch
+/// partition hashing so that partitions are deterministic.
+uint64_t MixHash(uint64_t x);
+
+}  // namespace cegraph::util
+
+#endif  // CEGRAPH_UTIL_RANDOM_H_

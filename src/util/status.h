@@ -1,0 +1,130 @@
+#ifndef CEGRAPH_UTIL_STATUS_H_
+#define CEGRAPH_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cegraph::util {
+
+/// Canonical error categories, a small subset of the absl/gRPC code space
+/// that is sufficient for this library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kResourceExhausted = 7,
+};
+
+/// Returns a human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result, used instead of exceptions across
+/// all public APIs (see DESIGN.md §8). Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+/// A value-or-error result. Holds either a `T` or a non-OK `Status`.
+/// Access to `value()` on an error aborts the process: this library treats
+/// unchecked error access as a programming bug, matching the behaviour of
+/// absl::StatusOr in hardened builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirrors absl::StatusOr).
+  StatusOr(T value) : rep_(std::move(value)) {}
+  /// Constructs from a non-OK status. Aborts if `status.ok()`.
+  StatusOr(Status status) : rep_(std::move(status)) {
+    if (std::get<Status>(rep_).ok()) Crash("StatusOr constructed from OK");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    if (!ok()) Crash(std::get<Status>(rep_).ToString());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    if (!ok()) Crash(std::get<Status>(rep_).ToString());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    if (!ok()) Crash(std::get<Status>(rep_).ToString());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  [[noreturn]] static void Crash(const std::string& what);
+
+  std::variant<T, Status> rep_;
+};
+
+namespace internal {
+[[noreturn]] void StatusOrCrash(const std::string& what);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::Crash(const std::string& what) {
+  internal::StatusOrCrash(what);
+}
+
+/// Evaluates `expr` (a Status-returning expression) and returns it from the
+/// enclosing function if it is not OK.
+#define CEGRAPH_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::cegraph::util::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace cegraph::util
+
+#endif  // CEGRAPH_UTIL_STATUS_H_

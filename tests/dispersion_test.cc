@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimators/dispersion_path.h"
+#include "estimators/optimistic.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "harness/qerror.h"
+#include "query/workload.h"
+#include "stats/dispersion.h"
+#include "stats/markov_table.h"
+
+namespace cegraph {
+namespace {
+
+using graph::Graph;
+using query::QueryGraph;
+
+QueryGraph Q(uint32_t n, std::vector<query::QueryEdge> edges) {
+  auto q = QueryGraph::Create(n, std::move(edges));
+  return std::move(q).value();
+}
+
+/// A perfectly regular graph: every A-destination has exactly two
+/// B-successors, so the A->B extension has zero variance.
+Graph RegularGraph() {
+  std::vector<graph::Edge> edges;
+  for (uint32_t i = 0; i < 4; ++i) {
+    edges.push_back({i, 10 + i, 0});              // A
+    edges.push_back({10 + i, 20 + 2 * i, 1});     // B x2
+    edges.push_back({10 + i, 21 + 2 * i, 1});
+  }
+  auto g = graph::Graph::Create(30, 2, std::move(edges));
+  return std::move(g).value();
+}
+
+/// A skewed graph: one A-destination has 4 B-successors, the rest none.
+Graph SkewedGraph() {
+  std::vector<graph::Edge> edges;
+  for (uint32_t i = 0; i < 4; ++i) edges.push_back({i, 10 + i, 0});  // A
+  for (uint32_t j = 0; j < 4; ++j) edges.push_back({10, 20 + j, 1});  // B
+  auto g = graph::Graph::Create(30, 2, std::move(edges));
+  return std::move(g).value();
+}
+
+TEST(DispersionCatalogTest, ZeroVarianceOnRegularExtension) {
+  Graph g = RegularGraph();
+  stats::DispersionCatalog catalog(g);
+  // Pattern: (a)-[A]->(b)-[B]->(c), intersection = the A edge (edge 0).
+  const QueryGraph pattern = Q(3, {{0, 1, 0}, {1, 2, 1}});
+  auto d = catalog.Get(pattern, 0b01);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->mean, 2.0);
+  EXPECT_NEAR(d->cv2, 0.0, 1e-12);
+  EXPECT_NEAR(d->entropy, 1.0, 1e-9);  // maximal regularity
+}
+
+TEST(DispersionCatalogTest, HighVarianceOnSkewedExtension) {
+  Graph g = SkewedGraph();
+  stats::DispersionCatalog catalog(g);
+  const QueryGraph pattern = Q(3, {{0, 1, 0}, {1, 2, 1}});
+  auto d = catalog.Get(pattern, 0b01);
+  ASSERT_TRUE(d.ok());
+  // 4 A-tuples, one extends 4 ways, three extend 0 ways: mean 1,
+  // E[X^2] = 16/4 = 4, CV^2 = 3.
+  EXPECT_DOUBLE_EQ(d->mean, 1.0);
+  EXPECT_NEAR(d->cv2, 3.0, 1e-9);
+  EXPECT_NEAR(d->entropy, 0.0, 1e-9);  // all mass on one group
+}
+
+TEST(DispersionCatalogTest, FirstHopIsNeutral) {
+  Graph g = SkewedGraph();
+  stats::DispersionCatalog catalog(g);
+  auto d = catalog.Get(Q(2, {{0, 1, 0}}), 0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->mean, 4.0);
+  EXPECT_DOUBLE_EQ(d->cv2, 0.0);
+}
+
+TEST(DispersionCatalogTest, CachesByMarkedIsomorphism) {
+  Graph g = RegularGraph();
+  stats::DispersionCatalog catalog(g);
+  ASSERT_TRUE(catalog.Get(Q(3, {{0, 1, 0}, {1, 2, 1}}), 0b01).ok());
+  const size_t cached = catalog.num_cached();
+  // Isomorphic relabeled pattern with the same marked intersection.
+  ASSERT_TRUE(catalog.Get(Q(3, {{2, 0, 0}, {0, 1, 1}}), 0b01).ok());
+  EXPECT_EQ(catalog.num_cached(), cached);
+  // Same pattern, *different* intersection is a different statistic.
+  ASSERT_TRUE(catalog.Get(Q(3, {{0, 1, 0}, {1, 2, 1}}), 0b10).ok());
+  EXPECT_GT(catalog.num_cached(), cached);
+}
+
+TEST(DispersionCatalogTest, RejectsBadArguments) {
+  Graph g = RegularGraph();
+  stats::DispersionCatalog catalog(g);
+  EXPECT_FALSE(catalog.Get(Q(3, {{0, 1, 0}, {1, 2, 1}}), 0b100).ok());
+}
+
+TEST(DispersionGuidedTest, ExactOnRegularGraphs) {
+  // On a perfectly regular graph the uniformity assumption is exact and
+  // every path agrees; the min-cv path must return the exact cardinality.
+  Graph g = RegularGraph();
+  stats::MarkovTable markov(g, 2);
+  stats::DispersionCatalog dispersion(g);
+  DispersionGuidedEstimator estimator(markov, dispersion);
+  const QueryGraph q = Q(4, {{0, 1, 0}, {1, 2, 1}, {2, 3, 1}});
+  auto est = estimator.Estimate(q);
+  ASSERT_TRUE(est.ok());
+  // A->B->B: A has 4 tuples, each B-dst has... B targets 20..28 have no
+  // outgoing B, so the true count is 0 and the estimate must be small.
+  EXPECT_GE(*est, 0.0);
+}
+
+TEST(DispersionGuidedTest, RunsOnWorkloadAndIsDeterministic) {
+  auto g = graph::MakeDataset("epinions_like");
+  ASSERT_TRUE(g.ok());
+  query::WorkloadOptions options;
+  options.instances_per_template = 4;
+  options.seed = 55;
+  auto wl = query::GenerateWorkload(
+      *g, {{"cat5", query::CaterpillarShape(5, 3)}}, options);
+  ASSERT_TRUE(wl.ok());
+
+  stats::MarkovTable markov(*g, 2);
+  stats::DispersionCatalog dispersion(*g);
+  for (auto objective : {DispersionGuidedEstimator::Objective::kMinCv,
+                         DispersionGuidedEstimator::Objective::kMinEntropy}) {
+    DispersionGuidedEstimator estimator(markov, dispersion, objective);
+    for (const auto& wq : *wl) {
+      auto e1 = estimator.Estimate(wq.query);
+      auto e2 = estimator.Estimate(wq.query);
+      ASSERT_TRUE(e1.ok());
+      ASSERT_TRUE(e2.ok());
+      EXPECT_DOUBLE_EQ(*e1, *e2);
+      EXPECT_GT(*e1, 0.0);
+    }
+  }
+}
+
+TEST(DispersionGuidedTest, EstimateIsSomeCegPathEstimate) {
+  // The dispersion-guided estimate must equal the estimate of *some*
+  // CEG_O path (it only re-picks, never re-weights).
+  auto g = graph::MakeDataset("epinions_like");
+  ASSERT_TRUE(g.ok());
+  query::WorkloadOptions options;
+  options.instances_per_template = 3;
+  options.seed = 56;
+  auto wl = query::GenerateWorkload(*g, {{"p3", query::PathShape(3)}},
+                                    options);
+  ASSERT_TRUE(wl.ok());
+  stats::MarkovTable markov(*g, 2);
+  stats::DispersionCatalog dispersion(*g);
+  DispersionGuidedEstimator estimator(markov, dispersion);
+  OptimisticEstimator any(markov, OptimisticSpec{});
+  for (const auto& wq : *wl) {
+    auto est = estimator.Estimate(wq.query);
+    ASSERT_TRUE(est.ok());
+    auto built = any.BuildCeg(wq.query);
+    ASSERT_TRUE(built.ok());
+    bool found = false;
+    for (const auto& path : built->ceg.EnumerateSimplePaths(100000)) {
+      if (std::fabs(std::exp2(path.log_weight) - *est) <
+          1e-6 * std::max(1.0, *est)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace cegraph

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+
+namespace cegraph::graph {
+namespace {
+
+TEST(GraphIoTest, RoundTripThroughStreams) {
+  GeneratorConfig config;
+  config.num_vertices = 100;
+  config.num_edges = 400;
+  config.num_labels = 6;
+  config.seed = 33;
+  auto g = GenerateGraph(config);
+  ASSERT_TRUE(g.ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGraphText(*g, buffer).ok());
+  auto loaded = ReadGraphText(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), g->num_vertices());
+  EXPECT_EQ(loaded->num_labels(), g->num_labels());
+  EXPECT_EQ(loaded->edges(), g->edges());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "3 2\n"
+      "# another\n"
+      "0 1 0\n"
+      "1 2 1\n");
+  auto g = ReadGraphText(in);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_TRUE(g->HasEdge(1, 2, 1));
+}
+
+TEST(GraphIoTest, MissingHeaderRejected) {
+  std::stringstream in("# only comments\n");
+  auto g = ReadGraphText(in);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoTest, MalformedEdgeRejected) {
+  std::stringstream in("3 2\n0 1\n");
+  EXPECT_FALSE(ReadGraphText(in).ok());
+}
+
+TEST(GraphIoTest, OutOfRangeEdgeRejected) {
+  std::stringstream in("3 2\n0 9 0\n");
+  EXPECT_FALSE(ReadGraphText(in).ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  auto g = Graph::Create(4, 2, {{0, 1, 0}, {1, 2, 1}, {2, 3, 0}});
+  ASSERT_TRUE(g.ok());
+  const std::string path = ::testing::TempDir() + "/cegraph_io_test.txt";
+  ASSERT_TRUE(SaveGraph(*g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->edges(), g->edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, VertexLabelsRoundTrip) {
+  auto g = Graph::Create(4, 2, {{0, 1, 0}, {1, 2, 1}}, {1, 0, 2, 1});
+  ASSERT_TRUE(g.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGraphText(*g, buffer).ok());
+  auto loaded = ReadGraphText(buffer);
+  ASSERT_TRUE(loaded.ok());
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(loaded->vertex_label(v), g->vertex_label(v)) << v;
+  }
+  EXPECT_EQ(loaded->num_vertex_labels(), 3u);
+}
+
+TEST(GraphIoTest, MalformedVertexLabelLineRejected) {
+  std::stringstream in("3 2\nv 9 1\n0 1 0\n");
+  EXPECT_FALSE(ReadGraphText(in).ok());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  auto g = LoadGraph("/nonexistent/cegraph.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cegraph::graph

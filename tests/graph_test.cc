@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace cegraph::graph {
+namespace {
+
+Graph SmallGraph() {
+  // Label 0: 0->1, 0->2, 1->2 ; Label 1: 2->0, 2->1.
+  auto g = Graph::Create(3, 2,
+                         {{0, 1, 0}, {0, 2, 0}, {1, 2, 0}, {2, 0, 1},
+                          {2, 1, 1}});
+  return std::move(g).value();
+}
+
+TEST(GraphTest, BasicCounts) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_labels(), 2u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.RelationSize(0), 3u);
+  EXPECT_EQ(g.RelationSize(1), 2u);
+}
+
+TEST(GraphTest, OutNeighborsSorted) {
+  Graph g = SmallGraph();
+  auto nbrs = g.OutNeighbors(0, 0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(g.OutNeighbors(0, 1).size(), 0u);
+}
+
+TEST(GraphTest, InNeighbors) {
+  Graph g = SmallGraph();
+  auto nbrs = g.InNeighbors(2, 0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(g.InNeighbors(0, 1).size(), 1u);
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = SmallGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1, 1));
+}
+
+TEST(GraphTest, DegreeStatistics) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.MaxOutDegree(0), 2u);
+  EXPECT_EQ(g.MaxInDegree(0), 2u);
+  EXPECT_EQ(g.MaxOutDegree(1), 2u);
+  EXPECT_EQ(g.MaxInDegree(1), 1u);
+  EXPECT_EQ(g.NumDistinctSources(0), 2u);
+  EXPECT_EQ(g.NumDistinctDests(0), 2u);
+  EXPECT_EQ(g.NumDistinctSources(1), 1u);
+  EXPECT_EQ(g.NumDistinctDests(1), 2u);
+}
+
+TEST(GraphTest, DeduplicatesParallelEdges) {
+  auto g = Graph::Create(2, 1, {{0, 1, 0}, {0, 1, 0}, {0, 1, 0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphTest, RelationEdgesSortedBySrcDst) {
+  auto g = Graph::Create(4, 1, {{3, 0, 0}, {1, 2, 0}, {1, 0, 0}});
+  ASSERT_TRUE(g.ok());
+  auto edges = g->RelationEdges(0);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].src, 1u);
+  EXPECT_EQ(edges[0].dst, 0u);
+  EXPECT_EQ(edges[1].src, 1u);
+  EXPECT_EQ(edges[1].dst, 2u);
+  EXPECT_EQ(edges[2].src, 3u);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  auto g = Graph::Create(2, 1, {{0, 5, 0}});
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, RejectsOutOfRangeLabel) {
+  auto g = Graph::Create(2, 1, {{0, 1, 3}});
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphTest, SelfLoopsSupported) {
+  auto g = Graph::Create(2, 1, {{0, 0, 0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 0, 0));
+  EXPECT_EQ(g->OutDegree(0, 0), 1u);
+  EXPECT_EQ(g->InDegree(0, 0), 1u);
+}
+
+TEST(GraphTest, EmptyRelation) {
+  auto g = Graph::Create(3, 3, {{0, 1, 0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->RelationSize(1), 0u);
+  EXPECT_EQ(g->RelationSize(2), 0u);
+  EXPECT_EQ(g->MaxOutDegree(2), 0u);
+  EXPECT_EQ(g->RelationEdges(2).size(), 0u);
+}
+
+TEST(GeneratorTest, RespectsConfigSizes) {
+  GeneratorConfig config;
+  config.num_vertices = 500;
+  config.num_edges = 2000;
+  config.num_labels = 8;
+  config.seed = 99;
+  auto g = GenerateGraph(config);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 500u);
+  EXPECT_EQ(g->num_labels(), 8u);
+  // Deduplication may lose a few edges, but we should be close.
+  EXPECT_GT(g->num_edges(), 1800u);
+  EXPECT_LE(g->num_edges(), 2000u);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  GeneratorConfig config;
+  config.num_vertices = 200;
+  config.num_edges = 800;
+  config.num_labels = 5;
+  config.seed = 7;
+  auto g1 = GenerateGraph(config);
+  auto g2 = GenerateGraph(config);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->edges(), g2->edges());
+}
+
+TEST(GeneratorTest, SeedChangesOutput) {
+  GeneratorConfig config;
+  config.num_vertices = 200;
+  config.num_edges = 800;
+  config.num_labels = 5;
+  config.seed = 7;
+  auto g1 = GenerateGraph(config);
+  config.seed = 8;
+  auto g2 = GenerateGraph(config);
+  EXPECT_NE(g1->edges(), g2->edges());
+}
+
+TEST(GeneratorTest, PreferentialAttachmentSkewsDegrees) {
+  GeneratorConfig skewed;
+  skewed.num_vertices = 2000;
+  skewed.num_edges = 8000;
+  skewed.num_labels = 4;
+  skewed.preferential_p = 0.8;
+  skewed.seed = 3;
+  GeneratorConfig uniform = skewed;
+  uniform.preferential_p = 0.0;
+  auto gs = GenerateGraph(skewed);
+  auto gu = GenerateGraph(uniform);
+  uint32_t max_skewed = 0, max_uniform = 0;
+  for (Label l = 0; l < 4; ++l) {
+    max_skewed = std::max(max_skewed, gs->MaxOutDegree(l));
+    max_uniform = std::max(max_uniform, gu->MaxOutDegree(l));
+  }
+  EXPECT_GT(max_skewed, max_uniform);
+}
+
+TEST(GeneratorTest, RejectsEmptyDomains) {
+  GeneratorConfig config;
+  config.num_vertices = 0;
+  EXPECT_FALSE(GenerateGraph(config).ok());
+}
+
+TEST(RunningExampleTest, HasFiveLabels) {
+  Graph g = MakeRunningExampleGraph();
+  EXPECT_EQ(g.num_labels(), 5u);
+  EXPECT_EQ(g.RelationSize(1), 2u);  // |B| = 2, as in the paper's Table 1
+  EXPECT_EQ(g.RelationSize(0), 4u);  // |A| = 4
+}
+
+TEST(DatasetsTest, AllSixPresent) {
+  const auto names = DatasetNames();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "imdb_like");
+  EXPECT_EQ(names[5], "epinions_like");
+}
+
+TEST(DatasetsTest, InfoMatchesGraph) {
+  for (const std::string& name : DatasetNames()) {
+    auto info = GetDatasetInfo(name);
+    ASSERT_TRUE(info.ok()) << name;
+    auto g = MakeDataset(name);
+    ASSERT_TRUE(g.ok()) << name;
+    EXPECT_EQ(g->num_vertices(), info->num_vertices) << name;
+    EXPECT_EQ(g->num_labels(), info->num_labels) << name;
+    EXPECT_LE(g->num_edges(), info->num_edges) << name;
+    EXPECT_GT(g->num_edges(), info->num_edges * 9 / 10) << name;
+  }
+}
+
+TEST(DatasetsTest, UnknownNameFails) {
+  EXPECT_FALSE(MakeDataset("nope").ok());
+  EXPECT_FALSE(GetDatasetInfo("nope").ok());
+}
+
+TEST(DatasetsTest, EpinionsHasUncorrelatedLabels) {
+  // Labels uniform: relation sizes should be within 3x of each other.
+  auto g = MakeDataset("epinions_like");
+  ASSERT_TRUE(g.ok());
+  uint64_t min_size = UINT64_MAX, max_size = 0;
+  for (Label l = 0; l < g->num_labels(); ++l) {
+    min_size = std::min(min_size, g->RelationSize(l));
+    max_size = std::max(max_size, g->RelationSize(l));
+  }
+  EXPECT_LT(max_size, min_size * 3);
+}
+
+}  // namespace
+}  // namespace cegraph::graph

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "estimators/optimistic.h"
+#include "estimators/sumrdf.h"
+#include "graph/generators.h"
+#include "harness/experiment.h"
+#include "harness/qerror.h"
+#include "query/workload.h"
+#include "stats/markov_table.h"
+#include "stats/summary_graph.h"
+
+namespace cegraph::harness {
+namespace {
+
+TEST(QErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(QError(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(QError(5, 10), 2.0);
+  EXPECT_DOUBLE_EQ(QError(20, 10), 2.0);
+  EXPECT_TRUE(std::isinf(QError(0, 10)));
+  EXPECT_TRUE(std::isnan(QError(10, 0)));
+}
+
+TEST(QErrorTest, SignedLog) {
+  EXPECT_DOUBLE_EQ(SignedLogQError(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(SignedLogQError(1, 10), -1.0);   // 10x under
+  EXPECT_DOUBLE_EQ(SignedLogQError(100, 10), 1.0);  // 10x over
+  EXPECT_LT(SignedLogQError(3, 10), 0.0);
+  EXPECT_GT(SignedLogQError(30, 10), 0.0);
+}
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = graph::GenerateGraph({.num_vertices = 200,
+                                   .num_edges = 1200,
+                                   .num_labels = 4,
+                                   .num_types = 1,
+                                   .label_zipf_s = 1.0,
+                                   .preferential_p = 0.5,
+                                   .random_labels = true,
+                                   .seed = 91});
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<graph::Graph>(std::move(*g));
+    query::WorkloadOptions options;
+    options.instances_per_template = 5;
+    options.seed = 17;
+    auto wl = query::GenerateWorkload(
+        *graph_,
+        {{"p3", query::PathShape(3)}, {"s3", query::StarShape(3)}}, options);
+    ASSERT_TRUE(wl.ok());
+    workload_ = std::move(*wl);
+  }
+
+  std::unique_ptr<graph::Graph> graph_;
+  std::vector<query::WorkloadQuery> workload_;
+};
+
+TEST_F(HarnessTest, RunEstimatorSuiteCollectsDistributions) {
+  stats::MarkovTable markov(*graph_, 2);
+  OptimisticEstimator a(markov, OptimisticSpec{});
+  OptimisticSpec min_spec;
+  min_spec.aggregator = Aggregator::kMinAggr;
+  min_spec.path_length = ceg::Ceg::HopMode::kMinHop;
+  OptimisticEstimator b(markov, min_spec);
+  auto result = RunEstimatorSuite({&a, &b}, workload_);
+  EXPECT_EQ(result.queries_used, workload_.size());
+  EXPECT_EQ(result.queries_dropped, 0u);
+  ASSERT_EQ(result.reports.size(), 2u);
+  EXPECT_EQ(result.reports[0].signed_log_qerror.count, workload_.size());
+  EXPECT_EQ(result.reports[0].name, "max-hop-max");
+}
+
+TEST_F(HarnessTest, FailingEstimatorDropsQueriesForAll) {
+  stats::MarkovTable markov(*graph_, 2);
+  OptimisticEstimator a(markov, OptimisticSpec{});
+  stats::SummaryGraph summary(*graph_, 16);
+  SumRdfEstimator timeouty(summary, /*step_budget=*/1);
+  auto result = RunEstimatorSuite({&a, &timeouty}, workload_);
+  EXPECT_EQ(result.queries_used, 0u);
+  EXPECT_EQ(result.queries_dropped, workload_.size());
+  EXPECT_EQ(result.reports[1].failures, workload_.size());
+}
+
+TEST_F(HarnessTest, OptimisticSuiteReportsTenRows) {
+  stats::MarkovTable markov(*graph_, 2);
+  auto result = RunOptimisticSuite(markov, nullptr, OptimisticCeg::kCegO,
+                                   workload_);
+  ASSERT_EQ(result.reports.size(), 10u);  // 9 heuristics + P*
+  EXPECT_EQ(result.reports.back().name, "P*");
+  EXPECT_EQ(result.queries_used, workload_.size());
+}
+
+TEST_F(HarnessTest, PStarDominatesPointwise) {
+  // P* picks the per-query best path, so on a *single-query* workload its
+  // |signed log q-error| cannot exceed any heuristic's. (Across a whole
+  // workload mean dominance is not a theorem: heuristics' under- and
+  // over-estimates can cancel in the mean while P*'s one-sided small
+  // errors do not.)
+  stats::MarkovTable markov(*graph_, 2);
+  for (const auto& wq : workload_) {
+    auto result = RunOptimisticSuite(markov, nullptr, OptimisticCeg::kCegO,
+                                     {wq});
+    const auto& pstar = result.reports.back().signed_log_qerror;
+    for (size_t i = 0; i + 1 < result.reports.size(); ++i) {
+      const auto& other = result.reports[i].signed_log_qerror;
+      EXPECT_LE(std::fabs(pstar.median), std::fabs(other.median) + 1e-9)
+          << result.reports[i].name;
+    }
+  }
+}
+
+TEST_F(HarnessTest, SuiteAgreesWithStandaloneEstimators) {
+  stats::MarkovTable markov(*graph_, 2);
+  auto suite = RunOptimisticSuite(markov, nullptr, OptimisticCeg::kCegO,
+                                  workload_);
+  // Recompute max-hop-max independently; distributions must match.
+  OptimisticEstimator est(markov, OptimisticSpec{});
+  std::vector<double> expected;
+  for (const auto& wq : workload_) {
+    auto e = est.Estimate(wq.query);
+    ASSERT_TRUE(e.ok());
+    expected.push_back(SignedLogQError(*e, wq.true_cardinality));
+  }
+  const auto stats = util::ComputeBoxStats(expected);
+  // max-hop-max is the last of the max-hop rows (aggregators are ordered
+  // min, avg, max).
+  const auto& report = suite.reports[2];
+  EXPECT_EQ(report.name, "max-hop-max");
+  EXPECT_NEAR(report.signed_log_qerror.median, stats.median, 1e-12);
+  EXPECT_NEAR(report.signed_log_qerror.trimmed_mean, stats.trimmed_mean,
+              1e-12);
+}
+
+TEST_F(HarnessTest, PrintSuiteResultRendersTable) {
+  stats::MarkovTable markov(*graph_, 2);
+  auto result = RunOptimisticSuite(markov, nullptr, OptimisticCeg::kCegO,
+                                   workload_);
+  std::ostringstream os;
+  PrintSuiteResult(os, "unit", result);
+  EXPECT_NE(os.str().find("max-hop-max"), std::string::npos);
+  EXPECT_NE(os.str().find("P*"), std::string::npos);
+  EXPECT_NE(os.str().find("median"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cegraph::harness

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+
+namespace cegraph::lp {
+namespace {
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max x + y s.t. x <= 2, y <= 3, x + y <= 4.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.AddLe({1, 0}, 2);
+  p.AddLe({0, 1}, 3);
+  p.AddLe({1, 1}, 4);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_NEAR(s->objective, 4.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVarProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> opt 36 at (2, 6).
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {3, 5};
+  p.AddLe({1, 0}, 4);
+  p.AddLe({0, 2}, 12);
+  p.AddLe({3, 2}, 18);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_NEAR(s->objective, 36.0, 1e-9);
+  EXPECT_NEAR(s->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s->x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 0};
+  p.AddLe({0, 1}, 5);  // x unconstrained
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x >= 5 and x <= 2.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  p.AddGe({1}, 5);
+  p.AddLe({1}, 2);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, MinimizationViaNegation) {
+  // min x + 2y s.t. x + y >= 3, y >= 1 -> opt 2+2 = 4 at (2,1).
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {-1, -2};
+  p.AddGe({1, 1}, 3);
+  p.AddGe({0, 1}, 1);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_NEAR(-s->objective, 4.0, 1e-9);
+}
+
+TEST(SimplexTest, PhaseOneWithMixedConstraints) {
+  // max x s.t. x >= 1, x <= 3.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  p.AddGe({1}, 1);
+  p.AddLe({1}, 3);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_NEAR(s->objective, 3.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityViaInequalityPair) {
+  // max x + y s.t. x + y == 2, x <= 1.5.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.AddLe({1, 1}, 2);
+  p.AddGe({1, 1}, 2);
+  p.AddLe({1, 0}, 1.5);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_NEAR(s->objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateDoesNotCycle) {
+  // A classically degenerate LP (multiple constraints through the origin).
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {0.75, -150, 0.02};
+  p.AddLe({0.25, -60, -0.04}, 0);
+  p.AddLe({0.5, -90, -0.02}, 0);
+  p.AddLe({0, 0, 1}, 1);
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_NEAR(s->objective, 0.05, 1e-6);
+}
+
+TEST(SimplexTest, RejectsMalformedProblem) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1};  // wrong size
+  EXPECT_FALSE(SolveLp(p).ok());
+}
+
+TEST(SimplexTest, ZeroConstraintProblemUnboundedOrZero) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {0};
+  auto s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->status, LpStatus::kOptimal);
+  EXPECT_NEAR(s->objective, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cegraph::lp

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "matching/matcher.h"
+#include "query/templates.h"
+
+namespace cegraph::matching {
+namespace {
+
+using graph::Graph;
+using query::QueryGraph;
+
+Graph TinyGraph() {
+  // Label 0 (A): 0->1, 0->2, 3->1
+  // Label 1 (B): 1->4, 2->4, 1->5
+  auto g = graph::Graph::Create(
+      6, 2, {{0, 1, 0}, {0, 2, 0}, {3, 1, 0}, {1, 4, 1}, {2, 4, 1},
+             {1, 5, 1}});
+  return std::move(g).value();
+}
+
+QueryGraph Q(uint32_t n, std::vector<query::QueryEdge> edges) {
+  auto q = QueryGraph::Create(n, std::move(edges));
+  return std::move(q).value();
+}
+
+TEST(MatcherTest, SingleEdgeCountsRelation) {
+  Graph g = TinyGraph();
+  Matcher m(g);
+  auto c = m.Count(Q(2, {{0, 1, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 3.0);
+}
+
+TEST(MatcherTest, TwoPathCount) {
+  // A->B 2-paths: 0->1->4, 0->1->5, 0->2->4, 3->1->4, 3->1->5 = 5.
+  Graph g = TinyGraph();
+  Matcher m(g);
+  auto c = m.Count(Q(3, {{0, 1, 0}, {1, 2, 1}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 5.0);
+}
+
+TEST(MatcherTest, ReversedEdgeDirection) {
+  // a1 <-A- a2: same count as the relation size.
+  Graph g = TinyGraph();
+  Matcher m(g);
+  auto c = m.Count(Q(2, {{1, 0, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 3.0);
+}
+
+TEST(MatcherTest, ForkCount) {
+  // a1 -A-> a2 -B-> a3, a2 -B-> a4 (fork): for each A edge into v,
+  // (outB(v))^2 combinations. 0->1: 2^2=4, 0->2: 1, 3->1: 4. Total 9.
+  Graph g = TinyGraph();
+  Matcher m(g);
+  auto c = m.Count(Q(4, {{0, 1, 0}, {1, 2, 1}, {1, 3, 1}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 9.0);
+}
+
+TEST(MatcherTest, InInStarCount) {
+  // a1 -A-> a3 <-A- a2: in-degree^2 summed: vertex1: 2^2, vertex2: 1 = 5.
+  Graph g = TinyGraph();
+  Matcher m(g);
+  auto c = m.Count(Q(3, {{0, 2, 0}, {1, 2, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 5.0);
+}
+
+Graph TriangleGraph() {
+  // Label 0 edges forming 2 directed triangles sharing edge 0->1:
+  // 0->1, 1->2, 2->0, 1->3, 3->0.
+  auto g = graph::Graph::Create(
+      4, 1, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}, {1, 3, 0}, {3, 0, 0}});
+  return std::move(g).value();
+}
+
+TEST(MatcherTest, TriangleCount) {
+  Graph g = TriangleGraph();
+  Matcher m(g);
+  // Directed triangle pattern x->y->z->x. Each of the two directed
+  // triangles is counted 3 times (rotations of variable naming).
+  auto c = m.Count(Q(3, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 6.0);
+}
+
+TEST(MatcherTest, CyclicWithPendantTree) {
+  // Triangle with a pendant edge off vertex 0 of the pattern.
+  Graph g = TriangleGraph();
+  Matcher m(g);
+  // x->y->z->x plus x->w. In TriangleGraph every vertex has out-degree
+  // >= 1: triangle corners are 0,1,2 / 0,1,3 in rotations; pendant w from
+  // corner x: out-degree of x. Compute expected by brute force reasoning:
+  // embeddings of the directed triangle: (0,1,2),(1,2,0),(2,0,1),
+  // (0,1,3),(1,3,0),(3,0,1). Out-degrees: deg(0)=1, deg(1)=2, deg(2)=1,
+  // deg(3)=1. Pendant multiplies by out-degree of x:
+  // 1+2+1+1+2+1 = 8.
+  auto c = m.Count(Q(4, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}, {0, 3, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 8.0);
+}
+
+TEST(MatcherTest, DisconnectedQueryRejected) {
+  Graph g = TinyGraph();
+  Matcher m(g);
+  auto c = m.Count(Q(4, {{0, 1, 0}, {2, 3, 1}}));
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(MatcherTest, EmptyQueryRejected) {
+  Graph g = TinyGraph();
+  Matcher m(g);
+  EXPECT_FALSE(m.Count(Q(1, {})).ok());
+}
+
+TEST(MatcherTest, ZeroCountForAbsentLabelCombination) {
+  Graph g = TinyGraph();
+  Matcher m(g);
+  // B followed by A never happens.
+  auto c = m.Count(Q(3, {{0, 1, 1}, {1, 2, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0.0);
+}
+
+TEST(MatcherTest, MaxCountAborts) {
+  Graph g = TinyGraph();
+  Matcher m(g);
+  MatchOptions options;
+  options.max_count = 2;
+  auto c = m.Count(Q(3, {{0, 1, 0}, {1, 2, 1}}), options);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(MatcherTest, StepBudgetAborts) {
+  auto big = graph::GenerateGraph({.num_vertices = 500,
+                                   .num_edges = 3000,
+                                   .num_labels = 2,
+                                   .num_types = 1,
+                                   .label_zipf_s = 1.0,
+                                   .preferential_p = 0.5,
+                                   .random_labels = true,
+                                   .seed = 5});
+  ASSERT_TRUE(big.ok());
+  Matcher m(*big);
+  MatchOptions options;
+  options.step_budget = 10;
+  auto c = m.Count(query::CycleShape(4), options);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(MatcherTest, SelfLoopQuery) {
+  auto g = graph::Graph::Create(3, 1, {{0, 0, 0}, {0, 1, 0}, {1, 2, 0}});
+  ASSERT_TRUE(g.ok());
+  Matcher m(*g);
+  auto c = m.Count(Q(1, {{0, 0, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 1.0);
+}
+
+/// Brute-force homomorphism counter for cross-checking.
+double BruteForceCount(const Graph& g, const QueryGraph& q) {
+  std::vector<graph::VertexId> assign(q.num_vertices(), 0);
+  double count = 0;
+  const uint64_t total =
+      static_cast<uint64_t>(std::pow(g.num_vertices(), q.num_vertices()));
+  for (uint64_t code = 0; code < total; ++code) {
+    uint64_t c = code;
+    for (uint32_t v = 0; v < q.num_vertices(); ++v) {
+      assign[v] = static_cast<graph::VertexId>(c % g.num_vertices());
+      c /= g.num_vertices();
+    }
+    bool ok = true;
+    for (const auto& e : q.edges()) {
+      if (!g.HasEdge(assign[e.src], assign[e.dst], e.label)) {
+        ok = false;
+        break;
+      }
+    }
+    count += ok;
+  }
+  return count;
+}
+
+TEST(MatcherTest, AgreesWithBruteForceOnRandomGraphs) {
+  for (uint64_t seed : {1, 2, 3}) {
+    auto g = graph::GenerateGraph({.num_vertices = 8,
+                                   .num_edges = 24,
+                                   .num_labels = 2,
+                                   .num_types = 1,
+                                   .label_zipf_s = 1.0,
+                                   .preferential_p = 0.3,
+                                   .random_labels = true,
+                                   .seed = seed});
+    ASSERT_TRUE(g.ok());
+    Matcher m(*g);
+    const std::vector<QueryGraph> queries = {
+        Q(3, {{0, 1, 0}, {1, 2, 1}}),
+        Q(3, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}}),
+        Q(4, {{0, 1, 0}, {1, 2, 1}, {2, 3, 0}}),
+        Q(4, {{0, 1, 0}, {1, 2, 0}, {2, 3, 1}, {3, 0, 1}}),
+        Q(4, {{0, 1, 0}, {0, 2, 1}, {0, 3, 0}}),
+    };
+    for (const auto& q : queries) {
+      auto fast = m.Count(q);
+      ASSERT_TRUE(fast.ok());
+      EXPECT_EQ(*fast, BruteForceCount(*g, q)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(MatcherTest, EnumerateVisitsAllTwoPaths) {
+  Graph g = TinyGraph();
+  Matcher m(g);
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  int rows = 0;
+  auto status = m.Enumerate(
+      Q(3, {{0, 1, 0}, {1, 2, 1}}), {},
+      [&](const std::vector<graph::VertexId>& a) {
+        ++rows;
+        seen.insert({a[0], a[2]});
+        return true;
+      });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(rows, 5);
+}
+
+TEST(MatcherTest, EnumerateEarlyStop) {
+  Graph g = TinyGraph();
+  Matcher m(g);
+  int rows = 0;
+  auto status = m.Enumerate(Q(3, {{0, 1, 0}, {1, 2, 1}}), {},
+                            [&](const std::vector<graph::VertexId>&) {
+                              return ++rows < 2;
+                            });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(MatcherTest, SampleShapeEmbeddingFindsRealEdges) {
+  Graph g = TinyGraph();
+  Matcher m(g);
+  util::Rng rng(17);
+  std::vector<graph::VertexId> assignment;
+  auto labels = m.SampleShapeEmbedding(query::PathShape(2), rng, 200,
+                                       &assignment);
+  ASSERT_TRUE(labels.ok());
+  ASSERT_EQ(labels->size(), 2u);
+  ASSERT_EQ(assignment.size(), 3u);
+  EXPECT_TRUE(g.HasEdge(assignment[0], assignment[1], (*labels)[0]));
+  EXPECT_TRUE(g.HasEdge(assignment[1], assignment[2], (*labels)[1]));
+}
+
+TEST(MatcherTest, SampleShapeEmbeddingImpossibleShape) {
+  // The tiny graph has no directed triangle.
+  Graph g = TinyGraph();
+  Matcher m(g);
+  util::Rng rng(3);
+  auto labels = m.SampleShapeEmbedding(query::CycleShape(3), rng, 50);
+  EXPECT_FALSE(labels.ok());
+}
+
+TEST(MatcherTest, LargeAcyclicViaTreeDpIsFast) {
+  auto g = graph::GenerateGraph({.num_vertices = 2000,
+                                 .num_edges = 10000,
+                                 .num_labels = 5,
+                                 .num_types = 2,
+                                 .label_zipf_s = 1.0,
+                                 .preferential_p = 0.6,
+                                 .random_labels = false,
+                                 .seed = 12});
+  ASSERT_TRUE(g.ok());
+  Matcher m(*g);
+  // An 8-edge caterpillar; counts can be astronomically large but tree DP
+  // never enumerates.
+  auto q = query::CaterpillarShape(8, 4);
+  std::vector<query::QueryEdge> edges = q.edges();
+  for (auto& e : edges) e.label = 0;
+  auto labeled = QueryGraph::Create(q.num_vertices(), std::move(edges));
+  ASSERT_TRUE(labeled.ok());
+  auto c = m.Count(*labeled);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GE(*c, 0.0);
+}
+
+}  // namespace
+}  // namespace cegraph::matching

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimators/max_entropy.h"
+#include "estimators/optimistic.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "matching/matcher.h"
+#include "query/workload.h"
+#include "stats/markov_table.h"
+
+namespace cegraph {
+namespace {
+
+using graph::Graph;
+using query::QueryGraph;
+
+QueryGraph Q(uint32_t n, std::vector<query::QueryEdge> edges) {
+  auto q = QueryGraph::Create(n, std::move(edges));
+  return std::move(q).value();
+}
+
+constexpr graph::Label kA = 0, kB = 1, kC = 2;
+
+class MaxEntropyTest : public ::testing::Test {
+ protected:
+  MaxEntropyTest()
+      : g_(graph::MakeRunningExampleGraph()), markov_(g_, 2),
+        estimator_(markov_), matcher_(g_) {}
+  Graph g_;
+  stats::MarkovTable markov_;
+  MaxEntropyEstimator estimator_;
+  matching::Matcher matcher_;
+};
+
+TEST_F(MaxEntropyTest, ExactWithinMarkovTable) {
+  // |Q| <= h: the constraint for Q itself pins the estimate exactly.
+  auto est = estimator_.Estimate(Q(3, {{0, 1, kA}, {1, 2, kB}}));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 4.0, 1e-6);
+}
+
+TEST_F(MaxEntropyTest, SingleEdgeExact) {
+  auto est = estimator_.Estimate(Q(2, {{0, 1, kA}}));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 4.0, 1e-6);
+}
+
+TEST_F(MaxEntropyTest, ThreePathMatchesMarkovChainEstimate) {
+  // With pairwise constraints only, the ME distribution reproduces the
+  // conditional-independence chain: |AB| * |BC| / |B| = 6 on the running
+  // example (§4.1 of the paper).
+  auto est = estimator_.Estimate(Q(4, {{0, 1, kA}, {1, 2, kB}, {2, 3, kC}}));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 6.0, 0.05);
+}
+
+TEST_F(MaxEntropyTest, ZeroSubqueryGivesZero) {
+  // B then A never chains in the running example.
+  auto est = estimator_.Estimate(Q(3, {{0, 1, kB}, {1, 2, kA}}));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(*est, 0.0);
+}
+
+TEST_F(MaxEntropyTest, RejectsDisconnected) {
+  auto q = QueryGraph::Create(4, {{0, 1, kA}, {2, 3, kB}});
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(estimator_.Estimate(*q).ok());
+}
+
+TEST_F(MaxEntropyTest, Deterministic) {
+  const QueryGraph q = Q(4, {{0, 1, kA}, {1, 2, kB}, {2, 3, kC}});
+  auto e1 = estimator_.Estimate(q);
+  auto e2 = estimator_.Estimate(q);
+  ASSERT_TRUE(e1.ok());
+  EXPECT_DOUBLE_EQ(*e1, *e2);
+}
+
+TEST(MaxEntropyWorkloadTest, ReasonableOnRealWorkload) {
+  auto g = graph::MakeDataset("epinions_like");
+  ASSERT_TRUE(g.ok());
+  query::WorkloadOptions options;
+  options.instances_per_template = 5;
+  options.seed = 71;
+  auto wl = query::GenerateWorkload(
+      *g, {{"cat5", query::CaterpillarShape(5, 3)}}, options);
+  ASSERT_TRUE(wl.ok());
+  stats::MarkovTable markov(*g, 2);
+  MaxEntropyEstimator me(markov);
+  for (const auto& wq : *wl) {
+    auto est = me.Estimate(wq.query);
+    ASSERT_TRUE(est.ok());
+    EXPECT_GT(*est, 0.0);
+    // Within 4 orders of magnitude of the truth (it is an optimistic
+    // estimator built from the same stats as CEG_O; sanity bound only).
+    const double err = std::fabs(std::log10(*est) -
+                                 std::log10(wq.true_cardinality));
+    EXPECT_LT(err, 4.0);
+  }
+}
+
+TEST(MaxEntropyWorkloadTest, AtLeastAsGoodAsIndependenceOnUniformData) {
+  // On a graph with random labels the ME estimate and the chain formulas
+  // should roughly agree (all uniformity assumptions hold).
+  auto g = graph::GenerateGraph({.num_vertices = 300,
+                                 .num_edges = 2400,
+                                 .num_labels = 4,
+                                 .num_types = 1,
+                                 .label_zipf_s = 1.0,
+                                 .preferential_p = 0.0,
+                                 .random_labels = true,
+                                 .seed = 99});
+  ASSERT_TRUE(g.ok());
+  stats::MarkovTable markov(*g, 2);
+  MaxEntropyEstimator me(markov);
+  OptimisticEstimator mhm(markov, OptimisticSpec{});
+  matching::Matcher matcher(*g);
+  const QueryGraph q = Q(4, {{0, 1, 0}, {1, 2, 1}, {2, 3, 2}});
+  auto e_me = me.Estimate(q);
+  auto e_opt = mhm.Estimate(q);
+  ASSERT_TRUE(e_me.ok());
+  ASSERT_TRUE(e_opt.ok());
+  EXPECT_NEAR(std::log10(*e_me), std::log10(*e_opt), 0.5);
+}
+
+}  // namespace
+}  // namespace cegraph

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace cegraph::query {
+namespace {
+
+TEST(ParserTest, SingleForwardEdge) {
+  auto q = ParseQuery("(a)-[3]->(b)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vertices(), 2u);
+  ASSERT_EQ(q->num_edges(), 1u);
+  EXPECT_EQ(q->edge(0).src, 0u);
+  EXPECT_EQ(q->edge(0).dst, 1u);
+  EXPECT_EQ(q->edge(0).label, 3u);
+}
+
+TEST(ParserTest, BackwardEdge) {
+  auto q = ParseQuery("(a)<-[5]-(b)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->edge(0).src, 1u);  // b
+  EXPECT_EQ(q->edge(0).dst, 0u);  // a
+  EXPECT_EQ(q->edge(0).label, 5u);
+}
+
+TEST(ParserTest, VariablesSharedAcrossClauses) {
+  auto q = ParseQuery("(a)-[0]->(b); (b)-[1]->(c); (c)-[2]->(a)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vertices(), 3u);
+  EXPECT_EQ(q->num_edges(), 3u);
+  EXPECT_FALSE(q->IsAcyclic());
+}
+
+TEST(ParserTest, CommaSeparatorAndWhitespace) {
+  auto q = ParseQuery("  ( x1 )-[ 2 ]->( y_2 ) ,\n (y_2)-[0]->(z)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_edges(), 2u);
+  EXPECT_EQ(q->num_vertices(), 3u);
+}
+
+TEST(ParserTest, SelfLoop) {
+  auto q = ParseQuery("(a)-[1]->(a)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_vertices(), 1u);
+  EXPECT_EQ(q->edge(0).src, q->edge(0).dst);
+}
+
+TEST(ParserTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("   ").ok());
+}
+
+TEST(ParserTest, RejectsMalformedArrow) {
+  EXPECT_FALSE(ParseQuery("(a)-[3]-(b)").ok());
+  EXPECT_FALSE(ParseQuery("(a)->[3]->(b)").ok());
+  EXPECT_FALSE(ParseQuery("(a)-[x]->(b)").ok());
+}
+
+TEST(ParserTest, RejectsMissingParens) {
+  EXPECT_FALSE(ParseQuery("a-[3]->(b)").ok());
+  EXPECT_FALSE(ParseQuery("(a)-[3]->b").ok());
+  EXPECT_FALSE(ParseQuery("(a-[3]->(b)").ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseQuery("(a)-[3]->(b) xyz").ok());
+}
+
+TEST(ParserTest, VertexLabelConstraints) {
+  auto q = ParseQuery("(a:1)-[3]->(b:2); (b)-[4]->(c)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->vertex_constraint(0), 1u);
+  EXPECT_EQ(q->vertex_constraint(1), 2u);
+  EXPECT_EQ(q->vertex_constraint(2), QueryGraph::kAnyVertexLabel);
+  EXPECT_TRUE(q->has_vertex_constraints());
+}
+
+TEST(ParserTest, ConstraintDeclaredOnLaterMention) {
+  auto q = ParseQuery("(a)-[3]->(b); (b:7)-[4]->(c)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->vertex_constraint(1), 7u);
+}
+
+TEST(ParserTest, ConflictingConstraintRejected) {
+  EXPECT_FALSE(ParseQuery("(a:1)-[3]->(b); (a:2)-[4]->(c)").ok());
+}
+
+TEST(ParserTest, UnconstrainedQueryHasNoConstraintVector) {
+  auto q = ParseQuery("(a)-[3]->(b)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->has_vertex_constraints());
+}
+
+TEST(ParserTest, ConstrainedFormatRoundTrip) {
+  auto q = ParseQuery("(a:1)-[3]->(b); (b)<-[7]-(c:2)");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(FormatQuery(*q));
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q->CanonicalCode(), q2->CanonicalCode());
+}
+
+TEST(ParserTest, FormatRoundTrip) {
+  auto q = ParseQuery("(a)-[3]->(b); (b)<-[7]-(c)");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(FormatQuery(*q));
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q->edges(), q2->edges());
+  EXPECT_EQ(q->num_vertices(), q2->num_vertices());
+}
+
+}  // namespace
+}  // namespace cegraph::query

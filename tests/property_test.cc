@@ -1,0 +1,251 @@
+// Cross-cutting invariants checked over a grid of datasets x query shapes
+// (TEST_P sweeps). These complement the per-module unit tests and the
+// theory suite: every property here must hold on *any* input, so each is
+// run against randomized workloads on structurally different graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "estimators/max_entropy.h"
+#include "estimators/optimistic.h"
+#include "estimators/pessimistic.h"
+#include "graph/generators.h"
+#include "matching/matcher.h"
+#include "query/subquery.h"
+#include "query/workload.h"
+#include "stats/markov_table.h"
+#include "util/random.h"
+
+namespace cegraph {
+namespace {
+
+using graph::Graph;
+using query::QueryGraph;
+
+struct PropertyCase {
+  std::string name;
+  graph::GeneratorConfig config;
+  std::string shape;
+};
+
+QueryGraph ShapeByName(const std::string& name) {
+  if (name == "path3") return query::PathShape(3);
+  if (name == "path4") return query::PathShape(4);
+  if (name == "star3") return query::StarShape(3);
+  if (name == "cat5") return query::CaterpillarShape(5, 3);
+  if (name == "tri") return query::CycleShape(3);
+  if (name == "cyc4") return query::CycleShape(4);
+  if (name == "diamond") return query::DiamondShape();
+  return query::PathShape(2);
+}
+
+class PropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    auto g = graph::GenerateGraph(GetParam().config);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<Graph>(std::move(*g));
+    query::WorkloadOptions options;
+    options.instances_per_template = 4;
+    options.seed = 0xBEE5;
+    auto wl = query::GenerateWorkload(
+        *graph_, {{GetParam().shape, ShapeByName(GetParam().shape)}},
+        options);
+    if (wl.ok()) workload_ = std::move(*wl);
+  }
+
+  std::unique_ptr<Graph> graph_;
+  std::vector<query::WorkloadQuery> workload_;
+};
+
+/// The exact count is invariant under renaming query vertices and
+/// permuting query edges.
+TEST_P(PropertyTest, CountInvariantUnderQueryIsomorphism) {
+  matching::Matcher matcher(*graph_);
+  util::Rng rng(17);
+  for (const auto& wq : workload_) {
+    const QueryGraph& q = wq.query;
+    // Random vertex permutation + edge shuffle.
+    std::vector<query::QVertex> perm(q.num_vertices());
+    for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    for (size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.Uniform(i)]);
+    }
+    std::vector<query::QueryEdge> edges = q.edges();
+    for (auto& e : edges) {
+      e.src = perm[e.src];
+      e.dst = perm[e.dst];
+    }
+    for (size_t i = edges.size(); i > 1; --i) {
+      std::swap(edges[i - 1], edges[rng.Uniform(i)]);
+    }
+    auto renamed = QueryGraph::Create(q.num_vertices(), std::move(edges));
+    ASSERT_TRUE(renamed.ok());
+    auto count = matcher.Count(*renamed);
+    ASSERT_TRUE(count.ok());
+    EXPECT_DOUBLE_EQ(*count, wq.true_cardinality);
+  }
+}
+
+/// Hash-partitioning the data on any join attribute partitions the output:
+/// the per-bucket true counts sum to the whole — the completeness property
+/// the bound sketch relies on (§5.2.1).
+TEST_P(PropertyTest, PartitioningPreservesTrueCounts) {
+  matching::Matcher matcher(*graph_);
+  for (const auto& wq : workload_) {
+    const QueryGraph& q = wq.query;
+    // Pick the highest-degree query vertex as the partition attribute.
+    query::QVertex attr = 0;
+    for (query::QVertex v = 1; v < q.num_vertices(); ++v) {
+      if (q.Degree(v) > q.Degree(attr)) attr = v;
+    }
+    const int buckets = 3;
+    double total = 0;
+    for (int b = 0; b < buckets; ++b) {
+      // Restrict every relation incident to `attr` to tuples whose value
+      // at that position hashes to bucket b; give each query edge its own
+      // label.
+      std::vector<graph::Edge> edges;
+      for (uint32_t ei = 0; ei < q.num_edges(); ++ei) {
+        const query::QueryEdge& qe = q.edge(ei);
+        for (const graph::Edge& de :
+             graph_->RelationEdges(qe.label)) {
+          if (qe.src == attr &&
+              static_cast<int>(util::MixHash(de.src) % buckets) != b) {
+            continue;
+          }
+          if (qe.dst == attr &&
+              static_cast<int>(util::MixHash(de.dst) % buckets) != b) {
+            continue;
+          }
+          edges.push_back({de.src, de.dst, ei});
+        }
+      }
+      auto part = graph::Graph::Create(graph_->num_vertices(),
+                                       q.num_edges(), std::move(edges));
+      ASSERT_TRUE(part.ok());
+      std::vector<query::QueryEdge> rewritten = q.edges();
+      for (uint32_t i = 0; i < rewritten.size(); ++i) rewritten[i].label = i;
+      auto rq = QueryGraph::Create(q.num_vertices(), std::move(rewritten));
+      ASSERT_TRUE(rq.ok());
+      matching::Matcher part_matcher(*part);
+      auto count = part_matcher.Count(*rq);
+      ASSERT_TRUE(count.ok());
+      total += *count;
+    }
+    EXPECT_DOUBLE_EQ(total, wq.true_cardinality);
+  }
+}
+
+/// Every estimator is deterministic and non-negative; CEG_O estimates are
+/// exact whenever the whole query fits in the Markov table.
+TEST_P(PropertyTest, EstimatorBasicContracts) {
+  stats::MarkovTable markov(*graph_, 3);
+  for (const auto& spec : AllOptimisticSpecs()) {
+    OptimisticEstimator estimator(markov, spec);
+    for (const auto& wq : workload_) {
+      auto e1 = estimator.Estimate(wq.query);
+      auto e2 = estimator.Estimate(wq.query);
+      ASSERT_TRUE(e1.ok());
+      ASSERT_TRUE(e2.ok());
+      EXPECT_DOUBLE_EQ(*e1, *e2) << SpecName(spec);
+      EXPECT_GE(*e1, 0.0);
+      if (wq.query.num_edges() <= 3) {
+        EXPECT_NEAR(*e1, wq.true_cardinality,
+                    1e-9 * std::max(1.0, wq.true_cardinality))
+            << SpecName(spec) << ": in-table queries must be exact";
+      }
+    }
+  }
+}
+
+/// Adding 2-join statistics can only tighten MOLP, and both variants stay
+/// above the truth.
+TEST_P(PropertyTest, MolpMonotoneInStatistics) {
+  stats::StatsCatalog catalog(*graph_);
+  MolpEstimator base(catalog, false), more(catalog, true);
+  for (const auto& wq : workload_) {
+    auto b = base.Estimate(wq.query);
+    auto m = more.Estimate(wq.query);
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(m.ok());
+    EXPECT_LE(*m, *b * (1 + 1e-9));
+    EXPECT_GE(*m * (1 + 1e-9), wq.true_cardinality);
+    EXPECT_GE(*b * (1 + 1e-9), wq.true_cardinality);
+  }
+}
+
+/// Shrinking the Markov table can only remove information: every h=3
+/// in-table sub-query estimate is exact, and h=2 estimates remain
+/// positive and finite (no degenerate CEGs for any workload query).
+TEST_P(PropertyTest, MarkovTableSizesBothServeAllQueries) {
+  stats::MarkovTable markov2(*graph_, 2);
+  stats::MarkovTable markov3(*graph_, 3);
+  OptimisticEstimator est2(markov2, OptimisticSpec{});
+  OptimisticEstimator est3(markov3, OptimisticSpec{});
+  for (const auto& wq : workload_) {
+    auto e2 = est2.Estimate(wq.query);
+    auto e3 = est3.Estimate(wq.query);
+    ASSERT_TRUE(e2.ok());
+    ASSERT_TRUE(e3.ok());
+    EXPECT_GT(*e2, 0.0);
+    EXPECT_GT(*e3, 0.0);
+    EXPECT_TRUE(std::isfinite(*e2));
+    EXPECT_TRUE(std::isfinite(*e3));
+  }
+}
+
+/// The max-entropy estimator agrees exactly with the truth whenever the
+/// full query is one of its constraints.
+TEST_P(PropertyTest, MaxEntropyExactInsideTable) {
+  stats::MarkovTable markov(*graph_, 3);
+  MaxEntropyEstimator me(markov);
+  for (const auto& wq : workload_) {
+    if (wq.query.num_edges() > 3) continue;
+    auto est = me.Estimate(wq.query);
+    ASSERT_TRUE(est.ok());
+    EXPECT_NEAR(*est, wq.true_cardinality,
+                1e-6 * std::max(1.0, wq.true_cardinality));
+  }
+}
+
+graph::GeneratorConfig Sparse(uint64_t seed) {
+  return {.num_vertices = 400,
+          .num_edges = 900,
+          .num_labels = 5,
+          .num_types = 2,
+          .label_zipf_s = 1.1,
+          .preferential_p = 0.5,
+          .random_labels = false,
+          .seed = seed};
+}
+
+graph::GeneratorConfig Dense(uint64_t seed) {
+  return {.num_vertices = 80,
+          .num_edges = 1200,
+          .num_labels = 3,
+          .num_types = 1,
+          .label_zipf_s = 1.0,
+          .preferential_p = 0.3,
+          .random_labels = true,
+          .seed = seed};
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PropertyTest,
+    ::testing::Values(
+        PropertyCase{"sparse_path3", Sparse(1), "path3"},
+        PropertyCase{"sparse_star3", Sparse(2), "star3"},
+        PropertyCase{"sparse_cat5", Sparse(3), "cat5"},
+        PropertyCase{"sparse_path4", Sparse(4), "path4"},
+        PropertyCase{"dense_tri", Dense(5), "tri"},
+        PropertyCase{"dense_cyc4", Dense(6), "cyc4"},
+        PropertyCase{"dense_diamond", Dense(7), "diamond"},
+        PropertyCase{"dense_path3", Dense(8), "path3"}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace cegraph

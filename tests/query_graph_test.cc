@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "query/query_graph.h"
+#include "query/templates.h"
+
+namespace cegraph::query {
+namespace {
+
+QueryGraph Triangle() {
+  auto q = QueryGraph::Create(3, {{0, 1, 0}, {1, 2, 1}, {2, 0, 2}});
+  return std::move(q).value();
+}
+
+TEST(QueryGraphTest, BasicAccessors) {
+  QueryGraph q = Triangle();
+  EXPECT_EQ(q.num_vertices(), 3u);
+  EXPECT_EQ(q.num_edges(), 3u);
+  EXPECT_EQ(q.edge(1).label, 1u);
+  EXPECT_EQ(q.AllEdges(), 0b111u);
+}
+
+TEST(QueryGraphTest, IncidentEdges) {
+  QueryGraph q = Triangle();
+  EXPECT_EQ(q.IncidentEdges(0).size(), 2u);
+  EXPECT_EQ(q.Degree(1), 2u);
+}
+
+TEST(QueryGraphTest, RejectsBadEndpoint) {
+  auto q = QueryGraph::Create(2, {{0, 3, 0}});
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(QueryGraphTest, VerticesOf) {
+  QueryGraph q = Triangle();
+  EXPECT_EQ(q.VerticesOf(0b001), 0b011u);
+  EXPECT_EQ(q.VerticesOf(0b011), 0b111u);
+  EXPECT_EQ(q.VerticesOf(0), 0u);
+}
+
+TEST(QueryGraphTest, ConnectedSubsets) {
+  QueryGraph q = Triangle();
+  EXPECT_TRUE(q.IsConnectedSubset(0b001));
+  EXPECT_TRUE(q.IsConnectedSubset(0b011));
+  EXPECT_TRUE(q.IsConnectedSubset(0b111));
+  EXPECT_FALSE(q.IsConnectedSubset(0));
+}
+
+TEST(QueryGraphTest, DisconnectedSubsetDetected) {
+  // Path of 3 edges: subsets {e0, e2} are disconnected.
+  QueryGraph q = PathShape(3);
+  EXPECT_FALSE(q.IsConnectedSubset(0b101));
+  EXPECT_TRUE(q.IsConnectedSubset(0b110));
+}
+
+TEST(QueryGraphTest, IsConnected) {
+  EXPECT_TRUE(Triangle().IsConnected());
+  auto q = QueryGraph::Create(4, {{0, 1, 0}, {2, 3, 0}});
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->IsConnected());
+}
+
+TEST(QueryGraphTest, CyclomaticNumber) {
+  QueryGraph tri = Triangle();
+  EXPECT_EQ(tri.CyclomaticNumber(tri.AllEdges()), 1);
+  EXPECT_EQ(tri.CyclomaticNumber(0b011), 0);
+  QueryGraph path = PathShape(4);
+  EXPECT_EQ(path.CyclomaticNumber(path.AllEdges()), 0);
+  QueryGraph k4 = CliqueK4Shape();
+  EXPECT_EQ(k4.CyclomaticNumber(k4.AllEdges()), 3);
+}
+
+TEST(QueryGraphTest, IsAcyclic) {
+  EXPECT_FALSE(Triangle().IsAcyclic());
+  EXPECT_TRUE(PathShape(5).IsAcyclic());
+  EXPECT_TRUE(StarShape(4).IsAcyclic());
+  EXPECT_FALSE(CycleShape(6).IsAcyclic());
+}
+
+TEST(QueryGraphTest, ExtractPatternRenumbers) {
+  // Path 0->1->2->3, extract edges {1,2} (vertices 1,2,3).
+  QueryGraph q = PathShape(3);
+  std::vector<QVertex> vmap;
+  QueryGraph sub = q.ExtractPattern(0b110, &vmap);
+  EXPECT_EQ(sub.num_edges(), 2u);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  ASSERT_EQ(vmap.size(), 3u);
+  // vmap maps new ids to original ids {1,2,3} in some order.
+  std::vector<QVertex> sorted = vmap;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<QVertex>{1, 2, 3}));
+}
+
+TEST(QueryGraphTest, CanonicalCodeInvariantUnderRelabeling) {
+  // Same triangle with permuted vertex ids must share a canonical code.
+  auto q1 = QueryGraph::Create(3, {{0, 1, 5}, {1, 2, 6}, {2, 0, 7}});
+  auto q2 = QueryGraph::Create(3, {{1, 2, 5}, {2, 0, 6}, {0, 1, 7}});
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q1->CanonicalCode(), q2->CanonicalCode());
+}
+
+TEST(QueryGraphTest, CanonicalCodeSeparatesDirections) {
+  auto fwd = QueryGraph::Create(3, {{0, 1, 0}, {1, 2, 1}});
+  auto bwd = QueryGraph::Create(3, {{0, 1, 0}, {2, 1, 1}});
+  ASSERT_TRUE(fwd.ok());
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_NE(fwd->CanonicalCode(), bwd->CanonicalCode());
+}
+
+TEST(QueryGraphTest, CanonicalCodeSeparatesLabels) {
+  auto a = QueryGraph::Create(2, {{0, 1, 0}});
+  auto b = QueryGraph::Create(2, {{0, 1, 1}});
+  EXPECT_NE(a->CanonicalCode(), b->CanonicalCode());
+}
+
+TEST(QueryGraphTest, CanonicalCodePathReversalIsomorphism) {
+  // A->B path and its mirror written with reversed vertex numbering.
+  auto p1 = QueryGraph::Create(3, {{0, 1, 3}, {1, 2, 4}});
+  auto p2 = QueryGraph::Create(3, {{2, 1, 3}, {1, 0, 4}});
+  EXPECT_EQ(p1->CanonicalCode(), p2->CanonicalCode());
+}
+
+TEST(QueryGraphTest, LargePatternFallsBackToIdentityCode) {
+  QueryGraph big = PathShape(9);  // 10 vertices > kCanonicalVertexLimit
+  EXPECT_EQ(big.CanonicalCode().substr(0, 3), "id:");
+}
+
+}  // namespace
+}  // namespace cegraph::query

@@ -1,0 +1,223 @@
+// Failure injection and degenerate-input robustness: every public
+// component must return clean Status errors (or principled zeros) on
+// empty graphs, empty relations, degenerate queries, and exhausted
+// budgets — never crash, hang or emit NaN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimators/bound_sketch.h"
+#include "estimators/characteristic_sets.h"
+#include "estimators/max_entropy.h"
+#include "estimators/optimistic.h"
+#include "estimators/pessimistic.h"
+#include "estimators/sumrdf.h"
+#include "estimators/wander_join.h"
+#include "graph/generators.h"
+#include "matching/matcher.h"
+#include "planner/dp_optimizer.h"
+#include "planner/executor.h"
+#include "query/templates.h"
+#include "stats/char_sets.h"
+#include "stats/cycle_closing.h"
+#include "stats/markov_table.h"
+#include "stats/summary_graph.h"
+
+namespace cegraph {
+namespace {
+
+using graph::Graph;
+using query::QueryGraph;
+
+QueryGraph Q(uint32_t n, std::vector<query::QueryEdge> edges) {
+  auto q = QueryGraph::Create(n, std::move(edges));
+  return std::move(q).value();
+}
+
+/// A graph with vertices and labels but zero edges.
+Graph EdgelessGraph() {
+  auto g = graph::Graph::Create(10, 3, {});
+  return std::move(g).value();
+}
+
+TEST(RobustnessTest, MatcherOnEdgelessGraph) {
+  Graph g = EdgelessGraph();
+  matching::Matcher matcher(g);
+  auto c = matcher.Count(Q(2, {{0, 1, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 0.0);
+  util::Rng rng(1);
+  EXPECT_FALSE(matcher.SampleShapeEmbedding(query::PathShape(2), rng).ok());
+}
+
+TEST(RobustnessTest, AllEstimatorsHandleEmptyRelations) {
+  Graph g = EdgelessGraph();
+  const QueryGraph q = Q(3, {{0, 1, 0}, {1, 2, 1}});
+
+  stats::MarkovTable markov(g, 2);
+  for (const auto& spec : AllOptimisticSpecs()) {
+    OptimisticEstimator est(markov, spec);
+    auto e = est.Estimate(q);
+    ASSERT_TRUE(e.ok()) << SpecName(spec);
+    EXPECT_DOUBLE_EQ(*e, 0.0) << SpecName(spec);
+  }
+
+  stats::StatsCatalog catalog(g);
+  MolpEstimator molp(catalog, true);
+  auto m = molp.Estimate(q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(*m, 0.0);
+  CbsEstimator cbs(catalog);
+  auto c = cbs.Estimate(q);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 0.0);
+
+  WanderJoinEstimator wj(g, {});
+  auto w = wj.Estimate(q);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(*w, 0.0);
+
+  MaxEntropyEstimator me(markov);
+  auto e = me.Estimate(q);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 0.0);
+
+  stats::CharacteristicSets cs_stats(g);
+  CharacteristicSetsEstimator cs_est(cs_stats);
+  auto cse = cs_est.Estimate(q);
+  ASSERT_TRUE(cse.ok());
+  EXPECT_DOUBLE_EQ(*cse, 0.0);
+
+  stats::SummaryGraph summary(g, 4);
+  SumRdfEstimator sumrdf(summary);
+  auto s = sumrdf.Estimate(q);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 0.0);
+}
+
+TEST(RobustnessTest, BoundSketchOnEmptyRelations) {
+  Graph g = EdgelessGraph();
+  BoundSketchEstimator::Options options;
+  options.budget_k = 4;
+  for (auto inner : {BoundSketchEstimator::Inner::kOptimisticMaxHopMax,
+                     BoundSketchEstimator::Inner::kMolp}) {
+    BoundSketchEstimator bs(g, inner, options);
+    auto e = bs.Estimate(Q(3, {{0, 1, 0}, {1, 2, 1}}));
+    ASSERT_TRUE(e.ok());
+    EXPECT_DOUBLE_EQ(*e, 0.0);
+  }
+}
+
+TEST(RobustnessTest, CycleClosingRatesOnEdgelessGraph) {
+  Graph g = EdgelessGraph();
+  stats::CycleClosingOptions options;
+  options.walks_per_key = 10;
+  stats::CycleClosingRates rates(g, options);
+  const double r = rates.Rate({.first_label = 0, .last_label = 1,
+                               .close_label = 2});
+  EXPECT_GT(r, 0.0);  // smoothing floor
+  EXPECT_LE(r, 1.0);
+  EXPECT_FALSE(std::isnan(r));
+}
+
+TEST(RobustnessTest, SingleVertexGraph) {
+  auto g = graph::Graph::Create(1, 1, {{0, 0, 0}});
+  ASSERT_TRUE(g.ok());
+  matching::Matcher matcher(*g);
+  auto c = matcher.Count(Q(1, {{0, 0, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 1.0);
+  stats::MarkovTable markov(*g, 2);
+  OptimisticEstimator est(markov, OptimisticSpec{});
+  auto e = est.Estimate(Q(1, {{0, 0, 0}}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 1.0);
+}
+
+TEST(RobustnessTest, EstimatorsRejectDegenerateQueries) {
+  Graph g = EdgelessGraph();
+  stats::MarkovTable markov(g, 2);
+  OptimisticEstimator est(markov, OptimisticSpec{});
+  // Empty query.
+  auto empty = QueryGraph::Create(1, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(est.Estimate(*empty).ok());
+  // Disconnected query.
+  auto disconnected = QueryGraph::Create(4, {{0, 1, 0}, {2, 3, 1}});
+  ASSERT_TRUE(disconnected.ok());
+  EXPECT_FALSE(est.Estimate(*disconnected).ok());
+}
+
+TEST(RobustnessTest, PlannerOnEmptyRelationsExecutesToZero) {
+  Graph g = EdgelessGraph();
+  stats::MarkovTable markov(g, 2);
+  OptimisticEstimator est(markov, OptimisticSpec{});
+  planner::DpOptimizer optimizer(est);
+  const QueryGraph q = Q(3, {{0, 1, 0}, {1, 2, 1}});
+  auto plan = optimizer.Optimize(q);
+  ASSERT_TRUE(plan.ok());
+  planner::Executor executor(g);
+  auto run = executor.Execute(q, *plan);
+  ASSERT_TRUE(run.ok());
+  EXPECT_DOUBLE_EQ(run->output_cardinality, 0.0);
+}
+
+TEST(RobustnessTest, NoNanFromAnyEstimatorOnTinyGraphs) {
+  // Sweep tiny adversarial graphs; every estimate must be finite or a
+  // clean error.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto g = graph::GenerateGraph({.num_vertices = 6,
+                                   .num_edges = 8,
+                                   .num_labels = 2,
+                                   .num_types = 1,
+                                   .label_zipf_s = 1.0,
+                                   .preferential_p = 0.2,
+                                   .random_labels = true,
+                                   .seed = seed});
+    ASSERT_TRUE(g.ok());
+    stats::MarkovTable markov(*g, 2);
+    stats::StatsCatalog catalog(*g);
+    OptimisticEstimator opt(markov, OptimisticSpec{});
+    MolpEstimator molp(catalog, true);
+    MaxEntropyEstimator me(markov);
+    const QueryGraph queries[] = {
+        Q(3, {{0, 1, 0}, {1, 2, 1}}),
+        Q(3, {{0, 1, 0}, {1, 2, 0}, {2, 0, 1}}),
+        Q(4, {{0, 1, 1}, {1, 2, 0}, {1, 3, 1}}),
+    };
+    for (const auto& q : queries) {
+      for (CardinalityEstimator* estimator :
+           {static_cast<CardinalityEstimator*>(&opt),
+            static_cast<CardinalityEstimator*>(&molp),
+            static_cast<CardinalityEstimator*>(&me)}) {
+        auto e = estimator->Estimate(q);
+        if (e.ok()) {
+          EXPECT_FALSE(std::isnan(*e)) << estimator->name() << " seed "
+                                       << seed;
+          EXPECT_GE(*e, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(RobustnessTest, MatcherBudgetZero) {
+  auto g = graph::GenerateGraph({.num_vertices = 50,
+                                 .num_edges = 200,
+                                 .num_labels = 2,
+                                 .num_types = 1,
+                                 .label_zipf_s = 1.0,
+                                 .preferential_p = 0.2,
+                                 .random_labels = true,
+                                 .seed = 3});
+  ASSERT_TRUE(g.ok());
+  matching::Matcher matcher(*g);
+  matching::MatchOptions options;
+  options.step_budget = 0;
+  // Cyclic query forces the backtracking path, which honors the budget.
+  auto c = matcher.Count(Q(3, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}}), options);
+  EXPECT_FALSE(c.ok());
+}
+
+}  // namespace
+}  // namespace cegraph

@@ -1,0 +1,153 @@
+// Randomized validation of the simplex solver against brute-force vertex
+// enumeration: for small LPs, the optimum of a bounded feasible LP lies at
+// a basic feasible solution, which we can enumerate exhaustively.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "util/random.h"
+
+namespace cegraph::lp {
+namespace {
+
+/// Enumerates all vertices of {x >= 0, Ax <= b} for n <= 3 variables by
+/// solving every n-subset of the active constraint set (inequalities
+/// turned to equalities + coordinate planes) with Gaussian elimination,
+/// keeping the feasible ones. Returns the best objective, or -inf if
+/// infeasible. (Unbounded problems are excluded by construction: tests
+/// add a box constraint.)
+double BruteForceOptimum(const LpProblem& p) {
+  const size_t n = p.num_vars;
+  // Build the full constraint list: rows of A with rhs, plus x_i >= 0 as
+  // -x_i <= 0.
+  std::vector<std::vector<double>> rows = p.rows;
+  std::vector<double> rhs = p.rhs;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(n, 0.0);
+    row[i] = -1;
+    rows.push_back(row);
+    rhs.push_back(0);
+  }
+  const size_t m = rows.size();
+
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<size_t> pick(n);
+  // Enumerate all n-subsets of constraints.
+  std::vector<size_t> idx(n);
+  std::function<void(size_t, size_t)> rec = [&](size_t depth, size_t start) {
+    if (depth == n) {
+      // Solve the n x n system rows[idx] x = rhs[idx].
+      std::vector<std::vector<double>> a(n, std::vector<double>(n + 1));
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) a[i][j] = rows[idx[i]][j];
+        a[i][n] = rhs[idx[i]];
+      }
+      // Gaussian elimination with partial pivoting.
+      for (size_t col = 0; col < n; ++col) {
+        size_t pivot = col;
+        for (size_t r = col + 1; r < n; ++r) {
+          if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+        }
+        if (std::fabs(a[pivot][col]) < 1e-9) return;  // singular
+        std::swap(a[col], a[pivot]);
+        for (size_t r = 0; r < n; ++r) {
+          if (r == col) continue;
+          const double f = a[r][col] / a[col][col];
+          for (size_t c = col; c <= n; ++c) a[r][c] -= f * a[col][c];
+        }
+      }
+      std::vector<double> x(n);
+      for (size_t i = 0; i < n; ++i) x[i] = a[i][n] / a[i][i];
+      // Feasibility.
+      for (size_t i = 0; i < n; ++i) {
+        if (x[i] < -1e-7) return;
+      }
+      for (size_t r = 0; r < m; ++r) {
+        double lhs = 0;
+        for (size_t j = 0; j < n; ++j) lhs += rows[r][j] * x[j];
+        if (lhs > rhs[r] + 1e-7) return;
+      }
+      double obj = 0;
+      for (size_t j = 0; j < n; ++j) obj += p.objective[j] * x[j];
+      best = std::max(best, obj);
+      return;
+    }
+    for (size_t i = start; i < m; ++i) {
+      idx[depth] = i;
+      rec(depth + 1, i + 1);
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+TEST(SimplexPropertyTest, MatchesVertexEnumerationOnRandomLps) {
+  util::Rng rng(2718);
+  int solved = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    LpProblem p;
+    p.num_vars = 2 + rng.Uniform(2);  // 2 or 3 variables
+    p.objective.resize(p.num_vars);
+    for (auto& c : p.objective) c = rng.UniformInt(-4, 5);
+    const int extra = 1 + static_cast<int>(rng.Uniform(4));
+    for (int r = 0; r < extra; ++r) {
+      std::vector<double> row(p.num_vars);
+      for (auto& a : row) a = rng.UniformInt(-3, 4);
+      p.AddLe(std::move(row), rng.UniformInt(0, 12));
+    }
+    // Bounding box keeps every instance bounded.
+    for (size_t i = 0; i < p.num_vars; ++i) {
+      std::vector<double> row(p.num_vars, 0.0);
+      row[i] = 1;
+      p.AddLe(std::move(row), 10);
+    }
+
+    auto solution = SolveLp(p);
+    ASSERT_TRUE(solution.ok());
+    const double brute = BruteForceOptimum(p);
+    if (std::isinf(brute)) {
+      // Origin is always feasible here (all b >= 0), so this cannot
+      // happen; guard anyway.
+      EXPECT_NE(solution->status, LpStatus::kOptimal);
+      continue;
+    }
+    ASSERT_EQ(solution->status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(solution->objective, brute, 1e-6) << "trial " << trial;
+    ++solved;
+  }
+  EXPECT_GT(solved, 150);
+}
+
+TEST(SimplexPropertyTest, SolutionAlwaysFeasible) {
+  util::Rng rng(777);
+  for (int trial = 0; trial < 100; ++trial) {
+    LpProblem p;
+    p.num_vars = 3;
+    p.objective = {1, 1, 1};
+    for (int r = 0; r < 4; ++r) {
+      std::vector<double> row(3);
+      for (auto& a : row) a = rng.UniformInt(0, 3);
+      p.AddLe(std::move(row), rng.UniformInt(1, 10));
+    }
+    for (size_t i = 0; i < 3; ++i) {
+      std::vector<double> row(3, 0.0);
+      row[i] = 1;
+      p.AddLe(std::move(row), 6);
+    }
+    auto solution = SolveLp(p);
+    ASSERT_TRUE(solution.ok());
+    ASSERT_EQ(solution->status, LpStatus::kOptimal);
+    for (size_t r = 0; r < p.rows.size(); ++r) {
+      double lhs = 0;
+      for (size_t j = 0; j < 3; ++j) lhs += p.rows[r][j] * solution->x[j];
+      EXPECT_LE(lhs, p.rhs[r] + 1e-6);
+    }
+    for (double x : solution->x) EXPECT_GE(x, -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cegraph::lp

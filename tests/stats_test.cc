@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "matching/matcher.h"
+#include "query/subquery.h"
+#include "query/templates.h"
+#include "stats/char_sets.h"
+#include "stats/cycle_closing.h"
+#include "stats/degree_stats.h"
+#include "stats/markov_table.h"
+#include "stats/summary_graph.h"
+
+namespace cegraph::stats {
+namespace {
+
+using graph::Graph;
+using query::QueryGraph;
+
+Graph TinyGraph() {
+  // Label 0 (A): 0->1, 0->2, 3->1 ; Label 1 (B): 1->4, 2->4, 1->5.
+  auto g = graph::Graph::Create(
+      6, 2, {{0, 1, 0}, {0, 2, 0}, {3, 1, 0}, {1, 4, 1}, {2, 4, 1},
+             {1, 5, 1}});
+  return std::move(g).value();
+}
+
+QueryGraph Q(uint32_t n, std::vector<query::QueryEdge> edges) {
+  auto q = QueryGraph::Create(n, std::move(edges));
+  return std::move(q).value();
+}
+
+TEST(MarkovTableTest, SingleEdgeCardinality) {
+  Graph g = TinyGraph();
+  MarkovTable markov(g, 2);
+  auto c = markov.Cardinality(Q(2, {{0, 1, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 3.0);
+}
+
+TEST(MarkovTableTest, TwoPathCardinality) {
+  Graph g = TinyGraph();
+  MarkovTable markov(g, 2);
+  auto c = markov.Cardinality(Q(3, {{0, 1, 0}, {1, 2, 1}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 5.0);
+}
+
+TEST(MarkovTableTest, RejectsOversizePattern) {
+  Graph g = TinyGraph();
+  MarkovTable markov(g, 2);
+  EXPECT_FALSE(markov.Contains(query::PathShape(3)));
+  EXPECT_FALSE(markov.Cardinality(query::PathShape(3)).ok());
+}
+
+TEST(MarkovTableTest, CachesByIsomorphism) {
+  Graph g = TinyGraph();
+  MarkovTable markov(g, 2);
+  ASSERT_TRUE(markov.Cardinality(Q(3, {{0, 1, 0}, {1, 2, 1}})).ok());
+  const size_t entries = markov.num_entries();
+  // Isomorphic relabeled pattern must hit the cache.
+  ASSERT_TRUE(markov.Cardinality(Q(3, {{2, 0, 0}, {0, 1, 1}})).ok());
+  EXPECT_EQ(markov.num_entries(), entries);
+}
+
+TEST(MarkovTableTest, SizeAccountingGrowsWithEntries) {
+  Graph g = TinyGraph();
+  MarkovTable markov(g, 2);
+  EXPECT_EQ(markov.ApproximateSizeBytes(), 0u);
+  ASSERT_TRUE(markov.Cardinality(Q(2, {{0, 1, 0}})).ok());
+  const size_t one = markov.ApproximateSizeBytes();
+  EXPECT_GT(one, 0u);
+  ASSERT_TRUE(markov.Cardinality(Q(3, {{0, 1, 0}, {1, 2, 1}})).ok());
+  EXPECT_GT(markov.ApproximateSizeBytes(), one);
+}
+
+TEST(MarkovTableTest, H3ContainsTriangles) {
+  Graph g = TinyGraph();
+  MarkovTable markov(g, 3);
+  auto c = markov.Cardinality(Q(3, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0.0);  // no directed triangle in TinyGraph
+}
+
+TEST(DegreeMapTest, ComputesProjectionsAndDegrees) {
+  // Relation {(0,1),(0,2),(1,2)} over attrs {a0,a1}.
+  std::vector<std::array<graph::VertexId, 3>> tuples = {
+      {0, 1, 0}, {0, 2, 0}, {1, 2, 0}};
+  DegreeMap dm = ComputeDegreeMap(2, tuples);
+  EXPECT_EQ(dm.Get(0, 3), 3.0);   // |R|
+  EXPECT_EQ(dm.Get(0, 1), 2.0);   // distinct a0
+  EXPECT_EQ(dm.Get(0, 2), 2.0);   // distinct a1
+  EXPECT_EQ(dm.Get(1, 3), 2.0);   // max fanout of a0
+  EXPECT_EQ(dm.Get(2, 3), 2.0);   // max fanin of a1
+  EXPECT_EQ(dm.Get(1, 1), 1.0);
+  EXPECT_EQ(dm.Get(3, 3), 1.0);
+}
+
+TEST(DegreeMapTest, ThreeAttributes) {
+  // Tuples (a,b,c): (0,0,0), (0,0,1), (0,1,0).
+  std::vector<std::array<graph::VertexId, 3>> tuples = {
+      {0, 0, 0}, {0, 0, 1}, {0, 1, 0}};
+  DegreeMap dm = ComputeDegreeMap(3, tuples);
+  EXPECT_EQ(dm.Get(0, 7), 3.0);
+  EXPECT_EQ(dm.Get(1, 7), 3.0);   // a=0 extends to 3 (b,c) pairs
+  EXPECT_EQ(dm.Get(3, 7), 2.0);   // (a,b)=(0,0) extends to 2 c's
+  EXPECT_EQ(dm.Get(0, 6), 3.0);   // distinct (b,c)
+  EXPECT_EQ(dm.Get(2, 6), 2.0);   // b=0 pairs with 2 c's
+}
+
+TEST(DegreeMapTest, DeduplicatesTuples) {
+  std::vector<std::array<graph::VertexId, 3>> tuples = {
+      {0, 1, 0}, {0, 1, 0}, {0, 1, 0}};
+  DegreeMap dm = ComputeDegreeMap(2, tuples);
+  EXPECT_EQ(dm.Get(0, 3), 1.0);
+}
+
+TEST(StatsCatalogTest, BaseRelationMatchesGraph) {
+  Graph g = TinyGraph();
+  StatsCatalog catalog(g);
+  const DegreeMap& dm = catalog.BaseRelation(0);
+  EXPECT_EQ(dm.Get(0, 3), 3.0);  // |A|
+  EXPECT_EQ(dm.Get(1, 3), 2.0);  // max out-degree (vertex 0)
+  EXPECT_EQ(dm.Get(2, 3), 2.0);  // max in-degree (vertex 1)
+  EXPECT_EQ(dm.Get(0, 1), 2.0);  // distinct sources {0,3}
+  EXPECT_EQ(dm.Get(0, 2), 2.0);  // distinct dests {1,2}
+}
+
+TEST(StatsCatalogTest, TwoJoinStatsMatchEnumeration) {
+  Graph g = TinyGraph();
+  StatsCatalog catalog(g);
+  QueryGraph pattern = Q(3, {{0, 1, 0}, {1, 2, 1}});
+  const auto* js = catalog.TwoJoin(pattern);
+  ASSERT_NE(js, nullptr);
+  EXPECT_EQ(js->cardinality, 5.0);
+  // Shared across isomorphic requests.
+  const auto* js2 = catalog.TwoJoin(Q(3, {{1, 2, 0}, {2, 0, 1}}));
+  EXPECT_EQ(js, js2);
+}
+
+TEST(DegreeStatsTest, BaseRelationsMappedToQueryVertices) {
+  Graph g = TinyGraph();
+  StatsCatalog catalog(g);
+  QueryGraph q = Q(3, {{0, 1, 0}, {1, 2, 1}});
+  auto stats = DegreeStats::Build(catalog, q, /*include_two_joins=*/false);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->relations().size(), 2u);
+  const StatRelation& r0 = stats->relations()[0];
+  EXPECT_EQ(r0.attrs, 0b011u);
+  EXPECT_EQ(r0.Get(0, 0b011), 3.0);
+  EXPECT_EQ(r0.Get(0b001, 0b011), 2.0);  // deg(src)
+}
+
+TEST(DegreeStatsTest, TwoJoinRelationsAdded) {
+  Graph g = TinyGraph();
+  StatsCatalog catalog(g);
+  QueryGraph q = Q(3, {{0, 1, 0}, {1, 2, 1}});
+  auto stats = DegreeStats::Build(catalog, q, /*include_two_joins=*/true);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->relations().size(), 3u);
+  const StatRelation& join = stats->relations()[2];
+  EXPECT_EQ(join.attrs, 0b111u);
+  EXPECT_EQ(join.Get(0, 0b111), 5.0);  // |A ⋈ B| = 5
+}
+
+TEST(DegreeStatsTest, SelfLoopRelation) {
+  auto g = graph::Graph::Create(3, 1, {{0, 0, 0}, {1, 1, 0}, {0, 1, 0}});
+  ASSERT_TRUE(g.ok());
+  StatsCatalog catalog(*g);
+  QueryGraph q = Q(1, {{0, 0, 0}});
+  auto stats = DegreeStats::Build(catalog, q, false);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->relations()[0].Get(0, 0b1), 2.0);  // two self-loops
+}
+
+TEST(CycleClosingTest, DeterministicAndCached) {
+  Graph g = TinyGraph();
+  CycleClosingRates rates(g);
+  ClosingKey key{.first_label = 0, .last_label = 1, .close_label = 0};
+  const double r1 = rates.Rate(key);
+  const double r2 = rates.Rate(key);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(rates.num_cached(), 1u);
+  EXPECT_GT(r1, 0.0);
+  EXPECT_LE(r1, 1.0);
+}
+
+TEST(CycleClosingTest, DenseCycleGraphHasHighRate) {
+  // Complete-ish digraph with one label: almost every 2-path closes.
+  std::vector<graph::Edge> edges;
+  for (uint32_t i = 0; i < 12; ++i) {
+    for (uint32_t j = 0; j < 12; ++j) {
+      if (i != j) edges.push_back({i, j, 0});
+    }
+  }
+  auto g = graph::Graph::Create(12, 1, std::move(edges));
+  ASSERT_TRUE(g.ok());
+  CycleClosingRates rates(*g);
+  ClosingKey key{.first_label = 0,
+                 .last_label = 0,
+                 .close_label = 0,
+                 .first_forward = true,
+                 .last_forward = true,
+                 .close_from_end = true};
+  EXPECT_GT(rates.Rate(key), 0.8);
+}
+
+TEST(CycleClosingTest, NoClosingEdgesLowRate) {
+  // Bipartite-ish: closing label never present.
+  Graph g = TinyGraph();
+  CycleClosingOptions options;
+  options.walks_per_key = 500;
+  CycleClosingRates rates(g, options);
+  ClosingKey key{.first_label = 0, .last_label = 1, .close_label = 1,
+                 .first_forward = true, .last_forward = true,
+                 .close_from_end = true};
+  EXPECT_LT(rates.Rate(key), 0.05);
+  EXPECT_GT(rates.Rate(key), 0.0);  // smoothing keeps it positive
+}
+
+TEST(CharSetsTest, GroupsVerticesBySignature) {
+  Graph g = TinyGraph();
+  CharacteristicSets cs(g);
+  // Vertex 0: {A}; vertex 3: {A}; vertex 1: {B}; vertex 2: {B}.
+  EXPECT_EQ(cs.groups().size(), 2u);
+}
+
+TEST(CharSetsTest, StarEstimateExactForSingleLabel) {
+  Graph g = TinyGraph();
+  CharacteristicSets cs(g);
+  // Single-edge star with label A: exact count 3.
+  EXPECT_DOUBLE_EQ(cs.EstimateStar({0}), 3.0);
+  EXPECT_DOUBLE_EQ(cs.EstimateStar({1}), 3.0);
+}
+
+TEST(CharSetsTest, TwoEdgeStarUniformityAssumption) {
+  Graph g = TinyGraph();
+  CharacteristicSets cs(g);
+  // B,B 2-star: group {B} has 2 vertices, avg multiplicity 1.5 -> 2*1.5^2.
+  EXPECT_DOUBLE_EQ(cs.EstimateStar({1, 1}), 4.5);
+}
+
+TEST(CharSetsTest, MissingLabelGivesZero) {
+  Graph g = TinyGraph();
+  CharacteristicSets cs(g);
+  EXPECT_DOUBLE_EQ(cs.EstimateStar({0, 1}), 0.0);  // no vertex has both
+}
+
+TEST(SummaryGraphTest, PreservesTotalEdgeWeight) {
+  Graph g = TinyGraph();
+  SummaryGraph summary(g, 3);
+  double total = 0;
+  for (uint32_t b1 = 0; b1 < summary.num_buckets(); ++b1) {
+    for (graph::Label l = 0; l < summary.num_labels(); ++l) {
+      for (const auto& [b2, w] : summary.OutEdges(b1, l)) total += w;
+    }
+  }
+  EXPECT_DOUBLE_EQ(total, 6.0);
+}
+
+TEST(SummaryGraphTest, BucketSizesSumToVertices) {
+  Graph g = TinyGraph();
+  SummaryGraph summary(g, 4);
+  uint64_t total = 0;
+  for (uint32_t b = 0; b < summary.num_buckets(); ++b) {
+    total += summary.bucket_size(b);
+  }
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(SummaryGraphTest, InEdgesMirrorOutEdges) {
+  Graph g = TinyGraph();
+  SummaryGraph summary(g, 3);
+  for (uint32_t b1 = 0; b1 < summary.num_buckets(); ++b1) {
+    for (graph::Label l = 0; l < summary.num_labels(); ++l) {
+      for (const auto& [b2, w] : summary.OutEdges(b1, l)) {
+        EXPECT_EQ(summary.EdgeWeight(b1, l, b2), w);
+        bool found = false;
+        for (const auto& [bb1, ww] : summary.InEdges(b2, l)) {
+          if (bb1 == b1) {
+            found = true;
+            EXPECT_EQ(ww, w);
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cegraph::stats

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "query/subquery.h"
+#include "query/templates.h"
+
+namespace cegraph::query {
+namespace {
+
+TEST(ShapesTest, PathShape) {
+  QueryGraph q = PathShape(5);
+  EXPECT_EQ(q.num_edges(), 5u);
+  EXPECT_EQ(q.num_vertices(), 6u);
+  EXPECT_TRUE(q.IsAcyclic());
+  EXPECT_TRUE(q.IsConnected());
+}
+
+TEST(ShapesTest, StarShape) {
+  QueryGraph q = StarShape(6);
+  EXPECT_EQ(q.num_edges(), 6u);
+  EXPECT_EQ(q.num_vertices(), 7u);
+  EXPECT_EQ(q.Degree(0), 6u);
+  EXPECT_TRUE(q.IsAcyclic());
+}
+
+TEST(ShapesTest, CycleShape) {
+  QueryGraph q = CycleShape(5);
+  EXPECT_EQ(q.num_edges(), 5u);
+  EXPECT_EQ(q.num_vertices(), 5u);
+  EXPECT_EQ(q.CyclomaticNumber(q.AllEdges()), 1);
+}
+
+TEST(ShapesTest, CaterpillarDiameter) {
+  // Depth-2 caterpillar is a star; depth-k is a path.
+  QueryGraph star_like = CaterpillarShape(6, 2);
+  QueryGraph path_like = CaterpillarShape(6, 6);
+  EXPECT_TRUE(star_like.IsAcyclic());
+  EXPECT_TRUE(path_like.IsAcyclic());
+  EXPECT_EQ(star_like.num_edges(), 6u);
+  EXPECT_EQ(path_like.num_edges(), 6u);
+  EXPECT_EQ(path_like.num_vertices(), 7u);
+}
+
+TEST(ShapesTest, CaterpillarConnected) {
+  for (int k : {6, 7, 8}) {
+    for (int d = 2; d <= k; ++d) {
+      QueryGraph q = CaterpillarShape(k, d);
+      EXPECT_TRUE(q.IsConnected()) << k << " " << d;
+      EXPECT_TRUE(q.IsAcyclic()) << k << " " << d;
+      EXPECT_EQ(q.num_edges(), static_cast<uint32_t>(k)) << k << " " << d;
+    }
+  }
+}
+
+TEST(ShapesTest, K4) {
+  QueryGraph q = CliqueK4Shape();
+  EXPECT_EQ(q.num_edges(), 6u);
+  EXPECT_EQ(q.num_vertices(), 4u);
+  for (QVertex v = 0; v < 4; ++v) EXPECT_EQ(q.Degree(v), 3u);
+}
+
+TEST(ShapesTest, Diamond) {
+  QueryGraph q = DiamondShape();
+  EXPECT_EQ(q.num_edges(), 5u);
+  EXPECT_EQ(q.CyclomaticNumber(q.AllEdges()), 2);
+}
+
+TEST(ShapesTest, Bowtie) {
+  QueryGraph q = BowtieShape();
+  EXPECT_EQ(q.num_edges(), 6u);
+  EXPECT_EQ(q.num_vertices(), 5u);
+  EXPECT_EQ(q.Degree(0), 4u);
+}
+
+TEST(ShapesTest, SquareVariants) {
+  EXPECT_EQ(SquareTwoTrianglesShape().num_edges(), 8u);
+  EXPECT_EQ(SquareTriangleShape().num_edges(), 7u);
+  EXPECT_TRUE(SquareTwoTrianglesShape().IsConnected());
+  EXPECT_TRUE(SquareTriangleShape().IsConnected());
+}
+
+TEST(ShapesTest, Petal) {
+  QueryGraph q = PetalShape(3, 3);
+  EXPECT_EQ(q.num_edges(), 9u);
+  EXPECT_EQ(q.Degree(0), 3u);
+  EXPECT_EQ(q.Degree(1), 3u);
+  EXPECT_TRUE(q.IsConnected());
+}
+
+TEST(TemplateSuitesTest, JobLike) {
+  auto templates = JobLikeTemplates();
+  ASSERT_EQ(templates.size(), 7u);
+  int edges4 = 0, edges5 = 0, edges6 = 0;
+  for (const auto& t : templates) {
+    EXPECT_TRUE(t.shape.IsAcyclic()) << t.name;
+    EXPECT_TRUE(t.shape.IsConnected()) << t.name;
+    if (t.shape.num_edges() == 4) ++edges4;
+    if (t.shape.num_edges() == 5) ++edges5;
+    if (t.shape.num_edges() == 6) ++edges6;
+  }
+  EXPECT_EQ(edges4, 4);
+  EXPECT_EQ(edges5, 2);
+  EXPECT_EQ(edges6, 1);
+}
+
+TEST(TemplateSuitesTest, AcyclicSuiteCoversAllDepths) {
+  auto templates = AcyclicTemplates();
+  EXPECT_EQ(templates.size(), 18u);  // (6-1)+(7-1)+(8-1)
+  for (const auto& t : templates) {
+    EXPECT_TRUE(t.shape.IsAcyclic()) << t.name;
+  }
+}
+
+TEST(TemplateSuitesTest, CyclicSuiteAllCyclic) {
+  for (const auto& t : CyclicTemplates()) {
+    EXPECT_FALSE(t.shape.IsAcyclic()) << t.name;
+    EXPECT_TRUE(t.shape.IsConnected()) << t.name;
+  }
+}
+
+TEST(TemplateSuitesTest, CyclicSuiteMixesTriangleOnlyAndLarge) {
+  int triangles_only = 0, large = 0;
+  for (const auto& t : CyclicTemplates()) {
+    if (LargestChordlessCycle(t.shape) == 3) ++triangles_only;
+    if (LargestChordlessCycle(t.shape) > 3) ++large;
+  }
+  EXPECT_GE(triangles_only, 3);
+  EXPECT_GE(large, 3);
+}
+
+TEST(TemplateSuitesTest, GCareSuites) {
+  for (const auto& t : GCareAcyclicTemplates()) {
+    EXPECT_TRUE(t.shape.IsAcyclic()) << t.name;
+  }
+  for (const auto& t : GCareCyclicTemplates()) {
+    EXPECT_FALSE(t.shape.IsAcyclic()) << t.name;
+  }
+}
+
+TEST(TemplateSuitesTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& suite :
+       {JobLikeTemplates(), AcyclicTemplates(), CyclicTemplates(),
+        GCareAcyclicTemplates(), GCareCyclicTemplates()}) {
+    for (const auto& t : suite) {
+      EXPECT_TRUE(names.insert(t.name).second) << "dup: " << t.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cegraph::query

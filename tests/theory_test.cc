@@ -1,0 +1,240 @@
+// Executable versions of the paper's theoretical results (DESIGN.md §5):
+// Theorem 5.1, Proposition 5.1, Appendix A, Appendix B, Appendix C and
+// Corollary D.1, validated over randomized graphs and query shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ceg/ceg_d.h"
+#include "ceg/ceg_m.h"
+#include "estimators/pessimistic.h"
+#include "graph/generators.h"
+#include "matching/matcher.h"
+#include "query/templates.h"
+#include "query/workload.h"
+#include "stats/degree_stats.h"
+
+namespace cegraph {
+namespace {
+
+using graph::Graph;
+using query::QueryGraph;
+
+/// Random small graphs paired with small query shapes; every theory
+/// property is checked across this population.
+struct TheoryCase {
+  uint64_t graph_seed;
+  uint64_t workload_seed;
+  std::string shape;
+};
+
+QueryGraph ShapeByName(const std::string& name) {
+  if (name == "path2") return query::PathShape(2);
+  if (name == "path3") return query::PathShape(3);
+  if (name == "star3") return query::StarShape(3);
+  if (name == "tri") return query::CycleShape(3);
+  if (name == "cyc4") return query::CycleShape(4);
+  return query::PathShape(2);
+}
+
+class TheoryTest : public ::testing::TestWithParam<TheoryCase> {
+ protected:
+  void SetUp() override {
+    auto g = graph::GenerateGraph({.num_vertices = 40,
+                                   .num_edges = 220,
+                                   .num_labels = 3,
+                                   .num_types = 1,
+                                   .label_zipf_s = 1.0,
+                                   .preferential_p = 0.4,
+                                   .random_labels = true,
+                                   .seed = GetParam().graph_seed});
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<Graph>(std::move(*g));
+
+    query::WorkloadOptions options;
+    options.instances_per_template = 3;
+    options.seed = GetParam().workload_seed;
+    auto wl = query::GenerateWorkload(
+        *graph_, {{GetParam().shape, ShapeByName(GetParam().shape)}},
+        options);
+    if (wl.ok()) workload_ = std::move(*wl);
+  }
+
+  std::unique_ptr<Graph> graph_;
+  std::vector<query::WorkloadQuery> workload_;
+};
+
+/// Theorem 5.1: the minimum-weight (∅, A) path of CEG_M equals the MOLP
+/// LP optimum — Dijkstra (combinatorial), explicit-CEG enumeration, and
+/// the simplex solution all agree.
+TEST_P(TheoryTest, Theorem51MolpEqualsShortestPath) {
+  stats::StatsCatalog catalog(*graph_);
+  for (const auto& wq : workload_) {
+    auto stats = stats::DegreeStats::Build(catalog, wq.query, false);
+    ASSERT_TRUE(stats.ok());
+
+    auto dijkstra = ceg::MolpMinLogWeight(wq.query, *stats);
+    ASSERT_TRUE(dijkstra.ok());
+
+    auto lp = MolpViaLp(wq.query, *stats);
+    ASSERT_TRUE(lp.ok());
+    EXPECT_NEAR(*dijkstra, *lp, 1e-6) << wq.template_name;
+
+    // Explicit CEG_M agrees too.
+    auto built = ceg::BuildCegM(wq.query, *stats);
+    ASSERT_TRUE(built.ok());
+    auto explicit_min = built->ceg.MinLogWeightDijkstra();
+    ASSERT_TRUE(explicit_min.ok());
+    EXPECT_NEAR(*dijkstra, *explicit_min, 1e-9);
+  }
+}
+
+/// Proposition 5.1 (strengthened per Observation 1): *every* (∅, A) path
+/// of CEG_M upper-bounds the true cardinality, not just the minimum one.
+TEST_P(TheoryTest, Proposition51EveryPathIsUpperBound) {
+  stats::StatsCatalog catalog(*graph_);
+  ceg::CegMOptions no_proj;
+  no_proj.include_projection_edges = false;  // keeps enumeration finite
+  for (const auto& wq : workload_) {
+    auto stats = stats::DegreeStats::Build(catalog, wq.query, false);
+    ASSERT_TRUE(stats.ok());
+    auto built = ceg::BuildCegM(wq.query, *stats, no_proj);
+    ASSERT_TRUE(built.ok());
+    bool truncated = false;
+    auto paths = built->ceg.EnumerateSimplePaths(20000, &truncated);
+    ASSERT_FALSE(paths.empty());
+    const double truth_log = std::log2(wq.true_cardinality);
+    for (const auto& p : paths) {
+      EXPECT_GE(p.log_weight + 1e-6, truth_log) << wq.template_name;
+    }
+  }
+}
+
+/// Appendix A: removing the projection edges (equivalently the projection
+/// inequalities) never changes the MOLP optimum.
+TEST_P(TheoryTest, AppendixAProjectionEdgesRedundant) {
+  stats::StatsCatalog catalog(*graph_);
+  for (const auto& wq : workload_) {
+    auto stats = stats::DegreeStats::Build(catalog, wq.query, false);
+    ASSERT_TRUE(stats.ok());
+
+    ceg::CegMOptions with, without;
+    without.include_projection_edges = false;
+    auto ceg_with = ceg::BuildCegM(wq.query, *stats, with);
+    auto ceg_without = ceg::BuildCegM(wq.query, *stats, without);
+    ASSERT_TRUE(ceg_with.ok());
+    ASSERT_TRUE(ceg_without.ok());
+    auto min_with = ceg_with->ceg.MinLogWeightDijkstra();
+    auto min_without = ceg_without->ceg.MinLogWeightDijkstra();
+    ASSERT_TRUE(min_with.ok());
+    ASSERT_TRUE(min_without.ok());
+    EXPECT_NEAR(*min_with, *min_without, 1e-9);
+
+    // And on the LP side.
+    auto lp_with = MolpViaLp(wq.query, *stats, true);
+    auto lp_without = MolpViaLp(wq.query, *stats, false);
+    ASSERT_TRUE(lp_with.ok());
+    ASSERT_TRUE(lp_without.ok());
+    EXPECT_NEAR(*lp_with, *lp_without, 1e-6);
+  }
+}
+
+/// Appendix B: on acyclic queries over binary relations, CBS == MOLP.
+TEST_P(TheoryTest, AppendixBCbsEqualsMolpOnAcyclicBinary) {
+  if (GetParam().shape == "tri" || GetParam().shape == "cyc4") {
+    GTEST_SKIP() << "acyclic-only property";
+  }
+  stats::StatsCatalog catalog(*graph_);
+  MolpEstimator molp(catalog, /*include_two_joins=*/false);
+  CbsEstimator cbs(catalog);
+  for (const auto& wq : workload_) {
+    auto m = molp.Estimate(wq.query);
+    auto c = cbs.Estimate(wq.query);
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(c.ok());
+    EXPECT_NEAR(std::log2(*m), std::log2(*c), 1e-6) << wq.template_name;
+  }
+}
+
+/// Appendix B (general direction): on *acyclic* queries every CBS
+/// bounding formula corresponds to a CEG_M path, so MOLP <= CBS. (On
+/// cyclic queries CBS covers can be unsafe and dip below MOLP — that is
+/// Appendix C, tested separately in estimators_test.)
+TEST_P(TheoryTest, MolpNeverAboveCbsOnAcyclic) {
+  if (GetParam().shape == "tri" || GetParam().shape == "cyc4") {
+    GTEST_SKIP() << "acyclic-only property";
+  }
+  stats::StatsCatalog catalog(*graph_);
+  MolpEstimator molp(catalog, false);
+  CbsEstimator cbs(catalog);
+  for (const auto& wq : workload_) {
+    auto m = molp.Estimate(wq.query);
+    auto c = cbs.Estimate(wq.query);
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(c.ok());
+    EXPECT_LE(std::log2(*m), std::log2(*c) + 1e-6) << wq.template_name;
+  }
+}
+
+/// Corollary D.1: MOLP <= DBPLP for every cover; and Theorem D.1's path
+/// property — every (∅, A) path of CEG_D lower-bounds the DBPLP optimum.
+TEST_P(TheoryTest, CorollaryD1MolpTighterThanDbplp) {
+  stats::StatsCatalog catalog(*graph_);
+  for (const auto& wq : workload_) {
+    auto stats = stats::DegreeStats::Build(catalog, wq.query, false);
+    ASSERT_TRUE(stats.ok());
+    auto molp = ceg::MolpMinLogWeight(wq.query, *stats);
+    ASSERT_TRUE(molp.ok());
+
+    const auto covers =
+        ceg::EnumerateCovers(wq.query, *stats, /*cbs_choices_only=*/false);
+    ASSERT_FALSE(covers.empty());
+    int checked = 0;
+    for (const auto& cover : covers) {
+      if (++checked > 20) break;  // bound the LP count per query
+      auto dbplp = DbplpBoundForCover(wq.query, *stats, cover);
+      ASSERT_TRUE(dbplp.ok());
+      EXPECT_LE(*molp, *dbplp + 1e-6) << wq.template_name;
+
+      // Theorem D.1: every CEG_D path is <= the DBPLP optimum.
+      auto ceg_d = ceg::BuildCegD(wq.query, *stats, cover);
+      ASSERT_TRUE(ceg_d.ok());
+      bool truncated = false;
+      auto paths = ceg_d->ceg.EnumerateSimplePaths(5000, &truncated);
+      for (const auto& p : paths) {
+        EXPECT_LE(p.log_weight, *dbplp + 1e-6);
+      }
+    }
+  }
+}
+
+/// MOLP is at least as tight as the AGM bound (MOLP uses strictly more
+/// statistics than relation cardinalities).
+TEST_P(TheoryTest, MolpNeverAboveAgm) {
+  stats::StatsCatalog catalog(*graph_);
+  for (const auto& wq : workload_) {
+    auto stats = stats::DegreeStats::Build(catalog, wq.query, false);
+    ASSERT_TRUE(stats.ok());
+    auto molp = ceg::MolpMinLogWeight(wq.query, *stats);
+    auto agm = AgmBound(wq.query, *stats);
+    ASSERT_TRUE(molp.ok());
+    ASSERT_TRUE(agm.ok());
+    EXPECT_LE(*molp, *agm + 1e-6) << wq.template_name;
+    // AGM itself is an upper bound on the truth.
+    EXPECT_GE(*agm + 1e-6, std::log2(wq.true_cardinality));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TheoryTest,
+    ::testing::Values(TheoryCase{1, 10, "path2"}, TheoryCase{2, 11, "path3"},
+                      TheoryCase{3, 12, "star3"}, TheoryCase{4, 13, "tri"},
+                      TheoryCase{5, 14, "cyc4"}, TheoryCase{6, 15, "path3"},
+                      TheoryCase{7, 16, "star3"}, TheoryCase{8, 17, "tri"}),
+    [](const ::testing::TestParamInfo<TheoryCase>& info) {
+      return info.param.shape + "_g" +
+             std::to_string(info.param.graph_seed);
+    });
+
+}  // namespace
+}  // namespace cegraph

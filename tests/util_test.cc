@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/box_stats.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace cegraph::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << NotFoundError("missing");
+  EXPECT_EQ(os.str(), "NOT_FOUND: missing");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 7);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(NotFoundError("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversDomain) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Uniform(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, BernoulliMean) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> weights = {1, 0, 3};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.5);
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  ZipfDistribution dist(20, 1.2);
+  Rng rng(3);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[dist.Sample(rng)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[19]);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution dist(50, 0.8);
+  double total = 0;
+  for (uint64_t k = 0; k < 50; ++k) total += dist.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MixHashTest, DistinctOnSmallInputs) {
+  EXPECT_NE(MixHash(0), MixHash(1));
+  EXPECT_NE(MixHash(1), MixHash(2));
+}
+
+TEST(BoxStatsTest, EmptyInput) {
+  BoxStats s = ComputeBoxStats({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(BoxStatsTest, SingleValue) {
+  BoxStats s = ComputeBoxStats({4.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.median, 4.0);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.trimmed_mean, 4.0);
+}
+
+TEST(BoxStatsTest, PercentilesOfArithmeticSequence) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);
+  BoxStats s = ComputeBoxStats(v);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+}
+
+TEST(BoxStatsTest, TrimmedMeanDropsOutliers) {
+  // 90 ones and 10 huge values: trimmed mean should ignore the huge ones.
+  std::vector<double> v(90, 1.0);
+  for (int i = 0; i < 10; ++i) v.push_back(1e9);
+  BoxStats s = ComputeBoxStats(v);
+  EXPECT_NEAR(s.trimmed_mean, 1.0, 1e-9);
+  EXPECT_GT(s.mean, 1e7);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 10.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(1.5), "1.5");
+  EXPECT_EQ(TablePrinter::Num(12345678), "1.235e+07");
+}
+
+}  // namespace
+}  // namespace cegraph::util

@@ -1,0 +1,179 @@
+// The paper's vertex-label extension (§6.1: "Estimating queries with
+// vertex labels can be done in a straightforward manner ... by extending
+// Markov table entries to have vertex labels"): labeled patterns flow
+// through the same matcher / Markov table / CEG machinery.
+#include <gtest/gtest.h>
+
+#include "estimators/optimistic.h"
+#include "graph/graph.h"
+#include "matching/matcher.h"
+#include "query/query_graph.h"
+#include "stats/markov_table.h"
+
+namespace cegraph {
+namespace {
+
+using graph::Graph;
+using query::QueryGraph;
+
+constexpr graph::VertexLabel kAny = QueryGraph::kAnyVertexLabel;
+
+/// A bipartite-flavored graph: vertices 0-2 are "users" (label 1),
+/// vertices 3-5 are "items" (label 2); edge label 0 = rates.
+/// 0->3, 0->4, 1->4, 2->5, plus a user->user edge 0->1.
+Graph LabeledGraph() {
+  auto g = graph::Graph::Create(
+      6, 1, {{0, 3, 0}, {0, 4, 0}, {1, 4, 0}, {2, 5, 0}, {0, 1, 0}},
+      {1, 1, 1, 2, 2, 2});
+  return std::move(g).value();
+}
+
+QueryGraph LQ(uint32_t n, std::vector<query::QueryEdge> edges,
+              std::vector<graph::VertexLabel> constraints) {
+  auto q = QueryGraph::Create(n, std::move(edges), std::move(constraints));
+  return std::move(q).value();
+}
+
+TEST(VertexLabelsTest, GraphStoresLabels) {
+  Graph g = LabeledGraph();
+  EXPECT_EQ(g.vertex_label(0), 1u);
+  EXPECT_EQ(g.vertex_label(5), 2u);
+  EXPECT_EQ(g.num_vertex_labels(), 3u);  // labels {1,2} -> max+1
+}
+
+TEST(VertexLabelsTest, UnlabeledGraphDefaultsToZero) {
+  auto g = graph::Graph::Create(3, 1, {{0, 1, 0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->vertex_label(2), 0u);
+  EXPECT_EQ(g->num_vertex_labels(), 1u);
+}
+
+TEST(VertexLabelsTest, ArityMismatchRejected) {
+  auto g = graph::Graph::Create(3, 1, {{0, 1, 0}}, {1, 2});
+  EXPECT_FALSE(g.ok());
+  auto q = QueryGraph::Create(3, {{0, 1, 0}}, {kAny});
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(VertexLabelsTest, CountHonorsConstraints) {
+  Graph g = LabeledGraph();
+  matching::Matcher matcher(g);
+  // Unconstrained single edge: all 5 edges.
+  auto all = matcher.Count(LQ(2, {{0, 1, 0}}, {}));
+  ASSERT_TRUE(all.ok());
+  EXPECT_DOUBLE_EQ(*all, 5.0);
+  // user -> item edges: 4 (excludes 0->1).
+  auto ui = matcher.Count(LQ(2, {{0, 1, 0}}, {1, 2}));
+  ASSERT_TRUE(ui.ok());
+  EXPECT_DOUBLE_EQ(*ui, 4.0);
+  // user -> user: 1.
+  auto uu = matcher.Count(LQ(2, {{0, 1, 0}}, {1, 1}));
+  ASSERT_TRUE(uu.ok());
+  EXPECT_DOUBLE_EQ(*uu, 1.0);
+  // item -> anything: 0.
+  auto iu = matcher.Count(LQ(2, {{0, 1, 0}}, {2, kAny}));
+  ASSERT_TRUE(iu.ok());
+  EXPECT_DOUBLE_EQ(*iu, 0.0);
+}
+
+TEST(VertexLabelsTest, TreeDpHonorsConstraints) {
+  Graph g = LabeledGraph();
+  matching::Matcher matcher(g);
+  // 2-path user -> user -> item: only 0->1->4.
+  auto c = matcher.Count(LQ(3, {{0, 1, 0}, {1, 2, 0}}, {1, 1, 2}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(*c, 1.0);
+  // 2-path with middle unconstrained: 0->1->4 only (others end at items
+  // with no out-edges).
+  auto c2 = matcher.Count(LQ(3, {{0, 1, 0}, {1, 2, 0}}, {kAny, kAny, kAny}));
+  ASSERT_TRUE(c2.ok());
+  EXPECT_DOUBLE_EQ(*c2, 1.0);
+}
+
+TEST(VertexLabelsTest, EnumerateHonorsConstraints) {
+  Graph g = LabeledGraph();
+  matching::Matcher matcher(g);
+  int rows = 0;
+  auto status = matcher.Enumerate(
+      LQ(2, {{0, 1, 0}}, {1, 2}), {},
+      [&](const std::vector<graph::VertexId>& a) {
+        EXPECT_EQ(g.vertex_label(a[0]), 1u);
+        EXPECT_EQ(g.vertex_label(a[1]), 2u);
+        ++rows;
+        return true;
+      });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(rows, 4);
+}
+
+TEST(VertexLabelsTest, CanonicalCodeDistinguishesConstraints) {
+  const auto unconstrained = LQ(2, {{0, 1, 0}}, {});
+  const auto wildcarded = LQ(2, {{0, 1, 0}}, {kAny, kAny});
+  const auto constrained = LQ(2, {{0, 1, 0}}, {1, 2});
+  const auto flipped = LQ(2, {{0, 1, 0}}, {2, 1});
+  EXPECT_EQ(unconstrained.CanonicalCode(), wildcarded.CanonicalCode());
+  EXPECT_NE(unconstrained.CanonicalCode(), constrained.CanonicalCode());
+  EXPECT_NE(constrained.CanonicalCode(), flipped.CanonicalCode());
+}
+
+TEST(VertexLabelsTest, CanonicalCodeInvariantUnderRenaming) {
+  const auto a = LQ(3, {{0, 1, 0}, {1, 2, 0}}, {1, kAny, 2});
+  const auto b = LQ(3, {{2, 0, 0}, {0, 1, 0}}, {kAny, 2, 1});
+  EXPECT_EQ(a.CanonicalCode(), b.CanonicalCode());
+}
+
+TEST(VertexLabelsTest, ExtractPatternKeepsConstraints) {
+  const auto q = LQ(3, {{0, 1, 0}, {1, 2, 0}}, {1, kAny, 2});
+  std::vector<query::QVertex> vmap;
+  const auto sub = q.ExtractPattern(0b10, &vmap);
+  ASSERT_EQ(sub.num_vertices(), 2u);
+  // Vertices {1,2} of the original survive with constraints {kAny, 2}.
+  for (uint32_t nv = 0; nv < 2; ++nv) {
+    EXPECT_EQ(sub.vertex_constraint(nv), q.vertex_constraint(vmap[nv]));
+  }
+}
+
+TEST(VertexLabelsTest, MarkovTableCachesLabeledPatternsSeparately) {
+  Graph g = LabeledGraph();
+  stats::MarkovTable markov(g, 2);
+  auto any = markov.Cardinality(LQ(2, {{0, 1, 0}}, {}));
+  auto ui = markov.Cardinality(LQ(2, {{0, 1, 0}}, {1, 2}));
+  ASSERT_TRUE(any.ok());
+  ASSERT_TRUE(ui.ok());
+  EXPECT_DOUBLE_EQ(*any, 5.0);
+  EXPECT_DOUBLE_EQ(*ui, 4.0);
+  EXPECT_EQ(markov.num_entries(), 2u);
+}
+
+TEST(VertexLabelsTest, OptimisticEstimatorUsesLabeledStatistics) {
+  Graph g = LabeledGraph();
+  stats::MarkovTable markov(g, 2);
+  matching::Matcher matcher(g);
+  OptimisticEstimator estimator(markov, OptimisticSpec{});
+  // 2-path fully inside the table: exact, constrained and unconstrained.
+  const auto labeled = LQ(3, {{0, 1, 0}, {1, 2, 0}}, {1, 1, 2});
+  auto est = estimator.Estimate(labeled);
+  ASSERT_TRUE(est.ok());
+  auto truth = matcher.Count(labeled);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_DOUBLE_EQ(*est, *truth);
+}
+
+TEST(VertexLabelsTest, ConstraintChangesEstimateDownstream) {
+  // On a 3-path (beyond h=2), constraining the endpoints changes the
+  // Markov statistics the CEG uses and therefore the estimate.
+  Graph g = LabeledGraph();
+  stats::MarkovTable markov(g, 2);
+  OptimisticEstimator estimator(markov, OptimisticSpec{});
+  const auto free3 = LQ(4, {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}}, {});
+  const auto user3 = LQ(4, {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}},
+                        {1, 1, 1, 2});
+  auto e_free = estimator.Estimate(free3);
+  auto e_user = estimator.Estimate(user3);
+  ASSERT_TRUE(e_free.ok());
+  ASSERT_TRUE(e_user.ok());
+  EXPECT_NE(*e_free, *e_user);
+}
+
+}  // namespace
+}  // namespace cegraph

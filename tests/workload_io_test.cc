@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/datasets.h"
+#include "query/templates.h"
+#include "query/workload.h"
+#include "query/workload_io.h"
+
+namespace cegraph::query {
+namespace {
+
+std::vector<WorkloadQuery> SampleWorkload() {
+  auto g = graph::MakeDataset("epinions_like");
+  WorkloadOptions options;
+  options.instances_per_template = 3;
+  options.seed = 123;
+  auto wl = GenerateWorkload(
+      *g, {{"p3", PathShape(3)}, {"s3", StarShape(3)}}, options);
+  return std::move(*wl);
+}
+
+TEST(WorkloadIoTest, RoundTripThroughStreams) {
+  const auto workload = SampleWorkload();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteWorkloadText(workload, buffer).ok());
+  auto loaded = ReadWorkloadText(buffer);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].template_name, workload[i].template_name);
+    EXPECT_EQ((*loaded)[i].true_cardinality, workload[i].true_cardinality);
+    // The parser renumbers variables in first-occurrence order, so the
+    // round trip preserves queries up to isomorphism (which preserves
+    // cardinalities and all estimates).
+    EXPECT_EQ((*loaded)[i].query.CanonicalCode(),
+              workload[i].query.CanonicalCode());
+    EXPECT_EQ((*loaded)[i].query.num_vertices(),
+              workload[i].query.num_vertices());
+  }
+}
+
+TEST(WorkloadIoTest, CommentsIgnored) {
+  std::stringstream in(
+      "# header\n"
+      "tmpl 42.5 (a)-[3]->(b)\n"
+      "\n"
+      "# trailing\n");
+  auto loaded = ReadWorkloadText(in);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].template_name, "tmpl");
+  EXPECT_DOUBLE_EQ((*loaded)[0].true_cardinality, 42.5);
+  EXPECT_EQ((*loaded)[0].query.num_edges(), 1u);
+}
+
+TEST(WorkloadIoTest, MalformedLinesRejected) {
+  {
+    std::stringstream in("tmpl\n");
+    EXPECT_FALSE(ReadWorkloadText(in).ok());
+  }
+  {
+    std::stringstream in("tmpl 1.0 (a)-[x]->(b)\n");
+    EXPECT_FALSE(ReadWorkloadText(in).ok());
+  }
+}
+
+TEST(WorkloadIoTest, RejectsWhitespaceTemplateNames) {
+  std::vector<WorkloadQuery> wl = SampleWorkload();
+  wl[0].template_name = "bad name";
+  std::stringstream buffer;
+  EXPECT_FALSE(WriteWorkloadText(wl, buffer).ok());
+}
+
+TEST(WorkloadIoTest, FileRoundTrip) {
+  const auto workload = SampleWorkload();
+  const std::string path = ::testing::TempDir() + "/cegraph_workload.txt";
+  ASSERT_TRUE(SaveWorkload(workload, path).ok());
+  auto loaded = LoadWorkload(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), workload.size());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadWorkload("/nonexistent/workload.txt").ok());
+}
+
+TEST(WorkloadIoTest, EmptyInputGivesEmptyWorkload) {
+  std::stringstream in("# nothing\n");
+  auto loaded = ReadWorkloadText(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace cegraph::query

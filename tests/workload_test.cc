@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "matching/matcher.h"
+#include "query/workload.h"
+
+namespace cegraph::query {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto g = graph::MakeDataset("epinions_like");
+    ASSERT_TRUE(g.ok());
+    graph_ = new graph::Graph(std::move(*g));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    graph_ = nullptr;
+  }
+  static graph::Graph* graph_;
+};
+
+graph::Graph* WorkloadTest::graph_ = nullptr;
+
+TEST_F(WorkloadTest, GeneratesNonEmptyQueries) {
+  WorkloadOptions options;
+  options.instances_per_template = 3;
+  options.seed = 21;
+  auto wl = GenerateWorkload(*graph_, {{"path3", PathShape(3)}}, options);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_GE(wl->size(), 1u);
+  matching::Matcher matcher(*graph_);
+  for (const auto& wq : *wl) {
+    EXPECT_GT(wq.true_cardinality, 0.0);
+    auto recount = matcher.Count(wq.query);
+    ASSERT_TRUE(recount.ok());
+    EXPECT_EQ(*recount, wq.true_cardinality);
+    EXPECT_EQ(wq.template_name, "path3");
+  }
+}
+
+TEST_F(WorkloadTest, Deterministic) {
+  WorkloadOptions options;
+  options.instances_per_template = 3;
+  options.seed = 5;
+  auto w1 = GenerateWorkload(*graph_, {{"star3", StarShape(3)}}, options);
+  auto w2 = GenerateWorkload(*graph_, {{"star3", StarShape(3)}}, options);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  ASSERT_EQ(w1->size(), w2->size());
+  for (size_t i = 0; i < w1->size(); ++i) {
+    EXPECT_EQ((*w1)[i].query.edges(), (*w2)[i].query.edges());
+    EXPECT_EQ((*w1)[i].true_cardinality, (*w2)[i].true_cardinality);
+  }
+}
+
+TEST_F(WorkloadTest, InstancesAreDeduplicated) {
+  WorkloadOptions options;
+  options.instances_per_template = 8;
+  options.seed = 9;
+  auto wl = GenerateWorkload(*graph_, {{"path2", PathShape(2)}}, options);
+  ASSERT_TRUE(wl.ok());
+  std::set<std::string> keys;
+  for (const auto& wq : *wl) {
+    std::string key;
+    for (const auto& e : wq.query.edges()) {
+      key += std::to_string(e.src) + ">" + std::to_string(e.dst) + ":" +
+             std::to_string(e.label) + ";";
+    }
+    EXPECT_TRUE(keys.insert(key).second);
+  }
+}
+
+TEST_F(WorkloadTest, CyclicTemplatesYieldCyclicQueries) {
+  WorkloadOptions options;
+  options.instances_per_template = 2;
+  options.seed = 31;
+  auto wl = GenerateWorkload(*graph_, {{"tri", CycleShape(3)}}, options);
+  if (!wl.ok()) GTEST_SKIP() << "no triangles found in dataset";
+  for (const auto& wq : *wl) {
+    EXPECT_FALSE(wq.query.IsAcyclic());
+  }
+}
+
+TEST(WorkloadFiltersTest, PartitionByCycleStructure) {
+  auto make = [](QueryGraph q) {
+    return WorkloadQuery{std::move(q), "t", 1.0};
+  };
+  std::vector<WorkloadQuery> wl;
+  wl.push_back(make(PathShape(3)));        // acyclic
+  wl.push_back(make(DiamondShape()));      // triangles only
+  wl.push_back(make(CycleShape(4)));       // large cycle
+  wl.push_back(make(CliqueK4Shape()));     // triangles only
+  wl.push_back(make(CycleShape(6)));       // large cycle
+
+  EXPECT_EQ(FilterAcyclic(wl).size(), 1u);
+  EXPECT_EQ(FilterTrianglesOnly(wl).size(), 2u);
+  EXPECT_EQ(FilterLargeCycles(wl).size(), 2u);
+}
+
+TEST_F(WorkloadTest, MaxCardinalityDropsHugeQueries) {
+  WorkloadOptions options;
+  options.instances_per_template = 3;
+  options.seed = 13;
+  options.max_cardinality = 1.0;  // nearly everything is dropped
+  auto wl = GenerateWorkload(*graph_, {{"path4", PathShape(4)}}, options);
+  if (wl.ok()) {
+    for (const auto& wq : *wl) {
+      EXPECT_LE(wq.true_cardinality, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cegraph::query
