@@ -5,9 +5,12 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "engine/engine.h"
 #include "graph/datasets.h"
+#include "harness/workload_runner.h"
 #include "query/templates.h"
 #include "query/workload.h"
 
@@ -52,6 +55,37 @@ inline DatasetWorkload MakeDatasetWorkload(const std::string& dataset,
     std::abort();
   }
   return {std::move(*g), std::move(*wl)};
+}
+
+/// Runs the 9-optimistic-estimators + P* suite through the engine's shared
+/// CEG cache: one BuildCeg per (query class, CEG kind) across the whole
+/// bench, however many panels reuse the engine.
+inline harness::SuiteResult RunOptimisticWithEngine(
+    const engine::EstimationEngine& engine, OptimisticCeg kind,
+    const std::vector<query::WorkloadQuery>& workload,
+    size_t pstar_max_paths = 200'000) {
+  const stats::CycleClosingRates* rates =
+      kind == OptimisticCeg::kCegOcr ? &engine.context().cycle_closing_rates()
+                                     : nullptr;
+  return harness::WorkloadRunner().RunOptimisticSuite(
+      engine.ceg_cache(), engine.context().markov(), rates, kind, workload,
+      pstar_max_paths);
+}
+
+/// Registry-resolved estimator suite. Exits on unknown names (benches are
+/// leaf binaries).
+inline harness::SuiteResult RunNamedSuite(
+    const engine::EstimationEngine& engine,
+    const std::vector<std::string>& names,
+    const std::vector<query::WorkloadQuery>& workload,
+    bool drop_on_any_failure = true) {
+  auto result =
+      harness::RunSuiteByName(engine, names, workload, drop_on_any_failure);
+  if (!result.ok()) {
+    std::fprintf(stderr, "suite: %s\n", result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
 }
 
 /// Benches accept one optional argument scaling the per-template instance

@@ -9,12 +9,8 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "estimators/dispersion_path.h"
-#include "estimators/max_entropy.h"
-#include "estimators/optimistic.h"
+#include "engine/engine.h"
 #include "harness/experiment.h"
-#include "stats/dispersion.h"
-#include "stats/markov_table.h"
 
 int main(int argc, char** argv) {
   using namespace cegraph;
@@ -28,22 +24,11 @@ int main(int argc, char** argv) {
         bench::MakeDatasetWorkload(dataset, "acyclic", instances, 0xE01);
     auto acyclic = query::FilterAcyclic(dw.workload);
 
-    stats::MarkovTable markov(dw.graph, 2);
-    stats::DispersionCatalog dispersion(dw.graph);
-    OptimisticEstimator max_hop_max(markov, OptimisticSpec{});
-    OptimisticSpec min_spec;
-    min_spec.path_length = ceg::Ceg::HopMode::kMinHop;
-    min_spec.aggregator = Aggregator::kMinAggr;
-    OptimisticEstimator min_hop_min(markov, min_spec);
-    DispersionGuidedEstimator min_cv(
-        markov, dispersion, DispersionGuidedEstimator::Objective::kMinCv);
-    DispersionGuidedEstimator min_entropy(
-        markov, dispersion,
-        DispersionGuidedEstimator::Objective::kMinEntropy);
-    MaxEntropyEstimator max_entropy(markov);
-
-    auto result = harness::RunEstimatorSuite(
-        {&max_hop_max, &min_hop_min, &min_cv, &min_entropy, &max_entropy},
+    engine::EstimationEngine engine(dw.graph);
+    auto result = bench::RunNamedSuite(
+        engine,
+        {"max-hop-max", "min-hop-min", "min-cv-path", "min-entropy-path",
+         "max-entropy"},
         acyclic);
     harness::PrintSuiteResult(std::cout,
                               std::string(dataset) + " / acyclic", result);

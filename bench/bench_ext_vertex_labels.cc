@@ -8,8 +8,8 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "engine/engine.h"
 #include "harness/experiment.h"
-#include "stats/markov_table.h"
 #include "util/table_printer.h"
 
 int main(int argc, char** argv) {
@@ -28,9 +28,9 @@ int main(int argc, char** argv) {
       auto wl = query::GenerateWorkload(
           *g, bench::SuiteByName("acyclic"), options);
       if (!wl.ok()) return 1;
-      stats::MarkovTable markov(*g, 2);
-      auto result = harness::RunOptimisticSuite(markov, nullptr,
-                                                OptimisticCeg::kCegO, *wl);
+      engine::EstimationEngine engine(*g);
+      auto result =
+          bench::RunOptimisticWithEngine(engine, OptimisticCeg::kCegO, *wl);
       harness::PrintSuiteResult(
           std::cout,
           std::string(dataset) + " / acyclic, vertex-label p=" +

@@ -5,8 +5,8 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "engine/engine.h"
 #include "harness/experiment.h"
-#include "stats/markov_table.h"
 
 int main(int argc, char** argv) {
   using namespace cegraph;
@@ -25,9 +25,11 @@ int main(int argc, char** argv) {
       std::cout << "== " << dataset << ": no triangle-only queries ==\n\n";
       continue;
     }
-    stats::MarkovTable markov(dw.graph, 3);
-    auto result = harness::RunOptimisticSuite(
-        markov, nullptr, OptimisticCeg::kCegO, triangles);
+    engine::ContextOptions options;
+    options.markov_h = 3;
+    engine::EstimationEngine engine(dw.graph, options);
+    auto result = bench::RunOptimisticWithEngine(
+        engine, OptimisticCeg::kCegO, triangles);
     harness::PrintSuiteResult(std::cout,
                               std::string(dataset) + " / cyclic(triangles)",
                               result);

@@ -6,9 +6,8 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "engine/engine.h"
 #include "harness/experiment.h"
-#include "stats/cycle_closing.h"
-#include "stats/markov_table.h"
 
 int main(int argc, char** argv) {
   using namespace cegraph;
@@ -36,15 +35,16 @@ int main(int argc, char** argv) {
       std::cout << "== " << panel.dataset << ": no large-cycle queries ==\n\n";
       continue;
     }
-    stats::MarkovTable markov(dw.graph, 3);
-    auto ceg_o = harness::RunOptimisticSuite(markov, nullptr,
-                                             OptimisticCeg::kCegO, large);
+    engine::ContextOptions options;
+    options.markov_h = 3;
+    engine::EstimationEngine engine(dw.graph, options);
+    auto ceg_o =
+        bench::RunOptimisticWithEngine(engine, OptimisticCeg::kCegO, large);
     harness::PrintSuiteResult(
         std::cout, std::string(panel.dataset) + " / CEG_O", ceg_o);
 
-    stats::CycleClosingRates rates(dw.graph);
-    auto ceg_ocr = harness::RunOptimisticSuite(markov, &rates,
-                                               OptimisticCeg::kCegOcr, large);
+    auto ceg_ocr =
+        bench::RunOptimisticWithEngine(engine, OptimisticCeg::kCegOcr, large);
     harness::PrintSuiteResult(
         std::cout, std::string(panel.dataset) + " / CEG_OCR", ceg_ocr);
   }

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "engine/engine.h"
 #include "estimators/bound_sketch.h"
 #include "harness/qerror.h"
 #include "util/box_stats.h"
@@ -31,16 +32,22 @@ void RunPanel(const std::string& dataset, const std::string& suite,
   util::TablePrinter table({"K", "p25", "median", "p75", "trimmed-mean",
                             "%improved-vs-K1"});
 
+  engine::EstimationEngine engine(dw.graph);
   std::vector<double> base_qerrors;
   for (int k : {1, 4, 16, 64, 128}) {
-    BoundSketchEstimator::Options options;
-    options.budget_k = k;
-    options.markov_h = 2;
-    BoundSketchEstimator estimator(dw.graph, inner, options);
+    // Resolved through the registry's dynamic bound-sketch family.
+    const std::string registry_name =
+        "bs" + std::to_string(k) + "(" +
+        (inner == BoundSketchEstimator::Inner::kOptimisticMaxHopMax
+             ? "max-hop-max"
+             : "molp") +
+        ")";
+    auto estimator = engine.Estimator(registry_name);
+    if (!estimator.ok()) std::abort();
     std::vector<double> signed_logs;
     std::vector<double> qerrors;
     for (const auto& wq : acyclic) {
-      auto est = estimator.Estimate(wq.query);
+      auto est = (*estimator)->Estimate(wq.query);
       if (!est.ok()) continue;
       signed_logs.push_back(
           harness::SignedLogQError(*est, wq.true_cardinality));

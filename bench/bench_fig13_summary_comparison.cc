@@ -7,14 +7,8 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "estimators/characteristic_sets.h"
-#include "estimators/optimistic.h"
-#include "estimators/pessimistic.h"
-#include "estimators/sumrdf.h"
+#include "engine/engine.h"
 #include "harness/experiment.h"
-#include "stats/char_sets.h"
-#include "stats/markov_table.h"
-#include "stats/summary_graph.h"
 
 int main(int argc, char** argv) {
   using namespace cegraph;
@@ -37,17 +31,11 @@ int main(int argc, char** argv) {
                                          instances, 0xF13);
     auto acyclic = query::FilterAcyclic(dw.workload);
 
-    stats::MarkovTable markov(dw.graph, 2);
-    OptimisticEstimator mhm(markov, OptimisticSpec{});
-    stats::StatsCatalog catalog(dw.graph);
-    MolpEstimator molp(catalog, /*include_two_joins=*/true);
-    stats::CharacteristicSets cs(dw.graph);
-    CharacteristicSetsEstimator cs_est(cs);
-    stats::SummaryGraph summary(dw.graph, 64);
-    SumRdfEstimator sumrdf(summary, /*step_budget=*/20'000'000);
-
-    auto result = harness::RunEstimatorSuite(
-        {&mhm, &molp, &cs_est, &sumrdf}, acyclic,
+    engine::ContextOptions options;
+    options.sumrdf_step_budget = 20'000'000;
+    engine::EstimationEngine engine(dw.graph, options);
+    auto result = bench::RunNamedSuite(
+        engine, {"max-hop-max", "molp+2j", "cs", "sumrdf"}, acyclic,
         /*drop_on_any_failure=*/true);
     harness::PrintSuiteResult(
         std::cout, std::string(panel.dataset) + " / " + panel.suite, result);

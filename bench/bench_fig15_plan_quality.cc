@@ -12,11 +12,10 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "estimators/default_rdf3x.h"
+#include "engine/engine.h"
 #include "estimators/optimistic.h"
 #include "planner/dp_optimizer.h"
 #include "planner/executor.h"
-#include "stats/markov_table.h"
 #include "util/box_stats.h"
 #include "util/table_printer.h"
 
@@ -44,16 +43,12 @@ void RunPanel(const std::string& dataset, const std::string& suite,
   }
   bench::DatasetWorkload dw{std::move(*g), std::move(*wl)};
 
-  stats::MarkovTable markov(dw.graph, 2);
-  DefaultRdf3xEstimator rdf3x(dw.graph);
-  std::vector<std::unique_ptr<OptimisticEstimator>> owned;
-  std::vector<const CardinalityEstimator*> estimators = {&rdf3x};
+  engine::EstimationEngine engine(dw.graph);
   std::vector<std::string> names = {"rdf3x-default"};
-  for (const auto& spec : AllOptimisticSpecs()) {
-    owned.push_back(std::make_unique<OptimisticEstimator>(markov, spec));
-    estimators.push_back(owned.back().get());
-    names.push_back(SpecName(spec));
-  }
+  for (const auto& spec : AllOptimisticSpecs()) names.push_back(SpecName(spec));
+  auto resolved = engine.Estimators(names);
+  if (!resolved.ok()) std::abort();
+  const std::vector<const CardinalityEstimator*>& estimators = *resolved;
 
   planner::Executor executor(dw.graph);
   // cost[e][q] = intermediate tuples of estimator e's plan on query q.

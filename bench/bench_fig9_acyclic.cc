@@ -6,8 +6,8 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "engine/engine.h"
 #include "harness/experiment.h"
-#include "stats/markov_table.h"
 
 int main(int argc, char** argv) {
   using namespace cegraph;
@@ -29,9 +29,11 @@ int main(int argc, char** argv) {
     auto dw = bench::MakeDatasetWorkload(panel.dataset, panel.suite,
                                          instances, 0xF19);
     auto acyclic = query::FilterAcyclic(dw.workload);
-    stats::MarkovTable markov(dw.graph, 3);
-    auto result = harness::RunOptimisticSuite(markov, nullptr,
-                                              OptimisticCeg::kCegO, acyclic);
+    engine::ContextOptions options;
+    options.markov_h = 3;
+    engine::EstimationEngine engine(dw.graph, options);
+    auto result =
+        bench::RunOptimisticWithEngine(engine, OptimisticCeg::kCegO, acyclic);
     harness::PrintSuiteResult(
         std::cout,
         std::string(panel.dataset) + " / " + panel.suite, result);

@@ -8,8 +8,8 @@
 #include <map>
 
 #include "bench_common.h"
+#include "engine/engine.h"
 #include "harness/experiment.h"
-#include "stats/markov_table.h"
 #include "util/table_printer.h"
 
 int main(int argc, char** argv) {
@@ -18,7 +18,9 @@ int main(int argc, char** argv) {
 
   auto dw = bench::MakeDatasetWorkload("hetionet_like", "acyclic",
                                        instances, 0xF19);
-  stats::MarkovTable markov(dw.graph, 3);
+  engine::ContextOptions options;
+  options.markov_h = 3;
+  engine::EstimationEngine engine(dw.graph, options);
 
   // Group queries by template.
   std::map<std::string, std::vector<query::WorkloadQuery>> by_template;
@@ -33,8 +35,8 @@ int main(int argc, char** argv) {
                             "P*"});
   int max_wins = 0, total = 0;
   for (const auto& [name, queries] : by_template) {
-    auto result = harness::RunOptimisticSuite(markov, nullptr,
-                                              OptimisticCeg::kCegO, queries);
+    auto result =
+        bench::RunOptimisticWithEngine(engine, OptimisticCeg::kCegO, queries);
     auto median = [&](size_t i) {
       return util::TablePrinter::Num(
           result.reports[i].signed_log_qerror.median);

@@ -3,12 +3,25 @@
 // MOLP Dijkstra, exact counting, and WanderJoin walks. These back the
 // paper's claim that summary-based estimation latency is independent of
 // data size (§6.5), in contrast to sampling.
+//
+// The engine-layer benchmarks at the bottom assert two EstimationEngine
+// invariants while timing them:
+//   - the 9-optimistic suite performs exactly one CEG build per
+//     (query class, CEG kind), observed through CegCache counters;
+//   - the parallel WorkloadRunner produces results identical to the serial
+//     path (timing fields aside), while using all cores.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "engine/engine.h"
 #include "estimators/optimistic.h"
 #include "estimators/pessimistic.h"
 #include "estimators/wander_join.h"
 #include "graph/datasets.h"
+#include "harness/workload_runner.h"
 #include "matching/matcher.h"
 #include "query/workload.h"
 #include "stats/markov_table.h"
@@ -20,6 +33,7 @@ using namespace cegraph;
 struct Fixture {
   graph::Graph graph;
   query::QueryGraph query;
+  std::vector<query::WorkloadQuery> workload;
 
   static Fixture& Get() {
     static Fixture& instance = *new Fixture(Make());
@@ -35,7 +49,13 @@ struct Fixture {
     auto wl = query::GenerateWorkload(
         *g, {{"cat6", query::CaterpillarShape(6, 4)}}, options);
     if (!wl.ok()) std::abort();
-    return {std::move(*g), (*wl)[0].query};
+    query::WorkloadOptions suite_options;
+    suite_options.instances_per_template = 4;
+    suite_options.seed = 0xBEEF;
+    auto suite_wl =
+        query::GenerateWorkload(*g, query::AcyclicTemplates(), suite_options);
+    if (!suite_wl.ok()) std::abort();
+    return {std::move(*g), (*wl)[0].query, std::move(*suite_wl)};
   }
 };
 
@@ -102,6 +122,131 @@ void BM_WanderJoin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WanderJoin)->Arg(1)->Arg(25)->Arg(75);
+
+// --- Engine layer -----------------------------------------------------------
+
+/// The 9 optimistic estimators as registry instances sharing the engine's
+/// CegCache: 9 estimates per query for one CEG build. After every
+/// iteration the cache counters must show exactly one build (miss) per
+/// (query class, CEG kind) — the invariant the CegCache exists for.
+void BM_OptimisticSuiteSharedCeg(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  engine::EstimationEngine engine(f.graph);
+  (void)engine.context().markov().num_entries();
+  std::vector<std::string> names;
+  for (const auto& spec : AllOptimisticSpecs()) names.push_back(SpecName(spec));
+  auto estimators = engine.Estimators(names);
+  if (!estimators.ok()) {
+    state.SkipWithError("registry resolution failed");
+    return;
+  }
+  harness::RunnerOptions serial;
+  serial.num_threads = 1;
+  harness::WorkloadRunner runner(serial);
+  for (auto _ : state) {
+    engine.ceg_cache().Clear();
+    auto result = runner.RunSuite(*estimators, f.workload);
+    benchmark::DoNotOptimize(result);
+    const uint64_t builds = engine.ceg_cache().misses();
+    if (builds > f.workload.size()) {
+      state.SkipWithError("CegCache rebuilt a CEG for a known query class");
+      return;
+    }
+    state.counters["ceg_builds"] = static_cast<double>(builds);
+    state.counters["queries"] = static_cast<double>(f.workload.size());
+    state.counters["builds_per_query"] =
+        static_cast<double>(builds) / static_cast<double>(f.workload.size());
+  }
+}
+BENCHMARK(BM_OptimisticSuiteSharedCeg)->Unit(benchmark::kMillisecond);
+
+/// The same 9 estimators constructed the seed way — each Estimate() runs
+/// its own BuildCegO, i.e. 9 builds per query instead of 1.
+void BM_OptimisticSuiteUncached(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  stats::MarkovTable markov(f.graph, 2);
+  (void)markov.num_entries();
+  std::vector<std::unique_ptr<OptimisticEstimator>> owned;
+  std::vector<const CardinalityEstimator*> estimators;
+  for (const auto& spec : AllOptimisticSpecs()) {
+    owned.push_back(std::make_unique<OptimisticEstimator>(markov, spec));
+    estimators.push_back(owned.back().get());
+  }
+  harness::RunnerOptions serial;
+  serial.num_threads = 1;
+  harness::WorkloadRunner runner(serial);
+  for (auto _ : state) {
+    auto result = runner.RunSuite(estimators, f.workload);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimisticSuiteUncached)->Unit(benchmark::kMillisecond);
+
+bool SameSuiteModuloTiming(const harness::SuiteResult& a,
+                           const harness::SuiteResult& b) {
+  if (a.queries_used != b.queries_used ||
+      a.queries_dropped != b.queries_dropped ||
+      a.reports.size() != b.reports.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.reports.size(); ++i) {
+    const auto& ra = a.reports[i];
+    const auto& rb = b.reports[i];
+    const auto& sa = ra.signed_log_qerror;
+    const auto& sb = rb.signed_log_qerror;
+    if (ra.name != rb.name || ra.failures != rb.failures ||
+        sa.count != sb.count || sa.min != sb.min || sa.max != sb.max ||
+        sa.p25 != sb.p25 || sa.median != sb.median || sa.p75 != sb.p75 ||
+        sa.mean != sb.mean || sa.trimmed_mean != sb.trimmed_mean) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Serial vs parallel WorkloadRunner over the same estimator suite. Run
+/// with `--benchmark_filter=WorkloadSuite` and compare wall times: on a
+/// 4+ core machine the parallel variant is expected to be >= 2x faster.
+/// Both variants also cross-check result equality against a reference
+/// serial run (aborting the benchmark on any mismatch).
+void RunWorkloadSuite(benchmark::State& state, int num_threads) {
+  Fixture& f = Fixture::Get();
+  engine::EstimationEngine engine(f.graph);
+  auto estimators = engine.Estimators({"max-hop-max", "all-hops-avg",
+                                       "min-hop-min", "molp", "cs"});
+  if (!estimators.ok()) {
+    state.SkipWithError("registry resolution failed");
+    return;
+  }
+  harness::RunnerOptions serial;
+  serial.num_threads = 1;
+  const harness::SuiteResult reference =
+      harness::WorkloadRunner(serial).RunSuite(*estimators, f.workload);
+
+  harness::RunnerOptions options;
+  options.num_threads = num_threads;
+  harness::WorkloadRunner runner(options);
+  for (auto _ : state) {
+    auto result = runner.RunSuite(*estimators, f.workload);
+    if (!SameSuiteModuloTiming(result, reference)) {
+      state.SkipWithError("parallel result differs from serial result");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] =
+      static_cast<double>(harness::WorkloadRunner(options).ResolvedThreads());
+}
+
+void BM_WorkloadSuiteSerial(benchmark::State& state) {
+  RunWorkloadSuite(state, 1);
+}
+BENCHMARK(BM_WorkloadSuiteSerial)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadSuiteParallel(benchmark::State& state) {
+  RunWorkloadSuite(state, 0);  // all cores
+}
+BENCHMARK(BM_WorkloadSuiteParallel)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -13,13 +13,12 @@
 #include <iostream>
 #include <optional>
 
+#include "engine/engine.h"
 #include "estimators/optimistic.h"
-#include "estimators/pessimistic.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
 #include "matching/matcher.h"
 #include "query/parser.h"
-#include "stats/markov_table.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -94,24 +93,22 @@ int main(int argc, char** argv) {
             << " labels\nquery: " << query::FormatQuery(*q) << "\n\n";
 
   util::TablePrinter table({"estimator", "estimate"});
-  stats::MarkovTable markov(*g, h);
-  for (const auto& spec : AllOptimisticSpecs()) {
-    OptimisticEstimator estimator(markov, spec);
-    auto est = estimator.Estimate(*q);
-    table.AddRow({SpecName(spec),
-                  est.ok() ? util::TablePrinter::Num(*est)
-                           : est.status().ToString()});
-  }
-  stats::StatsCatalog catalog(*g);
-  MolpEstimator molp(catalog, /*include_two_joins=*/true);
-  CbsEstimator cbs(catalog);
-  for (const CardinalityEstimator* estimator :
-       {static_cast<const CardinalityEstimator*>(&molp),
-        static_cast<const CardinalityEstimator*>(&cbs)}) {
-    auto est = estimator->Estimate(*q);
-    table.AddRow({estimator->name(),
-                  est.ok() ? util::TablePrinter::Num(*est)
-                           : est.status().ToString()});
+  engine::ContextOptions context_options;
+  context_options.markov_h = h;
+  engine::EstimationEngine engine(*g, context_options);
+  std::vector<std::string> names;
+  for (const auto& spec : AllOptimisticSpecs()) names.push_back(SpecName(spec));
+  names.push_back("molp+2j");
+  names.push_back("cbs");
+  for (const std::string& name : names) {
+    auto estimator = engine.Estimator(name);
+    if (!estimator.ok()) {
+      std::cerr << "registry: " << estimator.status() << "\n";
+      return 1;
+    }
+    auto est = (*estimator)->Estimate(*q);
+    table.AddRow({name, est.ok() ? util::TablePrinter::Num(*est)
+                                 : est.status().ToString()});
   }
   if (want_truth) {
     matching::Matcher matcher(*g);

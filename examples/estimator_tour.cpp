@@ -7,17 +7,10 @@
 // WanderJoin, next to the exact cardinality.
 #include <iostream>
 
-#include "estimators/characteristic_sets.h"
-#include "estimators/optimistic.h"
-#include "estimators/pessimistic.h"
-#include "estimators/sumrdf.h"
-#include "estimators/wander_join.h"
+#include "engine/engine.h"
 #include "graph/datasets.h"
 #include "query/templates.h"
 #include "query/workload.h"
-#include "stats/char_sets.h"
-#include "stats/markov_table.h"
-#include "stats/summary_graph.h"
 #include "util/table_printer.h"
 
 int main() {
@@ -37,28 +30,24 @@ int main() {
        {"cat5", query::CaterpillarShape(5, 3)}},
       options);
 
-  stats::MarkovTable markov(g, 2);
-  OptimisticEstimator max_hop_max(markov, OptimisticSpec{});
-  stats::StatsCatalog catalog(g);
-  MolpEstimator molp(catalog, /*include_two_joins=*/false);
-  MolpEstimator molp2j(catalog, /*include_two_joins=*/true);
-  CbsEstimator cbs(catalog);
-  stats::CharacteristicSets cs(g);
-  CharacteristicSetsEstimator cs_est(cs);
-  stats::SummaryGraph summary(g, 48);
-  SumRdfEstimator sumrdf(summary);
-  WanderJoinOptions wj_options;
-  wj_options.sampling_ratio = 0.10;
-  WanderJoinEstimator wj(g, wj_options);
-
-  const std::vector<std::pair<std::string, const CardinalityEstimator*>>
-      estimators = {{"max-hop-max", &max_hop_max}, {"molp", &molp},
-                    {"molp+2j", &molp2j},          {"cbs", &cbs},
-                    {"cs", &cs_est},               {"sumrdf", &sumrdf},
-                    {"wj-10%", &wj}};
+  // One engine replaces the seed's hand-built MarkovTable + StatsCatalog +
+  // CharacteristicSets + SummaryGraph + per-estimator constructors: every
+  // name below resolves through the EstimatorRegistry against shared
+  // statistics.
+  engine::ContextOptions context_options;
+  context_options.summary_buckets = 48;
+  engine::EstimationEngine engine(g, context_options);
+  const std::vector<std::string> names = {"max-hop-max", "molp", "molp+2j",
+                                          "cbs",         "cs",   "sumrdf",
+                                          "wj-10%"};
+  auto estimators = engine.Estimators(names);
+  if (!estimators.ok()) {
+    std::cerr << "registry: " << estimators.status() << "\n";
+    return 1;
+  }
 
   std::vector<std::string> headers = {"query", "truth"};
-  for (const auto& [name, _] : estimators) headers.push_back(name);
+  for (const auto& name : names) headers.push_back(name);
   util::TablePrinter table(std::move(headers));
 
   int qid = 0;
@@ -66,7 +55,7 @@ int main() {
     std::vector<std::string> row = {
         wq.template_name + "#" + std::to_string(qid++),
         util::TablePrinter::Num(wq.true_cardinality)};
-    for (const auto& [name, estimator] : estimators) {
+    for (const CardinalityEstimator* estimator : *estimators) {
       auto est = estimator->Estimate(wq.query);
       row.push_back(est.ok() ? util::TablePrinter::Num(*est) : "fail");
     }

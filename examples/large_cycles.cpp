@@ -11,13 +11,12 @@
 
 #include "ceg/ceg_o.h"
 #include "ceg/ceg_ocr.h"
+#include "engine/engine.h"
 #include "estimators/optimistic.h"
 #include "graph/datasets.h"
 #include "matching/matcher.h"
 #include "query/templates.h"
 #include "query/workload.h"
-#include "stats/cycle_closing.h"
-#include "stats/markov_table.h"
 #include "util/table_printer.h"
 
 int main() {
@@ -33,8 +32,9 @@ int main() {
   std::cout << "4-cycle query on hetionet_like, true cardinality "
             << wq.true_cardinality << "\n\n";
 
-  stats::MarkovTable markov(g, 3);
-  stats::CycleClosingRates rates(g);
+  engine::ContextOptions context_options;
+  context_options.markov_h = 3;
+  engine::EstimationEngine engine(g, context_options);
 
   util::TablePrinter table({"CEG", "estimator", "estimate", "q-error"});
   for (const auto kind : {OptimisticCeg::kCegO, OptimisticCeg::kCegOcr}) {
@@ -42,8 +42,9 @@ int main() {
       OptimisticSpec spec;
       spec.ceg_kind = kind;
       spec.aggregator = aggr;
-      OptimisticEstimator estimator(markov, spec, &rates);
-      auto est = estimator.Estimate(wq.query);
+      auto estimator = engine.Estimator(SpecName(spec));
+      if (!estimator.ok()) continue;
+      auto est = (*estimator)->Estimate(wq.query);
       if (!est.ok()) continue;
       const double q =
           std::max(wq.true_cardinality / *est, *est / wq.true_cardinality);
@@ -54,8 +55,10 @@ int main() {
   }
   table.Print(std::cout);
 
-  // Show the rewritten closing edge explicitly.
-  auto ocr = *ceg::BuildCegOcr(wq.query, markov, rates);
+  // Show the rewritten closing edge explicitly (low-level API on the same
+  // shared statistics the engine used).
+  auto ocr = *ceg::BuildCegOcr(wq.query, engine.context().markov(),
+                               engine.context().cycle_closing_rates());
   std::cout << "\nCEG_OCR edges whose weight became a closing "
                "probability:\n";
   for (const auto& e : ocr.ceg.edges()) {

@@ -3,14 +3,12 @@
 // a single query, with the full plan trees printed).
 #include <iostream>
 
-#include "estimators/default_rdf3x.h"
-#include "estimators/optimistic.h"
+#include "engine/engine.h"
 #include "graph/datasets.h"
 #include "planner/dp_optimizer.h"
 #include "planner/executor.h"
 #include "query/templates.h"
 #include "query/workload.h"
-#include "stats/markov_table.h"
 
 namespace {
 
@@ -69,12 +67,13 @@ int main() {
   std::cout << "Query: 6-edge tree on imdb_like, true cardinality "
             << workload[0].true_cardinality << "\n\n";
 
-  stats::MarkovTable markov(g, 2);
-  OptimisticEstimator accurate(markov, OptimisticSpec{});
-  DefaultRdf3xEstimator magic(g);
+  engine::EstimationEngine engine(g);
+  auto accurate = engine.Estimator("max-hop-max");
+  auto magic = engine.Estimator("rdf3x-default");
+  if (!accurate.ok() || !magic.ok()) return 1;
 
-  RunWith("rdf3x-default (magic constants)", magic, g, q);
-  RunWith("max-hop-max (CEG_O)", accurate, g, q);
+  RunWith("rdf3x-default (magic constants)", **magic, g, q);
+  RunWith("max-hop-max (CEG_O)", **accurate, g, q);
 
   std::cout << "Same output rows from both plans, different intermediate "
                "work: that difference is exactly what the paper's Fig. 15 "

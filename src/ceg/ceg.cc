@@ -13,7 +13,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 uint32_t Ceg::AddNode(std::string label) {
   labels_.push_back(std::move(label));
-  out_.emplace_back();
+  csr_valid_ = false;
   return static_cast<uint32_t>(labels_.size() - 1);
 }
 
@@ -24,8 +24,26 @@ void Ceg::AddEdge(uint32_t from, uint32_t to, double weight,
   e.to = to;
   e.log_weight = weight > 0 ? std::log2(weight) : -kInf;
   e.label = std::move(label);
-  out_[from].push_back(static_cast<uint32_t>(edges_.size()));
   edges_.push_back(std::move(e));
+  csr_valid_ = false;
+}
+
+void Ceg::ReserveNodes(uint32_t n) { labels_.reserve(n); }
+
+void Ceg::ReserveEdges(size_t n) { edges_.reserve(n); }
+
+void Ceg::EnsureCsr() const {
+  if (csr_valid_) return;
+  const uint32_t n = num_nodes();
+  csr_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) ++csr_offsets_[e.from + 1];
+  for (uint32_t v = 0; v < n; ++v) csr_offsets_[v + 1] += csr_offsets_[v];
+  csr_index_.resize(edges_.size());
+  std::vector<uint32_t> cursor(csr_offsets_.begin(), csr_offsets_.end() - 1);
+  for (uint32_t ei = 0; ei < edges_.size(); ++ei) {
+    csr_index_[cursor[edges_[ei].from]++] = ei;
+  }
+  csr_valid_ = true;
 }
 
 int Ceg::MaxDepthFromSource(const std::vector<uint32_t>& topo) const {
@@ -34,7 +52,7 @@ int Ceg::MaxDepthFromSource(const std::vector<uint32_t>& topo) const {
   int max_depth = 0;
   for (uint32_t v : topo) {
     if (depth[v] < 0) continue;
-    for (uint32_t ei : out_[v]) {
+    for (uint32_t ei : OutEdges(v)) {
       const uint32_t to = edges_[ei].to;
       if (depth[v] + 1 > depth[to]) {
         depth[to] = depth[v] + 1;
@@ -57,7 +75,7 @@ bool Ceg::IsDag() const {
     const uint32_t v = queue.back();
     queue.pop_back();
     ++seen;
-    for (uint32_t ei : out_[v]) {
+    for (uint32_t ei : OutEdges(v)) {
       if (--indegree[edges_[ei].to] == 0) queue.push_back(edges_[ei].to);
     }
   }
@@ -74,7 +92,7 @@ util::StatusOr<Ceg::PathAggregates> Ceg::ComputeAggregates() const {
     if (indegree[v] == 0) topo.push_back(v);
   }
   for (size_t i = 0; i < topo.size(); ++i) {
-    for (uint32_t ei : out_[topo[i]]) {
+    for (uint32_t ei : OutEdges(topo[i])) {
       if (--indegree[edges_[ei].to] == 0) topo.push_back(edges_[ei].to);
     }
   }
@@ -101,7 +119,7 @@ util::StatusOr<Ceg::PathAggregates> Ceg::ComputeAggregates() const {
       const Cell& cell = dp[v][h];
       if (cell.count == 0) continue;
       if (h == max_hops) continue;
-      for (uint32_t ei : out_[v]) {
+      for (uint32_t ei : OutEdges(v)) {
         const Edge& e = edges_[ei];
         Cell& next = dp[e.to][h + 1];
         next.count += cell.count;
@@ -152,7 +170,7 @@ util::StatusOr<double> Ceg::MinLogWeightDijkstra() const {
     heap.pop();
     if (d > dist[v]) continue;
     if (v == sink_) return d;
-    for (uint32_t ei : out_[v]) {
+    for (uint32_t ei : OutEdges(v)) {
       const Edge& e = edges_[ei];
       if (std::isinf(e.log_weight)) continue;  // weight-0 edge: skip
       const double nd = d + e.log_weight;
@@ -175,7 +193,7 @@ util::StatusOr<Ceg::Path> Ceg::BestPath(HopMode mode, bool maximize) const {
     if (indegree[v] == 0) topo.push_back(v);
   }
   for (size_t i = 0; i < topo.size(); ++i) {
-    for (uint32_t ei : out_[topo[i]]) {
+    for (uint32_t ei : OutEdges(topo[i])) {
       if (--indegree[edges_[ei].to] == 0) topo.push_back(edges_[ei].to);
     }
   }
@@ -198,7 +216,7 @@ util::StatusOr<Ceg::Path> Ceg::BestPath(HopMode mode, bool maximize) const {
     for (int hop = 0; hop < max_hops; ++hop) {
       const Cell& cell = dp[v][hop];
       if (!cell.reachable) continue;
-      for (uint32_t ei : out_[v]) {
+      for (uint32_t ei : OutEdges(v)) {
         const Edge& e = edges_[ei];
         Cell& next = dp[e.to][hop + 1];
         const double cand = cell.best + e.log_weight;
@@ -289,7 +307,7 @@ std::vector<Ceg::Path> Ceg::EnumerateSimplePaths(size_t max_paths,
       }
       continue;
     }
-    if (frame.cursor >= out_[frame.node].size()) {
+    if (frame.cursor >= OutEdges(frame.node).size()) {
       on_path[frame.node] = false;
       frames.pop_back();
       if (!stack.empty()) {
@@ -298,7 +316,7 @@ std::vector<Ceg::Path> Ceg::EnumerateSimplePaths(size_t max_paths,
       }
       continue;
     }
-    const uint32_t ei = out_[frame.node][frame.cursor++];
+    const uint32_t ei = OutEdges(frame.node)[frame.cursor++];
     const Edge& e = edges_[ei];
     if (on_path[e.to]) continue;
     on_path[e.to] = true;

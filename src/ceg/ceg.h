@@ -32,6 +32,12 @@ class Ceg {
   void AddEdge(uint32_t from, uint32_t to, double weight,
                std::string label = "");
 
+  /// Capacity hints for builders that know the CEG size up front (CEG_O
+  /// knows both counts before emitting edges). Avoids re-allocation churn
+  /// during construction.
+  void ReserveNodes(uint32_t n);
+  void ReserveEdges(size_t n);
+
   void SetSource(uint32_t node) { source_ = node; }
   void SetSink(uint32_t node) { sink_ = node; }
   uint32_t source() const { return source_; }
@@ -41,9 +47,34 @@ class Ceg {
   size_t num_edges() const { return edges_.size(); }
   const std::vector<Edge>& edges() const { return edges_; }
   const std::string& node_label(uint32_t node) const { return labels_[node]; }
-  const std::vector<uint32_t>& OutEdges(uint32_t node) const {
-    return out_[node];
+
+  /// Contiguous view over the out-edge indices of one node in the CSR
+  /// adjacency. Iterable and indexable like the vector it replaces.
+  class EdgeIndexRange {
+   public:
+    EdgeIndexRange(const uint32_t* first, const uint32_t* last)
+        : first_(first), last_(last) {}
+    const uint32_t* begin() const { return first_; }
+    const uint32_t* end() const { return last_; }
+    size_t size() const { return static_cast<size_t>(last_ - first_); }
+    bool empty() const { return first_ == last_; }
+    uint32_t operator[](size_t i) const { return first_[i]; }
+
+   private:
+    const uint32_t* first_;
+    const uint32_t* last_;
+  };
+
+  EdgeIndexRange OutEdges(uint32_t node) const {
+    EnsureCsr();
+    return {csr_index_.data() + csr_offsets_[node],
+            csr_index_.data() + csr_offsets_[node + 1]};
   }
+
+  /// Builds the CSR adjacency now (it is otherwise built lazily on first
+  /// traversal). Call before sharing one CEG across threads: after
+  /// Finalize() every accessor is a pure read.
+  void Finalize() const { EnsureCsr(); }
 
   /// True iff the CEG has no directed cycles. CEG_O/CEG_OCR/CEG_D are
   /// always DAGs; CEG_M is not once projection edges are included.
@@ -107,11 +138,22 @@ class Ceg {
   /// order; bounds the hop dimension of the DP tables.
   int MaxDepthFromSource(const std::vector<uint32_t>& topo) const;
 
+  /// (Re)builds the flat CSR adjacency (counting sort over edges_) if any
+  /// mutation happened since the last build. The DP kernels iterate
+  /// csr_index_ slices directly, so edge indices of one node are contiguous
+  /// in memory instead of one heap allocation per node.
+  void EnsureCsr() const;
+
   std::vector<std::string> labels_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<uint32_t>> out_;
   uint32_t source_ = 0;
   uint32_t sink_ = 0;
+
+  /// CSR adjacency: csr_index_[csr_offsets_[v] .. csr_offsets_[v+1]) are
+  /// the indices into edges_ of v's out-edges, in insertion order.
+  mutable std::vector<uint32_t> csr_offsets_;
+  mutable std::vector<uint32_t> csr_index_;
+  mutable bool csr_valid_ = false;
 };
 
 }  // namespace cegraph::ceg

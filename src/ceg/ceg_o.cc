@@ -57,6 +57,9 @@ util::StatusOr<BuiltCegO> BuildCegO(const query::QueryGraph& q,
   };
 
   BuiltCegO out;
+  out.ceg.ReserveNodes(static_cast<uint32_t>(subsets.size()) + 1);
+  // Each node is extended by at most one candidate per pattern.
+  out.ceg.ReserveEdges((subsets.size() + 1) * patterns.size());
   const uint32_t source = out.ceg.AddNode("{}");
   out.ceg.SetSource(source);
   out.node_of_subset.emplace(0, source);

@@ -1,0 +1,85 @@
+#include "engine/ceg_cache.h"
+
+#include <utility>
+
+#include "ceg/ceg_ocr.h"
+
+namespace cegraph::engine {
+
+namespace {
+
+std::string CacheKey(const query::QueryGraph& q, int h, OptimisticCeg kind,
+                     const ceg::CegOOptions& options) {
+  std::string key = q.CanonicalCode();
+  key += '|';
+  key += kind == OptimisticCeg::kCegOcr ? 'R' : 'O';
+  key += static_cast<char>('0' + h);
+  key += options.size_h_numerators ? '1' : '0';
+  key += options.early_cycle_closing ? '1' : '0';
+  return key;
+}
+
+}  // namespace
+
+util::StatusOr<std::shared_ptr<const CachedCeg>> CegCache::GetOrBuild(
+    const query::QueryGraph& q, const stats::MarkovTable& markov,
+    OptimisticCeg kind, const stats::CycleClosingRates* rates,
+    const ceg::CegOOptions& options) {
+  const std::string key = CacheKey(q, markov.h(), kind, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  // Build outside the lock; two threads racing on the same cold class
+  // build identical entries and the second insert is dropped.
+  util::StatusOr<ceg::BuiltCegO> built =
+      kind == OptimisticCeg::kCegOcr
+          ? (rates == nullptr
+                 ? util::StatusOr<ceg::BuiltCegO>(util::InvalidArgumentError(
+                       "CEG_OCR requires cycle-closing rates"))
+                 : ceg::BuildCegOcr(q, markov, *rates, options))
+          : ceg::BuildCegO(q, markov, options);
+  if (!built.ok()) return built.status();
+
+  auto entry = std::make_shared<CachedCeg>();
+  entry->built = std::move(built).value();
+  entry->built.ceg.Finalize();  // traversals are pure reads from here on
+  auto aggregates = entry->built.ceg.ComputeAggregates();
+  if (aggregates.ok()) {
+    entry->aggregates_ok = true;
+    entry->aggregates = std::move(aggregates).value();
+  } else {
+    entry->aggregates_status = aggregates.status();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  // Count under the lock so misses() is exactly the number of distinct
+  // entries ever inserted, independent of thread interleavings; a racer
+  // whose redundant build lost the insert counts as a hit.
+  if (inserted) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+size_t CegCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void CegCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cegraph::engine

@@ -1,0 +1,31 @@
+#include "engine/engine.h"
+
+namespace cegraph::engine {
+
+util::StatusOr<const CardinalityEstimator*> EstimationEngine::Estimator(
+    const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = instances_.find(name);
+    if (it != instances_.end()) return it->second.get();
+  }
+  auto created = registry_->Create(name, context_);
+  if (!created.ok()) return created.status();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = instances_.emplace(name, std::move(created).value());
+  return it->second.get();
+}
+
+util::StatusOr<std::vector<const CardinalityEstimator*>>
+EstimationEngine::Estimators(const std::vector<std::string>& names) const {
+  std::vector<const CardinalityEstimator*> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    auto estimator = Estimator(name);
+    if (!estimator.ok()) return estimator.status();
+    out.push_back(*estimator);
+  }
+  return out;
+}
+
+}  // namespace cegraph::engine

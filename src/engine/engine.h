@@ -1,0 +1,59 @@
+#ifndef CEGRAPH_ENGINE_ENGINE_H_
+#define CEGRAPH_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/estimation_context.h"
+#include "engine/estimator_registry.h"
+
+namespace cegraph::engine {
+
+/// The one-stop estimation layer over a graph: an EstimationContext (shared
+/// statistics + CEG cache) plus registry-driven, memoized estimator
+/// construction. A bench that used to hand-assemble MarkovTable +
+/// OptimisticEstimator + StatsCatalog + ... now writes
+///
+///   engine::EstimationEngine engine(graph);
+///   auto suite = engine.Estimators({"max-hop-max", "molp", "cs"});
+///   harness::RunEstimatorSuite(*suite, workload);
+///
+/// Estimator instances are created once per name and shared; the engine
+/// must outlive every pointer it hands out.
+class EstimationEngine {
+ public:
+  explicit EstimationEngine(const graph::Graph& g, ContextOptions options = {},
+                            const EstimatorRegistry* registry = nullptr)
+      : context_(g, options),
+        registry_(registry != nullptr ? registry
+                                      : &EstimatorRegistry::Default()) {}
+
+  const EstimationContext& context() const { return context_; }
+  const EstimatorRegistry& registry() const { return *registry_; }
+  CegCache& ceg_cache() const { return context_.ceg_cache(); }
+
+  /// The estimator registered under `name`, constructed on first use and
+  /// shared thereafter. Thread-safe.
+  util::StatusOr<const CardinalityEstimator*> Estimator(
+      const std::string& name) const;
+
+  /// Resolves several names at once, in order, for RunEstimatorSuite-style
+  /// consumption. Fails on the first unknown name.
+  util::StatusOr<std::vector<const CardinalityEstimator*>> Estimators(
+      const std::vector<std::string>& names) const;
+
+ private:
+  EstimationContext context_;
+  const EstimatorRegistry* registry_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string,
+                             std::unique_ptr<CardinalityEstimator>>
+      instances_;
+};
+
+}  // namespace cegraph::engine
+
+#endif  // CEGRAPH_ENGINE_ENGINE_H_

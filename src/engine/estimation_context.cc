@@ -1,0 +1,61 @@
+#include "engine/estimation_context.h"
+
+namespace cegraph::engine {
+
+const stats::MarkovTable& EstimationContext::markov(int h) const {
+  if (h <= 0) h = options_.markov_h;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = markov_.find(h);
+  if (it == markov_.end()) {
+    it = markov_.emplace(h, std::make_unique<stats::MarkovTable>(g_, h)).first;
+  }
+  return *it->second;
+}
+
+const stats::CycleClosingRates& EstimationContext::cycle_closing_rates()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rates_ == nullptr) {
+    rates_ = std::make_unique<stats::CycleClosingRates>(
+        g_, options_.cycle_closing);
+  }
+  return *rates_;
+}
+
+const stats::StatsCatalog& EstimationContext::stats_catalog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (catalog_ == nullptr) {
+    catalog_ = std::make_unique<stats::StatsCatalog>(
+        g_, options_.stats_materialize_cap);
+  }
+  return *catalog_;
+}
+
+const stats::CharacteristicSets& EstimationContext::characteristic_sets()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (char_sets_ == nullptr) {
+    char_sets_ = std::make_unique<stats::CharacteristicSets>(g_);
+  }
+  return *char_sets_;
+}
+
+const stats::SummaryGraph& EstimationContext::summary_graph() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (summary_ == nullptr) {
+    summary_ = std::make_unique<stats::SummaryGraph>(
+        g_, options_.summary_buckets);
+  }
+  return *summary_;
+}
+
+const stats::DispersionCatalog& EstimationContext::dispersion_catalog()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (dispersion_ == nullptr) {
+    dispersion_ = std::make_unique<stats::DispersionCatalog>(g_);
+  }
+  return *dispersion_;
+}
+
+}  // namespace cegraph::engine

@@ -1,0 +1,98 @@
+#ifndef CEGRAPH_ENGINE_ESTIMATION_CONTEXT_H_
+#define CEGRAPH_ENGINE_ESTIMATION_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "engine/ceg_cache.h"
+#include "graph/graph.h"
+#include "stats/char_sets.h"
+#include "stats/cycle_closing.h"
+#include "stats/degree_stats.h"
+#include "stats/dispersion.h"
+#include "stats/markov_table.h"
+#include "stats/summary_graph.h"
+#include "util/status.h"
+
+namespace cegraph::engine {
+
+/// Construction knobs for the shared statistic structures. Defaults follow
+/// the paper's experimental setup (§6.1): h = 2 Markov tables, 64-bucket
+/// SumRDF summaries.
+struct ContextOptions {
+  /// Markov table size used by estimators that don't name one explicitly.
+  int markov_h = 2;
+  /// CEG construction rules shared by every optimistic estimator.
+  ceg::CegOOptions ceg_options;
+  /// Cycle-closing-rate sampling (CEG_OCR).
+  stats::CycleClosingOptions cycle_closing;
+  /// SumRDF summary buckets.
+  uint32_t summary_buckets = 64;
+  /// SumRDF matching step budget (its "timeout").
+  uint64_t sumrdf_step_budget = 50'000'000;
+  /// Cap for materializing 2-join degree statistics (MOLP+2j).
+  uint64_t stats_materialize_cap = 4'000'000;
+};
+
+/// The shared substrate of every estimator over one graph: the graph
+/// itself, lazily built summary/statistic structures (Markov tables per h,
+/// cycle-closing rates, degree-statistics catalog, characteristic sets,
+/// SumRDF summary) and the CEG build cache. Estimators constructed through
+/// the EstimatorRegistry borrow these instead of each bench/example
+/// re-instantiating its own copies.
+///
+/// Every accessor is thread-safe; the returned structures are themselves
+/// safe for concurrent use (their memo caches are mutex-guarded), so one
+/// context serves a parallel WorkloadRunner. The context must outlive every
+/// estimator created from it.
+class EstimationContext {
+ public:
+  explicit EstimationContext(const graph::Graph& g, ContextOptions options = {})
+      : g_(g), options_(options) {}
+
+  EstimationContext(const EstimationContext&) = delete;
+  EstimationContext& operator=(const EstimationContext&) = delete;
+
+  const graph::Graph& graph() const { return g_; }
+  const ContextOptions& options() const { return options_; }
+
+  /// The size-`h` Markov table (h = 0 means options().markov_h). Built on
+  /// first use, then shared.
+  const stats::MarkovTable& markov(int h = 0) const;
+
+  /// Cycle-closing rates for CEG_OCR.
+  const stats::CycleClosingRates& cycle_closing_rates() const;
+
+  /// Degree-statistics catalog for MOLP / CBS.
+  const stats::StatsCatalog& stats_catalog() const;
+
+  /// Characteristic Sets summary.
+  const stats::CharacteristicSets& characteristic_sets() const;
+
+  /// SumRDF summary graph.
+  const stats::SummaryGraph& summary_graph() const;
+
+  /// Extension-dispersion catalog (§8 future-work estimators).
+  const stats::DispersionCatalog& dispersion_catalog() const;
+
+  /// The shared CEG build cache.
+  CegCache& ceg_cache() const { return ceg_cache_; }
+
+ private:
+  const graph::Graph& g_;
+  ContextOptions options_;
+
+  mutable std::mutex mutex_;
+  mutable std::map<int, std::unique_ptr<stats::MarkovTable>> markov_;
+  mutable std::unique_ptr<stats::CycleClosingRates> rates_;
+  mutable std::unique_ptr<stats::StatsCatalog> catalog_;
+  mutable std::unique_ptr<stats::CharacteristicSets> char_sets_;
+  mutable std::unique_ptr<stats::SummaryGraph> summary_;
+  mutable std::unique_ptr<stats::DispersionCatalog> dispersion_;
+  mutable CegCache ceg_cache_;
+};
+
+}  // namespace cegraph::engine
+
+#endif  // CEGRAPH_ENGINE_ESTIMATION_CONTEXT_H_

@@ -1,0 +1,82 @@
+#ifndef CEGRAPH_ENGINE_ESTIMATOR_REGISTRY_H_
+#define CEGRAPH_ENGINE_ESTIMATOR_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/estimation_context.h"
+#include "estimators/estimator.h"
+#include "util/status.h"
+
+namespace cegraph::engine {
+
+/// Name -> factory registry of every estimator in the library. Construction
+/// goes through a shared EstimationContext, so all estimators of one graph
+/// borrow the same Markov tables, summaries and CEG cache instead of each
+/// call site assembling its own stack (the boilerplate this replaces lived
+/// in every bench and example).
+///
+/// Exact names (see RegisteredNames()):
+///   - the 9 optimistic estimators of §4.2 on CEG_O ("max-hop-max",
+///     "min-hop-avg", ...) and on CEG_OCR ("max-hop-max@ocr", ...); these
+///     share per-query CEG builds through the context's CegCache;
+///   - "molp", "molp+2j", "cbs" (pessimistic bounds, §5);
+///   - "cs", "sumrdf", "rdf3x-default" (baselines, §6.4/§6.6);
+///   - "min-cv-path", "min-entropy-path", "max-entropy" (§7/§8
+///     future-work estimators over the same Markov statistics);
+///   - "wj-0.25%" (WanderJoin at its default ratio, §6.5);
+///   - "bs4(max-hop-max)", "bs4(molp)" (bound sketch, budget 4, §5.2.1).
+///
+/// Parameterized families also resolve dynamically:
+///   - "wj-<pct>%"    e.g. "wj-0.75%" — WanderJoin at a sampling ratio;
+///   - "bs<K>(inner)" e.g. "bs16(molp)" — bound sketch at budget K with
+///     inner estimator "max-hop-max" or "molp".
+class EstimatorRegistry {
+ public:
+  using EstimatorPtr = std::unique_ptr<CardinalityEstimator>;
+  using Factory =
+      std::function<util::StatusOr<EstimatorPtr>(const EstimationContext&)>;
+  /// Dynamic-family handler: returns a factory iff it recognizes `name`.
+  using PatternFactory = std::function<util::StatusOr<EstimatorPtr>(
+      const std::string& name, const EstimationContext&)>;
+
+  /// The registry with every built-in estimator (shared instance).
+  static const EstimatorRegistry& Default();
+
+  /// Registers an exact name. Later registrations win, so downstream code
+  /// can override built-ins in a copy of Default().
+  void Register(std::string name, Factory factory);
+  /// Registers a dynamic family. `probe` must return true iff the family
+  /// recognizes a name; `factory` is then consulted.
+  void RegisterPattern(std::string description,
+                       std::function<bool(const std::string&)> probe,
+                       PatternFactory factory);
+
+  bool Contains(const std::string& name) const;
+
+  /// Constructs the named estimator over `context`. NotFound for unknown
+  /// names. The context must outlive the estimator.
+  util::StatusOr<EstimatorPtr> Create(const std::string& name,
+                                      const EstimationContext& context) const;
+
+  /// All exact names, sorted (dynamic families are documented in
+  /// pattern_descriptions()).
+  std::vector<std::string> RegisteredNames() const;
+  std::vector<std::string> pattern_descriptions() const;
+
+ private:
+  struct Pattern {
+    std::string description;
+    std::function<bool(const std::string&)> probe;
+    PatternFactory factory;
+  };
+  std::map<std::string, Factory> factories_;
+  std::vector<Pattern> patterns_;
+};
+
+}  // namespace cegraph::engine
+
+#endif  // CEGRAPH_ENGINE_ESTIMATOR_REGISTRY_H_

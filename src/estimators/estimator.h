@@ -23,6 +23,12 @@ class CardinalityEstimator {
   /// Estimates |Q|. Implementations may fail (e.g. SumRDF times out on
   /// dense summaries, mirroring §6.4); harnesses drop such queries from
   /// every estimator's distribution, as the paper does.
+  ///
+  /// Concurrency: the parallel WorkloadRunner calls Estimate from several
+  /// threads at once (distinct queries). Implementations must therefore
+  /// be safe for concurrent calls — stateless per call, or guarding any
+  /// mutable members. All in-tree estimators satisfy this; a stateful
+  /// estimator can still be run with a serial WorkloadRunner.
   virtual util::StatusOr<double> Estimate(
       const query::QueryGraph& q) const = 0;
 };

@@ -1,146 +1,25 @@
 #include "harness/experiment.h"
 
-#include <chrono>
-
-#include "estimators/oracle.h"
-#include "harness/qerror.h"
+#include "engine/ceg_cache.h"
+#include "harness/workload_runner.h"
 #include "util/table_printer.h"
 
 namespace cegraph::harness {
-
-namespace {
-
-double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 SuiteResult RunEstimatorSuite(
     const std::vector<const CardinalityEstimator*>& estimators,
     const std::vector<query::WorkloadQuery>& workload,
     bool drop_on_any_failure) {
-  SuiteResult result;
-  std::vector<std::vector<double>> signed_logs(estimators.size());
-  std::vector<size_t> failures(estimators.size(), 0);
-  std::vector<double> seconds(estimators.size(), 0);
-
-  for (const query::WorkloadQuery& wq : workload) {
-    std::vector<double> estimates(estimators.size());
-    bool any_failed = false;
-    for (size_t i = 0; i < estimators.size(); ++i) {
-      const double t0 = Now();
-      auto est = estimators[i]->Estimate(wq.query);
-      seconds[i] += Now() - t0;
-      if (!est.ok()) {
-        ++failures[i];
-        any_failed = true;
-        estimates[i] = -1;
-        continue;
-      }
-      estimates[i] = *est;
-    }
-    if (any_failed && drop_on_any_failure) {
-      ++result.queries_dropped;
-      continue;
-    }
-    ++result.queries_used;
-    for (size_t i = 0; i < estimators.size(); ++i) {
-      if (estimates[i] < 0) continue;
-      signed_logs[i].push_back(
-          SignedLogQError(estimates[i], wq.true_cardinality));
-    }
-  }
-
-  for (size_t i = 0; i < estimators.size(); ++i) {
-    EstimatorReport report;
-    report.name = estimators[i]->name();
-    report.signed_log_qerror = util::ComputeBoxStats(signed_logs[i]);
-    report.failures = failures[i];
-    report.total_seconds = seconds[i];
-    result.reports.push_back(std::move(report));
-  }
-  return result;
+  return WorkloadRunner().RunSuite(estimators, workload, drop_on_any_failure);
 }
 
 SuiteResult RunOptimisticSuite(
     const stats::MarkovTable& markov, const stats::CycleClosingRates* rates,
     OptimisticCeg kind, const std::vector<query::WorkloadQuery>& workload,
     size_t pstar_max_paths) {
-  std::vector<OptimisticSpec> specs = AllOptimisticSpecs(kind);
-  SuiteResult result;
-  std::vector<std::vector<double>> signed_logs(specs.size() + 1);
-  std::vector<size_t> failures(specs.size() + 1, 0);
-  std::vector<double> seconds(specs.size() + 1, 0);
-
-  OptimisticSpec builder_spec;
-  builder_spec.ceg_kind = kind;
-  OptimisticEstimator builder(markov, builder_spec, rates);
-
-  for (const query::WorkloadQuery& wq : workload) {
-    const double t0 = Now();
-    auto built = builder.BuildCeg(wq.query);
-    if (!built.ok()) {
-      for (size_t i = 0; i <= specs.size(); ++i) ++failures[i];
-      ++result.queries_dropped;
-      continue;
-    }
-    auto aggregates = built->ceg.ComputeAggregates();
-    if (!aggregates.ok() || !aggregates->reachable) {
-      for (size_t i = 0; i <= specs.size(); ++i) ++failures[i];
-      ++result.queries_dropped;
-      continue;
-    }
-    const double build_seconds = Now() - t0;
-
-    ++result.queries_used;
-    bool ok_all = true;
-    for (size_t i = 0; i < specs.size(); ++i) {
-      const double t1 = Now();
-      auto est =
-          OptimisticEstimator::EstimateFromAggregates(*aggregates, specs[i]);
-      seconds[i] += build_seconds + (Now() - t1);
-      if (!est.ok()) {
-        ++failures[i];
-        ok_all = false;
-        continue;
-      }
-      signed_logs[i].push_back(
-          SignedLogQError(*est, wq.true_cardinality));
-    }
-    (void)ok_all;
-
-    // P* oracle.
-    const double t2 = Now();
-    auto pstar =
-        PStarEstimate(built->ceg, wq.true_cardinality, pstar_max_paths);
-    seconds[specs.size()] += Now() - t2;
-    if (pstar.ok()) {
-      signed_logs[specs.size()].push_back(
-          SignedLogQError(*pstar, wq.true_cardinality));
-    } else {
-      ++failures[specs.size()];
-    }
-  }
-
-  for (size_t i = 0; i < specs.size(); ++i) {
-    EstimatorReport report;
-    report.name = SpecName(specs[i]);
-    report.signed_log_qerror = util::ComputeBoxStats(signed_logs[i]);
-    report.failures = failures[i];
-    report.total_seconds = seconds[i];
-    result.reports.push_back(std::move(report));
-  }
-  EstimatorReport pstar_report;
-  pstar_report.name = kind == OptimisticCeg::kCegOcr ? "P*@ocr" : "P*";
-  pstar_report.signed_log_qerror =
-      util::ComputeBoxStats(signed_logs[specs.size()]);
-  pstar_report.failures = failures[specs.size()];
-  pstar_report.total_seconds = seconds[specs.size()];
-  result.reports.push_back(std::move(pstar_report));
-  return result;
+  engine::CegCache cache;
+  return WorkloadRunner().RunOptimisticSuite(cache, markov, rates, kind,
+                                             workload, pstar_max_paths);
 }
 
 void PrintSuiteResult(std::ostream& os, const std::string& title,

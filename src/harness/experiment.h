@@ -22,11 +22,18 @@ struct EstimatorReport {
   util::BoxStats signed_log_qerror;
   size_t failures = 0;       ///< queries where the estimator erred out
   double total_seconds = 0;  ///< summed estimation time
+  /// Queries whose estimation time is included in total_seconds. Set by
+  /// the runners; covers attempts on queries later dropped from the
+  /// distributions because *another* estimator failed.
+  size_t attempted = 0;
+  /// Mean per-query latency over every timed attempt: failed or dropped
+  /// attempts consumed time too, so dividing by successes alone would
+  /// inflate the per-query cost. Falls back to successes + failures when
+  /// `attempted` was not populated (hand-built reports).
   double mean_millis() const {
-    return signed_log_qerror.count == 0
-               ? 0
-               : 1000.0 * total_seconds /
-                     static_cast<double>(signed_log_qerror.count);
+    const size_t n =
+        attempted != 0 ? attempted : signed_log_qerror.count + failures;
+    return n == 0 ? 0 : 1000.0 * total_seconds / static_cast<double>(n);
   }
 };
 
@@ -39,15 +46,27 @@ struct SuiteResult {
 /// Runs every estimator over the workload. When `drop_on_any_failure` is
 /// set (the paper's convention for SumRDF timeouts), a query on which any
 /// estimator fails is removed from *all* distributions.
+///
+/// Thin wrapper over harness::WorkloadRunner (workload_runner.h): queries
+/// run on all cores and the deterministic merge makes the accuracy/failure
+/// fields independent of the thread count. Two contract notes versus the
+/// old serial loop:
+///  - estimators are invoked concurrently from multiple threads, so
+///    Estimate() must be safe for concurrent calls (all in-tree
+///    estimators are; an estimator with mutable per-call state needs a
+///    WorkloadRunner with num_threads = 1);
+///  - the avg-ms column includes scheduler/contention noise when run in
+///    parallel — latency-focused benches should use a serial runner.
 SuiteResult RunEstimatorSuite(
     const std::vector<const CardinalityEstimator*>& estimators,
     const std::vector<query::WorkloadQuery>& workload,
     bool drop_on_any_failure = true);
 
 /// Runs the 9 optimistic estimators of §4.2 plus the P* oracle over one
-/// CEG kind, building each query's CEG exactly once. Reports come back in
-/// the paper's order (min/avg/max aggregator within max/min/all hops),
-/// with P* last.
+/// CEG kind, building each query's CEG exactly once (through an
+/// engine::CegCache). Reports come back in the paper's order (min/avg/max
+/// aggregator within max/min/all hops), with P* last. Thin wrapper over
+/// harness::WorkloadRunner.
 SuiteResult RunOptimisticSuite(const stats::MarkovTable& markov,
                                const stats::CycleClosingRates* rates,
                                OptimisticCeg kind,

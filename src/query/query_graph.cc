@@ -1,7 +1,9 @@
 #include "query/query_graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <memory>
 #include <numeric>
 
 namespace cegraph::query {
@@ -183,6 +185,16 @@ std::string CodeUnderPermutation(
 }  // namespace
 
 std::string QueryGraph::CanonicalCode() const {
+  auto cached = std::atomic_load_explicit(&canonical_code_,
+                                          std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  auto computed = std::make_shared<const std::string>(ComputeCanonicalCode());
+  std::atomic_store_explicit(&canonical_code_, computed,
+                             std::memory_order_release);
+  return *computed;
+}
+
+std::string QueryGraph::ComputeCanonicalCode() const {
   std::vector<uint32_t> perm(num_vertices_);
   std::iota(perm.begin(), perm.end(), 0);
   // Drop all-wildcard constraint vectors so labeled and unlabeled

@@ -2,6 +2,7 @@
 #define CEGRAPH_QUERY_QUERY_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -116,15 +117,26 @@ class QueryGraph {
   /// keys => isomorphic) but may miss some isomorphic pairs. The Markov
   /// table only canonicalizes patterns of <= h+1 <= 4 vertices, well within
   /// the exact range.
+  ///
+  /// The permutation search is paid once per QueryGraph value: the code is
+  /// memoized (thread-safely, and shared by copies of the query), which is
+  /// what keeps repeated cache lookups — 9 optimistic estimators keying the
+  /// same query into the engine's CegCache — from re-canonicalizing.
   std::string CanonicalCode() const;
 
   static constexpr uint32_t kCanonicalVertexLimit = 7;
 
  private:
+  std::string ComputeCanonicalCode() const;
+
   uint32_t num_vertices_ = 0;
   std::vector<QueryEdge> edges_;
   std::vector<graph::VertexLabel> vertex_constraints_;
   std::vector<std::vector<uint32_t>> incident_;
+  /// Memoized CanonicalCode(); immutable once published, shared across
+  /// copies (a copy has the same structure, hence the same code). Accessed
+  /// via atomic_load/atomic_store so concurrent readers are safe.
+  mutable std::shared_ptr<const std::string> canonical_code_;
 };
 
 }  // namespace cegraph::query

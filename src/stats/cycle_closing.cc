@@ -12,9 +12,13 @@ using graph::VertexId;
 }  // namespace
 
 double CycleClosingRates::Rate(const ClosingKey& key) const {
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
   const double rate = Sample(key);
+  std::lock_guard<std::mutex> lock(mutex_);
   cache_.emplace(key, rate);
   return rate;
 }

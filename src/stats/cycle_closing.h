@@ -2,6 +2,7 @@
 #define CEGRAPH_STATS_CYCLE_CLOSING_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "graph/graph.h"
@@ -75,16 +76,22 @@ class CycleClosingRates {
   /// The closing probability for `key`, in (0, 1]. Uses add-half (Laplace)
   /// smoothing so a rate of exactly zero — which would zero out the whole
   /// CEG path estimate — cannot occur: with c successes out of p completed
-  /// walks the rate is (c + 0.5) / (p + 1).
+  /// walks the rate is (c + 0.5) / (p + 1). Thread-safe (mutex-guarded
+  /// memo; each key's walks derive a deterministic stream, so a race on a
+  /// cold key recomputes the identical value).
   double Rate(const ClosingKey& key) const;
 
-  size_t num_cached() const { return cache_.size(); }
+  size_t num_cached() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+  }
 
  private:
   double Sample(const ClosingKey& key) const;
 
   const graph::Graph& g_;
   CycleClosingOptions options_;
+  mutable std::mutex mutex_;
   mutable std::unordered_map<ClosingKey, double, ClosingKeyHash> cache_;
 };
 

@@ -87,8 +87,13 @@ DegreeMap ComputeDegreeMap(
 }
 
 const DegreeMap& StatsCatalog::BaseRelation(graph::Label l) const {
-  auto it = base_cache_.find(l);
-  if (it != base_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = base_cache_.find(l);
+    if (it != base_cache_.end()) return it->second;
+  }
+  // Compute outside the lock (check-compute-insert like every other memo
+  // cache here); a race on a cold label recomputes the same values.
   // Local attributes: 0 = src (bit 1), 1 = dst (bit 2).
   DegreeMap dm;
   dm.num_attrs = 2;
@@ -101,14 +106,18 @@ const DegreeMap& StatsCatalog::BaseRelation(graph::Label l) const {
   dm.deg[0][3] = static_cast<double>(g_.RelationSize(l));
   dm.deg[1][3] = static_cast<double>(g_.MaxOutDegree(l));
   dm.deg[2][3] = static_cast<double>(g_.MaxInDegree(l));
-  return base_cache_.emplace(l, dm).first->second;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return base_cache_.try_emplace(l, dm).first->second;
 }
 
 const StatsCatalog::JoinStats* StatsCatalog::TwoJoin(
     const query::QueryGraph& pattern) const {
   const std::string key = pattern.CanonicalCode();
-  auto it = join_cache_.find(key);
-  if (it != join_cache_.end()) return it->second.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = join_cache_.find(key);
+    if (it != join_cache_.end()) return it->second.get();
+  }
 
   matching::Matcher matcher(g_);
   matching::MatchOptions options;
@@ -130,14 +139,16 @@ const StatsCatalog::JoinStats* StatsCatalog::TwoJoin(
         return true;
       });
   if (!status.ok() || over_cap) {
-    join_cache_.emplace(key, nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    join_cache_.try_emplace(key, nullptr);
     return nullptr;
   }
   auto stats = std::make_unique<JoinStats>();
   stats->representative = pattern;
   stats->deg = ComputeDegreeMap(pattern.num_vertices(), tuples);
   stats->cardinality = static_cast<double>(tuples.size());
-  return join_cache_.emplace(key, std::move(stats)).first->second.get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return join_cache_.try_emplace(key, std::move(stats)).first->second.get();
 }
 
 util::StatusOr<DegreeStats> DegreeStats::Build(const StatsCatalog& catalog,

@@ -4,6 +4,7 @@
 #include <array>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -71,6 +72,9 @@ class StatsCatalog {
  private:
   const graph::Graph& g_;
   uint64_t materialize_cap_;
+  /// Guards both caches; returned references/pointers stay valid because
+  /// unordered_map nodes are stable and entries are never erased.
+  mutable std::mutex mutex_;
   mutable std::unordered_map<graph::Label, DegreeMap> base_cache_;
   mutable std::unordered_map<std::string, std::unique_ptr<JoinStats>>
       join_cache_;

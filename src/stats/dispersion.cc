@@ -43,8 +43,11 @@ util::StatusOr<ExtensionDispersion> DispersionCatalog::Get(
     if (!marked_q.ok()) return marked_q.status();
     key = marked_q->CanonicalCode();
   }
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
 
   matching::Matcher matcher(g_);
   ExtensionDispersion result;
@@ -56,6 +59,7 @@ util::StatusOr<ExtensionDispersion> DispersionCatalog::Get(
     result.mean = *count;
     result.cv2 = 0;
     result.entropy = 1;
+    std::lock_guard<std::mutex> lock(mutex_);
     cache_.emplace(key, result);
     return result;
   }
@@ -120,6 +124,7 @@ util::StatusOr<ExtensionDispersion> DispersionCatalog::Get(
   // entropy 0.
   result.entropy =
       n_i > 1 ? std::min(1.0, entropy / std::log2(n_i)) : 1.0;
+  std::lock_guard<std::mutex> lock(mutex_);
   cache_.emplace(key, result);
   return result;
 }

@@ -1,6 +1,7 @@
 #ifndef CEGRAPH_STATS_DISPERSION_H_
 #define CEGRAPH_STATS_DISPERSION_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -52,11 +53,15 @@ class DispersionCatalog {
       const query::QueryGraph& pattern,
       query::EdgeSet intersection_edges) const;
 
-  size_t num_cached() const { return cache_.size(); }
+  size_t num_cached() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+  }
 
  private:
   const graph::Graph& g_;
   uint64_t materialize_cap_;
+  mutable std::mutex mutex_;
   mutable std::unordered_map<std::string, ExtensionDispersion> cache_;
 };
 

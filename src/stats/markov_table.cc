@@ -15,12 +15,36 @@ util::StatusOr<double> MarkovTable::Cardinality(
         "pattern not covered by this Markov table");
   }
   const std::string key = pattern.CanonicalCode();
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Count outside the lock: exact matching dominates, and two threads
+  // racing on the same cold pattern just compute the same value twice.
   auto count = matcher_.Count(pattern);
   if (!count.ok()) return count.status();
+  std::lock_guard<std::mutex> lock(mutex_);
   cache_.emplace(key, *count);
   return *count;
+}
+
+size_t MarkovTable::ApproximateSizeBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cache_.empty()) return 0;
+  // libstdc++-style hash node: next pointer + cached hash code per entry.
+  constexpr size_t kNodeOverhead = 2 * sizeof(void*);
+  size_t bytes = cache_.bucket_count() * sizeof(void*);
+  for (const auto& [key, value] : cache_) {
+    bytes += sizeof(key) + sizeof(value) + kNodeOverhead;
+    // The key's characters live on the heap unless the small-string buffer
+    // holds them (detected by whether data() points into the object).
+    const char* data = key.data();
+    const char* obj = reinterpret_cast<const char*>(&key);
+    const bool small_string = data >= obj && data < obj + sizeof(key);
+    if (!small_string) bytes += key.capacity() + 1;
+  }
+  return bytes;
 }
 
 }  // namespace cegraph::stats

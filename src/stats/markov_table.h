@@ -1,6 +1,7 @@
 #ifndef CEGRAPH_STATS_MARKOV_TABLE_H_
 #define CEGRAPH_STATS_MARKOV_TABLE_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -39,28 +40,31 @@ class MarkovTable {
 
   /// The exact cardinality of `pattern` (which must satisfy
   /// Contains(pattern)). Computed on first use; cached thereafter.
+  /// Thread-safe: the memo cache is mutex-guarded so one table can serve
+  /// a parallel WorkloadRunner.
   util::StatusOr<double> Cardinality(const query::QueryGraph& pattern) const;
 
   /// Number of memoized entries (the "Markov table size" the paper reports
   /// in MBs; each entry is one pattern cardinality).
-  size_t num_entries() const { return cache_.size(); }
-
-  /// Approximate resident size of the table in bytes: per entry, the
-  /// canonical key plus the stored cardinality. The paper reports < 0.6 MB
-  /// for any workload-dataset combination at h <= 3; this accessor lets
-  /// benches verify the same property for the lazy tables here.
-  size_t ApproximateSizeBytes() const {
-    size_t bytes = 0;
-    for (const auto& [key, value] : cache_) {
-      bytes += key.size() + sizeof(value);
-    }
-    return bytes;
+  size_t num_entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
   }
+
+  /// Approximate resident size of the table in bytes. The paper reports
+  /// < 0.6 MB for any workload-dataset combination at h <= 3; this accessor
+  /// lets benches verify the same property for the lazy tables here.
+  /// Accounts for the real unordered_map footprint, not just payload: per
+  /// entry the std::string object + heap characters (SSO-aware), the double,
+  /// and the hash node overhead (next pointer + cached hash); plus the
+  /// bucket array.
+  size_t ApproximateSizeBytes() const;
 
  private:
   const graph::Graph& g_;
   matching::Matcher matcher_;
   int h_;
+  mutable std::mutex mutex_;
   mutable std::unordered_map<std::string, double> cache_;
 };
 
