@@ -16,16 +16,17 @@
 
 namespace cegraph::bench {
 
-/// The workload suites of §6.1, keyed the way the figures reference them.
+/// The workload suites of §6.1, keyed the way the figures reference them
+/// (the mapping itself lives in query::SuiteTemplatesByName; this wrapper
+/// only adds the benches' exit-on-error policy).
 inline std::vector<query::QueryTemplate> SuiteByName(
     const std::string& name) {
-  if (name == "job") return query::JobLikeTemplates();
-  if (name == "acyclic") return query::AcyclicTemplates();
-  if (name == "cyclic") return query::CyclicTemplates();
-  if (name == "gcare-acyclic") return query::GCareAcyclicTemplates();
-  if (name == "gcare-cyclic") return query::GCareCyclicTemplates();
-  std::fprintf(stderr, "unknown suite %s\n", name.c_str());
-  std::abort();
+  auto templates = query::SuiteTemplatesByName(name);
+  if (!templates.ok()) {
+    std::fprintf(stderr, "%s\n", templates.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(templates).value();
 }
 
 /// Builds the named dataset and instantiates the named workload suite on
@@ -55,6 +56,30 @@ inline DatasetWorkload MakeDatasetWorkload(const std::string& dataset,
     std::abort();
   }
   return {std::move(*g), std::move(*wl)};
+}
+
+/// Loads a summary snapshot into `engine` when one is configured via the
+/// environment, so benches skip statistics recomputation on repeat runs:
+///   CEGRAPH_SNAPSHOT     — one snapshot file (single-dataset benches)
+///   CEGRAPH_SNAPSHOT_DIR — a directory of `<dataset>.snap` files, one per
+///                          panel (multi-dataset figure benches)
+/// A missing file or fingerprint mismatch is reported and ignored — the
+/// bench then simply runs cold, exactly as before.
+inline void MaybeLoadSnapshot(const engine::EstimationEngine& engine,
+                              const std::string& dataset) {
+  const char* file = std::getenv("CEGRAPH_SNAPSHOT");
+  const char* dir = std::getenv("CEGRAPH_SNAPSHOT_DIR");
+  std::string path;
+  if (file != nullptr && *file != '\0') {
+    path = file;
+  } else if (dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + dataset + ".snap";
+  } else {
+    return;
+  }
+  auto loaded = engine.context().LoadSnapshot(path);
+  std::fprintf(stderr, "[snapshot] %s: %s\n", path.c_str(),
+               loaded.ok() ? "loaded" : loaded.ToString().c_str());
 }
 
 /// Runs the 9-optimistic-estimators + P* suite through the engine's shared

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     auto acyclic = query::FilterAcyclic(dw.workload);
 
     engine::EstimationEngine engine(dw.graph);
+    bench::MaybeLoadSnapshot(engine, dataset);
     auto result = bench::RunNamedSuite(
         engine,
         {"max-hop-max", "min-hop-min", "min-cv-path", "min-entropy-path",

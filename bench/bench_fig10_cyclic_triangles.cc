@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     engine::ContextOptions options;
     options.markov_h = 3;
     engine::EstimationEngine engine(dw.graph, options);
+    bench::MaybeLoadSnapshot(engine, dataset);
     auto result = bench::RunOptimisticWithEngine(
         engine, OptimisticCeg::kCegO, triangles);
     harness::PrintSuiteResult(std::cout,

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
     engine::ContextOptions options;
     options.markov_h = 3;
     engine::EstimationEngine engine(dw.graph, options);
+    bench::MaybeLoadSnapshot(engine, panel.dataset);
     auto ceg_o =
         bench::RunOptimisticWithEngine(engine, OptimisticCeg::kCegO, large);
     harness::PrintSuiteResult(

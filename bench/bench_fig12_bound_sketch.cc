@@ -33,6 +33,7 @@ void RunPanel(const std::string& dataset, const std::string& suite,
                             "%improved-vs-K1"});
 
   engine::EstimationEngine engine(dw.graph);
+  bench::MaybeLoadSnapshot(engine, dataset);
   std::vector<double> base_qerrors;
   for (int k : {1, 4, 16, 64, 128}) {
     // Resolved through the registry's dynamic bound-sketch family.

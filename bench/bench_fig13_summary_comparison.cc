@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     engine::ContextOptions options;
     options.sumrdf_step_budget = 20'000'000;
     engine::EstimationEngine engine(dw.graph, options);
+    bench::MaybeLoadSnapshot(engine, panel.dataset);
     auto result = bench::RunNamedSuite(
         engine, {"max-hop-max", "molp+2j", "cs", "sumrdf"}, acyclic,
         /*drop_on_any_failure=*/true);

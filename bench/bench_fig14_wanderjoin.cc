@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
     // one-time statistics collection (the paper's Markov tables are
     // precomputed).
     engine::EstimationEngine engine(dw.graph);
+    bench::MaybeLoadSnapshot(engine, panel.dataset);
     OptimisticEstimator mhm(engine.context().markov(), OptimisticSpec{});
     for (const auto& wq : acyclic) (void)mhm.Estimate(wq.query);
 

@@ -44,6 +44,7 @@ void RunPanel(const std::string& dataset, const std::string& suite,
   bench::DatasetWorkload dw{std::move(*g), std::move(*wl)};
 
   engine::EstimationEngine engine(dw.graph);
+  bench::MaybeLoadSnapshot(engine, dataset);
   std::vector<std::string> names = {"rdf3x-default"};
   for (const auto& spec : AllOptimisticSpecs()) names.push_back(SpecName(spec));
   auto resolved = engine.Estimators(names);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   engine::ContextOptions options;
   options.markov_h = 3;
   engine::EstimationEngine engine(dw.graph, options);
+  bench::MaybeLoadSnapshot(engine, "hetionet_like");
 
   // Group queries by template.
   std::map<std::string, std::vector<query::WorkloadQuery>> by_template;

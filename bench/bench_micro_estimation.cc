@@ -9,12 +9,18 @@
 //   - the 9-optimistic suite performs exactly one CEG build per
 //     (query class, CEG kind), observed through CegCache counters;
 //   - the parallel WorkloadRunner produces results identical to the serial
-//     path (timing fields aside), while using all cores.
+//     path (timing fields aside), while using all cores;
+//   - a suite started from a summary snapshot (LoadSnapshot) produces
+//     results identical to a cold run while skipping statistics
+//     construction (compare BM_SuiteColdStart vs BM_SuiteSnapshotStart).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "engine/engine.h"
 #include "estimators/optimistic.h"
@@ -247,6 +253,86 @@ void BM_WorkloadSuiteParallel(benchmark::State& state) {
   RunWorkloadSuite(state, 0);  // all cores
 }
 BENCHMARK(BM_WorkloadSuiteParallel)->Unit(benchmark::kMillisecond);
+
+// --- Snapshot layer ---------------------------------------------------------
+
+const std::vector<std::string>& SnapshotSuiteNames() {
+  static const std::vector<std::string>& names =
+      *new std::vector<std::string>{"max-hop-max", "all-hops-avg", "molp",
+                                    "cs", "sumrdf"};
+  return names;
+}
+
+/// A summary snapshot of the shared fixture's workload, built once per
+/// process (prewarm + save), reused by the cold-start benchmarks below.
+struct SnapshotFixture {
+  std::string path;
+
+  static SnapshotFixture& Get() {
+    static SnapshotFixture& instance = *new SnapshotFixture(Make());
+    return instance;
+  }
+
+  static SnapshotFixture Make() {
+    Fixture& f = Fixture::Get();
+    SnapshotFixture s;
+    s.path = (std::filesystem::temp_directory_path() /
+              "cegraph_bench_micro.snap")
+                 .string();
+    engine::EstimationContext context(f.graph);
+    context.Prewarm(f.workload);
+    if (!context.SaveSnapshot(s.path).ok()) std::abort();
+    return s;
+  }
+};
+
+harness::SuiteResult RunSnapshotSuite(engine::EstimationEngine& engine) {
+  auto estimators = engine.Estimators(SnapshotSuiteNames());
+  if (!estimators.ok()) std::abort();
+  harness::RunnerOptions serial;
+  serial.num_threads = 1;
+  return harness::WorkloadRunner(serial).RunSuite(*estimators,
+                                                  Fixture::Get().workload);
+}
+
+/// Full cold start: fresh context, every statistic recomputed during the
+/// suite. This is the per-process price the snapshot layer eliminates.
+void BM_SuiteColdStart(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  for (auto _ : state) {
+    engine::EstimationEngine engine(f.graph);
+    auto result = RunSnapshotSuite(engine);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SuiteColdStart)->Unit(benchmark::kMillisecond);
+
+/// Snapshot start: fresh context, statistics restored from disk, suite runs
+/// entirely on warm caches — and must produce results identical to the
+/// cold run (the snapshot contract; SkipWithError on any difference).
+void BM_SuiteSnapshotStart(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  SnapshotFixture& snap = SnapshotFixture::Get();
+  harness::SuiteResult reference;
+  {
+    engine::EstimationEngine engine(f.graph);
+    reference = RunSnapshotSuite(engine);
+  }
+  for (auto _ : state) {
+    engine::EstimationEngine engine(f.graph);
+    if (!engine.context().LoadSnapshot(snap.path).ok()) {
+      state.SkipWithError("snapshot load failed");
+      return;
+    }
+    auto result = RunSnapshotSuite(engine);
+    if (!SameSuiteModuloTiming(result, reference)) {
+      state.SkipWithError("snapshot-started result differs from cold run");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SuiteSnapshotStart)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

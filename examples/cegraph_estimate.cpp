@@ -4,6 +4,11 @@
 // Usage:
 //   cegraph_estimate --dataset imdb_like --query "(a)-[3]->(b); (b)-[5]->(c)"
 //   cegraph_estimate --graph my_graph.txt --query "..." [--h 3] [--truth]
+//                    [--snapshot stats.snap]
+//
+// --snapshot loads a summary snapshot built by `cegraph_stats build` into
+// the engine before estimating, so repeated invocations skip statistics
+// recomputation (the snapshot must match the graph's fingerprint).
 //
 // The graph file format is the edge-list text format of
 // graph/graph_io.h; the query syntax is query/parser.h's Cypher-like
@@ -25,7 +30,7 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: cegraph_estimate (--dataset NAME | --graph FILE) "
-               "--query PATTERN [--h N] [--truth]\n"
+               "--query PATTERN [--h N] [--truth] [--snapshot FILE]\n"
             << "  datasets: ";
   for (const auto& name : cegraph::graph::DatasetNames()) {
     std::cerr << name << " ";
@@ -39,7 +44,7 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace cegraph;
 
-  std::optional<std::string> dataset, graph_file, query_text;
+  std::optional<std::string> dataset, graph_file, query_text, snapshot;
   int h = 2;
   bool want_truth = false;
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +64,8 @@ int main(int argc, char** argv) {
       if (v) h = std::atoi(v->c_str());
     } else if (arg == "--truth") {
       want_truth = true;
+    } else if (arg == "--snapshot") {
+      snapshot = next();
     } else {
       return Usage();
     }
@@ -96,6 +103,14 @@ int main(int argc, char** argv) {
   engine::ContextOptions context_options;
   context_options.markov_h = h;
   engine::EstimationEngine engine(*g, context_options);
+  if (snapshot) {
+    auto loaded = engine.context().LoadSnapshot(*snapshot);
+    if (!loaded.ok()) {
+      std::cerr << "snapshot: " << loaded << "\n";
+      return 1;
+    }
+    std::cout << "loaded snapshot " << *snapshot << "\n";
+  }
   std::vector<std::string> names;
   for (const auto& spec : AllOptimisticSpecs()) names.push_back(SpecName(spec));
   names.push_back("molp+2j");

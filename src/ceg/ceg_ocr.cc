@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <cmath>
+#include <unordered_set>
+#include <vector>
 
 #include "query/subquery.h"
 
@@ -125,6 +127,22 @@ util::StatusOr<BuiltCegO> BuildCegOcr(const query::QueryGraph& q,
 
   built->ceg = std::move(rewritten);
   return built;
+}
+
+std::vector<stats::ClosingKey> EnumerateClosingKeys(
+    const query::QueryGraph& q, int h) {
+  std::vector<stats::ClosingKey> keys;
+  if (q.IsAcyclic()) return keys;
+  std::unordered_set<stats::ClosingKey, stats::ClosingKeyHash> seen;
+  for (EdgeSet cycle : query::SimpleCycles(q)) {
+    if (std::popcount(cycle) <= h) continue;
+    for (EdgeSet rest = cycle; rest != 0; rest &= rest - 1) {
+      const uint32_t close = static_cast<uint32_t>(std::countr_zero(rest));
+      const stats::ClosingKey key = MakeClosingKey(q, cycle, close);
+      if (seen.insert(key).second) keys.push_back(key);
+    }
+  }
+  return keys;
 }
 
 }  // namespace cegraph::ceg

@@ -1,6 +1,8 @@
 #ifndef CEGRAPH_CEG_CEG_OCR_H_
 #define CEGRAPH_CEG_CEG_OCR_H_
 
+#include <vector>
+
 #include "ceg/ceg_o.h"
 #include "stats/cycle_closing.h"
 
@@ -17,6 +19,15 @@ util::StatusOr<BuiltCegO> BuildCegOcr(const query::QueryGraph& q,
                                       const stats::MarkovTable& markov,
                                       const stats::CycleClosingRates& rates,
                                       const CegOOptions& options = {});
+
+/// Every cycle-closing statistic a CEG_OCR build of `q` (at Markov size
+/// `h`) can possibly request: one key per (simple cycle longer than h,
+/// closing edge within it) pair, deduplicated. Used by
+/// EstimationContext::Prewarm to sample closing rates ahead of time — a
+/// superset of the keys BuildCegOcr actually touches, so a prewarmed
+/// context never samples during estimation.
+std::vector<stats::ClosingKey> EnumerateClosingKeys(
+    const query::QueryGraph& q, int h);
 
 }  // namespace cegraph::ceg
 

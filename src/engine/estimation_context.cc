@@ -3,13 +3,35 @@
 namespace cegraph::engine {
 
 const stats::MarkovTable& EstimationContext::markov(int h) const {
-  if (h <= 0) h = options_.markov_h;
+  auto table = TryMarkov(h);
+  if (!table.ok()) {
+    // A negative Markov size is a programming bug, not a recoverable
+    // condition — surface it loudly instead of silently building a
+    // degenerate table that would answer every lookup with "not covered".
+    util::internal::StatusOrCrash("EstimationContext::markov: " +
+                                  table.status().ToString());
+  }
+  return **table;
+}
+
+util::StatusOr<const stats::MarkovTable*> EstimationContext::TryMarkov(
+    int h) const {
+  if (h < 0) {
+    return util::InvalidArgumentError(
+        "Markov table size h must be >= 0 (0 = context default), got " +
+        std::to_string(h));
+  }
+  if (h == 0) h = options_.markov_h;
+  if (h < 1) {
+    return util::InvalidArgumentError(
+        "context default markov_h must be >= 1, got " + std::to_string(h));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = markov_.find(h);
   if (it == markov_.end()) {
     it = markov_.emplace(h, std::make_unique<stats::MarkovTable>(g_, h)).first;
   }
-  return *it->second;
+  return it->second.get();
 }
 
 const stats::CycleClosingRates& EstimationContext::cycle_closing_rates()

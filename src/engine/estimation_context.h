@@ -4,9 +4,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "engine/ceg_cache.h"
 #include "graph/graph.h"
+#include "query/workload.h"
 #include "stats/char_sets.h"
 #include "stats/cycle_closing.h"
 #include "stats/degree_stats.h"
@@ -35,6 +38,33 @@ struct ContextOptions {
   uint64_t stats_materialize_cap = 4'000'000;
 };
 
+/// What Prewarm should fill and how hard it may work. Every toggle maps to
+/// one statistics substrate; all of them default on except dispersion
+/// (whose exact extension analysis is by far the most expensive and only
+/// feeds the §8 future-work estimators).
+struct PrewarmOptions {
+  /// Worker threads (0 = all cores, 1 = serial), applied through a
+  /// harness::WorkloadRunner.
+  int num_threads = 0;
+  bool markov = true;          ///< sub-pattern cardinalities (h-sized)
+  bool closing_rates = true;   ///< CEG_OCR cycle-closing statistics
+  bool degree = true;          ///< base-relation degree maps
+  bool two_joins = true;       ///< materialized 2-join degree statistics
+  bool dispersion = false;     ///< extension-dispersion statistics (§8)
+  bool summaries = true;       ///< CS + SumRDF eager summaries
+};
+
+/// What one Prewarm pass enumerated and filled (deduplicated task counts,
+/// not per-query touches).
+struct PrewarmReport {
+  size_t markov_patterns = 0;
+  size_t closing_keys = 0;
+  size_t base_relations = 0;
+  size_t two_join_patterns = 0;
+  size_t dispersion_pairs = 0;
+  double seconds = 0;
+};
+
 /// The shared substrate of every estimator over one graph: the graph
 /// itself, lazily built summary/statistic structures (Markov tables per h,
 /// cycle-closing rates, degree-statistics catalog, characteristic sets,
@@ -46,6 +76,13 @@ struct ContextOptions {
 /// safe for concurrent use (their memo caches are mutex-guarded), so one
 /// context serves a parallel WorkloadRunner. The context must outlive every
 /// estimator created from it.
+///
+/// The statistics substrate is a durable artifact: Prewarm fills the lazy
+/// caches for a workload ahead of time, SaveSnapshot persists everything
+/// built so far to a versioned binary file, and LoadSnapshot restores it in
+/// milliseconds on a later process start (guarded by the graph fingerprint,
+/// so stats never load against the wrong dataset). See engine/snapshot.h
+/// for the file format.
 class EstimationContext {
  public:
   explicit EstimationContext(const graph::Graph& g, ContextOptions options = {})
@@ -58,8 +95,15 @@ class EstimationContext {
   const ContextOptions& options() const { return options_; }
 
   /// The size-`h` Markov table (h = 0 means options().markov_h). Built on
-  /// first use, then shared.
+  /// first use, then shared. `h` must be >= 0: a negative size is a
+  /// programming bug and crashes with a clear message (use TryMarkov for a
+  /// recoverable Status instead).
   const stats::MarkovTable& markov(int h = 0) const;
+
+  /// Status-returning variant of markov(): InvalidArgument for h < 0 (or a
+  /// non-positive options().markov_h when h == 0) instead of crashing. The
+  /// pointer is never null on the OK path and lives as long as the context.
+  util::StatusOr<const stats::MarkovTable*> TryMarkov(int h = 0) const;
 
   /// Cycle-closing rates for CEG_OCR.
   const stats::CycleClosingRates& cycle_closing_rates() const;
@@ -78,6 +122,32 @@ class EstimationContext {
 
   /// The shared CEG build cache.
   CegCache& ceg_cache() const { return ceg_cache_; }
+
+  /// Fills the statistics caches for `workload` ahead of time: enumerates
+  /// every connected sub-query a Markov lookup can hit, every two-join
+  /// pattern, every base relation and every CEG_OCR closing key the
+  /// workload's queries can request, deduplicates across the workload, and
+  /// computes them in parallel (harness::WorkloadRunner work-stealing over
+  /// the flat task list). After Prewarm, estimation runs entirely on warm
+  /// caches. Like the lazy accessors this is const: it only fills the
+  /// mutable memo caches. Implemented in engine/prewarm.cc.
+  PrewarmReport Prewarm(const std::vector<query::WorkloadQuery>& workload,
+                        const PrewarmOptions& options = {}) const;
+
+  /// Persists every statistic built so far (lazily or via Prewarm) to a
+  /// versioned binary snapshot at `path`, stamped with the graph's
+  /// fingerprint. Implemented in engine/snapshot.cc.
+  util::Status SaveSnapshot(const std::string& path) const;
+
+  /// Restores a snapshot written by SaveSnapshot. Rejects files whose
+  /// magic/version are unknown (InvalidArgument), whose fingerprint does
+  /// not match this context's graph (FailedPrecondition), or that are
+  /// truncated/corrupted (OutOfRange/InvalidArgument from the bounds-
+  /// checked reader). Loaded entries merge into the lazy caches (existing
+  /// entries win); eager summaries (CS, SumRDF) are adopted wholesale if
+  /// not yet built. Call before handing out estimators. Implemented in
+  /// engine/snapshot.cc.
+  util::Status LoadSnapshot(const std::string& path) const;
 
  private:
   const graph::Graph& g_;

@@ -1,0 +1,172 @@
+// EstimationContext::Prewarm lives in its own TU because it drives the
+// harness-layer WorkloadRunner (harness already depends on engine headers,
+// so keeping the include out of estimation_context.cc avoids any appearance
+// of a layering cycle: the dependency exists only at link time, within the
+// one cegraph library).
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "ceg/ceg_ocr.h"
+#include "engine/estimation_context.h"
+#include "harness/workload_runner.h"
+#include "query/subquery.h"
+
+namespace cegraph::engine {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PrewarmReport EstimationContext::Prewarm(
+    const std::vector<query::WorkloadQuery>& workload,
+    const PrewarmOptions& options) const {
+  PrewarmReport report;
+  const double t0 = Now();
+  const int h = options_.markov_h;
+
+  // Enumerate the full (deduplicated) task universe first, then fill it in
+  // parallel: work items are independent cache fills, so a flat list +
+  // work-stealing ForEachIndex load-balances regardless of how skewed the
+  // per-pattern matching costs are.
+  std::vector<query::QueryGraph> markov_patterns;
+  std::vector<query::QueryGraph> two_join_patterns;
+  std::vector<std::pair<query::QueryGraph, query::EdgeSet>> dispersion_pairs;
+  std::vector<graph::Label> labels;
+  std::vector<stats::ClosingKey> closing_keys;
+
+  std::unordered_set<std::string> seen_markov;
+  std::unordered_set<std::string> seen_two_join;
+  std::unordered_set<std::string> seen_dispersion;
+  std::unordered_set<graph::Label> seen_labels;
+  std::unordered_set<stats::ClosingKey, stats::ClosingKeyHash> seen_keys;
+
+  // Two-join statistics cover 2-edge sub-queries regardless of the Markov
+  // size, so the subset enumeration must reach 2 even at h = 1.
+  const int enum_h = options.two_joins ? std::max(h, 2) : h;
+
+  // Dispersion pairs must be deduplicated by the exact cache key
+  // DispersionCatalog::Get uses — the canonical code of the pattern with
+  // intersection edges marked by a label offset — or isomorphic patterns
+  // with different edge orders would alias distinct (E, I) classes.
+  const graph::Label mark_offset = g_.num_labels();
+  auto dispersion_key = [&](const query::QueryGraph& pattern,
+                            query::EdgeSet intersection) -> std::string {
+    std::vector<query::QueryEdge> marked = pattern.edges();
+    for (uint32_t i = 0; i < marked.size(); ++i) {
+      if (intersection & (query::EdgeSet{1} << i)) {
+        marked[i].label += mark_offset;
+      }
+    }
+    auto marked_q =
+        query::QueryGraph::Create(pattern.num_vertices(), std::move(marked));
+    return marked_q.ok() ? marked_q->CanonicalCode() : std::string();
+  };
+
+  for (const query::WorkloadQuery& wq : workload) {
+    const query::QueryGraph& q = wq.query;
+    for (query::EdgeSet s : query::ConnectedSubsets(q, enum_h)) {
+      query::QueryGraph pattern = q.ExtractPattern(s);
+      const std::string code = pattern.CanonicalCode();
+      if (options.two_joins && std::popcount(s) == 2 &&
+          seen_two_join.insert(code).second) {
+        two_join_patterns.push_back(pattern);
+      }
+      if (options.dispersion && static_cast<int>(pattern.num_edges()) <= h &&
+          pattern.num_edges() <= 3) {
+        // Every (extension, intersection) pair a dispersion-guided path
+        // walk over this pattern can request. AllEdges is a contiguous
+        // low-bit mask, so every i < all is a proper subset.
+        const query::EdgeSet all = pattern.AllEdges();
+        for (query::EdgeSet i = 0; i < all; ++i) {
+          const std::string pair_code = dispersion_key(pattern, i);
+          if (!pair_code.empty() &&
+              seen_dispersion.insert(pair_code).second) {
+            dispersion_pairs.emplace_back(pattern, i);
+          }
+        }
+      }
+      if (options.markov && static_cast<int>(pattern.num_edges()) <= h &&
+          seen_markov.insert(code).second) {
+        markov_patterns.push_back(std::move(pattern));
+      }
+    }
+    if (options.degree) {
+      for (const query::QueryEdge& e : q.edges()) {
+        if (seen_labels.insert(e.label).second) labels.push_back(e.label);
+      }
+    }
+    if (options.closing_rates) {
+      for (const stats::ClosingKey& key : ceg::EnumerateClosingKeys(q, h)) {
+        if (seen_keys.insert(key).second) closing_keys.push_back(key);
+      }
+    }
+  }
+
+  report.markov_patterns = markov_patterns.size();
+  report.two_join_patterns = two_join_patterns.size();
+  report.dispersion_pairs = dispersion_pairs.size();
+  report.base_relations = labels.size();
+  report.closing_keys = closing_keys.size();
+
+  // Resolve the shared structures once, before spawning workers (the lazy
+  // accessors themselves are thread-safe, but constructing eagerly keeps
+  // worker tasks free of the context mutex).
+  const stats::MarkovTable* markov_table =
+      options.markov ? &markov() : nullptr;
+  const stats::StatsCatalog* catalog =
+      (options.degree || options.two_joins) ? &stats_catalog() : nullptr;
+  const stats::CycleClosingRates* rates =
+      options.closing_rates ? &cycle_closing_rates() : nullptr;
+  const stats::DispersionCatalog* dispersion =
+      options.dispersion ? &dispersion_catalog() : nullptr;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(markov_patterns.size() + two_join_patterns.size() +
+                dispersion_pairs.size() + labels.size() +
+                closing_keys.size());
+  for (const query::QueryGraph& pattern : markov_patterns) {
+    tasks.emplace_back(
+        [markov_table, &pattern] { (void)markov_table->Cardinality(pattern); });
+  }
+  for (const query::QueryGraph& pattern : two_join_patterns) {
+    tasks.emplace_back([catalog, &pattern] { (void)catalog->TwoJoin(pattern); });
+  }
+  for (const auto& [pattern, intersection] : dispersion_pairs) {
+    const query::QueryGraph* p = &pattern;
+    const query::EdgeSet i = intersection;
+    tasks.emplace_back([dispersion, p, i] { (void)dispersion->Get(*p, i); });
+  }
+  for (graph::Label l : labels) {
+    tasks.emplace_back([catalog, l] { (void)catalog->BaseRelation(l); });
+  }
+  for (const stats::ClosingKey& key : closing_keys) {
+    tasks.emplace_back([rates, &key] { (void)rates->Rate(key); });
+  }
+
+  harness::RunnerOptions runner_options;
+  runner_options.num_threads = options.num_threads;
+  harness::WorkloadRunner(runner_options)
+      .ForEachIndex(tasks.size(), [&](size_t i) { tasks[i](); });
+
+  if (options.summaries) {
+    // Eager whole-graph summaries; built serially (each is one pass over
+    // the graph and they are only two).
+    (void)characteristic_sets();
+    (void)summary_graph();
+  }
+
+  report.seconds = Now() - t0;
+  return report;
+}
+
+}  // namespace cegraph::engine

@@ -1,0 +1,462 @@
+#include "engine/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "engine/estimation_context.h"
+#include "util/serde.h"
+
+namespace cegraph::engine {
+
+namespace {
+
+using util::serde::Reader;
+using util::serde::Writer;
+
+util::StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::NotFoundError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return util::InternalError("read error on " + path);
+  return std::move(buffer).str();
+}
+
+util::Status WriteFileBytes(const std::string& path,
+                            const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::InternalError("cannot open " + path + " for write");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return util::InternalError("write error on " + path);
+  return util::Status::OK();
+}
+
+void WriteFingerprint(Writer& writer, const graph::GraphFingerprint& fp) {
+  writer.WriteU32(fp.num_vertices);
+  writer.WriteU32(fp.num_labels);
+  writer.WriteU32(fp.num_vertex_labels);
+  writer.WriteU64(fp.num_edges);
+  writer.WriteU64(fp.edge_hash);
+}
+
+util::StatusOr<graph::GraphFingerprint> ReadFingerprint(Reader& reader) {
+  graph::GraphFingerprint fp;
+  auto num_vertices = reader.ReadU32();
+  if (!num_vertices.ok()) return num_vertices.status();
+  auto num_labels = reader.ReadU32();
+  if (!num_labels.ok()) return num_labels.status();
+  auto num_vertex_labels = reader.ReadU32();
+  if (!num_vertex_labels.ok()) return num_vertex_labels.status();
+  auto num_edges = reader.ReadU64();
+  if (!num_edges.ok()) return num_edges.status();
+  auto edge_hash = reader.ReadU64();
+  if (!edge_hash.ok()) return edge_hash.status();
+  fp.num_vertices = *num_vertices;
+  fp.num_labels = *num_labels;
+  fp.num_vertex_labels = *num_vertex_labels;
+  fp.num_edges = *num_edges;
+  fp.edge_hash = *edge_hash;
+  return fp;
+}
+
+/// The options block a context would stamp into a snapshot it saves.
+SnapshotOptions OptionsOf(const ContextOptions& options) {
+  SnapshotOptions out;
+  out.markov_h = static_cast<uint32_t>(options.markov_h);
+  out.summary_buckets = options.summary_buckets;
+  out.stats_materialize_cap = options.stats_materialize_cap;
+  out.cc_walks_per_key =
+      static_cast<uint32_t>(options.cycle_closing.walks_per_key);
+  out.cc_max_attempt_factor =
+      static_cast<uint32_t>(options.cycle_closing.max_attempt_factor);
+  out.cc_max_mid_hops =
+      static_cast<uint32_t>(options.cycle_closing.max_mid_hops);
+  out.cc_seed = options.cycle_closing.seed;
+  return out;
+}
+
+void WriteOptions(Writer& writer, const SnapshotOptions& options) {
+  writer.WriteU32(options.markov_h);
+  writer.WriteU32(options.summary_buckets);
+  writer.WriteU64(options.stats_materialize_cap);
+  writer.WriteU32(options.cc_walks_per_key);
+  writer.WriteU32(options.cc_max_attempt_factor);
+  writer.WriteU32(options.cc_max_mid_hops);
+  writer.WriteU64(options.cc_seed);
+}
+
+util::StatusOr<SnapshotOptions> ReadOptions(Reader& reader) {
+  SnapshotOptions out;
+  auto markov_h = reader.ReadU32();
+  if (!markov_h.ok()) return markov_h.status();
+  auto buckets = reader.ReadU32();
+  if (!buckets.ok()) return buckets.status();
+  auto cap = reader.ReadU64();
+  if (!cap.ok()) return cap.status();
+  auto walks = reader.ReadU32();
+  if (!walks.ok()) return walks.status();
+  auto attempts = reader.ReadU32();
+  if (!attempts.ok()) return attempts.status();
+  auto mid_hops = reader.ReadU32();
+  if (!mid_hops.ok()) return mid_hops.status();
+  auto seed = reader.ReadU64();
+  if (!seed.ok()) return seed.status();
+  out.markov_h = *markov_h;
+  out.summary_buckets = *buckets;
+  out.stats_materialize_cap = *cap;
+  out.cc_walks_per_key = *walks;
+  out.cc_max_attempt_factor = *attempts;
+  out.cc_max_mid_hops = *mid_hops;
+  out.cc_seed = *seed;
+  return out;
+}
+
+/// Validates magic + version and reads the fixed header; on success the
+/// reader is positioned at the section count.
+util::StatusOr<SnapshotInfo> ReadHeader(Reader& reader) {
+  auto magic = reader.ReadRaw(8);
+  if (!magic.ok()) return magic.status();
+  if (std::memcmp(magic->data(), kSnapshotMagic, 8) != 0) {
+    return util::InvalidArgumentError("not a cegraph summary snapshot");
+  }
+  SnapshotInfo info;
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kSnapshotVersion) {
+    return util::InvalidArgumentError(
+        "unsupported snapshot version " + std::to_string(*version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  info.version = *version;
+  auto fp = ReadFingerprint(reader);
+  if (!fp.ok()) return fp.status();
+  info.fingerprint = *fp;
+  auto options = ReadOptions(reader);
+  if (!options.ok()) return options.status();
+  info.options = *options;
+  return info;
+}
+
+std::string DescribeFingerprint(const graph::GraphFingerprint& fp) {
+  std::ostringstream out;
+  out << fp.num_vertices << "V/" << fp.num_labels << "L/" << fp.num_edges
+      << "E/hash=" << std::hex << fp.edge_hash;
+  return std::move(out).str();
+}
+
+}  // namespace
+
+const char* SnapshotSectionName(uint32_t id) {
+  switch (static_cast<SnapshotSection>(id)) {
+    case SnapshotSection::kMarkov:
+      return "markov";
+    case SnapshotSection::kClosingRates:
+      return "closing-rates";
+    case SnapshotSection::kDegreeCatalog:
+      return "degree-catalog";
+    case SnapshotSection::kCharSets:
+      return "char-sets";
+    case SnapshotSection::kSummaryGraph:
+      return "summary-graph";
+    case SnapshotSection::kDispersion:
+      return "dispersion";
+  }
+  return "unknown";
+}
+
+util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  Reader reader(*bytes);
+  auto info = ReadHeader(reader);
+  if (!info.ok()) return info.status();
+  info->file_bytes = bytes->size();
+
+  auto section_count = reader.ReadU32();
+  if (!section_count.ok()) return section_count.status();
+  for (uint32_t s = 0; s < *section_count; ++s) {
+    auto id = reader.ReadU32();
+    if (!id.ok()) return id.status();
+    auto length = reader.ReadU64();
+    if (!length.ok()) return length.status();
+    auto payload = reader.ReadRaw(static_cast<size_t>(*length));
+    if (!payload.ok()) return payload.status();
+
+    SnapshotSectionInfo section;
+    section.id = *id;
+    section.name = SnapshotSectionName(*id);
+    section.payload_bytes = *length;
+    // Every known section's payload leads with its entry count, except
+    // markov (u32 h first) and char-sets / summary-graph (a u32 shape
+    // field first).
+    Reader sub(*payload);
+    switch (static_cast<SnapshotSection>(*id)) {
+      case SnapshotSection::kMarkov: {
+        auto h = sub.ReadU32();
+        if (!h.ok()) return h.status();
+        section.markov_h = *h;
+        auto entries = sub.ReadU64();
+        if (!entries.ok()) return entries.status();
+        section.entries = *entries;
+        break;
+      }
+      case SnapshotSection::kCharSets:
+      case SnapshotSection::kSummaryGraph: {
+        auto shape = sub.ReadU32();
+        if (!shape.ok()) return shape.status();
+        auto entries = sub.ReadU64();
+        if (!entries.ok()) return entries.status();
+        section.entries = *entries;
+        break;
+      }
+      case SnapshotSection::kClosingRates:
+      case SnapshotSection::kDegreeCatalog:
+      case SnapshotSection::kDispersion: {
+        auto entries = sub.ReadU64();
+        if (!entries.ok()) return entries.status();
+        section.entries = *entries;
+        break;
+      }
+      default:
+        break;  // unknown section: size only
+    }
+    info->sections.push_back(std::move(section));
+  }
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError("trailing bytes after last section");
+  }
+  return *info;
+}
+
+util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
+  // Collect stable pointers to everything built so far. The pointees are
+  // owned by unique_ptrs that are never reset, and each Export takes its
+  // own cache lock, so serialization can proceed outside the context
+  // mutex (concurrent fills land either before or after the export —
+  // both are consistent snapshots).
+  std::vector<std::pair<int, const stats::MarkovTable*>> markovs;
+  const stats::CycleClosingRates* rates = nullptr;
+  const stats::StatsCatalog* catalog = nullptr;
+  const stats::CharacteristicSets* char_sets = nullptr;
+  const stats::SummaryGraph* summary = nullptr;
+  const stats::DispersionCatalog* dispersion = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [h, table] : markov_) markovs.emplace_back(h, table.get());
+    rates = rates_.get();
+    catalog = catalog_.get();
+    char_sets = char_sets_.get();
+    summary = summary_.get();
+    dispersion = dispersion_.get();
+  }
+
+  std::vector<std::pair<SnapshotSection, std::string>> sections;
+  for (const auto& [h, table] : markovs) {
+    Writer payload;
+    payload.WriteU32(static_cast<uint32_t>(h));
+    table->ExportEntries(payload);
+    sections.emplace_back(SnapshotSection::kMarkov, payload.TakeBuffer());
+  }
+  if (rates != nullptr) {
+    Writer payload;
+    rates->ExportEntries(payload);
+    sections.emplace_back(SnapshotSection::kClosingRates,
+                          payload.TakeBuffer());
+  }
+  if (catalog != nullptr) {
+    Writer payload;
+    catalog->ExportEntries(payload);
+    sections.emplace_back(SnapshotSection::kDegreeCatalog,
+                          payload.TakeBuffer());
+  }
+  if (char_sets != nullptr) {
+    Writer payload;
+    char_sets->Save(payload);
+    sections.emplace_back(SnapshotSection::kCharSets, payload.TakeBuffer());
+  }
+  if (summary != nullptr) {
+    Writer payload;
+    summary->Save(payload);
+    sections.emplace_back(SnapshotSection::kSummaryGraph,
+                          payload.TakeBuffer());
+  }
+  if (dispersion != nullptr) {
+    Writer payload;
+    dispersion->ExportEntries(payload);
+    sections.emplace_back(SnapshotSection::kDispersion, payload.TakeBuffer());
+  }
+
+  Writer writer;
+  writer.WriteRaw(std::string_view(kSnapshotMagic, 8));
+  writer.WriteU32(kSnapshotVersion);
+  WriteFingerprint(writer, g_.fingerprint());
+  WriteOptions(writer, OptionsOf(options_));
+  writer.WriteU32(static_cast<uint32_t>(sections.size()));
+  for (const auto& [id, payload] : sections) {
+    writer.WriteU32(static_cast<uint32_t>(id));
+    writer.WriteU64(payload.size());
+    writer.WriteRaw(payload);
+  }
+  return WriteFileBytes(path, writer.buffer());
+}
+
+util::Status EstimationContext::LoadSnapshot(const std::string& path) const {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  Reader reader(*bytes);
+  auto info = ReadHeader(reader);
+  if (!info.ok()) return info.status();
+  if (!(info->fingerprint == g_.fingerprint())) {
+    return util::FailedPreconditionError(
+        "snapshot fingerprint mismatch: snapshot built for " +
+        DescribeFingerprint(info->fingerprint) + ", context graph is " +
+        DescribeFingerprint(g_.fingerprint()));
+  }
+  // Reject statistics computed under different construction knobs: they
+  // would merge cleanly but answer wrongly (e.g. over-cap verdicts from a
+  // smaller materialize cap, rates from a different sampling setup, a
+  // summary with a different bucket target). markov_h is exempt — Markov
+  // sections carry their own h and their entries are exact counts.
+  SnapshotOptions expected = OptionsOf(options_);
+  SnapshotOptions actual = info->options;
+  expected.markov_h = 0;
+  actual.markov_h = 0;
+  if (!(expected == actual)) {
+    return util::FailedPreconditionError(
+        "snapshot built under different context options (summary buckets " +
+        std::to_string(info->options.summary_buckets) + "/" +
+        std::to_string(options_.summary_buckets) + ", materialize cap " +
+        std::to_string(info->options.stats_materialize_cap) + "/" +
+        std::to_string(options_.stats_materialize_cap) +
+        ", cycle-closing sampling " +
+        std::to_string(info->options.cc_walks_per_key) + "x" +
+        std::to_string(info->options.cc_max_attempt_factor) + "/" +
+        std::to_string(info->options.cc_max_mid_hops) + " seed " +
+        std::to_string(info->options.cc_seed) + ")");
+  }
+
+  auto section_count = reader.ReadU32();
+  if (!section_count.ok()) return section_count.status();
+  std::vector<std::pair<uint32_t, std::string>> sections;
+  sections.reserve(*section_count);
+  for (uint32_t s = 0; s < *section_count; ++s) {
+    auto id = reader.ReadU32();
+    if (!id.ok()) return id.status();
+    auto length = reader.ReadU64();
+    if (!length.ok()) return length.status();
+    auto payload = reader.ReadRaw(static_cast<size_t>(*length));
+    if (!payload.ok()) return payload.status();
+    sections.emplace_back(*id, std::move(*payload));
+  }
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError("trailing bytes after last section");
+  }
+
+  // Two-phase apply: the staging pass parses and validates every section
+  // into throwaway structures, so a snapshot that is corrupted mid-file
+  // never leaves partially imported entries in the live caches — a failed
+  // load keeps the context exactly as it was. Parsing is deterministic, so
+  // the live pass cannot fail where the staging pass succeeded.
+  struct Staging {
+    std::unique_ptr<stats::MarkovTable> markov;
+    stats::CycleClosingRates rates;
+    stats::StatsCatalog catalog;
+    stats::DispersionCatalog dispersion;
+    explicit Staging(const graph::Graph& g)
+        : rates(g), catalog(g), dispersion(g) {}
+  };
+  Staging staging(g_);
+  for (const bool dry_run : {true, false}) {
+    for (const auto& [id, payload] : sections) {
+      Reader sub(payload);
+      switch (static_cast<SnapshotSection>(id)) {
+        case SnapshotSection::kMarkov: {
+          auto h = sub.ReadU32();
+          if (!h.ok()) return h.status();
+          if (*h < 1 || *h > 16) {
+            return util::InvalidArgumentError(
+                "implausible Markov table size " + std::to_string(*h));
+          }
+          if (dry_run) {
+            staging.markov = std::make_unique<stats::MarkovTable>(
+                g_, static_cast<int>(*h));
+            CEGRAPH_RETURN_IF_ERROR(staging.markov->ImportEntries(sub));
+          } else {
+            auto table = TryMarkov(static_cast<int>(*h));
+            if (!table.ok()) return table.status();
+            CEGRAPH_RETURN_IF_ERROR((*table)->ImportEntries(sub));
+          }
+          break;
+        }
+        case SnapshotSection::kClosingRates:
+          CEGRAPH_RETURN_IF_ERROR(
+              (dry_run ? staging.rates : cycle_closing_rates())
+                  .ImportEntries(sub));
+          break;
+        case SnapshotSection::kDegreeCatalog:
+          CEGRAPH_RETURN_IF_ERROR(
+              (dry_run ? staging.catalog : stats_catalog())
+                  .ImportEntries(sub));
+          break;
+        case SnapshotSection::kCharSets: {
+          auto loaded = stats::CharacteristicSets::Load(sub);
+          if (!loaded.ok()) return loaded.status();
+          if (loaded->num_graph_vertices() != g_.num_vertices()) {
+            return util::InvalidArgumentError(
+                "characteristic-set summary built over a different vertex "
+                "count");
+          }
+          if (!dry_run) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            // Adopt only if not yet built: estimators may already hold a
+            // reference to an eagerly built summary, and the loaded one
+            // is identical by construction determinism anyway.
+            if (char_sets_ == nullptr) {
+              char_sets_ = std::make_unique<stats::CharacteristicSets>(
+                  std::move(*loaded));
+            }
+          }
+          break;
+        }
+        case SnapshotSection::kSummaryGraph: {
+          auto loaded = stats::SummaryGraph::Load(sub);
+          if (!loaded.ok()) return loaded.status();
+          // The SumRDF estimator indexes superedge tables by data-graph
+          // label, so a summary whose label space does not match the
+          // context graph would be undefined behavior, not just wrong.
+          if (loaded->num_labels() != g_.num_labels()) {
+            return util::InvalidArgumentError(
+                "summary graph built over a different label count");
+          }
+          if (!dry_run) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (summary_ == nullptr) {
+              summary_ = std::make_unique<stats::SummaryGraph>(
+                  std::move(*loaded));
+            }
+          }
+          break;
+        }
+        case SnapshotSection::kDispersion:
+          CEGRAPH_RETURN_IF_ERROR(
+              (dry_run ? staging.dispersion : dispersion_catalog())
+                  .ImportEntries(sub));
+          break;
+        default:
+          continue;  // unknown section: written by a newer build, skip
+      }
+      if (!sub.AtEnd()) {
+        return util::InvalidArgumentError(
+            std::string("section ") + SnapshotSectionName(id) +
+            " has trailing bytes (corrupted snapshot)");
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace cegraph::engine

@@ -1,0 +1,97 @@
+#ifndef CEGRAPH_ENGINE_SNAPSHOT_H_
+#define CEGRAPH_ENGINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace cegraph::engine {
+
+/// The summary-snapshot file format (version 1), written by
+/// EstimationContext::SaveSnapshot and the `cegraph_stats` CLI. All
+/// integers are little-endian (util::serde):
+///
+///   magic            8 bytes, "CEGSNAP1"
+///   version          u32 (= 1)
+///   fingerprint      u32 num_vertices, u32 num_labels,
+///                    u32 num_vertex_labels, u64 num_edges, u64 edge_hash
+///   options          SnapshotOptions (see below)
+///   section_count    u32
+///   sections         section_count × { u32 id, u64 payload_bytes, payload }
+///
+/// Section payloads are produced by each statistics structure's own
+/// ExportEntries/Save; unknown section ids are skipped on load, so newer
+/// writers stay readable by older readers. Loads are double-guarded: the
+/// fingerprint ties a snapshot to the exact graph it was built from, and
+/// the options block ties it to the construction knobs that shape the
+/// stored statistics' *values* — entries computed under a different
+/// materialize cap, bucket count or sampling setup would load cleanly but
+/// answer wrongly, so those are rejected too.
+inline constexpr char kSnapshotMagic[] = "CEGSNAP1";  // 8 chars + NUL
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// The context options echoed into the header: everything that changes the
+/// content (not just the coverage) of stored statistics. markov_h is
+/// informational only — Markov sections carry their own h and entries are
+/// exact counts, so cross-h reuse is safe; the other fields must match the
+/// loading context exactly.
+struct SnapshotOptions {
+  uint32_t markov_h = 0;              ///< context default (informational)
+  uint32_t summary_buckets = 0;       ///< SumRDF bucket target
+  uint64_t stats_materialize_cap = 0; ///< two-join over-cap threshold
+  uint32_t cc_walks_per_key = 0;      ///< cycle-closing sampling
+  uint32_t cc_max_attempt_factor = 0;
+  uint32_t cc_max_mid_hops = 0;
+  uint64_t cc_seed = 0;
+
+  friend bool operator==(const SnapshotOptions&,
+                         const SnapshotOptions&) = default;
+};
+
+/// Section identifiers of format version 1.
+enum class SnapshotSection : uint32_t {
+  kMarkov = 1,        ///< u32 h + MarkovTable::ExportEntries (one per h)
+  kClosingRates = 2,  ///< CycleClosingRates::ExportEntries
+  kDegreeCatalog = 3, ///< StatsCatalog::ExportEntries
+  kCharSets = 4,      ///< CharacteristicSets::Save
+  kSummaryGraph = 5,  ///< SummaryGraph::Save
+  kDispersion = 6,    ///< DispersionCatalog::ExportEntries
+};
+
+/// Human-readable name for a section id ("markov", "closing-rates", ...);
+/// "unknown" for ids this build does not recognize.
+const char* SnapshotSectionName(uint32_t id);
+
+/// One section as seen by `cegraph_stats inspect`: its id, size on disk,
+/// and entry count (groups for char-sets, buckets for the summary graph,
+/// cache entries otherwise).
+struct SnapshotSectionInfo {
+  uint32_t id = 0;
+  std::string name;
+  uint64_t payload_bytes = 0;
+  uint64_t entries = 0;
+  /// Only meaningful for kMarkov sections: the table size h.
+  uint32_t markov_h = 0;
+};
+
+/// Parsed snapshot header + section table, without applying anything to a
+/// context (and without needing the graph).
+struct SnapshotInfo {
+  uint32_t version = 0;
+  graph::GraphFingerprint fingerprint;
+  SnapshotOptions options;
+  uint64_t file_bytes = 0;
+  std::vector<SnapshotSectionInfo> sections;
+};
+
+/// Reads and validates the header and section table of the snapshot at
+/// `path`. Rejects bad magic/version and truncated files with the same
+/// errors LoadSnapshot would give.
+util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+}  // namespace cegraph::engine
+
+#endif  // CEGRAPH_ENGINE_SNAPSHOT_H_

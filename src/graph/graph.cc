@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/random.h"
+
 namespace cegraph::graph {
 
 util::StatusOr<Graph> Graph::Create(uint32_t num_vertices, uint32_t num_labels,
@@ -45,12 +47,17 @@ util::StatusOr<Graph> Graph::Create(uint32_t num_vertices, uint32_t num_labels,
     g.rel_size_[l] = g.rel_off_[l + 1] - g.rel_off_[l];
   }
 
+  // Both offset tables are flat label-major arrays: one allocation of
+  // num_labels * (num_vertices + 1) offsets each, instead of a vector per
+  // label.
+  const size_t stride = static_cast<size_t>(num_vertices) + 1;
+
   // Forward CSR straight from the (label, src, dst) sort order.
   g.fwd_dst_.resize(m);
-  g.fwd_off_.assign(num_labels, {});
+  g.fwd_off_.resize(static_cast<size_t>(num_labels) * stride);
   for (uint32_t l = 0; l < num_labels; ++l) {
-    auto& off = g.fwd_off_[l];
-    off.assign(num_vertices + 1, g.rel_off_[l]);
+    uint64_t* off = g.fwd_off_.data() + l * stride;
+    std::fill(off, off + stride, g.rel_off_[l]);
     for (uint64_t i = g.rel_off_[l]; i < g.rel_off_[l + 1]; ++i) {
       ++off[g.edges_[i].src + 1];
     }
@@ -72,21 +79,18 @@ util::StatusOr<Graph> Graph::Create(uint32_t num_vertices, uint32_t num_labels,
     return a.src < b.src;
   });
   g.bwd_src_.resize(m);
-  g.bwd_off_.assign(num_labels, {});
-  {
-    uint64_t i = 0;
-    for (uint32_t l = 0; l < num_labels; ++l) {
-      auto& off = g.bwd_off_[l];
-      off.assign(num_vertices + 1, g.rel_off_[l]);
-      for (uint64_t j = g.rel_off_[l]; j < g.rel_off_[l + 1]; ++j) {
-        ++off[by_dst[j].dst + 1];
-      }
-      for (uint32_t v = 0; v < num_vertices; ++v) {
-        off[v + 1] += off[v] - g.rel_off_[l];
-      }
-      for (uint64_t j = g.rel_off_[l]; j < g.rel_off_[l + 1]; ++j, ++i) {
-        g.bwd_src_[j] = by_dst[j].src;
-      }
+  g.bwd_off_.resize(static_cast<size_t>(num_labels) * stride);
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    uint64_t* off = g.bwd_off_.data() + l * stride;
+    std::fill(off, off + stride, g.rel_off_[l]);
+    for (uint64_t j = g.rel_off_[l]; j < g.rel_off_[l + 1]; ++j) {
+      ++off[by_dst[j].dst + 1];
+    }
+    for (uint32_t v = 0; v < num_vertices; ++v) {
+      off[v + 1] += off[v] - g.rel_off_[l];
+    }
+    for (uint64_t j = g.rel_off_[l]; j < g.rel_off_[l + 1]; ++j) {
+      g.bwd_src_[j] = by_dst[j].src;
     }
   }
 
@@ -96,17 +100,32 @@ util::StatusOr<Graph> Graph::Create(uint32_t num_vertices, uint32_t num_labels,
   g.distinct_src_.assign(num_labels, 0);
   g.distinct_dst_.assign(num_labels, 0);
   for (uint32_t l = 0; l < num_labels; ++l) {
+    const uint64_t* fwd = g.fwd_off_.data() + l * stride;
+    const uint64_t* bwd = g.bwd_off_.data() + l * stride;
     for (uint32_t v = 0; v < num_vertices; ++v) {
-      const uint32_t od =
-          static_cast<uint32_t>(g.fwd_off_[l][v + 1] - g.fwd_off_[l][v]);
-      const uint32_t id =
-          static_cast<uint32_t>(g.bwd_off_[l][v + 1] - g.bwd_off_[l][v]);
+      const uint32_t od = static_cast<uint32_t>(fwd[v + 1] - fwd[v]);
+      const uint32_t id = static_cast<uint32_t>(bwd[v + 1] - bwd[v]);
       g.max_out_degree_[l] = std::max(g.max_out_degree_[l], od);
       g.max_in_degree_[l] = std::max(g.max_in_degree_[l], id);
       if (od > 0) ++g.distinct_src_[l];
       if (id > 0) ++g.distinct_dst_[l];
     }
   }
+
+  // Fingerprint: a mixing chain over the sorted deduplicated edge list and
+  // the vertex labels. The sort above makes the hash independent of the
+  // caller's edge order.
+  g.fingerprint_.num_vertices = num_vertices;
+  g.fingerprint_.num_labels = num_labels;
+  g.fingerprint_.num_vertex_labels = g.num_vertex_labels_;
+  g.fingerprint_.num_edges = m;
+  uint64_t h = 0x5CE6'0000'0001ull ^ (uint64_t{num_vertices} << 32 | m);
+  for (const Edge& e : g.edges_) {
+    h = util::MixHash(h ^ (uint64_t{e.src} << 32 | e.dst));
+    h = util::MixHash(h ^ e.label);
+  }
+  for (VertexLabel vl : g.vertex_labels_) h = util::MixHash(h ^ vl);
+  g.fingerprint_.edge_hash = h;
 
   return g;
 }
@@ -117,12 +136,12 @@ std::span<const Edge> Graph::RelationEdges(Label l) const {
 }
 
 std::span<const VertexId> Graph::OutNeighbors(VertexId v, Label l) const {
-  const auto& off = fwd_off_[l];
+  const uint64_t* off = fwd_off_.data() + OffsetBase(l);
   return {fwd_dst_.data() + off[v], static_cast<size_t>(off[v + 1] - off[v])};
 }
 
 std::span<const VertexId> Graph::InNeighbors(VertexId v, Label l) const {
-  const auto& off = bwd_off_[l];
+  const uint64_t* off = bwd_off_.data() + OffsetBase(l);
   return {bwd_src_.data() + off[v], static_cast<size_t>(off[v + 1] - off[v])};
 }
 

@@ -34,6 +34,22 @@ struct Edge {
   friend bool operator==(const Edge& a, const Edge& b) = default;
 };
 
+/// A cheap structural identity of a graph: shape counts plus an
+/// order-independent 64-bit hash over the (deduplicated, sorted) edge list
+/// and vertex labels. Two graphs with equal fingerprints are the same
+/// dataset for statistics purposes; summary snapshots are guarded by it so
+/// stats built for one graph are never loaded against another.
+struct GraphFingerprint {
+  uint32_t num_vertices = 0;
+  uint32_t num_labels = 0;
+  uint32_t num_vertex_labels = 1;
+  uint64_t num_edges = 0;
+  uint64_t edge_hash = 0;
+
+  friend bool operator==(const GraphFingerprint&,
+                         const GraphFingerprint&) = default;
+};
+
 /// An immutable edge-labeled directed graph with per-label forward and
 /// backward adjacency (CSR), the storage substrate for every estimator in
 /// this library.
@@ -100,8 +116,19 @@ class Graph {
   /// Number of distinct vertex-label values (>= 1).
   uint32_t num_vertex_labels() const { return num_vertex_labels_; }
 
+  /// The graph's structural fingerprint, computed once at Create.
+  /// Deterministic across platforms (the edge list is sorted and the hash
+  /// is a fixed mixing chain), so it is safe to persist.
+  const GraphFingerprint& fingerprint() const { return fingerprint_; }
+
  private:
   Graph() = default;
+
+  /// Index into the flattened per-label offset arrays: label l's offsets
+  /// occupy the (num_vertices + 1)-sized slice starting at l * stride.
+  size_t OffsetBase(Label l) const {
+    return static_cast<size_t>(l) * (num_vertices_ + 1);
+  }
 
   uint32_t num_vertices_ = 0;
   uint32_t num_labels_ = 0;
@@ -111,13 +138,16 @@ class Graph {
   std::vector<Edge> edges_;
   std::vector<uint64_t> rel_off_;
 
-  // Forward CSR: for label l, fwd_off_[l][v]..fwd_off_[l][v+1] indexes into
+  // Forward CSR, flattened: one contiguous array of num_labels *
+  // (num_vertices + 1) offsets (label-major) instead of a vector per label
+  // — a single allocation, and the whole offset table is one relocatable
+  // block. fwd_off_[OffsetBase(l) + v] .. [.. + v + 1] indexes into
   // fwd_dst_ (global array aligned with edges_ order).
-  std::vector<std::vector<uint64_t>> fwd_off_;
+  std::vector<uint64_t> fwd_off_;
   std::vector<VertexId> fwd_dst_;
 
-  // Backward CSR, sorted by (label, dst, src).
-  std::vector<std::vector<uint64_t>> bwd_off_;
+  // Backward CSR, same flat layout, sorted by (label, dst, src).
+  std::vector<uint64_t> bwd_off_;
   std::vector<VertexId> bwd_src_;
 
   std::vector<VertexLabel> vertex_labels_;
@@ -128,6 +158,8 @@ class Graph {
   std::vector<uint32_t> max_in_degree_;
   std::vector<uint64_t> distinct_src_;
   std::vector<uint64_t> distinct_dst_;
+
+  GraphFingerprint fingerprint_;
 };
 
 }  // namespace cegraph::graph

@@ -176,4 +176,18 @@ std::vector<QueryTemplate> GCareCyclicTemplates() {
   return out;
 }
 
+util::StatusOr<std::vector<QueryTemplate>> SuiteTemplatesByName(
+    const std::string& name) {
+  if (name == "job") return JobLikeTemplates();
+  if (name == "acyclic") return AcyclicTemplates();
+  if (name == "cyclic") return CyclicTemplates();
+  if (name == "gcare-acyclic") return GCareAcyclicTemplates();
+  if (name == "gcare-cyclic") return GCareCyclicTemplates();
+  return util::NotFoundError("unknown workload suite \"" + name + "\"");
+}
+
+std::vector<std::string> SuiteNames() {
+  return {"job", "acyclic", "cyclic", "gcare-acyclic", "gcare-cyclic"};
+}
+
 }  // namespace cegraph::query

@@ -67,6 +67,17 @@ std::vector<QueryTemplate> GCareAcyclicTemplates();
 /// 6-edge flower, 6- and 9-edge petals.
 std::vector<QueryTemplate> GCareCyclicTemplates();
 
+/// The suite names benches and tools accept on the command line, mapped to
+/// the template sets above: "job", "acyclic", "cyclic", "gcare-acyclic",
+/// "gcare-cyclic". The single source of truth for that mapping — the
+/// figure benches (bench_common.h) and cegraph_stats both resolve through
+/// it. NotFound for unknown names.
+util::StatusOr<std::vector<QueryTemplate>> SuiteTemplatesByName(
+    const std::string& name);
+
+/// The accepted suite names, in display order.
+std::vector<std::string> SuiteNames();
+
 }  // namespace cegraph::query
 
 #endif  // CEGRAPH_QUERY_TEMPLATES_H_

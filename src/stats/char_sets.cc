@@ -23,6 +23,59 @@ CharacteristicSets::CharacteristicSets(const graph::Graph& g)
   for (auto& [cs, group] : by_set) groups_.push_back(std::move(group));
 }
 
+void CharacteristicSets::Save(util::serde::Writer& writer) const {
+  writer.WriteU32(num_vertices_);
+  writer.WriteU64(groups_.size());
+  for (const Group& group : groups_) {
+    writer.WriteU64(group.char_set.size());
+    for (graph::Label l : group.char_set) writer.WriteU32(l);
+    writer.WriteU64(group.vertex_count);
+    writer.WriteU64(group.label_edges.size());
+    for (const auto& [l, edges] : group.label_edges) {
+      writer.WriteU32(l);
+      writer.WriteU64(edges);
+    }
+  }
+}
+
+util::StatusOr<CharacteristicSets> CharacteristicSets::Load(
+    util::serde::Reader& reader) {
+  CharacteristicSets cs;
+  auto num_vertices = reader.ReadU32();
+  if (!num_vertices.ok()) return num_vertices.status();
+  cs.num_vertices_ = *num_vertices;
+  auto num_groups = reader.ReadU64();
+  if (!num_groups.ok()) return num_groups.status();
+  for (uint64_t gi = 0; gi < *num_groups; ++gi) {
+    Group group;
+    auto set_size = reader.ReadU64();
+    if (!set_size.ok()) return set_size.status();
+    for (uint64_t i = 0; i < *set_size; ++i) {
+      auto l = reader.ReadU32();
+      if (!l.ok()) return l.status();
+      group.char_set.insert(*l);
+    }
+    auto vertex_count = reader.ReadU64();
+    if (!vertex_count.ok()) return vertex_count.status();
+    group.vertex_count = *vertex_count;
+    auto num_edges = reader.ReadU64();
+    if (!num_edges.ok()) return num_edges.status();
+    for (uint64_t i = 0; i < *num_edges; ++i) {
+      auto l = reader.ReadU32();
+      if (!l.ok()) return l.status();
+      auto edges = reader.ReadU64();
+      if (!edges.ok()) return edges.status();
+      group.label_edges[*l] = *edges;
+    }
+    if (group.vertex_count == 0) {
+      return util::InvalidArgumentError("characteristic-set group with no "
+                                        "vertices");
+    }
+    cs.groups_.push_back(std::move(group));
+  }
+  return cs;
+}
+
 double CharacteristicSets::EstimateStar(
     const std::vector<graph::Label>& labels) const {
   // Count multiplicity per distinct label.

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/serde.h"
+#include "util/status.h"
 
 namespace cegraph::stats {
 
@@ -36,7 +38,17 @@ class CharacteristicSets {
   ///   |G| * prod_l (avg multiplicity of l in G)^{count(l)}.
   double EstimateStar(const std::vector<graph::Label>& labels) const;
 
+  /// Serializes the whole summary (it is eager, so unlike the lazy memo
+  /// caches this is a full Save, not an entry export).
+  void Save(util::serde::Writer& writer) const;
+
+  /// Reconstructs a summary previously written by Save. Fails on
+  /// truncated/corrupted input.
+  static util::StatusOr<CharacteristicSets> Load(util::serde::Reader& reader);
+
  private:
+  CharacteristicSets() : num_vertices_(0) {}
+
   uint32_t num_vertices_;
   std::vector<Group> groups_;
 };

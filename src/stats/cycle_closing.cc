@@ -1,5 +1,6 @@
 #include "stats/cycle_closing.h"
 
+#include <utility>
 #include <vector>
 
 namespace cegraph::stats {
@@ -12,15 +13,54 @@ using graph::VertexId;
 }  // namespace
 
 double CycleClosingRates::Rate(const ClosingKey& key) const {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+  // Sampling runs outside the cache lock; each key's walks derive a
+  // deterministic stream, so a race on a cold key recomputes the identical
+  // value.
+  return cache_.GetOrCompute(key, [&] { return Sample(key); });
+}
+
+void CycleClosingRates::ExportEntries(util::serde::Writer& writer) const {
+  std::vector<std::pair<ClosingKey, double>> entries;
+  entries.reserve(cache_.size());
+  cache_.ForEach([&](const ClosingKey& key, const double& rate) {
+    entries.emplace_back(key, rate);
+  });
+  writer.WriteU64(entries.size());
+  for (const auto& [key, rate] : entries) {
+    writer.WriteU32(key.first_label);
+    writer.WriteU32(key.last_label);
+    writer.WriteU32(key.close_label);
+    writer.WriteU8((key.first_forward ? 4 : 0) | (key.last_forward ? 2 : 0) |
+                   (key.close_from_end ? 1 : 0));
+    writer.WriteDouble(rate);
   }
-  const double rate = Sample(key);
-  std::lock_guard<std::mutex> lock(mutex_);
-  cache_.emplace(key, rate);
-  return rate;
+}
+
+util::Status CycleClosingRates::ImportEntries(
+    util::serde::Reader& reader) const {
+  auto count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+  for (uint64_t i = 0; i < *count; ++i) {
+    ClosingKey key;
+    auto first = reader.ReadU32();
+    if (!first.ok()) return first.status();
+    auto last = reader.ReadU32();
+    if (!last.ok()) return last.status();
+    auto close = reader.ReadU32();
+    if (!close.ok()) return close.status();
+    auto flags = reader.ReadU8();
+    if (!flags.ok()) return flags.status();
+    auto rate = reader.ReadDouble();
+    if (!rate.ok()) return rate.status();
+    key.first_label = *first;
+    key.last_label = *last;
+    key.close_label = *close;
+    key.first_forward = (*flags & 4) != 0;
+    key.last_forward = (*flags & 2) != 0;
+    key.close_from_end = (*flags & 1) != 0;
+    cache_.Insert(key, *rate);
+  }
+  return util::Status::OK();
 }
 
 double CycleClosingRates::Sample(const ClosingKey& key) const {

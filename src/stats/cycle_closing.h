@@ -2,11 +2,12 @@
 #define CEGRAPH_STATS_CYCLE_CLOSING_H_
 
 #include <cstdint>
-#include <mutex>
-#include <unordered_map>
 
 #include "graph/graph.h"
+#include "util/keyed_cache.h"
 #include "util/random.h"
+#include "util/serde.h"
+#include "util/status.h"
 
 namespace cegraph::stats {
 
@@ -81,18 +82,22 @@ class CycleClosingRates {
   /// cold key recomputes the identical value).
   double Rate(const ClosingKey& key) const;
 
-  size_t num_cached() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return cache_.size();
-  }
+  size_t num_cached() const { return cache_.size(); }
+
+  /// Serializes every sampled (key, rate) entry — the cycle-closing section
+  /// of a summary snapshot.
+  void ExportEntries(util::serde::Writer& writer) const;
+
+  /// Merges previously exported entries (existing entries win). Fails on
+  /// truncated/corrupted input.
+  util::Status ImportEntries(util::serde::Reader& reader) const;
 
  private:
   double Sample(const ClosingKey& key) const;
 
   const graph::Graph& g_;
   CycleClosingOptions options_;
-  mutable std::mutex mutex_;
-  mutable std::unordered_map<ClosingKey, double, ClosingKeyHash> cache_;
+  util::KeyedCache<ClosingKey, double, ClosingKeyHash> cache_;
 };
 
 }  // namespace cegraph::stats

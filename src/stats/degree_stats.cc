@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <utility>
 
 #include "matching/matcher.h"
 #include "query/subquery.h"
@@ -87,37 +88,29 @@ DegreeMap ComputeDegreeMap(
 }
 
 const DegreeMap& StatsCatalog::BaseRelation(graph::Label l) const {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = base_cache_.find(l);
-    if (it != base_cache_.end()) return it->second;
-  }
   // Compute outside the lock (check-compute-insert like every other memo
   // cache here); a race on a cold label recomputes the same values.
   // Local attributes: 0 = src (bit 1), 1 = dst (bit 2).
-  DegreeMap dm;
-  dm.num_attrs = 2;
-  dm.deg[0][0] = 1;
-  dm.deg[1][1] = 1;
-  dm.deg[2][2] = 1;
-  dm.deg[3][3] = 1;
-  dm.deg[0][1] = static_cast<double>(g_.NumDistinctSources(l));
-  dm.deg[0][2] = static_cast<double>(g_.NumDistinctDests(l));
-  dm.deg[0][3] = static_cast<double>(g_.RelationSize(l));
-  dm.deg[1][3] = static_cast<double>(g_.MaxOutDegree(l));
-  dm.deg[2][3] = static_cast<double>(g_.MaxInDegree(l));
-  std::lock_guard<std::mutex> lock(mutex_);
-  return base_cache_.try_emplace(l, dm).first->second;
+  return base_cache_.GetOrCompute(l, [&] {
+    DegreeMap dm;
+    dm.num_attrs = 2;
+    dm.deg[0][0] = 1;
+    dm.deg[1][1] = 1;
+    dm.deg[2][2] = 1;
+    dm.deg[3][3] = 1;
+    dm.deg[0][1] = static_cast<double>(g_.NumDistinctSources(l));
+    dm.deg[0][2] = static_cast<double>(g_.NumDistinctDests(l));
+    dm.deg[0][3] = static_cast<double>(g_.RelationSize(l));
+    dm.deg[1][3] = static_cast<double>(g_.MaxOutDegree(l));
+    dm.deg[2][3] = static_cast<double>(g_.MaxInDegree(l));
+    return dm;
+  });
 }
 
 const StatsCatalog::JoinStats* StatsCatalog::TwoJoin(
     const query::QueryGraph& pattern) const {
   const std::string key = pattern.CanonicalCode();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = join_cache_.find(key);
-    if (it != join_cache_.end()) return it->second.get();
-  }
+  if (const auto* hit = join_cache_.Find(key)) return hit->get();
 
   matching::Matcher matcher(g_);
   matching::MatchOptions options;
@@ -139,16 +132,167 @@ const StatsCatalog::JoinStats* StatsCatalog::TwoJoin(
         return true;
       });
   if (!status.ok() || over_cap) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    join_cache_.try_emplace(key, nullptr);
-    return nullptr;
+    return join_cache_.Insert(key, nullptr).get();
   }
   auto stats = std::make_unique<JoinStats>();
   stats->representative = pattern;
   stats->deg = ComputeDegreeMap(pattern.num_vertices(), tuples);
   stats->cardinality = static_cast<double>(tuples.size());
-  std::lock_guard<std::mutex> lock(mutex_);
-  return join_cache_.try_emplace(key, std::move(stats)).first->second.get();
+  return join_cache_.Insert(key, std::move(stats)).get();
+}
+
+namespace {
+
+void WriteDegreeMap(util::serde::Writer& writer, const DegreeMap& dm) {
+  writer.WriteU32(dm.num_attrs);
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) writer.WriteDouble(dm.deg[x][y]);
+  }
+}
+
+util::StatusOr<DegreeMap> ReadDegreeMap(util::serde::Reader& reader) {
+  DegreeMap dm;
+  auto num_attrs = reader.ReadU32();
+  if (!num_attrs.ok()) return num_attrs.status();
+  if (*num_attrs > 3) {
+    return util::InvalidArgumentError("degree map with > 3 attributes");
+  }
+  dm.num_attrs = *num_attrs;
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) {
+      auto v = reader.ReadDouble();
+      if (!v.ok()) return v.status();
+      dm.deg[x][y] = *v;
+    }
+  }
+  return dm;
+}
+
+void WriteQueryGraph(util::serde::Writer& writer, const QueryGraph& q) {
+  writer.WriteU32(q.num_vertices());
+  writer.WriteU32(q.num_edges());
+  for (const query::QueryEdge& e : q.edges()) {
+    writer.WriteU32(e.src);
+    writer.WriteU32(e.dst);
+    writer.WriteU32(e.label);
+  }
+  const bool constrained = q.has_vertex_constraints();
+  writer.WriteU32(constrained ? q.num_vertices() : 0);
+  if (constrained) {
+    for (QVertex v = 0; v < q.num_vertices(); ++v) {
+      writer.WriteU32(q.vertex_constraint(v));
+    }
+  }
+}
+
+util::StatusOr<QueryGraph> ReadQueryGraph(util::serde::Reader& reader) {
+  auto num_vertices = reader.ReadU32();
+  if (!num_vertices.ok()) return num_vertices.status();
+  auto num_edges = reader.ReadU32();
+  if (!num_edges.ok()) return num_edges.status();
+  // A cached pattern has at most a handful of edges; an absurd count is a
+  // corruption signature, caught before any allocation.
+  if (*num_vertices > 64 || *num_edges > 64) {
+    return util::InvalidArgumentError("implausible cached pattern size");
+  }
+  std::vector<query::QueryEdge> edges;
+  edges.reserve(*num_edges);
+  for (uint32_t i = 0; i < *num_edges; ++i) {
+    auto src = reader.ReadU32();
+    if (!src.ok()) return src.status();
+    auto dst = reader.ReadU32();
+    if (!dst.ok()) return dst.status();
+    auto label = reader.ReadU32();
+    if (!label.ok()) return label.status();
+    edges.push_back({*src, *dst, *label});
+  }
+  auto num_constraints = reader.ReadU32();
+  if (!num_constraints.ok()) return num_constraints.status();
+  if (*num_constraints != 0 && *num_constraints != *num_vertices) {
+    return util::InvalidArgumentError("constraint arity mismatch");
+  }
+  std::vector<graph::VertexLabel> constraints;
+  for (uint32_t i = 0; i < *num_constraints; ++i) {
+    auto c = reader.ReadU32();
+    if (!c.ok()) return c.status();
+    constraints.push_back(*c);
+  }
+  return QueryGraph::Create(*num_vertices, std::move(edges),
+                            std::move(constraints));
+}
+
+}  // namespace
+
+void StatsCatalog::ExportEntries(util::serde::Writer& writer) const {
+  std::vector<std::pair<graph::Label, DegreeMap>> bases;
+  bases.reserve(base_cache_.size());
+  base_cache_.ForEach([&](const graph::Label& l, const DegreeMap& dm) {
+    bases.emplace_back(l, dm);
+  });
+  writer.WriteU64(bases.size());
+  for (const auto& [l, dm] : bases) {
+    writer.WriteU32(l);
+    WriteDegreeMap(writer, dm);
+  }
+
+  // JoinStats pointers are node-stable, so collecting them under the lock
+  // and serializing outside is safe.
+  std::vector<std::pair<std::string, const JoinStats*>> joins;
+  joins.reserve(join_cache_.size());
+  join_cache_.ForEach(
+      [&](const std::string& key, const std::unique_ptr<JoinStats>& js) {
+        joins.emplace_back(key, js.get());
+      });
+  writer.WriteU64(joins.size());
+  for (const auto& [key, js] : joins) {
+    writer.WriteString(key);
+    writer.WriteU8(js != nullptr ? 1 : 0);  // 0 = over-cap verdict
+    if (js != nullptr) {
+      WriteQueryGraph(writer, js->representative);
+      WriteDegreeMap(writer, js->deg);
+      writer.WriteDouble(js->cardinality);
+    }
+  }
+}
+
+util::Status StatsCatalog::ImportEntries(util::serde::Reader& reader) const {
+  auto num_bases = reader.ReadU64();
+  if (!num_bases.ok()) return num_bases.status();
+  for (uint64_t i = 0; i < *num_bases; ++i) {
+    auto label = reader.ReadU32();
+    if (!label.ok()) return label.status();
+    auto dm = ReadDegreeMap(reader);
+    if (!dm.ok()) return dm.status();
+    if (*label >= g_.num_labels()) {
+      return util::InvalidArgumentError("base-relation label out of range");
+    }
+    base_cache_.Insert(*label, *dm);
+  }
+
+  auto num_joins = reader.ReadU64();
+  if (!num_joins.ok()) return num_joins.status();
+  for (uint64_t i = 0; i < *num_joins; ++i) {
+    auto key = reader.ReadString();
+    if (!key.ok()) return key.status();
+    auto has_stats = reader.ReadU8();
+    if (!has_stats.ok()) return has_stats.status();
+    if (*has_stats == 0) {
+      join_cache_.Insert(*key, nullptr);
+      continue;
+    }
+    auto representative = ReadQueryGraph(reader);
+    if (!representative.ok()) return representative.status();
+    auto dm = ReadDegreeMap(reader);
+    if (!dm.ok()) return dm.status();
+    auto cardinality = reader.ReadDouble();
+    if (!cardinality.ok()) return cardinality.status();
+    auto js = std::make_unique<JoinStats>();
+    js->representative = std::move(*representative);
+    js->deg = *dm;
+    js->cardinality = *cardinality;
+    join_cache_.Insert(*key, std::move(js));
+  }
+  return util::Status::OK();
 }
 
 util::StatusOr<DegreeStats> DegreeStats::Build(const StatsCatalog& catalog,

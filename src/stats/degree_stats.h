@@ -4,13 +4,13 @@
 #include <array>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
 #include "query/query_graph.h"
+#include "util/keyed_cache.h"
+#include "util/serde.h"
 #include "util/status.h"
 
 namespace cegraph::stats {
@@ -69,15 +69,26 @@ class StatsCatalog {
   /// ids through FindIsomorphism(pattern, result->representative).
   const JoinStats* TwoJoin(const query::QueryGraph& pattern) const;
 
+  size_t num_base_cached() const { return base_cache_.size(); }
+  size_t num_joins_cached() const { return join_cache_.size(); }
+
+  /// Serializes both memo caches (base-relation degree maps and
+  /// materialized two-join statistics, over-cap markers included) — the
+  /// degree-statistics section of a summary snapshot.
+  void ExportEntries(util::serde::Writer& writer) const;
+
+  /// Merges previously exported entries (existing entries win). Fails on
+  /// truncated/corrupted input.
+  util::Status ImportEntries(util::serde::Reader& reader) const;
+
  private:
   const graph::Graph& g_;
   uint64_t materialize_cap_;
-  /// Guards both caches; returned references/pointers stay valid because
-  /// unordered_map nodes are stable and entries are never erased.
-  mutable std::mutex mutex_;
-  mutable std::unordered_map<graph::Label, DegreeMap> base_cache_;
-  mutable std::unordered_map<std::string, std::unique_ptr<JoinStats>>
-      join_cache_;
+  /// Returned references/pointers stay valid because the caches never
+  /// erase (unordered_map node stability). A null JoinStats pointer is a
+  /// cached "too large to materialize" verdict.
+  util::KeyedCache<graph::Label, DegreeMap> base_cache_;
+  util::KeyedCache<std::string, std::unique_ptr<JoinStats>> join_cache_;
 };
 
 /// One statistics-bearing relation of a query, with attributes expressed as

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "matching/matcher.h"
@@ -43,11 +44,7 @@ util::StatusOr<ExtensionDispersion> DispersionCatalog::Get(
     if (!marked_q.ok()) return marked_q.status();
     key = marked_q->CanonicalCode();
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-  }
+  if (const ExtensionDispersion* hit = cache_.Find(key)) return *hit;
 
   matching::Matcher matcher(g_);
   ExtensionDispersion result;
@@ -59,9 +56,7 @@ util::StatusOr<ExtensionDispersion> DispersionCatalog::Get(
     result.mean = *count;
     result.cv2 = 0;
     result.entropy = 1;
-    std::lock_guard<std::mutex> lock(mutex_);
-    cache_.emplace(key, result);
-    return result;
+    return cache_.Insert(key, result);
   }
 
   // Vertices of the intersection within the pattern.
@@ -124,9 +119,44 @@ util::StatusOr<ExtensionDispersion> DispersionCatalog::Get(
   // entropy 0.
   result.entropy =
       n_i > 1 ? std::min(1.0, entropy / std::log2(n_i)) : 1.0;
-  std::lock_guard<std::mutex> lock(mutex_);
-  cache_.emplace(key, result);
-  return result;
+  return cache_.Insert(key, result);
+}
+
+void DispersionCatalog::ExportEntries(util::serde::Writer& writer) const {
+  std::vector<std::pair<std::string, ExtensionDispersion>> entries;
+  entries.reserve(cache_.size());
+  cache_.ForEach([&](const std::string& key, const ExtensionDispersion& d) {
+    entries.emplace_back(key, d);
+  });
+  writer.WriteU64(entries.size());
+  for (const auto& [key, d] : entries) {
+    writer.WriteString(key);
+    writer.WriteDouble(d.mean);
+    writer.WriteDouble(d.cv2);
+    writer.WriteDouble(d.entropy);
+  }
+}
+
+util::Status DispersionCatalog::ImportEntries(
+    util::serde::Reader& reader) const {
+  auto count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto key = reader.ReadString();
+    if (!key.ok()) return key.status();
+    ExtensionDispersion d;
+    auto mean = reader.ReadDouble();
+    if (!mean.ok()) return mean.status();
+    auto cv2 = reader.ReadDouble();
+    if (!cv2.ok()) return cv2.status();
+    auto entropy = reader.ReadDouble();
+    if (!entropy.ok()) return entropy.status();
+    d.mean = *mean;
+    d.cv2 = *cv2;
+    d.entropy = *entropy;
+    cache_.Insert(*key, d);
+  }
+  return util::Status::OK();
 }
 
 }  // namespace cegraph::stats

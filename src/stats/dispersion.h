@@ -1,12 +1,12 @@
 #ifndef CEGRAPH_STATS_DISPERSION_H_
 #define CEGRAPH_STATS_DISPERSION_H_
 
-#include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "graph/graph.h"
 #include "query/query_graph.h"
+#include "util/keyed_cache.h"
+#include "util/serde.h"
 #include "util/status.h"
 
 namespace cegraph::stats {
@@ -53,16 +53,20 @@ class DispersionCatalog {
       const query::QueryGraph& pattern,
       query::EdgeSet intersection_edges) const;
 
-  size_t num_cached() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return cache_.size();
-  }
+  size_t num_cached() const { return cache_.size(); }
+
+  /// Serializes every cached (pattern class, dispersion) entry — the
+  /// dispersion section of a summary snapshot.
+  void ExportEntries(util::serde::Writer& writer) const;
+
+  /// Merges previously exported entries (existing entries win). Fails on
+  /// truncated/corrupted input.
+  util::Status ImportEntries(util::serde::Reader& reader) const;
 
  private:
   const graph::Graph& g_;
   uint64_t materialize_cap_;
-  mutable std::mutex mutex_;
-  mutable std::unordered_map<std::string, ExtensionDispersion> cache_;
+  util::KeyedCache<std::string, ExtensionDispersion> cache_;
 };
 
 }  // namespace cegraph::stats

@@ -1,5 +1,8 @@
 #include "stats/markov_table.h"
 
+#include <utility>
+#include <vector>
+
 namespace cegraph::stats {
 
 bool MarkovTable::Contains(const query::QueryGraph& pattern) const {
@@ -15,27 +18,20 @@ util::StatusOr<double> MarkovTable::Cardinality(
         "pattern not covered by this Markov table");
   }
   const std::string key = pattern.CanonicalCode();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-  }
+  if (const double* hit = cache_.Find(key)) return *hit;
   // Count outside the lock: exact matching dominates, and two threads
   // racing on the same cold pattern just compute the same value twice.
   auto count = matcher_.Count(pattern);
   if (!count.ok()) return count.status();
-  std::lock_guard<std::mutex> lock(mutex_);
-  cache_.emplace(key, *count);
-  return *count;
+  return cache_.Insert(key, *count);
 }
 
 size_t MarkovTable::ApproximateSizeBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (cache_.empty()) return 0;
+  if (cache_.size() == 0) return 0;
   // libstdc++-style hash node: next pointer + cached hash code per entry.
   constexpr size_t kNodeOverhead = 2 * sizeof(void*);
   size_t bytes = cache_.bucket_count() * sizeof(void*);
-  for (const auto& [key, value] : cache_) {
+  cache_.ForEach([&](const std::string& key, const double& value) {
     bytes += sizeof(key) + sizeof(value) + kNodeOverhead;
     // The key's characters live on the heap unless the small-string buffer
     // holds them (detected by whether data() points into the object).
@@ -43,8 +39,37 @@ size_t MarkovTable::ApproximateSizeBytes() const {
     const char* obj = reinterpret_cast<const char*>(&key);
     const bool small_string = data >= obj && data < obj + sizeof(key);
     if (!small_string) bytes += key.capacity() + 1;
-  }
+  });
   return bytes;
+}
+
+void MarkovTable::ExportEntries(util::serde::Writer& writer) const {
+  // Snapshot the entries first (ForEach holds the cache lock; writing while
+  // holding it would be fine too, but keeping the critical section minimal
+  // matches the rest of the library).
+  std::vector<std::pair<std::string, double>> entries;
+  entries.reserve(cache_.size());
+  cache_.ForEach([&](const std::string& key, const double& value) {
+    entries.emplace_back(key, value);
+  });
+  writer.WriteU64(entries.size());
+  for (const auto& [key, value] : entries) {
+    writer.WriteString(key);
+    writer.WriteDouble(value);
+  }
+}
+
+util::Status MarkovTable::ImportEntries(util::serde::Reader& reader) const {
+  auto count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto key = reader.ReadString();
+    if (!key.ok()) return key.status();
+    auto value = reader.ReadDouble();
+    if (!value.ok()) return value.status();
+    cache_.Insert(*key, *value);
+  }
+  return util::Status::OK();
 }
 
 }  // namespace cegraph::stats

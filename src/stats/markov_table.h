@@ -1,13 +1,13 @@
 #ifndef CEGRAPH_STATS_MARKOV_TABLE_H_
 #define CEGRAPH_STATS_MARKOV_TABLE_H_
 
-#include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "graph/graph.h"
 #include "matching/matcher.h"
 #include "query/query_graph.h"
+#include "util/keyed_cache.h"
+#include "util/serde.h"
 #include "util/status.h"
 
 namespace cegraph::stats {
@@ -46,10 +46,16 @@ class MarkovTable {
 
   /// Number of memoized entries (the "Markov table size" the paper reports
   /// in MBs; each entry is one pattern cardinality).
-  size_t num_entries() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return cache_.size();
-  }
+  size_t num_entries() const { return cache_.size(); }
+
+  /// Serializes every memoized (canonical code, cardinality) entry — the
+  /// Markov section of a summary snapshot.
+  void ExportEntries(util::serde::Writer& writer) const;
+
+  /// Merges previously exported entries into the memo cache (existing
+  /// entries win, though for one graph the values are identical by
+  /// construction). Fails on truncated/corrupted input.
+  util::Status ImportEntries(util::serde::Reader& reader) const;
 
   /// Approximate resident size of the table in bytes. The paper reports
   /// < 0.6 MB for any workload-dataset combination at h <= 3; this accessor
@@ -64,8 +70,7 @@ class MarkovTable {
   const graph::Graph& g_;
   matching::Matcher matcher_;
   int h_;
-  mutable std::mutex mutex_;
-  mutable std::unordered_map<std::string, double> cache_;
+  util::KeyedCache<std::string, double> cache_;
 };
 
 }  // namespace cegraph::stats

@@ -49,6 +49,87 @@ SummaryGraph::SummaryGraph(const graph::Graph& g, uint32_t target_buckets,
   }
 }
 
+void SummaryGraph::RebuildInEdges() {
+  const uint32_t buckets = num_buckets();
+  in_.assign(num_labels_,
+             std::vector<std::vector<std::pair<uint32_t, double>>>(buckets));
+  // Iterating b1 in ascending order keeps each in_[label][b2] list sorted
+  // by source bucket, matching the construction order of the eager path.
+  for (graph::Label l = 0; l < num_labels_; ++l) {
+    for (uint32_t b1 = 0; b1 < buckets; ++b1) {
+      for (const auto& [b2, w] : out_[l][b1]) {
+        in_[l][b2].emplace_back(b1, w);
+      }
+    }
+  }
+}
+
+void SummaryGraph::Save(util::serde::Writer& writer) const {
+  writer.WriteU32(num_labels_);
+  writer.WriteU64(bucket_size_.size());
+  for (uint64_t size : bucket_size_) writer.WriteU64(size);
+  for (graph::Label l = 0; l < num_labels_; ++l) {
+    for (uint32_t b1 = 0; b1 < num_buckets(); ++b1) {
+      const auto& edges = out_[l][b1];
+      writer.WriteU64(edges.size());
+      for (const auto& [b2, w] : edges) {
+        writer.WriteU32(b2);
+        writer.WriteDouble(w);
+      }
+    }
+  }
+}
+
+util::StatusOr<SummaryGraph> SummaryGraph::Load(util::serde::Reader& reader) {
+  SummaryGraph sg;
+  auto num_labels = reader.ReadU32();
+  if (!num_labels.ok()) return num_labels.status();
+  sg.num_labels_ = *num_labels;
+  auto num_buckets = reader.ReadU64();
+  if (!num_buckets.ok()) return num_buckets.status();
+  // Bound every count by what the remaining payload can actually hold
+  // before allocating: each bucket size is a u64 and each (label, bucket)
+  // adjacency list costs at least its u64 length prefix, so a corrupted
+  // count fails here with a clean error instead of attempting a
+  // gigabyte-scale allocation.
+  if (*num_buckets == 0 || *num_buckets > reader.remaining() / 8) {
+    return util::InvalidArgumentError("implausible summary bucket count");
+  }
+  sg.bucket_size_.reserve(*num_buckets);
+  for (uint64_t b = 0; b < *num_buckets; ++b) {
+    auto size = reader.ReadU64();
+    if (!size.ok()) return size.status();
+    sg.bucket_size_.push_back(*size);
+  }
+  const uint32_t buckets = sg.num_buckets();
+  if (sg.num_labels_ >
+      reader.remaining() / 8 / std::max<uint32_t>(1, buckets)) {
+    return util::InvalidArgumentError("implausible summary label count");
+  }
+  sg.out_.assign(sg.num_labels_,
+                 std::vector<std::vector<std::pair<uint32_t, double>>>(
+                     buckets));
+  for (graph::Label l = 0; l < sg.num_labels_; ++l) {
+    for (uint32_t b1 = 0; b1 < buckets; ++b1) {
+      auto count = reader.ReadU64();
+      if (!count.ok()) return count.status();
+      auto& edges = sg.out_[l][b1];
+      for (uint64_t i = 0; i < *count; ++i) {
+        auto b2 = reader.ReadU32();
+        if (!b2.ok()) return b2.status();
+        auto w = reader.ReadDouble();
+        if (!w.ok()) return w.status();
+        if (*b2 >= buckets) {
+          return util::InvalidArgumentError("superedge bucket out of range");
+        }
+        edges.emplace_back(*b2, *w);
+      }
+    }
+  }
+  sg.RebuildInEdges();
+  return sg;
+}
+
 double SummaryGraph::EdgeWeight(uint32_t b1, graph::Label label,
                                 uint32_t b2) const {
   for (const auto& [b, w] : out_[label][b1]) {

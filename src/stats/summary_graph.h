@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/serde.h"
+#include "util/status.h"
 
 namespace cegraph::stats {
 
@@ -43,7 +45,21 @@ class SummaryGraph {
 
   uint32_t num_labels() const { return num_labels_; }
 
+  /// Serializes the whole summary: bucket sizes and out-superedges (the
+  /// in-direction is rebuilt on load).
+  void Save(util::serde::Writer& writer) const;
+
+  /// Reconstructs a summary previously written by Save. Fails on
+  /// truncated/corrupted input.
+  static util::StatusOr<SummaryGraph> Load(util::serde::Reader& reader);
+
  private:
+  SummaryGraph() : num_labels_(0) {}
+
+  /// Rebuilds in_ as the transpose of out_ (both are kept so queries can
+  /// expand superedges in either direction without scanning).
+  void RebuildInEdges();
+
   uint32_t num_labels_;
   std::vector<uint64_t> bucket_size_;
   // out_[label][bucket] -> list of (dst bucket, weight).

@@ -1,0 +1,79 @@
+#ifndef CEGRAPH_UTIL_KEYED_CACHE_H_
+#define CEGRAPH_UTIL_KEYED_CACHE_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace cegraph::util {
+
+/// The one memo-cache shape shared by every statistics structure in this
+/// library: a mutex-guarded unordered_map with check-compute-insert
+/// semantics, where values are computed *outside* the lock (expensive exact
+/// matching / sampling must not serialize other readers) and the first
+/// completed insert wins. Entries are never erased, so returned references
+/// stay valid for the cache's lifetime (unordered_map node stability).
+///
+/// This replaces the hand-rolled mutex+map pair that used to be duplicated
+/// across MarkovTable, CycleClosingRates, StatsCatalog (twice),
+/// DispersionCatalog and friends, and is what gives all of them a uniform
+/// ExportEntries/ImportEntries surface for snapshot serialization.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class KeyedCache {
+ public:
+  KeyedCache() = default;
+  KeyedCache(const KeyedCache&) = delete;
+  KeyedCache& operator=(const KeyedCache&) = delete;
+
+  /// Returns the cached value for `key`, or nullptr. The pointer stays
+  /// valid as long as the cache lives (no erasure).
+  const Value* Find(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Inserts `value` under `key` unless present; returns the resident
+  /// value either way (first insert wins on a race).
+  const Value& Insert(const Key& key, Value value) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.try_emplace(key, std::move(value)).first->second;
+  }
+
+  /// The value for `key`, computing it with `compute()` outside the lock
+  /// on a miss. Two threads racing on a cold key may both compute; the
+  /// first insert wins (all compute functions here are deterministic, so
+  /// the loser's value is identical).
+  template <typename Fn>
+  const Value& GetOrCompute(const Key& key, Fn&& compute) const {
+    if (const Value* hit = Find(key)) return *hit;
+    return Insert(key, compute());
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  /// Bucket count of the underlying map (for resident-size accounting).
+  size_t bucket_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.bucket_count();
+  }
+
+  /// Calls `fn(key, value)` for every entry, under the lock — the uniform
+  /// export path. `fn` must not re-enter the cache.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, value] : map_) fn(key, value);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<Key, Value, Hash> map_;
+};
+
+}  // namespace cegraph::util
+
+#endif  // CEGRAPH_UTIL_KEYED_CACHE_H_

@@ -1,0 +1,99 @@
+#include "util/serde.h"
+
+#include <cstring>
+
+namespace cegraph::util::serde {
+
+void Writer::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Writer::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Writer::WriteDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void Writer::WriteString(std::string_view s) {
+  WriteU64(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+void Writer::WriteRaw(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+util::Status Reader::Require(size_t n) const {
+  if (bytes_.size() - pos_ < n) {
+    return util::OutOfRangeError(
+        "truncated input: need " + std::to_string(n) + " bytes at offset " +
+        std::to_string(pos_) + ", have " +
+        std::to_string(bytes_.size() - pos_));
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<uint8_t> Reader::ReadU8() {
+  CEGRAPH_RETURN_IF_ERROR(Require(1));
+  return static_cast<uint8_t>(bytes_[pos_++]);
+}
+
+util::StatusOr<uint32_t> Reader::ReadU32() {
+  CEGRAPH_RETURN_IF_ERROR(Require(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+util::StatusOr<uint64_t> Reader::ReadU64() {
+  CEGRAPH_RETURN_IF_ERROR(Require(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+util::StatusOr<double> Reader::ReadDouble() {
+  auto bits = ReadU64();
+  if (!bits.ok()) return bits.status();
+  double v = 0;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+util::StatusOr<std::string> Reader::ReadString() {
+  auto n = ReadU64();
+  if (!n.ok()) return n.status();
+  return ReadRaw(static_cast<size_t>(*n));
+}
+
+util::StatusOr<std::string> Reader::ReadRaw(size_t n) {
+  CEGRAPH_RETURN_IF_ERROR(Require(n));
+  std::string out(bytes_.substr(pos_, n));
+  pos_ += n;
+  return out;
+}
+
+util::Status Reader::Skip(size_t n) {
+  CEGRAPH_RETURN_IF_ERROR(Require(n));
+  pos_ += n;
+  return util::Status::OK();
+}
+
+}  // namespace cegraph::util::serde

@@ -1,0 +1,75 @@
+#ifndef CEGRAPH_UTIL_SERDE_H_
+#define CEGRAPH_UTIL_SERDE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cegraph::util::serde {
+
+/// Append-only little-endian binary encoder. The byte order is fixed (not
+/// host order) so snapshots written on one machine load on any other; every
+/// multi-byte value is composed bytewise, which also side-steps alignment.
+///
+/// The writer owns a growing byte buffer; call `buffer()` / `TakeBuffer()`
+/// to get the encoded bytes. Writing cannot fail (allocation aside), so the
+/// API is plain void — all error handling lives on the Reader side.
+class Writer {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  /// Doubles travel as their IEEE-754 bit pattern, so a value round-trips
+  /// bit-identically (the snapshot acceptance criterion).
+  void WriteDouble(double v);
+  /// Length-prefixed (u64) byte string.
+  void WriteString(std::string_view s);
+  /// Raw bytes, no length prefix (for magic numbers / nested payloads).
+  void WriteRaw(std::string_view bytes);
+
+  size_t size() const { return buffer_.size(); }
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range. Every
+/// read returns OutOfRange once the input is exhausted or a length prefix
+/// points past the end, so a truncated or corrupted snapshot is rejected
+/// with a clean Status instead of reading garbage. The underlying bytes
+/// must outlive the reader.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  util::StatusOr<uint8_t> ReadU8();
+  util::StatusOr<uint32_t> ReadU32();
+  util::StatusOr<uint64_t> ReadU64();
+  util::StatusOr<double> ReadDouble();
+  /// Length-prefixed string; fails if the prefix exceeds the remaining
+  /// bytes (the usual corruption signature).
+  util::StatusOr<std::string> ReadString();
+  /// Exactly `n` raw bytes.
+  util::StatusOr<std::string> ReadRaw(size_t n);
+  /// Advances past `n` bytes without materializing them.
+  util::Status Skip(size_t n);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  util::Status Require(size_t n) const;
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cegraph::util::serde
+
+#endif  // CEGRAPH_UTIL_SERDE_H_

@@ -1,0 +1,368 @@
+// Tests for the persistent summary-snapshot layer: Prewarm → SaveSnapshot →
+// LoadSnapshot round-trips reproduce bit-identical estimates for every
+// registry estimator, fingerprint-mismatched and corrupted files are
+// rejected cleanly, and the markov(h) validation satellite holds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+#include "graph/generators.h"
+#include "query/templates.h"
+#include "query/workload.h"
+#include "util/serde.h"
+
+namespace cegraph::engine {
+namespace {
+
+/// A unique temp path per test, removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_((std::filesystem::temp_directory_path() /
+               ("cegraph_test_" + stem + ".snap"))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+graph::Graph SmallGraph(uint64_t seed = 7) {
+  graph::GeneratorConfig config;
+  config.num_vertices = 400;
+  config.num_edges = 2400;
+  config.num_labels = 6;
+  config.seed = seed;
+  auto g = graph::GenerateGraph(config);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+std::vector<query::WorkloadQuery> SmallWorkload(const graph::Graph& g) {
+  query::WorkloadOptions options;
+  options.instances_per_template = 3;
+  options.seed = 99;
+  auto wl = query::GenerateWorkload(g,
+                                    {{"path2", query::PathShape(2)},
+                                     {"star2", query::StarShape(2)},
+                                     {"tri", query::CycleShape(3)},
+                                     {"cyc4", query::CycleShape(4)}},
+                                    options);
+  EXPECT_TRUE(wl.ok());
+  return std::move(wl).value();
+}
+
+/// Every estimate of every registered estimator over `workload`, as raw
+/// doubles (NaN marks a failed estimate so comparisons stay positional).
+std::vector<double> AllEstimates(
+    const EstimationEngine& engine,
+    const std::vector<query::WorkloadQuery>& workload) {
+  std::vector<double> out;
+  for (const std::string& name :
+       EstimatorRegistry::Default().RegisteredNames()) {
+    auto estimator = engine.Estimator(name);
+    EXPECT_TRUE(estimator.ok()) << name;
+    for (const query::WorkloadQuery& wq : workload) {
+      auto est = (*estimator)->Estimate(wq.query);
+      out.push_back(est.ok() ? *est
+                             : std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i])) {
+      EXPECT_TRUE(std::isnan(b[i])) << "index " << i;
+    } else {
+      EXPECT_EQ(a[i], b[i]) << "index " << i;  // exact, not approximate
+    }
+  }
+}
+
+TEST(SnapshotTest, RoundTripReproducesBitIdenticalEstimates) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  TempFile file("roundtrip");
+
+  // Build: prewarm (dispersion included so every section is exercised)
+  // and save.
+  EstimationEngine cold(g);
+  PrewarmOptions prewarm;
+  prewarm.num_threads = 2;
+  prewarm.dispersion = true;
+  const PrewarmReport report = cold.context().Prewarm(workload, prewarm);
+  EXPECT_GT(report.markov_patterns, 0u);
+  EXPECT_GT(report.base_relations, 0u);
+  EXPECT_GT(report.closing_keys, 0u);  // workload has 4-cycles, h = 2
+  ASSERT_TRUE(cold.context().SaveSnapshot(file.path()).ok());
+  const std::vector<double> cold_estimates = AllEstimates(cold, workload);
+
+  // Load into a fresh context and compare every estimator's estimates.
+  EstimationEngine warm(g);
+  auto loaded = warm.context().LoadSnapshot(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded;
+  ExpectBitIdentical(AllEstimates(warm, workload), cold_estimates);
+}
+
+TEST(SnapshotTest, PrewarmCoversEveryOptimisticLookup) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  EstimationEngine engine(g);
+  engine.context().Prewarm(workload);
+  const size_t markov_entries = engine.context().markov().num_entries();
+  const size_t closing_entries =
+      engine.context().cycle_closing_rates().num_cached();
+  ASSERT_GT(markov_entries, 0u);
+
+  // Running the optimistic suites must not add a single cache entry:
+  // prewarm enumerated everything they can touch.
+  for (const char* name : {"max-hop-max", "all-hops-avg", "min-hop-min",
+                           "max-hop-max@ocr", "molp", "molp+2j"}) {
+    auto estimator = engine.Estimator(name);
+    ASSERT_TRUE(estimator.ok()) << name;
+    for (const query::WorkloadQuery& wq : workload) {
+      (void)(*estimator)->Estimate(wq.query);
+    }
+  }
+  EXPECT_EQ(engine.context().markov().num_entries(), markov_entries);
+  EXPECT_EQ(engine.context().cycle_closing_rates().num_cached(),
+            closing_entries);
+}
+
+TEST(SnapshotTest, InspectReportsSections) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  TempFile file("inspect");
+  EstimationEngine engine(g);
+  engine.context().Prewarm(workload);
+  ASSERT_TRUE(engine.context().SaveSnapshot(file.path()).ok());
+
+  auto info = ReadSnapshotInfo(file.path());
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->version, kSnapshotVersion);
+  EXPECT_EQ(info->fingerprint, g.fingerprint());
+  EXPECT_GE(info->sections.size(), 5u);  // markov, rates, degree, cs, sumrdf
+  bool saw_markov = false;
+  for (const auto& section : info->sections) {
+    if (section.name == "markov") {
+      saw_markov = true;
+      EXPECT_EQ(section.markov_h, 2u);
+      EXPECT_GT(section.entries, 0u);
+    }
+    EXPECT_GT(section.payload_bytes, 0u);
+  }
+  EXPECT_TRUE(saw_markov);
+}
+
+TEST(SnapshotTest, FingerprintMismatchRejected) {
+  const graph::Graph g1 = SmallGraph(7);
+  const graph::Graph g2 = SmallGraph(8);  // different seed → different edges
+  const auto workload = SmallWorkload(g1);
+  TempFile file("fingerprint");
+  EstimationEngine engine(g1);
+  engine.context().Prewarm(workload);
+  ASSERT_TRUE(engine.context().SaveSnapshot(file.path()).ok());
+
+  EstimationEngine other(g2);
+  auto loaded = other.context().LoadSnapshot(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), util::StatusCode::kFailedPrecondition);
+  // Nothing may have been applied before the rejection.
+  EXPECT_EQ(other.context().markov().num_entries(), 0u);
+}
+
+TEST(SnapshotTest, OptionsMismatchRejected) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  TempFile file("options");
+  ContextOptions small_cap;
+  small_cap.stats_materialize_cap = 1000;
+  EstimationEngine engine(g, small_cap);
+  engine.context().Prewarm(workload);
+  ASSERT_TRUE(engine.context().SaveSnapshot(file.path()).ok());
+
+  // Loading into a context with the default cap must be refused: the
+  // snapshot's over-cap verdicts would silently degrade molp+2j.
+  EstimationEngine other(g);
+  auto loaded = other.context().LoadSnapshot(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), util::StatusCode::kFailedPrecondition);
+
+  // A context with the matching cap loads fine; a different default
+  // markov_h alone does not reject (markov sections carry their own h).
+  ContextOptions same_cap_other_h = small_cap;
+  same_cap_other_h.markov_h = 3;
+  EstimationEngine compatible(g, same_cap_other_h);
+  EXPECT_TRUE(compatible.context().LoadSnapshot(file.path()).ok());
+}
+
+TEST(SnapshotTest, CorruptedFilesRejected) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  TempFile file("corrupt");
+  EstimationEngine engine(g);
+  engine.context().Prewarm(workload);
+  ASSERT_TRUE(engine.context().SaveSnapshot(file.path()).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(file.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  auto write_variant = [&](const std::string& data) {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  };
+
+  // Truncation at several depths: header, section table, mid-payload. A
+  // failed load must also leave the context untouched (no partially
+  // imported sections), per the two-phase apply in LoadSnapshot.
+  for (size_t keep : {size_t{4}, size_t{20}, bytes.size() / 2,
+                      bytes.size() - 3}) {
+    write_variant(bytes.substr(0, keep));
+    EstimationEngine fresh(g);
+    auto loaded = fresh.context().LoadSnapshot(file.path());
+    EXPECT_FALSE(loaded.ok()) << "kept " << keep << " of " << bytes.size();
+    EXPECT_EQ(fresh.context().markov().num_entries(), 0u);
+    EXPECT_EQ(fresh.context().cycle_closing_rates().num_cached(), 0u);
+  }
+
+  // Bad magic.
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';
+    write_variant(bad);
+    EstimationEngine fresh(g);
+    auto loaded = fresh.context().LoadSnapshot(file.path());
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.code(), util::StatusCode::kInvalidArgument);
+  }
+
+  // Unsupported version.
+  {
+    std::string bad = bytes;
+    bad[8] = 99;
+    write_variant(bad);
+    EstimationEngine fresh(g);
+    EXPECT_FALSE(fresh.context().LoadSnapshot(file.path()).ok());
+  }
+
+  // Trailing garbage after the last section.
+  {
+    write_variant(bytes + "garbage");
+    EstimationEngine fresh(g);
+    EXPECT_FALSE(fresh.context().LoadSnapshot(file.path()).ok());
+  }
+}
+
+TEST(SnapshotTest, UnknownSectionsAreSkipped) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  TempFile file("forward_compat");
+  EstimationEngine engine(g);
+  engine.context().Prewarm(workload);
+  ASSERT_TRUE(engine.context().SaveSnapshot(file.path()).ok());
+
+  // Append a section with an id from the future by rewriting the file:
+  // bump the section count and append {id=999, payload}.
+  std::string bytes;
+  {
+    std::ifstream in(file.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  // Section count lives after magic(8) + version(4) + fingerprint(28) +
+  // options block(36) = offset 76.
+  const size_t count_offset = 76;
+  bytes[count_offset] = static_cast<char>(bytes[count_offset] + 1);
+  util::serde::Writer extra;
+  extra.WriteU32(999);
+  extra.WriteU64(5);
+  extra.WriteRaw("hello");
+  bytes += extra.buffer();
+  {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  EstimationEngine fresh(g);
+  auto loaded = fresh.context().LoadSnapshot(file.path());
+  EXPECT_TRUE(loaded.ok()) << loaded;
+  EXPECT_GT(fresh.context().markov().num_entries(), 0u);
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  const graph::Graph g = SmallGraph();
+  EstimationEngine engine(g);
+  auto loaded = engine.context().LoadSnapshot("/nonexistent/stats.snap");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), util::StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, SaveBeforeAnyStatsWritesEmptySnapshot) {
+  const graph::Graph g = SmallGraph();
+  TempFile file("empty");
+  EstimationEngine engine(g);
+  ASSERT_TRUE(engine.context().SaveSnapshot(file.path()).ok());
+  auto info = ReadSnapshotInfo(file.path());
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->sections.empty());
+  // And an empty snapshot loads as a no-op.
+  EstimationEngine fresh(g);
+  EXPECT_TRUE(fresh.context().LoadSnapshot(file.path()).ok());
+}
+
+// --- markov(h) validation satellite -----------------------------------------
+
+TEST(MarkovValidationTest, NegativeHIsInvalidArgument) {
+  const graph::Graph g = SmallGraph();
+  EstimationContext context(g);
+  auto table = context.TryMarkov(-1);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), util::StatusCode::kInvalidArgument);
+  auto table2 = context.TryMarkov(-100);
+  EXPECT_FALSE(table2.ok());
+}
+
+TEST(MarkovValidationTest, ZeroMeansContextDefault) {
+  const graph::Graph g = SmallGraph();
+  ContextOptions options;
+  options.markov_h = 3;
+  EstimationContext context(g, options);
+  auto table = context.TryMarkov(0);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->h(), 3);
+  EXPECT_EQ(&context.markov(), *table);  // same shared instance
+}
+
+TEST(MarkovValidationTest, BadContextDefaultIsInvalidArgument) {
+  const graph::Graph g = SmallGraph();
+  ContextOptions options;
+  options.markov_h = 0;
+  EstimationContext context(g, options);
+  auto table = context.TryMarkov(0);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cegraph::engine

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "util/box_stats.h"
+#include "util/keyed_cache.h"
 #include "util/random.h"
+#include "util/serde.h"
 #include "util/status.h"
 #include "util/table_printer.h"
 
@@ -196,6 +200,108 @@ TEST(TablePrinterTest, CsvOutput) {
 TEST(TablePrinterTest, NumFormatting) {
   EXPECT_EQ(TablePrinter::Num(1.5), "1.5");
   EXPECT_EQ(TablePrinter::Num(12345678), "1.235e+07");
+}
+
+TEST(SerdeTest, RoundTripsEveryType) {
+  serde::Writer writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFull);
+  writer.WriteDouble(-1234.5678);
+  writer.WriteString("hello snapshot");
+  writer.WriteRaw("rawr");
+
+  serde::Reader reader(writer.buffer());
+  EXPECT_EQ(*reader.ReadU8(), 0xAB);
+  EXPECT_EQ(*reader.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*reader.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*reader.ReadDouble(), -1234.5678);  // bit-identical
+  EXPECT_EQ(*reader.ReadString(), "hello snapshot");
+  EXPECT_EQ(*reader.ReadRaw(4), "rawr");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, DoubleBitPatternsSurviveExactly) {
+  for (double v : {0.0, -0.0, 1e-300, 1e300, 0.1, 3.0 / 7.0}) {
+    serde::Writer writer;
+    writer.WriteDouble(v);
+    serde::Reader reader(writer.buffer());
+    auto out = reader.ReadDouble();
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(std::signbit(*out), std::signbit(v));
+    EXPECT_EQ(*out, v);
+  }
+}
+
+TEST(SerdeTest, LittleEndianLayoutIsFixed) {
+  serde::Writer writer;
+  writer.WriteU32(0x01020304);
+  const std::string& bytes = writer.buffer();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[3]), 0x01);
+}
+
+TEST(SerdeTest, TruncatedReadsFailCleanly) {
+  serde::Writer writer;
+  writer.WriteU32(7);
+  serde::Reader reader(writer.buffer());
+  EXPECT_FALSE(reader.ReadU64().ok());  // only 4 bytes available
+  EXPECT_EQ(reader.ReadU64().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerdeTest, OversizedStringPrefixRejected) {
+  serde::Writer writer;
+  writer.WriteU64(1'000'000);  // length prefix far past the end
+  writer.WriteRaw("abc");
+  serde::Reader reader(writer.buffer());
+  auto s = reader.ReadString();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(KeyedCacheTest, GetOrComputeMemoizes) {
+  KeyedCache<int, int> cache;
+  int calls = 0;
+  EXPECT_EQ(cache.GetOrCompute(7, [&] {
+    ++calls;
+    return 42;
+  }),
+            42);
+  EXPECT_EQ(cache.GetOrCompute(7, [&] {
+    ++calls;
+    return 99;  // never called: first insert wins
+  }),
+            42);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(KeyedCacheTest, FindAndInsert) {
+  KeyedCache<std::string, double> cache;
+  EXPECT_EQ(cache.Find("a"), nullptr);
+  EXPECT_EQ(cache.Insert("a", 1.5), 1.5);
+  EXPECT_EQ(cache.Insert("a", 2.5), 1.5);  // first wins
+  ASSERT_NE(cache.Find("a"), nullptr);
+  EXPECT_EQ(*cache.Find("a"), 1.5);
+}
+
+TEST(KeyedCacheTest, ForEachVisitsEverything) {
+  KeyedCache<int, int> cache;
+  for (int i = 0; i < 10; ++i) cache.Insert(i, i * i);
+  int sum = 0;
+  cache.ForEach([&](const int& k, const int& v) { sum += k + v; });
+  EXPECT_EQ(sum, 45 + 285);
+}
+
+TEST(KeyedCacheTest, SupportsMoveOnlyValues) {
+  KeyedCache<int, std::unique_ptr<int>> cache;
+  cache.Insert(1, std::make_unique<int>(5));
+  cache.Insert(2, nullptr);  // cached negative verdict
+  ASSERT_NE(cache.Find(1), nullptr);
+  EXPECT_EQ(**cache.Find(1), 5);
+  ASSERT_NE(cache.Find(2), nullptr);
+  EXPECT_EQ(cache.Find(2)->get(), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,332 @@
+// cegraph_stats — build, inspect, and verify persistent summary snapshots.
+//
+//   cegraph_stats build   --dataset <name> --out <file> [flags]
+//   cegraph_stats inspect <file>
+//   cegraph_stats verify  --dataset <name> --snapshot <file> [flags]
+//
+// `build` materializes a dataset, generates the named workload suite,
+// prewarns every statistics cache the workload can touch (in parallel) and
+// writes the versioned snapshot. `inspect` prints the header, fingerprint
+// and per-section sizes without needing the graph. `verify` reloads the
+// snapshot into a fresh context and checks that every registry estimator
+// produces bit-identical estimates to a cold in-memory run — the
+// correctness contract of the snapshot layer.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+#include "graph/datasets.h"
+#include "harness/workload_runner.h"
+#include "query/templates.h"
+#include "query/workload.h"
+
+namespace {
+
+using namespace cegraph;
+
+struct CommonFlags {
+  std::string dataset;
+  std::string suite = "acyclic";
+  int instances = 4;
+  uint64_t seed = 1;
+  int markov_h = 2;
+  int threads = 0;
+  bool dispersion = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cegraph_stats build --dataset <name> --out <file>\n"
+      "      [--suite NAME] [--instances N] [--seed S] [--markov-h H]\n"
+      "      [--threads T] [--dispersion]\n"
+      "  cegraph_stats inspect <file>\n"
+      "  cegraph_stats verify --dataset <name> --snapshot <file>\n"
+      "      [--suite ...] [--instances N] [--seed S] [--markov-h H]\n"
+      "      [--threads T] [--estimators name1,name2,...]\n"
+      "\ndatasets:");
+  for (const std::string& name : graph::DatasetNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\nsuites:");
+  for (const std::string& name : query::SuiteNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+/// Parses `--flag value` / `--flag` style arguments shared by build and
+/// verify. Returns false (after printing the offender) on anything it does
+/// not recognize; flags in `extra` are forwarded to the caller.
+bool ParseFlags(int argc, char** argv, int start, CommonFlags* flags,
+                std::vector<std::pair<std::string, std::string>>* extra) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--dataset") {
+      if (!next(&flags->dataset)) return false;
+    } else if (arg == "--suite") {
+      if (!next(&flags->suite)) return false;
+    } else if (arg == "--instances") {
+      if (!next(&value)) return false;
+      flags->instances = std::atoi(value.c_str());
+      if (flags->instances <= 0) {
+        std::fprintf(stderr, "--instances must be positive\n");
+        return false;
+      }
+    } else if (arg == "--seed") {
+      if (!next(&value)) return false;
+      flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--markov-h") {
+      if (!next(&value)) return false;
+      flags->markov_h = std::atoi(value.c_str());
+      if (flags->markov_h < 1 || flags->markov_h > 4) {
+        std::fprintf(stderr, "--markov-h must be in 1..4\n");
+        return false;
+      }
+    } else if (arg == "--threads") {
+      if (!next(&value)) return false;
+      flags->threads = std::atoi(value.c_str());
+    } else if (arg == "--dispersion") {
+      flags->dispersion = true;
+    } else if (arg == "--out" || arg == "--snapshot" ||
+               arg == "--estimators") {
+      if (!next(&value)) return false;
+      extra->emplace_back(arg, value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The dataset + workload named by `flags`; nullopt after printing the
+/// error.
+struct Inputs {
+  graph::Graph graph;
+  std::vector<query::WorkloadQuery> workload;
+};
+
+std::optional<Inputs> MakeInputs(const CommonFlags& flags) {
+  if (flags.dataset.empty()) {
+    std::fprintf(stderr, "--dataset is required\n");
+    return std::nullopt;
+  }
+  auto g = graph::MakeDataset(flags.dataset);
+  if (!g.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", flags.dataset.c_str(),
+                 g.status().ToString().c_str());
+    return std::nullopt;
+  }
+  auto templates = query::SuiteTemplatesByName(flags.suite);
+  if (!templates.ok()) {
+    std::fprintf(stderr, "%s\n", templates.status().ToString().c_str());
+    return std::nullopt;
+  }
+  query::WorkloadOptions options;
+  options.instances_per_template = flags.instances;
+  options.seed = flags.seed;
+  auto wl = query::GenerateWorkload(*g, *templates, options);
+  if (!wl.ok()) {
+    std::fprintf(stderr, "workload: %s\n", wl.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return Inputs{std::move(*g), std::move(*wl)};
+}
+
+engine::ContextOptions ContextOptionsFor(const CommonFlags& flags) {
+  engine::ContextOptions options;
+  options.markov_h = flags.markov_h;
+  return options;
+}
+
+int RunBuild(int argc, char** argv) {
+  CommonFlags flags;
+  std::vector<std::pair<std::string, std::string>> extra;
+  if (!ParseFlags(argc, argv, 2, &flags, &extra)) return Usage();
+  std::string out_path;
+  for (const auto& [flag, value] : extra) {
+    if (flag == "--out") out_path = value;
+  }
+  if (out_path.empty()) {
+    std::fprintf(stderr, "build requires --out\n");
+    return Usage();
+  }
+
+  auto inputs = MakeInputs(flags);
+  if (!inputs) return 1;
+  const graph::Graph& graph = inputs->graph;
+  const std::vector<query::WorkloadQuery>& workload = inputs->workload;
+  std::printf("dataset %s: %u vertices, %" PRIu64 " edges, %u labels; "
+              "%zu workload queries (suite %s)\n",
+              flags.dataset.c_str(), graph.num_vertices(), graph.num_edges(),
+              graph.num_labels(), workload.size(), flags.suite.c_str());
+
+  engine::EstimationContext context(graph, ContextOptionsFor(flags));
+  engine::PrewarmOptions prewarm;
+  prewarm.num_threads = flags.threads;
+  prewarm.dispersion = flags.dispersion;
+  const engine::PrewarmReport report = context.Prewarm(workload, prewarm);
+  std::printf("prewarm: %zu markov patterns, %zu two-joins, %zu base "
+              "relations, %zu closing keys, %zu dispersion pairs in %.2fs\n",
+              report.markov_patterns, report.two_join_patterns,
+              report.base_relations, report.closing_keys,
+              report.dispersion_pairs, report.seconds);
+
+  auto save = context.SaveSnapshot(out_path);
+  if (!save.ok()) {
+    std::fprintf(stderr, "save: %s\n", save.ToString().c_str());
+    return 1;
+  }
+  auto info = engine::ReadSnapshotInfo(out_path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "re-read: %s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %" PRIu64 " bytes, %zu sections\n", out_path.c_str(),
+              info->file_bytes, info->sections.size());
+  return 0;
+}
+
+int RunInspect(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  auto info = engine::ReadSnapshotInfo(argv[2]);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[2],
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot %s (version %u, %" PRIu64 " bytes)\n", argv[2],
+              info->version, info->file_bytes);
+  std::printf("fingerprint: %u vertices, %u labels, %u vertex labels, "
+              "%" PRIu64 " edges, edge hash %016" PRIx64 "\n",
+              info->fingerprint.num_vertices, info->fingerprint.num_labels,
+              info->fingerprint.num_vertex_labels,
+              info->fingerprint.num_edges, info->fingerprint.edge_hash);
+  std::printf("options: markov h %u, %u summary buckets, materialize cap "
+              "%" PRIu64 ", closing-rate sampling %ux%u/%u hops seed "
+              "%" PRIu64 "\n",
+              info->options.markov_h, info->options.summary_buckets,
+              info->options.stats_materialize_cap,
+              info->options.cc_walks_per_key,
+              info->options.cc_max_attempt_factor,
+              info->options.cc_max_mid_hops, info->options.cc_seed);
+  std::printf("%-16s %12s %10s\n", "section", "bytes", "entries");
+  for (const auto& section : info->sections) {
+    std::string name = section.name;
+    if (section.id == static_cast<uint32_t>(engine::SnapshotSection::kMarkov)) {
+      name += "(h=" + std::to_string(section.markov_h) + ")";
+    }
+    std::printf("%-16s %12" PRIu64 " %10" PRIu64 "\n", name.c_str(),
+                section.payload_bytes, section.entries);
+  }
+  return 0;
+}
+
+int RunVerify(int argc, char** argv) {
+  CommonFlags flags;
+  std::vector<std::pair<std::string, std::string>> extra;
+  if (!ParseFlags(argc, argv, 2, &flags, &extra)) return Usage();
+  std::string snapshot_path;
+  std::string estimators_csv;
+  for (const auto& [flag, value] : extra) {
+    if (flag == "--snapshot") snapshot_path = value;
+    if (flag == "--estimators") estimators_csv = value;
+  }
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr, "verify requires --snapshot\n");
+    return Usage();
+  }
+
+  auto inputs = MakeInputs(flags);
+  if (!inputs) return 1;
+  const graph::Graph& graph = inputs->graph;
+  const std::vector<query::WorkloadQuery>& workload = inputs->workload;
+
+  // Estimator list: explicit CSV, or every registered exact name.
+  std::vector<std::string> names;
+  if (!estimators_csv.empty()) {
+    size_t start = 0;
+    while (start <= estimators_csv.size()) {
+      const size_t comma = estimators_csv.find(',', start);
+      const size_t end =
+          comma == std::string::npos ? estimators_csv.size() : comma;
+      if (end > start) names.push_back(estimators_csv.substr(start, end - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  } else {
+    names = engine::EstimatorRegistry::Default().RegisteredNames();
+  }
+
+  // Cold run: fresh context, no snapshot.
+  engine::EstimationEngine cold(graph, ContextOptionsFor(flags));
+  // Snapshot run: fresh context, stats loaded from disk.
+  engine::EstimationEngine warm(graph, ContextOptionsFor(flags));
+  auto load = warm.context().LoadSnapshot(snapshot_path);
+  if (!load.ok()) {
+    std::fprintf(stderr, "load: %s\n", load.ToString().c_str());
+    return 1;
+  }
+
+  size_t mismatches = 0;
+  size_t compared = 0;
+  for (const std::string& name : names) {
+    auto cold_est = cold.Estimator(name);
+    auto warm_est = warm.Estimator(name);
+    if (!cold_est.ok() || !warm_est.ok()) {
+      std::fprintf(stderr, "estimator %s: %s\n", name.c_str(),
+                   (!cold_est.ok() ? cold_est.status() : warm_est.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    for (size_t qi = 0; qi < workload.size(); ++qi) {
+      auto a = (*cold_est)->Estimate(workload[qi].query);
+      auto b = (*warm_est)->Estimate(workload[qi].query);
+      ++compared;
+      const bool both_fail = !a.ok() && !b.ok();
+      const bool equal = a.ok() && b.ok() && *a == *b;  // bit-identical
+      if (!(both_fail || equal)) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "MISMATCH %s query %zu: cold=%s warm=%s\n", name.c_str(),
+                     qi, a.ok() ? std::to_string(*a).c_str() : "error",
+                     b.ok() ? std::to_string(*b).c_str() : "error");
+      }
+    }
+  }
+  std::printf("verified %zu estimator×query pairs against %s: %zu "
+              "mismatches\n",
+              compared, snapshot_path.c_str(), mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "build") return RunBuild(argc, argv);
+  if (command == "inspect") return RunInspect(argc, argv);
+  if (command == "verify") return RunVerify(argc, argv);
+  return Usage();
+}
