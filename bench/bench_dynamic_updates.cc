@@ -1,0 +1,153 @@
+// bench_dynamic_updates — update throughput and snapshot freshness of the
+// dynamic graph layer.
+//
+// Two questions, both against a prewarmed estimation context:
+//
+//  1. After a delta batch of B edges, is incremental maintenance
+//     (EstimationContext::ApplyDeltas: compaction + entry migration with
+//     targeted eviction) faster than rebuilding the statistics from
+//     scratch (Prewarm on a fresh context over the compacted graph)? The
+//     acceptance bar is >= 10x for small batches (<= 1% of edges).
+//
+//  2. Is loading a *stale* snapshot (taken before the deltas) and
+//     replaying the delta log faster than a cold prewarm of the post-delta
+//     graph?
+//
+// Usage: bench_dynamic_updates [instances_per_template] [dataset]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dynamic/delta_graph.h"
+#include "dynamic/delta_io.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace cegraph;
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int instances = bench::InstancesFromArgs(argc, argv, 3);
+  const std::string dataset = argc > 2 ? argv[2] : "epinions_like";
+
+  auto data = bench::MakeDatasetWorkload(dataset, "acyclic", instances, 1);
+  const graph::Graph& g = data.graph;
+  std::printf("dataset %s: %u vertices, %llu edges, %u labels; %zu workload "
+              "queries\n\n",
+              dataset.c_str(), g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), g.num_labels(),
+              data.workload.size());
+
+  util::TablePrinter table({"delta", "ops", "incremental (s)", "rebuild (s)",
+                            "speedup", "evicted", "carried"});
+  bool small_batch_pass = false;
+  for (const double frac : {0.001, 0.01, 0.05}) {
+    const size_t ops =
+        std::max<size_t>(2, static_cast<size_t>(frac * g.num_edges()));
+    const auto batch = dynamic::RandomEdgeBatch(g, ops, 42);
+
+    // Incremental: prewarmed context absorbs the batch.
+    engine::EstimationContext incremental(g);
+    incremental.Prewarm(data.workload);
+    auto t0 = std::chrono::steady_clock::now();
+    auto report = incremental.ApplyDeltas(batch);
+    const double t_incremental = Seconds(t0);
+    if (!report.ok()) {
+      std::fprintf(stderr, "apply: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+
+    // Full rebuild: cold prewarm over the compacted graph.
+    dynamic::DeltaGraph overlay(g);
+    if (auto applied = overlay.Apply(batch); !applied.ok()) {
+      std::fprintf(stderr, "overlay: %s\n", applied.ToString().c_str());
+      return 1;
+    }
+    auto compacted = overlay.Compact();
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "compact: %s\n",
+                   compacted.status().ToString().c_str());
+      return 1;
+    }
+    engine::EstimationContext rebuild(*compacted);
+    t0 = std::chrono::steady_clock::now();
+    rebuild.Prewarm(data.workload);
+    const double t_rebuild = Seconds(t0);
+
+    const double speedup = t_incremental > 0 ? t_rebuild / t_incremental : 0;
+    if (frac <= 0.01 && speedup >= 10.0) small_batch_pass = true;
+    table.AddRow({util::TablePrinter::Num(frac * 100) + "%",
+                  std::to_string(ops),
+                  util::TablePrinter::Num(t_incremental),
+                  util::TablePrinter::Num(t_rebuild),
+                  util::TablePrinter::Num(speedup),
+                  std::to_string(report->total_evicted()),
+                  std::to_string(report->markov_carried +
+                                 report->joins_carried +
+                                 report->closing_carried)});
+  }
+  table.Print(std::cout);
+  std::printf("\n[%s] incremental maintenance >= 10x faster than full "
+              "rebuild for a batch <= 1%% of edges\n",
+              small_batch_pass ? "PASS" : "FAIL");
+
+  // Snapshot freshness: stale load + delta replay vs cold prewarm.
+  const std::string snap_path =
+      (std::filesystem::temp_directory_path() / "bench_dynamic_updates.snap")
+          .string();
+  {
+    engine::EstimationContext base(g);
+    base.Prewarm(data.workload);
+    if (auto saved = base.SaveSnapshot(snap_path); !saved.ok()) {
+      std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+  }
+  const auto batch =
+      dynamic::RandomEdgeBatch(g, std::max<size_t>(2, g.num_edges() / 100), 43);
+
+  engine::EstimationContext drifted(g);
+  if (auto applied = drifted.ApplyDeltas(batch); !applied.ok()) {
+    std::fprintf(stderr, "apply: %s\n", applied.status().ToString().c_str());
+    return 1;
+  }
+  engine::EstimationContext::SnapshotLoadReport load_report;
+  auto t0 = std::chrono::steady_clock::now();
+  if (auto loaded = drifted.LoadSnapshot(snap_path, &load_report);
+      !loaded.ok()) {
+    std::fprintf(stderr, "stale load: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+  const double t_stale = Seconds(t0);
+
+  dynamic::DeltaGraph overlay(g);
+  (void)overlay.Apply(batch);
+  auto compacted = overlay.Compact();
+  engine::EstimationContext cold(*compacted);
+  t0 = std::chrono::steady_clock::now();
+  cold.Prewarm(data.workload);
+  const double t_cold = Seconds(t0);
+
+  std::printf("\nstale snapshot load + replay of %zu deltas: %.4fs "
+              "(%zu entries evicted)\ncold prewarm of the post-delta graph: "
+              "%.4fs\n[%s] stale-snapshot start beats cold build (%.1fx)\n",
+              load_report.replayed_deltas, t_stale,
+              load_report.evicted_entries, t_cold,
+              t_stale < t_cold ? "PASS" : "FAIL",
+              t_stale > 0 ? t_cold / t_stale : 0);
+  std::remove(snap_path.c_str());
+  return small_batch_pass && t_stale < t_cold ? 0 : 1;
+}

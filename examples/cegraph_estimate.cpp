@@ -106,7 +106,19 @@ int main(int argc, char** argv) {
   if (snapshot) {
     auto loaded = engine.context().LoadSnapshot(*snapshot);
     if (!loaded.ok()) {
-      std::cerr << "snapshot: " << loaded << "\n";
+      // Never fall back to a silent cold build: a requested snapshot that
+      // cannot be used is an operational error the caller must see, and a
+      // fingerprint mismatch means the snapshot belongs to a different
+      // graph (or graph state) entirely.
+      if (loaded.code() == util::StatusCode::kFailedPrecondition) {
+        std::cerr << "snapshot: fingerprint mismatch — " << *snapshot
+                  << " was built for a different graph or graph state; "
+                     "rebuild it with `cegraph_stats build` (or refresh it "
+                     "with `cegraph_stats refresh`)\n  detail: "
+                  << loaded << "\n";
+      } else {
+        std::cerr << "snapshot: " << loaded << "\n";
+      }
       return 1;
     }
     std::cout << "loaded snapshot " << *snapshot << "\n";

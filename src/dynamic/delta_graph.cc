@@ -1,0 +1,186 @@
+#include "dynamic/delta_graph.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace cegraph::dynamic {
+
+namespace {
+
+/// Distinct salts so that inserting edge e and deleting edge e contribute
+/// different hash terms (an insert-delete pair across *different* edges must
+/// not cancel).
+constexpr uint64_t kInsertSalt = 0x1A5E'51DE'0F00'D001ull;
+constexpr uint64_t kDeleteSalt = 0xDE1E'7E00'BAD5'EED5ull;
+
+}  // namespace
+
+uint64_t DeltaOpHash(const graph::Edge& e, DeltaOp op) {
+  uint64_t h = util::MixHash((uint64_t{e.src} << 32) | e.dst);
+  h = util::MixHash(h ^ (uint64_t{e.label} + 1));
+  return util::MixHash(
+      h ^ (op == DeltaOp::kInsert ? kInsertSalt : kDeleteSalt));
+}
+
+DeltaGraph::DeltaGraph(const graph::Graph& base)
+    : base_(base),
+      rel_delta_(base.num_labels(), 0),
+      num_edges_(base.num_edges()) {}
+
+bool DeltaGraph::SlotInsert(SlotMap& slots, graph::VertexId v,
+                            graph::Label l, graph::VertexId value) {
+  std::vector<graph::VertexId>& slot = slots[SlotKey(v, l)];
+  auto it = std::lower_bound(slot.begin(), slot.end(), value);
+  if (it != slot.end() && *it == value) return false;
+  slot.insert(it, value);
+  return true;
+}
+
+bool DeltaGraph::SlotErase(SlotMap& slots, graph::VertexId v, graph::Label l,
+                           graph::VertexId value) {
+  auto slot_it = slots.find(SlotKey(v, l));
+  if (slot_it == slots.end()) return false;
+  std::vector<graph::VertexId>& slot = slot_it->second;
+  auto it = std::lower_bound(slot.begin(), slot.end(), value);
+  if (it == slot.end() || *it != value) return false;
+  slot.erase(it);
+  if (slot.empty()) slots.erase(slot_it);
+  return true;
+}
+
+bool DeltaGraph::SlotContains(const SlotMap& slots, graph::VertexId v,
+                              graph::Label l, graph::VertexId value) {
+  const std::vector<graph::VertexId>* slot = FindSlot(slots, v, l);
+  return slot != nullptr &&
+         std::binary_search(slot->begin(), slot->end(), value);
+}
+
+uint32_t DeltaGraph::OutDegree(graph::VertexId v, graph::Label l) const {
+  const std::vector<graph::VertexId>* ins = FindSlot(ins_out_, v, l);
+  const std::vector<graph::VertexId>* del = FindSlot(del_out_, v, l);
+  return base_.OutDegree(v, l) + (ins != nullptr ? ins->size() : 0) -
+         (del != nullptr ? del->size() : 0);
+}
+
+uint32_t DeltaGraph::InDegree(graph::VertexId v, graph::Label l) const {
+  const std::vector<graph::VertexId>* ins = FindSlot(ins_in_, v, l);
+  const std::vector<graph::VertexId>* del = FindSlot(del_in_, v, l);
+  return base_.InDegree(v, l) + (ins != nullptr ? ins->size() : 0) -
+         (del != nullptr ? del->size() : 0);
+}
+
+bool DeltaGraph::HasEdge(graph::VertexId src, graph::VertexId dst,
+                         graph::Label l) const {
+  if (SlotContains(del_out_, src, l, dst)) return false;
+  if (SlotContains(ins_out_, src, l, dst)) return true;
+  return base_.HasEdge(src, dst, l);
+}
+
+std::vector<graph::VertexId> DeltaGraph::OutNeighbors(graph::VertexId v,
+                                                      graph::Label l) const {
+  std::vector<graph::VertexId> out;
+  out.reserve(OutDegree(v, l));
+  ForEachOutNeighbor(v, l, [&](graph::VertexId u) { out.push_back(u); });
+  return out;
+}
+
+std::vector<graph::VertexId> DeltaGraph::InNeighbors(graph::VertexId v,
+                                                     graph::Label l) const {
+  std::vector<graph::VertexId> out;
+  out.reserve(InDegree(v, l));
+  ForEachInNeighbor(v, l, [&](graph::VertexId u) { out.push_back(u); });
+  return out;
+}
+
+util::Status DeltaGraph::Apply(std::span<const EdgeDelta> batch) {
+  // Validate the whole batch before mutating anything, so a failed Apply
+  // leaves the overlay exactly as it was.
+  for (const EdgeDelta& d : batch) {
+    if (d.edge.src >= num_vertices() || d.edge.dst >= num_vertices()) {
+      return util::InvalidArgumentError("delta edge endpoint out of range");
+    }
+    if (d.edge.label >= num_labels()) {
+      return util::InvalidArgumentError("delta edge label out of range");
+    }
+  }
+
+  for (const EdgeDelta& d : batch) {
+    const graph::Edge& e = d.edge;
+    const bool in_base = base_.HasEdge(e.src, e.dst, e.label);
+    if (d.op == DeltaOp::kInsert) {
+      if (in_base) {
+        // Re-inserting a base edge: only meaningful if it was deleted.
+        if (SlotErase(del_out_, e.src, e.label, e.dst)) {
+          SlotErase(del_in_, e.dst, e.label, e.src);
+          delta_hash_ ^= DeltaOpHash(e, DeltaOp::kDelete);
+          --num_deleted_;
+          ++rel_delta_[e.label];
+          ++num_edges_;
+        }
+      } else if (SlotInsert(ins_out_, e.src, e.label, e.dst)) {
+        SlotInsert(ins_in_, e.dst, e.label, e.src);
+        delta_hash_ ^= DeltaOpHash(e, DeltaOp::kInsert);
+        ++num_inserted_;
+        ++rel_delta_[e.label];
+        ++num_edges_;
+      }
+    } else {
+      if (SlotErase(ins_out_, e.src, e.label, e.dst)) {
+        // Deleting a pending insert reverts it.
+        SlotErase(ins_in_, e.dst, e.label, e.src);
+        delta_hash_ ^= DeltaOpHash(e, DeltaOp::kInsert);
+        --num_inserted_;
+        --rel_delta_[e.label];
+        --num_edges_;
+      } else if (in_base && SlotInsert(del_out_, e.src, e.label, e.dst)) {
+        SlotInsert(del_in_, e.dst, e.label, e.src);
+        delta_hash_ ^= DeltaOpHash(e, DeltaOp::kDelete);
+        ++num_deleted_;
+        --rel_delta_[e.label];
+        --num_edges_;
+      }
+    }
+  }
+  ++epoch_;
+  return util::Status::OK();
+}
+
+NetDelta DeltaGraph::CollectNetDelta() const {
+  NetDelta net;
+  net.inserted.reserve(num_inserted_);
+  net.deleted.reserve(num_deleted_);
+  auto collect = [](const SlotMap& slots, std::vector<graph::Edge>& out) {
+    for (const auto& [key, dsts] : slots) {
+      const graph::Label l = static_cast<graph::Label>(key >> 32);
+      const graph::VertexId src = static_cast<graph::VertexId>(key);
+      for (graph::VertexId dst : dsts) out.push_back({src, dst, l});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const graph::Edge& a, const graph::Edge& b) {
+                if (a.label != b.label) return a.label < b.label;
+                if (a.src != b.src) return a.src < b.src;
+                return a.dst < b.dst;
+              });
+  };
+  collect(ins_out_, net.inserted);
+  collect(del_out_, net.deleted);
+  return net;
+}
+
+util::StatusOr<graph::Graph> DeltaGraph::Compact() const {
+  std::vector<graph::Edge> edges;
+  edges.reserve(num_edges_);
+  for (const graph::Edge& e : base_.edges()) {
+    if (!SlotContains(del_out_, e.src, e.label, e.dst)) edges.push_back(e);
+  }
+  for (const auto& [key, dsts] : ins_out_) {
+    const graph::Label l = static_cast<graph::Label>(key >> 32);
+    const graph::VertexId src = static_cast<graph::VertexId>(key);
+    for (graph::VertexId dst : dsts) edges.push_back({src, dst, l});
+  }
+  return graph::Graph::Create(num_vertices(), num_labels(), std::move(edges),
+                              base_.vertex_labels());
+}
+
+}  // namespace cegraph::dynamic

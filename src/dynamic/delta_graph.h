@@ -1,0 +1,222 @@
+#ifndef CEGRAPH_DYNAMIC_DELTA_GRAPH_H_
+#define CEGRAPH_DYNAMIC_DELTA_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace cegraph::dynamic {
+
+/// One edge mutation against a base graph. Deltas are edge-only: the vertex
+/// set and the label space are fixed at base-graph construction (growing
+/// either means a new base graph, which is a different dataset by
+/// fingerprint anyway).
+enum class DeltaOp : uint8_t {
+  kInsert = 0,
+  kDelete = 1,
+};
+
+struct EdgeDelta {
+  graph::Edge edge;
+  DeltaOp op = DeltaOp::kInsert;
+
+  friend bool operator==(const EdgeDelta&, const EdgeDelta&) = default;
+};
+
+/// The structural identity of a *mutable* graph state: the frozen base
+/// graph's fingerprint plus an order-independent hash of the net delta log
+/// and the number of applied batches. Two states with equal triples hold
+/// statistics that are interchangeable; a state whose base matches but whose
+/// (delta_hash, epoch) is an earlier point of the same log is *stale but
+/// replayable* (see EstimationContext::LoadSnapshot).
+struct DynamicFingerprint {
+  graph::GraphFingerprint base;
+  uint64_t delta_hash = 0;  ///< 0 = no net delta against the base
+  uint64_t epoch = 0;       ///< number of applied batches
+
+  friend bool operator==(const DynamicFingerprint&,
+                         const DynamicFingerprint&) = default;
+};
+
+/// The order-independent hash contribution of one net operation. Net deltas
+/// combine by XOR, so the hash of a delta log does not depend on the order
+/// edges were inserted in, and reverting an operation (insert then delete of
+/// the same edge) restores the previous hash exactly.
+uint64_t DeltaOpHash(const graph::Edge& e, DeltaOp op);
+
+/// The net effect of everything applied to a DeltaGraph: edges present in
+/// the base but deleted, and edges absent from the base but inserted. No-op
+/// operations (inserting an existing edge, deleting a missing one) and
+/// cancelling pairs never appear here.
+struct NetDelta {
+  std::vector<graph::Edge> inserted;  ///< sorted by (label, src, dst)
+  std::vector<graph::Edge> deleted;   ///< sorted by (label, src, dst)
+
+  bool empty() const { return inserted.empty() && deleted.empty(); }
+  size_t size() const { return inserted.size() + deleted.size(); }
+};
+
+/// A mutable edge-insert/delete overlay on top of the immutable label-major
+/// CSR Graph. Reads merge base + delta on the fly and expose the same
+/// surface shape as Graph (out/in neighbors per label in ascending order,
+/// degrees, relation sizes, membership), so serving code can keep answering
+/// against a frozen CSR while updates accumulate; Compact() folds the delta
+/// into a fresh CSR when the overlay has grown enough to be worth paying
+/// a rebuild.
+///
+/// The hot read path is allocation-free: ForEachOutNeighbor /
+/// ForEachInNeighbor stream the three-way merge (base minus deletions,
+/// plus insertions) without materializing anything; degree and size
+/// queries are O(1) hash lookups over the overlay.
+///
+/// The overlay keeps *net* state: inserting an edge the base already has is
+/// a no-op, deleting an inserted edge reverts the insert, and the
+/// delta-hash tracks exactly the net set (XOR-combined per edge), so it is
+/// independent of operation order and returns to 0 when the overlay cancels
+/// back to the base.
+///
+/// Not thread-safe for concurrent Apply; reads are safe against each other.
+/// The base graph must outlive the overlay.
+class DeltaGraph {
+ public:
+  explicit DeltaGraph(const graph::Graph& base);
+
+  const graph::Graph& base() const { return base_; }
+
+  // ---- Merged read API (same shapes as graph::Graph) ----
+
+  uint32_t num_vertices() const { return base_.num_vertices(); }
+  uint32_t num_labels() const { return base_.num_labels(); }
+  uint64_t num_edges() const { return num_edges_; }
+  uint64_t RelationSize(graph::Label l) const {
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(base_.RelationSize(l)) + rel_delta_[l]);
+  }
+
+  uint32_t OutDegree(graph::VertexId v, graph::Label l) const;
+  uint32_t InDegree(graph::VertexId v, graph::Label l) const;
+  bool HasEdge(graph::VertexId src, graph::VertexId dst,
+               graph::Label l) const;
+
+  /// Streams the merged out-neighbors of `v` via `l` in ascending order
+  /// without allocating: base neighbors minus deletions, merged with
+  /// insertions.
+  template <typename Fn>
+  void ForEachOutNeighbor(graph::VertexId v, graph::Label l, Fn&& fn) const {
+    MergeNeighbors(base_.OutNeighbors(v, l), FindSlot(ins_out_, v, l),
+                   FindSlot(del_out_, v, l), fn);
+  }
+  /// Streams the merged in-neighbors of `v` via `l` in ascending order.
+  template <typename Fn>
+  void ForEachInNeighbor(graph::VertexId v, graph::Label l, Fn&& fn) const {
+    MergeNeighbors(base_.InNeighbors(v, l), FindSlot(ins_in_, v, l),
+                   FindSlot(del_in_, v, l), fn);
+  }
+
+  /// Materializing conveniences for tests and cold paths.
+  std::vector<graph::VertexId> OutNeighbors(graph::VertexId v,
+                                            graph::Label l) const;
+  std::vector<graph::VertexId> InNeighbors(graph::VertexId v,
+                                           graph::Label l) const;
+
+  // ---- Mutation ----
+
+  /// Applies one batch of edge deltas. Validates every operation up front
+  /// (endpoint/label ranges) and applies nothing on failure; on success the
+  /// epoch advances by one (even for an all-no-op batch — the batch was
+  /// observed) and the delta hash reflects the new net state.
+  util::Status Apply(std::span<const EdgeDelta> batch);
+
+  /// Number of net operations the overlay currently holds.
+  size_t delta_size() const { return num_inserted_ + num_deleted_; }
+  size_t num_inserted() const { return num_inserted_; }
+  size_t num_deleted() const { return num_deleted_; }
+
+  uint64_t epoch() const { return epoch_; }
+  uint64_t delta_hash() const { return delta_hash_; }
+  DynamicFingerprint fingerprint() const {
+    return {base_.fingerprint(), delta_hash_, epoch_};
+  }
+
+  /// The net delta against the base, in deterministic (label, src, dst)
+  /// order — the replay log one batch of maintenance needs.
+  NetDelta CollectNetDelta() const;
+
+  /// Folds the overlay into a fresh immutable Graph (full CSR rebuild over
+  /// the merged edge list). The result is bit-identical to building a graph
+  /// from the merged edges directly, so its fingerprint is the canonical
+  /// identity of the current state.
+  util::StatusOr<graph::Graph> Compact() const;
+
+ private:
+  /// Overlay slot: the sorted neighbor adjustments of one (vertex, label).
+  /// Keyed by (label << 32 | vertex); values stay sorted ascending so the
+  /// merged read is a linear three-way merge.
+  using SlotMap =
+      std::unordered_map<uint64_t, std::vector<graph::VertexId>>;
+
+  static uint64_t SlotKey(graph::VertexId v, graph::Label l) {
+    return (uint64_t{l} << 32) | v;
+  }
+  static const std::vector<graph::VertexId>* FindSlot(const SlotMap& slots,
+                                                      graph::VertexId v,
+                                                      graph::Label l) {
+    auto it = slots.find(SlotKey(v, l));
+    return it == slots.end() ? nullptr : &it->second;
+  }
+  /// True iff `value` was newly added (kept sorted; duplicates rejected).
+  static bool SlotInsert(SlotMap& slots, graph::VertexId v, graph::Label l,
+                         graph::VertexId value);
+  /// True iff `value` was present and removed (empty slots are erased).
+  static bool SlotErase(SlotMap& slots, graph::VertexId v, graph::Label l,
+                        graph::VertexId value);
+  static bool SlotContains(const SlotMap& slots, graph::VertexId v,
+                           graph::Label l, graph::VertexId value);
+
+  template <typename Fn>
+  static void MergeNeighbors(std::span<const graph::VertexId> base,
+                             const std::vector<graph::VertexId>* ins,
+                             const std::vector<graph::VertexId>* del,
+                             Fn& fn) {
+    size_t bi = 0, ii = 0, di = 0;
+    const size_t bn = base.size();
+    const size_t in = ins == nullptr ? 0 : ins->size();
+    while (bi < bn || ii < in) {
+      // Next base candidate not deleted.
+      while (bi < bn && del != nullptr && di < del->size()) {
+        if ((*del)[di] < base[bi]) {
+          ++di;
+        } else if ((*del)[di] == base[bi]) {
+          ++di;
+          ++bi;
+        } else {
+          break;
+        }
+      }
+      if (bi >= bn && ii >= in) break;
+      if (ii >= in || (bi < bn && base[bi] < (*ins)[ii])) {
+        fn(base[bi++]);
+      } else {
+        // Inserted values are never base values, so no tie is possible.
+        fn((*ins)[ii++]);
+      }
+    }
+  }
+
+  const graph::Graph& base_;
+  SlotMap ins_out_, ins_in_, del_out_, del_in_;
+  std::vector<int64_t> rel_delta_;
+  uint64_t num_edges_ = 0;
+  size_t num_inserted_ = 0;
+  size_t num_deleted_ = 0;
+  uint64_t delta_hash_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace cegraph::dynamic
+
+#endif  // CEGRAPH_DYNAMIC_DELTA_GRAPH_H_

@@ -1,0 +1,86 @@
+#include "dynamic/delta_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/random.h"
+
+namespace cegraph::dynamic {
+
+util::Status WriteDeltaText(std::span<const EdgeDelta> batch,
+                            std::ostream& os) {
+  os << "# cegraph delta batch: (+|-) src dst label, one op per line\n";
+  for (const EdgeDelta& d : batch) {
+    os << (d.op == DeltaOp::kInsert ? '+' : '-') << ' ' << d.edge.src << ' '
+       << d.edge.dst << ' ' << d.edge.label << '\n';
+  }
+  if (!os) return util::InternalError("write error on delta stream");
+  return util::Status::OK();
+}
+
+util::StatusOr<std::vector<EdgeDelta>> ReadDeltaText(std::istream& is) {
+  std::vector<EdgeDelta> batch;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op) || op[0] == '#') continue;
+    EdgeDelta d;
+    if (op == "+") {
+      d.op = DeltaOp::kInsert;
+    } else if (op == "-") {
+      d.op = DeltaOp::kDelete;
+    } else {
+      return util::InvalidArgumentError(
+          "delta line " + std::to_string(line_no) +
+          ": expected '+' or '-', got '" + op + "'");
+    }
+    if (!(ls >> d.edge.src >> d.edge.dst >> d.edge.label)) {
+      return util::InvalidArgumentError(
+          "delta line " + std::to_string(line_no) +
+          ": expected 'src dst label'");
+    }
+    batch.push_back(d);
+  }
+  if (is.bad()) return util::InternalError("read error on delta stream");
+  return batch;
+}
+
+util::Status SaveDeltaBatch(std::span<const EdgeDelta> batch,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return util::InternalError("cannot open " + path + " for write");
+  return WriteDeltaText(batch, out);
+}
+
+util::StatusOr<std::vector<EdgeDelta>> LoadDeltaBatch(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::NotFoundError("cannot open " + path);
+  return ReadDeltaText(in);
+}
+
+std::vector<EdgeDelta> RandomEdgeBatch(const graph::Graph& g, size_t n,
+                                       uint64_t seed) {
+  util::Rng rng(seed);
+  const auto& edges = g.edges();
+  std::vector<EdgeDelta> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 2 == 0 && !edges.empty()) {
+      batch.push_back({edges[rng.Uniform(edges.size())], DeltaOp::kDelete});
+    } else {
+      batch.push_back(
+          {{static_cast<graph::VertexId>(rng.Uniform(g.num_vertices())),
+            static_cast<graph::VertexId>(rng.Uniform(g.num_vertices())),
+            static_cast<graph::Label>(rng.Uniform(g.num_labels()))},
+           DeltaOp::kInsert});
+    }
+  }
+  return batch;
+}
+
+}  // namespace cegraph::dynamic

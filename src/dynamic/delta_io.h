@@ -1,0 +1,41 @@
+#ifndef CEGRAPH_DYNAMIC_DELTA_IO_H_
+#define CEGRAPH_DYNAMIC_DELTA_IO_H_
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dynamic/delta_graph.h"
+#include "util/status.h"
+
+namespace cegraph::dynamic {
+
+/// Text serialization for delta batches, one operation per line:
+///
+///   # comments and blank lines allowed
+///   + <src> <dst> <label>     edge insert
+///   - <src> <dst> <label>     edge delete
+///
+/// This is the interchange format of `cegraph_stats refresh`: an upstream
+/// change feed dumps its edge mutations as text, the refresh subcommand
+/// replays them against a summary snapshot.
+util::Status WriteDeltaText(std::span<const EdgeDelta> batch,
+                            std::ostream& os);
+util::StatusOr<std::vector<EdgeDelta>> ReadDeltaText(std::istream& is);
+
+util::Status SaveDeltaBatch(std::span<const EdgeDelta> batch,
+                            const std::string& path);
+util::StatusOr<std::vector<EdgeDelta>> LoadDeltaBatch(
+    const std::string& path);
+
+/// A seeded batch of `n` operations — alternating deletes of existing
+/// edges and inserts of fresh random edges, the mixed churn a serving
+/// graph sees. Shared by `cegraph_stats refresh --random` and the dynamic
+/// benches so demo and measurement use the same churn shape.
+std::vector<EdgeDelta> RandomEdgeBatch(const graph::Graph& g, size_t n,
+                                       uint64_t seed);
+
+}  // namespace cegraph::dynamic
+
+#endif  // CEGRAPH_DYNAMIC_DELTA_IO_H_

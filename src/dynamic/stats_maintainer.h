@@ -1,0 +1,144 @@
+#ifndef CEGRAPH_DYNAMIC_STATS_MAINTAINER_H_
+#define CEGRAPH_DYNAMIC_STATS_MAINTAINER_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dynamic/delta_graph.h"
+#include "graph/graph.h"
+#include "stats/cycle_closing.h"
+#include "stats/degree_stats.h"
+#include "stats/dispersion.h"
+#include "stats/markov_table.h"
+
+namespace cegraph::dynamic {
+
+/// What one maintenance pass (EstimationContext::ApplyDeltas or a stale-
+/// snapshot replay) did to the statistics substrate.
+struct MaintenanceReport {
+  size_t inserted_edges = 0;  ///< net edge inserts in the batch
+  size_t deleted_edges = 0;   ///< net edge deletes in the batch
+  size_t changed_labels = 0;  ///< labels with any net change
+
+  size_t markov_carried = 0;        ///< entries kept (labels untouched)
+  size_t markov_evicted = 0;        ///< entries dropped (label changed)
+  size_t markov_exact_updates = 0;  ///< 1-edge entries refreshed in place
+
+  size_t base_relations_refreshed = 0;  ///< O(1) degree-map refreshes
+  size_t joins_carried = 0;
+  size_t joins_evicted = 0;
+
+  size_t closing_carried = 0;
+  size_t closing_evicted = 0;
+
+  size_t dispersion_carried = 0;
+  size_t dispersion_evicted = 0;
+
+  size_t ceg_evicted = 0;  ///< CegCache entries invalidated
+
+  bool char_sets_dropped = false;  ///< CS summary dropped for lazy rebuild
+  bool summary_updated = false;    ///< SumRDF summary patched in place
+  size_t summary_moved_vertices = 0;
+
+  size_t total_evicted() const {
+    return markov_evicted + joins_evicted + closing_evicted +
+           dispersion_evicted + ceg_evicted;
+  }
+};
+
+/// Bitmap (indexed by label) of relations with a net change.
+std::vector<bool> ChangedLabelBitmap(uint32_t num_labels, const NetDelta& net);
+std::vector<bool> ChangedLabelBitmap(uint32_t num_labels,
+                                     std::span<const EdgeDelta> log);
+
+/// True iff any edge label appearing in the canonical pattern code is
+/// marked in `changed`. Labels >= `label_modulus` are unmarked by
+/// subtracting the modulus first (the DispersionCatalog key convention of
+/// offsetting intersection-edge labels by num_labels). Malformed codes
+/// conservatively return true (better to recompute than to serve stale).
+bool CodeTouchesChangedLabel(std::string_view canonical_code,
+                             const std::vector<bool>& changed,
+                             uint32_t label_modulus);
+
+/// Canonical codes of the two unconstrained 1-edge patterns of label `l`
+/// — the Markov entries whose cardinality is an O(1)/O(|R_l|) fact of the
+/// graph, maintained exactly instead of evicted.
+std::string TwoVertexEdgeCode(graph::Label l);
+std::string LoopEdgeCode(graph::Label l);
+
+/// Applies one graph delta to the statistics substrate *incrementally*:
+/// exact in-place updates where the new value is a cheap fact of the new
+/// graph (1-edge Markov entries, base-relation degree maps, SumRDF buckets
+/// — the latter via SummaryGraph::ApplyDeltas), and targeted per-key
+/// eviction for everything whose inputs actually changed. Entries whose
+/// labels are untouched by the delta are carried verbatim: pattern
+/// matching, join materialization and dispersion analysis only ever read
+/// the relations named by their pattern, so an entry over unchanged
+/// relations is bit-identical to what a cold rebuild would recompute.
+///
+/// The one exception is cycle-closing rates: their sampling walks hop
+/// through *arbitrary* labels between the keyed first/last edges, so when
+/// options().max_mid_hops > 0 every rate is coupled to every relation and
+/// the whole cache is evicted on any delta; with max_mid_hops == 0 the walk
+/// touches exactly the three keyed labels and eviction is per-key.
+///
+/// Two flows share this logic:
+///  - Migrate*: copy surviving entries from the structures of the previous
+///    graph epoch into freshly constructed structures over the new graph
+///    (EstimationContext::ApplyDeltas).
+///  - Scrub*: evict in place after merging a stale snapshot's entries into
+///    live structures (EstimationContext::LoadSnapshot replay path).
+///
+/// All of it must run quiesced — no concurrent estimation.
+class StatsMaintainer {
+ public:
+  /// `old_graph` is the epoch the source structures describe, `new_graph`
+  /// the compacted result of applying `net`. Both must outlive the
+  /// maintainer.
+  StatsMaintainer(const graph::Graph& old_graph,
+                  const graph::Graph& new_graph, const NetDelta& net);
+
+  const std::vector<bool>& changed_labels() const { return changed_; }
+  size_t num_changed_labels() const;
+  bool TouchesChanged(std::string_view canonical_code) const {
+    return CodeTouchesChangedLabel(canonical_code, changed_,
+                                   new_graph_.num_labels());
+  }
+
+  void MigrateMarkov(const stats::MarkovTable& from,
+                     const stats::MarkovTable& to,
+                     MaintenanceReport* report) const;
+  void MigrateClosingRates(const stats::CycleClosingRates& from,
+                           const stats::CycleClosingRates& to,
+                           MaintenanceReport* report) const;
+  void MigrateCatalog(const stats::StatsCatalog& from,
+                      const stats::StatsCatalog& to,
+                      MaintenanceReport* report) const;
+  void MigrateDispersion(const stats::DispersionCatalog& from,
+                         const stats::DispersionCatalog& to,
+                         MaintenanceReport* report) const;
+
+  /// In-place variants over live structures (the structures' own graph is
+  /// the current epoch). Each returns the number of evicted entries and
+  /// performs the same exact refreshes as the Migrate twin.
+  static size_t ScrubMarkov(const stats::MarkovTable& table,
+                            const std::vector<bool>& changed);
+  static size_t ScrubClosingRates(const stats::CycleClosingRates& rates,
+                                  const std::vector<bool>& changed);
+  static size_t ScrubCatalog(const stats::StatsCatalog& catalog,
+                             const std::vector<bool>& changed);
+  static size_t ScrubDispersion(const stats::DispersionCatalog& catalog,
+                                const std::vector<bool>& changed);
+
+ private:
+  const graph::Graph& old_graph_;
+  const graph::Graph& new_graph_;
+  const NetDelta& net_;
+  std::vector<bool> changed_;
+};
+
+}  // namespace cegraph::dynamic
+
+#endif  // CEGRAPH_DYNAMIC_STATS_MAINTAINER_H_

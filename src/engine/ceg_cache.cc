@@ -1,5 +1,6 @@
 #include "engine/ceg_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "ceg/ceg_ocr.h"
@@ -31,7 +32,7 @@ util::StatusOr<std::shared_ptr<const CachedCeg>> CegCache::GetOrBuild(
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return it->second.ceg;
     }
   }
 
@@ -57,8 +58,21 @@ util::StatusOr<std::shared_ptr<const CachedCeg>> CegCache::GetOrBuild(
     entry->aggregates_status = aggregates.status();
   }
 
+  // The invalidation index: distinct labels of the query, sorted.
+  Entry cache_entry;
+  cache_entry.ceg = std::move(entry);
+  cache_entry.labels.reserve(q.num_edges());
+  for (const query::QueryEdge& e : q.edges()) {
+    cache_entry.labels.push_back(e.label);
+  }
+  std::sort(cache_entry.labels.begin(), cache_entry.labels.end());
+  cache_entry.labels.erase(
+      std::unique(cache_entry.labels.begin(), cache_entry.labels.end()),
+      cache_entry.labels.end());
+  cache_entry.ocr = kind == OptimisticCeg::kCegOcr;
+
   std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  auto [it, inserted] = entries_.emplace(key, std::move(cache_entry));
   // Count under the lock so misses() is exactly the number of distinct
   // entries ever inserted, independent of thread interleavings; a racer
   // whose redundant build lost the insert counts as a hit.
@@ -67,7 +81,33 @@ util::StatusOr<std::shared_ptr<const CachedCeg>> CegCache::GetOrBuild(
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  return it->second;
+  return it->second.ceg;
+}
+
+size_t CegCache::EvictAffected(const std::vector<bool>& changed_labels,
+                               bool evict_all_ocr) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t erased = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& entry = it->second;
+    bool affected = evict_all_ocr && entry.ocr;
+    if (!affected) {
+      for (graph::Label l : entry.labels) {
+        if (l < changed_labels.size() && changed_labels[l]) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (affected) {
+      it = entries_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  evictions_.fetch_add(erased, std::memory_order_relaxed);
+  return erased;
 }
 
 size_t CegCache::size() const {
@@ -80,6 +120,7 @@ void CegCache::Clear() {
   entries_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace cegraph::engine

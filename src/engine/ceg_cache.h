@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "ceg/ceg_o.h"
 #include "estimators/optimistic.h"
@@ -40,6 +41,11 @@ struct CachedCeg {
 /// code, CEG kind, Markov h, construction-rule bits). Entries are immutable
 /// after insert (the CEG is finalized so traversals are pure reads) and
 /// shared via shared_ptr, so readers never block builders.
+///
+/// For the dynamic layer every entry records the distinct edge labels of
+/// its query and whether it is an OCR build, so EvictAffected can drop
+/// exactly the builds whose CEG weights (Markov cardinalities,
+/// cycle-closing rates) an edge delta invalidated.
 class CegCache {
  public:
   CegCache() = default;
@@ -54,6 +60,14 @@ class CegCache {
       OptimisticCeg kind, const stats::CycleClosingRates* rates = nullptr,
       const ceg::CegOOptions& options = {});
 
+  /// Targeted invalidation after a graph delta: drops every entry whose
+  /// query uses a label marked in `changed_labels`, plus (when
+  /// `evict_all_ocr`) every CEG_OCR entry regardless of labels — closing
+  /// rates sampled with intermediate hops are coupled to every relation.
+  /// Returns the number of dropped entries. Must run quiesced.
+  size_t EvictAffected(const std::vector<bool>& changed_labels,
+                       bool evict_all_ocr);
+
   /// Lookup counters: exactly one miss per distinct (query class, kind,
   /// options) entry ever inserted — the "one build per query per CEG
   /// kind" property the micro-bench asserts — regardless of thread
@@ -62,14 +76,25 @@ class CegCache {
   /// GetOrBuild calls.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   size_t size() const;
   void Clear();
 
  private:
+  struct Entry {
+    std::shared_ptr<const CachedCeg> ceg;
+    /// Distinct edge labels of the query, sorted — the invalidation index.
+    std::vector<graph::Label> labels;
+    bool ocr = false;
+  };
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const CachedCeg>> entries_;
+  std::unordered_map<std::string, Entry> entries_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace cegraph::engine

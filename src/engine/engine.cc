@@ -16,6 +16,18 @@ util::StatusOr<const CardinalityEstimator*> EstimationEngine::Estimator(
   return it->second.get();
 }
 
+util::StatusOr<dynamic::MaintenanceReport> EstimationEngine::ApplyDeltas(
+    const std::vector<dynamic::EdgeDelta>& batch) {
+  // Drop instances first: their statistics references die when the context
+  // swaps structures, and nothing may observe them in between (ApplyDeltas
+  // requires quiescence anyway).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    instances_.clear();
+  }
+  return context_.ApplyDeltas(batch);
+}
+
 util::StatusOr<std::vector<const CardinalityEstimator*>>
 EstimationEngine::Estimators(const std::vector<std::string>& names) const {
   std::vector<const CardinalityEstimator*> out;

@@ -45,6 +45,15 @@ class EstimationEngine {
   util::StatusOr<std::vector<const CardinalityEstimator*>> Estimators(
       const std::vector<std::string>& names) const;
 
+  /// Applies an edge-delta batch to the shared context (incremental
+  /// statistics maintenance, see EstimationContext::ApplyDeltas) and drops
+  /// every memoized estimator instance — they hold references to the
+  /// replaced statistics structures. Pointers previously returned by
+  /// Estimator()/Estimators() are invalidated; re-resolve them. Must run
+  /// quiesced (no in-flight estimation).
+  util::StatusOr<dynamic::MaintenanceReport> ApplyDeltas(
+      const std::vector<dynamic::EdgeDelta>& batch);
+
  private:
   EstimationContext context_;
   const EstimatorRegistry* registry_;

@@ -1,5 +1,7 @@
 #include "engine/estimation_context.h"
 
+#include <utility>
+
 namespace cegraph::engine {
 
 const stats::MarkovTable& EstimationContext::markov(int h) const {
@@ -29,7 +31,8 @@ util::StatusOr<const stats::MarkovTable*> EstimationContext::TryMarkov(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = markov_.find(h);
   if (it == markov_.end()) {
-    it = markov_.emplace(h, std::make_unique<stats::MarkovTable>(g_, h)).first;
+    it = markov_.emplace(h, std::make_unique<stats::MarkovTable>(*g_, h))
+             .first;
   }
   return it->second.get();
 }
@@ -39,7 +42,7 @@ const stats::CycleClosingRates& EstimationContext::cycle_closing_rates()
   std::lock_guard<std::mutex> lock(mutex_);
   if (rates_ == nullptr) {
     rates_ = std::make_unique<stats::CycleClosingRates>(
-        g_, options_.cycle_closing);
+        *g_, options_.cycle_closing);
   }
   return *rates_;
 }
@@ -48,7 +51,7 @@ const stats::StatsCatalog& EstimationContext::stats_catalog() const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (catalog_ == nullptr) {
     catalog_ = std::make_unique<stats::StatsCatalog>(
-        g_, options_.stats_materialize_cap);
+        *g_, options_.stats_materialize_cap);
   }
   return *catalog_;
 }
@@ -57,7 +60,7 @@ const stats::CharacteristicSets& EstimationContext::characteristic_sets()
     const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (char_sets_ == nullptr) {
-    char_sets_ = std::make_unique<stats::CharacteristicSets>(g_);
+    char_sets_ = std::make_unique<stats::CharacteristicSets>(*g_);
   }
   return *char_sets_;
 }
@@ -66,7 +69,7 @@ const stats::SummaryGraph& EstimationContext::summary_graph() const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (summary_ == nullptr) {
     summary_ = std::make_unique<stats::SummaryGraph>(
-        g_, options_.summary_buckets);
+        *g_, options_.summary_buckets);
   }
   return *summary_;
 }
@@ -75,9 +78,142 @@ const stats::DispersionCatalog& EstimationContext::dispersion_catalog()
     const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (dispersion_ == nullptr) {
-    dispersion_ = std::make_unique<stats::DispersionCatalog>(g_);
+    dispersion_ = std::make_unique<stats::DispersionCatalog>(*g_);
   }
   return *dispersion_;
+}
+
+util::StatusOr<dynamic::MaintenanceReport> EstimationContext::ApplyDeltas(
+    const std::vector<dynamic::EdgeDelta>& batch) {
+  dynamic::MaintenanceReport report;
+
+  dynamic::DeltaGraph overlay(*g_);
+  CEGRAPH_RETURN_IF_ERROR(overlay.Apply(batch));
+  const dynamic::NetDelta net = overlay.CollectNetDelta();
+  report.inserted_edges = net.inserted.size();
+  report.deleted_edges = net.deleted.size();
+
+  // Epoch bookkeeping runs only once the batch is fully committed (after
+  // any fallible step), so a failed ApplyDeltas leaves the whole dynamic
+  // state — graph, statistics, fingerprint, replay log — untouched. An
+  // all-no-op batch still commits: it was observed, and snapshots stamped
+  // before it must be recognized as earlier points of this log.
+  auto commit_epoch = [&] {
+    delta_hash_ ^= overlay.delta_hash();
+    ++epoch_;
+    for (const graph::Edge& e : net.deleted) {
+      replay_log_.push_back({e, dynamic::DeltaOp::kDelete});
+    }
+    for (const graph::Edge& e : net.inserted) {
+      replay_log_.push_back({e, dynamic::DeltaOp::kInsert});
+    }
+    epoch_history_.push_back({delta_hash_, replay_log_.size()});
+  };
+
+  if (net.empty()) {
+    commit_epoch();
+    return report;
+  }
+
+  auto compacted = overlay.Compact();
+  if (!compacted.ok()) return compacted.status();
+  auto new_graph = std::make_shared<const graph::Graph>(
+      std::move(*compacted));
+
+  dynamic::StatsMaintainer maintainer(*g_, *new_graph, net);
+  report.changed_labels = maintainer.num_changed_labels();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Rebuild each constructed structure over the new graph, carrying the
+    // entries the delta did not invalidate. The old graph stays alive for
+    // the whole block (owned_ is swapped last), so the migrations can read
+    // both epochs.
+    std::map<int, std::unique_ptr<stats::MarkovTable>> new_markov;
+    for (const auto& [h, table] : markov_) {
+      auto fresh = std::make_unique<stats::MarkovTable>(*new_graph, h);
+      maintainer.MigrateMarkov(*table, *fresh, &report);
+      new_markov.emplace(h, std::move(fresh));
+    }
+    markov_ = std::move(new_markov);
+
+    if (rates_ != nullptr) {
+      auto fresh = std::make_unique<stats::CycleClosingRates>(
+          *new_graph, options_.cycle_closing);
+      maintainer.MigrateClosingRates(*rates_, *fresh, &report);
+      rates_ = std::move(fresh);
+    }
+    if (catalog_ != nullptr) {
+      auto fresh = std::make_unique<stats::StatsCatalog>(
+          *new_graph, options_.stats_materialize_cap);
+      maintainer.MigrateCatalog(*catalog_, *fresh, &report);
+      catalog_ = std::move(fresh);
+    }
+    if (dispersion_ != nullptr) {
+      auto fresh = std::make_unique<stats::DispersionCatalog>(*new_graph);
+      maintainer.MigrateDispersion(*dispersion_, *fresh, &report);
+      dispersion_ = std::move(fresh);
+    }
+    if (char_sets_ != nullptr) {
+      // Any edge delta can regroup vertices by out-label set; the summary
+      // is one cheap pass over the graph, so drop it and rebuild lazily.
+      char_sets_.reset();
+      report.char_sets_dropped = true;
+    }
+    if (summary_ != nullptr) {
+      // Exact incremental SumRDF maintenance: only the delta edges and the
+      // re-bucketed endpoints are touched.
+      summary_->ApplyDeltas(*g_, *new_graph, net.deleted, net.inserted,
+                            &report.summary_moved_vertices);
+      report.summary_updated = true;
+    }
+
+    owned_ = std::move(new_graph);
+    g_ = owned_.get();
+  }
+  commit_epoch();
+
+  // CEG builds bake Markov cardinalities (and, for OCR, closing rates)
+  // into their edge weights; drop exactly the affected ones. OCR entries
+  // are all affected whenever rate sampling uses intermediate hops (see
+  // dynamic::StatsMaintainer).
+  report.ceg_evicted = ceg_cache_.EvictAffected(
+      maintainer.changed_labels(), options_.cycle_closing.max_mid_hops > 0);
+
+  return report;
+}
+
+std::vector<EstimationContext::CacheStats>
+EstimationContext::CollectCacheStats() const {
+  std::vector<CacheStats> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [h, table] : markov_) {
+      out.push_back({"markov(h=" + std::to_string(h) + ")",
+                     table->num_entries(), table->cache_counters()});
+    }
+    if (rates_ != nullptr) {
+      out.push_back(
+          {"closing-rates", rates_->num_cached(), rates_->cache_counters()});
+    }
+    if (catalog_ != nullptr) {
+      out.push_back({"degree-base", catalog_->num_base_cached(),
+                     catalog_->base_cache_counters()});
+      out.push_back({"degree-joins", catalog_->num_joins_cached(),
+                     catalog_->join_cache_counters()});
+    }
+    if (dispersion_ != nullptr) {
+      out.push_back({"dispersion", dispersion_->num_cached(),
+                     dispersion_->cache_counters()});
+    }
+  }
+  util::CacheCounters ceg;
+  ceg.hits = ceg_cache_.hits();
+  ceg.misses = ceg_cache_.misses();
+  ceg.evictions = ceg_cache_.evictions();
+  out.push_back({"ceg-cache", ceg_cache_.size(), ceg});
+  return out;
 }
 
 }  // namespace cegraph::engine

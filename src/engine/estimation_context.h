@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "dynamic/delta_graph.h"
+#include "dynamic/stats_maintainer.h"
 #include "engine/ceg_cache.h"
 #include "graph/graph.h"
 #include "query/workload.h"
@@ -83,15 +85,43 @@ struct PrewarmReport {
 /// milliseconds on a later process start (guarded by the graph fingerprint,
 /// so stats never load against the wrong dataset). See engine/snapshot.h
 /// for the file format.
+///
+/// The context is also *update-aware*: ApplyDeltas folds a batch of edge
+/// inserts/deletes into the graph (via a dynamic::DeltaGraph compaction)
+/// and maintains the statistics incrementally — exact in-place updates
+/// where cheap, targeted per-key eviction elsewhere (see
+/// dynamic::StatsMaintainer) — instead of rebuilding from scratch. The
+/// context's identity then becomes a dynamic fingerprint triple
+/// (base fingerprint, delta-log hash, epoch); snapshots taken at an earlier
+/// epoch of the same log remain loadable (stale-but-replayable), snapshots
+/// of unrelated graphs are rejected. ApplyDeltas must run quiesced: no
+/// concurrent estimation, and estimator instances created before the call
+/// hold dangling statistics references afterwards (EstimationEngine
+/// re-creates its instances; direct users must do the same).
 class EstimationContext {
  public:
+  /// Borrows `g`, which must outlive the context. After ApplyDeltas the
+  /// context serves a new compacted graph it owns; the borrowed base is
+  /// never modified.
   explicit EstimationContext(const graph::Graph& g, ContextOptions options = {})
-      : g_(g), options_(options) {}
+      : g_(&g), options_(options), base_fingerprint_(g.fingerprint()) {
+    epoch_history_.push_back({0, 0});
+  }
+  /// Takes ownership of `g`.
+  explicit EstimationContext(graph::Graph&& g, ContextOptions options = {})
+      : owned_(std::make_shared<const graph::Graph>(std::move(g))),
+        g_(owned_.get()),
+        options_(options),
+        base_fingerprint_(g_->fingerprint()) {
+    epoch_history_.push_back({0, 0});
+  }
 
   EstimationContext(const EstimationContext&) = delete;
   EstimationContext& operator=(const EstimationContext&) = delete;
 
-  const graph::Graph& graph() const { return g_; }
+  /// The current graph: the construction-time graph until the first
+  /// ApplyDeltas, the owned compacted graph afterwards.
+  const graph::Graph& graph() const { return *g_; }
   const ContextOptions& options() const { return options_; }
 
   /// The size-`h` Markov table (h = 0 means options().markov_h). Built on
@@ -123,6 +153,46 @@ class EstimationContext {
   /// The shared CEG build cache.
   CegCache& ceg_cache() const { return ceg_cache_; }
 
+  // ---- Dynamic layer ----
+
+  /// Applies one batch of edge deltas: compacts the overlay into a fresh
+  /// CSR graph, migrates every built statistics structure onto it
+  /// incrementally (exact in-place updates for 1-edge Markov entries,
+  /// base-relation degree maps and SumRDF buckets; targeted per-key
+  /// eviction for entries whose labels changed; Characteristic Sets
+  /// dropped for lazy rebuild), evicts affected CegCache entries, appends
+  /// the net delta to the replay log and advances the epoch. No-op batches
+  /// (all operations cancelled or redundant) still advance the epoch.
+  ///
+  /// Must run quiesced — no concurrent estimation — and invalidates every
+  /// estimator instance constructed from this context (they hold
+  /// references to the replaced statistics structures). Go through
+  /// EstimationEngine::ApplyDeltas to have instances refreshed
+  /// automatically.
+  util::StatusOr<dynamic::MaintenanceReport> ApplyDeltas(
+      const std::vector<dynamic::EdgeDelta>& batch);
+
+  /// The context's dynamic identity: construction-time base fingerprint,
+  /// XOR-combined hash of the net delta log, number of applied batches.
+  dynamic::DynamicFingerprint dynamic_fingerprint() const {
+    return {base_fingerprint_, delta_hash_, epoch_};
+  }
+  uint64_t epoch() const { return epoch_; }
+  /// Net delta operations applied so far, in application order (the replay
+  /// log that makes earlier-epoch snapshots stale-but-usable).
+  const std::vector<dynamic::EdgeDelta>& delta_log() const {
+    return replay_log_;
+  }
+
+  /// Per-cache resident sizes and hit/miss/evict counters, for
+  /// observability (cegraph_stats inspect/refresh).
+  struct CacheStats {
+    std::string name;
+    size_t entries = 0;
+    util::CacheCounters counters;
+  };
+  std::vector<CacheStats> CollectCacheStats() const;
+
   /// Fills the statistics caches for `workload` ahead of time: enumerates
   /// every connected sub-query a Markov lookup can hit, every two-join
   /// pattern, every base relation and every CEG_OCR closing key the
@@ -135,23 +205,63 @@ class EstimationContext {
                         const PrewarmOptions& options = {}) const;
 
   /// Persists every statistic built so far (lazily or via Prewarm) to a
-  /// versioned binary snapshot at `path`, stamped with the graph's
-  /// fingerprint. Implemented in engine/snapshot.cc.
+  /// versioned binary snapshot at `path`, stamped with the context's
+  /// dynamic fingerprint (base fingerprint in the header; delta hash and
+  /// epoch in a dynamic-state section when the context has applied
+  /// deltas). Implemented in engine/snapshot.cc.
   util::Status SaveSnapshot(const std::string& path) const;
 
+  /// How one LoadSnapshot resolved.
+  struct SnapshotLoadReport {
+    /// False: the snapshot matched this context's state exactly. True: the
+    /// snapshot was taken at an earlier epoch of the same delta log and
+    /// was made usable by replaying the missing deltas against its
+    /// entries (targeted eviction + exact refresh).
+    bool stale = false;
+    uint64_t snapshot_epoch = 0;
+    size_t replayed_deltas = 0;
+    size_t evicted_entries = 0;
+  };
+
   /// Restores a snapshot written by SaveSnapshot. Rejects files whose
-  /// magic/version are unknown (InvalidArgument), whose fingerprint does
-  /// not match this context's graph (FailedPrecondition), or that are
-  /// truncated/corrupted (OutOfRange/InvalidArgument from the bounds-
-  /// checked reader). Loaded entries merge into the lazy caches (existing
-  /// entries win); eager summaries (CS, SumRDF) are adopted wholesale if
-  /// not yet built. Call before handing out estimators. Implemented in
-  /// engine/snapshot.cc.
-  util::Status LoadSnapshot(const std::string& path) const;
+  /// magic/version are unknown (InvalidArgument), that are truncated or
+  /// corrupted (OutOfRange/InvalidArgument from the bounds-checked
+  /// reader), or whose fingerprint is incompatible (FailedPrecondition:
+  /// "fingerprint mismatch — rebuild").
+  ///
+  /// Compatibility is judged against the dynamic fingerprint: a snapshot
+  /// whose (delta hash, epoch) equals this context's state loads fully; a
+  /// snapshot taken at an *earlier epoch of the same delta log* is stale
+  /// but usable — its keyed-cache sections are merged and then scrubbed
+  /// for the labels the missing deltas touched (whole-graph summaries are
+  /// skipped and rebuild lazily); anything else is a mismatch. `report`,
+  /// if non-null, receives which path was taken. Loaded entries merge into
+  /// the lazy caches (existing entries win). Call before handing out
+  /// estimators. Implemented in engine/snapshot.cc.
+  util::Status LoadSnapshot(const std::string& path,
+                            SnapshotLoadReport* report = nullptr) const;
 
  private:
-  const graph::Graph& g_;
+  /// The dynamic fingerprint after each epoch: epoch_history_[k] is the
+  /// (delta hash, replay-log length) right after the k-th batch
+  /// (epoch_history_[0] = pristine). LoadSnapshot uses it to recognize
+  /// snapshots taken at any earlier epoch of this log.
+  struct EpochMark {
+    uint64_t delta_hash = 0;
+    size_t log_size = 0;
+  };
+
+  /// Owns the graph after compaction (or from the owning constructor);
+  /// null while serving a borrowed base graph.
+  std::shared_ptr<const graph::Graph> owned_;
+  const graph::Graph* g_;
   ContextOptions options_;
+
+  graph::GraphFingerprint base_fingerprint_;
+  uint64_t delta_hash_ = 0;
+  uint64_t epoch_ = 0;
+  std::vector<dynamic::EdgeDelta> replay_log_;
+  std::vector<EpochMark> epoch_history_;
 
   mutable std::mutex mutex_;
   mutable std::map<int, std::unique_ptr<stats::MarkovTable>> markov_;

@@ -58,7 +58,7 @@ PrewarmReport EstimationContext::Prewarm(
   // DispersionCatalog::Get uses — the canonical code of the pattern with
   // intersection edges marked by a label offset — or isomorphic patterns
   // with different edge orders would alias distinct (E, I) classes.
-  const graph::Label mark_offset = g_.num_labels();
+  const graph::Label mark_offset = g_->num_labels();
   auto dispersion_key = [&](const query::QueryGraph& pattern,
                             query::EdgeSet intersection) -> std::string {
     std::vector<query::QueryEdge> marked = pattern.edges();

@@ -2,9 +2,11 @@
 
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <utility>
 
+#include "dynamic/stats_maintainer.h"
 #include "engine/estimation_context.h"
 #include "util/serde.h"
 
@@ -125,10 +127,10 @@ util::StatusOr<SnapshotInfo> ReadHeader(Reader& reader) {
   SnapshotInfo info;
   auto version = reader.ReadU32();
   if (!version.ok()) return version.status();
-  if (*version != kSnapshotVersion) {
+  if (*version < 1 || *version > kSnapshotVersion) {
     return util::InvalidArgumentError(
         "unsupported snapshot version " + std::to_string(*version) +
-        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        " (this build reads versions 1.." + std::to_string(kSnapshotVersion) +
         ")");
   }
   info.version = *version;
@@ -164,6 +166,10 @@ const char* SnapshotSectionName(uint32_t id) {
       return "summary-graph";
     case SnapshotSection::kDispersion:
       return "dispersion";
+    case SnapshotSection::kDynamicState:
+      return "dynamic-state";
+    case SnapshotSection::kDeltaLog:
+      return "delta-log";
   }
   return "unknown";
 }
@@ -175,6 +181,9 @@ util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
   auto info = ReadHeader(reader);
   if (!info.ok()) return info.status();
   info->file_bytes = bytes->size();
+  // Static snapshots describe the base graph itself; a kDynamicState
+  // section overrides this below.
+  info->current_fingerprint = info->fingerprint;
 
   auto section_count = reader.ReadU32();
   if (!section_count.ok()) return section_count.status();
@@ -221,6 +230,25 @@ util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
         section.entries = *entries;
         break;
       }
+      case SnapshotSection::kDynamicState: {
+        auto delta_hash = sub.ReadU64();
+        if (!delta_hash.ok()) return delta_hash.status();
+        auto epoch = sub.ReadU64();
+        if (!epoch.ok()) return epoch.status();
+        auto current = ReadFingerprint(sub);
+        if (!current.ok()) return current.status();
+        info->delta_hash = *delta_hash;
+        info->epoch = *epoch;
+        info->current_fingerprint = *current;
+        section.entries = *epoch;
+        break;
+      }
+      case SnapshotSection::kDeltaLog: {
+        auto entries = sub.ReadU64();
+        if (!entries.ok()) return entries.status();
+        section.entries = *entries;
+        break;
+      }
       default:
         break;  // unknown section: size only
     }
@@ -230,6 +258,53 @@ util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
     return util::InvalidArgumentError("trailing bytes after last section");
   }
   return *info;
+}
+
+util::StatusOr<std::vector<dynamic::EdgeDelta>> ReadSnapshotDeltaLog(
+    const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  Reader reader(*bytes);
+  auto info = ReadHeader(reader);
+  if (!info.ok()) return info.status();
+  auto section_count = reader.ReadU32();
+  if (!section_count.ok()) return section_count.status();
+  std::vector<dynamic::EdgeDelta> log;
+  for (uint32_t s = 0; s < *section_count; ++s) {
+    auto id = reader.ReadU32();
+    if (!id.ok()) return id.status();
+    auto length = reader.ReadU64();
+    if (!length.ok()) return length.status();
+    auto payload = reader.ReadRaw(static_cast<size_t>(*length));
+    if (!payload.ok()) return payload.status();
+    if (static_cast<SnapshotSection>(*id) != SnapshotSection::kDeltaLog) {
+      continue;
+    }
+    Reader sub(*payload);
+    auto count = sub.ReadU64();
+    if (!count.ok()) return count.status();
+    // Each op is 13 bytes; bound before allocating.
+    if (*count > sub.remaining() / 13) {
+      return util::InvalidArgumentError("implausible delta-log length");
+    }
+    log.reserve(static_cast<size_t>(*count));
+    for (uint64_t i = 0; i < *count; ++i) {
+      auto op = sub.ReadU8();
+      if (!op.ok()) return op.status();
+      if (*op > 1) {
+        return util::InvalidArgumentError("unknown delta op in snapshot");
+      }
+      auto src = sub.ReadU32();
+      if (!src.ok()) return src.status();
+      auto dst = sub.ReadU32();
+      if (!dst.ok()) return dst.status();
+      auto label = sub.ReadU32();
+      if (!label.ok()) return label.status();
+      log.push_back({{*src, *dst, *label},
+                     static_cast<dynamic::DeltaOp>(*op)});
+    }
+  }
+  return log;
 }
 
 util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
@@ -289,11 +364,37 @@ util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
     dispersion->ExportEntries(payload);
     sections.emplace_back(SnapshotSection::kDispersion, payload.TakeBuffer());
   }
+  if (epoch_ > 0) {
+    // The stored statistics describe the post-delta graph while the header
+    // carries the base fingerprint; the dynamic-state section records
+    // which point of the delta log this is and what the described graph's
+    // own fingerprint is, and the version bump keeps version-1 readers
+    // (which would skip the unknown section and load the stats against
+    // the pristine base) from accepting the file.
+    Writer payload;
+    payload.WriteU64(delta_hash_);
+    payload.WriteU64(epoch_);
+    WriteFingerprint(payload, g_->fingerprint());
+    sections.emplace_back(SnapshotSection::kDynamicState,
+                          payload.TakeBuffer());
+
+    // The net replay log makes the artifact self-contained: a consumer
+    // holding only the base graph replays it to reconstruct this state.
+    Writer log;
+    log.WriteU64(replay_log_.size());
+    for (const dynamic::EdgeDelta& d : replay_log_) {
+      log.WriteU8(static_cast<uint8_t>(d.op));
+      log.WriteU32(d.edge.src);
+      log.WriteU32(d.edge.dst);
+      log.WriteU32(d.edge.label);
+    }
+    sections.emplace_back(SnapshotSection::kDeltaLog, log.TakeBuffer());
+  }
 
   Writer writer;
   writer.WriteRaw(std::string_view(kSnapshotMagic, 8));
-  writer.WriteU32(kSnapshotVersion);
-  WriteFingerprint(writer, g_.fingerprint());
+  writer.WriteU32(epoch_ > 0 ? kSnapshotVersion : kSnapshotVersionStatic);
+  WriteFingerprint(writer, base_fingerprint_);
   WriteOptions(writer, OptionsOf(options_));
   writer.WriteU32(static_cast<uint32_t>(sections.size()));
   for (const auto& [id, payload] : sections) {
@@ -304,18 +405,14 @@ util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
   return WriteFileBytes(path, writer.buffer());
 }
 
-util::Status EstimationContext::LoadSnapshot(const std::string& path) const {
+util::Status EstimationContext::LoadSnapshot(const std::string& path,
+                                             SnapshotLoadReport* report)
+    const {
   auto bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
   Reader reader(*bytes);
   auto info = ReadHeader(reader);
   if (!info.ok()) return info.status();
-  if (!(info->fingerprint == g_.fingerprint())) {
-    return util::FailedPreconditionError(
-        "snapshot fingerprint mismatch: snapshot built for " +
-        DescribeFingerprint(info->fingerprint) + ", context graph is " +
-        DescribeFingerprint(g_.fingerprint()));
-  }
   // Reject statistics computed under different construction knobs: they
   // would merge cleanly but answer wrongly (e.g. over-cap verdicts from a
   // smaller materialize cap, rates from a different sampling setup, a
@@ -356,6 +453,67 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path) const {
     return util::InvalidArgumentError("trailing bytes after last section");
   }
 
+  // The snapshot's point in the delta log — (delta hash, epoch) plus the
+  // fingerprint of the graph its statistics actually describe. Static
+  // (version 1 / epoch 0) files describe the base graph itself.
+  uint64_t snap_delta_hash = 0;
+  uint64_t snap_epoch = 0;
+  graph::GraphFingerprint snap_current = info->fingerprint;
+  bool has_delta_log = false;
+  for (const auto& [id, payload] : sections) {
+    if (static_cast<SnapshotSection>(id) == SnapshotSection::kDeltaLog) {
+      has_delta_log = true;
+    }
+    if (static_cast<SnapshotSection>(id) != SnapshotSection::kDynamicState) {
+      continue;
+    }
+    Reader sub(payload);
+    auto delta_hash = sub.ReadU64();
+    if (!delta_hash.ok()) return delta_hash.status();
+    auto epoch = sub.ReadU64();
+    if (!epoch.ok()) return epoch.status();
+    auto current = ReadFingerprint(sub);
+    if (!current.ok()) return current.status();
+    snap_delta_hash = *delta_hash;
+    snap_epoch = *epoch;
+    snap_current = *current;
+  }
+
+  // Freshness is judged by content first: statistics are a pure function
+  // of (graph, options), so a snapshot whose described graph matches this
+  // context's *current* graph merges fully, whatever lineage produced
+  // either. Failing that, a snapshot taken at an earlier epoch of this
+  // context's own delta log is stale-but-usable: keyed sections merge and
+  // the missing deltas replay as targeted eviction + exact refresh.
+  // Anything else is a mismatch that needs a rebuild — or, when the file
+  // embeds its delta log, a reconstruction (replay the log onto the base
+  // graph via ReadSnapshotDeltaLog + ApplyDeltas, then load fresh).
+  const bool fresh = snap_current == g_->fingerprint();
+  if (!fresh && (!(info->fingerprint == base_fingerprint_) ||
+                 snap_epoch >= epoch_history_.size() ||
+                 epoch_history_[snap_epoch].delta_hash != snap_delta_hash)) {
+    return util::FailedPreconditionError(
+        "snapshot fingerprint mismatch: statistics describe graph " +
+        DescribeFingerprint(snap_current) + " (base " +
+        DescribeFingerprint(info->fingerprint) + ", epoch " +
+        std::to_string(snap_epoch) + "), context graph is " +
+        DescribeFingerprint(g_->fingerprint()) + " (base " +
+        DescribeFingerprint(base_fingerprint_) + ", epoch " +
+        std::to_string(epoch_) + ") — " +
+        (has_delta_log
+             ? "replay the snapshot's embedded delta log onto its base "
+               "graph (ReadSnapshotDeltaLog + ApplyDeltas), or rebuild"
+             : "rebuild the snapshot for this graph state"));
+  }
+  const bool stale = !fresh;
+  if (report != nullptr) {
+    report->stale = stale;
+    report->snapshot_epoch = snap_epoch;
+    report->replayed_deltas =
+        stale ? replay_log_.size() - epoch_history_[snap_epoch].log_size : 0;
+    report->evicted_entries = 0;
+  }
+
   // Two-phase apply: the staging pass parses and validates every section
   // into throwaway structures, so a snapshot that is corrupted mid-file
   // never leaves partially imported entries in the live caches — a failed
@@ -369,11 +527,19 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path) const {
     explicit Staging(const graph::Graph& g)
         : rates(g), catalog(g), dispersion(g) {}
   };
-  Staging staging(g_);
+  Staging staging(*g_);
   for (const bool dry_run : {true, false}) {
     for (const auto& [id, payload] : sections) {
+      // Stale loads skip the whole-graph summaries: they describe the
+      // snapshot's epoch wholesale and have no per-key invalidation — the
+      // live context rebuilds them lazily from the current graph instead.
+      const auto section = static_cast<SnapshotSection>(id);
+      if (stale && (section == SnapshotSection::kCharSets ||
+                    section == SnapshotSection::kSummaryGraph)) {
+        continue;
+      }
       Reader sub(payload);
-      switch (static_cast<SnapshotSection>(id)) {
+      switch (section) {
         case SnapshotSection::kMarkov: {
           auto h = sub.ReadU32();
           if (!h.ok()) return h.status();
@@ -383,7 +549,7 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path) const {
           }
           if (dry_run) {
             staging.markov = std::make_unique<stats::MarkovTable>(
-                g_, static_cast<int>(*h));
+                *g_, static_cast<int>(*h));
             CEGRAPH_RETURN_IF_ERROR(staging.markov->ImportEntries(sub));
           } else {
             auto table = TryMarkov(static_cast<int>(*h));
@@ -405,7 +571,7 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path) const {
         case SnapshotSection::kCharSets: {
           auto loaded = stats::CharacteristicSets::Load(sub);
           if (!loaded.ok()) return loaded.status();
-          if (loaded->num_graph_vertices() != g_.num_vertices()) {
+          if (loaded->num_graph_vertices() != g_->num_vertices()) {
             return util::InvalidArgumentError(
                 "characteristic-set summary built over a different vertex "
                 "count");
@@ -428,7 +594,7 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path) const {
           // The SumRDF estimator indexes superedge tables by data-graph
           // label, so a summary whose label space does not match the
           // context graph would be undefined behavior, not just wrong.
-          if (loaded->num_labels() != g_.num_labels()) {
+          if (loaded->num_labels() != g_->num_labels()) {
             return util::InvalidArgumentError(
                 "summary graph built over a different label count");
           }
@@ -446,6 +612,8 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path) const {
               (dry_run ? staging.dispersion : dispersion_catalog())
                   .ImportEntries(sub));
           break;
+        case SnapshotSection::kDynamicState:
+          continue;  // already parsed above
         default:
           continue;  // unknown section: written by a newer build, skip
       }
@@ -455,6 +623,45 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path) const {
             " has trailing bytes (corrupted snapshot)");
       }
     }
+  }
+
+  if (stale) {
+    // Replay the delta-log suffix the snapshot has not seen: the merged
+    // entries were computed at the snapshot's epoch, so every entry whose
+    // labels the missing deltas touched is evicted (and the cheap exact
+    // entries refreshed from the current graph). Entries the live context
+    // had already computed for the current epoch can only be over-evicted
+    // by this — they lazily recompute to the same values.
+    const std::vector<bool> changed = dynamic::ChangedLabelBitmap(
+        g_->num_labels(),
+        std::span<const dynamic::EdgeDelta>(replay_log_)
+            .subspan(epoch_history_[snap_epoch].log_size));
+    size_t evicted = 0;
+    std::vector<const stats::MarkovTable*> tables;
+    const stats::CycleClosingRates* rates = nullptr;
+    const stats::StatsCatalog* catalog = nullptr;
+    const stats::DispersionCatalog* dispersion = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [h, table] : markov_) tables.push_back(table.get());
+      rates = rates_.get();
+      catalog = catalog_.get();
+      dispersion = dispersion_.get();
+    }
+    for (const stats::MarkovTable* table : tables) {
+      evicted += dynamic::StatsMaintainer::ScrubMarkov(*table, changed);
+    }
+    if (rates != nullptr) {
+      evicted += dynamic::StatsMaintainer::ScrubClosingRates(*rates, changed);
+    }
+    if (catalog != nullptr) {
+      evicted += dynamic::StatsMaintainer::ScrubCatalog(*catalog, changed);
+    }
+    if (dispersion != nullptr) {
+      evicted +=
+          dynamic::StatsMaintainer::ScrubDispersion(*dispersion, changed);
+    }
+    if (report != nullptr) report->evicted_entries = evicted;
   }
   return util::Status::OK();
 }

@@ -5,19 +5,21 @@
 #include <string>
 #include <vector>
 
+#include "dynamic/delta_graph.h"
 #include "graph/graph.h"
 #include "util/status.h"
 
 namespace cegraph::engine {
 
-/// The summary-snapshot file format (version 1), written by
+/// The summary-snapshot file format (versions 1 and 2), written by
 /// EstimationContext::SaveSnapshot and the `cegraph_stats` CLI. All
 /// integers are little-endian (util::serde):
 ///
 ///   magic            8 bytes, "CEGSNAP1"
-///   version          u32 (= 1)
+///   version          u32 (1 or 2)
 ///   fingerprint      u32 num_vertices, u32 num_labels,
 ///                    u32 num_vertex_labels, u64 num_edges, u64 edge_hash
+///                    — the *base* graph's fingerprint
 ///   options          SnapshotOptions (see below)
 ///   section_count    u32
 ///   sections         section_count × { u32 id, u64 payload_bytes, payload }
@@ -30,8 +32,21 @@ namespace cegraph::engine {
 /// stored statistics' *values* — entries computed under a different
 /// materialize cap, bucket count or sampling setup would load cleanly but
 /// answer wrongly, so those are rejected too.
+///
+/// Version 2 (dynamic layer): a context that has applied edge deltas
+/// stamps a kDynamicState section carrying its (delta-log hash, epoch,
+/// current-graph fingerprint) plus a kDeltaLog section with the net replay
+/// log, and bumps the version, because the stored statistics then describe
+/// the *post-delta* graph while the header still carries the base
+/// fingerprint — a version-1 reader must reject such a file rather than
+/// load it against the pristine base. The embedded log makes the artifact
+/// self-contained: a consumer holding only the base graph replays it
+/// (ReadSnapshotDeltaLog + EstimationContext::ApplyDeltas) to reconstruct
+/// the exact graph state the statistics describe, then loads fresh.
+/// Contexts at epoch 0 keep writing version 1.
 inline constexpr char kSnapshotMagic[] = "CEGSNAP1";  // 8 chars + NUL
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;  ///< newest readable version
+inline constexpr uint32_t kSnapshotVersionStatic = 1;  ///< epoch-0 files
 
 /// The context options echoed into the header: everything that changes the
 /// content (not just the coverage) of stored statistics. markov_h is
@@ -51,7 +66,7 @@ struct SnapshotOptions {
                          const SnapshotOptions&) = default;
 };
 
-/// Section identifiers of format version 1.
+/// Section identifiers.
 enum class SnapshotSection : uint32_t {
   kMarkov = 1,        ///< u32 h + MarkovTable::ExportEntries (one per h)
   kClosingRates = 2,  ///< CycleClosingRates::ExportEntries
@@ -59,6 +74,11 @@ enum class SnapshotSection : uint32_t {
   kCharSets = 4,      ///< CharacteristicSets::Save
   kSummaryGraph = 5,  ///< SummaryGraph::Save
   kDispersion = 6,    ///< DispersionCatalog::ExportEntries
+  /// u64 delta-log hash + u64 epoch + current-graph fingerprint (v2).
+  kDynamicState = 7,
+  /// Net replay log: u64 count + count × { u8 op, u32 src, u32 dst,
+  /// u32 label } (v2).
+  kDeltaLog = 8,
 };
 
 /// Human-readable name for a section id ("markov", "closing-rates", ...);
@@ -84,6 +104,13 @@ struct SnapshotInfo {
   graph::GraphFingerprint fingerprint;
   SnapshotOptions options;
   uint64_t file_bytes = 0;
+  /// Dynamic state (version 2); zero for static (epoch-0) snapshots.
+  uint64_t delta_hash = 0;
+  uint64_t epoch = 0;
+  /// Fingerprint of the graph the stored statistics actually describe
+  /// (== `fingerprint` for static snapshots, the compacted post-delta
+  /// graph for version 2).
+  graph::GraphFingerprint current_fingerprint;
   std::vector<SnapshotSectionInfo> sections;
 };
 
@@ -91,6 +118,13 @@ struct SnapshotInfo {
 /// `path`. Rejects bad magic/version and truncated files with the same
 /// errors LoadSnapshot would give.
 util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+/// Reads just the embedded net delta log of the snapshot at `path` (empty
+/// for static snapshots). Applying it to a context over the snapshot's
+/// base graph reconstructs the exact graph state the statistics describe,
+/// after which LoadSnapshot succeeds as a fresh load.
+util::StatusOr<std::vector<dynamic::EdgeDelta>> ReadSnapshotDeltaLog(
+    const std::string& path);
 
 }  // namespace cegraph::engine
 

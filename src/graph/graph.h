@@ -113,6 +113,13 @@ class Graph {
   VertexLabel vertex_label(VertexId v) const {
     return vertex_labels_.empty() ? 0 : vertex_labels_[v];
   }
+  /// The raw vertex-label vector (empty when vertex-unlabeled). Exposed so
+  /// derived graphs (dynamic::DeltaGraph::Compact) can reproduce the base
+  /// graph's labeling — including its emptiness, which the fingerprint
+  /// distinguishes from an explicit all-zeros vector.
+  const std::vector<VertexLabel>& vertex_labels() const {
+    return vertex_labels_;
+  }
   /// Number of distinct vertex-label values (>= 1).
   uint32_t num_vertex_labels() const { return num_vertex_labels_; }
 

@@ -74,6 +74,8 @@ class CycleClosingRates {
   CycleClosingRates(const CycleClosingRates&) = delete;
   CycleClosingRates& operator=(const CycleClosingRates&) = delete;
 
+  const graph::Graph& graph() const { return g_; }
+
   /// The closing probability for `key`, in (0, 1]. Uses add-half (Laplace)
   /// smoothing so a rate of exactly zero — which would zero out the whole
   /// CEG path estimate — cannot occur: with c successes out of p completed
@@ -83,6 +85,34 @@ class CycleClosingRates {
   double Rate(const ClosingKey& key) const;
 
   size_t num_cached() const { return cache_.size(); }
+
+  // ---- Maintenance surface (dynamic layer) ----
+
+  /// Calls `fn(key, rate)` for every sampled entry.
+  template <typename Fn>
+  void VisitEntries(Fn&& fn) const {
+    cache_.ForEach(fn);
+  }
+
+  /// Re-inserts a rate carried over from a previous graph epoch (only valid
+  /// when the maintainer proved it cold-equivalent; see
+  /// dynamic::StatsMaintainer).
+  void UpsertEntry(const ClosingKey& key, double rate) const {
+    cache_.Upsert(key, rate);
+  }
+
+  /// Removes every entry whose key matches `pred`; returns how many were
+  /// removed.
+  template <typename Pred>
+  size_t EvictMatching(Pred&& pred) const {
+    return cache_.EraseIf(
+        [&](const ClosingKey& key, const double&) { return pred(key); });
+  }
+
+  const CycleClosingOptions& options() const { return options_; }
+
+  /// Lookup/eviction counters of the memo cache.
+  util::CacheCounters cache_counters() const { return cache_.counters(); }
 
   /// Serializes every sampled (key, rate) entry — the cycle-closing section
   /// of a summary snapshot.

@@ -87,24 +87,35 @@ DegreeMap ComputeDegreeMap(
   return dm;
 }
 
+namespace {
+
+/// Degree map of base relation `l` from the graph's O(1) CSR summaries.
+/// Local attributes: 0 = src (bit 1), 1 = dst (bit 2).
+DegreeMap BaseRelationMap(const graph::Graph& g, graph::Label l) {
+  DegreeMap dm;
+  dm.num_attrs = 2;
+  dm.deg[0][0] = 1;
+  dm.deg[1][1] = 1;
+  dm.deg[2][2] = 1;
+  dm.deg[3][3] = 1;
+  dm.deg[0][1] = static_cast<double>(g.NumDistinctSources(l));
+  dm.deg[0][2] = static_cast<double>(g.NumDistinctDests(l));
+  dm.deg[0][3] = static_cast<double>(g.RelationSize(l));
+  dm.deg[1][3] = static_cast<double>(g.MaxOutDegree(l));
+  dm.deg[2][3] = static_cast<double>(g.MaxInDegree(l));
+  return dm;
+}
+
+}  // namespace
+
 const DegreeMap& StatsCatalog::BaseRelation(graph::Label l) const {
   // Compute outside the lock (check-compute-insert like every other memo
   // cache here); a race on a cold label recomputes the same values.
-  // Local attributes: 0 = src (bit 1), 1 = dst (bit 2).
-  return base_cache_.GetOrCompute(l, [&] {
-    DegreeMap dm;
-    dm.num_attrs = 2;
-    dm.deg[0][0] = 1;
-    dm.deg[1][1] = 1;
-    dm.deg[2][2] = 1;
-    dm.deg[3][3] = 1;
-    dm.deg[0][1] = static_cast<double>(g_.NumDistinctSources(l));
-    dm.deg[0][2] = static_cast<double>(g_.NumDistinctDests(l));
-    dm.deg[0][3] = static_cast<double>(g_.RelationSize(l));
-    dm.deg[1][3] = static_cast<double>(g_.MaxOutDegree(l));
-    dm.deg[2][3] = static_cast<double>(g_.MaxInDegree(l));
-    return dm;
-  });
+  return base_cache_.GetOrCompute(l, [&] { return BaseRelationMap(g_, l); });
+}
+
+void StatsCatalog::RefreshBaseRelation(graph::Label l) const {
+  base_cache_.Upsert(l, BaseRelationMap(g_, l));
 }
 
 const StatsCatalog::JoinStats* StatsCatalog::TwoJoin(

@@ -72,6 +72,56 @@ class StatsCatalog {
   size_t num_base_cached() const { return base_cache_.size(); }
   size_t num_joins_cached() const { return join_cache_.size(); }
 
+  // ---- Maintenance surface (dynamic layer) ----
+
+  /// Calls `fn(label, degree_map)` for every cached base relation.
+  template <typename Fn>
+  void VisitBaseRelations(Fn&& fn) const {
+    base_cache_.ForEach(fn);
+  }
+
+  /// Calls `fn(canonical_code, join_stats_or_null)` for every cached
+  /// two-join entry (null = cached over-cap verdict).
+  template <typename Fn>
+  void VisitJoinEntries(Fn&& fn) const {
+    join_cache_.ForEach(
+        [&](const std::string& key, const std::unique_ptr<JoinStats>& js) {
+          fn(key, js.get());
+        });
+  }
+
+  /// Recomputes the degree map of base relation `l` from the graph's O(1)
+  /// CSR summaries and overwrites any cached entry — the exact in-place
+  /// update path after an edge delta touched label `l`.
+  void RefreshBaseRelation(graph::Label l) const;
+
+  /// Inserts a two-join entry carried over from a previous graph epoch
+  /// (null = over-cap verdict).
+  void InsertJoinEntry(const std::string& key,
+                       std::unique_ptr<JoinStats> stats) const {
+    join_cache_.Insert(key, std::move(stats));
+  }
+
+  /// Removes every two-join entry whose canonical code matches `pred`;
+  /// returns how many were removed.
+  template <typename Pred>
+  size_t EvictJoinsMatching(Pred&& pred) const {
+    return join_cache_.EraseIf(
+        [&](const std::string& key, const std::unique_ptr<JoinStats>&) {
+          return pred(key);
+        });
+  }
+
+  uint64_t materialize_cap() const { return materialize_cap_; }
+
+  /// Lookup/eviction counters of the two memo caches.
+  util::CacheCounters base_cache_counters() const {
+    return base_cache_.counters();
+  }
+  util::CacheCounters join_cache_counters() const {
+    return join_cache_.counters();
+  }
+
   /// Serializes both memo caches (base-relation degree maps and
   /// materialized two-join statistics, over-cap markers included) — the
   /// degree-statistics section of a summary snapshot.

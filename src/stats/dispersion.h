@@ -46,6 +46,8 @@ class DispersionCatalog {
   DispersionCatalog(const DispersionCatalog&) = delete;
   DispersionCatalog& operator=(const DispersionCatalog&) = delete;
 
+  const graph::Graph& graph() const { return g_; }
+
   /// Dispersion of extending `intersection` to `pattern`, where
   /// `intersection_edges` selects I's edges within `pattern`'s edge
   /// numbering. `pattern` must have <= 3 edges (Markov-table sized).
@@ -54,6 +56,34 @@ class DispersionCatalog {
       query::EdgeSet intersection_edges) const;
 
   size_t num_cached() const { return cache_.size(); }
+
+  // ---- Maintenance surface (dynamic layer) ----
+
+  /// Calls `fn(marked_canonical_code, dispersion)` for every cached entry.
+  template <typename Fn>
+  void VisitEntries(Fn&& fn) const {
+    cache_.ForEach(fn);
+  }
+
+  /// Re-inserts an entry carried over from a previous graph epoch.
+  void UpsertEntry(const std::string& key,
+                   const ExtensionDispersion& d) const {
+    cache_.Upsert(key, d);
+  }
+
+  /// Removes every entry whose key matches `pred`; returns how many were
+  /// removed. Keys are canonical codes with intersection edges marked by a
+  /// num_labels() offset (see Get), which the predicate must unmark.
+  template <typename Pred>
+  size_t EvictMatching(Pred&& pred) const {
+    return cache_.EraseIf([&](const std::string& key,
+                              const ExtensionDispersion&) {
+      return pred(key);
+    });
+  }
+
+  /// Lookup/eviction counters of the memo cache.
+  util::CacheCounters cache_counters() const { return cache_.counters(); }
 
   /// Serializes every cached (pattern class, dispersion) entry — the
   /// dispersion section of a summary snapshot.

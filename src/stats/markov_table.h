@@ -57,6 +57,37 @@ class MarkovTable {
   /// construction). Fails on truncated/corrupted input.
   util::Status ImportEntries(util::serde::Reader& reader) const;
 
+  // ---- Maintenance surface (dynamic layer) ----
+  // These exist for dynamic::StatsMaintainer: migrating entries onto a new
+  // graph epoch and scrubbing entries invalidated by an edge delta. They
+  // must run quiesced (no concurrent estimation), like every maintenance
+  // operation.
+
+  /// Calls `fn(canonical_code, cardinality)` for every memoized entry.
+  template <typename Fn>
+  void VisitEntries(Fn&& fn) const {
+    cache_.ForEach(fn);
+  }
+
+  /// Inserts or overwrites one memo entry with an externally computed exact
+  /// value (e.g. a 1-edge pattern refreshed from the new graph's O(1)
+  /// relation size).
+  void UpsertEntry(const std::string& canonical_code,
+                   double cardinality) const {
+    cache_.Upsert(canonical_code, cardinality);
+  }
+
+  /// Removes every entry whose canonical code matches `pred`; returns how
+  /// many were removed.
+  template <typename Pred>
+  size_t EvictMatching(Pred&& pred) const {
+    return cache_.EraseIf(
+        [&](const std::string& key, const double&) { return pred(key); });
+  }
+
+  /// Lookup/eviction counters of the memo cache.
+  util::CacheCounters cache_counters() const { return cache_.counters(); }
+
   /// Approximate resident size of the table in bytes. The paper reports
   /// < 0.6 MB for any workload-dataset combination at h <= 3; this accessor
   /// lets benches verify the same property for the lazy tables here.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
+#include <tuple>
 
 #include "util/random.h"
 
@@ -9,26 +11,18 @@ namespace cegraph::stats {
 
 SummaryGraph::SummaryGraph(const graph::Graph& g, uint32_t target_buckets,
                            uint64_t seed)
-    : num_labels_(g.num_labels()) {
+    : num_labels_(g.num_labels()), seed_(seed) {
   target_buckets = std::max(1u, target_buckets);
 
   // Bucket assignment: hash of the vertex's label signature (which labels
   // occur on its out- and in-edges), so structurally similar vertices share
   // buckets, mixed with a seed to keep bucketing deterministic but
   // unbiased.
-  std::vector<uint32_t> bucket_of(g.num_vertices());
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    uint64_t sig = seed;
-    for (graph::Label l = 0; l < g.num_labels(); ++l) {
-      if (g.OutDegree(v, l) > 0) sig = util::MixHash(sig ^ (2 * l + 1));
-      if (g.InDegree(v, l) > 0) sig = util::MixHash(sig ^ (2 * l + 2));
-    }
-    bucket_of[v] = static_cast<uint32_t>(sig % target_buckets);
-  }
-
   bucket_size_.assign(target_buckets, 0);
+  bucket_of_.resize(g.num_vertices());
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    ++bucket_size_[bucket_of[v]];
+    bucket_of_[v] = BucketOf(g, v);
+    ++bucket_size_[bucket_of_[v]];
   }
 
   // Aggregate superedge weights.
@@ -40,13 +34,122 @@ SummaryGraph::SummaryGraph(const graph::Graph& g, uint32_t target_buckets,
                               target_buckets));
   std::map<std::tuple<graph::Label, uint32_t, uint32_t>, double> weights;
   for (const graph::Edge& e : g.edges()) {
-    ++weights[{e.label, bucket_of[e.src], bucket_of[e.dst]}];
+    ++weights[{e.label, bucket_of_[e.src], bucket_of_[e.dst]}];
   }
   for (const auto& [key, w] : weights) {
     const auto& [label, b1, b2] = key;
     out_[label][b1].emplace_back(b2, w);
     in_[label][b2].emplace_back(b1, w);
   }
+}
+
+uint32_t SummaryGraph::BucketOf(const graph::Graph& g,
+                                graph::VertexId v) const {
+  uint64_t sig = seed_;
+  for (graph::Label l = 0; l < g.num_labels(); ++l) {
+    if (g.OutDegree(v, l) > 0) sig = util::MixHash(sig ^ (2 * l + 1));
+    if (g.InDegree(v, l) > 0) sig = util::MixHash(sig ^ (2 * l + 2));
+  }
+  return static_cast<uint32_t>(sig % num_buckets());
+}
+
+void SummaryGraph::EnsureBucketAssignment(const graph::Graph& g) {
+  if (!bucket_of_.empty()) return;
+  bucket_of_.resize(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    bucket_of_[v] = BucketOf(g, v);
+  }
+}
+
+void SummaryGraph::AdjustOutWeight(graph::Label label, uint32_t b1,
+                                   uint32_t b2, double delta) {
+  auto& edges = out_[label][b1];
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), b2,
+      [](const std::pair<uint32_t, double>& e, uint32_t b) {
+        return e.first < b;
+      });
+  if (it == edges.end() || it->first != b2) {
+    it = edges.insert(it, {b2, 0.0});
+  }
+  it->second += delta;
+  if (it->second == 0.0) edges.erase(it);
+}
+
+void SummaryGraph::ApplyDeltas(const graph::Graph& old_g,
+                               const graph::Graph& new_g,
+                               std::span<const graph::Edge> removed,
+                               std::span<const graph::Edge> added,
+                               size_t* moved_vertices) {
+  EnsureBucketAssignment(old_g);
+
+  // 1. Endpoints of the delta are the only vertices whose label signature
+  //    (hence bucket) can have changed.
+  std::set<graph::VertexId> touched_vertices;
+  for (const graph::Edge& e : removed) {
+    touched_vertices.insert(e.src);
+    touched_vertices.insert(e.dst);
+  }
+  for (const graph::Edge& e : added) {
+    touched_vertices.insert(e.src);
+    touched_vertices.insert(e.dst);
+  }
+  std::vector<std::pair<graph::VertexId, uint32_t>> moves;
+  for (graph::VertexId v : touched_vertices) {
+    const uint32_t nb = BucketOf(new_g, v);
+    if (nb != bucket_of_[v]) moves.emplace_back(v, nb);
+  }
+  if (moved_vertices != nullptr) *moved_vertices = moves.size();
+
+  // 2. Every edge whose bucket pair can change: the delta edges themselves
+  //    plus all old- and new-graph edges incident to a moved vertex. Edges
+  //    outside this set keep both endpoints in place, so their superedge
+  //    contribution is untouched.
+  std::set<std::tuple<graph::Label, graph::VertexId, graph::VertexId>>
+      touched_edges;
+  for (const graph::Edge& e : removed) {
+    touched_edges.insert({e.label, e.src, e.dst});
+  }
+  for (const graph::Edge& e : added) {
+    touched_edges.insert({e.label, e.src, e.dst});
+  }
+  for (const auto& [v, nb] : moves) {
+    for (const graph::Graph* g : {&old_g, &new_g}) {
+      for (graph::Label l = 0; l < g->num_labels(); ++l) {
+        for (graph::VertexId u : g->OutNeighbors(v, l)) {
+          touched_edges.insert({l, v, u});
+        }
+        for (graph::VertexId u : g->InNeighbors(v, l)) {
+          touched_edges.insert({l, u, v});
+        }
+      }
+    }
+  }
+
+  // 3. Subtract touched edges present in the old graph under the old
+  //    bucket assignment (before any move is applied).
+  for (const auto& [l, src, dst] : touched_edges) {
+    if (old_g.HasEdge(src, dst, l)) {
+      AdjustOutWeight(l, bucket_of_[src], bucket_of_[dst], -1.0);
+    }
+  }
+
+  // 4. Apply the moves.
+  for (const auto& [v, nb] : moves) {
+    --bucket_size_[bucket_of_[v]];
+    ++bucket_size_[nb];
+    bucket_of_[v] = nb;
+  }
+
+  // 5. Re-add touched edges present in the new graph under the new
+  //    assignment.
+  for (const auto& [l, src, dst] : touched_edges) {
+    if (new_g.HasEdge(src, dst, l)) {
+      AdjustOutWeight(l, bucket_of_[src], bucket_of_[dst], 1.0);
+    }
+  }
+
+  RebuildInEdges();
 }
 
 void SummaryGraph::RebuildInEdges() {

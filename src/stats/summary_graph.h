@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -50,8 +51,25 @@ class SummaryGraph {
   void Save(util::serde::Writer& writer) const;
 
   /// Reconstructs a summary previously written by Save. Fails on
-  /// truncated/corrupted input.
+  /// truncated/corrupted input. The bucket assignment is not persisted (it
+  /// is a pure function of graph, bucket count and seed); a loaded summary
+  /// recomputes it on its first ApplyDeltas.
   static util::StatusOr<SummaryGraph> Load(util::serde::Reader& reader);
+
+  /// Incrementally maintains the summary across one graph delta: `old_g`
+  /// is the graph this summary currently describes, `new_g` the compacted
+  /// graph after removing `removed` and adding `added`. Exact — the result
+  /// is bit-identical to a cold `SummaryGraph(new_g, buckets, seed)`:
+  /// superedge weights are integral counts adjusted by ±1, vertices whose
+  /// in/out label signature changed are migrated between buckets (all their
+  /// incident edges re-bucketed), and the adjacency lists keep the cold
+  /// build's sorted order. Cost is O(delta + sum of degrees of re-bucketed
+  /// vertices), not O(E). `moved_vertices`, if non-null, receives how many
+  /// vertices changed buckets.
+  void ApplyDeltas(const graph::Graph& old_g, const graph::Graph& new_g,
+                   std::span<const graph::Edge> removed,
+                   std::span<const graph::Edge> added,
+                   size_t* moved_vertices = nullptr);
 
  private:
   SummaryGraph() : num_labels_(0) {}
@@ -60,8 +78,24 @@ class SummaryGraph {
   /// expand superedges in either direction without scanning).
   void RebuildInEdges();
 
+  /// Bucket of `v` as the eager constructor would assign it over `g`.
+  uint32_t BucketOf(const graph::Graph& g, graph::VertexId v) const;
+
+  /// Fills bucket_of_ from `g` if absent (loaded summaries drop it).
+  void EnsureBucketAssignment(const graph::Graph& g);
+
+  /// Adds `delta` to the (b1 --label--> b2) superedge weight in out_,
+  /// inserting at the sorted position on first touch and erasing on zero,
+  /// so incremental edits preserve the cold build's list layout.
+  void AdjustOutWeight(graph::Label label, uint32_t b1, uint32_t b2,
+                       double delta);
+
   uint32_t num_labels_;
+  uint64_t seed_ = 7;
   std::vector<uint64_t> bucket_size_;
+  /// Bucket of each data vertex; empty on loaded summaries until the first
+  /// ApplyDeltas recomputes it.
+  std::vector<uint32_t> bucket_of_;
   // out_[label][bucket] -> list of (dst bucket, weight).
   std::vector<std::vector<std::vector<std::pair<uint32_t, double>>>> out_;
   std::vector<std::vector<std::vector<std::pair<uint32_t, double>>>> in_;

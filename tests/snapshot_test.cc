@@ -155,8 +155,11 @@ TEST(SnapshotTest, InspectReportsSections) {
 
   auto info = ReadSnapshotInfo(file.path());
   ASSERT_TRUE(info.ok()) << info.status();
-  EXPECT_EQ(info->version, kSnapshotVersion);
+  // A context that never applied deltas writes the static (version 1)
+  // format; version 2 is reserved for post-delta snapshots.
+  EXPECT_EQ(info->version, kSnapshotVersionStatic);
   EXPECT_EQ(info->fingerprint, g.fingerprint());
+  EXPECT_EQ(info->epoch, 0u);
   EXPECT_GE(info->sections.size(), 5u);  // markov, rates, degree, cs, sumrdf
   bool saw_markov = false;
   for (const auto& section : info->sections) {

@@ -304,5 +304,33 @@ TEST(KeyedCacheTest, SupportsMoveOnlyValues) {
   EXPECT_EQ(cache.Find(2)->get(), nullptr);
 }
 
+TEST(KeyedCacheTest, CountersTrackHitsMissesEvictions) {
+  KeyedCache<int, int> cache;
+  EXPECT_EQ(cache.Find(1), nullptr);  // miss
+  cache.Insert(1, 10);
+  EXPECT_EQ(*cache.Find(1), 10);  // hit
+  EXPECT_EQ(cache.GetOrCompute(2, [] { return 20; }), 20);  // miss
+  EXPECT_EQ(cache.GetOrCompute(2, [] { return 99; }), 20);  // hit
+
+  CacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 2u);
+  EXPECT_EQ(counters.misses, 2u);
+  EXPECT_EQ(counters.evictions, 0u);
+
+  EXPECT_EQ(cache.EraseIf([](const int& k, const int&) { return k == 1; }),
+            1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_EQ(cache.Find(1), nullptr);  // evicted
+}
+
+TEST(KeyedCacheTest, UpsertOverwrites) {
+  KeyedCache<int, int> cache;
+  cache.Insert(1, 10);
+  EXPECT_EQ(cache.Insert(1, 11), 10);  // first insert wins
+  EXPECT_EQ(cache.Upsert(1, 12), 12);  // upsert overwrites
+  EXPECT_EQ(*cache.Find(1), 12);
+}
+
 }  // namespace
 }  // namespace cegraph::util

@@ -1,16 +1,25 @@
-// cegraph_stats — build, inspect, and verify persistent summary snapshots.
+// cegraph_stats — build, inspect, verify and refresh persistent summary
+// snapshots.
 //
 //   cegraph_stats build   --dataset <name> --out <file> [flags]
-//   cegraph_stats inspect <file>
+//   cegraph_stats inspect <file> [--dataset <name>]
 //   cegraph_stats verify  --dataset <name> --snapshot <file> [flags]
+//   cegraph_stats refresh --dataset <name> --snapshot <file>
+//                         (--deltas <file> | --random N) [--out <file>]
 //
-// `build` materializes a dataset, generates the named workload suite,
-// prewarns every statistics cache the workload can touch (in parallel) and
-// writes the versioned snapshot. `inspect` prints the header, fingerprint
-// and per-section sizes without needing the graph. `verify` reloads the
-// snapshot into a fresh context and checks that every registry estimator
-// produces bit-identical estimates to a cold in-memory run — the
-// correctness contract of the snapshot layer.
+// `build` materializes a dataset, instantiates a workload (a generated
+// suite, or a saved workload file via --workload), prewarns every
+// statistics cache the workload can touch (in parallel) and writes the
+// versioned snapshot. `inspect` prints the header, fingerprint and
+// per-section sizes without needing the graph; with --dataset it also
+// loads the snapshot into a live context and prints per-cache residency
+// and hit/miss/evict counters. `verify` reloads the snapshot into a fresh
+// context and checks that every registry estimator produces bit-identical
+// estimates to a cold in-memory run — the correctness contract of the
+// snapshot layer. `refresh` loads a snapshot, applies an edge-delta batch
+// (a text delta file, or a --random batch for demos) through the
+// incremental maintenance path, reports what was carried / exactly updated
+// / evicted, and optionally writes the refreshed snapshot.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -20,12 +29,14 @@
 #include <utility>
 #include <vector>
 
+#include "dynamic/delta_io.h"
 #include "engine/engine.h"
 #include "engine/snapshot.h"
 #include "graph/datasets.h"
 #include "harness/workload_runner.h"
 #include "query/templates.h"
 #include "query/workload.h"
+#include "query/workload_io.h"
 
 namespace {
 
@@ -34,6 +45,7 @@ using namespace cegraph;
 struct CommonFlags {
   std::string dataset;
   std::string suite = "acyclic";
+  std::string workload_file;  ///< saved workload instead of a suite
   int instances = 4;
   uint64_t seed = 1;
   int markov_h = 2;
@@ -46,12 +58,15 @@ int Usage() {
       stderr,
       "usage:\n"
       "  cegraph_stats build --dataset <name> --out <file>\n"
-      "      [--suite NAME] [--instances N] [--seed S] [--markov-h H]\n"
-      "      [--threads T] [--dispersion]\n"
-      "  cegraph_stats inspect <file>\n"
+      "      [--suite NAME | --workload FILE] [--instances N] [--seed S]\n"
+      "      [--markov-h H] [--threads T] [--dispersion]\n"
+      "  cegraph_stats inspect <file> [--dataset <name>]\n"
       "  cegraph_stats verify --dataset <name> --snapshot <file>\n"
-      "      [--suite ...] [--instances N] [--seed S] [--markov-h H]\n"
-      "      [--threads T] [--estimators name1,name2,...]\n"
+      "      [--suite ... | --workload FILE] [--instances N] [--seed S]\n"
+      "      [--markov-h H] [--threads T] [--estimators name1,name2,...]\n"
+      "  cegraph_stats refresh --dataset <name> --snapshot <file>\n"
+      "      (--deltas FILE | --random N) [--out <file>] [--seed S]\n"
+      "      [--markov-h H]\n"
       "\ndatasets:");
   for (const std::string& name : graph::DatasetNames()) {
     std::fprintf(stderr, " %s", name.c_str());
@@ -62,6 +77,51 @@ int Usage() {
   }
   std::fprintf(stderr, "\n");
   return 2;
+}
+
+/// Prints one line per statistics cache: residency plus hit/miss/evict
+/// counters — how prewarm/load filled it and what invalidation removed.
+void PrintCacheStats(const engine::EstimationContext& context) {
+  std::printf("%-16s %10s %10s %10s %10s\n", "cache", "entries", "hits",
+              "misses", "evicted");
+  for (const auto& cs : context.CollectCacheStats()) {
+    std::printf("%-16s %10zu %10" PRIu64 " %10" PRIu64 " %10" PRIu64 "\n",
+                cs.name.c_str(), cs.entries, cs.counters.hits,
+                cs.counters.misses, cs.counters.evictions);
+  }
+}
+
+/// Loads `path` into `context`, reconstructing post-delta (version 2)
+/// snapshots when needed: if the fingerprints mismatch because the
+/// context sits at the snapshot's *base* graph, the snapshot's embedded
+/// delta log is applied first and the load retried as a fresh load.
+/// Prints what happened; false (after printing the error) on failure.
+bool LoadIntoContext(engine::EstimationContext& context,
+                     const std::string& path) {
+  engine::EstimationContext::SnapshotLoadReport report;
+  auto loaded = context.LoadSnapshot(path, &report);
+  if (loaded.ok()) {
+    std::printf("loaded %s (%s)\n", path.c_str(),
+                report.stale ? "stale, deltas replayed" : "fresh");
+    return true;
+  }
+  if (loaded.code() == util::StatusCode::kFailedPrecondition) {
+    auto log = engine::ReadSnapshotDeltaLog(path);
+    if (log.ok() && !log->empty()) {
+      auto applied = context.ApplyDeltas(*log);
+      if (applied.ok()) {
+        auto retried = context.LoadSnapshot(path, &report);
+        if (retried.ok()) {
+          std::printf("loaded %s (reconstructed: replayed %zu embedded "
+                      "deltas onto the base graph)\n",
+                      path.c_str(), log->size());
+          return true;
+        }
+      }
+    }
+  }
+  std::fprintf(stderr, "load: %s\n", loaded.ToString().c_str());
+  return false;
 }
 
 /// Parses `--flag value` / `--flag` style arguments shared by build and
@@ -84,6 +144,8 @@ bool ParseFlags(int argc, char** argv, int start, CommonFlags* flags,
       if (!next(&flags->dataset)) return false;
     } else if (arg == "--suite") {
       if (!next(&flags->suite)) return false;
+    } else if (arg == "--workload") {
+      if (!next(&flags->workload_file)) return false;
     } else if (arg == "--instances") {
       if (!next(&value)) return false;
       flags->instances = std::atoi(value.c_str());
@@ -107,7 +169,8 @@ bool ParseFlags(int argc, char** argv, int start, CommonFlags* flags,
     } else if (arg == "--dispersion") {
       flags->dispersion = true;
     } else if (arg == "--out" || arg == "--snapshot" ||
-               arg == "--estimators") {
+               arg == "--estimators" || arg == "--deltas" ||
+               arg == "--random") {
       if (!next(&value)) return false;
       extra->emplace_back(arg, value);
     } else {
@@ -135,6 +198,28 @@ std::optional<Inputs> MakeInputs(const CommonFlags& flags) {
     std::fprintf(stderr, "dataset %s: %s\n", flags.dataset.c_str(),
                  g.status().ToString().c_str());
     return std::nullopt;
+  }
+  // Saved workload file (production query logs) or a generated suite.
+  if (!flags.workload_file.empty()) {
+    auto wl = query::LoadWorkload(flags.workload_file);
+    if (!wl.ok()) {
+      std::fprintf(stderr, "workload %s: %s\n", flags.workload_file.c_str(),
+                   wl.status().ToString().c_str());
+      return std::nullopt;
+    }
+    for (const query::WorkloadQuery& wq : *wl) {
+      for (const query::QueryEdge& e : wq.query.edges()) {
+        if (e.label >= g->num_labels()) {
+          std::fprintf(stderr,
+                       "workload %s: query label %u out of range for "
+                       "dataset %s (%u labels)\n",
+                       flags.workload_file.c_str(), e.label,
+                       flags.dataset.c_str(), g->num_labels());
+          return std::nullopt;
+        }
+      }
+    }
+    return Inputs{std::move(*g), std::move(*wl)};
   }
   auto templates = query::SuiteTemplatesByName(flags.suite);
   if (!templates.ok()) {
@@ -176,9 +261,12 @@ int RunBuild(int argc, char** argv) {
   const graph::Graph& graph = inputs->graph;
   const std::vector<query::WorkloadQuery>& workload = inputs->workload;
   std::printf("dataset %s: %u vertices, %" PRIu64 " edges, %u labels; "
-              "%zu workload queries (suite %s)\n",
+              "%zu workload queries (%s)\n",
               flags.dataset.c_str(), graph.num_vertices(), graph.num_edges(),
-              graph.num_labels(), workload.size(), flags.suite.c_str());
+              graph.num_labels(), workload.size(),
+              flags.workload_file.empty()
+                  ? ("suite " + flags.suite).c_str()
+                  : ("file " + flags.workload_file).c_str());
 
   engine::EstimationContext context(graph, ContextOptionsFor(flags));
   engine::PrewarmOptions prewarm;
@@ -207,7 +295,15 @@ int RunBuild(int argc, char** argv) {
 }
 
 int RunInspect(int argc, char** argv) {
-  if (argc != 3) return Usage();
+  if (argc < 3) return Usage();
+  std::string dataset;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dataset") == 0 && i + 1 < argc) {
+      dataset = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
   auto info = engine::ReadSnapshotInfo(argv[2]);
   if (!info.ok()) {
     std::fprintf(stderr, "%s: %s\n", argv[2],
@@ -229,6 +325,11 @@ int RunInspect(int argc, char** argv) {
               info->options.cc_walks_per_key,
               info->options.cc_max_attempt_factor,
               info->options.cc_max_mid_hops, info->options.cc_seed);
+  if (info->epoch > 0) {
+    std::printf("dynamic state: epoch %" PRIu64 ", delta-log hash "
+                "%016" PRIx64 " (statistics describe the post-delta graph)\n",
+                info->epoch, info->delta_hash);
+  }
   std::printf("%-16s %12s %10s\n", "section", "bytes", "entries");
   for (const auto& section : info->sections) {
     std::string name = section.name;
@@ -237,6 +338,109 @@ int RunInspect(int argc, char** argv) {
     }
     std::printf("%-16s %12" PRIu64 " %10" PRIu64 "\n", name.c_str(),
                 section.payload_bytes, section.entries);
+  }
+
+  // With a dataset in hand, load the snapshot into a live context and show
+  // the per-cache view (residency + hit/miss/evict counters) — the same
+  // block `refresh` prints after invalidation.
+  if (!dataset.empty()) {
+    auto g = graph::MakeDataset(dataset);
+    if (!g.ok()) {
+      std::fprintf(stderr, "dataset %s: %s\n", dataset.c_str(),
+                   g.status().ToString().c_str());
+      return 1;
+    }
+    engine::ContextOptions options;
+    options.markov_h = static_cast<int>(
+        info->options.markov_h == 0 ? 2 : info->options.markov_h);
+    engine::EstimationContext context(*g, options);
+    std::printf("\n");
+    if (!LoadIntoContext(context, argv[2])) return 1;
+    PrintCacheStats(context);
+  }
+  return 0;
+}
+
+int RunRefresh(int argc, char** argv) {
+  CommonFlags flags;
+  std::vector<std::pair<std::string, std::string>> extra;
+  if (!ParseFlags(argc, argv, 2, &flags, &extra)) return Usage();
+  std::string snapshot_path, out_path, deltas_path;
+  int random_ops = 0;
+  for (const auto& [flag, value] : extra) {
+    if (flag == "--snapshot") snapshot_path = value;
+    if (flag == "--out") out_path = value;
+    if (flag == "--deltas") deltas_path = value;
+    if (flag == "--random") random_ops = std::atoi(value.c_str());
+  }
+  if (snapshot_path.empty() || flags.dataset.empty() ||
+      (deltas_path.empty() && random_ops <= 0)) {
+    std::fprintf(stderr,
+                 "refresh requires --dataset, --snapshot and a delta source "
+                 "(--deltas FILE or --random N)\n");
+    return Usage();
+  }
+
+  auto g = graph::MakeDataset(flags.dataset);
+  if (!g.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", flags.dataset.c_str(),
+                 g.status().ToString().c_str());
+    return 1;
+  }
+
+  // Delta batch: a text file from an upstream change feed, or a seeded
+  // random mix of deletes (existing edges) and inserts (fresh edges).
+  std::vector<dynamic::EdgeDelta> batch;
+  if (!deltas_path.empty()) {
+    auto loaded = dynamic::LoadDeltaBatch(deltas_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "deltas %s: %s\n", deltas_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    batch = std::move(*loaded);
+  } else {
+    batch = dynamic::RandomEdgeBatch(*g, static_cast<size_t>(random_ops),
+                                     flags.seed);
+  }
+
+  engine::EstimationContext context(*g, ContextOptionsFor(flags));
+  if (!LoadIntoContext(context, snapshot_path)) return 1;
+
+  auto report = context.ApplyDeltas(batch);
+  if (!report.ok()) {
+    std::fprintf(stderr, "apply: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const auto fp = context.dynamic_fingerprint();
+  std::printf(
+      "applied %zu ops (net +%zu/-%zu edges, %zu labels touched) -> epoch "
+      "%" PRIu64 ", delta-log hash %016" PRIx64 "\n",
+      batch.size(), report->inserted_edges, report->deleted_edges,
+      report->changed_labels, fp.epoch, fp.delta_hash);
+  std::printf(
+      "maintenance: markov %zu carried / %zu exact / %zu evicted; joins "
+      "%zu carried / %zu evicted; base relations %zu refreshed; closing "
+      "rates %zu carried / %zu evicted; dispersion %zu carried / %zu "
+      "evicted; ceg builds %zu evicted%s%s\n",
+      report->markov_carried, report->markov_exact_updates,
+      report->markov_evicted, report->joins_carried, report->joins_evicted,
+      report->base_relations_refreshed, report->closing_carried,
+      report->closing_evicted, report->dispersion_carried,
+      report->dispersion_evicted, report->ceg_evicted,
+      report->char_sets_dropped ? "; char-sets dropped" : "",
+      report->summary_updated ? "; summary patched in place" : "");
+  PrintCacheStats(context);
+
+  if (!out_path.empty()) {
+    auto save = context.SaveSnapshot(out_path);
+    if (!save.ok()) {
+      std::fprintf(stderr, "save: %s\n", save.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote refreshed snapshot %s (version 2, epoch %" PRIu64
+                ")\n",
+                out_path.c_str(), fp.epoch);
   }
   return 0;
 }
@@ -317,6 +521,8 @@ int RunVerify(int argc, char** argv) {
   std::printf("verified %zu estimator×query pairs against %s: %zu "
               "mismatches\n",
               compared, snapshot_path.c_str(), mismatches);
+  std::printf("\nwarm-context caches after verification:\n");
+  PrintCacheStats(warm.context());
   return mismatches == 0 ? 0 : 1;
 }
 
@@ -328,5 +534,6 @@ int main(int argc, char** argv) {
   if (command == "build") return RunBuild(argc, argv);
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "verify") return RunVerify(argc, argv);
+  if (command == "refresh") return RunRefresh(argc, argv);
   return Usage();
 }
