@@ -1,0 +1,256 @@
+// bench_service_throughput — serving-layer acceptance gates.
+//
+// Two questions about the estimation service, both PASS-gated:
+//
+//  1. Does TCP loopback serving throughput scale with server worker
+//     threads? 8 pipelining client connections hammer the same warmed
+//     service twice — once behind 1 worker, once behind 8 — and the
+//     requests/sec ratio is the parallel speedup of the dispatcher +
+//     wait-free reader design. The bar is >= 3x on machines with >= 8
+//     hardware threads, >= 0.6 x #threads on smaller ones; on a
+//     single-core machine the parallel gate is SKIPped (there is no
+//     parallelism to measure) and only the error-free bar is enforced.
+//
+//  2. Does a snapshot hot-swap / delta compaction under sustained load
+//     drop or mix anything? 8 client threads hammer in-process while a
+//     maintainer publishes a stream of delta swaps; the gate is zero
+//     failed requests and zero responses whose estimate vector is
+//     inconsistent with the single epoch they claim (the RCU contract).
+//
+// Usage: bench_service_throughput [instances_per_template] [dataset]
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "dynamic/delta_io.h"
+#include "harness/service_driver.h"
+#include "query/workload_io.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "service/wire.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace cegraph;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct TcpRunResult {
+  size_t ok = 0;
+  size_t errors = 0;
+  double seconds = 0;
+  double rps() const {
+    return seconds > 0 ? static_cast<double>(ok) / seconds : 0;
+  }
+};
+
+/// `client_threads` connections pipeline estimate requests against a
+/// server with `workers` worker threads for `duration` seconds.
+TcpRunResult MeasureTcpThroughput(service::EstimationService& service,
+                                  int workers, int client_threads,
+                                  const std::vector<std::string>& lines,
+                                  double duration) {
+  service::ServerOptions options;
+  options.workers = workers;
+  service::TcpServer server(service, options);
+  if (auto started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+    std::abort();
+  }
+
+  std::vector<TcpRunResult> per_thread(
+      static_cast<size_t>(client_threads));
+  const auto t0 = Clock::now();
+  auto client = [&](size_t tid) {
+    TcpRunResult& mine = per_thread[tid];
+    auto fd = service::wire::DialTcp("127.0.0.1", server.port());
+    if (!fd.ok()) {
+      ++mine.errors;
+      return;
+    }
+    for (size_t i = tid; SecondsSince(t0) < duration; ++i) {
+      auto response = service::wire::RoundTrip(
+          *fd, {service::wire::MessageType::kEstimate,
+                lines[i % lines.size()]});
+      if (response.ok() && response->status.ok()) {
+        ++mine.ok;
+      } else {
+        ++mine.errors;
+      }
+    }
+    ::close(*fd);
+  };
+  std::vector<std::thread> pool;
+  for (size_t tid = 1; tid < static_cast<size_t>(client_threads); ++tid) {
+    pool.emplace_back(client, tid);
+  }
+  client(0);
+  for (std::thread& t : pool) t.join();
+
+  TcpRunResult total;
+  total.seconds = SecondsSince(t0);
+  for (const TcpRunResult& mine : per_thread) {
+    total.ok += mine.ok;
+    total.errors += mine.errors;
+  }
+  server.Stop();
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int instances = bench::InstancesFromArgs(argc, argv, 2);
+  const std::string dataset = argc > 2 ? argv[2] : "epinions_like";
+
+  auto data = bench::MakeDatasetWorkload(dataset, "acyclic", instances, 1);
+  std::printf("dataset %s: %u vertices, %llu edges, %u labels; %zu "
+              "workload queries\n\n",
+              dataset.c_str(), data.graph.num_vertices(),
+              static_cast<unsigned long long>(data.graph.num_edges()),
+              data.graph.num_labels(), data.workload.size());
+
+  // Request lines exactly as a replayed production log would send them.
+  std::vector<std::string> lines;
+  {
+    std::ostringstream text;
+    if (!query::WriteWorkloadText(data.workload, text).ok()) return 1;
+    std::istringstream in(text.str());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') lines.push_back(line);
+    }
+  }
+
+  service::ServiceOptions options;
+  options.estimators = {"max-hop-max", "all-hops-avg", "molp", "cbs", "cs"};
+  options.compact_trigger_ops = 0;
+  options.prewarm_workload = data.workload;
+
+  // ---- Gate 1: loopback throughput scales with worker threads ----
+  bool scaling_pass = true;
+  bool scaling_enforced = true;
+  {
+    auto service = service::EstimationService::Create(
+        graph::Graph(data.graph), options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "service: %s\n",
+                   service.status().ToString().c_str());
+      return 1;
+    }
+    // Warm every query class (CEG builds, lazy stats) so both
+    // measurements run the steady serving state.
+    for (const std::string& line : lines) {
+      (void)(*service)->EstimateLine(line);
+    }
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    const TcpRunResult one =
+        MeasureTcpThroughput(**service, 1, 8, lines, 2.0);
+    const TcpRunResult eight =
+        MeasureTcpThroughput(**service, 8, 8, lines, 2.0);
+    const double speedup = one.rps() > 0 ? eight.rps() / one.rps() : 0;
+
+    util::TablePrinter table(
+        {"workers", "clients", "requests", "errors", "req/s"});
+    table.AddRow({"1", "8", std::to_string(one.ok),
+                  std::to_string(one.errors),
+                  util::TablePrinter::Num(one.rps())});
+    table.AddRow({"8", "8", std::to_string(eight.ok),
+                  std::to_string(eight.errors),
+                  util::TablePrinter::Num(eight.rps())});
+    table.Print(std::cout);
+
+    const size_t errors = one.errors + eight.errors;
+    double required = 0;
+    if (hw >= 8) {
+      required = 3.0;
+    } else if (hw >= 2) {
+      required = std::min(3.0, 0.6 * static_cast<double>(hw));
+    } else {
+      scaling_enforced = false;
+    }
+    if (scaling_enforced) {
+      scaling_pass = errors == 0 && speedup >= required;
+      std::printf("\n[%s] 1->8 worker speedup %.2fx (>= %.2fx required on "
+                  "%u hardware threads), %zu transport errors\n",
+                  scaling_pass ? "PASS" : "FAIL", speedup, required, hw,
+                  errors);
+    } else {
+      scaling_pass = errors == 0;
+      std::printf("\n[%s] single hardware thread: parallel-speedup gate "
+                  "SKIPped (measured %.2fx), error-free bar %s "
+                  "(%zu transport errors)\n",
+                  scaling_pass ? "PASS" : "FAIL", speedup,
+                  scaling_pass ? "met" : "missed", errors);
+    }
+  }
+
+  // ---- Gate 2: swap under sustained load drops and mixes nothing ----
+  bool swap_pass = false;
+  {
+    auto service = service::EstimationService::Create(
+        graph::Graph(data.graph), options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "service: %s\n",
+                   service.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& line : lines) {
+      (void)(*service)->EstimateLine(line);
+    }
+
+    std::atomic<size_t> swap_failures{0};
+    std::thread maintainer([&] {
+      uint64_t seed = 7000;
+      for (int swap = 0; swap < 6; ++swap) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        const auto state = (*service)->AcquireState();
+        (*service)->SubmitDeltas(dynamic::RandomEdgeBatch(
+            state->engine->context().graph(), 100, seed++));
+        auto flushed = (*service)->FlushDeltas();
+        if (!flushed.ok()) ++swap_failures;
+      }
+    });
+
+    harness::ServiceDriverOptions driver;
+    driver.num_threads = 8;
+    driver.duration_seconds = 2.0;
+    driver.check_consistency = true;
+    const harness::ServiceRunResult result =
+        harness::DriveServiceWorkload(**service, data.workload, driver);
+    maintainer.join();
+
+    std::printf("\nswap under load: %zu requests over %.2fs (%.0f req/s), "
+                "%zu epochs observed, mean latency %.0f us\n",
+                result.requests, result.seconds,
+                result.requests_per_second(),
+                result.responses_per_epoch.size(),
+                result.mean_latency_micros);
+    swap_pass = result.requests > 0 && result.errors == 0 &&
+                result.inconsistent_responses == 0 &&
+                result.version_regressions == 0 &&
+                swap_failures.load() == 0 &&
+                result.responses_per_epoch.size() > 1;
+    std::printf("[%s] zero dropped (%zu errors, %zu rejected), zero "
+                "mixed-epoch (%zu inconsistent, %zu regressions), swaps "
+                "landed under load (%zu epochs, %zu swap failures)\n",
+                swap_pass ? "PASS" : "FAIL", result.errors, result.rejected,
+                result.inconsistent_responses, result.version_regressions,
+                result.responses_per_epoch.size(), swap_failures.load());
+  }
+
+  return scaling_pass && swap_pass ? 0 : 1;
+}

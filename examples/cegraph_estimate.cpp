@@ -5,32 +5,47 @@
 //   cegraph_estimate --dataset imdb_like --query "(a)-[3]->(b); (b)-[5]->(c)"
 //   cegraph_estimate --graph my_graph.txt --query "..." [--h 3] [--truth]
 //                    [--snapshot stats.snap]
+//   cegraph_estimate --dataset imdb_like --workload queries.txt
+//                    [--estimators a,b,c] [--quiet]
 //
 // --snapshot loads a summary snapshot built by `cegraph_stats build` into
 // the engine before estimating, so repeated invocations skip statistics
 // recomputation (the snapshot must match the graph's fingerprint).
 //
+// --workload switches to batch mode (parity with `cegraph_stats
+// build/verify --workload`): every query of a saved workload file
+// (query/workload_io.h format, ground truth included) runs through the
+// estimator suite, printing per-query estimates and q-errors plus a
+// per-estimator aggregate (mean/median/max q-error, mean latency).
+//
 // The graph file format is the edge-list text format of
 // graph/graph_io.h; the query syntax is query/parser.h's Cypher-like
 // pattern language. Prints the 9 optimistic estimators, the MOLP and CBS
 // bounds and (with --truth) the exact cardinality.
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <vector>
 
 #include "engine/engine.h"
 #include "estimators/optimistic.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
+#include "harness/qerror.h"
 #include "matching/matcher.h"
 #include "query/parser.h"
+#include "query/workload_io.h"
+#include "util/strings.h"
 #include "util/table_printer.h"
 
 namespace {
 
 int Usage() {
   std::cerr << "usage: cegraph_estimate (--dataset NAME | --graph FILE) "
-               "--query PATTERN [--h N] [--truth] [--snapshot FILE]\n"
+               "(--query PATTERN | --workload FILE) [--h N] [--truth]\n"
+               "       [--snapshot FILE] [--estimators a,b,c] [--quiet]\n"
             << "  datasets: ";
   for (const auto& name : cegraph::graph::DatasetNames()) {
     std::cerr << name << " ";
@@ -39,14 +54,89 @@ int Usage() {
   return 2;
 }
 
+/// Batch mode: the whole workload through the suite, per-query lines plus
+/// a per-estimator aggregate table.
+int RunWorkload(const cegraph::engine::EstimationEngine& engine,
+                const std::vector<cegraph::query::WorkloadQuery>& workload,
+                const std::vector<std::string>& names, bool quiet) {
+  using namespace cegraph;
+  auto estimators = engine.Estimators(names);
+  if (!estimators.ok()) {
+    std::cerr << "registry: " << estimators.status() << "\n";
+    return 1;
+  }
+
+  struct Accum {
+    std::vector<double> qerrors;
+    size_t failures = 0;
+    double seconds = 0;
+  };
+  std::vector<Accum> accums(names.size());
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    const query::WorkloadQuery& wq = workload[qi];
+    if (!quiet) {
+      std::cout << "query " << qi << " [" << wq.template_name
+                << "] truth=" << wq.true_cardinality << "\n";
+    }
+    for (size_t i = 0; i < estimators->size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto est = (*estimators)[i]->Estimate(wq.query);
+      accums[i].seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      if (!est.ok()) {
+        ++accums[i].failures;
+        if (!quiet) {
+          std::cout << "  " << names[i] << ": " << est.status() << "\n";
+        }
+        continue;
+      }
+      const double q = harness::QError(*est, wq.true_cardinality);
+      accums[i].qerrors.push_back(q);
+      if (!quiet) {
+        std::cout << "  " << names[i] << ": "
+                  << util::TablePrinter::Num(*est)
+                  << " (q-error " << util::TablePrinter::Num(q) << ")\n";
+      }
+    }
+  }
+
+  std::cout << "\naggregate over " << workload.size() << " queries:\n";
+  util::TablePrinter table({"estimator", "ok", "failures", "mean q-err",
+                            "median q-err", "max q-err", "avg ms"});
+  for (size_t i = 0; i < names.size(); ++i) {
+    Accum& accum = accums[i];
+    std::sort(accum.qerrors.begin(), accum.qerrors.end());
+    const size_t n = accum.qerrors.size();
+    double mean = 0;
+    for (const double q : accum.qerrors) mean += q;
+    if (n > 0) mean /= static_cast<double>(n);
+    const size_t attempts = n + accum.failures;
+    table.AddRow(
+        {names[i], std::to_string(n), std::to_string(accum.failures),
+         n > 0 ? util::TablePrinter::Num(mean) : "-",
+         n > 0 ? util::TablePrinter::Num(accum.qerrors[n / 2]) : "-",
+         n > 0 ? util::TablePrinter::Num(accum.qerrors.back()) : "-",
+         attempts > 0
+             ? util::TablePrinter::Num(1000.0 * accum.seconds /
+                                       static_cast<double>(attempts))
+             : "-"});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace cegraph;
 
   std::optional<std::string> dataset, graph_file, query_text, snapshot;
+  std::optional<std::string> workload_file, estimators_csv;
   int h = 2;
   bool want_truth = false;
+  bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::optional<std::string> {
@@ -59,18 +149,25 @@ int main(int argc, char** argv) {
       graph_file = next();
     } else if (arg == "--query") {
       query_text = next();
+    } else if (arg == "--workload") {
+      workload_file = next();
+    } else if (arg == "--estimators") {
+      estimators_csv = next();
     } else if (arg == "--h") {
       auto v = next();
       if (v) h = std::atoi(v->c_str());
     } else if (arg == "--truth") {
       want_truth = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
     } else if (arg == "--snapshot") {
       snapshot = next();
     } else {
       return Usage();
     }
   }
-  if ((!dataset && !graph_file) || !query_text || h < 1) return Usage();
+  if ((!dataset && !graph_file) || h < 1) return Usage();
+  if (query_text.has_value() == workload_file.has_value()) return Usage();
 
   util::StatusOr<graph::Graph> g =
       dataset ? graph::MakeDataset(*dataset) : graph::LoadGraph(*graph_file);
@@ -78,28 +175,10 @@ int main(int argc, char** argv) {
     std::cerr << "graph: " << g.status() << "\n";
     return 1;
   }
-  auto q = query::ParseQuery(*query_text);
-  if (!q.ok()) {
-    std::cerr << "query: " << q.status() << "\n";
-    return 1;
-  }
-  if (!q->IsConnected()) {
-    std::cerr << "query: pattern must be connected\n";
-    return 1;
-  }
-  for (const auto& e : q->edges()) {
-    if (e.label >= g->num_labels()) {
-      std::cerr << "query: label " << e.label << " out of range (graph has "
-                << g->num_labels() << " labels)\n";
-      return 1;
-    }
-  }
-
   std::cout << "graph: " << g->num_vertices() << " vertices, "
             << g->num_edges() << " edges, " << g->num_labels()
-            << " labels\nquery: " << query::FormatQuery(*q) << "\n\n";
+            << " labels\n";
 
-  util::TablePrinter table({"estimator", "estimate"});
   engine::ContextOptions context_options;
   context_options.markov_h = h;
   engine::EstimationEngine engine(*g, context_options);
@@ -123,10 +202,60 @@ int main(int argc, char** argv) {
     }
     std::cout << "loaded snapshot " << *snapshot << "\n";
   }
+
+  // The estimator suite: an explicit CSV, or the single-query default
+  // (9 optimistic + MOLP and CBS bounds).
   std::vector<std::string> names;
-  for (const auto& spec : AllOptimisticSpecs()) names.push_back(SpecName(spec));
-  names.push_back("molp+2j");
-  names.push_back("cbs");
+  if (estimators_csv) {
+    names = util::SplitCsv(*estimators_csv);
+  } else {
+    for (const auto& spec : AllOptimisticSpecs()) {
+      names.push_back(SpecName(spec));
+    }
+    names.push_back("molp+2j");
+    names.push_back("cbs");
+  }
+
+  if (workload_file) {
+    auto workload = query::LoadWorkload(*workload_file);
+    if (!workload.ok()) {
+      std::cerr << "workload: " << workload.status() << "\n";
+      return 1;
+    }
+    for (const query::WorkloadQuery& wq : *workload) {
+      for (const auto& e : wq.query.edges()) {
+        if (e.label >= g->num_labels()) {
+          std::cerr << "workload: query label " << e.label
+                    << " out of range (graph has " << g->num_labels()
+                    << " labels)\n";
+          return 1;
+        }
+      }
+    }
+    std::cout << "workload: " << workload->size() << " queries from "
+              << *workload_file << "\n\n";
+    return RunWorkload(engine, *workload, names, quiet);
+  }
+
+  auto q = query::ParseQuery(*query_text);
+  if (!q.ok()) {
+    std::cerr << "query: " << q.status() << "\n";
+    return 1;
+  }
+  if (!q->IsConnected()) {
+    std::cerr << "query: pattern must be connected\n";
+    return 1;
+  }
+  for (const auto& e : q->edges()) {
+    if (e.label >= g->num_labels()) {
+      std::cerr << "query: label " << e.label << " out of range (graph has "
+                << g->num_labels() << " labels)\n";
+      return 1;
+    }
+  }
+  std::cout << "query: " << query::FormatQuery(*q) << "\n\n";
+
+  util::TablePrinter table({"estimator", "estimate"});
   for (const std::string& name : names) {
     auto estimator = engine.Estimator(name);
     if (!estimator.ok()) {

@@ -110,6 +110,36 @@ size_t CegCache::EvictAffected(const std::vector<bool>& changed_labels,
   return erased;
 }
 
+size_t CegCache::CarryFrom(const CegCache& src,
+                           const std::vector<bool>& changed_labels,
+                           bool evict_all_ocr) {
+  // Two distinct caches: the source belongs to the serving state being
+  // forked, this one to the fork under construction (not yet published),
+  // so this pair-lock cannot deadlock against another CarryFrom.
+  std::scoped_lock lock(src.mutex_, mutex_);
+  size_t carried = 0;
+  size_t skipped = 0;
+  for (const auto& [key, entry] : src.entries_) {
+    bool affected = evict_all_ocr && entry.ocr;
+    if (!affected) {
+      for (graph::Label l : entry.labels) {
+        if (l < changed_labels.size() && changed_labels[l]) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (affected) {
+      ++skipped;
+      continue;
+    }
+    entries_.emplace(key, entry);
+    ++carried;
+  }
+  evictions_.fetch_add(skipped, std::memory_order_relaxed);
+  return carried;
+}
+
 size_t CegCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();

@@ -68,6 +68,17 @@ class CegCache {
   size_t EvictAffected(const std::vector<bool>& changed_labels,
                        bool evict_all_ocr);
 
+  /// The fork-side twin of EvictAffected: copies every entry of `src` a
+  /// delta did NOT invalidate into this cache (entries are immutable and
+  /// held by shared_ptr, so the copy is by reference and the two caches
+  /// can serve different graph epochs concurrently). Skipped entries are
+  /// added to this cache's eviction counter — the fork's maintenance
+  /// report counts them exactly like an in-place eviction. Returns the
+  /// number of entries carried. `src` must not be this cache.
+  size_t CarryFrom(const CegCache& src,
+                   const std::vector<bool>& changed_labels,
+                   bool evict_all_ocr);
+
   /// Lookup counters: exactly one miss per distinct (query class, kind,
   /// options) entry ever inserted — the "one build per query per CEG
   /// kind" property the micro-bench asserts — regardless of thread

@@ -9,7 +9,7 @@ util::StatusOr<const CardinalityEstimator*> EstimationEngine::Estimator(
     auto it = instances_.find(name);
     if (it != instances_.end()) return it->second.get();
   }
-  auto created = registry_->Create(name, context_);
+  auto created = registry_->Create(name, *context_);
   if (!created.ok()) return created.status();
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = instances_.emplace(name, std::move(created).value());
@@ -18,14 +18,17 @@ util::StatusOr<const CardinalityEstimator*> EstimationEngine::Estimator(
 
 util::StatusOr<dynamic::MaintenanceReport> EstimationEngine::ApplyDeltas(
     const std::vector<dynamic::EdgeDelta>& batch) {
-  // Drop instances first: their statistics references die when the context
-  // swaps structures, and nothing may observe them in between (ApplyDeltas
-  // requires quiescence anyway).
-  {
+  auto report = context_->ApplyDeltas(batch);
+  if (report.ok()) {
+    // Drop instances only once the context actually swapped structures
+    // (their statistics references are dead now; the call runs quiesced,
+    // so nothing observes them in between). A rejected batch leaves the
+    // context untouched — previously returned estimator pointers must
+    // stay valid so the caller can keep serving the unchanged state.
     std::lock_guard<std::mutex> lock(mutex_);
     instances_.clear();
   }
-  return context_.ApplyDeltas(batch);
+  return report;
 }
 
 util::StatusOr<std::vector<const CardinalityEstimator*>>

@@ -27,13 +27,31 @@ class EstimationEngine {
  public:
   explicit EstimationEngine(const graph::Graph& g, ContextOptions options = {},
                             const EstimatorRegistry* registry = nullptr)
-      : context_(g, options),
+      : context_(std::make_unique<EstimationContext>(g, options)),
         registry_(registry != nullptr ? registry
                                       : &EstimatorRegistry::Default()) {}
 
-  const EstimationContext& context() const { return context_; }
+  /// Shares ownership of `g` (serving states keep one base graph alive
+  /// across a chain of engines).
+  explicit EstimationEngine(std::shared_ptr<const graph::Graph> g,
+                            ContextOptions options = {},
+                            const EstimatorRegistry* registry = nullptr)
+      : context_(std::make_unique<EstimationContext>(std::move(g), options)),
+        registry_(registry != nullptr ? registry
+                                      : &EstimatorRegistry::Default()) {}
+
+  /// Adopts an existing context — the way a serving state wraps the result
+  /// of EstimationContext::ForkWithDeltas into a fresh engine whose
+  /// estimator instances are built against the forked statistics.
+  explicit EstimationEngine(std::unique_ptr<EstimationContext> context,
+                            const EstimatorRegistry* registry = nullptr)
+      : context_(std::move(context)),
+        registry_(registry != nullptr ? registry
+                                      : &EstimatorRegistry::Default()) {}
+
+  const EstimationContext& context() const { return *context_; }
   const EstimatorRegistry& registry() const { return *registry_; }
-  CegCache& ceg_cache() const { return context_.ceg_cache(); }
+  CegCache& ceg_cache() const { return context_->ceg_cache(); }
 
   /// The estimator registered under `name`, constructed on first use and
   /// shared thereafter. Thread-safe.
@@ -55,7 +73,7 @@ class EstimationEngine {
       const std::vector<dynamic::EdgeDelta>& batch);
 
  private:
-  EstimationContext context_;
+  std::unique_ptr<EstimationContext> context_;
   const EstimatorRegistry* registry_;
   mutable std::mutex mutex_;
   mutable std::unordered_map<std::string,

@@ -83,6 +83,50 @@ const stats::DispersionCatalog& EstimationContext::dispersion_catalog()
   return *dispersion_;
 }
 
+namespace {
+
+/// The four keyed-cache statistics structures rebuilt over a new graph
+/// epoch, shared by the in-place (ApplyDeltas) and offside (ForkWithDeltas)
+/// maintenance flows. Sources are read through their thread-safe cache
+/// accessors, so the offside flow may run concurrently with estimation.
+struct MigratedStats {
+  std::map<int, std::unique_ptr<stats::MarkovTable>> markov;
+  std::unique_ptr<stats::CycleClosingRates> rates;
+  std::unique_ptr<stats::StatsCatalog> catalog;
+  std::unique_ptr<stats::DispersionCatalog> dispersion;
+};
+
+MigratedStats MigrateKeyedStats(
+    const std::vector<std::pair<int, const stats::MarkovTable*>>& markovs,
+    const stats::CycleClosingRates* rates, const stats::StatsCatalog* catalog,
+    const stats::DispersionCatalog* dispersion, const graph::Graph& new_graph,
+    const ContextOptions& options, const dynamic::StatsMaintainer& maintainer,
+    dynamic::MaintenanceReport* report) {
+  MigratedStats out;
+  for (const auto& [h, table] : markovs) {
+    auto fresh = std::make_unique<stats::MarkovTable>(new_graph, h);
+    maintainer.MigrateMarkov(*table, *fresh, report);
+    out.markov.emplace(h, std::move(fresh));
+  }
+  if (rates != nullptr) {
+    out.rates = std::make_unique<stats::CycleClosingRates>(
+        new_graph, options.cycle_closing);
+    maintainer.MigrateClosingRates(*rates, *out.rates, report);
+  }
+  if (catalog != nullptr) {
+    out.catalog = std::make_unique<stats::StatsCatalog>(
+        new_graph, options.stats_materialize_cap);
+    maintainer.MigrateCatalog(*catalog, *out.catalog, report);
+  }
+  if (dispersion != nullptr) {
+    out.dispersion = std::make_unique<stats::DispersionCatalog>(new_graph);
+    maintainer.MigrateDispersion(*dispersion, *out.dispersion, report);
+  }
+  return out;
+}
+
+}  // namespace
+
 util::StatusOr<dynamic::MaintenanceReport> EstimationContext::ApplyDeltas(
     const std::vector<dynamic::EdgeDelta>& batch) {
   dynamic::MaintenanceReport report;
@@ -107,7 +151,7 @@ util::StatusOr<dynamic::MaintenanceReport> EstimationContext::ApplyDeltas(
     for (const graph::Edge& e : net.inserted) {
       replay_log_.push_back({e, dynamic::DeltaOp::kInsert});
     }
-    epoch_history_.push_back({delta_hash_, replay_log_.size()});
+    epoch_history_.push_back({delta_hash_, log_trimmed_ + replay_log_.size()});
   };
 
   if (net.empty()) {
@@ -130,31 +174,15 @@ util::StatusOr<dynamic::MaintenanceReport> EstimationContext::ApplyDeltas(
     // entries the delta did not invalidate. The old graph stays alive for
     // the whole block (owned_ is swapped last), so the migrations can read
     // both epochs.
-    std::map<int, std::unique_ptr<stats::MarkovTable>> new_markov;
-    for (const auto& [h, table] : markov_) {
-      auto fresh = std::make_unique<stats::MarkovTable>(*new_graph, h);
-      maintainer.MigrateMarkov(*table, *fresh, &report);
-      new_markov.emplace(h, std::move(fresh));
-    }
-    markov_ = std::move(new_markov);
-
-    if (rates_ != nullptr) {
-      auto fresh = std::make_unique<stats::CycleClosingRates>(
-          *new_graph, options_.cycle_closing);
-      maintainer.MigrateClosingRates(*rates_, *fresh, &report);
-      rates_ = std::move(fresh);
-    }
-    if (catalog_ != nullptr) {
-      auto fresh = std::make_unique<stats::StatsCatalog>(
-          *new_graph, options_.stats_materialize_cap);
-      maintainer.MigrateCatalog(*catalog_, *fresh, &report);
-      catalog_ = std::move(fresh);
-    }
-    if (dispersion_ != nullptr) {
-      auto fresh = std::make_unique<stats::DispersionCatalog>(*new_graph);
-      maintainer.MigrateDispersion(*dispersion_, *fresh, &report);
-      dispersion_ = std::move(fresh);
-    }
+    std::vector<std::pair<int, const stats::MarkovTable*>> markovs;
+    for (const auto& [h, table] : markov_) markovs.emplace_back(h, table.get());
+    MigratedStats migrated = MigrateKeyedStats(
+        markovs, rates_.get(), catalog_.get(), dispersion_.get(), *new_graph,
+        options_, maintainer, &report);
+    markov_ = std::move(migrated.markov);
+    if (rates_ != nullptr) rates_ = std::move(migrated.rates);
+    if (catalog_ != nullptr) catalog_ = std::move(migrated.catalog);
+    if (dispersion_ != nullptr) dispersion_ = std::move(migrated.dispersion);
     if (char_sets_ != nullptr) {
       // Any edge delta can regroup vertices by out-label set; the summary
       // is one cheap pass over the graph, so drop it and rebuild lazily.
@@ -182,6 +210,120 @@ util::StatusOr<dynamic::MaintenanceReport> EstimationContext::ApplyDeltas(
       maintainer.changed_labels(), options_.cycle_closing.max_mid_hops > 0);
 
   return report;
+}
+
+util::StatusOr<std::unique_ptr<EstimationContext>>
+EstimationContext::ForkWithDeltas(const std::vector<dynamic::EdgeDelta>& batch,
+                                  dynamic::MaintenanceReport* report_out)
+    const {
+  dynamic::MaintenanceReport report;
+
+  dynamic::DeltaGraph overlay(*g_);
+  CEGRAPH_RETURN_IF_ERROR(overlay.Apply(batch));
+  const dynamic::NetDelta net = overlay.CollectNetDelta();
+  report.inserted_edges = net.inserted.size();
+  report.deleted_edges = net.deleted.size();
+
+  std::unique_ptr<EstimationContext> fork(new EstimationContext(ForkTag{}));
+  fork->options_ = options_;
+  fork->base_fingerprint_ = base_fingerprint_;
+  fork->delta_hash_ = delta_hash_ ^ overlay.delta_hash();
+  fork->epoch_ = epoch_ + 1;
+  fork->replay_log_ = replay_log_;
+  for (const graph::Edge& e : net.deleted) {
+    fork->replay_log_.push_back({e, dynamic::DeltaOp::kDelete});
+  }
+  for (const graph::Edge& e : net.inserted) {
+    fork->replay_log_.push_back({e, dynamic::DeltaOp::kInsert});
+  }
+  fork->epoch_history_ = epoch_history_;
+  fork->history_base_epoch_ = history_base_epoch_;
+  fork->log_trimmed_ = log_trimmed_;
+  fork->epoch_history_.push_back(
+      {fork->delta_hash_, log_trimmed_ + fork->replay_log_.size()});
+
+  if (net.empty()) {
+    // Same graph, one epoch later: the fork shares the graph (and, for a
+    // borrowed base, the caller's lifetime obligation).
+    fork->owned_ = owned_;
+    fork->g_ = g_;
+  } else {
+    auto compacted = overlay.Compact();
+    if (!compacted.ok()) return compacted.status();
+    fork->owned_ = std::make_shared<const graph::Graph>(std::move(*compacted));
+    fork->g_ = fork->owned_.get();
+  }
+
+  dynamic::StatsMaintainer maintainer(*g_, *fork->g_, net);
+  report.changed_labels = maintainer.num_changed_labels();
+
+  // Source structures are collected once under the context mutex; the
+  // migrations then read them through their own cache locks, so concurrent
+  // estimation on `this` keeps working throughout the fork. The summaries
+  // are value types: copy, then patch the copy (char-sets only when
+  // nothing changed — any edge delta can regroup vertices, same rule as
+  // ApplyDeltas).
+  std::vector<std::pair<int, const stats::MarkovTable*>> markovs;
+  const stats::CycleClosingRates* rates = nullptr;
+  const stats::StatsCatalog* catalog = nullptr;
+  const stats::DispersionCatalog* dispersion = nullptr;
+  const stats::CharacteristicSets* char_sets = nullptr;
+  const stats::SummaryGraph* summary = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [h, table] : markov_) markovs.emplace_back(h, table.get());
+    rates = rates_.get();
+    catalog = catalog_.get();
+    dispersion = dispersion_.get();
+    char_sets = char_sets_.get();
+    summary = summary_.get();
+  }
+
+  MigratedStats migrated = MigrateKeyedStats(
+      markovs, rates, catalog, dispersion, *fork->g_, options_, maintainer,
+      &report);
+  fork->markov_ = std::move(migrated.markov);
+  fork->rates_ = std::move(migrated.rates);
+  fork->catalog_ = std::move(migrated.catalog);
+  fork->dispersion_ = std::move(migrated.dispersion);
+  if (char_sets != nullptr) {
+    if (net.empty()) {
+      fork->char_sets_ = std::make_unique<stats::CharacteristicSets>(*char_sets);
+    } else {
+      report.char_sets_dropped = true;  // fork rebuilds lazily
+    }
+  }
+  if (summary != nullptr) {
+    fork->summary_ = std::make_unique<stats::SummaryGraph>(*summary);
+    if (!net.empty()) {
+      fork->summary_->ApplyDeltas(*g_, *fork->g_, net.deleted, net.inserted,
+                                  &report.summary_moved_vertices);
+      report.summary_updated = true;
+    }
+  }
+  fork->ceg_cache_.CarryFrom(ceg_cache_, maintainer.changed_labels(),
+                             !net.empty() &&
+                                 options_.cycle_closing.max_mid_hops > 0);
+  report.ceg_evicted = fork->ceg_cache_.evictions();
+
+  if (report_out != nullptr) *report_out = report;
+  return fork;
+}
+
+size_t EstimationContext::TrimReplayLog(uint64_t min_epoch) {
+  if (min_epoch > epoch_) min_epoch = epoch_;
+  if (min_epoch <= history_base_epoch_) return 0;
+  const size_t keep_from = MarkAt(min_epoch)->log_size;  // absolute index
+  const size_t drop = keep_from - log_trimmed_;
+  replay_log_.erase(replay_log_.begin(),
+                    replay_log_.begin() + static_cast<ptrdiff_t>(drop));
+  epoch_history_.erase(
+      epoch_history_.begin(),
+      epoch_history_.begin() +
+          static_cast<ptrdiff_t>(min_epoch - history_base_epoch_));
+  log_trimmed_ = keep_from;
+  history_base_epoch_ = min_epoch;
+  return drop;
 }
 
 std::vector<EstimationContext::CacheStats>

@@ -115,6 +115,17 @@ class EstimationContext {
         base_fingerprint_(g_->fingerprint()) {
     epoch_history_.push_back({0, 0});
   }
+  /// Shares ownership of `g` — the constructor for serving states, where
+  /// the same base graph backs a chain of contexts (the service keeps it
+  /// alive across snapshot hot-swaps).
+  explicit EstimationContext(std::shared_ptr<const graph::Graph> g,
+                             ContextOptions options = {})
+      : owned_(std::move(g)),
+        g_(owned_.get()),
+        options_(options),
+        base_fingerprint_(g_->fingerprint()) {
+    epoch_history_.push_back({0, 0});
+  }
 
   EstimationContext(const EstimationContext&) = delete;
   EstimationContext& operator=(const EstimationContext&) = delete;
@@ -172,6 +183,25 @@ class EstimationContext {
   util::StatusOr<dynamic::MaintenanceReport> ApplyDeltas(
       const std::vector<dynamic::EdgeDelta>& batch);
 
+  /// Builds the *next-epoch* context off to the side, leaving this one
+  /// fully serviceable: the batch is compacted into a fresh graph and every
+  /// built statistics structure is migrated incrementally into a brand-new
+  /// context (same mechanics as ApplyDeltas, including CEG-cache carry of
+  /// unaffected builds), while `this` is only read through its thread-safe
+  /// accessors. This is the RCU building block of the serving layer:
+  /// readers keep estimating against the old context for as long as they
+  /// hold it, the maintainer publishes the fork atomically, and
+  /// ApplyDeltas' quiescence requirement is satisfied by never mutating
+  /// the live state at all.
+  ///
+  /// Safe to run concurrently with estimation on `this`; NOT safe to run
+  /// concurrently with another mutation (ApplyDeltas, TrimReplayLog, a
+  /// second Fork) — maintenance is single-writer. `report`, if non-null,
+  /// receives the same accounting ApplyDeltas would produce.
+  util::StatusOr<std::unique_ptr<EstimationContext>> ForkWithDeltas(
+      const std::vector<dynamic::EdgeDelta>& batch,
+      dynamic::MaintenanceReport* report = nullptr) const;
+
   /// The context's dynamic identity: construction-time base fingerprint,
   /// XOR-combined hash of the net delta log, number of applied batches.
   dynamic::DynamicFingerprint dynamic_fingerprint() const {
@@ -179,10 +209,27 @@ class EstimationContext {
   }
   uint64_t epoch() const { return epoch_; }
   /// Net delta operations applied so far, in application order (the replay
-  /// log that makes earlier-epoch snapshots stale-but-usable).
+  /// log that makes earlier-epoch snapshots stale-but-usable). After
+  /// TrimReplayLog this is the surviving suffix: only deltas at epochs
+  /// >= min_replayable_epoch() remain.
   const std::vector<dynamic::EdgeDelta>& delta_log() const {
     return replay_log_;
   }
+
+  /// Drops the replay-log prefix (and epoch history) below `min_epoch`, so
+  /// a long-lived churning process' net delta log stops growing without
+  /// bound. Snapshots taken at epochs >= min_epoch stay stale-replayable;
+  /// older ones will be rejected as fingerprint mismatches (their replay
+  /// suffix is gone). Once anything has been trimmed, SaveSnapshot stops
+  /// embedding the delta log — a partial log could not reconstruct the
+  /// state from the base graph. Returns the number of net operations
+  /// discarded. Same single-writer discipline as ApplyDeltas/Fork; safe
+  /// against concurrent estimation (estimators never read the log).
+  size_t TrimReplayLog(uint64_t min_epoch);
+
+  /// The oldest epoch whose snapshot can still be replayed against this
+  /// context (0 until the first TrimReplayLog).
+  uint64_t min_replayable_epoch() const { return history_base_epoch_; }
 
   /// Per-cache resident sizes and hit/miss/evict counters, for
   /// observability (cegraph_stats inspect/refresh).
@@ -243,13 +290,31 @@ class EstimationContext {
 
  private:
   /// The dynamic fingerprint after each epoch: epoch_history_[k] is the
-  /// (delta hash, replay-log length) right after the k-th batch
-  /// (epoch_history_[0] = pristine). LoadSnapshot uses it to recognize
-  /// snapshots taken at any earlier epoch of this log.
+  /// (delta hash, replay-log length) right after epoch
+  /// history_base_epoch_ + k (the first entry is the oldest replayable
+  /// point; pristine contexts start with {0, 0} at epoch 0). LoadSnapshot
+  /// uses it to recognize snapshots taken at any earlier epoch of this
+  /// log. `log_size` counts from epoch 0, so after TrimReplayLog the
+  /// in-memory replay_log_ index is log_size - log_trimmed_.
   struct EpochMark {
     uint64_t delta_hash = 0;
     size_t log_size = 0;
   };
+
+  /// Uninitialized shell for ForkWithDeltas, which fills every field
+  /// itself (the public constructors seed a pristine epoch history).
+  struct ForkTag {};
+  explicit EstimationContext(ForkTag) : g_(nullptr) {}
+
+  /// The EpochMark of `epoch`, or null when it predates the trimmed
+  /// history or postdates the current epoch.
+  const EpochMark* MarkAt(uint64_t epoch) const {
+    if (epoch < history_base_epoch_ ||
+        epoch - history_base_epoch_ >= epoch_history_.size()) {
+      return nullptr;
+    }
+    return &epoch_history_[epoch - history_base_epoch_];
+  }
 
   /// Owns the graph after compaction (or from the owning constructor);
   /// null while serving a borrowed base graph.
@@ -262,6 +327,8 @@ class EstimationContext {
   uint64_t epoch_ = 0;
   std::vector<dynamic::EdgeDelta> replay_log_;
   std::vector<EpochMark> epoch_history_;
+  uint64_t history_base_epoch_ = 0;  ///< epoch of epoch_history_[0]
+  size_t log_trimmed_ = 0;  ///< ops dropped from the front of the log
 
   mutable std::mutex mutex_;
   mutable std::map<int, std::unique_ptr<stats::MarkovTable>> markov_;

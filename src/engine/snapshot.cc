@@ -308,11 +308,15 @@ util::StatusOr<std::vector<dynamic::EdgeDelta>> ReadSnapshotDeltaLog(
 }
 
 util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
-  // Collect stable pointers to everything built so far. The pointees are
-  // owned by unique_ptrs that are never reset, and each Export takes its
-  // own cache lock, so serialization can proceed outside the context
-  // mutex (concurrent fills land either before or after the export —
-  // both are consistent snapshots).
+  // Collect stable pointers to everything built so far. Lazy fills only
+  // ever *set* these unique_ptrs, and each Export takes its own cache
+  // lock, so serialization can proceed outside the context mutex
+  // (concurrent fills land either before or after the export — both are
+  // consistent snapshots). Mutations that *replace* the structures
+  // (ApplyDeltas, a stale LoadSnapshot) would free the collected
+  // pointees mid-export; they are single-writer operations that must not
+  // run concurrently with SaveSnapshot — the serving layer guarantees
+  // this by saving only from states the maintainer owns.
   std::vector<std::pair<int, const stats::MarkovTable*>> markovs;
   const stats::CycleClosingRates* rates = nullptr;
   const stats::StatsCatalog* catalog = nullptr;
@@ -380,15 +384,20 @@ util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
 
     // The net replay log makes the artifact self-contained: a consumer
     // holding only the base graph replays it to reconstruct this state.
-    Writer log;
-    log.WriteU64(replay_log_.size());
-    for (const dynamic::EdgeDelta& d : replay_log_) {
-      log.WriteU8(static_cast<uint8_t>(d.op));
-      log.WriteU32(d.edge.src);
-      log.WriteU32(d.edge.dst);
-      log.WriteU32(d.edge.label);
+    // Once TrimReplayLog has discarded a prefix the surviving suffix could
+    // no longer reconstruct anything from the base, so the section is
+    // omitted entirely rather than written incomplete.
+    if (log_trimmed_ == 0) {
+      Writer log;
+      log.WriteU64(replay_log_.size());
+      for (const dynamic::EdgeDelta& d : replay_log_) {
+        log.WriteU8(static_cast<uint8_t>(d.op));
+        log.WriteU32(d.edge.src);
+        log.WriteU32(d.edge.dst);
+        log.WriteU32(d.edge.label);
+      }
+      sections.emplace_back(SnapshotSection::kDeltaLog, log.TakeBuffer());
     }
-    sections.emplace_back(SnapshotSection::kDeltaLog, log.TakeBuffer());
   }
 
   Writer writer;
@@ -488,10 +497,13 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path,
   // Anything else is a mismatch that needs a rebuild — or, when the file
   // embeds its delta log, a reconstruction (replay the log onto the base
   // graph via ReadSnapshotDeltaLog + ApplyDeltas, then load fresh).
+  // The snapshot's epoch must still be in the (possibly trimmed) history
+  // window: MarkAt returns null both for epochs newer than this context
+  // and for epochs whose replay suffix TrimReplayLog has discarded.
   const bool fresh = snap_current == g_->fingerprint();
+  const EpochMark* mark = MarkAt(snap_epoch);
   if (!fresh && (!(info->fingerprint == base_fingerprint_) ||
-                 snap_epoch >= epoch_history_.size() ||
-                 epoch_history_[snap_epoch].delta_hash != snap_delta_hash)) {
+                 mark == nullptr || mark->delta_hash != snap_delta_hash)) {
     return util::FailedPreconditionError(
         "snapshot fingerprint mismatch: statistics describe graph " +
         DescribeFingerprint(snap_current) + " (base " +
@@ -510,7 +522,7 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path,
     report->stale = stale;
     report->snapshot_epoch = snap_epoch;
     report->replayed_deltas =
-        stale ? replay_log_.size() - epoch_history_[snap_epoch].log_size : 0;
+        stale ? replay_log_.size() - (mark->log_size - log_trimmed_) : 0;
     report->evicted_entries = 0;
   }
 
@@ -635,7 +647,7 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path,
     const std::vector<bool> changed = dynamic::ChangedLabelBitmap(
         g_->num_labels(),
         std::span<const dynamic::EdgeDelta>(replay_log_)
-            .subspan(epoch_history_[snap_epoch].log_size));
+            .subspan(mark->log_size - log_trimmed_));
     size_t evicted = 0;
     std::vector<const stats::MarkovTable*> tables;
     const stats::CycleClosingRates* rates = nullptr;

@@ -1,0 +1,175 @@
+#include "harness/service_driver.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "query/parser.h"
+
+namespace cegraph::harness {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+ServiceRunResult DriveServiceWorkload(
+    const service::EstimationService& service,
+    const std::vector<query::WorkloadQuery>& workload,
+    const ServiceDriverOptions& options) {
+  ServiceRunResult result;
+  if (workload.empty()) return result;
+
+  // Parse once, share read-only: the request objects are immutable and
+  // Estimate() is const, so threads need no per-request setup.
+  std::vector<service::EstimateRequest> requests;
+  requests.reserve(workload.size());
+  for (const query::WorkloadQuery& wq : workload) {
+    service::EstimateRequest request;
+    request.query = wq.query;
+    request.pattern = query::FormatQuery(wq.query);
+    request.template_name = wq.template_name;
+    request.truth = wq.true_cardinality;
+    requests.push_back(std::move(request));
+  }
+
+  // Consistency oracle: the first OK response observed for (epoch, query)
+  // fixes that epoch's answer vector; deterministic estimators must
+  // reproduce it exactly on every later response claiming the same epoch.
+  // A response assembled from two serving states disagrees with both
+  // epochs' recorded vectors in some component.
+  struct Expected {
+    std::vector<double> estimates;  ///< NaN marks a failed estimator
+  };
+  std::mutex oracle_mutex;
+  std::map<std::pair<uint64_t, size_t>, Expected> oracle;
+
+  struct PerThread {
+    size_t requests = 0;
+    size_t errors = 0;
+    size_t rejected = 0;
+    size_t estimator_failures = 0;
+    size_t inconsistent = 0;
+    size_t version_regressions = 0;
+    std::map<uint64_t, size_t> per_epoch;
+    double latency_micros = 0;
+    double qerror_sum = 0;
+    size_t qerror_count = 0;
+  };
+  const int threads = options.num_threads < 1 ? 1 : options.num_threads;
+  std::vector<PerThread> per_thread(static_cast<size_t>(threads));
+
+  const auto t0 = Clock::now();
+  auto worker = [&](size_t tid) {
+    PerThread& mine = per_thread[tid];
+    uint64_t last_version = 0;
+    for (int pass = 0;; ++pass) {
+      if (options.duration_seconds > 0) {
+        if (SecondsSince(t0) >= options.duration_seconds) break;
+      } else if (pass >= options.passes) {
+        break;
+      }
+      for (size_t qi = tid; qi < requests.size();
+           qi += static_cast<size_t>(threads)) {
+        if (options.duration_seconds > 0 &&
+            SecondsSince(t0) >= options.duration_seconds) {
+          break;
+        }
+        ++mine.requests;
+        auto response = service.Estimate(requests[qi]);
+        if (!response.ok()) {
+          ++mine.errors;
+          if (response.status().code() ==
+              util::StatusCode::kResourceExhausted) {
+            ++mine.rejected;
+          }
+          continue;
+        }
+        ++mine.per_epoch[response->epoch];
+        mine.latency_micros += response->total_micros;
+        if (response->state_version < last_version) {
+          ++mine.version_regressions;
+        }
+        last_version = response->state_version;
+        std::vector<double> estimates;
+        estimates.reserve(response->results.size());
+        for (const service::EstimatorResult& r : response->results) {
+          if (r.ok) {
+            estimates.push_back(r.estimate);
+            if (response->has_truth) {
+              mine.qerror_sum += r.qerror;
+              ++mine.qerror_count;
+            }
+          } else {
+            ++mine.estimator_failures;
+            estimates.push_back(std::numeric_limits<double>::quiet_NaN());
+          }
+        }
+        if (options.check_consistency) {
+          std::lock_guard<std::mutex> lock(oracle_mutex);
+          auto [it, inserted] =
+              oracle.try_emplace({response->epoch, qi});
+          if (inserted) {
+            it->second.estimates = std::move(estimates);
+          } else {
+            const std::vector<double>& expected = it->second.estimates;
+            bool match = expected.size() == estimates.size();
+            for (size_t i = 0; match && i < expected.size(); ++i) {
+              // Bit-identical or both-failed; deterministic estimators
+              // admit nothing in between within one epoch.
+              match = expected[i] == estimates[i] ||
+                      (std::isnan(expected[i]) && std::isnan(estimates[i]));
+            }
+            if (!match) ++mine.inconsistent;
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads) - 1);
+  for (size_t tid = 1; tid < static_cast<size_t>(threads); ++tid) {
+    pool.emplace_back(worker, tid);
+  }
+  worker(0);
+  for (std::thread& t : pool) t.join();
+  result.seconds = SecondsSince(t0);
+
+  double latency_micros = 0;
+  double qerror_sum = 0;
+  size_t qerror_count = 0;
+  for (const PerThread& mine : per_thread) {
+    result.requests += mine.requests;
+    result.errors += mine.errors;
+    result.rejected += mine.rejected;
+    result.estimator_failures += mine.estimator_failures;
+    result.inconsistent_responses += mine.inconsistent;
+    result.version_regressions += mine.version_regressions;
+    for (const auto& [epoch, count] : mine.per_epoch) {
+      result.responses_per_epoch[epoch] += count;
+    }
+    latency_micros += mine.latency_micros;
+    qerror_sum += mine.qerror_sum;
+    qerror_count += mine.qerror_count;
+  }
+  const size_t ok_responses = result.requests - result.errors;
+  if (ok_responses > 0) {
+    result.mean_latency_micros =
+        latency_micros / static_cast<double>(ok_responses);
+  }
+  if (qerror_count > 0) {
+    result.mean_qerror = qerror_sum / static_cast<double>(qerror_count);
+  }
+  return result;
+}
+
+}  // namespace cegraph::harness

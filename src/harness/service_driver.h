@@ -1,0 +1,71 @@
+#ifndef CEGRAPH_HARNESS_SERVICE_DRIVER_H_
+#define CEGRAPH_HARNESS_SERVICE_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "query/workload.h"
+#include "service/service.h"
+
+namespace cegraph::harness {
+
+/// Client-side load knobs for DriveServiceWorkload.
+struct ServiceDriverOptions {
+  /// Concurrent client threads hammering the service.
+  int num_threads = 8;
+  /// Full passes over the workload per thread (each thread walks its
+  /// stride-interleaved share). Ignored when duration_seconds > 0.
+  int passes = 1;
+  /// When > 0, loop the workload until the deadline instead of counting
+  /// passes — the shape the swap-under-load bench wants.
+  double duration_seconds = 0;
+  /// Cross-check every response for epoch consistency (see
+  /// ServiceRunResult::inconsistent_responses). Requires a deterministic
+  /// estimator suite — sampling estimators (wander join) legitimately
+  /// answer differently per call and would be flagged.
+  bool check_consistency = true;
+};
+
+/// What N threads of synthetic clients observed. The consistency fields
+/// are the swap-under-load acceptance instrument: a response whose
+/// estimate vector does not exactly match the (first-observed,
+/// deterministic) answer of its declared epoch was assembled from more
+/// than one serving state.
+struct ServiceRunResult {
+  size_t requests = 0;
+  size_t errors = 0;     ///< non-OK responses (parse, labels, rejection)
+  size_t rejected = 0;   ///< the ResourceExhausted subset of errors
+  size_t estimator_failures = 0;  ///< per-estimator failures inside OK responses
+  /// Responses contradicting their epoch's recorded answer vector.
+  size_t inconsistent_responses = 0;
+  /// Responses whose state_version went backwards within one thread.
+  size_t version_regressions = 0;
+  std::map<uint64_t, size_t> responses_per_epoch;
+  double seconds = 0;
+  double mean_latency_micros = 0;  ///< service-measured, over OK responses
+  /// Mean q-error across all successful estimator results that carried
+  /// ground truth (0 when none).
+  double mean_qerror = 0;
+
+  double requests_per_second() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  }
+};
+
+/// Drives `workload` against an in-process EstimationService from
+/// `options.num_threads` client threads: the service-mode twin of
+/// WorkloadRunner. Requests are parsed once up front (workload-line shape,
+/// truth included) and shared read-only; each thread walks its
+/// stride-interleaved share so all threads touch the full query mix.
+/// Thread-safe against concurrent maintenance on the service — that is
+/// the point.
+ServiceRunResult DriveServiceWorkload(
+    const service::EstimationService& service,
+    const std::vector<query::WorkloadQuery>& workload,
+    const ServiceDriverOptions& options = {});
+
+}  // namespace cegraph::harness
+
+#endif  // CEGRAPH_HARNESS_SERVICE_DRIVER_H_

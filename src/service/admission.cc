@@ -1,0 +1,33 @@
+#include "service/admission.h"
+
+namespace cegraph::service {
+
+AdmissionController::Ticket AdmissionController::TryAdmit() {
+  if (max_in_flight_ <= 0) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Ticket(this);
+  }
+  int64_t current = in_flight_.load(std::memory_order_relaxed);
+  while (current < max_in_flight_) {
+    if (in_flight_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      UpdatePeak(current + 1);
+      return Ticket(this);
+    }
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return Ticket();
+}
+
+void AdmissionController::UpdatePeak(int64_t candidate) {
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (candidate > peak &&
+         !peak_.compare_exchange_weak(peak, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace cegraph::service

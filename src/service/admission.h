@@ -1,0 +1,88 @@
+#ifndef CEGRAPH_SERVICE_ADMISSION_H_
+#define CEGRAPH_SERVICE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cegraph::service {
+
+/// Bounded-concurrency admission control for the estimation service: a
+/// fixed pool of in-flight slots, acquired per request and released when
+/// the response is built. Saturation sheds load instead of queueing it —
+/// an estimation request is pure CPU, so queued requests only add latency
+/// for everyone; the caller gets ResourceExhausted and retries against a
+/// less loaded replica.
+///
+/// Lock-free: one CAS-loop counter on the hot path, plus relaxed
+/// accounting counters for observability.
+class AdmissionController {
+ public:
+  /// `max_in_flight` <= 0 means unbounded (admission always succeeds).
+  explicit AdmissionController(int max_in_flight)
+      : max_in_flight_(max_in_flight) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII in-flight slot. Falsy when admission was refused.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionController* owner) : owner_(owner) {}
+    Ticket(Ticket&& other) noexcept : owner_(other.owner_) {
+      other.owner_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        owner_ = other.owner_;
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    ~Ticket() { Release(); }
+
+    explicit operator bool() const { return owner_ != nullptr; }
+
+   private:
+    void Release() {
+      if (owner_ != nullptr) {
+        owner_->Exit();
+        owner_ = nullptr;
+      }
+    }
+    AdmissionController* owner_ = nullptr;
+  };
+
+  /// Tries to claim an in-flight slot. A falsy ticket means the service is
+  /// saturated; the rejection counter has been bumped.
+  Ticket TryAdmit();
+
+  int max_in_flight() const { return max_in_flight_; }
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_in_flight() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Exit() { in_flight_.fetch_sub(1, std::memory_order_release); }
+  void UpdatePeak(int64_t candidate);
+
+  const int max_in_flight_;
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace cegraph::service
+
+#endif  // CEGRAPH_SERVICE_ADMISSION_H_

@@ -1,0 +1,75 @@
+#include "service/request.h"
+
+#include <cstdlib>
+
+#include "query/parser.h"
+
+namespace cegraph::service {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string_view NextToken(std::string_view& s) {
+  s = Trim(s);
+  size_t end = 0;
+  while (end < s.size() && s[end] != ' ' && s[end] != '\t') ++end;
+  std::string_view token = s.substr(0, end);
+  s.remove_prefix(end);
+  return token;
+}
+
+}  // namespace
+
+util::StatusOr<EstimateRequest> ParseRequestLine(std::string_view line) {
+  std::string_view rest = Trim(line);
+  if (rest.empty() || rest.front() == '#') {
+    return util::InvalidArgumentError(
+        "empty request line (comments are not requests)");
+  }
+
+  EstimateRequest request;
+  if (rest.front() != '(') {
+    // Workload-file shape: <template> <truth> <pattern>.
+    const std::string_view name = NextToken(rest);
+    const std::string_view truth_text = NextToken(rest);
+    rest = Trim(rest);
+    if (truth_text.empty() || rest.empty()) {
+      return util::InvalidArgumentError(
+          "request line must be a '(v)-[l]->(w); ...' pattern or a workload "
+          "line '<template> <truth> <pattern>', got: " +
+          std::string(line));
+    }
+    char* end = nullptr;
+    const std::string truth_str(truth_text);
+    const double truth = std::strtod(truth_str.c_str(), &end);
+    if (end == nullptr || *end != '\0' || truth < 0) {
+      return util::InvalidArgumentError("unparseable true cardinality '" +
+                                        truth_str + "' in request line");
+    }
+    request.template_name = std::string(name);
+    request.truth = truth;
+  }
+
+  request.pattern = std::string(rest);
+  auto query = query::ParseQuery(rest);
+  if (!query.ok()) return query.status();
+  if (!query->IsConnected()) {
+    return util::InvalidArgumentError(
+        "request pattern must be connected: " + request.pattern);
+  }
+  request.query = std::move(*query);
+  return request;
+}
+
+}  // namespace cegraph::service

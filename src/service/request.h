@@ -1,0 +1,63 @@
+#ifndef CEGRAPH_SERVICE_REQUEST_H_
+#define CEGRAPH_SERVICE_REQUEST_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace cegraph::service {
+
+/// One estimation request as the service consumes it: a parsed pattern
+/// plus optional ground truth (for q-error accounting on replayed
+/// workloads).
+struct EstimateRequest {
+  query::QueryGraph query;
+  std::string pattern;        ///< the pattern text as received
+  std::string template_name;  ///< empty for ad-hoc patterns
+  std::optional<double> truth;
+};
+
+/// Parses one request line. Two shapes are accepted:
+///
+///   (a)-[3]->(b); (b)-[5]->(c)            ad-hoc pattern (parser syntax)
+///   <template> <true_cardinality> <pattern>   a workload-file line
+///                                             (query/workload_io.h format)
+///
+/// so a client can stream a saved workload verbatim, truth included.
+/// Comments (leading '#') and blank lines are InvalidArgument — framing
+/// happens per request, there is nothing to skip to. The query must parse
+/// and be connected; label-range validation happens later, against the
+/// serving state's graph.
+util::StatusOr<EstimateRequest> ParseRequestLine(std::string_view line);
+
+/// One estimator's answer within a response.
+struct EstimatorResult {
+  std::string name;
+  bool ok = false;
+  double estimate = 0;   ///< valid iff ok
+  std::string error;     ///< set iff !ok
+  double micros = 0;     ///< estimation latency of this estimator
+  /// QError(estimate, truth); 0 when the request carried no truth or the
+  /// estimator failed.
+  double qerror = 0;
+};
+
+/// The full answer to one EstimateRequest. Every field is computed against
+/// a single serving state (one engine, one epoch) acquired once at request
+/// start — the consistency unit the swap-under-load bench asserts.
+struct EstimateResponse {
+  uint64_t epoch = 0;          ///< graph epoch of the serving state
+  uint64_t state_version = 0;  ///< hot-swap generation of the state
+  double total_micros = 0;     ///< wall time from admission to response
+  bool has_truth = false;
+  double truth = 0;
+  std::vector<EstimatorResult> results;
+};
+
+}  // namespace cegraph::service
+
+#endif  // CEGRAPH_SERVICE_REQUEST_H_

@@ -1,0 +1,223 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <sstream>
+#include <utility>
+
+#include "dynamic/delta_io.h"
+
+namespace cegraph::service {
+
+TcpServer::TcpServer(EstimationService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+util::Status TcpServer::Start() {
+  if (started_) return util::FailedPreconditionError("server already started");
+  auto fd = wire::ListenTcp(options_.host, options_.port, options_.backlog);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = *fd;
+  auto port = wire::BoundPort(listen_fd_);
+  if (!port.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = *port;
+  started_ = true;
+  stopping_ = false;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  const int workers = options_.workers < 1 ? 1 : options_.workers;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return util::Status::OK();
+}
+
+void TcpServer::Stop() {
+  std::thread acceptor;
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+    acceptor = std::move(acceptor_);
+    workers = std::move(workers_);
+    // Unblock workers parked in a read: SHUT_RD makes their next (or
+    // current) read return EOF, and they observe stopping_ on the way
+    // out. The write side stays open so a worker mid-request can still
+    // deliver its response — the drain contract: every request the
+    // server accepted is answered.
+    for (const int fd : active_) ::shutdown(fd, SHUT_RD);
+  }
+  // Closing the listener unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  queue_cv_.notify_all();
+  if (acceptor.joinable()) acceptor.join();
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    while (!queue_.empty()) {
+      ::close(queue_.front());
+      queue_.pop_front();
+    }
+    started_ = false;
+  }
+  stopped_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  }
+  shutdown_cv_.notify_all();
+}
+
+bool TcpServer::WaitUntilShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [&] {
+    return shutdown_requested_.load(std::memory_order_relaxed) ||
+           stopped_.load(std::memory_order_relaxed);
+  });
+  return shutdown_requested_.load(std::memory_order_relaxed);
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // EBADF/EINVAL after Stop closed the listener; EINTR restarts.
+      if (errno == EINTR) continue;
+      return;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      queue_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void TcpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // queued fds are closed by Stop
+      fd = queue_.front();
+      queue_.pop_front();
+      active_.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      active_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  for (;;) {
+    auto payload = wire::ReadFrame(fd, options_.max_frame_bytes);
+    if (!payload.ok()) return;  // clean close, truncation or corruption
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    wire::Response response;
+    auto request = wire::DecodeRequest(*payload);
+    if (!request.ok()) {
+      response.status = request.status();
+    } else {
+      response = Dispatch(*request);
+    }
+    if (!wire::WriteFrame(fd, wire::EncodeResponse(response)).ok()) return;
+
+    if (request.ok() && request->type == wire::MessageType::kShutdown) {
+      shutdown_requested_.store(true, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(shutdown_mutex_);
+      }
+      shutdown_cv_.notify_all();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (stopping_) return;
+    }
+  }
+}
+
+wire::Response TcpServer::Dispatch(const wire::Request& request) {
+  wire::Response response;
+  response.type = request.type;
+  switch (request.type) {
+    case wire::MessageType::kEstimate: {
+      auto estimate = service_.EstimateLine(request.text);
+      if (!estimate.ok()) {
+        response.status = estimate.status();
+      } else {
+        response.estimate = std::move(*estimate);
+      }
+      break;
+    }
+    case wire::MessageType::kApplyDeltas: {
+      // The feed travels inline in the delta text format; applying it is
+      // submit + synchronous flush, so the response's epoch is the state
+      // actually serving the deltas.
+      std::istringstream feed{request.text};
+      auto batch = dynamic::ReadDeltaText(feed);
+      if (!batch.ok()) {
+        response.status = batch.status();
+        break;
+      }
+      if (auto submitted = service_.SubmitDeltas(std::move(*batch));
+          !submitted.ok()) {
+        response.status = submitted;
+        break;
+      }
+      auto swapped = service_.FlushDeltas();
+      if (!swapped.ok()) {
+        response.status = swapped.status();
+      } else {
+        response.swap = *swapped;
+      }
+      break;
+    }
+    case wire::MessageType::kSwapSnapshot: {
+      auto swapped = service_.HotSwapSnapshot(request.text);
+      if (!swapped.ok()) {
+        response.status = swapped.status();
+      } else {
+        response.swap = *swapped;
+      }
+      break;
+    }
+    case wire::MessageType::kStats:
+      response.stats = service_.Stats();
+      break;
+    case wire::MessageType::kPing:
+      response.text = request.text.empty() ? "pong" : request.text;
+      break;
+    case wire::MessageType::kShutdown:
+      response.text = "draining";
+      break;
+  }
+  return response;
+}
+
+}  // namespace cegraph::service

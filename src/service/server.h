@@ -1,0 +1,102 @@
+#ifndef CEGRAPH_SERVICE_SERVER_H_
+#define CEGRAPH_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "service/service.h"
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace cegraph::service {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral (read the actual one from port())
+  /// Worker threads handling connections. Estimation itself runs on the
+  /// worker; more workers = more concurrent estimation (the service's
+  /// serving states are wait-free for readers, so workers scale).
+  int workers = 4;
+  int backlog = 128;
+  uint32_t max_frame_bytes = wire::kMaxFrameBytes;
+};
+
+/// The thread-pool request dispatcher of `cegraph_serve`, reusable
+/// in-process (loopback benches, tests): an acceptor thread queues
+/// connections, workers drain them frame by frame through the
+/// EstimationService, every frame gets exactly one response frame.
+/// A kShutdown request (or Stop()) drains and joins everything; the
+/// service outlives the server and may be shared by several servers.
+class TcpServer {
+ public:
+  TcpServer(EstimationService& service, ServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers. The bound port is
+  /// available from port() once Start returns OK.
+  util::Status Start();
+
+  int port() const { return port_; }
+
+  /// Closes the listener, drains queued connections, joins all threads.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  /// Blocks until Stop() is called from elsewhere or a client sent
+  /// kShutdown. Returns true when the cause was a shutdown request.
+  bool WaitUntilShutdown();
+
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_handled() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  wire::Response Dispatch(const wire::Request& request);
+
+  EstimationService& service_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+  /// Connections a worker is currently serving; Stop() shuts them down so
+  /// reads blocked mid-connection unblock with EOF.
+  std::unordered_set<int> active_;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace cegraph::service
+
+#endif  // CEGRAPH_SERVICE_SERVER_H_

@@ -1,0 +1,366 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "engine/snapshot.h"
+#include "harness/qerror.h"
+
+namespace cegraph::service {
+
+namespace {
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
+    std::shared_ptr<const graph::Graph> base_graph, ServiceOptions options) {
+  if (base_graph == nullptr) {
+    return util::InvalidArgumentError("service needs a base graph");
+  }
+  if (options.estimators.empty()) {
+    return util::InvalidArgumentError(
+        "service needs at least one estimator name");
+  }
+  std::unique_ptr<EstimationService> service(
+      new EstimationService(std::move(base_graph), std::move(options)));
+
+  auto context = std::make_unique<engine::EstimationContext>(
+      service->base_graph_, service->options_.context);
+  if (!service->options_.initial_snapshot.empty()) {
+    const std::string& path = service->options_.initial_snapshot;
+    auto loaded = context->LoadSnapshot(path);
+    if (!loaded.ok() &&
+        loaded.code() == util::StatusCode::kFailedPrecondition) {
+      // The artifact may describe a later epoch of this base graph:
+      // reconstruct by replaying its embedded delta log, then load fresh.
+      auto log = engine::ReadSnapshotDeltaLog(path);
+      if (log.ok() && !log->empty()) {
+        auto applied = context->ApplyDeltas(*log);
+        if (applied.ok()) loaded = context->LoadSnapshot(path);
+      }
+    }
+    if (!loaded.ok()) return loaded;
+  }
+  if (!service->options_.prewarm_workload.empty()) {
+    context->Prewarm(service->options_.prewarm_workload);
+  }
+
+  auto state = service->MakeState(std::move(context), 0);
+  if (!state.ok()) return state.status();
+  service->state_.store(std::move(*state), std::memory_order_release);
+
+  if (service->options_.compact_trigger_ops > 0) {
+    service->maintainer_ = std::thread([raw = service.get()] {
+      raw->MaintainerLoop();
+    });
+  }
+  return service;
+}
+
+util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
+    graph::Graph&& base_graph, ServiceOptions options) {
+  return Create(std::make_shared<const graph::Graph>(std::move(base_graph)),
+                std::move(options));
+}
+
+EstimationService::EstimationService(
+    std::shared_ptr<const graph::Graph> base_graph, ServiceOptions options)
+    : base_graph_(std::move(base_graph)),
+      options_(std::move(options)),
+      admission_(options_.max_in_flight),
+      accounting_(options_.estimators.size()) {}
+
+EstimationService::~EstimationService() {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    stopping_ = true;
+  }
+  pending_cv_.notify_all();
+  if (maintainer_.joinable()) maintainer_.join();
+}
+
+util::StatusOr<std::shared_ptr<ServingState>> EstimationService::MakeState(
+    std::unique_ptr<engine::EstimationContext> context, uint64_t version) {
+  auto state = std::make_shared<ServingState>();
+  state->epoch = context->epoch();
+  state->version = version;
+  state->names = options_.estimators;
+  state->engine =
+      std::make_unique<engine::EstimationEngine>(std::move(context));
+  auto suite = state->engine->Estimators(state->names);
+  if (!suite.ok()) return suite.status();
+  state->suite = std::move(*suite);
+  return state;
+}
+
+size_t EstimationService::TrimForRetention(
+    engine::EstimationContext& context) const {
+  if (options_.replay_keep_epochs < 0) return 0;
+  const uint64_t keep = static_cast<uint64_t>(options_.replay_keep_epochs);
+  const uint64_t epoch = context.epoch();
+  if (epoch <= keep) return 0;
+  return context.TrimReplayLog(epoch - keep);
+}
+
+void EstimationService::Publish(std::shared_ptr<const ServingState> state) {
+  state_.store(std::move(state), std::memory_order_release);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+util::StatusOr<EstimateResponse> EstimationService::Estimate(
+    const EstimateRequest& request) const {
+  AdmissionController::Ticket ticket = admission_.TryAdmit();
+  if (!ticket) {
+    return util::ResourceExhaustedError(
+        "service saturated (" + std::to_string(admission_.max_in_flight()) +
+        " requests in flight)");
+  }
+  const double t0 = NowMicros();
+
+  // The whole request runs against this one state: same graph, same
+  // statistics, same estimator instances, one epoch. The shared_ptr keeps
+  // it alive even if the maintainer publishes successors mid-request.
+  const std::shared_ptr<const ServingState> state = AcquireState();
+  const graph::Graph& g = state->engine->context().graph();
+  for (const query::QueryEdge& e : request.query.edges()) {
+    if (e.label >= g.num_labels()) {
+      request_errors_.fetch_add(1, std::memory_order_relaxed);
+      return util::InvalidArgumentError(
+          "query label " + std::to_string(e.label) +
+          " out of range (graph has " + std::to_string(g.num_labels()) +
+          " labels)");
+    }
+  }
+
+  EstimateResponse response;
+  response.epoch = state->epoch;
+  response.state_version = state->version;
+  if (request.truth.has_value()) {
+    response.has_truth = true;
+    response.truth = *request.truth;
+  }
+  response.results.reserve(state->suite.size());
+  for (size_t i = 0; i < state->suite.size(); ++i) {
+    EstimatorResult result;
+    result.name = state->names[i];
+    const double e0 = NowMicros();
+    auto estimate = state->suite[i]->Estimate(request.query);
+    result.micros = NowMicros() - e0;
+    if (estimate.ok()) {
+      result.ok = true;
+      result.estimate = *estimate;
+      if (response.has_truth) {
+        result.qerror = harness::QError(result.estimate, response.truth);
+      }
+    } else {
+      result.error = estimate.status().ToString();
+    }
+    response.results.push_back(std::move(result));
+  }
+  response.total_micros = NowMicros() - t0;
+
+  served_.fetch_add(1, std::memory_order_relaxed);
+  latency_micros_total_.fetch_add(
+      static_cast<uint64_t>(response.total_micros),
+      std::memory_order_relaxed);
+  for (size_t i = 0; i < response.results.size(); ++i) {
+    EstimatorAccum& accum = accounting_[i];
+    const EstimatorResult& result = response.results[i];
+    accum.requests.fetch_add(1, std::memory_order_relaxed);
+    accum.micros.fetch_add(result.micros, std::memory_order_relaxed);
+    if (!result.ok) {
+      accum.failures.fetch_add(1, std::memory_order_relaxed);
+    } else if (response.has_truth) {
+      accum.truth_requests.fetch_add(1, std::memory_order_relaxed);
+      accum.qerror_sum.fetch_add(result.qerror, std::memory_order_relaxed);
+    }
+  }
+  return response;
+}
+
+util::StatusOr<EstimateResponse> EstimationService::EstimateLine(
+    std::string_view line) const {
+  auto request = ParseRequestLine(line);
+  if (!request.ok()) {
+    request_errors_.fetch_add(1, std::memory_order_relaxed);
+    return request.status();
+  }
+  return Estimate(*request);
+}
+
+util::Status EstimationService::SubmitDeltas(
+    std::vector<dynamic::EdgeDelta> batch) {
+  if (batch.empty()) return util::Status::OK();
+  // Same range checks DeltaGraph::Apply would make; the vertex and label
+  // spaces are fixed at base-graph construction, so validity is
+  // epoch-independent and a queued batch can no longer fail the fold.
+  for (const dynamic::EdgeDelta& d : batch) {
+    if (d.edge.src >= base_graph_->num_vertices() ||
+        d.edge.dst >= base_graph_->num_vertices()) {
+      return util::InvalidArgumentError("delta edge endpoint out of range");
+    }
+    if (d.edge.label >= base_graph_->num_labels()) {
+      return util::InvalidArgumentError("delta edge label out of range");
+    }
+  }
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.insert(pending_.end(), batch.begin(), batch.end());
+    wake = options_.compact_trigger_ops > 0 &&
+           pending_.size() >=
+               static_cast<size_t>(options_.compact_trigger_ops);
+  }
+  if (wake) pending_cv_.notify_one();
+  return util::Status::OK();
+}
+
+util::StatusOr<SwapReport> EstimationService::FlushDeltas() {
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+  std::vector<dynamic::EdgeDelta> batch;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    batch.swap(pending_);
+  }
+  if (batch.empty()) {
+    const auto state = AcquireState();
+    SwapReport report;
+    report.epoch = state->epoch;
+    report.version = state->version;
+    return report;
+  }
+  return ApplyBatchLocked(std::move(batch));
+}
+
+util::StatusOr<SwapReport> EstimationService::ApplyBatchLocked(
+    std::vector<dynamic::EdgeDelta> batch) {
+  const std::shared_ptr<const ServingState> current = AcquireState();
+
+  SwapReport report;
+  report.applied_ops = batch.size();
+  auto fork = current->engine->context().ForkWithDeltas(
+      batch, &report.maintenance);
+  if (!fork.ok()) return fork.status();
+  report.trimmed_log_ops = TrimForRetention(**fork);
+
+  auto next = MakeState(std::move(*fork), current->version + 1);
+  if (!next.ok()) return next.status();
+  report.epoch = (*next)->epoch;
+  report.version = (*next)->version;
+  Publish(std::move(*next));
+  return report;
+}
+
+util::StatusOr<SwapReport> EstimationService::HotSwapSnapshot(
+    const std::string& path) {
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+
+  // Built entirely off to the side: a fresh context over the shared base
+  // graph, rebased onto the artifact. The current state keeps serving
+  // until the single publish below.
+  auto context = std::make_unique<engine::EstimationContext>(
+      base_graph_, options_.context);
+  SwapReport report;
+  engine::EstimationContext::SnapshotLoadReport load_report;
+  auto loaded = context->LoadSnapshot(path, &load_report);
+  if (!loaded.ok() &&
+      loaded.code() == util::StatusCode::kFailedPrecondition) {
+    auto log = engine::ReadSnapshotDeltaLog(path);
+    if (log.ok() && !log->empty()) {
+      auto applied = context->ApplyDeltas(*log);
+      if (applied.ok()) {
+        loaded = context->LoadSnapshot(path, &load_report);
+        if (loaded.ok()) report.snapshot_replayed_deltas = log->size();
+      }
+    }
+  }
+  if (!loaded.ok()) return loaded;
+  report.snapshot_stale = load_report.stale;
+  report.snapshot_replayed_deltas += load_report.replayed_deltas;
+
+  // Satellite contract: every successful hot-swap trims the new state's
+  // replay log so a churning service's log and epoch history stay bounded.
+  report.trimmed_log_ops = TrimForRetention(*context);
+
+  const std::shared_ptr<const ServingState> current = AcquireState();
+  auto next = MakeState(std::move(context), current->version + 1);
+  if (!next.ok()) return next.status();
+  report.epoch = (*next)->epoch;
+  report.version = (*next)->version;
+  Publish(std::move(*next));
+  return report;
+}
+
+void EstimationService::MaintainerLoop() {
+  const size_t trigger =
+      static_cast<size_t>(options_.compact_trigger_ops);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pending_mutex_);
+      pending_cv_.wait(lock, [&] {
+        return stopping_ || pending_.size() >= trigger;
+      });
+      if (stopping_) return;
+    }
+    // Volume threshold reached: fold everything pending into a new state.
+    // Batches were validated at SubmitDeltas, so the fold only fails on
+    // resource exhaustion — in which case the batch is dropped and the
+    // service keeps serving the last good state.
+    (void)FlushDeltas();
+  }
+}
+
+ServiceStats EstimationService::Stats() const {
+  ServiceStats stats;
+  stats.served = served_.load(std::memory_order_relaxed);
+  stats.rejected = admission_.rejected();
+  stats.request_errors = request_errors_.load(std::memory_order_relaxed);
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
+  const auto state = AcquireState();
+  stats.epoch = state->epoch;
+  stats.version = state->version;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    stats.pending_delta_ops = pending_.size();
+  }
+  stats.replay_log_ops = state->engine->context().delta_log().size();
+  stats.min_replayable_epoch =
+      state->engine->context().min_replayable_epoch();
+  stats.in_flight = admission_.in_flight();
+  stats.peak_in_flight = admission_.peak_in_flight();
+  if (stats.served > 0) {
+    stats.mean_latency_micros =
+        static_cast<double>(
+            latency_micros_total_.load(std::memory_order_relaxed)) /
+        static_cast<double>(stats.served);
+  }
+  stats.estimators.reserve(accounting_.size());
+  for (size_t i = 0; i < accounting_.size(); ++i) {
+    ServiceStats::EstimatorAccounting out;
+    out.name = options_.estimators[i];
+    out.requests = accounting_[i].requests.load(std::memory_order_relaxed);
+    out.failures = accounting_[i].failures.load(std::memory_order_relaxed);
+    if (out.requests > 0) {
+      out.mean_micros =
+          accounting_[i].micros.load(std::memory_order_relaxed) /
+          static_cast<double>(out.requests);
+    }
+    const uint64_t truth_requests =
+        accounting_[i].truth_requests.load(std::memory_order_relaxed);
+    if (truth_requests > 0) {
+      out.mean_qerror =
+          accounting_[i].qerror_sum.load(std::memory_order_relaxed) /
+          static_cast<double>(truth_requests);
+    }
+    stats.estimators.push_back(std::move(out));
+  }
+  return stats;
+}
+
+}  // namespace cegraph::service

@@ -1,0 +1,241 @@
+#ifndef CEGRAPH_SERVICE_SERVICE_H_
+#define CEGRAPH_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "dynamic/delta_graph.h"
+#include "dynamic/stats_maintainer.h"
+#include "engine/engine.h"
+#include "graph/graph.h"
+#include "service/admission.h"
+#include "service/request.h"
+#include "util/status.h"
+
+namespace cegraph::service {
+
+/// One immutable unit of serving: an engine (context + memoized estimator
+/// instances) over one graph epoch, plus the resolved estimator suite.
+/// States are published through an atomic shared_ptr and never mutated
+/// after publication, so a reader that acquired a state can finish its
+/// whole request against it — estimators, statistics and graph all from
+/// the same epoch — while the maintainer builds and publishes successors.
+struct ServingState {
+  std::unique_ptr<engine::EstimationEngine> engine;
+  /// The serving estimator suite, resolved once; pointers are owned by
+  /// `engine` and live exactly as long as this state.
+  std::vector<const CardinalityEstimator*> suite;
+  std::vector<std::string> names;
+  uint64_t epoch = 0;          ///< engine->context().epoch()
+  uint64_t version = 0;        ///< hot-swap generation (0 = initial state)
+};
+
+struct ServiceOptions {
+  /// The estimator suite every request runs. Must resolve against the
+  /// default registry at Create time.
+  std::vector<std::string> estimators = {"max-hop-max", "all-hops-avg",
+                                         "molp", "cbs", "cs"};
+  engine::ContextOptions context;
+  /// In-flight request cap (AdmissionController); <= 0 = unbounded.
+  int max_in_flight = 1024;
+  /// Background compaction trigger: when this many pending delta
+  /// operations have accumulated, the maintainer thread folds them into a
+  /// new serving state. <= 0 disables the background thread (deltas apply
+  /// only on FlushDeltas).
+  int compact_trigger_ops = 4096;
+  /// Replay-log retention: after each successful hot-swap the new state's
+  /// log is trimmed so only the last `replay_keep_epochs` epochs stay
+  /// replayable (snapshot staleness window). < 0 disables trimming.
+  int replay_keep_epochs = 8;
+  /// Prewarm the initial state's statistics for this workload before
+  /// serving (optional; empty = lazy).
+  std::vector<query::WorkloadQuery> prewarm_workload;
+  /// Load this snapshot into the initial state (optional). The snapshot
+  /// may describe a later epoch of the base graph — its embedded delta
+  /// log is replayed, exactly like `cegraph_stats` consumers do.
+  std::string initial_snapshot;
+};
+
+/// What one delta application / hot-swap did.
+struct SwapReport {
+  uint64_t epoch = 0;    ///< epoch of the newly published state
+  uint64_t version = 0;  ///< version of the newly published state
+  size_t applied_ops = 0;
+  size_t trimmed_log_ops = 0;
+  dynamic::MaintenanceReport maintenance;
+  /// Snapshot swaps only: whether the artifact loaded stale and how many
+  /// embedded deltas were replayed to reconstruct its graph.
+  bool snapshot_stale = false;
+  size_t snapshot_replayed_deltas = 0;
+};
+
+/// Aggregate accounting, cheap enough to sample per scrape.
+struct ServiceStats {
+  uint64_t served = 0;           ///< responses returned
+  uint64_t rejected = 0;         ///< admission refusals
+  uint64_t request_errors = 0;   ///< unparseable / invalid requests
+  uint64_t swaps = 0;            ///< published states beyond the initial
+  uint64_t epoch = 0;            ///< current serving epoch
+  uint64_t version = 0;          ///< current state version
+  size_t pending_delta_ops = 0;  ///< submitted but not yet applied
+  size_t replay_log_ops = 0;     ///< surviving replay-log length
+  uint64_t min_replayable_epoch = 0;
+  int64_t in_flight = 0;
+  int64_t peak_in_flight = 0;
+  double mean_latency_micros = 0;  ///< over served requests
+  /// Per-estimator accounting over every served request.
+  struct EstimatorAccounting {
+    std::string name;
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+    double mean_micros = 0;
+    /// Mean q-error over requests that carried ground truth (and
+    /// succeeded); 0 when none did.
+    double mean_qerror = 0;
+  };
+  std::vector<EstimatorAccounting> estimators;
+};
+
+/// A long-lived, concurrently readable estimation server over one base
+/// graph: the embeddable core behind the `cegraph_serve` daemon.
+///
+/// Readers (Estimate/EstimateLine, any thread) are wait-free with respect
+/// to maintenance: each request atomically acquires the current
+/// ServingState (shared_ptr load) and runs entirely against it. The
+/// maintainer builds the *next* state off to the side —
+/// EstimationContext::ForkWithDeltas for delta ingestion, a fresh
+/// context + snapshot load for hot-swaps — and publishes it with one
+/// atomic store. In-flight requests keep the old state alive through
+/// their shared_ptr; ApplyDeltas' quiescence requirement is met because
+/// the live state is never mutated at all.
+///
+/// Maintenance (SubmitDeltas auto-compaction, FlushDeltas,
+/// HotSwapSnapshot) is single-writer, serialized on an internal mutex;
+/// any thread may call it. After each successful swap the new state's
+/// replay log is trimmed to the configured retention window.
+class EstimationService {
+ public:
+  /// Builds the initial serving state (resolving the estimator suite,
+  /// optionally loading `options.initial_snapshot` and prewarming) and
+  /// starts the background maintainer if configured.
+  static util::StatusOr<std::unique_ptr<EstimationService>> Create(
+      std::shared_ptr<const graph::Graph> base_graph,
+      ServiceOptions options = {});
+  static util::StatusOr<std::unique_ptr<EstimationService>> Create(
+      graph::Graph&& base_graph, ServiceOptions options = {});
+
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  /// Serves one request against the current state. ResourceExhausted when
+  /// admission is refused, InvalidArgument when the query names a label
+  /// the graph does not have; per-estimator failures land inside the
+  /// response. Thread-safe, lock-free against maintenance.
+  util::StatusOr<EstimateResponse> Estimate(
+      const EstimateRequest& request) const;
+
+  /// ParseRequestLine + Estimate. Parse failures count as request errors.
+  util::StatusOr<EstimateResponse> EstimateLine(std::string_view line) const;
+
+  /// Queues delta operations for ingestion. The batch is applied by the
+  /// background maintainer once pending volume reaches
+  /// options.compact_trigger_ops, or synchronously via FlushDeltas.
+  /// Validated here, against the fixed vertex/label spaces of the base
+  /// graph: an invalid batch is rejected whole and nothing is queued.
+  /// Pending batches from different submitters are folded into one swap,
+  /// so rejecting at the door is what keeps one submitter's bad feed from
+  /// sinking another's valid one.
+  util::Status SubmitDeltas(std::vector<dynamic::EdgeDelta> batch);
+
+  /// Applies everything pending right now (building and publishing a new
+  /// state). OK with unchanged epoch when nothing was pending.
+  util::StatusOr<SwapReport> FlushDeltas();
+
+  /// Replaces the serving state with the snapshot at `path`: a fresh
+  /// context over the base graph, the snapshot loaded into it (replaying
+  /// its embedded delta log when it describes a later epoch), the suite
+  /// re-resolved, published atomically. In-flight requests finish against
+  /// the old state; pending (unapplied) deltas stay pending. Live deltas
+  /// applied since the service started are superseded by the artifact —
+  /// a snapshot swap *rebases* the service onto it.
+  util::StatusOr<SwapReport> HotSwapSnapshot(const std::string& path);
+
+  /// The current serving state (for drivers/benches that want to pin an
+  /// epoch or inspect the engine). Holding the returned pointer keeps that
+  /// state alive across swaps.
+  std::shared_ptr<const ServingState> AcquireState() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  uint64_t epoch() const { return AcquireState()->epoch; }
+  ServiceStats Stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  EstimationService(std::shared_ptr<const graph::Graph> base_graph,
+                    ServiceOptions options);
+
+  /// Builds a state around `context` (resolves the suite, stamps
+  /// epoch/version) without publishing it.
+  util::StatusOr<std::shared_ptr<ServingState>> MakeState(
+      std::unique_ptr<engine::EstimationContext> context, uint64_t version);
+
+  /// Trims the (not yet published) state's replay log to the retention
+  /// window; returns ops dropped.
+  size_t TrimForRetention(engine::EstimationContext& context) const;
+
+  /// Publishes and bumps the swap counter.
+  void Publish(std::shared_ptr<const ServingState> state);
+
+  /// Maintainer body for one pending batch. Caller holds maintenance_mutex_.
+  util::StatusOr<SwapReport> ApplyBatchLocked(
+      std::vector<dynamic::EdgeDelta> batch);
+
+  void MaintainerLoop();
+
+  std::shared_ptr<const graph::Graph> base_graph_;
+  ServiceOptions options_;
+
+  std::atomic<std::shared_ptr<const ServingState>> state_;
+  mutable AdmissionController admission_;
+
+  /// Single-writer maintenance: fork/load + publish.
+  std::mutex maintenance_mutex_;
+
+  mutable std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::vector<dynamic::EdgeDelta> pending_;
+  bool stopping_ = false;
+  std::thread maintainer_;
+
+  // Accounting. All-relaxed atomics: the estimate hot path must stay
+  // lock-free (the worker-scaling gate of bench_service_throughput), so
+  // per-estimator sums shard per counter instead of sharing a mutex.
+  mutable std::atomic<uint64_t> served_{0};
+  mutable std::atomic<uint64_t> request_errors_{0};
+  mutable std::atomic<uint64_t> latency_micros_total_{0};
+  std::atomic<uint64_t> swaps_{0};
+  struct EstimatorAccum {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<double> micros{0};
+    std::atomic<uint64_t> truth_requests{0};
+    std::atomic<double> qerror_sum{0};
+  };
+  /// Sized once at construction (vector growth would need moves, which
+  /// atomics forbid).
+  mutable std::vector<EstimatorAccum> accounting_;
+};
+
+}  // namespace cegraph::service
+
+#endif  // CEGRAPH_SERVICE_SERVICE_H_

@@ -1,0 +1,490 @@
+#include "service/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/serde.h"
+
+namespace cegraph::service::wire {
+
+namespace {
+
+using util::serde::Reader;
+using util::serde::Writer;
+
+constexpr char kConnectionClosed[] = "connection closed";
+
+bool ValidType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MessageType::kEstimate) &&
+         type <= static_cast<uint8_t>(MessageType::kShutdown);
+}
+
+void EncodeEstimate(Writer& w, const EstimateResponse& estimate) {
+  w.WriteU64(estimate.epoch);
+  w.WriteU64(estimate.state_version);
+  w.WriteDouble(estimate.total_micros);
+  w.WriteU8(estimate.has_truth ? 1 : 0);
+  w.WriteDouble(estimate.truth);
+  w.WriteU32(static_cast<uint32_t>(estimate.results.size()));
+  for (const EstimatorResult& result : estimate.results) {
+    w.WriteString(result.name);
+    w.WriteU8(result.ok ? 1 : 0);
+    w.WriteDouble(result.estimate);
+    w.WriteString(result.error);
+    w.WriteDouble(result.micros);
+    w.WriteDouble(result.qerror);
+  }
+}
+
+util::StatusOr<EstimateResponse> DecodeEstimate(Reader& r) {
+  EstimateResponse estimate;
+  auto epoch = r.ReadU64();
+  if (!epoch.ok()) return epoch.status();
+  estimate.epoch = *epoch;
+  auto version = r.ReadU64();
+  if (!version.ok()) return version.status();
+  estimate.state_version = *version;
+  auto micros = r.ReadDouble();
+  if (!micros.ok()) return micros.status();
+  estimate.total_micros = *micros;
+  auto has_truth = r.ReadU8();
+  if (!has_truth.ok()) return has_truth.status();
+  estimate.has_truth = *has_truth != 0;
+  auto truth = r.ReadDouble();
+  if (!truth.ok()) return truth.status();
+  estimate.truth = *truth;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  // Every result occupies well over one byte, so a count beyond the
+  // remaining payload is corruption — reject it before reserve() turns
+  // it into a multi-gigabyte allocation.
+  if (*count > r.remaining()) {
+    return util::InvalidArgumentError(
+        "estimate result count exceeds frame payload");
+  }
+  estimate.results.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    EstimatorResult result;
+    auto name = r.ReadString();
+    if (!name.ok()) return name.status();
+    result.name = std::move(*name);
+    auto ok = r.ReadU8();
+    if (!ok.ok()) return ok.status();
+    result.ok = *ok != 0;
+    auto estimate_value = r.ReadDouble();
+    if (!estimate_value.ok()) return estimate_value.status();
+    result.estimate = *estimate_value;
+    auto error = r.ReadString();
+    if (!error.ok()) return error.status();
+    result.error = std::move(*error);
+    auto result_micros = r.ReadDouble();
+    if (!result_micros.ok()) return result_micros.status();
+    result.micros = *result_micros;
+    auto qerror = r.ReadDouble();
+    if (!qerror.ok()) return qerror.status();
+    result.qerror = *qerror;
+    estimate.results.push_back(std::move(result));
+  }
+  return estimate;
+}
+
+void EncodeSwap(Writer& w, const SwapReport& swap) {
+  w.WriteU64(swap.epoch);
+  w.WriteU64(swap.version);
+  w.WriteU64(swap.applied_ops);
+  w.WriteU64(swap.trimmed_log_ops);
+  w.WriteU64(swap.maintenance.inserted_edges);
+  w.WriteU64(swap.maintenance.deleted_edges);
+  w.WriteU64(swap.maintenance.changed_labels);
+  w.WriteU64(swap.maintenance.total_evicted());
+  w.WriteU8(swap.snapshot_stale ? 1 : 0);
+  w.WriteU64(swap.snapshot_replayed_deltas);
+}
+
+util::StatusOr<SwapReport> DecodeSwap(Reader& r) {
+  SwapReport swap;
+  auto epoch = r.ReadU64();
+  if (!epoch.ok()) return epoch.status();
+  swap.epoch = *epoch;
+  auto version = r.ReadU64();
+  if (!version.ok()) return version.status();
+  swap.version = *version;
+  auto applied = r.ReadU64();
+  if (!applied.ok()) return applied.status();
+  swap.applied_ops = *applied;
+  auto trimmed = r.ReadU64();
+  if (!trimmed.ok()) return trimmed.status();
+  swap.trimmed_log_ops = *trimmed;
+  auto inserted = r.ReadU64();
+  if (!inserted.ok()) return inserted.status();
+  swap.maintenance.inserted_edges = *inserted;
+  auto deleted = r.ReadU64();
+  if (!deleted.ok()) return deleted.status();
+  swap.maintenance.deleted_edges = *deleted;
+  auto labels = r.ReadU64();
+  if (!labels.ok()) return labels.status();
+  swap.maintenance.changed_labels = *labels;
+  // Total evictions travel in one summary slot: the CEG bucket of the
+  // report (the per-structure split stays server-side).
+  auto evicted = r.ReadU64();
+  if (!evicted.ok()) return evicted.status();
+  swap.maintenance.ceg_evicted = *evicted;
+  auto stale = r.ReadU8();
+  if (!stale.ok()) return stale.status();
+  swap.snapshot_stale = *stale != 0;
+  auto replayed = r.ReadU64();
+  if (!replayed.ok()) return replayed.status();
+  swap.snapshot_replayed_deltas = *replayed;
+  return swap;
+}
+
+void EncodeStats(Writer& w, const ServiceStats& stats) {
+  w.WriteU64(stats.served);
+  w.WriteU64(stats.rejected);
+  w.WriteU64(stats.request_errors);
+  w.WriteU64(stats.swaps);
+  w.WriteU64(stats.epoch);
+  w.WriteU64(stats.version);
+  w.WriteU64(stats.pending_delta_ops);
+  w.WriteU64(stats.replay_log_ops);
+  w.WriteU64(stats.min_replayable_epoch);
+  w.WriteU64(static_cast<uint64_t>(stats.in_flight));
+  w.WriteU64(static_cast<uint64_t>(stats.peak_in_flight));
+  w.WriteDouble(stats.mean_latency_micros);
+  w.WriteU32(static_cast<uint32_t>(stats.estimators.size()));
+  for (const ServiceStats::EstimatorAccounting& e : stats.estimators) {
+    w.WriteString(e.name);
+    w.WriteU64(e.requests);
+    w.WriteU64(e.failures);
+    w.WriteDouble(e.mean_micros);
+    w.WriteDouble(e.mean_qerror);
+  }
+}
+
+util::StatusOr<ServiceStats> DecodeStats(Reader& r) {
+  ServiceStats stats;
+  auto served = r.ReadU64();
+  if (!served.ok()) return served.status();
+  stats.served = *served;
+  auto rejected = r.ReadU64();
+  if (!rejected.ok()) return rejected.status();
+  stats.rejected = *rejected;
+  auto errors = r.ReadU64();
+  if (!errors.ok()) return errors.status();
+  stats.request_errors = *errors;
+  auto swaps = r.ReadU64();
+  if (!swaps.ok()) return swaps.status();
+  stats.swaps = *swaps;
+  auto epoch = r.ReadU64();
+  if (!epoch.ok()) return epoch.status();
+  stats.epoch = *epoch;
+  auto version = r.ReadU64();
+  if (!version.ok()) return version.status();
+  stats.version = *version;
+  auto pending = r.ReadU64();
+  if (!pending.ok()) return pending.status();
+  stats.pending_delta_ops = *pending;
+  auto log_ops = r.ReadU64();
+  if (!log_ops.ok()) return log_ops.status();
+  stats.replay_log_ops = *log_ops;
+  auto min_epoch = r.ReadU64();
+  if (!min_epoch.ok()) return min_epoch.status();
+  stats.min_replayable_epoch = *min_epoch;
+  auto in_flight = r.ReadU64();
+  if (!in_flight.ok()) return in_flight.status();
+  stats.in_flight = static_cast<int64_t>(*in_flight);
+  auto peak = r.ReadU64();
+  if (!peak.ok()) return peak.status();
+  stats.peak_in_flight = static_cast<int64_t>(*peak);
+  auto latency = r.ReadDouble();
+  if (!latency.ok()) return latency.status();
+  stats.mean_latency_micros = *latency;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  if (*count > r.remaining()) {
+    return util::InvalidArgumentError(
+        "estimator accounting count exceeds frame payload");
+  }
+  stats.estimators.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    ServiceStats::EstimatorAccounting e;
+    auto name = r.ReadString();
+    if (!name.ok()) return name.status();
+    e.name = std::move(*name);
+    auto requests = r.ReadU64();
+    if (!requests.ok()) return requests.status();
+    e.requests = *requests;
+    auto failures = r.ReadU64();
+    if (!failures.ok()) return failures.status();
+    e.failures = *failures;
+    auto micros = r.ReadDouble();
+    if (!micros.ok()) return micros.status();
+    e.mean_micros = *micros;
+    auto qerror = r.ReadDouble();
+    if (!qerror.ok()) return qerror.status();
+    e.mean_qerror = *qerror;
+    stats.estimators.push_back(std::move(e));
+  }
+  return stats;
+}
+
+}  // namespace
+
+std::string EncodeRequest(const Request& request) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(request.type));
+  w.WriteString(request.text);
+  return w.TakeBuffer();
+}
+
+util::StatusOr<Request> DecodeRequest(std::string_view payload) {
+  Reader r(payload);
+  auto type = r.ReadU8();
+  if (!type.ok()) return type.status();
+  if (!ValidType(*type)) {
+    return util::UnimplementedError("unknown request type " +
+                                    std::to_string(*type));
+  }
+  auto text = r.ReadString();
+  if (!text.ok()) return text.status();
+  if (!r.AtEnd()) {
+    return util::InvalidArgumentError("trailing bytes in request frame");
+  }
+  Request request;
+  request.type = static_cast<MessageType>(*type);
+  request.text = std::move(*text);
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(response.status.code()));
+  w.WriteString(response.status.message());
+  w.WriteU8(static_cast<uint8_t>(response.type));
+  if (response.status.ok()) {
+    switch (response.type) {
+      case MessageType::kEstimate:
+        EncodeEstimate(w, response.estimate);
+        break;
+      case MessageType::kApplyDeltas:
+      case MessageType::kSwapSnapshot:
+        EncodeSwap(w, response.swap);
+        break;
+      case MessageType::kStats:
+        EncodeStats(w, response.stats);
+        break;
+      case MessageType::kPing:
+      case MessageType::kShutdown:
+        w.WriteString(response.text);
+        break;
+    }
+  }
+  return w.TakeBuffer();
+}
+
+util::StatusOr<Response> DecodeResponse(std::string_view payload) {
+  Reader r(payload);
+  auto code = r.ReadU8();
+  if (!code.ok()) return code.status();
+  auto message = r.ReadString();
+  if (!message.ok()) return message.status();
+  auto type = r.ReadU8();
+  if (!type.ok()) return type.status();
+  if (!ValidType(*type)) {
+    return util::InvalidArgumentError("unknown response type " +
+                                      std::to_string(*type));
+  }
+  Response response;
+  response.type = static_cast<MessageType>(*type);
+  if (*code != 0) {
+    if (*code > static_cast<uint8_t>(util::StatusCode::kResourceExhausted)) {
+      return util::InvalidArgumentError("unknown status code " +
+                                        std::to_string(*code));
+    }
+    response.status = util::Status(static_cast<util::StatusCode>(*code),
+                                   std::move(*message));
+    return response;
+  }
+  switch (response.type) {
+    case MessageType::kEstimate: {
+      auto estimate = DecodeEstimate(r);
+      if (!estimate.ok()) return estimate.status();
+      response.estimate = std::move(*estimate);
+      break;
+    }
+    case MessageType::kApplyDeltas:
+    case MessageType::kSwapSnapshot: {
+      auto swap = DecodeSwap(r);
+      if (!swap.ok()) return swap.status();
+      response.swap = *swap;
+      break;
+    }
+    case MessageType::kStats: {
+      auto stats = DecodeStats(r);
+      if (!stats.ok()) return stats.status();
+      response.stats = std::move(*stats);
+      break;
+    }
+    case MessageType::kPing:
+    case MessageType::kShutdown: {
+      auto text = r.ReadString();
+      if (!text.ok()) return text.status();
+      response.text = std::move(*text);
+      break;
+    }
+  }
+  if (!r.AtEnd()) {
+    return util::InvalidArgumentError("trailing bytes in response frame");
+  }
+  return response;
+}
+
+// ---- Stream framing ----
+
+namespace {
+
+util::Status WriteAll(int fd, const char* data, size_t n) {
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t rc = ::write(fd, data + written, n - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return util::InternalError(std::string("write: ") +
+                                 std::strerror(errno));
+    }
+    written += static_cast<size_t>(rc);
+  }
+  return util::Status::OK();
+}
+
+/// Reads exactly `n` bytes. `eof_ok` marks a clean close at offset 0.
+util::Status ReadAll(int fd, char* data, size_t n, bool eof_ok) {
+  size_t have = 0;
+  while (have < n) {
+    const ssize_t rc = ::read(fd, data + have, n - have);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return util::InternalError(std::string("read: ") +
+                                 std::strerror(errno));
+    }
+    if (rc == 0) {
+      if (eof_ok && have == 0) return util::NotFoundError(kConnectionClosed);
+      return util::OutOfRangeError("truncated frame (peer closed mid-read)");
+    }
+    have += static_cast<size_t>(rc);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status WriteFrame(int fd, std::string_view payload) {
+  Writer w;
+  w.WriteU32(static_cast<uint32_t>(payload.size()));
+  w.WriteRaw(payload);
+  return WriteAll(fd, w.buffer().data(), w.buffer().size());
+}
+
+util::StatusOr<std::string> ReadFrame(int fd, uint32_t max_bytes) {
+  char prefix[4];
+  CEGRAPH_RETURN_IF_ERROR(ReadAll(fd, prefix, 4, /*eof_ok=*/true));
+  Reader r(std::string_view(prefix, 4));
+  const uint32_t length = *r.ReadU32();
+  if (length > max_bytes) {
+    return util::InvalidArgumentError(
+        "frame of " + std::to_string(length) + " bytes exceeds the " +
+        std::to_string(max_bytes) + "-byte limit");
+  }
+  std::string payload(length, '\0');
+  CEGRAPH_RETURN_IF_ERROR(ReadAll(fd, payload.data(), length,
+                                  /*eof_ok=*/false));
+  return payload;
+}
+
+bool IsConnectionClosed(const util::Status& status) {
+  return status.code() == util::StatusCode::kNotFound &&
+         status.message() == kConnectionClosed;
+}
+
+// ---- TCP helpers ----
+
+util::StatusOr<int> DialTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::InternalError(std::string("socket: ") +
+                               std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::InvalidArgumentError("unparseable IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return util::InternalError("connect " + host + ":" +
+                               std::to_string(port) + ": " + detail);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+util::StatusOr<int> ListenTcp(const std::string& host, int port,
+                              int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::InternalError(std::string("socket: ") +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::InvalidArgumentError("unparseable IPv4 address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return util::InternalError("bind " + host + ":" + std::to_string(port) +
+                               ": " + detail);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return util::InternalError("listen: " + detail);
+  }
+  return fd;
+}
+
+util::StatusOr<int> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return util::InternalError(std::string("getsockname: ") +
+                               std::strerror(errno));
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+util::StatusOr<Response> RoundTrip(int fd, const Request& request) {
+  CEGRAPH_RETURN_IF_ERROR(WriteFrame(fd, EncodeRequest(request)));
+  auto payload = ReadFrame(fd);
+  if (!payload.ok()) return payload.status();
+  return DecodeResponse(*payload);
+}
+
+}  // namespace cegraph::service::wire

@@ -1,0 +1,98 @@
+#ifndef CEGRAPH_SERVICE_WIRE_H_
+#define CEGRAPH_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/service.h"
+#include "util/status.h"
+
+namespace cegraph::service::wire {
+
+/// The cegraph wire protocol (see docs/wire_protocol.md): length-prefixed
+/// frames over a byte stream, little-endian throughout (util::serde).
+///
+///   frame    := u32 payload_bytes, payload
+///   request  := u8 type, u64-length-prefixed text
+///   response := u8 code, string error?, u8 type, body?
+///
+/// One request frame yields exactly one response frame; a client may
+/// pipeline requests on one connection. `code` is the numeric
+/// util::StatusCode (0 = OK); on error the body is absent and `error`
+/// carries the status message. Unknown request types are answered with
+/// UNIMPLEMENTED, so newer clients degrade cleanly against older servers.
+
+/// Upper bound on one frame's payload; larger length prefixes are treated
+/// as corruption and fail the connection.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class MessageType : uint8_t {
+  kEstimate = 1,      ///< text: one request line (service::ParseRequestLine)
+  kApplyDeltas = 2,   ///< text: a delta feed (dynamic delta text format)
+  kSwapSnapshot = 3,  ///< text: server-local snapshot path
+  kStats = 4,         ///< text unused
+  kPing = 5,          ///< text echoed back
+  kShutdown = 6,      ///< text unused; server drains and exits
+};
+
+struct Request {
+  MessageType type = MessageType::kPing;
+  std::string text;
+};
+
+/// The decoded answer to one request. `status` is the request-level
+/// outcome; exactly one body member is meaningful on OK, selected by
+/// `type` (estimate for kEstimate, swap for kApplyDeltas/kSwapSnapshot,
+/// stats for kStats, text for kPing/kShutdown).
+struct Response {
+  util::Status status;
+  MessageType type = MessageType::kPing;
+  EstimateResponse estimate;
+  SwapReport swap;
+  ServiceStats stats;
+  std::string text;
+};
+
+std::string EncodeRequest(const Request& request);
+util::StatusOr<Request> DecodeRequest(std::string_view payload);
+
+std::string EncodeResponse(const Response& response);
+util::StatusOr<Response> DecodeResponse(std::string_view payload);
+
+// ---- Stream framing (POSIX fds; EINTR-safe, full reads/writes) ----
+
+/// Writes one length-prefixed frame.
+util::Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame. NotFound with message "connection closed" on a clean
+/// EOF at a frame boundary (the normal end of a connection); OutOfRange on
+/// mid-frame EOF; InvalidArgument on an implausible length prefix.
+util::StatusOr<std::string> ReadFrame(int fd,
+                                      uint32_t max_bytes = kMaxFrameBytes);
+
+/// True iff `status` is the clean-EOF marker ReadFrame returns when the
+/// peer closed between frames.
+bool IsConnectionClosed(const util::Status& status);
+
+// ---- TCP helpers shared by the daemon, the client and the benches ----
+
+/// Connects to host:port. Returns the connected fd (caller closes).
+util::StatusOr<int> DialTcp(const std::string& host, int port);
+
+/// Binds and listens on host:port (port 0 = ephemeral). Returns the
+/// listening fd (caller closes).
+util::StatusOr<int> ListenTcp(const std::string& host, int port,
+                              int backlog);
+
+/// The locally bound port of a listening/connected socket.
+util::StatusOr<int> BoundPort(int fd);
+
+/// Sends `request` and reads the matching response frame — the one-shot
+/// client call. Transport failures come back as the outer StatusOr; the
+/// server's request-level outcome is Response::status.
+util::StatusOr<Response> RoundTrip(int fd, const Request& request);
+
+}  // namespace cegraph::service::wire
+
+#endif  // CEGRAPH_SERVICE_WIRE_H_

@@ -1,0 +1,18 @@
+#include "util/strings.h"
+
+namespace cegraph::util {
+
+std::vector<std::string> SplitCsv(std::string_view csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string_view::npos ? csv.size() : comma;
+    if (end > start) out.emplace_back(csv.substr(start, end - start));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace cegraph::util

@@ -1,0 +1,18 @@
+#ifndef CEGRAPH_UTIL_STRINGS_H_
+#define CEGRAPH_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cegraph::util {
+
+/// Splits a comma-separated list into its non-empty items, in order —
+/// the shape every `--estimators a,b,c` style CLI flag parses. No
+/// trimming: names travel exactly as typed (registry names contain no
+/// spaces).
+std::vector<std::string> SplitCsv(std::string_view csv);
+
+}  // namespace cegraph::util
+
+#endif  // CEGRAPH_UTIL_STRINGS_H_

@@ -1,0 +1,717 @@
+// Tests for the serving layer: request parsing, admission control, wire
+// codecs and framing, the engine's offside state fork + replay-log
+// truncation, the EstimationService's RCU hot-swap semantics (including
+// the concurrent estimate-while-swap hammer), and the TCP loopback path.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dynamic/delta_io.h"
+#include "engine/engine.h"
+#include "engine/snapshot.h"
+#include "graph/generators.h"
+#include "harness/service_driver.h"
+#include "query/parser.h"
+#include "query/workload.h"
+#include "service/admission.h"
+#include "service/request.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "service/wire.h"
+#include "util/serde.h"
+
+namespace cegraph::service {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_((std::filesystem::temp_directory_path() /
+               ("cegraph_service_test_" + stem + ".snap"))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+graph::Graph SmallGraph(uint64_t seed = 7) {
+  graph::GeneratorConfig config;
+  config.num_vertices = 300;
+  config.num_edges = 1800;
+  config.num_labels = 6;
+  config.seed = seed;
+  auto g = graph::GenerateGraph(config);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+std::vector<query::WorkloadQuery> SmallWorkload(const graph::Graph& g,
+                                                int instances = 3) {
+  query::WorkloadOptions options;
+  options.instances_per_template = instances;
+  options.seed = 99;
+  auto wl = query::GenerateWorkload(g,
+                                    {{"path2", query::PathShape(2)},
+                                     {"star2", query::StarShape(2)},
+                                     {"tri", query::CycleShape(3)}},
+                                    options);
+  EXPECT_TRUE(wl.ok());
+  return std::move(wl).value();
+}
+
+/// Deterministic serving suite (no sampling estimators) shared by the
+/// consistency-sensitive tests.
+ServiceOptions DeterministicOptions() {
+  ServiceOptions options;
+  options.estimators = {"max-hop-max", "all-hops-avg", "molp", "cbs"};
+  options.compact_trigger_ops = 0;  // maintenance only on explicit flush
+  return options;
+}
+
+/// Every estimate of `names` on `engine` for the workload's queries, in
+/// (query, estimator) order; NaN for failures.
+std::vector<double> AllEstimates(
+    const engine::EstimationEngine& engine,
+    const std::vector<std::string>& names,
+    const std::vector<query::WorkloadQuery>& workload) {
+  std::vector<double> out;
+  auto estimators = engine.Estimators(names);
+  EXPECT_TRUE(estimators.ok());
+  for (const query::WorkloadQuery& wq : workload) {
+    for (const CardinalityEstimator* estimator : *estimators) {
+      auto est = estimator->Estimate(wq.query);
+      out.push_back(est.ok() ? *est
+                             : std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+    EXPECT_EQ(a[i], b[i]) << "at " << i;
+  }
+}
+
+// --- ParseRequestLine -------------------------------------------------------
+
+TEST(RequestParseTest, BarePattern) {
+  auto request = ParseRequestLine("  (a)-[3]->(b); (b)<-[5]-(c)  ");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_FALSE(request->truth.has_value());
+  EXPECT_TRUE(request->template_name.empty());
+  EXPECT_EQ(request->query.num_edges(), 2u);
+}
+
+TEST(RequestParseTest, WorkloadLineCarriesTruth) {
+  auto request = ParseRequestLine("tri_7 1234.5 (a)-[0]->(b); (b)-[1]->(a)");
+  ASSERT_TRUE(request.ok()) << request.status();
+  ASSERT_TRUE(request->truth.has_value());
+  EXPECT_EQ(*request->truth, 1234.5);
+  EXPECT_EQ(request->template_name, "tri_7");
+}
+
+TEST(RequestParseTest, Rejections) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("   ").ok());
+  EXPECT_FALSE(ParseRequestLine("# comment").ok());
+  EXPECT_FALSE(ParseRequestLine("tri notanumber (a)-[0]->(b)").ok());
+  EXPECT_FALSE(ParseRequestLine("tri 10").ok());  // missing pattern
+  // Disconnected pattern.
+  EXPECT_FALSE(ParseRequestLine("(a)-[0]->(b); (c)-[1]->(d)").ok());
+  // Unparseable pattern.
+  EXPECT_FALSE(ParseRequestLine("(a)-[x]->(b)").ok());
+}
+
+// --- AdmissionController ----------------------------------------------------
+
+TEST(AdmissionTest, CapsInFlight) {
+  AdmissionController admission(2);
+  auto t1 = admission.TryAdmit();
+  auto t2 = admission.TryAdmit();
+  EXPECT_TRUE(t1);
+  EXPECT_TRUE(t2);
+  EXPECT_EQ(admission.in_flight(), 2);
+  auto t3 = admission.TryAdmit();
+  EXPECT_FALSE(t3);
+  EXPECT_EQ(admission.rejected(), 1u);
+  { AdmissionController::Ticket moved = std::move(t1); }
+  EXPECT_EQ(admission.in_flight(), 1);
+  auto t4 = admission.TryAdmit();
+  EXPECT_TRUE(t4);
+  EXPECT_EQ(admission.admitted(), 3u);
+  EXPECT_EQ(admission.peak_in_flight(), 2);
+}
+
+TEST(AdmissionTest, UnboundedNeverRejects) {
+  AdmissionController admission(0);
+  std::vector<AdmissionController::Ticket> tickets;
+  for (int i = 0; i < 100; ++i) tickets.push_back(admission.TryAdmit());
+  EXPECT_EQ(admission.rejected(), 0u);
+  EXPECT_EQ(admission.in_flight(), 100);
+}
+
+// --- Wire codecs ------------------------------------------------------------
+
+TEST(WireTest, RequestRoundTrip) {
+  for (const auto type :
+       {wire::MessageType::kEstimate, wire::MessageType::kApplyDeltas,
+        wire::MessageType::kSwapSnapshot, wire::MessageType::kStats,
+        wire::MessageType::kPing, wire::MessageType::kShutdown}) {
+    wire::Request request{type, "some text\nwith lines"};
+    auto decoded = wire::DecodeRequest(wire::EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->type, type);
+    EXPECT_EQ(decoded->text, request.text);
+  }
+}
+
+TEST(WireTest, RequestRejectsUnknownTypeAndTrailingBytes) {
+  wire::Request request{wire::MessageType::kPing, "x"};
+  std::string payload = wire::EncodeRequest(request);
+  payload[0] = 99;
+  auto unknown = wire::DecodeRequest(payload);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), util::StatusCode::kUnimplemented);
+
+  payload[0] = static_cast<char>(wire::MessageType::kPing);
+  payload += "junk";
+  EXPECT_FALSE(wire::DecodeRequest(payload).ok());
+}
+
+TEST(WireTest, EstimateResponseRoundTrip) {
+  wire::Response response;
+  response.type = wire::MessageType::kEstimate;
+  response.estimate.epoch = 7;
+  response.estimate.state_version = 3;
+  response.estimate.total_micros = 123.25;
+  response.estimate.has_truth = true;
+  response.estimate.truth = 42;
+  response.estimate.results = {
+      {"molp", true, 99.5, "", 10.5, 2.3690476190476193},
+      {"sumrdf", false, 0, "INTERNAL: timeout", 1000.0, 0},
+  };
+  auto decoded = wire::DecodeResponse(wire::EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->estimate.epoch, 7u);
+  EXPECT_EQ(decoded->estimate.state_version, 3u);
+  ASSERT_EQ(decoded->estimate.results.size(), 2u);
+  EXPECT_EQ(decoded->estimate.results[0].estimate, 99.5);
+  EXPECT_EQ(decoded->estimate.results[0].qerror, 2.3690476190476193);
+  EXPECT_FALSE(decoded->estimate.results[1].ok);
+  EXPECT_EQ(decoded->estimate.results[1].error, "INTERNAL: timeout");
+}
+
+TEST(WireTest, ErrorResponseRoundTrip) {
+  wire::Response response;
+  response.type = wire::MessageType::kEstimate;
+  response.status = util::ResourceExhaustedError("saturated");
+  auto decoded = wire::DecodeResponse(wire::EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->status.message(), "saturated");
+}
+
+TEST(WireTest, StatsAndSwapRoundTrip) {
+  wire::Response response;
+  response.type = wire::MessageType::kStats;
+  response.stats.served = 10;
+  response.stats.epoch = 2;
+  response.stats.mean_latency_micros = 55.5;
+  response.stats.estimators = {{"molp", 10, 1, 12.5, 3.25}};
+  auto decoded = wire::DecodeResponse(wire::EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->stats.served, 10u);
+  ASSERT_EQ(decoded->stats.estimators.size(), 1u);
+  EXPECT_EQ(decoded->stats.estimators[0].mean_qerror, 3.25);
+
+  wire::Response swap;
+  swap.type = wire::MessageType::kApplyDeltas;
+  swap.swap.epoch = 4;
+  swap.swap.applied_ops = 100;
+  swap.swap.maintenance.inserted_edges = 60;
+  auto swap_decoded = wire::DecodeResponse(wire::EncodeResponse(swap));
+  ASSERT_TRUE(swap_decoded.ok()) << swap_decoded.status();
+  EXPECT_EQ(swap_decoded->swap.epoch, 4u);
+  EXPECT_EQ(swap_decoded->swap.applied_ops, 100u);
+  EXPECT_EQ(swap_decoded->swap.maintenance.inserted_edges, 60u);
+}
+
+TEST(WireTest, RejectsImplausibleResultCount) {
+  // A well-framed estimate response whose result-count field claims 2^32-1
+  // entries: must come back as a parse error, not a huge allocation.
+  util::serde::Writer w;
+  w.WriteU8(0);                // code OK
+  w.WriteString("");           // error
+  w.WriteU8(static_cast<uint8_t>(wire::MessageType::kEstimate));
+  w.WriteU64(1);               // epoch
+  w.WriteU64(0);               // state_version
+  w.WriteDouble(0);            // total_micros
+  w.WriteU8(0);                // has_truth
+  w.WriteDouble(0);            // truth
+  w.WriteU32(0xFFFFFFFFu);     // result count
+  auto decoded = wire::DecodeResponse(w.buffer());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// --- ForkWithDeltas ---------------------------------------------------------
+
+TEST(ForkTest, ForkMatchesInPlaceApplyAndLeavesSourceUntouched) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  const std::vector<std::string> names = {"max-hop-max", "all-hops-avg",
+                                          "molp", "cbs", "cs"};
+  const auto batch = dynamic::RandomEdgeBatch(g, 60, 11);
+
+  engine::EstimationEngine source(g);
+  source.context().Prewarm(workload);
+  const auto pre_fork_estimates = AllEstimates(source, names, workload);
+
+  dynamic::MaintenanceReport fork_report;
+  auto fork = source.context().ForkWithDeltas(batch, &fork_report);
+  ASSERT_TRUE(fork.ok()) << fork.status();
+  EXPECT_EQ((*fork)->epoch(), 1u);
+  EXPECT_GT(fork_report.inserted_edges, 0u);
+
+  // The source is untouched: epoch 0, identical estimates.
+  EXPECT_EQ(source.context().epoch(), 0u);
+  ExpectBitIdentical(AllEstimates(source, names, workload),
+                     pre_fork_estimates);
+
+  // The fork is bit-identical to the proven in-place path.
+  engine::EstimationEngine in_place(g);
+  in_place.context().Prewarm(workload);
+  ASSERT_TRUE(in_place.ApplyDeltas(batch).ok());
+  engine::EstimationEngine forked(std::move(*fork));
+  EXPECT_EQ(forked.context().graph().fingerprint(),
+            in_place.context().graph().fingerprint());
+  ExpectBitIdentical(AllEstimates(forked, names, workload),
+                     AllEstimates(in_place, names, workload));
+  EXPECT_EQ(forked.context().dynamic_fingerprint().delta_hash,
+            in_place.context().dynamic_fingerprint().delta_hash);
+}
+
+TEST(ForkTest, EmptyBatchSharesGraphAndAdvancesEpoch) {
+  const graph::Graph g = SmallGraph();
+  engine::EstimationContext context(g);
+  (void)context.markov();
+  // All no-ops: delete a missing edge, insert an existing one.
+  std::vector<dynamic::EdgeDelta> batch = {
+      {g.edges()[0], dynamic::DeltaOp::kInsert}};
+  auto fork = context.ForkWithDeltas(batch);
+  ASSERT_TRUE(fork.ok()) << fork.status();
+  EXPECT_EQ((*fork)->epoch(), 1u);
+  EXPECT_EQ(&(*fork)->graph(), &context.graph());
+  EXPECT_EQ((*fork)->dynamic_fingerprint().delta_hash,
+            context.dynamic_fingerprint().delta_hash);
+}
+
+TEST(ForkTest, CegCacheCarriesUnaffectedBuilds) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  engine::EstimationEngine source(g);
+  source.context().Prewarm(workload);
+  (void)AllEstimates(source, {"max-hop-max"}, workload);
+  ASSERT_GT(source.ceg_cache().size(), 0u);
+
+  // Touch only label 0.
+  std::vector<dynamic::EdgeDelta> batch;
+  for (const graph::Edge& e : g.RelationEdges(0)) {
+    batch.push_back({e, dynamic::DeltaOp::kDelete});
+    if (batch.size() == 3) break;
+  }
+  auto fork = source.context().ForkWithDeltas(batch);
+  ASSERT_TRUE(fork.ok()) << fork.status();
+  // Builds over untouched labels were carried by reference.
+  EXPECT_GT((*fork)->ceg_cache().size(), 0u);
+  EXPECT_LT((*fork)->ceg_cache().size(), source.ceg_cache().size());
+}
+
+// --- TrimReplayLog ----------------------------------------------------------
+
+TEST(TrimTest, TrimBoundsLogAndLimitsStaleReplay) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  TempFile snap1("trim_epoch1"), snap2("trim_epoch2");
+
+  engine::EstimationContext context(g);
+  context.Prewarm(workload);
+  ASSERT_TRUE(context.ApplyDeltas(dynamic::RandomEdgeBatch(g, 20, 1)).ok());
+  ASSERT_TRUE(context.SaveSnapshot(snap1.path()).ok());  // epoch 1
+  ASSERT_TRUE(
+      context.ApplyDeltas(dynamic::RandomEdgeBatch(context.graph(), 20, 2))
+          .ok());
+  ASSERT_TRUE(context.SaveSnapshot(snap2.path()).ok());  // epoch 2
+  ASSERT_TRUE(
+      context.ApplyDeltas(dynamic::RandomEdgeBatch(context.graph(), 20, 3))
+          .ok());
+  ASSERT_EQ(context.epoch(), 3u);
+  const size_t full_log = context.delta_log().size();
+
+  // Trimming below the current base is a no-op; trimming to epoch 2 drops
+  // the epochs 0->2 prefix.
+  EXPECT_EQ(context.TrimReplayLog(0), 0u);
+  const size_t trimmed = context.TrimReplayLog(2);
+  EXPECT_GT(trimmed, 0u);
+  EXPECT_EQ(context.min_replayable_epoch(), 2u);
+  EXPECT_EQ(context.delta_log().size(), full_log - trimmed);
+  EXPECT_EQ(context.TrimReplayLog(2), 0u);  // idempotent
+
+  // The epoch-2 snapshot is still inside the window: stale but usable.
+  engine::EstimationContext::SnapshotLoadReport report;
+  auto ok_load = context.LoadSnapshot(snap2.path(), &report);
+  ASSERT_TRUE(ok_load.ok()) << ok_load;
+  EXPECT_TRUE(report.stale);
+  EXPECT_EQ(report.snapshot_epoch, 2u);
+
+  // The epoch-1 snapshot's replay suffix is gone: rejected, not wrongly
+  // replayed.
+  auto stale_load = context.LoadSnapshot(snap1.path());
+  EXPECT_FALSE(stale_load.ok());
+  EXPECT_EQ(stale_load.code(), util::StatusCode::kFailedPrecondition);
+
+  // A snapshot saved after trimming carries no embedded delta log (a
+  // suffix could not reconstruct the state from the base graph).
+  TempFile snap3("trim_post");
+  ASSERT_TRUE(context.SaveSnapshot(snap3.path()).ok());
+  auto log = engine::ReadSnapshotDeltaLog(snap3.path());
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_TRUE(log->empty());
+}
+
+// --- EstimationService ------------------------------------------------------
+
+TEST(ServiceTest, EstimatesMatchDirectEngine) {
+  const graph::Graph g = SmallGraph();
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  engine::EstimationEngine direct(g);
+  const std::string pattern = "(a)-[0]->(b); (b)-[1]->(c)";
+  auto response = (*service)->EstimateLine(pattern);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->epoch, 0u);
+  EXPECT_EQ(response->state_version, 0u);
+  ASSERT_EQ(response->results.size(), 4u);
+
+  auto q = query::ParseQuery(pattern);
+  ASSERT_TRUE(q.ok());
+  for (const EstimatorResult& result : response->results) {
+    auto estimator = direct.Estimator(result.name);
+    ASSERT_TRUE(estimator.ok());
+    auto expected = (*estimator)->Estimate(*q);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.estimate, *expected) << result.name;
+  }
+}
+
+TEST(ServiceTest, RejectsOutOfRangeLabelsAndBadLines) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  auto bad_label = (*service)->EstimateLine("(a)-[99]->(b)");
+  EXPECT_FALSE(bad_label.ok());
+  EXPECT_EQ(bad_label.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE((*service)->EstimateLine("garbage").ok());
+  EXPECT_EQ((*service)->Stats().request_errors, 2u);
+}
+
+TEST(ServiceTest, TruthLineYieldsQError) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  auto response = (*service)->EstimateLine("t 100 (a)-[0]->(b)");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->has_truth);
+  for (const EstimatorResult& result : response->results) {
+    if (result.ok) EXPECT_GE(result.qerror, 1.0);
+  }
+  const ServiceStats stats = (*service)->Stats();
+  ASSERT_FALSE(stats.estimators.empty());
+  EXPECT_GE(stats.estimators[0].mean_qerror, 1.0);
+}
+
+TEST(ServiceTest, SubmitRejectsInvalidDeltasAtTheDoor) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  // Out-of-range endpoint: rejected whole, nothing queued — one
+  // submitter's bad feed cannot sink another's folded-in valid batch.
+  std::vector<dynamic::EdgeDelta> bad = {
+      {{999999, 0, 0}, dynamic::DeltaOp::kInsert}};
+  auto submitted = (*service)->SubmitDeltas(bad);
+  EXPECT_EQ(submitted.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ((*service)->Stats().pending_delta_ops, 0u);
+  auto flushed = (*service)->FlushDeltas();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(flushed->epoch, 0u);  // nothing to fold
+}
+
+TEST(ServiceTest, DeltaFlushPublishesNewEpochOldStateStillServes) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  auto service =
+      EstimationService::Create(SmallGraph(), DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  const auto old_state = (*service)->AcquireState();
+  const std::string pattern = "(a)-[0]->(b); (b)-[1]->(c)";
+  auto before = (*service)->EstimateLine(pattern);
+  ASSERT_TRUE(before.ok());
+
+  const auto batch = dynamic::RandomEdgeBatch(g, 80, 21);
+  (*service)->SubmitDeltas(batch);
+  EXPECT_GT((*service)->Stats().pending_delta_ops, 0u);
+  auto swap = (*service)->FlushDeltas();
+  ASSERT_TRUE(swap.ok()) << swap.status();
+  EXPECT_EQ(swap->epoch, 1u);
+  EXPECT_EQ(swap->version, 1u);
+  EXPECT_EQ((*service)->Stats().pending_delta_ops, 0u);
+
+  // The new state matches a cold engine over the compacted graph.
+  auto after = (*service)->EstimateLine(pattern);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->epoch, 1u);
+  dynamic::DeltaGraph overlay(g);
+  ASSERT_TRUE(overlay.Apply(batch).ok());
+  auto compacted = overlay.Compact();
+  ASSERT_TRUE(compacted.ok());
+  engine::EstimationEngine cold(*compacted);
+  auto q = query::ParseQuery(pattern);
+  ASSERT_TRUE(q.ok());
+  for (const EstimatorResult& result : after->results) {
+    auto estimator = cold.Estimator(result.name);
+    ASSERT_TRUE(estimator.ok());
+    auto expected = (*estimator)->Estimate(*q);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(result.estimate, *expected) << result.name;
+  }
+
+  // RCU property: the pre-swap state, still held, answers exactly as
+  // before the swap.
+  ASSERT_EQ(old_state->suite.size(), before->results.size());
+  for (size_t i = 0; i < old_state->suite.size(); ++i) {
+    auto estimate = old_state->suite[i]->Estimate(*q);
+    ASSERT_TRUE(estimate.ok());
+    EXPECT_EQ(*estimate, before->results[i].estimate);
+  }
+}
+
+TEST(ServiceTest, HotSwapSnapshotRebasesAndTrims) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g);
+  TempFile snap("hot_swap");
+
+  // An offline artifact two epochs ahead of the base graph.
+  engine::EstimationContext producer(g);
+  producer.Prewarm(workload);
+  ASSERT_TRUE(producer.ApplyDeltas(dynamic::RandomEdgeBatch(g, 30, 5)).ok());
+  ASSERT_TRUE(
+      producer.ApplyDeltas(dynamic::RandomEdgeBatch(producer.graph(), 30, 6))
+          .ok());
+  ASSERT_TRUE(producer.SaveSnapshot(snap.path()).ok());
+
+  ServiceOptions options = DeterministicOptions();
+  options.replay_keep_epochs = 0;  // trim everything after each swap
+  auto service = EstimationService::Create(SmallGraph(), options);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  auto swap = (*service)->HotSwapSnapshot(snap.path());
+  ASSERT_TRUE(swap.ok()) << swap.status();
+  // The embedded 60-op log replays as one batch, so the rebased context
+  // sits at epoch 1 of its own lineage — with the producer's exact graph.
+  EXPECT_EQ(swap->epoch, 1u);
+  EXPECT_EQ(swap->version, 1u);
+  EXPECT_EQ(swap->snapshot_replayed_deltas, 60u);
+  EXPECT_GT(swap->trimmed_log_ops, 0u);
+
+  const ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_EQ(stats.replay_log_ops, 0u);
+  EXPECT_EQ(stats.min_replayable_epoch, 1u);
+
+  // Estimates now come from the snapshot's graph state.
+  const std::string pattern = "(a)-[0]->(b); (b)-[1]->(c)";
+  auto response = (*service)->EstimateLine(pattern);
+  ASSERT_TRUE(response.ok());
+  engine::EstimationEngine expected_engine(producer.graph());
+  auto q = query::ParseQuery(pattern);
+  ASSERT_TRUE(q.ok());
+  for (const EstimatorResult& result : response->results) {
+    auto estimator = expected_engine.Estimator(result.name);
+    ASSERT_TRUE(estimator.ok());
+    auto expected = (*estimator)->Estimate(*q);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(result.estimate, *expected) << result.name;
+  }
+}
+
+TEST(ServiceTest, BackgroundMaintainerCompactsOnVolume) {
+  const graph::Graph g = SmallGraph();
+  ServiceOptions options = DeterministicOptions();
+  options.compact_trigger_ops = 50;
+  auto service = EstimationService::Create(SmallGraph(), options);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  (*service)->SubmitDeltas(dynamic::RandomEdgeBatch(g, 60, 31));
+  for (int i = 0; i < 200 && (*service)->epoch() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ((*service)->epoch(), 1u);
+  EXPECT_EQ((*service)->Stats().pending_delta_ops, 0u);
+}
+
+// The satellite: hammer the service from N threads through repeated delta
+// swaps and one snapshot hot-swap; every response must be internally
+// consistent with exactly one epoch and no request may fail.
+TEST(ServiceTest, ConcurrentEstimateWhileSwapping) {
+  const graph::Graph g = SmallGraph();
+  const auto workload = SmallWorkload(g, 2);
+  TempFile snap("hammer");
+
+  ServiceOptions options = DeterministicOptions();
+  options.prewarm_workload = workload;
+  auto service = EstimationService::Create(SmallGraph(), options);
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  // Epoch-0 snapshot of the service's own lineage: the final hot-swap
+  // rebases back to a state whose answers must equal the original epoch 0.
+  ASSERT_TRUE(
+      (*service)->AcquireState()->engine->context().SaveSnapshot(snap.path())
+          .ok());
+
+  std::atomic<bool> failed{false};
+  std::thread maintainer([&] {
+    uint64_t seed = 1000;
+    for (int swap = 0; swap < 3; ++swap) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      const auto state = (*service)->AcquireState();
+      (*service)->SubmitDeltas(dynamic::RandomEdgeBatch(
+          state->engine->context().graph(), 40, seed++));
+      auto flushed = (*service)->FlushDeltas();
+      if (!flushed.ok()) failed = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    auto swapped = (*service)->HotSwapSnapshot(snap.path());
+    if (!swapped.ok()) failed = true;
+  });
+
+  harness::ServiceDriverOptions driver;
+  driver.num_threads = 4;
+  driver.duration_seconds = 1.2;
+  driver.check_consistency = true;
+  const harness::ServiceRunResult result =
+      harness::DriveServiceWorkload(**service, workload, driver);
+  maintainer.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(result.requests, 0u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.inconsistent_responses, 0u);
+  EXPECT_EQ(result.version_regressions, 0u);
+  // The hammer saw more than one epoch (the swaps really happened under
+  // load) unless the machine was too slow to overlap; epochs observed must
+  // be among those the maintainer created: 0..3 (0 repeats post-rebase).
+  for (const auto& [epoch, count] : result.responses_per_epoch) {
+    EXPECT_LE(epoch, 3u);
+  }
+  EXPECT_EQ((*service)->Stats().swaps, 4u);
+}
+
+// --- TCP loopback -----------------------------------------------------------
+
+TEST(TcpServerTest, LoopbackEstimateStatsShutdown) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  ServerOptions server_options;
+  server_options.workers = 2;
+  TcpServer server(**service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  auto fd = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  auto ping = wire::RoundTrip(
+      *fd, {wire::MessageType::kPing, "hello"});
+  ASSERT_TRUE(ping.ok()) << ping.status();
+  EXPECT_EQ(ping->text, "hello");
+
+  auto estimate = wire::RoundTrip(
+      *fd, {wire::MessageType::kEstimate, "(a)-[0]->(b)"});
+  ASSERT_TRUE(estimate.ok()) << estimate.status();
+  ASSERT_TRUE(estimate->status.ok()) << estimate->status;
+  EXPECT_EQ(estimate->estimate.results.size(), 4u);
+
+  auto bad = wire::RoundTrip(
+      *fd, {wire::MessageType::kEstimate, "(a)-[99]->(b)"});
+  ASSERT_TRUE(bad.ok()) << bad.status();
+  EXPECT_EQ(bad->status.code(), util::StatusCode::kInvalidArgument);
+
+  auto stats = wire::RoundTrip(*fd, {wire::MessageType::kStats, ""});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GE(stats->stats.served, 1u);
+  ::close(*fd);
+
+  // A second connection asks for shutdown; WaitUntilShutdown observes it.
+  auto fd2 = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd2.ok()) << fd2.status();
+  auto shutdown = wire::RoundTrip(*fd2, {wire::MessageType::kShutdown, ""});
+  ASSERT_TRUE(shutdown.ok()) << shutdown.status();
+  ::close(*fd2);
+  EXPECT_TRUE(server.WaitUntilShutdown());
+  server.Stop();
+  EXPECT_GE(server.requests_handled(), 5u);
+}
+
+TEST(TcpServerTest, ApplyDeltasOverLoopback) {
+  const graph::Graph g = SmallGraph();
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  TcpServer server(**service);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::ostringstream feed;
+  ASSERT_TRUE(dynamic::WriteDeltaText(dynamic::RandomEdgeBatch(g, 30, 77),
+                                      feed)
+                  .ok());
+  auto fd = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  auto swap = wire::RoundTrip(
+      *fd, {wire::MessageType::kApplyDeltas, feed.str()});
+  ASSERT_TRUE(swap.ok()) << swap.status();
+  ASSERT_TRUE(swap->status.ok()) << swap->status;
+  EXPECT_EQ(swap->swap.epoch, 1u);
+  EXPECT_EQ(swap->swap.applied_ops, 30u);
+  ::close(*fd);
+  EXPECT_EQ((*service)->epoch(), 1u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cegraph::service

@@ -1,0 +1,358 @@
+// cegraph_client — command-line client for the cegraph_serve daemon.
+//
+//   cegraph_client --port P [--host H] --query "(a)-[3]->(b); ..."
+//   cegraph_client --port P --workload FILE [--threads N] [--passes K]
+//                  [--quiet]
+//   cegraph_client --port P --apply-deltas FILE
+//   cegraph_client --port P --swap-snapshot PATH
+//   cegraph_client --port P (--stats | --ping | --shutdown)
+//
+// --workload streams a saved workload file (query/workload_io.h format,
+// ground truth included) from N concurrent connections and prints
+// per-query results plus per-estimator aggregate q-error and latency.
+// --apply-deltas sends a delta text feed (dynamic/delta_io.h format)
+// inline; the server folds it into a new serving state and answers with
+// the post-swap epoch. --swap-snapshot names a *server-local* snapshot
+// path. Exit status is 0 iff every request succeeded.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/workload_io.h"
+#include "service/wire.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace cegraph;
+using service::wire::MessageType;
+using service::wire::Request;
+using service::wire::Response;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cegraph_client --port P [--host H] <command>\n"
+      "  --query \"PATTERN\"            one estimation request\n"
+      "  --workload FILE [--threads N] [--passes K] [--quiet]\n"
+      "  --apply-deltas FILE           send a delta feed, hot-swap\n"
+      "  --swap-snapshot PATH          server-local snapshot path\n"
+      "  --stats | --ping | --shutdown\n");
+  return 2;
+}
+
+util::StatusOr<Response> OneShot(const std::string& host, int port,
+                                 const Request& request) {
+  auto fd = service::wire::DialTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  auto response = service::wire::RoundTrip(*fd, request);
+  ::close(*fd);
+  if (response.ok() && !response->status.ok()) return response->status;
+  return response;
+}
+
+void PrintEstimate(const service::EstimateResponse& estimate) {
+  std::printf("epoch %llu (state v%llu), %.1f us\n",
+              static_cast<unsigned long long>(estimate.epoch),
+              static_cast<unsigned long long>(estimate.state_version),
+              estimate.total_micros);
+  util::TablePrinter table(estimate.has_truth
+                               ? std::vector<std::string>{"estimator",
+                                                          "estimate",
+                                                          "q-error", "us"}
+                               : std::vector<std::string>{"estimator",
+                                                          "estimate", "us"});
+  for (const service::EstimatorResult& r : estimate.results) {
+    std::vector<std::string> row{r.name,
+                                 r.ok ? util::TablePrinter::Num(r.estimate)
+                                      : r.error};
+    if (estimate.has_truth) {
+      row.push_back(r.ok ? util::TablePrinter::Num(r.qerror) : "-");
+    }
+    row.push_back(util::TablePrinter::Num(r.micros));
+    table.AddRow(row);
+  }
+  if (estimate.has_truth) {
+    table.AddRow({"exact", util::TablePrinter::Num(estimate.truth),
+                  estimate.has_truth ? "1" : "-", "-"});
+  }
+  table.Print(std::cout);
+}
+
+int RunWorkload(const std::string& host, int port,
+                const std::string& workload_file, int threads, int passes,
+                bool quiet) {
+  auto workload = query::LoadWorkload(workload_file);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  // Request lines travel exactly as saved: "<template> <truth> <pattern>".
+  std::vector<std::string> lines;
+  lines.reserve(workload->size());
+  {
+    std::ostringstream text;
+    if (!query::WriteWorkloadText(*workload, text).ok()) return 1;
+    std::istringstream in(text.str());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') lines.push_back(line);
+    }
+  }
+
+  struct Accum {
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+    double micros = 0;
+    double qerror_sum = 0;
+    double qerror_max = 0;
+    uint64_t qerror_count = 0;
+  };
+  std::mutex mutex;
+  std::map<std::string, Accum> per_estimator;
+  std::map<uint64_t, size_t> per_epoch;
+  size_t errors = 0;
+
+  if (threads < 1) threads = 1;
+  auto worker = [&](int tid) {
+    auto fd = service::wire::DialTcp(host, port);
+    if (!fd.ok()) {
+      std::lock_guard<std::mutex> lock(mutex);
+      errors += (lines.size() / threads) + 1;  // whole share lost
+      std::fprintf(stderr, "connect: %s\n",
+                   fd.status().ToString().c_str());
+      return;
+    }
+    for (int pass = 0; pass < passes; ++pass) {
+      for (size_t i = static_cast<size_t>(tid); i < lines.size();
+           i += static_cast<size_t>(threads)) {
+        Request request{MessageType::kEstimate, lines[i]};
+        auto response = service::wire::RoundTrip(*fd, request);
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!response.ok() || !response->status.ok()) {
+          ++errors;
+          std::fprintf(stderr, "query %zu: %s\n", i,
+                       (response.ok() ? response->status : response.status())
+                           .ToString()
+                           .c_str());
+          continue;
+        }
+        const service::EstimateResponse& e = response->estimate;
+        ++per_epoch[e.epoch];
+        for (const service::EstimatorResult& r : e.results) {
+          Accum& accum = per_estimator[r.name];
+          ++accum.requests;
+          accum.micros += r.micros;
+          if (!r.ok) {
+            ++accum.failures;
+          } else if (e.has_truth) {
+            accum.qerror_sum += r.qerror;
+            accum.qerror_max = std::max(accum.qerror_max, r.qerror);
+            ++accum.qerror_count;
+          }
+        }
+        if (!quiet && pass == 0) {
+          std::printf("query %-4zu epoch %llu", i,
+                      static_cast<unsigned long long>(e.epoch));
+          for (const service::EstimatorResult& r : e.results) {
+            if (r.ok) {
+              std::printf("  %s=%.4g", r.name.c_str(), r.estimate);
+            } else {
+              std::printf("  %s=ERR", r.name.c_str());
+            }
+          }
+          std::printf("\n");
+        }
+      }
+    }
+    ::close(*fd);
+  };
+  std::vector<std::thread> pool;
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+
+  std::printf("\n%zu queries x %d passes over %d connections; %zu errors\n",
+              lines.size(), passes, threads, errors);
+  std::printf("epochs observed:");
+  for (const auto& [epoch, count] : per_epoch) {
+    std::printf(" %llu(x%zu)", static_cast<unsigned long long>(epoch),
+                count);
+  }
+  std::printf("\n\n");
+  util::TablePrinter table(
+      {"estimator", "requests", "failures", "mean q-error", "max q-error",
+       "mean us"});
+  for (const auto& [name, accum] : per_estimator) {
+    table.AddRow(
+        {name, std::to_string(accum.requests),
+         std::to_string(accum.failures),
+         accum.qerror_count > 0
+             ? util::TablePrinter::Num(accum.qerror_sum /
+                                       static_cast<double>(
+                                           accum.qerror_count))
+             : "-",
+         accum.qerror_count > 0 ? util::TablePrinter::Num(accum.qerror_max)
+                                : "-",
+         accum.requests > 0
+             ? util::TablePrinter::Num(
+                   accum.micros / static_cast<double>(accum.requests))
+             : "-"});
+  }
+  table.Print(std::cout);
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string query_text, workload_file, deltas_file, snapshot_path;
+  bool stats = false, ping = false, shutdown = false, quiet = false;
+  int threads = 1, passes = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--host") {
+      if (!next(&host)) return Usage();
+    } else if (arg == "--port") {
+      if (!next(&value)) return Usage();
+      port = std::atoi(value.c_str());
+    } else if (arg == "--query") {
+      if (!next(&query_text)) return Usage();
+    } else if (arg == "--workload") {
+      if (!next(&workload_file)) return Usage();
+    } else if (arg == "--apply-deltas") {
+      if (!next(&deltas_file)) return Usage();
+    } else if (arg == "--swap-snapshot") {
+      if (!next(&snapshot_path)) return Usage();
+    } else if (arg == "--threads") {
+      if (!next(&value)) return Usage();
+      threads = std::atoi(value.c_str());
+    } else if (arg == "--passes") {
+      if (!next(&value)) return Usage();
+      passes = std::atoi(value.c_str());
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--ping") {
+      ping = true;
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (port <= 0) return Usage();
+
+  if (!workload_file.empty()) {
+    return RunWorkload(host, port, workload_file, threads, passes, quiet);
+  }
+
+  Request request;
+  if (!query_text.empty()) {
+    request = {MessageType::kEstimate, query_text};
+  } else if (!deltas_file.empty()) {
+    std::ifstream in(deltas_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", deltas_file.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    request = {MessageType::kApplyDeltas, text.str()};
+  } else if (!snapshot_path.empty()) {
+    request = {MessageType::kSwapSnapshot, snapshot_path};
+  } else if (stats) {
+    request = {MessageType::kStats, ""};
+  } else if (ping) {
+    request = {MessageType::kPing, ""};
+  } else if (shutdown) {
+    request = {MessageType::kShutdown, ""};
+  } else {
+    return Usage();
+  }
+
+  auto response = OneShot(host, port, request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  switch (request.type) {
+    case MessageType::kEstimate:
+      PrintEstimate(response->estimate);
+      break;
+    case MessageType::kApplyDeltas:
+    case MessageType::kSwapSnapshot: {
+      const service::SwapReport& swap = response->swap;
+      std::printf(
+          "swapped to epoch %llu (state v%llu): %zu ops applied "
+          "(+%zu/-%zu edges, %zu labels, %zu entries evicted), %zu log "
+          "ops trimmed%s\n",
+          static_cast<unsigned long long>(swap.epoch),
+          static_cast<unsigned long long>(swap.version), swap.applied_ops,
+          swap.maintenance.inserted_edges, swap.maintenance.deleted_edges,
+          swap.maintenance.changed_labels,
+          swap.maintenance.total_evicted(), swap.trimmed_log_ops,
+          swap.snapshot_stale ? " (stale snapshot, deltas replayed)" : "");
+      break;
+    }
+    case MessageType::kStats: {
+      const service::ServiceStats& s = response->stats;
+      std::printf(
+          "served %llu, rejected %llu, request errors %llu\n"
+          "epoch %llu (state v%llu), %llu swaps, %zu pending delta ops\n"
+          "replay log %zu ops (min replayable epoch %llu)\n"
+          "in flight %lld (peak %lld), mean latency %.1f us\n",
+          static_cast<unsigned long long>(s.served),
+          static_cast<unsigned long long>(s.rejected),
+          static_cast<unsigned long long>(s.request_errors),
+          static_cast<unsigned long long>(s.epoch),
+          static_cast<unsigned long long>(s.version),
+          static_cast<unsigned long long>(s.swaps), s.pending_delta_ops,
+          s.replay_log_ops,
+          static_cast<unsigned long long>(s.min_replayable_epoch),
+          static_cast<long long>(s.in_flight),
+          static_cast<long long>(s.peak_in_flight),
+          s.mean_latency_micros);
+      for (const auto& e : s.estimators) {
+        std::printf("  %-14s %llu requests, %llu failures, %.1f us, mean "
+                    "q-error %.3g\n",
+                    e.name.c_str(),
+                    static_cast<unsigned long long>(e.requests),
+                    static_cast<unsigned long long>(e.failures),
+                    e.mean_micros, e.mean_qerror);
+      }
+      break;
+    }
+    case MessageType::kPing:
+    case MessageType::kShutdown:
+      std::printf("%s\n", response->text.c_str());
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,199 @@
+// cegraph_serve — the cegraph estimation daemon: a long-lived TCP server
+// dispatching estimation requests over a shared EstimationService, with
+// snapshot hot-swap and live delta ingestion (no restart, no dropped
+// requests).
+//
+//   cegraph_serve (--dataset NAME | --graph FILE) [--port P] [--workers N]
+//                 [--estimators a,b,c] [--snapshot FILE] [--markov-h H]
+//                 [--compact-trigger N] [--max-in-flight N]
+//                 [--prewarm SUITE] [--instances N] [--seed S]
+//
+// --port 0 (the default) picks an ephemeral port; the daemon prints
+// `listening on 127.0.0.1:<port>` on stdout (and flushes) so scripts can
+// scrape it. --snapshot preloads a `cegraph_stats build` artifact into the
+// first serving state (replaying its embedded delta log when it describes
+// a later epoch of the graph). --prewarm generates the named workload
+// suite and warms the statistics caches before accepting traffic.
+//
+// The daemon exits 0 on SIGTERM/SIGINT or on a client's shutdown request,
+// draining in-flight connections first. See docs/wire_protocol.md for the
+// framing and message types; cegraph_client is the matching client.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/graph_io.h"
+#include "query/templates.h"
+#include "query/workload.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace cegraph;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int) { g_signal = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cegraph_serve (--dataset NAME | --graph FILE) [--port P]\n"
+      "       [--workers N] [--estimators a,b,c] [--snapshot FILE]\n"
+      "       [--markov-h H] [--compact-trigger N] [--max-in-flight N]\n"
+      "       [--prewarm SUITE] [--instances N] [--seed S]\n"
+      "datasets:");
+  for (const std::string& name : graph::DatasetNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset, graph_file, estimators_csv, snapshot, prewarm_suite;
+  service::ServerOptions server_options;
+  service::ServiceOptions service_options;
+  int instances = 2;
+  uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--dataset") {
+      if (!next(&dataset)) return Usage();
+    } else if (arg == "--graph") {
+      if (!next(&graph_file)) return Usage();
+    } else if (arg == "--port") {
+      if (!next(&value)) return Usage();
+      server_options.port = std::atoi(value.c_str());
+    } else if (arg == "--workers") {
+      if (!next(&value)) return Usage();
+      server_options.workers = std::atoi(value.c_str());
+    } else if (arg == "--estimators") {
+      if (!next(&estimators_csv)) return Usage();
+    } else if (arg == "--snapshot") {
+      if (!next(&snapshot)) return Usage();
+    } else if (arg == "--markov-h") {
+      if (!next(&value)) return Usage();
+      service_options.context.markov_h = std::atoi(value.c_str());
+    } else if (arg == "--compact-trigger") {
+      if (!next(&value)) return Usage();
+      service_options.compact_trigger_ops = std::atoi(value.c_str());
+    } else if (arg == "--max-in-flight") {
+      if (!next(&value)) return Usage();
+      service_options.max_in_flight = std::atoi(value.c_str());
+    } else if (arg == "--prewarm") {
+      if (!next(&prewarm_suite)) return Usage();
+    } else if (arg == "--instances") {
+      if (!next(&value)) return Usage();
+      instances = std::atoi(value.c_str());
+    } else if (arg == "--seed") {
+      if (!next(&value)) return Usage();
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (dataset.empty() == graph_file.empty()) return Usage();
+
+  auto g = dataset.empty() ? graph::LoadGraph(graph_file)
+                           : graph::MakeDataset(dataset);
+  if (!g.ok()) {
+    std::fprintf(stderr, "graph: %s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const std::string source = dataset.empty() ? graph_file : dataset;
+  std::printf("graph %s: %u vertices, %llu edges, %u labels\n",
+              source.c_str(), g->num_vertices(),
+              static_cast<unsigned long long>(g->num_edges()),
+              g->num_labels());
+
+  if (!estimators_csv.empty()) {
+    service_options.estimators = util::SplitCsv(estimators_csv);
+  }
+  service_options.initial_snapshot = snapshot;
+  if (!prewarm_suite.empty()) {
+    auto templates = query::SuiteTemplatesByName(prewarm_suite);
+    if (!templates.ok()) {
+      std::fprintf(stderr, "prewarm: %s\n",
+                   templates.status().ToString().c_str());
+      return 1;
+    }
+    query::WorkloadOptions wl;
+    wl.instances_per_template = instances;
+    wl.seed = seed;
+    auto workload = query::GenerateWorkload(*g, *templates, wl);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "prewarm: %s\n",
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    service_options.prewarm_workload = std::move(*workload);
+  }
+
+  auto service =
+      service::EstimationService::Create(std::move(*g), service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  service::TcpServer server(**service, server_options);
+  if (auto started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu estimators (", (*service)->options().estimators.size());
+  for (size_t i = 0; i < (*service)->options().estimators.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : ",",
+                (*service)->options().estimators[i].c_str());
+  }
+  std::printf(") with %d workers\nlistening on %s:%d\n",
+              server_options.workers, server_options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Drain on either exit path: an operator signal or a client's shutdown
+  // request. Signal handlers cannot safely poke condition variables, so
+  // the main thread polls the flag.
+  while (g_signal == 0 && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("%s — draining\n",
+              g_signal != 0 ? "signal received" : "shutdown requested");
+  server.Stop();
+
+  const service::ServiceStats stats = (*service)->Stats();
+  std::printf("served %llu requests (%llu rejected, %llu request errors), "
+              "%llu hot swaps, final epoch %llu\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.request_errors),
+              static_cast<unsigned long long>(stats.swaps),
+              static_cast<unsigned long long>(stats.epoch));
+  return 0;
+}

@@ -1,11 +1,14 @@
 // cegraph_stats — build, inspect, verify and refresh persistent summary
-// snapshots.
+// snapshots; generate workload and delta-feed files for the serving stack.
 //
-//   cegraph_stats build   --dataset <name> --out <file> [flags]
-//   cegraph_stats inspect <file> [--dataset <name>]
-//   cegraph_stats verify  --dataset <name> --snapshot <file> [flags]
-//   cegraph_stats refresh --dataset <name> --snapshot <file>
-//                         (--deltas <file> | --random N) [--out <file>]
+//   cegraph_stats build    --dataset <name> --out <file> [flags]
+//   cegraph_stats inspect  <file> [--dataset <name>]
+//   cegraph_stats verify   --dataset <name> --snapshot <file> [flags]
+//   cegraph_stats refresh  --dataset <name> --snapshot <file>
+//                          (--deltas <file> | --random N) [--out <file>]
+//   cegraph_stats workload --dataset <name> --out <file> [--suite S]
+//                          [--instances N] [--seed S]
+//   cegraph_stats deltas   --dataset <name> --random N --out <file> [--seed S]
 //
 // `build` materializes a dataset, instantiates a workload (a generated
 // suite, or a saved workload file via --workload), prewarns every
@@ -37,6 +40,7 @@
 #include "query/templates.h"
 #include "query/workload.h"
 #include "query/workload_io.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -67,6 +71,10 @@ int Usage() {
       "  cegraph_stats refresh --dataset <name> --snapshot <file>\n"
       "      (--deltas FILE | --random N) [--out <file>] [--seed S]\n"
       "      [--markov-h H]\n"
+      "  cegraph_stats workload --dataset <name> --out <file>\n"
+      "      [--suite NAME] [--instances N] [--seed S]\n"
+      "  cegraph_stats deltas --dataset <name> --random N --out <file>\n"
+      "      [--seed S]\n"
       "\ndatasets:");
   for (const std::string& name : graph::DatasetNames()) {
     std::fprintf(stderr, " %s", name.c_str());
@@ -466,20 +474,10 @@ int RunVerify(int argc, char** argv) {
   const std::vector<query::WorkloadQuery>& workload = inputs->workload;
 
   // Estimator list: explicit CSV, or every registered exact name.
-  std::vector<std::string> names;
-  if (!estimators_csv.empty()) {
-    size_t start = 0;
-    while (start <= estimators_csv.size()) {
-      const size_t comma = estimators_csv.find(',', start);
-      const size_t end =
-          comma == std::string::npos ? estimators_csv.size() : comma;
-      if (end > start) names.push_back(estimators_csv.substr(start, end - start));
-      if (comma == std::string::npos) break;
-      start = comma + 1;
-    }
-  } else {
-    names = engine::EstimatorRegistry::Default().RegisteredNames();
-  }
+  std::vector<std::string> names =
+      estimators_csv.empty()
+          ? engine::EstimatorRegistry::Default().RegisteredNames()
+          : util::SplitCsv(estimators_csv);
 
   // Cold run: fresh context, no snapshot.
   engine::EstimationEngine cold(graph, ContextOptionsFor(flags));
@@ -526,6 +524,71 @@ int RunVerify(int argc, char** argv) {
   return mismatches == 0 ? 0 : 1;
 }
 
+// Writes the generated (or file-loaded) workload to a text file — the
+// input format of `cegraph_estimate --workload`, `cegraph_client
+// --workload` and the `--workload` modes of build/verify, with ground
+// truth baked in so it is computed exactly once.
+int RunWorkloadGen(int argc, char** argv) {
+  CommonFlags flags;
+  std::vector<std::pair<std::string, std::string>> extra;
+  if (!ParseFlags(argc, argv, 2, &flags, &extra)) return Usage();
+  std::string out_path;
+  for (const auto& [flag, value] : extra) {
+    if (flag == "--out") out_path = value;
+  }
+  if (out_path.empty()) {
+    std::fprintf(stderr, "workload requires --out\n");
+    return Usage();
+  }
+  auto inputs = MakeInputs(flags);
+  if (!inputs) return 1;
+  auto saved = query::SaveWorkload(inputs->workload, out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu queries (suite %s on %s) to %s\n",
+              inputs->workload.size(), flags.suite.c_str(),
+              flags.dataset.c_str(), out_path.c_str());
+  return 0;
+}
+
+// Writes a seeded random delta feed (the mixed churn RandomEdgeBatch
+// produces) in the delta text format — the input of `cegraph_stats
+// refresh --deltas` and `cegraph_client --apply-deltas`.
+int RunDeltasGen(int argc, char** argv) {
+  CommonFlags flags;
+  std::vector<std::pair<std::string, std::string>> extra;
+  if (!ParseFlags(argc, argv, 2, &flags, &extra)) return Usage();
+  std::string out_path;
+  int random_ops = 0;
+  for (const auto& [flag, value] : extra) {
+    if (flag == "--out") out_path = value;
+    if (flag == "--random") random_ops = std::atoi(value.c_str());
+  }
+  if (out_path.empty() || flags.dataset.empty() || random_ops <= 0) {
+    std::fprintf(stderr, "deltas requires --dataset, --random N and --out\n");
+    return Usage();
+  }
+  auto g = graph::MakeDataset(flags.dataset);
+  if (!g.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", flags.dataset.c_str(),
+                 g.status().ToString().c_str());
+    return 1;
+  }
+  const auto batch = dynamic::RandomEdgeBatch(
+      *g, static_cast<size_t>(random_ops), flags.seed);
+  auto saved = dynamic::SaveDeltaBatch(batch, out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu delta ops (seed %" PRIu64 ") for %s to %s\n",
+              batch.size(), flags.seed, flags.dataset.c_str(),
+              out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -535,5 +598,7 @@ int main(int argc, char** argv) {
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "verify") return RunVerify(argc, argv);
   if (command == "refresh") return RunRefresh(argc, argv);
+  if (command == "workload") return RunWorkloadGen(argc, argv);
+  if (command == "deltas") return RunDeltasGen(argc, argv);
   return Usage();
 }
