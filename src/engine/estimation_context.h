@@ -270,11 +270,34 @@ class EstimationContext {
     size_t evicted_entries = 0;
   };
 
+  /// Persists the same statistics as a *sharded* snapshot: a manifest at
+  /// `manifest_path` plus `<manifest_path>.common` (whole-graph summaries
+  /// and dynamic state) and `<manifest_path>.shard<k>` for k in
+  /// [0, num_shards) (the keyed sections split by key-hash range; see
+  /// engine/snapshot.h). The union of all shards is entry-for-entry
+  /// equivalent to SaveSnapshot's monolithic file; a fleet process loads
+  /// only its shard set. Implemented in engine/snapshot.cc.
+  util::Status SaveSnapshotShards(const std::string& manifest_path,
+                                  uint32_t num_shards) const;
+
+  /// Restores a sharded snapshot from the manifest at `manifest_path`,
+  /// loading the common file plus the shard files named in `shards`
+  /// (empty = all shards). Every referenced file is checked against the
+  /// manifest's size/content hash before parsing, so a corrupt shard is a
+  /// clean InvalidArgument, and fingerprint/options guards apply per file
+  /// exactly as in LoadSnapshot. Requested ids must be in range and
+  /// distinct. Implemented in engine/snapshot.cc.
+  util::Status LoadSnapshotShards(const std::string& manifest_path,
+                                  const std::vector<uint32_t>& shards,
+                                  SnapshotLoadReport* report = nullptr) const;
+
   /// Restores a snapshot written by SaveSnapshot. Rejects files whose
   /// magic/version are unknown (InvalidArgument), that are truncated or
   /// corrupted (OutOfRange/InvalidArgument from the bounds-checked
   /// reader), or whose fingerprint is incompatible (FailedPrecondition:
-  /// "fingerprint mismatch — rebuild").
+  /// "fingerprint mismatch — rebuild"). A shard-manifest path (see
+  /// engine/snapshot.h) is accepted transparently and loads the union of
+  /// all shards.
   ///
   /// Compatibility is judged against the dynamic fingerprint: a snapshot
   /// whose (delta hash, epoch) equals this context's state loads fully; a
@@ -305,6 +328,22 @@ class EstimationContext {
   /// itself (the public constructors seed a pristine epoch history).
   struct ForkTag {};
   explicit EstimationContext(ForkTag) : g_(nullptr) {}
+
+  /// The monolithic-snapshot load over an in-memory image — the single
+  /// parse/merge path behind LoadSnapshot (which reads the file) and
+  /// LoadSnapshotShards (which verifies each file's bytes against the
+  /// manifest hash first and must load exactly the bytes it verified).
+  /// `validate_only` stops after the staging parse (nothing merges) —
+  /// the manifest path validates every image before applying any, so a
+  /// failed multi-file load leaves the context untouched. `scrub_stale`
+  /// gates the post-merge stale-entry scrub; the manifest path runs it
+  /// once on the last image instead of once per file (every file of one
+  /// artifact carries the same epoch stamp). Implemented in
+  /// engine/snapshot.cc.
+  util::Status LoadSnapshotBytes(std::string_view bytes,
+                                 SnapshotLoadReport* report,
+                                 bool validate_only = false,
+                                 bool scrub_stale = true) const;
 
   /// The EpochMark of `epoch`, or null when it predates the trimmed
   /// history or postdates the current epoch.

@@ -1,6 +1,8 @@
 #include "engine/snapshot.h"
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <span>
 #include <sstream>
@@ -9,6 +11,7 @@
 #include "dynamic/stats_maintainer.h"
 #include "engine/estimation_context.h"
 #include "util/serde.h"
+#include "util/shard.h"
 
 namespace cegraph::engine {
 
@@ -150,6 +153,130 @@ std::string DescribeFingerprint(const graph::GraphFingerprint& fp) {
   return std::move(out).str();
 }
 
+/// Stable pointers to every statistics structure a context has built so
+/// far, collected under the context mutex by the Save paths (lazy fills
+/// only ever *set* the unique_ptrs; see the SaveSnapshot comment).
+struct StatsRefs {
+  std::vector<std::pair<int, const stats::MarkovTable*>> markovs;
+  const stats::CycleClosingRates* rates = nullptr;
+  const stats::StatsCatalog* catalog = nullptr;
+  const stats::CharacteristicSets* char_sets = nullptr;
+  const stats::SummaryGraph* summary = nullptr;
+  const stats::DispersionCatalog* dispersion = nullptr;
+};
+
+using SectionList = std::vector<std::pair<SnapshotSection, std::string>>;
+
+/// The keyed-cache sections, optionally filtered to one key-hash shard
+/// (num_shards == 0 writes everything — the monolithic layout).
+SectionList BuildKeyedSections(const StatsRefs& s, uint32_t shard,
+                               uint32_t num_shards) {
+  SectionList sections;
+  for (const auto& [h, table] : s.markovs) {
+    Writer payload;
+    payload.WriteU32(static_cast<uint32_t>(h));
+    table->ExportEntries(payload, shard, num_shards);
+    sections.emplace_back(SnapshotSection::kMarkov, payload.TakeBuffer());
+  }
+  if (s.rates != nullptr) {
+    Writer payload;
+    s.rates->ExportEntries(payload, shard, num_shards);
+    sections.emplace_back(SnapshotSection::kClosingRates,
+                          payload.TakeBuffer());
+  }
+  if (s.catalog != nullptr) {
+    Writer payload;
+    s.catalog->ExportEntries(payload, shard, num_shards);
+    sections.emplace_back(SnapshotSection::kDegreeCatalog,
+                          payload.TakeBuffer());
+  }
+  if (s.dispersion != nullptr) {
+    Writer payload;
+    s.dispersion->ExportEntries(payload, shard, num_shards);
+    sections.emplace_back(SnapshotSection::kDispersion, payload.TakeBuffer());
+  }
+  return sections;
+}
+
+/// The whole-graph summary sections. Never sharded: their internal
+/// structure (superedge tables between SumRDF buckets, the CS group table)
+/// is not key-separable, so they travel in the manifest's common file.
+SectionList BuildSummarySections(const StatsRefs& s) {
+  SectionList sections;
+  if (s.char_sets != nullptr) {
+    Writer payload;
+    s.char_sets->Save(payload);
+    sections.emplace_back(SnapshotSection::kCharSets, payload.TakeBuffer());
+  }
+  if (s.summary != nullptr) {
+    Writer payload;
+    s.summary->Save(payload);
+    sections.emplace_back(SnapshotSection::kSummaryGraph,
+                          payload.TakeBuffer());
+  }
+  return sections;
+}
+
+/// The dynamic-state stamp (and optionally the embedded replay log) of a
+/// post-delta context; empty at epoch 0. See the comments at the original
+/// SaveSnapshot call sites: the stamp records which point of the delta log
+/// the statistics describe, and the log makes the artifact self-contained
+/// — but only while nothing has been trimmed (a partial log could not
+/// reconstruct the state from the base graph, so it is omitted entirely).
+SectionList BuildDynamicSections(
+    uint64_t epoch, uint64_t delta_hash,
+    const graph::GraphFingerprint& current_fp,
+    const std::vector<dynamic::EdgeDelta>& replay_log, size_t log_trimmed,
+    bool include_delta_log) {
+  SectionList sections;
+  if (epoch == 0) return sections;
+  Writer payload;
+  payload.WriteU64(delta_hash);
+  payload.WriteU64(epoch);
+  WriteFingerprint(payload, current_fp);
+  sections.emplace_back(SnapshotSection::kDynamicState, payload.TakeBuffer());
+  if (include_delta_log && log_trimmed == 0) {
+    Writer log;
+    log.WriteU64(replay_log.size());
+    for (const dynamic::EdgeDelta& d : replay_log) {
+      log.WriteU8(static_cast<uint8_t>(d.op));
+      log.WriteU32(d.edge.src);
+      log.WriteU32(d.edge.dst);
+      log.WriteU32(d.edge.label);
+    }
+    sections.emplace_back(SnapshotSection::kDeltaLog, log.TakeBuffer());
+  }
+  return sections;
+}
+
+/// One complete snapshot file image: header + section table.
+std::string EncodeSnapshotFile(uint32_t version,
+                               const graph::GraphFingerprint& base_fp,
+                               const SnapshotOptions& options,
+                               const SectionList& sections) {
+  Writer writer;
+  writer.WriteRaw(std::string_view(kSnapshotMagic, 8));
+  writer.WriteU32(version);
+  WriteFingerprint(writer, base_fp);
+  WriteOptions(writer, options);
+  writer.WriteU32(static_cast<uint32_t>(sections.size()));
+  for (const auto& [id, payload] : sections) {
+    writer.WriteU32(static_cast<uint32_t>(id));
+    writer.WriteU64(payload.size());
+    writer.WriteRaw(payload);
+  }
+  return writer.TakeBuffer();
+}
+
+/// Resolves a manifest-stored (relative) file name against the manifest's
+/// own directory.
+std::string ResolveManifestFile(const std::string& manifest_path,
+                                const std::string& file) {
+  const std::filesystem::path p(file);
+  if (p.is_absolute()) return file;
+  return (std::filesystem::path(manifest_path).parent_path() / p).string();
+}
+
 }  // namespace
 
 const char* SnapshotSectionName(uint32_t id) {
@@ -260,11 +387,166 @@ util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
   return *info;
 }
 
-util::StatusOr<std::vector<dynamic::EdgeDelta>> ReadSnapshotDeltaLog(
-    const std::string& path) {
+bool IsShardManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8];
+  in.read(magic, 8);
+  return in.gcount() == 8 &&
+         std::memcmp(magic, kShardManifestMagic, 8) == 0;
+}
+
+util::StatusOr<ShardManifest> ReadShardManifest(const std::string& path) {
   auto bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
   Reader reader(*bytes);
+  auto magic = reader.ReadRaw(8);
+  if (!magic.ok()) return magic.status();
+  if (std::memcmp(magic->data(), kShardManifestMagic, 8) != 0) {
+    return util::InvalidArgumentError("not a cegraph shard manifest");
+  }
+  ShardManifest manifest;
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kShardManifestVersion) {
+    return util::InvalidArgumentError(
+        "unsupported shard-manifest version " + std::to_string(*version));
+  }
+  manifest.version = *version;
+  auto fp = ReadFingerprint(reader);
+  if (!fp.ok()) return fp.status();
+  manifest.fingerprint = *fp;
+  auto options = ReadOptions(reader);
+  if (!options.ok()) return options.status();
+  manifest.options = *options;
+  auto snapshot_version = reader.ReadU32();
+  if (!snapshot_version.ok()) return snapshot_version.status();
+  if (*snapshot_version < 1 || *snapshot_version > kSnapshotVersion) {
+    return util::InvalidArgumentError(
+        "manifest names unsupported snapshot version " +
+        std::to_string(*snapshot_version));
+  }
+  manifest.snapshot_version = *snapshot_version;
+  auto num_shards = reader.ReadU32();
+  if (!num_shards.ok()) return num_shards.status();
+  if (*num_shards < 1 || *num_shards > kMaxSnapshotShards) {
+    return util::InvalidArgumentError(
+        "implausible manifest shard count " + std::to_string(*num_shards));
+  }
+  manifest.num_shards = *num_shards;
+  auto common_file = reader.ReadString();
+  if (!common_file.ok()) return common_file.status();
+  manifest.common.file = std::move(*common_file);
+  auto common_bytes = reader.ReadU64();
+  if (!common_bytes.ok()) return common_bytes.status();
+  manifest.common.bytes = *common_bytes;
+  auto common_hash = reader.ReadU64();
+  if (!common_hash.ok()) return common_hash.status();
+  manifest.common.hash = *common_hash;
+  auto entry_count = reader.ReadU32();
+  if (!entry_count.ok()) return entry_count.status();
+
+  // The shard table must be a partition: every id 0..num_shards-1 exactly
+  // once. A duplicate is an *overlap* (two files both claiming a key
+  // range); a gap is a missing shard; either silently skews estimates if
+  // accepted, so both are hard errors.
+  std::vector<bool> seen(manifest.num_shards, false);
+  for (uint32_t i = 0; i < *entry_count; ++i) {
+    ShardFileInfo entry;
+    auto shard = reader.ReadU32();
+    if (!shard.ok()) return shard.status();
+    entry.shard = *shard;
+    auto file = reader.ReadString();
+    if (!file.ok()) return file.status();
+    entry.file = std::move(*file);
+    auto file_bytes = reader.ReadU64();
+    if (!file_bytes.ok()) return file_bytes.status();
+    entry.bytes = *file_bytes;
+    auto hash = reader.ReadU64();
+    if (!hash.ok()) return hash.status();
+    entry.hash = *hash;
+    if (entry.shard >= manifest.num_shards) {
+      return util::InvalidArgumentError(
+          "manifest shard id " + std::to_string(entry.shard) +
+          " out of range (manifest declares " +
+          std::to_string(manifest.num_shards) + " shards)");
+    }
+    if (seen[entry.shard]) {
+      return util::InvalidArgumentError(
+          "manifest lists shard " + std::to_string(entry.shard) +
+          " more than once (overlapping key ranges)");
+    }
+    seen[entry.shard] = true;
+    manifest.shards.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError("trailing bytes after manifest");
+  }
+  for (uint32_t k = 0; k < manifest.num_shards; ++k) {
+    if (!seen[k]) {
+      return util::InvalidArgumentError(
+          "manifest is missing shard " + std::to_string(k) + " of " +
+          std::to_string(manifest.num_shards));
+    }
+  }
+  std::sort(manifest.shards.begin(), manifest.shards.end(),
+            [](const ShardFileInfo& a, const ShardFileInfo& b) {
+              return a.shard < b.shard;
+            });
+  return manifest;
+}
+
+namespace {
+
+/// The delta-log extraction over one snapshot image (the body shared by
+/// the file and manifest paths of ReadSnapshotDeltaLog).
+util::StatusOr<std::vector<dynamic::EdgeDelta>> ParseSnapshotDeltaLog(
+    std::string_view bytes);
+
+}  // namespace
+
+util::StatusOr<std::vector<dynamic::EdgeDelta>> ReadSnapshotDeltaLog(
+    const std::string& path) {
+  if (IsShardManifest(path)) {
+    auto manifest = ReadShardManifest(path);
+    if (!manifest.ok()) return manifest.status();
+    // The common file (where the embedded log lives) gets the same
+    // integrity treatment LoadSnapshotShards gives it: size + content
+    // hash against the manifest before a byte is parsed. This also rules
+    // out nesting/recursion — a manifest cannot record a valid hash of a
+    // file containing that hash, and the magic check below rejects any
+    // manifest-typed bytes outright.
+    auto bytes =
+        ReadFileBytes(ResolveManifestFile(path, manifest->common.file));
+    if (!bytes.ok()) {
+      return util::NotFoundError("manifest names missing shard file " +
+                                 manifest->common.file + ": " +
+                                 bytes.status().message());
+    }
+    if (bytes->size() != manifest->common.bytes ||
+        util::StableHash64(*bytes) != manifest->common.hash) {
+      return util::InvalidArgumentError(
+          "shard file " + manifest->common.file +
+          " does not match its manifest entry (corrupted or replaced)");
+    }
+    if (bytes->size() >= 8 &&
+        std::memcmp(bytes->data(), kShardManifestMagic, 8) == 0) {
+      return util::InvalidArgumentError(
+          "manifest common entry " + manifest->common.file +
+          " is itself a shard manifest (manifests cannot nest)");
+    }
+    return ParseSnapshotDeltaLog(*bytes);
+  }
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseSnapshotDeltaLog(*bytes);
+}
+
+namespace {
+
+util::StatusOr<std::vector<dynamic::EdgeDelta>> ParseSnapshotDeltaLog(
+    std::string_view bytes) {
+  Reader reader(bytes);
   auto info = ReadHeader(reader);
   if (!info.ok()) return info.status();
   auto section_count = reader.ReadU32();
@@ -307,6 +589,8 @@ util::StatusOr<std::vector<dynamic::EdgeDelta>> ReadSnapshotDeltaLog(
   return log;
 }
 
+}  // namespace
+
 util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
   // Collect stable pointers to everything built so far. Lazy fills only
   // ever *set* these unique_ptrs, and each Export takes its own cache
@@ -317,109 +601,145 @@ util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
   // pointees mid-export; they are single-writer operations that must not
   // run concurrently with SaveSnapshot — the serving layer guarantees
   // this by saving only from states the maintainer owns.
-  std::vector<std::pair<int, const stats::MarkovTable*>> markovs;
-  const stats::CycleClosingRates* rates = nullptr;
-  const stats::StatsCatalog* catalog = nullptr;
-  const stats::CharacteristicSets* char_sets = nullptr;
-  const stats::SummaryGraph* summary = nullptr;
-  const stats::DispersionCatalog* dispersion = nullptr;
+  StatsRefs refs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [h, table] : markov_) markovs.emplace_back(h, table.get());
-    rates = rates_.get();
-    catalog = catalog_.get();
-    char_sets = char_sets_.get();
-    summary = summary_.get();
-    dispersion = dispersion_.get();
-  }
-
-  std::vector<std::pair<SnapshotSection, std::string>> sections;
-  for (const auto& [h, table] : markovs) {
-    Writer payload;
-    payload.WriteU32(static_cast<uint32_t>(h));
-    table->ExportEntries(payload);
-    sections.emplace_back(SnapshotSection::kMarkov, payload.TakeBuffer());
-  }
-  if (rates != nullptr) {
-    Writer payload;
-    rates->ExportEntries(payload);
-    sections.emplace_back(SnapshotSection::kClosingRates,
-                          payload.TakeBuffer());
-  }
-  if (catalog != nullptr) {
-    Writer payload;
-    catalog->ExportEntries(payload);
-    sections.emplace_back(SnapshotSection::kDegreeCatalog,
-                          payload.TakeBuffer());
-  }
-  if (char_sets != nullptr) {
-    Writer payload;
-    char_sets->Save(payload);
-    sections.emplace_back(SnapshotSection::kCharSets, payload.TakeBuffer());
-  }
-  if (summary != nullptr) {
-    Writer payload;
-    summary->Save(payload);
-    sections.emplace_back(SnapshotSection::kSummaryGraph,
-                          payload.TakeBuffer());
-  }
-  if (dispersion != nullptr) {
-    Writer payload;
-    dispersion->ExportEntries(payload);
-    sections.emplace_back(SnapshotSection::kDispersion, payload.TakeBuffer());
-  }
-  if (epoch_ > 0) {
-    // The stored statistics describe the post-delta graph while the header
-    // carries the base fingerprint; the dynamic-state section records
-    // which point of the delta log this is and what the described graph's
-    // own fingerprint is, and the version bump keeps version-1 readers
-    // (which would skip the unknown section and load the stats against
-    // the pristine base) from accepting the file.
-    Writer payload;
-    payload.WriteU64(delta_hash_);
-    payload.WriteU64(epoch_);
-    WriteFingerprint(payload, g_->fingerprint());
-    sections.emplace_back(SnapshotSection::kDynamicState,
-                          payload.TakeBuffer());
-
-    // The net replay log makes the artifact self-contained: a consumer
-    // holding only the base graph replays it to reconstruct this state.
-    // Once TrimReplayLog has discarded a prefix the surviving suffix could
-    // no longer reconstruct anything from the base, so the section is
-    // omitted entirely rather than written incomplete.
-    if (log_trimmed_ == 0) {
-      Writer log;
-      log.WriteU64(replay_log_.size());
-      for (const dynamic::EdgeDelta& d : replay_log_) {
-        log.WriteU8(static_cast<uint8_t>(d.op));
-        log.WriteU32(d.edge.src);
-        log.WriteU32(d.edge.dst);
-        log.WriteU32(d.edge.label);
-      }
-      sections.emplace_back(SnapshotSection::kDeltaLog, log.TakeBuffer());
+    for (const auto& [h, table] : markov_) {
+      refs.markovs.emplace_back(h, table.get());
     }
+    refs.rates = rates_.get();
+    refs.catalog = catalog_.get();
+    refs.char_sets = char_sets_.get();
+    refs.summary = summary_.get();
+    refs.dispersion = dispersion_.get();
+  }
+
+  SectionList sections = BuildKeyedSections(refs, 0, 0);
+  for (auto& section : BuildSummarySections(refs)) {
+    sections.push_back(std::move(section));
+  }
+  for (auto& section :
+       BuildDynamicSections(epoch_, delta_hash_, g_->fingerprint(),
+                            replay_log_, log_trimmed_,
+                            /*include_delta_log=*/true)) {
+    sections.push_back(std::move(section));
+  }
+  return WriteFileBytes(
+      path, EncodeSnapshotFile(
+                epoch_ > 0 ? kSnapshotVersion : kSnapshotVersionStatic,
+                base_fingerprint_, OptionsOf(options_), sections));
+}
+
+util::Status EstimationContext::SaveSnapshotShards(
+    const std::string& manifest_path, uint32_t num_shards) const {
+  if (num_shards < 1 || num_shards > kMaxSnapshotShards) {
+    return util::InvalidArgumentError(
+        "shard count must be in 1.." + std::to_string(kMaxSnapshotShards) +
+        ", got " + std::to_string(num_shards));
+  }
+  StatsRefs refs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [h, table] : markov_) {
+      refs.markovs.emplace_back(h, table.get());
+    }
+    refs.rates = rates_.get();
+    refs.catalog = catalog_.get();
+    refs.char_sets = char_sets_.get();
+    refs.summary = summary_.get();
+    refs.dispersion = dispersion_.get();
+  }
+  const uint32_t version =
+      epoch_ > 0 ? kSnapshotVersion : kSnapshotVersionStatic;
+  const SnapshotOptions options = OptionsOf(options_);
+  const std::string base_name =
+      std::filesystem::path(manifest_path).filename().string();
+
+  // Every file carries the dynamic-state stamp (so each can be judged
+  // fresh/stale on its own); only the common file embeds the replay log.
+  const SectionList dynamic_stamp =
+      BuildDynamicSections(epoch_, delta_hash_, g_->fingerprint(),
+                           replay_log_, log_trimmed_,
+                           /*include_delta_log=*/false);
+
+  // Common file: the whole-graph summaries + dynamic state + delta log.
+  ShardFileInfo common;
+  common.file = base_name + ".common";
+  {
+    SectionList sections = BuildSummarySections(refs);
+    for (auto& section :
+         BuildDynamicSections(epoch_, delta_hash_, g_->fingerprint(),
+                              replay_log_, log_trimmed_,
+                              /*include_delta_log=*/true)) {
+      sections.push_back(std::move(section));
+    }
+    const std::string bytes =
+        EncodeSnapshotFile(version, base_fingerprint_, options, sections);
+    common.bytes = bytes.size();
+    common.hash = util::StableHash64(bytes);
+    CEGRAPH_RETURN_IF_ERROR(WriteFileBytes(
+        ResolveManifestFile(manifest_path, common.file), bytes));
+  }
+
+  // Shard k of S: the keyed sections filtered by key-hash range. Each
+  // pass re-walks every cache and keeps the one-in-S entries — O(S x
+  // entries) hashing overall, accepted for this offline tool path (the
+  // caches hold thousands of entries and FNV over short keys is
+  // nanoseconds; single-pass routing into S writers would complicate the
+  // ExportEntries surface for no observable gain at current scales).
+  std::vector<ShardFileInfo> shards;
+  shards.reserve(num_shards);
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    ShardFileInfo shard;
+    shard.shard = k;
+    shard.file = base_name + ".shard" + std::to_string(k);
+    SectionList sections = BuildKeyedSections(refs, k, num_shards);
+    for (const auto& section : dynamic_stamp) sections.push_back(section);
+    const std::string bytes =
+        EncodeSnapshotFile(version, base_fingerprint_, options, sections);
+    shard.bytes = bytes.size();
+    shard.hash = util::StableHash64(bytes);
+    CEGRAPH_RETURN_IF_ERROR(WriteFileBytes(
+        ResolveManifestFile(manifest_path, shard.file), bytes));
+    shards.push_back(std::move(shard));
   }
 
   Writer writer;
-  writer.WriteRaw(std::string_view(kSnapshotMagic, 8));
-  writer.WriteU32(epoch_ > 0 ? kSnapshotVersion : kSnapshotVersionStatic);
+  writer.WriteRaw(std::string_view(kShardManifestMagic, 8));
+  writer.WriteU32(kShardManifestVersion);
   WriteFingerprint(writer, base_fingerprint_);
-  WriteOptions(writer, OptionsOf(options_));
-  writer.WriteU32(static_cast<uint32_t>(sections.size()));
-  for (const auto& [id, payload] : sections) {
-    writer.WriteU32(static_cast<uint32_t>(id));
-    writer.WriteU64(payload.size());
-    writer.WriteRaw(payload);
+  WriteOptions(writer, options);
+  writer.WriteU32(version);
+  writer.WriteU32(num_shards);
+  writer.WriteString(common.file);
+  writer.WriteU64(common.bytes);
+  writer.WriteU64(common.hash);
+  writer.WriteU32(static_cast<uint32_t>(shards.size()));
+  for (const ShardFileInfo& shard : shards) {
+    writer.WriteU32(shard.shard);
+    writer.WriteString(shard.file);
+    writer.WriteU64(shard.bytes);
+    writer.WriteU64(shard.hash);
   }
-  return WriteFileBytes(path, writer.buffer());
+  return WriteFileBytes(manifest_path, writer.buffer());
 }
 
 util::Status EstimationContext::LoadSnapshot(const std::string& path,
                                              SnapshotLoadReport* report)
     const {
+  // A shard manifest is accepted anywhere a monolithic snapshot is: it
+  // loads the union of all shards (fleet processes that want a subset call
+  // LoadSnapshotShards with an explicit shard list).
+  if (IsShardManifest(path)) return LoadSnapshotShards(path, {}, report);
   auto bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
-  Reader reader(*bytes);
+  return LoadSnapshotBytes(*bytes, report);
+}
+
+util::Status EstimationContext::LoadSnapshotBytes(
+    std::string_view bytes, SnapshotLoadReport* report, bool validate_only,
+    bool scrub_stale) const {
+  Reader reader(bytes);
   auto info = ReadHeader(reader);
   if (!info.ok()) return info.status();
   // Reject statistics computed under different construction knobs: they
@@ -541,6 +861,9 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path,
   };
   Staging staging(*g_);
   for (const bool dry_run : {true, false}) {
+    // Parsing is deterministic, so a validate-only pass that succeeds
+    // guarantees the later apply pass cannot fail on the same bytes.
+    if (!dry_run && validate_only) break;
     for (const auto& [id, payload] : sections) {
       // Stale loads skip the whole-graph summaries: they describe the
       // snapshot's epoch wholesale and have no per-key invalidation — the
@@ -637,7 +960,7 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path,
     }
   }
 
-  if (stale) {
+  if (stale && !validate_only && scrub_stale) {
     // Replay the delta-log suffix the snapshot has not seen: the merged
     // entries were computed at the snapshot's epoch, so every entry whose
     // labels the missing deltas touched is evicted (and the cheap exact
@@ -675,6 +998,110 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path,
     }
     if (report != nullptr) report->evicted_entries = evicted;
   }
+  return util::Status::OK();
+}
+
+util::Status EstimationContext::LoadSnapshotShards(
+    const std::string& manifest_path, const std::vector<uint32_t>& shards,
+    SnapshotLoadReport* report) const {
+  auto manifest = ReadShardManifest(manifest_path);
+  if (!manifest.ok()) return manifest.status();
+
+  // The requested shard set: explicit ids (validated) or all of them.
+  std::vector<uint32_t> selected = shards;
+  if (selected.empty()) {
+    selected.reserve(manifest->num_shards);
+    for (uint32_t k = 0; k < manifest->num_shards; ++k) {
+      selected.push_back(k);
+    }
+  } else {
+    std::vector<bool> seen(manifest->num_shards, false);
+    for (const uint32_t k : selected) {
+      if (k >= manifest->num_shards) {
+        return util::InvalidArgumentError(
+            "requested shard " + std::to_string(k) +
+            " out of range (manifest has " +
+            std::to_string(manifest->num_shards) + " shards)");
+      }
+      if (seen[k]) {
+        return util::InvalidArgumentError("requested shard " +
+                                          std::to_string(k) + " twice");
+      }
+      seen[k] = true;
+    }
+  }
+
+  // Integrity pass before anything merges: every selected file must exist
+  // and match the manifest's size/content hash, so a corrupt or swapped
+  // shard is a clean error and a failed load leaves the context untouched
+  // (the per-file loads below each keep their own two-phase guarantee).
+  // The verified bytes are held and parsed directly — re-reading the file
+  // for the load would both double the I/O and open a window for the
+  // bytes on disk to change after verification.
+  std::vector<const ShardFileInfo*> infos = {&manifest->common};
+  for (const uint32_t k : selected) infos.push_back(&manifest->shards[k]);
+  std::vector<std::string> images;
+  images.reserve(infos.size());
+  for (const ShardFileInfo* info : infos) {
+    auto bytes =
+        ReadFileBytes(ResolveManifestFile(manifest_path, info->file));
+    if (!bytes.ok()) {
+      return util::NotFoundError("manifest names missing shard file " +
+                                 info->file + ": " +
+                                 bytes.status().message());
+    }
+    if (bytes->size() != info->bytes ||
+        util::StableHash64(*bytes) != info->hash) {
+      return util::InvalidArgumentError(
+          "shard file " + info->file +
+          " does not match its manifest entry (corrupted or replaced; "
+          "expected " + std::to_string(info->bytes) + " bytes, got " +
+          std::to_string(bytes->size()) + ")");
+    }
+    // A shard entry must be a snapshot, never another manifest — this is
+    // what keeps manifest resolution strictly one level deep.
+    if (bytes->size() >= 8 &&
+        std::memcmp(bytes->data(), kShardManifestMagic, 8) == 0) {
+      return util::InvalidArgumentError(
+          "manifest entry " + info->file +
+          " is itself a shard manifest (manifests cannot nest)");
+    }
+    images.push_back(std::move(*bytes));
+  }
+
+  // Validate every image before applying any: the manifest hash is
+  // corruption detection, not authentication, so a malformed-but-
+  // hash-consistent shard must fail here — with nothing merged — rather
+  // than after earlier files already landed in the live caches. Parsing
+  // is deterministic, so the apply pass below cannot fail where this
+  // pass succeeded, which is what makes the multi-file load atomic.
+  for (const std::string& image : images) {
+    CEGRAPH_RETURN_IF_ERROR(
+        LoadSnapshotBytes(image, nullptr, /*validate_only=*/true));
+  }
+
+  // Apply: common first (it resolves freshness/staleness for the
+  // artifact), then each selected shard. All files of one artifact carry
+  // the same epoch stamp, so the stale-entry scrub — which walks every
+  // live cache wholesale — runs once, on the last image, instead of once
+  // per file.
+  SnapshotLoadReport merged;
+  for (size_t i = 0; i < images.size(); ++i) {
+    SnapshotLoadReport file_report;
+    auto loaded =
+        LoadSnapshotBytes(images[i], &file_report, /*validate_only=*/false,
+                          /*scrub_stale=*/i + 1 == images.size());
+    if (!loaded.ok()) return loaded;
+    if (i == 0) {
+      merged = file_report;
+    } else {
+      merged.stale |= file_report.stale;
+      merged.replayed_deltas =
+          std::max(merged.replayed_deltas, file_report.replayed_deltas);
+      merged.evicted_entries += file_report.evicted_entries;
+    }
+  }
+  if (report != nullptr) *report = merged;
   return util::Status::OK();
 }
 

@@ -85,6 +85,76 @@ enum class SnapshotSection : uint32_t {
 /// "unknown" for ids this build does not recognize.
 const char* SnapshotSectionName(uint32_t id);
 
+// ---- Sharded snapshots ----
+//
+// A sharded snapshot is a *manifest* file plus a set of shard files, each
+// of which is itself a well-formed snapshot carrying a subset of the
+// monolithic sections:
+//
+//   common file   kCharSets + kSummaryGraph (+ kDynamicState, kDeltaLog)
+//   shard k of S  the keyed sections (kMarkov, kClosingRates,
+//                 kDegreeCatalog, kDispersion) filtered to the entries
+//                 whose stable key hash falls in range k of an S-way split
+//                 (+ kDynamicState), see util/shard.h
+//
+// The whole-graph summaries live in the common file because their internal
+// structure is not key-separable (SumRDF superedge tables connect buckets;
+// splitting them would change estimates, not just coverage), while every
+// keyed cache partitions exactly: the union of all shards is entry-for-
+// entry the monolithic snapshot. A fleet process loads the manifest with
+// just its shard set and pays for a fraction of the stats — the lazy
+// caches recompute anything outside the loaded set on demand, so a partial
+// load is a performance choice, never a correctness one.
+//
+//   manifest := magic "CEGMANI1", u32 manifest_version,
+//               fingerprint (base), options, u32 snapshot_version,
+//               u32 num_shards,
+//               string common_file, u64 common_bytes, u64 common_hash,
+//               u32 entry_count, entry_count x {
+//                 u32 shard_id, string file, u64 bytes, u64 hash }
+//
+// File names are stored relative to the manifest's directory; `hash` is
+// the stable FNV-1a (util::StableHash64) of the named file's bytes, so a
+// corrupt or swapped-out shard is rejected with a clear error before any
+// section is parsed. A manifest must list every shard id 0..num_shards-1
+// exactly once — missing, duplicate or out-of-range ids fail ReadShardManifest.
+inline constexpr char kShardManifestMagic[] = "CEGMANI1";  // 8 chars + NUL
+inline constexpr uint32_t kShardManifestVersion = 1;
+/// Upper bound on num_shards — far beyond any sane fleet, just a
+/// corruption guard.
+inline constexpr uint32_t kMaxSnapshotShards = 4096;
+
+/// One file referenced by a shard manifest.
+struct ShardFileInfo {
+  uint32_t shard = 0;  ///< unused for the common file
+  std::string file;    ///< relative to the manifest's directory
+  uint64_t bytes = 0;
+  uint64_t hash = 0;   ///< util::StableHash64 of the file's bytes
+};
+
+/// Parsed shard manifest.
+struct ShardManifest {
+  uint32_t version = 0;           ///< manifest format version
+  uint32_t snapshot_version = 0;  ///< version of the shard files (1 or 2)
+  graph::GraphFingerprint fingerprint;
+  SnapshotOptions options;
+  uint32_t num_shards = 0;
+  ShardFileInfo common;
+  std::vector<ShardFileInfo> shards;  ///< sorted by shard id, 0..num_shards-1
+};
+
+/// True iff the file at `path` starts with the shard-manifest magic (the
+/// cheap sniff LoadSnapshot/ReadSnapshotDeltaLog use to accept a manifest
+/// anywhere a monolithic snapshot path is accepted). False for unreadable
+/// files.
+bool IsShardManifest(const std::string& path);
+
+/// Reads and validates the manifest at `path`: magic/version, and that the
+/// shard list covers 0..num_shards-1 exactly once (a missing id, a
+/// duplicate/overlapping id, or an out-of-range id is InvalidArgument).
+/// Does not open the shard files themselves.
+util::StatusOr<ShardManifest> ReadShardManifest(const std::string& path);
+
 /// One section as seen by `cegraph_stats inspect`: its id, size on disk,
 /// and entry count (groups for char-sets, buckets for the summary graph,
 /// cache entries otherwise).
@@ -122,7 +192,9 @@ util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
 /// Reads just the embedded net delta log of the snapshot at `path` (empty
 /// for static snapshots). Applying it to a context over the snapshot's
 /// base graph reconstructs the exact graph state the statistics describe,
-/// after which LoadSnapshot succeeds as a fresh load.
+/// after which LoadSnapshot succeeds as a fresh load. A shard-manifest
+/// path delegates to the manifest's common file (which is where the
+/// embedded log lives).
 util::StatusOr<std::vector<dynamic::EdgeDelta>> ReadSnapshotDeltaLog(
     const std::string& path);
 

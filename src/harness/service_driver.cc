@@ -172,4 +172,49 @@ ServiceRunResult DriveServiceWorkload(
   return result;
 }
 
+util::StatusOr<std::map<std::string, ServiceRunResult>>
+DriveCatalogWorkload(const service::DatasetCatalog& catalog,
+                     const std::vector<CatalogWorkload>& workloads,
+                     const ServiceDriverOptions& options) {
+  // Resolve everything up front — a typo'd dataset name should fail the
+  // drive, not silently hammer the default dataset.
+  std::vector<const service::EstimationService*> services;
+  services.reserve(workloads.size());
+  for (const CatalogWorkload& cw : workloads) {
+    auto service = catalog.Resolve(cw.dataset);
+    if (!service.ok()) return service.status();
+    services.push_back(*service);
+  }
+
+  // All datasets are driven concurrently (one driver thread each, fanning
+  // out to options.num_threads client threads), so the load interleaves
+  // across datasets exactly like a mixed-tenant daemon. Each call keeps
+  // its own per-epoch oracle, which is what makes the consistency check
+  // per-dataset.
+  // Result slots are created (and their addresses taken) before any
+  // thread starts: each driver writes through its own pre-resolved
+  // pointer, so no thread ever calls a mutating map member concurrently.
+  std::map<std::string, ServiceRunResult> results;
+  std::vector<ServiceRunResult*> slots;
+  slots.reserve(workloads.size());
+  for (const CatalogWorkload& cw : workloads) {
+    auto [it, inserted] = results.try_emplace(cw.dataset);
+    if (!inserted) {
+      return util::InvalidArgumentError("dataset '" + cw.dataset +
+                                        "' listed twice");
+    }
+    slots.push_back(&it->second);
+  }
+  std::vector<std::thread> drivers;
+  drivers.reserve(workloads.size());
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    drivers.emplace_back([&, i] {
+      *slots[i] = DriveServiceWorkload(*services[i], workloads[i].workload,
+                                       options);
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  return results;
+}
+
 }  // namespace cegraph::harness

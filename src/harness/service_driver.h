@@ -4,10 +4,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "query/workload.h"
+#include "service/catalog.h"
 #include "service/service.h"
+#include "util/status.h"
 
 namespace cegraph::harness {
 
@@ -65,6 +68,28 @@ ServiceRunResult DriveServiceWorkload(
     const service::EstimationService& service,
     const std::vector<query::WorkloadQuery>& workload,
     const ServiceDriverOptions& options = {});
+
+/// One dataset's share of a catalog drive.
+struct CatalogWorkload {
+  std::string dataset;
+  std::vector<query::WorkloadQuery> workload;
+};
+
+/// The multi-dataset twin of DriveServiceWorkload: resolves every named
+/// dataset through the catalog (the same routing step the TCP dispatcher
+/// performs) and hammers all of them *concurrently*, each with
+/// `options.num_threads` client threads and its own epoch-consistency
+/// oracle — the per-dataset extension of the swap-under-load instrument.
+/// Because the oracles are keyed per dataset, a response that was
+/// assembled from (or perturbed by) another dataset's serving state shows
+/// up as an inconsistency in its own dataset's result; cross-dataset
+/// isolation tests assert exactly that stays zero while one dataset
+/// churns. Fails without driving anything if a dataset name does not
+/// resolve.
+util::StatusOr<std::map<std::string, ServiceRunResult>>
+DriveCatalogWorkload(const service::DatasetCatalog& catalog,
+                     const std::vector<CatalogWorkload>& workloads,
+                     const ServiceDriverOptions& options = {});
 
 }  // namespace cegraph::harness
 

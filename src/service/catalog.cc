@@ -1,0 +1,104 @@
+#include "service/catalog.h"
+
+#include <utility>
+
+namespace cegraph::service {
+
+namespace {
+
+util::Status ValidateName(const std::string& name) {
+  if (name.empty()) {
+    return util::InvalidArgumentError("dataset name must be non-empty");
+  }
+  for (const char c : name) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '=') {
+      return util::InvalidArgumentError(
+          "dataset name '" + name +
+          "' contains whitespace or '=' (reserved by the CLI spec syntax)");
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<DatasetCatalog>> DatasetCatalog::Create(
+    std::vector<DatasetSpec> specs, std::string default_dataset) {
+  if (specs.empty()) {
+    return util::InvalidArgumentError("catalog needs at least one dataset");
+  }
+  auto catalog = std::make_unique<DatasetCatalog>();
+  for (DatasetSpec& spec : specs) {
+    auto service = EstimationService::Create(std::move(spec.graph),
+                                             std::move(spec.options));
+    if (!service.ok()) {
+      return util::Status(service.status().code(),
+                          "dataset " + spec.name + ": " +
+                              service.status().message());
+    }
+    CEGRAPH_RETURN_IF_ERROR(
+        catalog->AddOwned(spec.name, std::move(*service)));
+  }
+  if (!default_dataset.empty()) {
+    CEGRAPH_RETURN_IF_ERROR(catalog->SetDefault(default_dataset));
+  }
+  return catalog;
+}
+
+util::Status DatasetCatalog::AddOwned(
+    std::string name, std::unique_ptr<EstimationService> service) {
+  EstimationService* raw = service.get();
+  CEGRAPH_RETURN_IF_ERROR(AddBorrowed(std::move(name), raw));
+  owned_.push_back(std::move(service));
+  return util::Status::OK();
+}
+
+util::Status DatasetCatalog::AddBorrowed(std::string name,
+                                         EstimationService* service) {
+  CEGRAPH_RETURN_IF_ERROR(ValidateName(name));
+  if (service == nullptr) {
+    return util::InvalidArgumentError("dataset " + name +
+                                      ": null service");
+  }
+  if (!services_.emplace(name, service).second) {
+    return util::InvalidArgumentError("duplicate dataset name '" + name +
+                                      "'");
+  }
+  if (default_.empty()) default_ = std::move(name);
+  return util::Status::OK();
+}
+
+util::Status DatasetCatalog::SetDefault(const std::string& name) {
+  if (services_.find(name) == services_.end()) {
+    return util::NotFoundError("default dataset '" + name +
+                               "' is not registered");
+  }
+  default_ = name;
+  return util::Status::OK();
+}
+
+util::StatusOr<EstimationService*> DatasetCatalog::Resolve(
+    std::string_view dataset) const {
+  const std::string name(dataset.empty() ? std::string_view(default_)
+                                         : dataset);
+  auto it = services_.find(name);
+  if (it == services_.end()) {
+    std::string known;
+    for (const auto& [n, unused] : services_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return util::NotFoundError("unknown dataset '" + name +
+                               "' (serving: " + known + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> DatasetCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, unused] : services_) out.push_back(name);
+  return out;
+}
+
+}  // namespace cegraph::service

@@ -1,0 +1,78 @@
+#ifndef CEGRAPH_SERVICE_CATALOG_H_
+#define CEGRAPH_SERVICE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "service/service.h"
+#include "util/status.h"
+
+namespace cegraph::service {
+
+/// Spec for one dataset a multi-dataset daemon serves.
+struct DatasetSpec {
+  std::string name;  ///< routing key (the wire protocol's `dataset` field)
+  std::shared_ptr<const graph::Graph> graph;
+  ServiceOptions options;
+};
+
+/// Maps dataset names to EstimationServices — the routing layer of a
+/// multi-dataset daemon. Each entry is a full EstimationService, so every
+/// dataset has its own independently hot-swappable serving state, its own
+/// delta queue + background maintainer, and its own epoch/version line;
+/// nothing is shared between datasets except the process.
+///
+/// Thread-model: the catalog is assembled single-threaded (Create, or
+/// AddOwned/AddBorrowed + SetDefault) and is immutable afterwards, so
+/// Resolve needs no lock and the serving hot path stays wait-free. The
+/// services themselves are fully concurrent as before.
+class DatasetCatalog {
+ public:
+  /// Builds one service per spec (names must be unique and non-empty) and
+  /// routes requests without a dataset to `default_dataset` (empty = the
+  /// first spec's name).
+  static util::StatusOr<std::unique_ptr<DatasetCatalog>> Create(
+      std::vector<DatasetSpec> specs, std::string default_dataset = "");
+
+  /// An empty catalog, to be filled with AddOwned/AddBorrowed before any
+  /// serving thread touches it.
+  DatasetCatalog() = default;
+
+  DatasetCatalog(const DatasetCatalog&) = delete;
+  DatasetCatalog& operator=(const DatasetCatalog&) = delete;
+
+  /// Registers `service` under `name`, taking ownership. The first
+  /// registered dataset becomes the default until SetDefault overrides it.
+  util::Status AddOwned(std::string name,
+                        std::unique_ptr<EstimationService> service);
+
+  /// Registers a service owned elsewhere (it must outlive the catalog) —
+  /// how a single-service TcpServer wraps itself into catalog shape.
+  util::Status AddBorrowed(std::string name, EstimationService* service);
+
+  /// Routes empty-dataset (v1) requests to `name`; NotFound if unknown.
+  util::Status SetDefault(const std::string& name);
+
+  /// The service for `dataset` ("" = the default dataset). NotFound for
+  /// unknown names, with the known names in the message — this is the
+  /// error frame an old or misconfigured client sees.
+  util::StatusOr<EstimationService*> Resolve(std::string_view dataset) const;
+
+  const std::string& default_dataset() const { return default_; }
+  /// Registered dataset names, sorted.
+  std::vector<std::string> names() const;
+  size_t size() const { return services_.size(); }
+
+ private:
+  std::map<std::string, EstimationService*> services_;  ///< sorted names
+  std::vector<std::unique_ptr<EstimationService>> owned_;
+  std::string default_;
+};
+
+}  // namespace cegraph::service
+
+#endif  // CEGRAPH_SERVICE_CATALOG_H_

@@ -13,7 +13,13 @@
 namespace cegraph::service {
 
 TcpServer::TcpServer(EstimationService& service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : catalog_(single_), options_(std::move(options)) {
+  // A one-entry borrowed catalog cannot fail to assemble.
+  (void)single_.AddBorrowed("default", &service);
+}
+
+TcpServer::TcpServer(DatasetCatalog& catalog, ServerOptions options)
+    : catalog_(catalog), options_(std::move(options)) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -135,7 +141,18 @@ void TcpServer::WorkerLoop() {
 void TcpServer::ServeConnection(int fd) {
   for (;;) {
     auto payload = wire::ReadFrame(fd, options_.max_frame_bytes);
-    if (!payload.ok()) return;  // clean close, truncation or corruption
+    if (!payload.ok()) {
+      // Clean close, truncation or corruption. An implausible length
+      // prefix is the one failure we can still answer — the stream is
+      // unrecoverable (we cannot resync on frames), but the client gets
+      // the reason as an error frame instead of a bare connection reset.
+      if (payload.status().code() == util::StatusCode::kInvalidArgument) {
+        wire::Response response;
+        response.status = payload.status();
+        (void)wire::WriteFrame(fd, wire::EncodeResponse(response));
+      }
+      return;
+    }
     requests_.fetch_add(1, std::memory_order_relaxed);
 
     wire::Response response;
@@ -147,7 +164,10 @@ void TcpServer::ServeConnection(int fd) {
     }
     if (!wire::WriteFrame(fd, wire::EncodeResponse(response)).ok()) return;
 
-    if (request.ok() && request->type == wire::MessageType::kShutdown) {
+    // Only an *accepted* shutdown drains the server (a dataset-qualified
+    // one was answered with an error frame above and must not).
+    if (request.ok() && request->type == wire::MessageType::kShutdown &&
+        response.status.ok()) {
       shutdown_requested_.store(true, std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> lock(shutdown_mutex_);
@@ -165,9 +185,38 @@ void TcpServer::ServeConnection(int fd) {
 wire::Response TcpServer::Dispatch(const wire::Request& request) {
   wire::Response response;
   response.type = request.type;
+
+  // Routing: kShutdown is server-level by definition — a dataset-
+  // qualified shutdown is rejected rather than silently draining every
+  // tenant. kPing with a dataset validates the name (a cheap liveness +
+  // routing probe) but needs no service; everything else runs against
+  // the dataset the request names (empty = the default dataset). The
+  // resolved name is echoed only to clients that asked explicitly, so
+  // responses to v1 frames stay v1.
+  EstimationService* service = nullptr;
+  if (request.type == wire::MessageType::kShutdown) {
+    if (!request.dataset.empty()) {
+      response.status = util::InvalidArgumentError(
+          "shutdown is server-wide and drains every dataset; omit the "
+          "dataset field");
+      response.dataset = request.dataset;
+      return response;
+    }
+  } else if (request.type != wire::MessageType::kPing ||
+             !request.dataset.empty()) {
+    auto resolved = catalog_.Resolve(request.dataset);
+    if (!resolved.ok()) {
+      response.status = resolved.status();
+      if (!request.dataset.empty()) response.dataset = request.dataset;
+      return response;
+    }
+    service = *resolved;
+    if (!request.dataset.empty()) response.dataset = request.dataset;
+  }
+
   switch (request.type) {
     case wire::MessageType::kEstimate: {
-      auto estimate = service_.EstimateLine(request.text);
+      auto estimate = service->EstimateLine(request.text);
       if (!estimate.ok()) {
         response.status = estimate.status();
       } else {
@@ -185,12 +234,12 @@ wire::Response TcpServer::Dispatch(const wire::Request& request) {
         response.status = batch.status();
         break;
       }
-      if (auto submitted = service_.SubmitDeltas(std::move(*batch));
+      if (auto submitted = service->SubmitDeltas(std::move(*batch));
           !submitted.ok()) {
         response.status = submitted;
         break;
       }
-      auto swapped = service_.FlushDeltas();
+      auto swapped = service->FlushDeltas();
       if (!swapped.ok()) {
         response.status = swapped.status();
       } else {
@@ -199,7 +248,7 @@ wire::Response TcpServer::Dispatch(const wire::Request& request) {
       break;
     }
     case wire::MessageType::kSwapSnapshot: {
-      auto swapped = service_.HotSwapSnapshot(request.text);
+      auto swapped = service->HotSwapSnapshot(request.text);
       if (!swapped.ok()) {
         response.status = swapped.status();
       } else {
@@ -208,7 +257,7 @@ wire::Response TcpServer::Dispatch(const wire::Request& request) {
       break;
     }
     case wire::MessageType::kStats:
-      response.stats = service_.Stats();
+      response.stats = service->Stats();
       break;
     case wire::MessageType::kPing:
       response.text = request.text.empty() ? "pong" : request.text;

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "service/catalog.h"
 #include "service/service.h"
 #include "service/wire.h"
 #include "util/status.h"
@@ -30,13 +31,21 @@ struct ServerOptions {
 
 /// The thread-pool request dispatcher of `cegraph_serve`, reusable
 /// in-process (loopback benches, tests): an acceptor thread queues
-/// connections, workers drain them frame by frame through the
-/// EstimationService, every frame gets exactly one response frame.
-/// A kShutdown request (or Stop()) drains and joins everything; the
-/// service outlives the server and may be shared by several servers.
+/// connections, workers drain them frame by frame, every frame gets
+/// exactly one response frame. Requests are routed through a
+/// DatasetCatalog by their wire `dataset` field (empty = the catalog's
+/// default dataset), so one server front-ends many independent
+/// EstimationServices. A kShutdown request (or Stop()) drains and joins
+/// everything; the catalog/services outlive the server and may be shared
+/// by several servers.
 class TcpServer {
  public:
+  /// Single-dataset convenience: wraps `service` into an internal
+  /// one-entry catalog under the name "default".
   TcpServer(EstimationService& service, ServerOptions options = {});
+  /// Multi-dataset server over an externally assembled catalog (borrowed;
+  /// must outlive the server and not be mutated while serving).
+  TcpServer(DatasetCatalog& catalog, ServerOptions options = {});
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -72,7 +81,9 @@ class TcpServer {
   void ServeConnection(int fd);
   wire::Response Dispatch(const wire::Request& request);
 
-  EstimationService& service_;
+  /// Backing store for the single-service constructor; unused otherwise.
+  DatasetCatalog single_;
+  DatasetCatalog& catalog_;
   ServerOptions options_;
 
   int listen_fd_ = -1;

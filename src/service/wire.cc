@@ -240,6 +240,9 @@ std::string EncodeRequest(const Request& request) {
   Writer w;
   w.WriteU8(static_cast<uint8_t>(request.type));
   w.WriteString(request.text);
+  // v2 trailing field, encoded only when set: a request without a dataset
+  // stays byte-identical to a v1 frame (old servers keep accepting it).
+  if (!request.dataset.empty()) w.WriteString(request.dataset);
   return w.TakeBuffer();
 }
 
@@ -253,12 +256,18 @@ util::StatusOr<Request> DecodeRequest(std::string_view payload) {
   }
   auto text = r.ReadString();
   if (!text.ok()) return text.status();
-  if (!r.AtEnd()) {
-    return util::InvalidArgumentError("trailing bytes in request frame");
-  }
   Request request;
   request.type = static_cast<MessageType>(*type);
   request.text = std::move(*text);
+  if (!r.AtEnd()) {
+    // v2 frame: the trailing dataset field.
+    auto dataset = r.ReadString();
+    if (!dataset.ok()) return dataset.status();
+    request.dataset = std::move(*dataset);
+    if (!r.AtEnd()) {
+      return util::InvalidArgumentError("trailing bytes in request frame");
+    }
+  }
   return request;
 }
 
@@ -285,6 +294,9 @@ std::string EncodeResponse(const Response& response) {
         break;
     }
   }
+  // v2 echo, encoded only when the server resolved an explicit dataset
+  // (responses to v1 requests stay byte-identical to v1 frames).
+  if (!response.dataset.empty()) w.WriteString(response.dataset);
   return w.TakeBuffer();
 }
 
@@ -302,6 +314,17 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
   }
   Response response;
   response.type = static_cast<MessageType>(*type);
+  // v2 trailing dataset echo, shared by the error and OK paths.
+  auto read_trailing_dataset = [&r, &response]() -> util::Status {
+    if (r.AtEnd()) return util::Status::OK();
+    auto dataset = r.ReadString();
+    if (!dataset.ok()) return dataset.status();
+    response.dataset = std::move(*dataset);
+    if (!r.AtEnd()) {
+      return util::InvalidArgumentError("trailing bytes in response frame");
+    }
+    return util::Status::OK();
+  };
   if (*code != 0) {
     if (*code > static_cast<uint8_t>(util::StatusCode::kResourceExhausted)) {
       return util::InvalidArgumentError("unknown status code " +
@@ -309,6 +332,7 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
     }
     response.status = util::Status(static_cast<util::StatusCode>(*code),
                                    std::move(*message));
+    CEGRAPH_RETURN_IF_ERROR(read_trailing_dataset());
     return response;
   }
   switch (response.type) {
@@ -339,9 +363,7 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
       break;
     }
   }
-  if (!r.AtEnd()) {
-    return util::InvalidArgumentError("trailing bytes in response frame");
-  }
+  CEGRAPH_RETURN_IF_ERROR(read_trailing_dataset());
   return response;
 }
 

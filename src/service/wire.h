@@ -10,22 +10,35 @@
 
 namespace cegraph::service::wire {
 
-/// The cegraph wire protocol (see docs/wire_protocol.md): length-prefixed
-/// frames over a byte stream, little-endian throughout (util::serde).
+/// The cegraph wire protocol, version 2 (see docs/wire_protocol.md):
+/// length-prefixed frames over a byte stream, little-endian throughout
+/// (util::serde).
 ///
 ///   frame    := u32 payload_bytes, payload
-///   request  := u8 type, u64-length-prefixed text
-///   response := u8 code, string error?, u8 type, body?
+///   request  := u8 type, string text [, string dataset]
+///   response := u8 code, string error?, u8 type, body? [, string dataset]
 ///
 /// One request frame yields exactly one response frame; a client may
 /// pipeline requests on one connection. `code` is the numeric
 /// util::StatusCode (0 = OK); on error the body is absent and `error`
 /// carries the status message. Unknown request types are answered with
 /// UNIMPLEMENTED, so newer clients degrade cleanly against older servers.
+///
+/// Version 2 adds the optional trailing `dataset` field: a multi-dataset
+/// server routes each request to the named dataset's service, and echoes
+/// the resolved name back. The field is only encoded when non-empty, so a
+/// v2 client not naming a dataset emits byte-identical v1 frames (old
+/// servers keep working), and a v1 client's frames decode with an empty
+/// dataset and are routed to the server's configurable default dataset.
 
 /// Upper bound on one frame's payload; larger length prefixes are treated
 /// as corruption and fail the connection.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Protocol revision implemented by this build (documentation constant;
+/// frames themselves are versionless — v2 is a strict, self-delimiting
+/// extension of v1, distinguished per frame by the trailing field).
+inline constexpr uint32_t kProtocolVersion = 2;
 
 enum class MessageType : uint8_t {
   kEstimate = 1,      ///< text: one request line (service::ParseRequestLine)
@@ -39,6 +52,9 @@ enum class MessageType : uint8_t {
 struct Request {
   MessageType type = MessageType::kPing;
   std::string text;
+  /// v2: the dataset this request targets; empty means "the server's
+  /// default dataset" and encodes as a v1 frame (no trailing field).
+  std::string dataset;
 };
 
 /// The decoded answer to one request. `status` is the request-level
@@ -52,6 +68,10 @@ struct Response {
   SwapReport swap;
   ServiceStats stats;
   std::string text;
+  /// v2 echo: the dataset that handled the request. Servers set it only
+  /// when the request named one, so v1 clients (which reject trailing
+  /// bytes) never see it.
+  std::string dataset;
 };
 
 std::string EncodeRequest(const Request& request);

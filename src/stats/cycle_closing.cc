@@ -3,12 +3,53 @@
 #include <utility>
 #include <vector>
 
+#include "util/shard.h"
+
 namespace cegraph::stats {
 
 namespace {
 
 using graph::Label;
 using graph::VertexId;
+
+/// The one serialized shape of a ClosingKey (3 x u32 labels + packed
+/// orientation flags) — shared by ExportEntries, ImportEntries and the
+/// shard hash so the three can never drift apart.
+void WriteClosingKey(util::serde::Writer& writer, const ClosingKey& key) {
+  writer.WriteU32(key.first_label);
+  writer.WriteU32(key.last_label);
+  writer.WriteU32(key.close_label);
+  writer.WriteU8((key.first_forward ? 4 : 0) | (key.last_forward ? 2 : 0) |
+                 (key.close_from_end ? 1 : 0));
+}
+
+util::StatusOr<ClosingKey> ReadClosingKey(util::serde::Reader& reader) {
+  ClosingKey key;
+  auto first = reader.ReadU32();
+  if (!first.ok()) return first.status();
+  auto last = reader.ReadU32();
+  if (!last.ok()) return last.status();
+  auto close = reader.ReadU32();
+  if (!close.ok()) return close.status();
+  auto flags = reader.ReadU8();
+  if (!flags.ok()) return flags.status();
+  key.first_label = *first;
+  key.last_label = *last;
+  key.close_label = *close;
+  key.first_forward = (*flags & 4) != 0;
+  key.last_forward = (*flags & 2) != 0;
+  key.close_from_end = (*flags & 1) != 0;
+  return key;
+}
+
+/// The stable shard hash of a closing key: its serialized wire shape (the
+/// exact bytes WriteClosingKey emits), hashed with the snapshot layer's
+/// fixed FNV-1a. Not ClosingKeyHash, whose mixing may change freely.
+uint64_t ShardHash(const ClosingKey& key) {
+  util::serde::Writer bytes;
+  WriteClosingKey(bytes, key);
+  return util::StableHash64(bytes.buffer());
+}
 
 }  // namespace
 
@@ -19,19 +60,19 @@ double CycleClosingRates::Rate(const ClosingKey& key) const {
   return cache_.GetOrCompute(key, [&] { return Sample(key); });
 }
 
-void CycleClosingRates::ExportEntries(util::serde::Writer& writer) const {
+void CycleClosingRates::ExportEntries(util::serde::Writer& writer,
+                                      uint32_t shard,
+                                      uint32_t num_shards) const {
   std::vector<std::pair<ClosingKey, double>> entries;
   entries.reserve(cache_.size());
   cache_.ForEach([&](const ClosingKey& key, const double& rate) {
-    entries.emplace_back(key, rate);
+    if (util::InShard(ShardHash(key), shard, num_shards)) {
+      entries.emplace_back(key, rate);
+    }
   });
   writer.WriteU64(entries.size());
   for (const auto& [key, rate] : entries) {
-    writer.WriteU32(key.first_label);
-    writer.WriteU32(key.last_label);
-    writer.WriteU32(key.close_label);
-    writer.WriteU8((key.first_forward ? 4 : 0) | (key.last_forward ? 2 : 0) |
-                   (key.close_from_end ? 1 : 0));
+    WriteClosingKey(writer, key);
     writer.WriteDouble(rate);
   }
 }
@@ -41,24 +82,11 @@ util::Status CycleClosingRates::ImportEntries(
   auto count = reader.ReadU64();
   if (!count.ok()) return count.status();
   for (uint64_t i = 0; i < *count; ++i) {
-    ClosingKey key;
-    auto first = reader.ReadU32();
-    if (!first.ok()) return first.status();
-    auto last = reader.ReadU32();
-    if (!last.ok()) return last.status();
-    auto close = reader.ReadU32();
-    if (!close.ok()) return close.status();
-    auto flags = reader.ReadU8();
-    if (!flags.ok()) return flags.status();
+    auto key = ReadClosingKey(reader);
+    if (!key.ok()) return key.status();
     auto rate = reader.ReadDouble();
     if (!rate.ok()) return rate.status();
-    key.first_label = *first;
-    key.last_label = *last;
-    key.close_label = *close;
-    key.first_forward = (*flags & 4) != 0;
-    key.last_forward = (*flags & 2) != 0;
-    key.close_from_end = (*flags & 1) != 0;
-    cache_.Insert(key, *rate);
+    cache_.Insert(*key, *rate);
   }
   return util::Status::OK();
 }

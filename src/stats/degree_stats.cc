@@ -7,6 +7,7 @@
 
 #include "matching/matcher.h"
 #include "query/subquery.h"
+#include "util/shard.h"
 
 namespace cegraph::stats {
 
@@ -234,11 +235,15 @@ util::StatusOr<QueryGraph> ReadQueryGraph(util::serde::Reader& reader) {
 
 }  // namespace
 
-void StatsCatalog::ExportEntries(util::serde::Writer& writer) const {
+void StatsCatalog::ExportEntries(util::serde::Writer& writer, uint32_t shard,
+                                 uint32_t num_shards) const {
   std::vector<std::pair<graph::Label, DegreeMap>> bases;
   bases.reserve(base_cache_.size());
   base_cache_.ForEach([&](const graph::Label& l, const DegreeMap& dm) {
-    bases.emplace_back(l, dm);
+    if (util::InShard(util::StableHash64(static_cast<uint64_t>(l)), shard,
+                      num_shards)) {
+      bases.emplace_back(l, dm);
+    }
   });
   writer.WriteU64(bases.size());
   for (const auto& [l, dm] : bases) {
@@ -252,7 +257,9 @@ void StatsCatalog::ExportEntries(util::serde::Writer& writer) const {
   joins.reserve(join_cache_.size());
   join_cache_.ForEach(
       [&](const std::string& key, const std::unique_ptr<JoinStats>& js) {
-        joins.emplace_back(key, js.get());
+        if (util::InShard(util::StableHash64(key), shard, num_shards)) {
+          joins.emplace_back(key, js.get());
+        }
       });
   writer.WriteU64(joins.size());
   for (const auto& [key, js] : joins) {

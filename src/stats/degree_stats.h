@@ -124,8 +124,12 @@ class StatsCatalog {
 
   /// Serializes both memo caches (base-relation degree maps and
   /// materialized two-join statistics, over-cap markers included) — the
-  /// degree-statistics section of a summary snapshot.
-  void ExportEntries(util::serde::Writer& writer) const;
+  /// degree-statistics section of a summary snapshot. With num_shards >= 2
+  /// only entries whose key-hash range is `shard` are written (base
+  /// relations shard by label, two-joins by canonical code; see
+  /// util/shard.h).
+  void ExportEntries(util::serde::Writer& writer, uint32_t shard = 0,
+                     uint32_t num_shards = 0) const;
 
   /// Merges previously exported entries (existing entries win). Fails on
   /// truncated/corrupted input.

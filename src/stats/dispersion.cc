@@ -7,6 +7,7 @@
 
 #include "matching/matcher.h"
 #include "query/subquery.h"
+#include "util/shard.h"
 
 namespace cegraph::stats {
 
@@ -122,11 +123,15 @@ util::StatusOr<ExtensionDispersion> DispersionCatalog::Get(
   return cache_.Insert(key, result);
 }
 
-void DispersionCatalog::ExportEntries(util::serde::Writer& writer) const {
+void DispersionCatalog::ExportEntries(util::serde::Writer& writer,
+                                      uint32_t shard,
+                                      uint32_t num_shards) const {
   std::vector<std::pair<std::string, ExtensionDispersion>> entries;
   entries.reserve(cache_.size());
   cache_.ForEach([&](const std::string& key, const ExtensionDispersion& d) {
-    entries.emplace_back(key, d);
+    if (util::InShard(util::StableHash64(key), shard, num_shards)) {
+      entries.emplace_back(key, d);
+    }
   });
   writer.WriteU64(entries.size());
   for (const auto& [key, d] : entries) {

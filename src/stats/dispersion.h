@@ -86,8 +86,11 @@ class DispersionCatalog {
   util::CacheCounters cache_counters() const { return cache_.counters(); }
 
   /// Serializes every cached (pattern class, dispersion) entry — the
-  /// dispersion section of a summary snapshot.
-  void ExportEntries(util::serde::Writer& writer) const;
+  /// dispersion section of a summary snapshot. With num_shards >= 2 only
+  /// the entries whose key-hash range is `shard` are written (see
+  /// util/shard.h).
+  void ExportEntries(util::serde::Writer& writer, uint32_t shard = 0,
+                     uint32_t num_shards = 0) const;
 
   /// Merges previously exported entries (existing entries win). Fails on
   /// truncated/corrupted input.

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/shard.h"
+
 namespace cegraph::stats {
 
 bool MarkovTable::Contains(const query::QueryGraph& pattern) const {
@@ -43,14 +45,17 @@ size_t MarkovTable::ApproximateSizeBytes() const {
   return bytes;
 }
 
-void MarkovTable::ExportEntries(util::serde::Writer& writer) const {
+void MarkovTable::ExportEntries(util::serde::Writer& writer, uint32_t shard,
+                                uint32_t num_shards) const {
   // Snapshot the entries first (ForEach holds the cache lock; writing while
   // holding it would be fine too, but keeping the critical section minimal
   // matches the rest of the library).
   std::vector<std::pair<std::string, double>> entries;
   entries.reserve(cache_.size());
   cache_.ForEach([&](const std::string& key, const double& value) {
-    entries.emplace_back(key, value);
+    if (util::InShard(util::StableHash64(key), shard, num_shards)) {
+      entries.emplace_back(key, value);
+    }
   });
   writer.WriteU64(entries.size());
   for (const auto& [key, value] : entries) {

@@ -49,8 +49,12 @@ class MarkovTable {
   size_t num_entries() const { return cache_.size(); }
 
   /// Serializes every memoized (canonical code, cardinality) entry — the
-  /// Markov section of a summary snapshot.
-  void ExportEntries(util::serde::Writer& writer) const;
+  /// Markov section of a summary snapshot. With num_shards >= 2 only the
+  /// entries whose key-hash range is `shard` are written (the sharded
+  /// snapshot layer; see util/shard.h — the union over all shards is
+  /// exactly the unsharded export).
+  void ExportEntries(util::serde::Writer& writer, uint32_t shard = 0,
+                     uint32_t num_shards = 0) const;
 
   /// Merges previously exported entries into the memo cache (existing
   /// entries win, though for one graph the values are identical by

@@ -1,0 +1,55 @@
+#ifndef CEGRAPH_UTIL_SHARD_H_
+#define CEGRAPH_UTIL_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cegraph::util {
+
+/// Key-range sharding helpers for the snapshot layer: every keyed
+/// statistics entry is assigned to a shard by mapping its key through a
+/// stable 64-bit hash and range-partitioning the hash space into
+/// `num_shards` equal contiguous intervals. The hash (not the raw key) is
+/// what gets range-split so the partition is balanced regardless of key
+/// distribution, while staying a true range partition: shard k owns hashes
+/// in [k * 2^64 / S, (k+1) * 2^64 / S).
+///
+/// Both functions are pure and fixed forever — shard membership is baked
+/// into snapshot shard files on disk, so changing either would silently
+/// orphan entries of existing artifacts.
+
+/// FNV-1a over the key bytes. Deliberately not std::hash (whose value is
+/// implementation-defined and may change across standard libraries).
+inline uint64_t StableHash64(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+/// Convenience for small fixed-width keys (labels, packed flag words).
+inline uint64_t StableHash64(uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  return StableHash64(std::string_view(bytes, 8));
+}
+
+/// The shard owning `hash` under an S-way range partition of the 64-bit
+/// hash space (the fixed-point "fastrange" reduction: scale the top 32
+/// bits). num_shards must be >= 1; the result is always < num_shards.
+inline uint32_t ShardOfHash(uint64_t hash, uint32_t num_shards) {
+  return static_cast<uint32_t>(((hash >> 32) * num_shards) >> 32);
+}
+
+/// True iff an entry with `hash` belongs to `shard` of `num_shards`.
+/// num_shards == 0 is the "unsharded" convention: everything belongs.
+inline bool InShard(uint64_t hash, uint32_t shard, uint32_t num_shards) {
+  return num_shards <= 1 || ShardOfHash(hash, num_shards) == shard;
+}
+
+}  // namespace cegraph::util
+
+#endif  // CEGRAPH_UTIL_SHARD_H_

@@ -26,6 +26,7 @@
 #include "query/parser.h"
 #include "query/workload.h"
 #include "service/admission.h"
+#include "service/catalog.h"
 #include "service/request.h"
 #include "service/server.h"
 #include "service/service.h"
@@ -686,6 +687,288 @@ TEST(TcpServerTest, LoopbackEstimateStatsShutdown) {
   EXPECT_TRUE(server.WaitUntilShutdown());
   server.Stop();
   EXPECT_GE(server.requests_handled(), 5u);
+}
+
+// --- Dataset catalog & multi-dataset routing --------------------------------
+
+TEST(CatalogTest, ResolveRoutesDefaultAndRejectsUnknown) {
+  std::vector<DatasetSpec> specs;
+  specs.push_back({"alpha",
+                   std::make_shared<const graph::Graph>(SmallGraph(1)),
+                   DeterministicOptions()});
+  specs.push_back({"beta",
+                   std::make_shared<const graph::Graph>(SmallGraph(2)),
+                   DeterministicOptions()});
+  auto catalog = DatasetCatalog::Create(std::move(specs), "beta");
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  EXPECT_EQ((*catalog)->size(), 2u);
+  EXPECT_EQ((*catalog)->default_dataset(), "beta");
+  EXPECT_EQ((*catalog)->names(),
+            (std::vector<std::string>{"alpha", "beta"}));
+
+  auto alpha = (*catalog)->Resolve("alpha");
+  ASSERT_TRUE(alpha.ok());
+  auto implicit = (*catalog)->Resolve("");
+  ASSERT_TRUE(implicit.ok());
+  EXPECT_EQ(*implicit, *(*catalog)->Resolve("beta"));
+  EXPECT_NE(*implicit, *alpha);
+
+  auto unknown = (*catalog)->Resolve("gamma");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), util::StatusCode::kNotFound);
+  EXPECT_NE(unknown.status().message().find("serving: alpha, beta"),
+            std::string::npos)
+      << unknown.status();
+}
+
+TEST(CatalogTest, RejectsDuplicateEmptyAndMalformedNames) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok());
+  DatasetCatalog catalog;
+  ASSERT_TRUE(catalog.AddBorrowed("alpha", service->get()).ok());
+  EXPECT_FALSE(catalog.AddBorrowed("alpha", service->get()).ok());
+  EXPECT_FALSE(catalog.AddBorrowed("", service->get()).ok());
+  EXPECT_FALSE(catalog.AddBorrowed("has space", service->get()).ok());
+  EXPECT_FALSE(catalog.AddBorrowed("has=eq", service->get()).ok());
+  EXPECT_FALSE(catalog.SetDefault("nope").ok());
+  EXPECT_EQ(catalog.default_dataset(), "alpha");
+}
+
+TEST(WireTest, DatasetFieldRoundTripsAndStaysV1Compatible) {
+  wire::Request request{wire::MessageType::kEstimate, "(a)-[0]->(b)",
+                        "alpha"};
+  auto decoded = wire::DecodeRequest(wire::EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->dataset, "alpha");
+
+  // Empty dataset encodes byte-identically to a v1 frame.
+  wire::Request v1{wire::MessageType::kEstimate, "(a)-[0]->(b)", ""};
+  util::serde::Writer w;
+  w.WriteU8(static_cast<uint8_t>(v1.type));
+  w.WriteString(v1.text);
+  EXPECT_EQ(wire::EncodeRequest(v1), w.TakeBuffer());
+
+  // Response echo round-trips on both the OK and the error path.
+  wire::Response ok_response;
+  ok_response.type = wire::MessageType::kPing;
+  ok_response.text = "pong";
+  ok_response.dataset = "alpha";
+  auto ok_decoded = wire::DecodeResponse(wire::EncodeResponse(ok_response));
+  ASSERT_TRUE(ok_decoded.ok()) << ok_decoded.status();
+  EXPECT_EQ(ok_decoded->dataset, "alpha");
+
+  wire::Response error_response;
+  error_response.type = wire::MessageType::kEstimate;
+  error_response.status = util::NotFoundError("unknown dataset 'x'");
+  error_response.dataset = "x";
+  auto error_decoded =
+      wire::DecodeResponse(wire::EncodeResponse(error_response));
+  ASSERT_TRUE(error_decoded.ok()) << error_decoded.status();
+  EXPECT_EQ(error_decoded->status.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(error_decoded->dataset, "x");
+}
+
+TEST(TcpServerTest, MultiDatasetRoutingOverLoopback) {
+  // Two different graphs under one server: routed estimates must come
+  // from the right dataset (and differ), v1 frames go to the default, and
+  // an unknown dataset is a clean error frame, not a dropped connection.
+  std::vector<DatasetSpec> specs;
+  specs.push_back({"alpha",
+                   std::make_shared<const graph::Graph>(SmallGraph(1)),
+                   DeterministicOptions()});
+  specs.push_back({"beta",
+                   std::make_shared<const graph::Graph>(SmallGraph(2)),
+                   DeterministicOptions()});
+  auto catalog = DatasetCatalog::Create(std::move(specs));
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+
+  ServerOptions server_options;
+  server_options.workers = 2;
+  TcpServer server(**catalog, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  const std::string pattern = "(a)-[0]->(b); (b)-[1]->(c)";
+  auto on_alpha = wire::RoundTrip(
+      *fd, {wire::MessageType::kEstimate, pattern, "alpha"});
+  ASSERT_TRUE(on_alpha.ok()) << on_alpha.status();
+  ASSERT_TRUE(on_alpha->status.ok()) << on_alpha->status;
+  EXPECT_EQ(on_alpha->dataset, "alpha");
+  auto on_beta = wire::RoundTrip(
+      *fd, {wire::MessageType::kEstimate, pattern, "beta"});
+  ASSERT_TRUE(on_beta.ok()) << on_beta.status();
+  ASSERT_TRUE(on_beta->status.ok()) << on_beta->status;
+  EXPECT_EQ(on_beta->dataset, "beta");
+  ASSERT_EQ(on_alpha->estimate.results.size(),
+            on_beta->estimate.results.size());
+  bool any_differs = false;
+  for (size_t i = 0; i < on_alpha->estimate.results.size(); ++i) {
+    any_differs |= on_alpha->estimate.results[i].estimate !=
+                   on_beta->estimate.results[i].estimate;
+  }
+  EXPECT_TRUE(any_differs) << "different graphs answered identically";
+
+  // v1 frame (no dataset): routed to the default, no echo.
+  auto v1 = wire::RoundTrip(*fd, {wire::MessageType::kEstimate, pattern});
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  ASSERT_TRUE(v1->status.ok()) << v1->status;
+  EXPECT_TRUE(v1->dataset.empty());
+  for (size_t i = 0; i < v1->estimate.results.size(); ++i) {
+    EXPECT_EQ(v1->estimate.results[i].estimate,
+              on_alpha->estimate.results[i].estimate);
+  }
+
+  auto unknown = wire::RoundTrip(
+      *fd, {wire::MessageType::kEstimate, pattern, "gamma"});
+  ASSERT_TRUE(unknown.ok()) << unknown.status();
+  EXPECT_EQ(unknown->status.code(), util::StatusCode::kNotFound);
+  EXPECT_NE(unknown->status.message().find("unknown dataset 'gamma'"),
+            std::string::npos);
+  // The connection survives the error frame.
+  auto ping = wire::RoundTrip(*fd, {wire::MessageType::kPing, "still-up"});
+  ASSERT_TRUE(ping.ok()) << ping.status();
+  EXPECT_EQ(ping->text, "still-up");
+
+  // A dataset-qualified ping validates the routing name without touching
+  // a service; an unknown one is NotFound.
+  auto routed_ping = wire::RoundTrip(
+      *fd, {wire::MessageType::kPing, "probe", "beta"});
+  ASSERT_TRUE(routed_ping.ok()) << routed_ping.status();
+  ASSERT_TRUE(routed_ping->status.ok()) << routed_ping->status;
+  EXPECT_EQ(routed_ping->text, "probe");
+  EXPECT_EQ(routed_ping->dataset, "beta");
+  auto bad_ping = wire::RoundTrip(
+      *fd, {wire::MessageType::kPing, "", "gamma"});
+  ASSERT_TRUE(bad_ping.ok()) << bad_ping.status();
+  EXPECT_EQ(bad_ping->status.code(), util::StatusCode::kNotFound);
+
+  // Shutdown is server-wide by definition: a dataset-qualified one is
+  // rejected instead of silently draining every tenant.
+  auto scoped_shutdown = wire::RoundTrip(
+      *fd, {wire::MessageType::kShutdown, "", "beta"});
+  ASSERT_TRUE(scoped_shutdown.ok()) << scoped_shutdown.status();
+  EXPECT_EQ(scoped_shutdown->status.code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(server.shutdown_requested());
+
+  // Per-dataset stats: each service only counted its own requests.
+  auto alpha_stats = wire::RoundTrip(
+      *fd, {wire::MessageType::kStats, "", "alpha"});
+  ASSERT_TRUE(alpha_stats.ok() && alpha_stats->status.ok());
+  auto beta_stats = wire::RoundTrip(
+      *fd, {wire::MessageType::kStats, "", "beta"});
+  ASSERT_TRUE(beta_stats.ok() && beta_stats->status.ok());
+  EXPECT_EQ(alpha_stats->stats.served, 2u);  // routed + v1-default
+  EXPECT_EQ(beta_stats->stats.served, 1u);
+
+  ::close(*fd);
+  server.Stop();
+}
+
+TEST(ServiceTest, CrossDatasetIsolationUnderChurn) {
+  // Dataset A takes concurrent delta ingestion and a snapshot hot-swap;
+  // dataset B must not move at all: same estimates bit-for-bit, epoch 0,
+  // zero swaps, zero per-dataset oracle inconsistencies, and request
+  // accounting that counts only its own traffic.
+  const graph::Graph graph_a = SmallGraph(1);
+  const graph::Graph graph_b = SmallGraph(2);
+  const auto workload_a = SmallWorkload(graph_a, 2);
+  const auto workload_b = SmallWorkload(graph_b, 2);
+  TempFile snap("isolation");
+
+  std::vector<DatasetSpec> specs;
+  specs.push_back({"a", std::make_shared<const graph::Graph>(SmallGraph(1)),
+                   DeterministicOptions()});
+  specs.push_back({"b", std::make_shared<const graph::Graph>(SmallGraph(2)),
+                   DeterministicOptions()});
+  auto catalog = DatasetCatalog::Create(std::move(specs));
+  ASSERT_TRUE(catalog.ok()) << catalog.status();
+  EstimationService& service_a = **(*catalog)->Resolve("a");
+  const EstimationService& service_b = **(*catalog)->Resolve("b");
+
+  ASSERT_TRUE(service_a.AcquireState()
+                  ->engine->context()
+                  .SaveSnapshot(snap.path())
+                  .ok());
+
+  // B's pre-churn answers, via the service path.
+  std::vector<double> before;
+  for (const query::WorkloadQuery& wq : workload_b) {
+    auto response = service_b.EstimateLine(query::FormatQuery(wq.query));
+    ASSERT_TRUE(response.ok()) << response.status();
+    for (const EstimatorResult& r : response->results) {
+      before.push_back(r.ok ? r.estimate
+                            : std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+
+  // Churn A while both datasets serve under the per-dataset oracle.
+  std::atomic<bool> churn_failed{false};
+  std::thread churner([&] {
+    uint64_t seed = 500;
+    for (int swap = 0; swap < 3; ++swap) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const auto state = service_a.AcquireState();
+      (void)service_a.SubmitDeltas(dynamic::RandomEdgeBatch(
+          state->engine->context().graph(), 40, seed++));
+      if (!service_a.FlushDeltas().ok()) churn_failed = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!service_a.HotSwapSnapshot(snap.path()).ok()) churn_failed = true;
+  });
+
+  harness::ServiceDriverOptions driver;
+  driver.num_threads = 3;
+  driver.duration_seconds = 0.9;
+  driver.check_consistency = true;
+  auto results = harness::DriveCatalogWorkload(
+      **catalog,
+      {{"a", workload_a}, {"b", workload_b}}, driver);
+  churner.join();
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_FALSE(churn_failed.load());
+
+  const harness::ServiceRunResult& result_a = results->at("a");
+  const harness::ServiceRunResult& result_b = results->at("b");
+  EXPECT_GT(result_a.requests, 0u);
+  EXPECT_GT(result_b.requests, 0u);
+  EXPECT_EQ(result_a.errors, 0u);
+  EXPECT_EQ(result_b.errors, 0u);
+  EXPECT_EQ(result_a.inconsistent_responses, 0u);
+  EXPECT_EQ(result_b.inconsistent_responses, 0u);
+
+  // A actually churned; B's epoch line never moved.
+  const ServiceStats stats_a = service_a.Stats();
+  const ServiceStats stats_b = service_b.Stats();
+  EXPECT_EQ(stats_a.swaps, 4u);
+  EXPECT_EQ(stats_b.swaps, 0u);
+  EXPECT_EQ(stats_b.epoch, 0u);
+  EXPECT_EQ(stats_b.version, 0u);
+  // A's hammer may have seen several epochs (timing-dependent); B saw
+  // exactly one, and it is epoch 0.
+  ASSERT_EQ(result_b.responses_per_epoch.size(), 1u);
+  EXPECT_EQ(result_b.responses_per_epoch.begin()->first, 0u);
+
+  // B's accounting saw exactly its own traffic: the driver's B-requests
+  // plus the pre/post probes below.
+  EXPECT_EQ(stats_b.served, result_b.requests + workload_b.size());
+  EXPECT_EQ(stats_b.pending_delta_ops, 0u);
+  EXPECT_EQ(stats_b.replay_log_ops, 0u);
+
+  // And B answers bit-identically to before the churn.
+  std::vector<double> after;
+  for (const query::WorkloadQuery& wq : workload_b) {
+    auto response = service_b.EstimateLine(query::FormatQuery(wq.query));
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->epoch, 0u);
+    for (const EstimatorResult& r : response->results) {
+      after.push_back(r.ok ? r.estimate
+                           : std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+  ExpectBitIdentical(before, after);
 }
 
 TEST(TcpServerTest, ApplyDeltasOverLoopback) {

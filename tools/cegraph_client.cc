@@ -1,19 +1,28 @@
 // cegraph_client — command-line client for the cegraph_serve daemon.
 //
-//   cegraph_client --port P [--host H] --query "(a)-[3]->(b); ..."
+//   cegraph_client --port P [--host H] [--dataset NAME] \
+//                  --query "(a)-[3]->(b); ..."
 //   cegraph_client --port P --workload FILE [--threads N] [--passes K]
 //                  [--quiet]
 //   cegraph_client --port P --apply-deltas FILE
 //   cegraph_client --port P --swap-snapshot PATH
 //   cegraph_client --port P (--stats | --ping | --shutdown)
 //
-// --workload streams a saved workload file (query/workload_io.h format,
-// ground truth included) from N concurrent connections and prints
+// --dataset routes the request to the named dataset of a multi-dataset
+// daemon (wire protocol v2); without it the server's default dataset
+// answers. --workload streams a saved workload file (query/workload_io.h
+// format, ground truth included) from N concurrent connections and prints
 // per-query results plus per-estimator aggregate q-error and latency.
 // --apply-deltas sends a delta text feed (dynamic/delta_io.h format)
 // inline; the server folds it into a new serving state and answers with
 // the post-swap epoch. --swap-snapshot names a *server-local* snapshot
-// path. Exit status is 0 iff every request succeeded.
+// path (monolithic file or shard manifest).
+//
+// Exit status is 0 iff every request succeeded. A server-side error frame
+// (unknown dataset, admission rejection, bad feed, ...) exits nonzero
+// with the server's own message on stderr, prefixed "server error:";
+// transport failures (connection refused/reset) are prefixed
+// "transport error:" so the two are never conflated.
 #include <unistd.h>
 
 #include <algorithm>
@@ -43,27 +52,34 @@ using service::wire::Response;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: cegraph_client --port P [--host H] <command>\n"
+      "usage: cegraph_client --port P [--host H] [--dataset NAME] "
+      "<command>\n"
       "  --query \"PATTERN\"            one estimation request\n"
       "  --workload FILE [--threads N] [--passes K] [--quiet]\n"
       "  --apply-deltas FILE           send a delta feed, hot-swap\n"
-      "  --swap-snapshot PATH          server-local snapshot path\n"
+      "  --swap-snapshot PATH          server-local snapshot/manifest path\n"
       "  --stats | --ping | --shutdown\n");
   return 2;
 }
 
+/// Sends one request over a fresh connection. The outer StatusOr carries
+/// only *transport* failures; a server-side error frame comes back as an
+/// OK result whose Response::status is non-OK, so callers can attribute
+/// failures correctly (the server's message, not a generic read error).
 util::StatusOr<Response> OneShot(const std::string& host, int port,
                                  const Request& request) {
   auto fd = service::wire::DialTcp(host, port);
   if (!fd.ok()) return fd.status();
   auto response = service::wire::RoundTrip(*fd, request);
   ::close(*fd);
-  if (response.ok() && !response->status.ok()) return response->status;
   return response;
 }
 
-void PrintEstimate(const service::EstimateResponse& estimate) {
-  std::printf("epoch %llu (state v%llu), %.1f us\n",
+void PrintEstimate(const service::EstimateResponse& estimate,
+                   const std::string& dataset) {
+  std::printf("%s%s%sepoch %llu (state v%llu), %.1f us\n",
+              dataset.empty() ? "" : "dataset ", dataset.c_str(),
+              dataset.empty() ? "" : ", ",
               static_cast<unsigned long long>(estimate.epoch),
               static_cast<unsigned long long>(estimate.state_version),
               estimate.total_micros);
@@ -91,6 +107,7 @@ void PrintEstimate(const service::EstimateResponse& estimate) {
 }
 
 int RunWorkload(const std::string& host, int port,
+                const std::string& dataset,
                 const std::string& workload_file, int threads, int passes,
                 bool quiet) {
   auto workload = query::LoadWorkload(workload_file);
@@ -127,26 +144,44 @@ int RunWorkload(const std::string& host, int port,
 
   if (threads < 1) threads = 1;
   auto worker = [&](int tid) {
+    // This thread's stride-interleaved share per pass, so a dead
+    // connection charges every request it can no longer send as an error
+    // (the summary must not under-report a truncated sample).
+    const size_t share =
+        (lines.size() + static_cast<size_t>(threads) - 1 -
+         static_cast<size_t>(tid)) /
+        static_cast<size_t>(threads);
     auto fd = service::wire::DialTcp(host, port);
     if (!fd.ok()) {
       std::lock_guard<std::mutex> lock(mutex);
-      errors += (lines.size() / threads) + 1;  // whole share lost
-      std::fprintf(stderr, "connect: %s\n",
+      errors += share * static_cast<size_t>(passes);  // whole share lost
+      std::fprintf(stderr, "transport error: %s\n",
                    fd.status().ToString().c_str());
       return;
     }
+    size_t sent = 0;  ///< requests completed across passes
     for (int pass = 0; pass < passes; ++pass) {
       for (size_t i = static_cast<size_t>(tid); i < lines.size();
            i += static_cast<size_t>(threads)) {
-        Request request{MessageType::kEstimate, lines[i]};
+        Request request{MessageType::kEstimate, lines[i], dataset};
         auto response = service::wire::RoundTrip(*fd, request);
+        if (!response.ok()) {
+          // Transport failure: the connection is dead, so the rest of
+          // this thread's share cannot be sent either — charge it all
+          // instead of spamming a read error per remaining query.
+          std::lock_guard<std::mutex> lock(mutex);
+          errors += share * static_cast<size_t>(passes) - sent;
+          std::fprintf(stderr, "query %zu transport error: %s\n", i,
+                       response.status().ToString().c_str());
+          ::close(*fd);
+          return;
+        }
+        ++sent;
         std::lock_guard<std::mutex> lock(mutex);
-        if (!response.ok() || !response->status.ok()) {
+        if (!response->status.ok()) {
           ++errors;
-          std::fprintf(stderr, "query %zu: %s\n", i,
-                       (response.ok() ? response->status : response.status())
-                           .ToString()
-                           .c_str());
+          std::fprintf(stderr, "query %zu server error: %s\n", i,
+                       response->status.ToString().c_str());
           continue;
         }
         const service::EstimateResponse& e = response->estimate;
@@ -220,6 +255,7 @@ int RunWorkload(const std::string& host, int port,
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  std::string dataset;
   std::string query_text, workload_file, deltas_file, snapshot_path;
   bool stats = false, ping = false, shutdown = false, quiet = false;
   int threads = 1, passes = 1;
@@ -237,6 +273,8 @@ int main(int argc, char** argv) {
     std::string value;
     if (arg == "--host") {
       if (!next(&host)) return Usage();
+    } else if (arg == "--dataset") {
+      if (!next(&dataset)) return Usage();
     } else if (arg == "--port") {
       if (!next(&value)) return Usage();
       port = std::atoi(value.c_str());
@@ -270,12 +308,13 @@ int main(int argc, char** argv) {
   if (port <= 0) return Usage();
 
   if (!workload_file.empty()) {
-    return RunWorkload(host, port, workload_file, threads, passes, quiet);
+    return RunWorkload(host, port, dataset, workload_file, threads, passes,
+                       quiet);
   }
 
   Request request;
   if (!query_text.empty()) {
-    request = {MessageType::kEstimate, query_text};
+    request = {MessageType::kEstimate, query_text, dataset};
   } else if (!deltas_file.empty()) {
     std::ifstream in(deltas_file);
     if (!in) {
@@ -284,14 +323,17 @@ int main(int argc, char** argv) {
     }
     std::ostringstream text;
     text << in.rdbuf();
-    request = {MessageType::kApplyDeltas, text.str()};
+    request = {MessageType::kApplyDeltas, text.str(), dataset};
   } else if (!snapshot_path.empty()) {
-    request = {MessageType::kSwapSnapshot, snapshot_path};
+    request = {MessageType::kSwapSnapshot, snapshot_path, dataset};
   } else if (stats) {
-    request = {MessageType::kStats, ""};
+    request = {MessageType::kStats, "", dataset};
   } else if (ping) {
-    request = {MessageType::kPing, ""};
+    // A dataset-qualified ping doubles as a routing probe: the server
+    // validates the name without touching the service.
+    request = {MessageType::kPing, "", dataset};
   } else if (shutdown) {
+    // Shutdown is server-wide; the server rejects a dataset-qualified one.
     request = {MessageType::kShutdown, ""};
   } else {
     return Usage();
@@ -299,12 +341,20 @@ int main(int argc, char** argv) {
 
   auto response = OneShot(host, port, request);
   if (!response.ok()) {
-    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    std::fprintf(stderr, "transport error: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->status.ok()) {
+    // The server answered with an error frame: its own message is the
+    // diagnosis (unknown dataset, admission rejection, bad feed, ...).
+    std::fprintf(stderr, "server error: %s\n",
+                 response->status.ToString().c_str());
     return 1;
   }
   switch (request.type) {
     case MessageType::kEstimate:
-      PrintEstimate(response->estimate);
+      PrintEstimate(response->estimate, response->dataset);
       break;
     case MessageType::kApplyDeltas:
     case MessageType::kSwapSnapshot: {
@@ -323,6 +373,9 @@ int main(int argc, char** argv) {
     }
     case MessageType::kStats: {
       const service::ServiceStats& s = response->stats;
+      if (!response->dataset.empty()) {
+        std::printf("dataset %s\n", response->dataset.c_str());
+      }
       std::printf(
           "served %llu, rejected %llu, request errors %llu\n"
           "epoch %llu (state v%llu), %llu swaps, %zu pending delta ops\n"

@@ -1,19 +1,36 @@
 // cegraph_serve — the cegraph estimation daemon: a long-lived TCP server
-// dispatching estimation requests over a shared EstimationService, with
-// snapshot hot-swap and live delta ingestion (no restart, no dropped
-// requests).
+// dispatching estimation requests over one or many datasets, with snapshot
+// hot-swap and live delta ingestion (no restart, no dropped requests).
 //
-//   cegraph_serve (--dataset NAME | --graph FILE) [--port P] [--workers N]
-//                 [--estimators a,b,c] [--snapshot FILE] [--markov-h H]
+//   cegraph_serve (--dataset SPEC)... | --graph FILE [--port P]
+//                 [--workers N] [--estimators a,b,c] [--snapshot FILE]
+//                 [--default-dataset NAME] [--markov-h H]
 //                 [--compact-trigger N] [--max-in-flight N]
 //                 [--prewarm SUITE] [--instances N] [--seed S]
 //
+// --dataset is repeatable; each SPEC serves one dataset:
+//
+//   NAME                   the built-in dataset NAME
+//   NAME=SOURCE            SOURCE (a built-in dataset name or a graph
+//                          file path) served under the routing name NAME
+//   NAME[=SOURCE]@SNAPSHOT additionally preload a `cegraph_stats build`
+//                          artifact (monolithic snapshot or shard
+//                          manifest) into the dataset's first serving
+//                          state
+//
+// Clients route requests with the wire protocol's v2 `dataset` field;
+// requests without one (v1 clients included) go to --default-dataset
+// (default: the first --dataset). Every dataset gets its own
+// EstimationService — own delta queue, own background maintainer, own
+// epoch/version line — so hot-swapping or churning one dataset cannot
+// perturb another.
+//
 // --port 0 (the default) picks an ephemeral port; the daemon prints
 // `listening on 127.0.0.1:<port>` on stdout (and flushes) so scripts can
-// scrape it. --snapshot preloads a `cegraph_stats build` artifact into the
-// first serving state (replaying its embedded delta log when it describes
-// a later epoch of the graph). --prewarm generates the named workload
-// suite and warms the statistics caches before accepting traffic.
+// scrape it. --snapshot FILE is the single-dataset legacy spelling of
+// @SNAPSHOT and applies to the first dataset. --prewarm generates the
+// named workload suite per dataset and warms its statistics caches before
+// accepting traffic.
 //
 // The daemon exits 0 on SIGTERM/SIGINT or on a client's shutdown request,
 // draining in-flight connections first. See docs/wire_protocol.md for the
@@ -22,14 +39,17 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
 #include "query/templates.h"
 #include "query/workload.h"
+#include "service/catalog.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "util/strings.h"
@@ -45,10 +65,14 @@ void OnSignal(int) { g_signal = 1; }
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: cegraph_serve (--dataset NAME | --graph FILE) [--port P]\n"
+      "usage: cegraph_serve (--dataset SPEC)... | --graph FILE [--port P]\n"
       "       [--workers N] [--estimators a,b,c] [--snapshot FILE]\n"
-      "       [--markov-h H] [--compact-trigger N] [--max-in-flight N]\n"
+      "       [--default-dataset NAME] [--markov-h H]\n"
+      "       [--compact-trigger N] [--max-in-flight N]\n"
       "       [--prewarm SUITE] [--instances N] [--seed S]\n"
+      "dataset SPEC: NAME | NAME=SOURCE | NAME[=SOURCE]@SNAPSHOT\n"
+      "  (SOURCE: a built-in dataset name or a graph file path; '=' and\n"
+      "   '@' are reserved separators and cannot appear in the paths)\n"
       "datasets:");
   for (const std::string& name : graph::DatasetNames()) {
     std::fprintf(stderr, " %s", name.c_str());
@@ -57,10 +81,50 @@ int Usage() {
   return 2;
 }
 
+/// One parsed --dataset SPEC. '=' and '@' are reserved separators of the
+/// SPEC grammar (the first '@' starts the snapshot part), so SOURCE and
+/// SNAPSHOT paths containing them are not expressible — a mis-split
+/// surfaces as a clear "cannot open <truncated path>" error, and
+/// DatasetCatalog rejects names containing '=' outright.
+struct ParsedSpec {
+  std::string name;
+  std::string source;    ///< built-in dataset name or graph file path
+  std::string snapshot;  ///< optional initial snapshot / shard manifest
+};
+
+ParsedSpec ParseSpec(const std::string& spec) {
+  ParsedSpec out;
+  std::string head = spec;
+  if (const size_t at = head.find('@'); at != std::string::npos) {
+    out.snapshot = head.substr(at + 1);
+    head = head.substr(0, at);
+  }
+  if (const size_t eq = head.find('='); eq != std::string::npos) {
+    out.name = head.substr(0, eq);
+    out.source = head.substr(eq + 1);
+  } else {
+    out.name = head;
+    out.source = head;
+  }
+  return out;
+}
+
+/// SOURCE resolution: a built-in dataset name first, a graph file second.
+util::StatusOr<graph::Graph> LoadSource(const std::string& source) {
+  auto built_in = graph::MakeDataset(source);
+  if (built_in.ok() ||
+      built_in.status().code() != util::StatusCode::kNotFound) {
+    return built_in;
+  }
+  return graph::LoadGraph(source);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string dataset, graph_file, estimators_csv, snapshot, prewarm_suite;
+  std::vector<std::string> dataset_specs;
+  std::string graph_file, estimators_csv, legacy_snapshot, prewarm_suite;
+  std::string default_dataset;
   service::ServerOptions server_options;
   service::ServiceOptions service_options;
   int instances = 2;
@@ -78,9 +142,12 @@ int main(int argc, char** argv) {
     };
     std::string value;
     if (arg == "--dataset") {
-      if (!next(&dataset)) return Usage();
+      if (!next(&value)) return Usage();
+      dataset_specs.push_back(value);
     } else if (arg == "--graph") {
       if (!next(&graph_file)) return Usage();
+    } else if (arg == "--default-dataset") {
+      if (!next(&default_dataset)) return Usage();
     } else if (arg == "--port") {
       if (!next(&value)) return Usage();
       server_options.port = std::atoi(value.c_str());
@@ -90,7 +157,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--estimators") {
       if (!next(&estimators_csv)) return Usage();
     } else if (arg == "--snapshot") {
-      if (!next(&snapshot)) return Usage();
+      if (!next(&legacy_snapshot)) return Usage();
     } else if (arg == "--markov-h") {
       if (!next(&value)) return Usage();
       service_options.context.markov_h = std::atoi(value.c_str());
@@ -113,64 +180,101 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (dataset.empty() == graph_file.empty()) return Usage();
-
-  auto g = dataset.empty() ? graph::LoadGraph(graph_file)
-                           : graph::MakeDataset(dataset);
-  if (!g.ok()) {
-    std::fprintf(stderr, "graph: %s\n", g.status().ToString().c_str());
-    return 1;
-  }
-  const std::string source = dataset.empty() ? graph_file : dataset;
-  std::printf("graph %s: %u vertices, %llu edges, %u labels\n",
-              source.c_str(), g->num_vertices(),
-              static_cast<unsigned long long>(g->num_edges()),
-              g->num_labels());
-
+  if (dataset_specs.empty() == graph_file.empty()) return Usage();
   if (!estimators_csv.empty()) {
     service_options.estimators = util::SplitCsv(estimators_csv);
   }
-  service_options.initial_snapshot = snapshot;
-  if (!prewarm_suite.empty()) {
-    auto templates = query::SuiteTemplatesByName(prewarm_suite);
-    if (!templates.ok()) {
-      std::fprintf(stderr, "prewarm: %s\n",
-                   templates.status().ToString().c_str());
-      return 1;
-    }
-    query::WorkloadOptions wl;
-    wl.instances_per_template = instances;
-    wl.seed = seed;
-    auto workload = query::GenerateWorkload(*g, *templates, wl);
-    if (!workload.ok()) {
-      std::fprintf(stderr, "prewarm: %s\n",
-                   workload.status().ToString().c_str());
-      return 1;
-    }
-    service_options.prewarm_workload = std::move(*workload);
+
+  std::vector<ParsedSpec> parsed_specs;
+  for (const std::string& spec : dataset_specs) {
+    parsed_specs.push_back(ParseSpec(spec));
+  }
+  if (!graph_file.empty()) {
+    // Legacy single-graph spelling, served under the name "default". The
+    // path is taken verbatim — it never goes through the SPEC grammar, so
+    // '@'/'=' in the file name keep working as they always did.
+    parsed_specs.push_back({"default", graph_file, ""});
   }
 
-  auto service =
-      service::EstimationService::Create(std::move(*g), service_options);
-  if (!service.ok()) {
-    std::fprintf(stderr, "service: %s\n",
-                 service.status().ToString().c_str());
+  std::vector<service::DatasetSpec> specs;
+  for (size_t d = 0; d < parsed_specs.size(); ++d) {
+    ParsedSpec parsed = parsed_specs[d];
+    if (d == 0 && !legacy_snapshot.empty()) {
+      if (!parsed.snapshot.empty()) {
+        std::fprintf(stderr,
+                     "--snapshot conflicts with @SNAPSHOT for dataset %s\n",
+                     parsed.name.c_str());
+        return Usage();
+      }
+      parsed.snapshot = legacy_snapshot;
+    }
+    auto g = LoadSource(parsed.source);
+    if (!g.ok()) {
+      std::fprintf(stderr, "dataset %s (source %s): %s\n",
+                   parsed.name.c_str(), parsed.source.c_str(),
+                   g.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("dataset %s (%s): %u vertices, %llu edges, %u labels%s%s\n",
+                parsed.name.c_str(), parsed.source.c_str(),
+                g->num_vertices(),
+                static_cast<unsigned long long>(g->num_edges()),
+                g->num_labels(),
+                parsed.snapshot.empty() ? "" : ", snapshot ",
+                parsed.snapshot.c_str());
+
+    service::DatasetSpec spec;
+    spec.name = parsed.name;
+    spec.options = service_options;
+    spec.options.initial_snapshot = parsed.snapshot;
+    if (!prewarm_suite.empty()) {
+      auto templates = query::SuiteTemplatesByName(prewarm_suite);
+      if (!templates.ok()) {
+        std::fprintf(stderr, "prewarm: %s\n",
+                     templates.status().ToString().c_str());
+        return 1;
+      }
+      query::WorkloadOptions wl;
+      wl.instances_per_template = instances;
+      wl.seed = seed;
+      auto workload = query::GenerateWorkload(*g, *templates, wl);
+      if (!workload.ok()) {
+        std::fprintf(stderr, "prewarm %s: %s\n", parsed.name.c_str(),
+                     workload.status().ToString().c_str());
+        return 1;
+      }
+      spec.options.prewarm_workload = std::move(*workload);
+    }
+    spec.graph =
+        std::make_shared<const graph::Graph>(std::move(*g));
+    specs.push_back(std::move(spec));
+  }
+
+  auto catalog =
+      service::DatasetCatalog::Create(std::move(specs), default_dataset);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "catalog: %s\n",
+                 catalog.status().ToString().c_str());
     return 1;
   }
 
-  service::TcpServer server(**service, server_options);
+  service::TcpServer server(**catalog, server_options);
   if (auto started = server.Start(); !started.ok()) {
     std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("serving %zu estimators (", (*service)->options().estimators.size());
-  for (size_t i = 0; i < (*service)->options().estimators.size(); ++i) {
+  std::printf("serving %zu estimators (", service_options.estimators.size());
+  for (size_t i = 0; i < service_options.estimators.size(); ++i) {
     std::printf("%s%s", i == 0 ? "" : ",",
-                (*service)->options().estimators[i].c_str());
+                service_options.estimators[i].c_str());
   }
-  std::printf(") with %d workers\nlistening on %s:%d\n",
-              server_options.workers, server_options.host.c_str(),
-              server.port());
+  std::printf(") with %d workers\ndatasets:", server_options.workers);
+  for (const std::string& name : (*catalog)->names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf(" (default %s)\nlistening on %s:%d\n",
+              (*catalog)->default_dataset().c_str(),
+              server_options.host.c_str(), server.port());
   std::fflush(stdout);
 
   std::signal(SIGTERM, OnSignal);
@@ -187,13 +291,18 @@ int main(int argc, char** argv) {
               g_signal != 0 ? "signal received" : "shutdown requested");
   server.Stop();
 
-  const service::ServiceStats stats = (*service)->Stats();
-  std::printf("served %llu requests (%llu rejected, %llu request errors), "
-              "%llu hot swaps, final epoch %llu\n",
-              static_cast<unsigned long long>(stats.served),
-              static_cast<unsigned long long>(stats.rejected),
-              static_cast<unsigned long long>(stats.request_errors),
-              static_cast<unsigned long long>(stats.swaps),
-              static_cast<unsigned long long>(stats.epoch));
+  for (const std::string& name : (*catalog)->names()) {
+    auto resolved = (*catalog)->Resolve(name);
+    if (!resolved.ok()) continue;
+    const service::ServiceStats stats = (*resolved)->Stats();
+    std::printf(
+        "%s: served %llu requests (%llu rejected, %llu request errors), "
+        "%llu hot swaps, final epoch %llu\n",
+        name.c_str(), static_cast<unsigned long long>(stats.served),
+        static_cast<unsigned long long>(stats.rejected),
+        static_cast<unsigned long long>(stats.request_errors),
+        static_cast<unsigned long long>(stats.swaps),
+        static_cast<unsigned long long>(stats.epoch));
+  }
   return 0;
 }

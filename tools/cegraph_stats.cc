@@ -1,11 +1,16 @@
-// cegraph_stats — build, inspect, verify and refresh persistent summary
-// snapshots; generate workload and delta-feed files for the serving stack.
+// cegraph_stats — build, inspect, verify, refresh and shard persistent
+// summary snapshots; generate workload and delta-feed files for the
+// serving stack.
 //
 //   cegraph_stats build    --dataset <name> --out <file> [flags]
 //   cegraph_stats inspect  <file> [--dataset <name>]
-//   cegraph_stats verify   --dataset <name> --snapshot <file> [flags]
+//   cegraph_stats verify   --dataset <name>
+//                          (--snapshot <file> | --manifest <file> | both)
+//                          [flags]
 //   cegraph_stats refresh  --dataset <name> --snapshot <file>
 //                          (--deltas <file> | --random N) [--out <file>]
+//   cegraph_stats shard    --dataset <name> --snapshot <file>
+//                          --shards N --out <manifest>
 //   cegraph_stats workload --dataset <name> --out <file> [--suite S]
 //                          [--instances N] [--seed S]
 //   cegraph_stats deltas   --dataset <name> --random N --out <file> [--seed S]
@@ -22,7 +27,11 @@
 // snapshot layer. `refresh` loads a snapshot, applies an edge-delta batch
 // (a text delta file, or a --random batch for demos) through the
 // incremental maintenance path, reports what was carried / exactly updated
-// / evicted, and optionally writes the refreshed snapshot.
+// / evicted, and optionally writes the refreshed snapshot. `shard` splits
+// a monolithic snapshot into a manifest + per-key-range shard files (see
+// docs/sharding.md); `verify` accepts either artifact shape and, given
+// both --snapshot and --manifest, checks the sharded union reproduces the
+// monolithic estimates bit-identically.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -65,12 +74,15 @@ int Usage() {
       "      [--suite NAME | --workload FILE] [--instances N] [--seed S]\n"
       "      [--markov-h H] [--threads T] [--dispersion]\n"
       "  cegraph_stats inspect <file> [--dataset <name>]\n"
-      "  cegraph_stats verify --dataset <name> --snapshot <file>\n"
+      "  cegraph_stats verify --dataset <name>\n"
+      "      (--snapshot <file> | --manifest <file> | both)\n"
       "      [--suite ... | --workload FILE] [--instances N] [--seed S]\n"
       "      [--markov-h H] [--threads T] [--estimators name1,name2,...]\n"
       "  cegraph_stats refresh --dataset <name> --snapshot <file>\n"
       "      (--deltas FILE | --random N) [--out <file>] [--seed S]\n"
       "      [--markov-h H]\n"
+      "  cegraph_stats shard --dataset <name> --snapshot <file>\n"
+      "      --shards N --out <manifest> [--markov-h H]\n"
       "  cegraph_stats workload --dataset <name> --out <file>\n"
       "      [--suite NAME] [--instances N] [--seed S]\n"
       "  cegraph_stats deltas --dataset <name> --random N --out <file>\n"
@@ -178,7 +190,8 @@ bool ParseFlags(int argc, char** argv, int start, CommonFlags* flags,
       flags->dispersion = true;
     } else if (arg == "--out" || arg == "--snapshot" ||
                arg == "--estimators" || arg == "--deltas" ||
-               arg == "--random") {
+               arg == "--random" || arg == "--manifest" ||
+               arg == "--shards") {
       if (!next(&value)) return false;
       extra->emplace_back(arg, value);
     } else {
@@ -312,6 +325,48 @@ int RunInspect(int argc, char** argv) {
       return Usage();
     }
   }
+  // Shard manifest: print the shard table, then fall through to the live
+  // context block (LoadIntoContext accepts manifests transparently).
+  if (engine::IsShardManifest(argv[2])) {
+    auto manifest = engine::ReadShardManifest(argv[2]);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[2],
+                   manifest.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("shard manifest %s (manifest v%u, snapshot v%u, %u "
+                "shards)\n",
+                argv[2], manifest->version, manifest->snapshot_version,
+                manifest->num_shards);
+    std::printf("fingerprint: %u vertices, %u labels, %" PRIu64
+                " edges, edge hash %016" PRIx64 "\n",
+                manifest->fingerprint.num_vertices,
+                manifest->fingerprint.num_labels,
+                manifest->fingerprint.num_edges,
+                manifest->fingerprint.edge_hash);
+    std::printf("%-24s %12s %16s\n", "file", "bytes", "content hash");
+    std::printf("%-24s %12" PRIu64 " %016" PRIx64 "\n",
+                manifest->common.file.c_str(), manifest->common.bytes,
+                manifest->common.hash);
+    for (const auto& shard : manifest->shards) {
+      std::printf("%-24s %12" PRIu64 " %016" PRIx64 "\n",
+                  shard.file.c_str(), shard.bytes, shard.hash);
+    }
+    if (!dataset.empty()) {
+      auto g = graph::MakeDataset(dataset);
+      if (!g.ok()) {
+        std::fprintf(stderr, "dataset %s: %s\n", dataset.c_str(),
+                     g.status().ToString().c_str());
+        return 1;
+      }
+      engine::EstimationContext context(*g);
+      std::printf("\n");
+      if (!LoadIntoContext(context, argv[2])) return 1;
+      PrintCacheStats(context);
+    }
+    return 0;
+  }
+
   auto info = engine::ReadSnapshotInfo(argv[2]);
   if (!info.ok()) {
     std::fprintf(stderr, "%s: %s\n", argv[2],
@@ -457,14 +512,15 @@ int RunVerify(int argc, char** argv) {
   CommonFlags flags;
   std::vector<std::pair<std::string, std::string>> extra;
   if (!ParseFlags(argc, argv, 2, &flags, &extra)) return Usage();
-  std::string snapshot_path;
+  std::string snapshot_path, manifest_path;
   std::string estimators_csv;
   for (const auto& [flag, value] : extra) {
     if (flag == "--snapshot") snapshot_path = value;
+    if (flag == "--manifest") manifest_path = value;
     if (flag == "--estimators") estimators_csv = value;
   }
-  if (snapshot_path.empty()) {
-    std::fprintf(stderr, "verify requires --snapshot\n");
+  if (snapshot_path.empty() && manifest_path.empty()) {
+    std::fprintf(stderr, "verify requires --snapshot and/or --manifest\n");
     return Usage();
   }
 
@@ -479,30 +535,46 @@ int RunVerify(int argc, char** argv) {
           ? engine::EstimatorRegistry::Default().RegisteredNames()
           : util::SplitCsv(estimators_csv);
 
-  // Cold run: fresh context, no snapshot.
-  engine::EstimationEngine cold(graph, ContextOptionsFor(flags));
-  // Snapshot run: fresh context, stats loaded from disk.
+  // Reference run: with both artifacts given, the monolithic snapshot is
+  // the reference and the sharded union the candidate (the sharding
+  // correctness contract: shard -> load-union -> estimate must be
+  // bit-identical to the monolithic load). With one artifact, the
+  // reference is a cold in-memory build.
+  const bool shard_vs_mono =
+      !snapshot_path.empty() && !manifest_path.empty();
+  const std::string candidate_path =
+      manifest_path.empty() ? snapshot_path : manifest_path;
+  engine::EstimationEngine reference(graph, ContextOptionsFor(flags));
+  if (shard_vs_mono) {
+    auto load = reference.context().LoadSnapshot(snapshot_path);
+    if (!load.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", snapshot_path.c_str(),
+                   load.ToString().c_str());
+      return 1;
+    }
+  }
   engine::EstimationEngine warm(graph, ContextOptionsFor(flags));
-  auto load = warm.context().LoadSnapshot(snapshot_path);
+  auto load = warm.context().LoadSnapshot(candidate_path);
   if (!load.ok()) {
-    std::fprintf(stderr, "load: %s\n", load.ToString().c_str());
+    std::fprintf(stderr, "load %s: %s\n", candidate_path.c_str(),
+                 load.ToString().c_str());
     return 1;
   }
 
   size_t mismatches = 0;
   size_t compared = 0;
   for (const std::string& name : names) {
-    auto cold_est = cold.Estimator(name);
+    auto ref_est = reference.Estimator(name);
     auto warm_est = warm.Estimator(name);
-    if (!cold_est.ok() || !warm_est.ok()) {
+    if (!ref_est.ok() || !warm_est.ok()) {
       std::fprintf(stderr, "estimator %s: %s\n", name.c_str(),
-                   (!cold_est.ok() ? cold_est.status() : warm_est.status())
+                   (!ref_est.ok() ? ref_est.status() : warm_est.status())
                        .ToString()
                        .c_str());
       return 1;
     }
     for (size_t qi = 0; qi < workload.size(); ++qi) {
-      auto a = (*cold_est)->Estimate(workload[qi].query);
+      auto a = (*ref_est)->Estimate(workload[qi].query);
       auto b = (*warm_est)->Estimate(workload[qi].query);
       ++compared;
       const bool both_fail = !a.ok() && !b.ok();
@@ -510,18 +582,74 @@ int RunVerify(int argc, char** argv) {
       if (!(both_fail || equal)) {
         ++mismatches;
         std::fprintf(stderr,
-                     "MISMATCH %s query %zu: cold=%s warm=%s\n", name.c_str(),
-                     qi, a.ok() ? std::to_string(*a).c_str() : "error",
+                     "MISMATCH %s query %zu: %s=%s warm=%s\n", name.c_str(),
+                     qi, shard_vs_mono ? "monolithic" : "cold",
+                     a.ok() ? std::to_string(*a).c_str() : "error",
                      b.ok() ? std::to_string(*b).c_str() : "error");
       }
     }
   }
-  std::printf("verified %zu estimator×query pairs against %s: %zu "
+  std::printf("verified %zu estimator×query pairs: %s vs %s: %zu "
               "mismatches\n",
-              compared, snapshot_path.c_str(), mismatches);
+              compared, candidate_path.c_str(),
+              shard_vs_mono ? snapshot_path.c_str() : "cold build",
+              mismatches);
   std::printf("\nwarm-context caches after verification:\n");
   PrintCacheStats(warm.context());
   return mismatches == 0 ? 0 : 1;
+}
+
+int RunShard(int argc, char** argv) {
+  CommonFlags flags;
+  std::vector<std::pair<std::string, std::string>> extra;
+  if (!ParseFlags(argc, argv, 2, &flags, &extra)) return Usage();
+  std::string snapshot_path, out_path;
+  int num_shards = 0;
+  for (const auto& [flag, value] : extra) {
+    if (flag == "--snapshot") snapshot_path = value;
+    if (flag == "--out") out_path = value;
+    if (flag == "--shards") num_shards = std::atoi(value.c_str());
+  }
+  if (snapshot_path.empty() || out_path.empty() || flags.dataset.empty() ||
+      num_shards < 1) {
+    std::fprintf(stderr,
+                 "shard requires --dataset, --snapshot, --shards N (>= 1) "
+                 "and --out MANIFEST\n");
+    return Usage();
+  }
+
+  auto g = graph::MakeDataset(flags.dataset);
+  if (!g.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", flags.dataset.c_str(),
+                 g.status().ToString().c_str());
+    return 1;
+  }
+  // Loading a monolithic snapshot into a fresh context is lossless for
+  // every keyed cache, so re-exporting with a shard filter partitions
+  // exactly the entries the snapshot carried.
+  engine::EstimationContext context(*g, ContextOptionsFor(flags));
+  if (!LoadIntoContext(context, snapshot_path)) return 1;
+  auto saved = context.SaveSnapshotShards(out_path,
+                                          static_cast<uint32_t>(num_shards));
+  if (!saved.ok()) {
+    std::fprintf(stderr, "shard: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  auto manifest = engine::ReadShardManifest(out_path);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "re-read: %s\n",
+                 manifest.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u shards + common\n", out_path.c_str(),
+              manifest->num_shards);
+  std::printf("  %-24s %12" PRIu64 " bytes\n",
+              manifest->common.file.c_str(), manifest->common.bytes);
+  for (const auto& shard : manifest->shards) {
+    std::printf("  %-24s %12" PRIu64 " bytes\n", shard.file.c_str(),
+                shard.bytes);
+  }
+  return 0;
 }
 
 // Writes the generated (or file-loaded) workload to a text file — the
@@ -598,6 +726,7 @@ int main(int argc, char** argv) {
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "verify") return RunVerify(argc, argv);
   if (command == "refresh") return RunRefresh(argc, argv);
+  if (command == "shard") return RunShard(argc, argv);
   if (command == "workload") return RunWorkloadGen(argc, argv);
   if (command == "deltas") return RunDeltasGen(argc, argv);
   return Usage();
