@@ -1,5 +1,6 @@
 #include "harness/service_driver.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -71,65 +72,107 @@ ServiceRunResult DriveServiceWorkload(
   auto worker = [&](size_t tid) {
     PerThread& mine = per_thread[tid];
     uint64_t last_version = 0;
+
+    auto account_error = [&](const util::Status& status) {
+      ++mine.errors;
+      if (status.code() == util::StatusCode::kResourceExhausted) {
+        ++mine.rejected;
+      }
+    };
+    auto account_ok = [&](const service::EstimateResponse& response,
+                          size_t qi) {
+      ++mine.per_epoch[response.epoch];
+      mine.latency_micros += response.total_micros;
+      if (response.state_version < last_version) {
+        ++mine.version_regressions;
+      }
+      last_version = response.state_version;
+      std::vector<double> estimates;
+      estimates.reserve(response.results.size());
+      for (const service::EstimatorResult& r : response.results) {
+        if (r.ok) {
+          estimates.push_back(r.estimate);
+          if (response.has_truth) {
+            mine.qerror_sum += r.qerror;
+            ++mine.qerror_count;
+          }
+        } else {
+          ++mine.estimator_failures;
+          estimates.push_back(std::numeric_limits<double>::quiet_NaN());
+        }
+      }
+      if (options.check_consistency) {
+        std::lock_guard<std::mutex> lock(oracle_mutex);
+        auto [it, inserted] = oracle.try_emplace({response.epoch, qi});
+        if (inserted) {
+          it->second.estimates = std::move(estimates);
+        } else {
+          const std::vector<double>& expected = it->second.estimates;
+          bool match = expected.size() == estimates.size();
+          for (size_t i = 0; match && i < expected.size(); ++i) {
+            // Bit-identical or both-failed; deterministic estimators
+            // admit nothing in between within one epoch.
+            match = expected[i] == estimates[i] ||
+                    (std::isnan(expected[i]) && std::isnan(estimates[i]));
+          }
+          if (!match) ++mine.inconsistent;
+        }
+      }
+    };
+
+    // This thread's stride-interleaved share, chunked when batching.
+    std::vector<size_t> share;
+    for (size_t qi = tid; qi < requests.size();
+         qi += static_cast<size_t>(threads)) {
+      share.push_back(qi);
+    }
+    const size_t chunk =
+        options.batch_size > 1 ? static_cast<size_t>(options.batch_size) : 1;
+
     for (int pass = 0;; ++pass) {
       if (options.duration_seconds > 0) {
         if (SecondsSince(t0) >= options.duration_seconds) break;
       } else if (pass >= options.passes) {
         break;
       }
-      for (size_t qi = tid; qi < requests.size();
-           qi += static_cast<size_t>(threads)) {
+      for (size_t b = 0; b < share.size(); b += chunk) {
         if (options.duration_seconds > 0 &&
             SecondsSince(t0) >= options.duration_seconds) {
           break;
         }
-        ++mine.requests;
-        auto response = service.Estimate(requests[qi]);
-        if (!response.ok()) {
-          ++mine.errors;
-          if (response.status().code() ==
-              util::StatusCode::kResourceExhausted) {
-            ++mine.rejected;
+        const size_t n = std::min(chunk, share.size() - b);
+        if (options.batch_size > 1) {
+          // The wire-v3 shape: n requests admitted as one unit, answered
+          // in order from one serving epoch. Every item is accounted (and
+          // oracle-checked) exactly like its own Estimate call.
+          std::vector<const service::EstimateRequest*> ptrs;
+          ptrs.reserve(n);
+          for (size_t j = 0; j < n; ++j) {
+            ptrs.push_back(&requests[share[b + j]]);
           }
-          continue;
-        }
-        ++mine.per_epoch[response->epoch];
-        mine.latency_micros += response->total_micros;
-        if (response->state_version < last_version) {
-          ++mine.version_regressions;
-        }
-        last_version = response->state_version;
-        std::vector<double> estimates;
-        estimates.reserve(response->results.size());
-        for (const service::EstimatorResult& r : response->results) {
-          if (r.ok) {
-            estimates.push_back(r.estimate);
-            if (response->has_truth) {
-              mine.qerror_sum += r.qerror;
-              ++mine.qerror_count;
+          mine.requests += n;
+          auto batch = service.EstimateBatch(ptrs);
+          if (!batch.ok()) {
+            for (size_t j = 0; j < n; ++j) account_error(batch.status());
+            continue;
+          }
+          for (size_t j = 0; j < n && j < batch->size(); ++j) {
+            const service::BatchEstimateItem& item = (*batch)[j];
+            if (!item.status.ok()) {
+              account_error(item.status);
+            } else {
+              account_ok(item.estimate, share[b + j]);
             }
-          } else {
-            ++mine.estimator_failures;
-            estimates.push_back(std::numeric_limits<double>::quiet_NaN());
           }
-        }
-        if (options.check_consistency) {
-          std::lock_guard<std::mutex> lock(oracle_mutex);
-          auto [it, inserted] =
-              oracle.try_emplace({response->epoch, qi});
-          if (inserted) {
-            it->second.estimates = std::move(estimates);
-          } else {
-            const std::vector<double>& expected = it->second.estimates;
-            bool match = expected.size() == estimates.size();
-            for (size_t i = 0; match && i < expected.size(); ++i) {
-              // Bit-identical or both-failed; deterministic estimators
-              // admit nothing in between within one epoch.
-              match = expected[i] == estimates[i] ||
-                      (std::isnan(expected[i]) && std::isnan(estimates[i]));
-            }
-            if (!match) ++mine.inconsistent;
+        } else {
+          const size_t qi = share[b];
+          ++mine.requests;
+          auto response = service.Estimate(requests[qi]);
+          if (!response.ok()) {
+            account_error(response.status());
+            continue;
           }
+          account_ok(*response, qi);
         }
       }
     }

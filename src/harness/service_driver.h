@@ -24,6 +24,10 @@ struct ServiceDriverOptions {
   /// When > 0, loop the workload until the deadline instead of counting
   /// passes — the shape the swap-under-load bench wants.
   double duration_seconds = 0;
+  /// When > 1, each thread packs its share into EstimateBatch calls of
+  /// this many requests (the wire-v3 shape: one admission decision, one
+  /// serving epoch per batch); 1 = one Estimate call per request.
+  int batch_size = 1;
   /// Cross-check every response for epoch consistency (see
   /// ServiceRunResult::inconsistent_responses). Requires a deterministic
   /// estimator suite — sampling estimators (wander join) legitimately

@@ -2,20 +2,24 @@
 
 namespace cegraph::service {
 
-AdmissionController::Ticket AdmissionController::TryAdmit() {
-  if (max_in_flight_ <= 0) {
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
+AdmissionController::Ticket AdmissionController::TryAdmit(int64_t weight) {
+  if (weight < 1) weight = 1;
+  if (capacity_ <= 0) {
+    in_flight_.fetch_add(weight, std::memory_order_relaxed);
     admitted_.fetch_add(1, std::memory_order_relaxed);
-    return Ticket(this);
+    return Ticket(this, weight);
   }
   int64_t current = in_flight_.load(std::memory_order_relaxed);
-  while (current < max_in_flight_) {
-    if (in_flight_.compare_exchange_weak(current, current + 1,
+  // Admit while *below* capacity, then charge the full weight: an
+  // overweight request overshoots the pool by at most itself instead of
+  // starving forever on a small capacity.
+  while (current < capacity_) {
+    if (in_flight_.compare_exchange_weak(current, current + weight,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
       admitted_.fetch_add(1, std::memory_order_relaxed);
-      UpdatePeak(current + 1);
-      return Ticket(this);
+      UpdatePeak(current + weight);
+      return Ticket(this, weight);
     }
   }
   rejected_.fetch_add(1, std::memory_order_relaxed);

@@ -6,36 +6,49 @@
 
 namespace cegraph::service {
 
-/// Bounded-concurrency admission control for the estimation service: a
-/// fixed pool of in-flight slots, acquired per request and released when
-/// the response is built. Saturation sheds load instead of queueing it —
-/// an estimation request is pure CPU, so queued requests only add latency
-/// for everyone; the caller gets ResourceExhausted and retries against a
-/// less loaded replica.
+/// Cost-aware admission control for the estimation service: a fixed pool
+/// of *capacity units*, acquired per request in proportion to the work it
+/// carries and released when the response is built. A plain estimate
+/// weighs its pattern size; a batch frame weighs the sum of its lines —
+/// so one batch of 64 estimates occupies the same share of the service as
+/// 64 single-frame clients, and a flood of heavyweight frames saturates
+/// admission earlier than a trickle of cheap pings would. Saturation
+/// sheds load instead of queueing it — estimation is pure CPU, so queued
+/// requests only add latency for everyone; the caller gets the retryable
+/// ResourceExhausted and retries (against this replica later, or a less
+/// loaded one).
+///
+/// Admission rule: a request is admitted while the units currently in
+/// flight are *below* capacity, and then charges its full weight — so a
+/// single request heavier than the whole capacity still gets through on
+/// an idle service (it simply blocks others until it releases), and the
+/// pool can transiently overshoot by at most one request's weight.
 ///
 /// Lock-free: one CAS-loop counter on the hot path, plus relaxed
 /// accounting counters for observability.
 class AdmissionController {
  public:
-  /// `max_in_flight` <= 0 means unbounded (admission always succeeds).
-  explicit AdmissionController(int max_in_flight)
-      : max_in_flight_(max_in_flight) {}
+  /// `capacity` <= 0 means unbounded (admission always succeeds).
+  explicit AdmissionController(int64_t capacity) : capacity_(capacity) {}
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
 
-  /// RAII in-flight slot. Falsy when admission was refused.
+  /// RAII in-flight claim. Falsy when admission was refused.
   class Ticket {
    public:
     Ticket() = default;
-    explicit Ticket(AdmissionController* owner) : owner_(owner) {}
-    Ticket(Ticket&& other) noexcept : owner_(other.owner_) {
+    Ticket(AdmissionController* owner, int64_t weight)
+        : owner_(owner), weight_(weight) {}
+    Ticket(Ticket&& other) noexcept
+        : owner_(other.owner_), weight_(other.weight_) {
       other.owner_ = nullptr;
     }
     Ticket& operator=(Ticket&& other) noexcept {
       if (this != &other) {
         Release();
         owner_ = other.owner_;
+        weight_ = other.weight_;
         other.owner_ = nullptr;
       }
       return *this;
@@ -43,22 +56,25 @@ class AdmissionController {
     ~Ticket() { Release(); }
 
     explicit operator bool() const { return owner_ != nullptr; }
+    int64_t weight() const { return weight_; }
 
    private:
     void Release() {
       if (owner_ != nullptr) {
-        owner_->Exit();
+        owner_->Exit(weight_);
         owner_ = nullptr;
       }
     }
     AdmissionController* owner_ = nullptr;
+    int64_t weight_ = 0;
   };
 
-  /// Tries to claim an in-flight slot. A falsy ticket means the service is
-  /// saturated; the rejection counter has been bumped.
-  Ticket TryAdmit();
+  /// Tries to claim `weight` capacity units (clamped up to 1). A falsy
+  /// ticket means the service is saturated; the rejection counter has
+  /// been bumped.
+  Ticket TryAdmit(int64_t weight = 1);
 
-  int max_in_flight() const { return max_in_flight_; }
+  int64_t capacity() const { return capacity_; }
   int64_t in_flight() const {
     return in_flight_.load(std::memory_order_relaxed);
   }
@@ -73,11 +89,13 @@ class AdmissionController {
   }
 
  private:
-  void Exit() { in_flight_.fetch_sub(1, std::memory_order_release); }
+  void Exit(int64_t weight) {
+    in_flight_.fetch_sub(weight, std::memory_order_release);
+  }
   void UpdatePeak(int64_t candidate);
 
-  const int max_in_flight_;
-  std::atomic<int64_t> in_flight_{0};
+  const int64_t capacity_;
+  std::atomic<int64_t> in_flight_{0};  ///< capacity units, not requests
   std::atomic<int64_t> peak_{0};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> rejected_{0};

@@ -72,4 +72,9 @@ util::StatusOr<EstimateRequest> ParseRequestLine(std::string_view line) {
   return request;
 }
 
+int64_t RequestWeight(const query::QueryGraph& query) {
+  const int64_t edges = static_cast<int64_t>(query.edges().size());
+  return edges < 1 ? 1 : edges;
+}
+
 }  // namespace cegraph::service

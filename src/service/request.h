@@ -58,6 +58,19 @@ struct EstimateResponse {
   std::vector<EstimatorResult> results;
 };
 
+/// One line's outcome inside a batch estimate (wire v3): the request-level
+/// status this line would have earned as its own v1 estimate frame
+/// (parse failure, label out of range, ...) plus the estimate body on OK.
+struct BatchEstimateItem {
+  util::Status status;
+  EstimateResponse estimate;  ///< meaningful iff status.ok()
+};
+
+/// Admission weight of one estimate request: its pattern size (query
+/// edges, min 1). This is the unit the cost-aware AdmissionController
+/// prices — a batch frame weighs the sum of its lines' weights.
+int64_t RequestWeight(const query::QueryGraph& query);
+
 }  // namespace cegraph::service
 
 #endif  // CEGRAPH_SERVICE_REQUEST_H_

@@ -1,9 +1,12 @@
 #include "service/server.h"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 
 #include <sstream>
 #include <utility>
@@ -11,6 +14,32 @@
 #include "dynamic/delta_io.h"
 
 namespace cegraph::service {
+
+namespace {
+
+/// epoll user-data tags for the two non-connection fds; connection ids
+/// start at 2 (see next_conn_id_).
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+/// Above this many unflushed response bytes the I/O thread stops reading
+/// a connection (drops EPOLLIN interest) until the peer drains its
+/// socket: a pipelining client that never reads cannot grow `out`
+/// without bound.
+constexpr size_t kOutHighWater = 4u << 20;
+
+/// Appends one length-prefixed frame (the wire framing: LE u32 payload
+/// size, payload) to an output buffer.
+void AppendFrame(std::string& out, std::string_view payload) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  const char prefix[4] = {
+      static_cast<char>(n & 0xff), static_cast<char>((n >> 8) & 0xff),
+      static_cast<char>((n >> 16) & 0xff), static_cast<char>((n >> 24) & 0xff)};
+  out.append(prefix, sizeof prefix);
+  out.append(payload.data(), payload.size());
+}
+
+}  // namespace
 
 TcpServer::TcpServer(EstimationService& service, ServerOptions options)
     : catalog_(single_), options_(std::move(options)) {
@@ -35,10 +64,59 @@ util::Status TcpServer::Start() {
     return port.status();
   }
   port_ = *port;
+  const int workers = options_.workers < 1 ? 1 : options_.workers;
+
+  if (options_.dispatch == ServerOptions::Dispatch::kEventLoop) {
+    auto fail = [this](util::Status status) {
+      if (epoll_fd_ >= 0) ::close(epoll_fd_);
+      if (wake_fd_ >= 0) ::close(wake_fd_);
+      epoll_fd_ = wake_fd_ = -1;
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    };
+    if (auto status = wire::SetNonBlocking(listen_fd_); !status.ok()) {
+      return fail(status);
+    }
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      return fail(util::InternalError(std::string("epoll_create1: ") +
+                                      std::strerror(errno)));
+    }
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      return fail(
+          util::InternalError(std::string("eventfd: ") + std::strerror(errno)));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      return fail(util::InternalError(std::string("epoll_ctl(listen): ") +
+                                      std::strerror(errno)));
+    }
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+      return fail(util::InternalError(std::string("epoll_ctl(wake): ") +
+                                      std::strerror(errno)));
+    }
+    work_.clear();
+    completions_.clear();
+    next_conn_id_ = 2;
+    event_stop_.store(false, std::memory_order_relaxed);
+    started_ = true;
+    stopping_ = false;
+    io_ = std::thread([this] { IoLoop(); });
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { EventWorkerLoop(); });
+    }
+    return util::Status::OK();
+  }
+
   started_ = true;
   stopping_ = false;
   acceptor_ = std::thread([this] { AcceptLoop(); });
-  const int workers = options_.workers < 1 ? 1 : options_.workers;
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -47,31 +125,55 @@ util::Status TcpServer::Start() {
 }
 
 void TcpServer::Stop() {
+  std::thread io;
   std::thread acceptor;
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (!started_ || stopping_) return;
     stopping_ = true;
+    io = std::move(io_);
     acceptor = std::move(acceptor_);
     workers = std::move(workers_);
-    // Unblock workers parked in a read: SHUT_RD makes their next (or
-    // current) read return EOF, and they observe stopping_ on the way
+    // Unblock legacy workers parked in a read: SHUT_RD makes their next
+    // (or current) read return EOF, and they observe stopping_ on the way
     // out. The write side stays open so a worker mid-request can still
     // deliver its response — the drain contract: every request the
     // server accepted is answered.
     for (const int fd : active_) ::shutdown(fd, SHUT_RD);
   }
-  // Closing the listener unblocks accept().
-  if (listen_fd_ >= 0) {
+  event_stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+  }
+  work_cv_.notify_all();
+  if (wake_fd_ >= 0) WakeIo();
+  if (options_.dispatch == ServerOptions::Dispatch::kThreadPerConnection &&
+      listen_fd_ >= 0) {
+    // Closing the listener unblocks the legacy acceptor's accept(). The
+    // event loop's listener is non-blocking and polled — the I/O thread
+    // still owns it, so it is closed after the join instead.
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
   queue_cv_.notify_all();
+  if (io.joinable()) io.join();
   if (acceptor.joinable()) acceptor.join();
   for (std::thread& t : workers) {
     if (t.joinable()) t.join();
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -82,10 +184,7 @@ void TcpServer::Stop() {
     started_ = false;
   }
   stopped_.store(true, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(shutdown_mutex_);
-  }
-  shutdown_cv_.notify_all();
+  NotifyShutdownRequested();
 }
 
 bool TcpServer::WaitUntilShutdown() {
@@ -97,6 +196,321 @@ bool TcpServer::WaitUntilShutdown() {
   return shutdown_requested_.load(std::memory_order_relaxed);
 }
 
+void TcpServer::NotifyShutdownRequested() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  }
+  shutdown_cv_.notify_all();
+}
+
+std::string TcpServer::EncodeOverloadReject(const std::string& what) {
+  wire::Response response;
+  response.status = util::ResourceExhaustedError(what + "; retry");
+  return wire::EncodeResponse(response);
+}
+
+// ---- event loop (kEventLoop) ----
+
+void TcpServer::IoLoop() {
+  std::vector<epoll_event> events(512);
+  while (!event_stop_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                     /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (event_stop_.load(std::memory_order_relaxed)) break;
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        HandleAccept();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t counter = 0;
+        while (::read(wake_fd_, &counter, sizeof counter) > 0) {
+        }
+        HandleCompletions();
+        continue;
+      }
+      const auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn* conn = it->second.get();
+      const uint32_t ev = events[i].events;
+      if (ev & (EPOLLERR | EPOLLHUP)) {
+        // The peer is gone in both directions (reset / full close); any
+        // in-flight completion for this id is dropped when it arrives.
+        CloseConn(*conn);
+        continue;
+      }
+      if (ev & EPOLLIN) {
+        HandleReadable(*conn);
+        const auto again = conns_.find(tag);
+        if (again == conns_.end()) continue;  // HandleReadable closed it
+        conn = again->second.get();
+      }
+      if (ev & EPOLLOUT) FlushConn(*conn);
+    }
+  }
+  for (auto& entry : conns_) ::close(entry.second->fd);
+  conns_.clear();
+}
+
+void TcpServer::HandleAccept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: accepted everything pending
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    wire::SetTcpNoDelay(fd);
+    if (options_.max_connections > 0 &&
+        conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      // The accepted fd is still blocking (O_NONBLOCK does not inherit
+      // through accept), so the refusal frame can be written inline.
+      (void)wire::WriteFrame(
+          fd, EncodeOverloadReject(
+                  "server at connection capacity (" +
+                  std::to_string(options_.max_connections) + " connections)"));
+      ::close(fd);
+      continue;
+    }
+    if (!wire::SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->epoll_events = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void TcpServer::HandleReadable(Conn& conn) {
+  if (conn.draining) return;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof buf) break;  // socket drained
+      continue;
+    }
+    if (n == 0) {
+      conn.draining = true;  // peer EOF; answer what was pipelined, then close
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(conn);
+    return;
+  }
+  ParseFrames(conn);
+  PumpConn(conn);
+  FlushConn(conn);  // may close `conn`; nothing after this line
+}
+
+void TcpServer::ParseFrames(Conn& conn) {
+  const int pipeline_cap = options_.max_pipelined_requests;
+  while (conn.in.size() - conn.in_pos >= 4) {
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(conn.in.data()) + conn.in_pos;
+    const uint32_t length = static_cast<uint32_t>(p[0]) |
+                            (static_cast<uint32_t>(p[1]) << 8) |
+                            (static_cast<uint32_t>(p[2]) << 16) |
+                            (static_cast<uint32_t>(p[3]) << 24);
+    if (length > options_.max_frame_bytes) {
+      // Same contract as the blocking path's ReadFrame: the stream cannot
+      // be resynced, but the client gets the reason as an (in-order)
+      // error frame before the connection closes.
+      wire::Response response;
+      response.status = util::InvalidArgumentError(
+          "frame of " + std::to_string(length) + " bytes exceeds the " +
+          std::to_string(options_.max_frame_bytes) + "-byte limit");
+      conn.pending.push_back({wire::EncodeResponse(response), true});
+      conn.draining = true;
+      conn.close_after_flush = true;
+      conn.in.clear();
+      conn.in_pos = 0;
+      return;
+    }
+    if (conn.in.size() - conn.in_pos - 4 < length) break;  // partial frame
+    conn.in_pos += 4;
+    std::string payload = conn.in.substr(conn.in_pos, length);
+    conn.in_pos += length;
+    if (pipeline_cap > 0 &&
+        conn.pending.size() >= static_cast<size_t>(pipeline_cap)) {
+      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      conn.pending.push_back(
+          {EncodeOverloadReject("connection pipeline full (" +
+                                std::to_string(pipeline_cap) +
+                                " frames queued)"),
+           true});
+    } else {
+      conn.pending.push_back({std::move(payload), false});
+    }
+  }
+  if (conn.in_pos == conn.in.size()) {
+    conn.in.clear();
+    conn.in_pos = 0;
+  } else if (conn.in_pos > 4096) {
+    conn.in.erase(0, conn.in_pos);
+    conn.in_pos = 0;
+  }
+}
+
+void TcpServer::PumpConn(Conn& conn) {
+  while (!conn.busy && !conn.pending.empty()) {
+    Conn::PendingFrame& front = conn.pending.front();
+    if (front.rejected) {
+      AppendFrame(conn.out, front.payload);
+      conn.pending.pop_front();
+      continue;
+    }
+    WorkItem item;
+    item.conn_id = conn.id;
+    item.payload = std::move(front.payload);
+    conn.pending.pop_front();
+    conn.busy = true;
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      work_.push_back(std::move(item));
+    }
+    work_cv_.notify_one();
+  }
+}
+
+void TcpServer::HandleWritable(Conn& conn) { FlushConn(conn); }
+
+void TcpServer::FlushConn(Conn& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                              conn.out.size() - conn.out_pos);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConn(conn);
+    return;
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+    if ((conn.close_after_flush || conn.draining) && !conn.busy &&
+        conn.pending.empty()) {
+      CloseConn(conn);
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void TcpServer::UpdateInterest(Conn& conn) {
+  uint32_t want = 0;
+  const size_t backlog = conn.out.size() - conn.out_pos;
+  if (!conn.draining && backlog < kOutHighWater) want |= EPOLLIN;
+  if (backlog > 0) want |= EPOLLOUT;
+  if (want == conn.epoll_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.epoll_events = want;
+}
+
+void TcpServer::CloseConn(Conn& conn) {
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conns_.erase(conn.id);  // destroys `conn`
+}
+
+void TcpServer::HandleCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) {
+    const auto it = conns_.find(done.conn_id);
+    if (it != conns_.end()) {
+      Conn& conn = *it->second;
+      conn.busy = false;
+      conn.out.append(done.frame);
+      if (done.shutdown) conn.close_after_flush = true;
+      PumpConn(conn);
+      FlushConn(conn);  // may close `conn`
+    }
+    if (done.shutdown) {
+      // Signalled after the flush attempt so the draining daemon tears
+      // the server down only once the response is (normally) on the wire.
+      shutdown_requested_.store(true, std::memory_order_relaxed);
+      NotifyShutdownRequested();
+    }
+  }
+}
+
+void TcpServer::EventWorkerLoop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, [&] {
+        return event_stop_.load(std::memory_order_relaxed) || !work_.empty();
+      });
+      if (work_.empty()) return;  // stopping
+      item = std::move(work_.front());
+      work_.pop_front();
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    wire::Response response;
+    bool shutdown = false;
+    auto request = wire::DecodeRequest(item.payload);
+    if (!request.ok()) {
+      response.status = request.status();
+    } else {
+      response = Dispatch(*request);
+      // Only an *accepted* shutdown drains the server (a dataset-
+      // qualified one was answered with an error frame and must not).
+      shutdown = request->type == wire::MessageType::kShutdown &&
+                 response.status.ok();
+    }
+
+    Completion done;
+    done.conn_id = item.conn_id;
+    AppendFrame(done.frame, wire::EncodeResponse(response));
+    done.shutdown = shutdown;
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+      completions_.push_back(std::move(done));
+    }
+    WakeIo();
+  }
+}
+
+void TcpServer::WakeIo() {
+  const uint64_t one = 1;
+  for (;;) {
+    if (::write(wake_fd_, &one, sizeof one) >= 0 || errno != EINTR) return;
+  }
+}
+
+// ---- thread-per-connection (kThreadPerConnection) ----
+
 void TcpServer::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -106,13 +520,31 @@ void TcpServer::AcceptLoop() {
       return;
     }
     connections_.fetch_add(1, std::memory_order_relaxed);
+    wire::SetTcpNoDelay(fd);
+    bool reject = false;
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       if (stopping_) {
         ::close(fd);
         return;
       }
-      queue_.push_back(fd);
+      if (options_.max_queued_connections > 0 &&
+          queue_.size() >=
+              static_cast<size_t>(options_.max_queued_connections)) {
+        reject = true;
+      } else {
+        queue_.push_back(fd);
+      }
+    }
+    if (reject) {
+      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      (void)wire::WriteFrame(
+          fd, EncodeOverloadReject(
+                  "server accept queue full (" +
+                  std::to_string(options_.max_queued_connections) +
+                  " connections waiting)"));
+      ::close(fd);
+      continue;
     }
     queue_cv_.notify_one();
   }
@@ -169,10 +601,7 @@ void TcpServer::ServeConnection(int fd) {
     if (request.ok() && request->type == wire::MessageType::kShutdown &&
         response.status.ok()) {
       shutdown_requested_.store(true, std::memory_order_relaxed);
-      {
-        std::lock_guard<std::mutex> lock(shutdown_mutex_);
-      }
-      shutdown_cv_.notify_all();
+      NotifyShutdownRequested();
       return;
     }
     {
@@ -221,6 +650,15 @@ wire::Response TcpServer::Dispatch(const wire::Request& request) {
         response.status = estimate.status();
       } else {
         response.estimate = std::move(*estimate);
+      }
+      break;
+    }
+    case wire::MessageType::kBatchEstimate: {
+      auto batch = service->EstimateBatch(request.lines);
+      if (!batch.ok()) {
+        response.status = batch.status();
+      } else {
+        response.batch = std::move(*batch);
       }
       break;
     }

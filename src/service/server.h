@@ -5,9 +5,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -21,20 +23,55 @@ namespace cegraph::service {
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 = ephemeral (read the actual one from port())
-  /// Worker threads handling connections. Estimation itself runs on the
-  /// worker; more workers = more concurrent estimation (the service's
-  /// serving states are wait-free for readers, so workers scale).
+  /// Worker threads decoding, serving and encoding requests. Estimation
+  /// itself runs on the worker; more workers = more concurrent estimation
+  /// (the service's serving states are wait-free for readers, so workers
+  /// scale). Under kEventLoop this pool is the *only* per-request
+  /// concurrency — connections cost file descriptors, not threads.
   int workers = 4;
   int backlog = 128;
   uint32_t max_frame_bytes = wire::kMaxFrameBytes;
+
+  /// How connections are multiplexed onto the worker pool.
+  enum class Dispatch {
+    /// One epoll I/O thread owns every connection (non-blocking sockets,
+    /// incremental frame reassembly) and hands complete request frames to
+    /// the worker pool. Thousands of mostly-idle connections cost fds,
+    /// not threads. The default.
+    kEventLoop,
+    /// The original blocking model: an acceptor queues connections and
+    /// each worker serves one connection at a time, frame by blocking
+    /// frame. Kept as the bench baseline the event loop is gated against.
+    kThreadPerConnection,
+  };
+  Dispatch dispatch = Dispatch::kEventLoop;
+
+  /// kEventLoop: cap on concurrently open connections. An accept beyond
+  /// the cap is answered with a retryable RESOURCE_EXHAUSTED error frame
+  /// and closed. <= 0 = unbounded.
+  int max_connections = 10000;
+  /// kEventLoop: per-connection cap on pipelined frames that are decoded
+  /// but not yet served (one frame per connection is in the workers at a
+  /// time; the rest wait here). An overflowing frame is answered — in
+  /// pipeline order — with a retryable RESOURCE_EXHAUSTED error frame
+  /// instead of buffering without bound. <= 0 = unbounded.
+  int max_pipelined_requests = 128;
+  /// kThreadPerConnection: cap on accepted connections waiting for a free
+  /// worker (this deque was previously unbounded). Beyond the cap the
+  /// connection is answered with a retryable RESOURCE_EXHAUSTED error
+  /// frame and closed. <= 0 = unbounded.
+  int max_queued_connections = 1024;
 };
 
-/// The thread-pool request dispatcher of `cegraph_serve`, reusable
-/// in-process (loopback benches, tests): an acceptor thread queues
-/// connections, workers drain them frame by frame, every frame gets
-/// exactly one response frame. Requests are routed through a
-/// DatasetCatalog by their wire `dataset` field (empty = the catalog's
-/// default dataset), so one server front-ends many independent
+/// The request dispatcher of `cegraph_serve`, reusable in-process
+/// (loopback benches, tests). Under the default kEventLoop mode a single
+/// I/O thread multiplexes every connection through epoll — non-blocking
+/// sockets, per-connection read/write buffers reassembling length-
+/// prefixed frames incrementally — and hands complete requests to a
+/// fixed worker pool; responses on one connection are delivered strictly
+/// in request order, so clients may pipeline. Requests are routed
+/// through a DatasetCatalog by their wire `dataset` field (empty = the
+/// catalog's default dataset), so one server front-ends many independent
 /// EstimationServices. A kShutdown request (or Stop()) drains and joins
 /// everything; the catalog/services outlive the server and may be shared
 /// by several servers.
@@ -51,13 +88,13 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens and spawns the acceptor + workers. The bound port is
-  /// available from port() once Start returns OK.
+  /// Binds, listens and spawns the I/O + worker threads. The bound port
+  /// is available from port() once Start returns OK.
   util::Status Start();
 
   int port() const { return port_; }
 
-  /// Closes the listener, drains queued connections, joins all threads.
+  /// Closes the listener, tears down connections, joins all threads.
   /// Idempotent; called by the destructor.
   void Stop();
 
@@ -74,12 +111,79 @@ class TcpServer {
   uint64_t requests_handled() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Connections or pipelined frames refused with a retryable error frame
+  /// (connection cap, pipeline cap, or the legacy queue cap).
+  uint64_t overload_rejections() const {
+    return overload_rejections_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // ---- shared ----
+  wire::Response Dispatch(const wire::Request& request);
+  void NotifyShutdownRequested();
+  /// The pre-encoded retryable refusal payload for overload rejections.
+  std::string EncodeOverloadReject(const std::string& what);
+
+  // ---- event loop (kEventLoop) ----
+  /// One connection's multiplexing state. Owned and mutated by the I/O
+  /// thread only; workers refer to connections by id, never by pointer.
+  struct Conn {
+    uint64_t id = 0;
+    int fd = -1;
+    uint32_t epoll_events = 0;  ///< interest set currently registered
+
+    std::string in;      ///< raw bytes read, not yet consumed
+    size_t in_pos = 0;   ///< parse offset into `in`
+
+    /// A decoded-but-unserved pipelined frame. `rejected` entries carry a
+    /// pre-encoded response payload (pipeline-cap refusals, protocol
+    /// errors) that is emitted when the entry reaches the front — which
+    /// is what keeps responses in request order.
+    struct PendingFrame {
+      std::string payload;
+      bool rejected = false;
+    };
+    std::deque<PendingFrame> pending;
+    bool busy = false;  ///< one frame from this conn is in the workers
+
+    std::string out;     ///< encoded frames awaiting the socket
+    size_t out_pos = 0;  ///< flush offset into `out`
+
+    bool draining = false;          ///< peer EOF / protocol error: no more reads
+    bool close_after_flush = false; ///< close once pending + out are empty
+  };
+
+  /// A complete request frame travelling I/O thread -> worker.
+  struct WorkItem {
+    uint64_t conn_id = 0;
+    std::string payload;
+  };
+  /// An encoded response frame travelling worker -> I/O thread.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string frame;  ///< length prefix + payload, ready for the socket
+    bool shutdown = false;
+  };
+
+  void IoLoop();
+  void EventWorkerLoop();
+  void HandleAccept();
+  void HandleReadable(Conn& conn);
+  void HandleWritable(Conn& conn);
+  void ParseFrames(Conn& conn);
+  /// Emits front-of-queue rejected entries and dispatches the next real
+  /// frame when the connection is idle.
+  void PumpConn(Conn& conn);
+  void FlushConn(Conn& conn);
+  void UpdateInterest(Conn& conn);
+  void CloseConn(Conn& conn);
+  void HandleCompletions();
+  void WakeIo();
+
+  // ---- thread-per-connection (kThreadPerConnection) ----
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
-  wire::Response Dispatch(const wire::Request& request);
 
   /// Backing store for the single-service constructor; unused otherwise.
   DatasetCatalog single_;
@@ -88,14 +192,31 @@ class TcpServer {
 
   int listen_fd_ = -1;
   int port_ = 0;
+
+  // Event-loop plumbing.
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: workers (and Stop) kick epoll_wait
+  std::thread io_;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;  // I/O thread only
+  /// epoll user-data tags 0/1 mark the listener / wake eventfd.
+  uint64_t next_conn_id_ = 2;
+  std::atomic<bool> event_stop_{false};
+
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<WorkItem> work_;
+
+  std::mutex completion_mutex_;
+  std::vector<Completion> completions_;
+
+  // Legacy plumbing (also reused for started/stopping bookkeeping).
   std::thread acceptor_;
   std::vector<std::thread> workers_;
-
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<int> queue_;
-  /// Connections a worker is currently serving; Stop() shuts them down so
-  /// reads blocked mid-connection unblock with EOF.
+  /// Connections a legacy worker is currently serving; Stop() shuts them
+  /// down so reads blocked mid-connection unblock with EOF.
   std::unordered_set<int> active_;
   bool stopping_ = false;
   bool started_ = false;
@@ -106,6 +227,7 @@ class TcpServer {
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> overload_rejections_{0};
 };
 
 }  // namespace cegraph::service

@@ -115,19 +115,25 @@ void EstimationService::Publish(std::shared_ptr<const ServingState> state) {
 
 util::StatusOr<EstimateResponse> EstimationService::Estimate(
     const EstimateRequest& request) const {
-  AdmissionController::Ticket ticket = admission_.TryAdmit();
+  AdmissionController::Ticket ticket =
+      admission_.TryAdmit(RequestWeight(request.query));
   if (!ticket) {
     return util::ResourceExhaustedError(
-        "service saturated (" + std::to_string(admission_.max_in_flight()) +
-        " requests in flight)");
+        "service saturated (" + std::to_string(admission_.capacity()) +
+        " weight units in flight); retry");
   }
-  const double t0 = NowMicros();
 
   // The whole request runs against this one state: same graph, same
   // statistics, same estimator instances, one epoch. The shared_ptr keeps
   // it alive even if the maintainer publishes successors mid-request.
   const std::shared_ptr<const ServingState> state = AcquireState();
-  const graph::Graph& g = state->engine->context().graph();
+  return EstimateOnState(*state, request);
+}
+
+util::StatusOr<EstimateResponse> EstimationService::EstimateOnState(
+    const ServingState& state, const EstimateRequest& request) const {
+  const double t0 = NowMicros();
+  const graph::Graph& g = state.engine->context().graph();
   for (const query::QueryEdge& e : request.query.edges()) {
     if (e.label >= g.num_labels()) {
       request_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -139,18 +145,18 @@ util::StatusOr<EstimateResponse> EstimationService::Estimate(
   }
 
   EstimateResponse response;
-  response.epoch = state->epoch;
-  response.state_version = state->version;
+  response.epoch = state.epoch;
+  response.state_version = state.version;
   if (request.truth.has_value()) {
     response.has_truth = true;
     response.truth = *request.truth;
   }
-  response.results.reserve(state->suite.size());
-  for (size_t i = 0; i < state->suite.size(); ++i) {
+  response.results.reserve(state.suite.size());
+  for (size_t i = 0; i < state.suite.size(); ++i) {
     EstimatorResult result;
-    result.name = state->names[i];
+    result.name = state.names[i];
     const double e0 = NowMicros();
-    auto estimate = state->suite[i]->Estimate(request.query);
+    auto estimate = state.suite[i]->Estimate(request.query);
     result.micros = NowMicros() - e0;
     if (estimate.ok()) {
       result.ok = true;
@@ -192,6 +198,90 @@ util::StatusOr<EstimateResponse> EstimationService::EstimateLine(
     return request.status();
   }
   return Estimate(*request);
+}
+
+std::vector<BatchEstimateItem> EstimationService::RunBatchOnCurrentState(
+    const std::vector<const EstimateRequest*>& parsed,
+    const std::vector<util::Status>& errors) const {
+  // One state for the whole batch: every item shares a single epoch, the
+  // per-frame extension of the one-request consistency contract.
+  const std::shared_ptr<const ServingState> state = AcquireState();
+  std::vector<BatchEstimateItem> items(parsed.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    if (parsed[i] == nullptr) {
+      items[i].status = errors[i];
+      continue;
+    }
+    auto response = EstimateOnState(*state, *parsed[i]);
+    if (response.ok()) {
+      items[i].estimate = std::move(*response);
+    } else {
+      items[i].status = response.status();
+    }
+  }
+  return items;
+}
+
+util::StatusOr<std::vector<BatchEstimateItem>>
+EstimationService::EstimateBatch(
+    const std::vector<std::string>& lines) const {
+  if (lines.empty()) {
+    return util::InvalidArgumentError("batch carries no estimate lines");
+  }
+  std::vector<util::StatusOr<EstimateRequest>> parsed;
+  parsed.reserve(lines.size());
+  int64_t weight = 0;
+  for (const std::string& line : lines) {
+    parsed.push_back(ParseRequestLine(line));
+    if (parsed.back().ok()) {
+      weight += RequestWeight(parsed.back()->query);
+    } else {
+      request_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // The frame is admitted (or shed) as one unit, priced by everything it
+  // carries — a rejected batch costs the service nothing.
+  AdmissionController::Ticket ticket = admission_.TryAdmit(weight);
+  if (!ticket) {
+    return util::ResourceExhaustedError(
+        "service saturated (" + std::to_string(admission_.capacity()) +
+        " weight units in flight); retry the batch");
+  }
+  std::vector<const EstimateRequest*> pointers(parsed.size(), nullptr);
+  std::vector<util::Status> errors(parsed.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    if (parsed[i].ok()) {
+      pointers[i] = &*parsed[i];
+    } else {
+      errors[i] = parsed[i].status();
+    }
+  }
+  return RunBatchOnCurrentState(pointers, errors);
+}
+
+util::StatusOr<std::vector<BatchEstimateItem>>
+EstimationService::EstimateBatch(
+    const std::vector<const EstimateRequest*>& requests) const {
+  if (requests.empty()) {
+    return util::InvalidArgumentError("batch carries no estimate requests");
+  }
+  int64_t weight = 0;
+  for (const EstimateRequest* request : requests) {
+    if (request != nullptr) weight += RequestWeight(request->query);
+  }
+  AdmissionController::Ticket ticket = admission_.TryAdmit(weight);
+  if (!ticket) {
+    return util::ResourceExhaustedError(
+        "service saturated (" + std::to_string(admission_.capacity()) +
+        " weight units in flight); retry the batch");
+  }
+  std::vector<util::Status> errors(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i] == nullptr) {
+      errors[i] = util::InvalidArgumentError("null request in batch");
+    }
+  }
+  return RunBatchOnCurrentState(requests, errors);
 }
 
 util::Status EstimationService::SubmitDeltas(

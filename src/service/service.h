@@ -43,8 +43,11 @@ struct ServiceOptions {
   std::vector<std::string> estimators = {"max-hop-max", "all-hops-avg",
                                          "molp", "cbs", "cs"};
   engine::ContextOptions context;
-  /// In-flight request cap (AdmissionController); <= 0 = unbounded.
-  int max_in_flight = 1024;
+  /// Admission capacity in *weight units* (cost-aware
+  /// AdmissionController): each estimate charges its pattern size, a
+  /// batch the sum of its lines, so heavyweight traffic saturates
+  /// admission proportionally sooner. <= 0 = unbounded.
+  int max_in_flight = 4096;
   /// Background compaction trigger: when this many pending delta
   /// operations have accumulated, the maintainer thread folds them into a
   /// new serving state. <= 0 disables the background thread (deltas apply
@@ -146,6 +149,21 @@ class EstimationService {
   /// ParseRequestLine + Estimate. Parse failures count as request errors.
   util::StatusOr<EstimateResponse> EstimateLine(std::string_view line) const;
 
+  /// Serves one wire-v3 batch: N request lines admitted as ONE unit (the
+  /// summed weight of the parseable lines) and answered in order against
+  /// ONE serving state, so every item in a batch shares a single epoch.
+  /// The outer status is the frame-level outcome — ResourceExhausted when
+  /// admission refuses the whole batch (retryable), InvalidArgument for an
+  /// empty batch; per-line failures (parse, label range) land inside their
+  /// item, exactly as the same line would have failed as its own v1 frame.
+  util::StatusOr<std::vector<BatchEstimateItem>> EstimateBatch(
+      const std::vector<std::string>& lines) const;
+
+  /// The pre-parsed twin (harness drivers): same admission and single-state
+  /// contract; `requests` are borrowed for the call.
+  util::StatusOr<std::vector<BatchEstimateItem>> EstimateBatch(
+      const std::vector<const EstimateRequest*>& requests) const;
+
   /// Queues delta operations for ingestion. The batch is applied by the
   /// background maintainer once pending volume reaches
   /// options.compact_trigger_ops, or synchronously via FlushDeltas.
@@ -188,6 +206,20 @@ class EstimationService {
   /// epoch/version) without publishing it.
   util::StatusOr<std::shared_ptr<ServingState>> MakeState(
       std::unique_ptr<engine::EstimationContext> context, uint64_t version);
+
+  /// The admitted body of Estimate: runs `request` against `state`
+  /// (label validation, estimator loop, accounting) without touching
+  /// admission — shared by the single and batch paths so a batched line
+  /// answers bit-identically to its own v1 frame.
+  util::StatusOr<EstimateResponse> EstimateOnState(
+      const ServingState& state, const EstimateRequest& request) const;
+
+  /// Admitted batch body shared by both EstimateBatch overloads:
+  /// `parsed[i]` is null when the line failed before estimation, with
+  /// `errors[i]` carrying that line's status.
+  std::vector<BatchEstimateItem> RunBatchOnCurrentState(
+      const std::vector<const EstimateRequest*>& parsed,
+      const std::vector<util::Status>& errors) const;
 
   /// Trims the (not yet published) state's replay log to the retention
   /// window; returns ops dropped.

@@ -1,6 +1,7 @@
 #include "service/wire.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -22,7 +23,7 @@ constexpr char kConnectionClosed[] = "connection closed";
 
 bool ValidType(uint8_t type) {
   return type >= static_cast<uint8_t>(MessageType::kEstimate) &&
-         type <= static_cast<uint8_t>(MessageType::kShutdown);
+         type <= static_cast<uint8_t>(MessageType::kBatchEstimate);
 }
 
 void EncodeEstimate(Writer& w, const EstimateResponse& estimate) {
@@ -234,12 +235,59 @@ util::StatusOr<ServiceStats> DecodeStats(Reader& r) {
   return stats;
 }
 
+void EncodeBatch(Writer& w, const std::vector<BatchEstimateItem>& batch) {
+  w.WriteU32(static_cast<uint32_t>(batch.size()));
+  for (const BatchEstimateItem& item : batch) {
+    w.WriteU8(static_cast<uint8_t>(item.status.code()));
+    w.WriteString(item.status.message());
+    if (item.status.ok()) EncodeEstimate(w, item.estimate);
+  }
+}
+
+util::StatusOr<std::vector<BatchEstimateItem>> DecodeBatch(Reader& r) {
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  if (*count > r.remaining()) {
+    return util::InvalidArgumentError(
+        "batch item count exceeds frame payload");
+  }
+  std::vector<BatchEstimateItem> batch;
+  batch.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    BatchEstimateItem item;
+    auto code = r.ReadU8();
+    if (!code.ok()) return code.status();
+    if (*code > static_cast<uint8_t>(util::StatusCode::kResourceExhausted)) {
+      return util::InvalidArgumentError("unknown batch item status code " +
+                                        std::to_string(*code));
+    }
+    auto message = r.ReadString();
+    if (!message.ok()) return message.status();
+    if (*code != 0) {
+      item.status = util::Status(static_cast<util::StatusCode>(*code),
+                                 std::move(*message));
+    } else {
+      auto estimate = DecodeEstimate(r);
+      if (!estimate.ok()) return estimate.status();
+      item.estimate = std::move(*estimate);
+    }
+    batch.push_back(std::move(item));
+  }
+  return batch;
+}
+
 }  // namespace
 
 std::string EncodeRequest(const Request& request) {
   Writer w;
   w.WriteU8(static_cast<uint8_t>(request.type));
-  w.WriteString(request.text);
+  if (request.type == MessageType::kBatchEstimate) {
+    // v3 batch frame: a counted line list replaces the single text field.
+    w.WriteU32(static_cast<uint32_t>(request.lines.size()));
+    for (const std::string& line : request.lines) w.WriteString(line);
+  } else {
+    w.WriteString(request.text);
+  }
   // v2 trailing field, encoded only when set: a request without a dataset
   // stays byte-identical to a v1 frame (old servers keep accepting it).
   if (!request.dataset.empty()) w.WriteString(request.dataset);
@@ -254,11 +302,29 @@ util::StatusOr<Request> DecodeRequest(std::string_view payload) {
     return util::UnimplementedError("unknown request type " +
                                     std::to_string(*type));
   }
-  auto text = r.ReadString();
-  if (!text.ok()) return text.status();
   Request request;
   request.type = static_cast<MessageType>(*type);
-  request.text = std::move(*text);
+  if (request.type == MessageType::kBatchEstimate) {
+    auto count = r.ReadU32();
+    if (!count.ok()) return count.status();
+    // Every line occupies at least its u64 length prefix, so a count
+    // beyond the remaining payload is corruption — reject it before
+    // reserve() turns it into a multi-gigabyte allocation.
+    if (*count > r.remaining()) {
+      return util::InvalidArgumentError(
+          "batch line count exceeds frame payload");
+    }
+    request.lines.reserve(*count);
+    for (uint32_t i = 0; i < *count; ++i) {
+      auto line = r.ReadString();
+      if (!line.ok()) return line.status();
+      request.lines.push_back(std::move(*line));
+    }
+  } else {
+    auto text = r.ReadString();
+    if (!text.ok()) return text.status();
+    request.text = std::move(*text);
+  }
   if (!r.AtEnd()) {
     // v2 frame: the trailing dataset field.
     auto dataset = r.ReadString();
@@ -291,6 +357,9 @@ std::string EncodeResponse(const Response& response) {
       case MessageType::kPing:
       case MessageType::kShutdown:
         w.WriteString(response.text);
+        break;
+      case MessageType::kBatchEstimate:
+        EncodeBatch(w, response.batch);
         break;
     }
   }
@@ -360,6 +429,12 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
       auto text = r.ReadString();
       if (!text.ok()) return text.status();
       response.text = std::move(*text);
+      break;
+    }
+    case MessageType::kBatchEstimate: {
+      auto batch = DecodeBatch(r);
+      if (!batch.ok()) return batch.status();
+      response.batch = std::move(*batch);
       break;
     }
   }
@@ -456,9 +531,22 @@ util::StatusOr<int> DialTcp(const std::string& host, int port) {
     return util::InternalError("connect " + host + ":" +
                                std::to_string(port) + ": " + detail);
   }
+  SetTcpNoDelay(fd);
+  return fd;
+}
+
+util::Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return util::InternalError(std::string("fcntl(O_NONBLOCK): ") +
+                               std::strerror(errno));
+  }
+  return util::Status::OK();
+}
+
+void SetTcpNoDelay(int fd) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
 }
 
 util::StatusOr<int> ListenTcp(const std::string& host, int port,

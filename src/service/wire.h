@@ -4,41 +4,50 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "service/service.h"
 #include "util/status.h"
 
 namespace cegraph::service::wire {
 
-/// The cegraph wire protocol, version 2 (see docs/wire_protocol.md):
+/// The cegraph wire protocol, version 3 (see docs/wire_protocol.md):
 /// length-prefixed frames over a byte stream, little-endian throughout
 /// (util::serde).
 ///
 ///   frame    := u32 payload_bytes, payload
-///   request  := u8 type, string text [, string dataset]
+///   request  := u8 type, string text [, string dataset]            (v1/v2)
+///             | u8 7, u32 count, count x string line [, string dataset]
 ///   response := u8 code, string error?, u8 type, body? [, string dataset]
 ///
 /// One request frame yields exactly one response frame; a client may
-/// pipeline requests on one connection. `code` is the numeric
-/// util::StatusCode (0 = OK); on error the body is absent and `error`
-/// carries the status message. Unknown request types are answered with
-/// UNIMPLEMENTED, so newer clients degrade cleanly against older servers.
+/// pipeline requests on one connection and the server answers strictly in
+/// order. `code` is the numeric util::StatusCode (0 = OK); on error the
+/// body is absent and `error` carries the status message. Unknown request
+/// types are answered with UNIMPLEMENTED, so newer clients degrade
+/// cleanly against older servers.
 ///
-/// Version 2 adds the optional trailing `dataset` field: a multi-dataset
+/// Version 2 added the optional trailing `dataset` field: a multi-dataset
 /// server routes each request to the named dataset's service, and echoes
 /// the resolved name back. The field is only encoded when non-empty, so a
 /// v2 client not naming a dataset emits byte-identical v1 frames (old
 /// servers keep working), and a v1 client's frames decode with an empty
 /// dataset and are routed to the server's configurable default dataset.
+///
+/// Version 3 adds the batch estimate frame (type 7): one request carrying
+/// N estimate lines, answered by one response carrying N results in the
+/// same order, all priced into admission as a single unit and served from
+/// a single epoch — so an optimizer prices a whole join tree in one round
+/// trip. v1/v2 frames are untouched, byte for byte, in both directions.
 
 /// Upper bound on one frame's payload; larger length prefixes are treated
 /// as corruption and fail the connection.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
 
 /// Protocol revision implemented by this build (documentation constant;
-/// frames themselves are versionless — v2 is a strict, self-delimiting
-/// extension of v1, distinguished per frame by the trailing field).
-inline constexpr uint32_t kProtocolVersion = 2;
+/// frames themselves are versionless — v2/v3 are strict, self-delimiting
+/// extensions of v1, distinguished per frame by type and trailing field).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 enum class MessageType : uint8_t {
   kEstimate = 1,      ///< text: one request line (service::ParseRequestLine)
@@ -47,6 +56,7 @@ enum class MessageType : uint8_t {
   kStats = 4,         ///< text unused
   kPing = 5,          ///< text echoed back
   kShutdown = 6,      ///< text unused; server drains and exits
+  kBatchEstimate = 7, ///< v3: `lines` carries N estimate lines
 };
 
 struct Request {
@@ -55,12 +65,17 @@ struct Request {
   /// v2: the dataset this request targets; empty means "the server's
   /// default dataset" and encodes as a v1 frame (no trailing field).
   std::string dataset;
+  /// v3 batch frames only (kBatchEstimate): the estimate lines, each in
+  /// the same shape a kEstimate `text` would carry; `text` is unused.
+  /// (Declared last so pre-v3 `{type, text, dataset}` aggregate
+  /// initialization keeps meaning what it says.)
+  std::vector<std::string> lines;
 };
 
 /// The decoded answer to one request. `status` is the request-level
 /// outcome; exactly one body member is meaningful on OK, selected by
 /// `type` (estimate for kEstimate, swap for kApplyDeltas/kSwapSnapshot,
-/// stats for kStats, text for kPing/kShutdown).
+/// stats for kStats, text for kPing/kShutdown, batch for kBatchEstimate).
 struct Response {
   util::Status status;
   MessageType type = MessageType::kPing;
@@ -68,6 +83,10 @@ struct Response {
   SwapReport swap;
   ServiceStats stats;
   std::string text;
+  /// v3: per-line results of a batch frame, in request order. Each item
+  /// carries the status + body its line would have earned as its own v1
+  /// estimate frame.
+  std::vector<BatchEstimateItem> batch;
   /// v2 echo: the dataset that handled the request. Servers set it only
   /// when the request named one, so v1 clients (which reject trailing
   /// bytes) never see it.
@@ -107,6 +126,14 @@ util::StatusOr<int> ListenTcp(const std::string& host, int port,
 
 /// The locally bound port of a listening/connected socket.
 util::StatusOr<int> BoundPort(int fd);
+
+/// Puts `fd` into non-blocking mode (the event-loop server's sockets).
+util::Status SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm: the protocol's small length-prefixed
+/// frames must leave immediately, not wait for ACK coalescing. Applied to
+/// both dialed (DialTcp) and accepted (TcpServer) sockets; best-effort.
+void SetTcpNoDelay(int fd);
 
 /// Sends `request` and reads the matching response frame — the one-shot
 /// client call. Transport failures come back as the outer StatusOr; the

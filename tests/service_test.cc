@@ -171,6 +171,44 @@ TEST(AdmissionTest, UnboundedNeverRejects) {
   EXPECT_EQ(admission.in_flight(), 100);
 }
 
+TEST(AdmissionTest, WeightedAdmissionOvershootsByAtMostOneRequest) {
+  // Capacity counts weight units, not requests; a request is admitted
+  // while in-flight is *below* capacity and then charges its full weight.
+  AdmissionController admission(10);
+  auto t1 = admission.TryAdmit(4);
+  auto t2 = admission.TryAdmit(5);
+  EXPECT_TRUE(t1);
+  EXPECT_TRUE(t2);
+  EXPECT_EQ(admission.in_flight(), 9);
+  // 9 < 10: still below capacity, so even a weight-8 request gets in —
+  // the transient overshoot that keeps heavyweight batches from starving.
+  auto t3 = admission.TryAdmit(8);
+  EXPECT_TRUE(t3);
+  EXPECT_EQ(admission.in_flight(), 17);
+  // 17 >= 10: saturated; even a weight-1 request bounces now.
+  auto t4 = admission.TryAdmit(1);
+  EXPECT_FALSE(t4);
+  EXPECT_EQ(admission.rejected(), 1u);
+  { AdmissionController::Ticket released = std::move(t3); }
+  EXPECT_EQ(admission.in_flight(), 9);
+  auto t5 = admission.TryAdmit(1);
+  EXPECT_TRUE(t5);
+  EXPECT_EQ(admission.peak_in_flight(), 17);
+}
+
+TEST(AdmissionTest, ZeroWeightClampsToOne) {
+  // A degenerate weight (empty batch, weightless request) still occupies
+  // one unit — otherwise a flood of them would be invisible to admission.
+  AdmissionController admission(2);
+  auto t1 = admission.TryAdmit(0);
+  EXPECT_TRUE(t1);
+  EXPECT_EQ(admission.in_flight(), 1);
+  auto t2 = admission.TryAdmit(0);
+  EXPECT_TRUE(t2);
+  EXPECT_EQ(admission.in_flight(), 2);
+  EXPECT_FALSE(admission.TryAdmit(0));
+}
+
 // --- Wire codecs ------------------------------------------------------------
 
 TEST(WireTest, RequestRoundTrip) {
@@ -256,6 +294,40 @@ TEST(WireTest, StatsAndSwapRoundTrip) {
   EXPECT_EQ(swap_decoded->swap.epoch, 4u);
   EXPECT_EQ(swap_decoded->swap.applied_ops, 100u);
   EXPECT_EQ(swap_decoded->swap.maintenance.inserted_edges, 60u);
+}
+
+TEST(WireTest, BatchRequestAndResponseRoundTrip) {
+  // v3 request: N lines plus the v2 trailing dataset.
+  wire::Request request;
+  request.type = wire::MessageType::kBatchEstimate;
+  request.lines = {"(a)-[0]->(b)", "t 42 (a)-[1]->(b)", "garbage"};
+  request.dataset = "alpha";
+  auto decoded = wire::DecodeRequest(wire::EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->type, wire::MessageType::kBatchEstimate);
+  EXPECT_EQ(decoded->lines, request.lines);
+  EXPECT_EQ(decoded->dataset, "alpha");
+
+  // v3 response: per-item status — an error item travels without a body,
+  // an OK item carries a full estimate.
+  wire::Response response;
+  response.type = wire::MessageType::kBatchEstimate;
+  response.batch.resize(2);
+  response.batch[0].estimate.epoch = 3;
+  response.batch[0].estimate.state_version = 2;
+  response.batch[0].estimate.results = {
+      {"molp", true, 99.5, "", 10.5, 1.25}};
+  response.batch[1].status = util::InvalidArgumentError("bad line");
+  auto batch_decoded = wire::DecodeResponse(wire::EncodeResponse(response));
+  ASSERT_TRUE(batch_decoded.ok()) << batch_decoded.status();
+  ASSERT_EQ(batch_decoded->batch.size(), 2u);
+  EXPECT_TRUE(batch_decoded->batch[0].status.ok());
+  EXPECT_EQ(batch_decoded->batch[0].estimate.epoch, 3u);
+  ASSERT_EQ(batch_decoded->batch[0].estimate.results.size(), 1u);
+  EXPECT_EQ(batch_decoded->batch[0].estimate.results[0].estimate, 99.5);
+  EXPECT_EQ(batch_decoded->batch[1].status.code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(batch_decoded->batch[1].status.message(), "bad line");
 }
 
 TEST(WireTest, RejectsImplausibleResultCount) {
@@ -993,6 +1065,335 @@ TEST(TcpServerTest, ApplyDeltasOverLoopback) {
   EXPECT_EQ(swap->swap.applied_ops, 30u);
   ::close(*fd);
   EXPECT_EQ((*service)->epoch(), 1u);
+  server.Stop();
+}
+
+// --- Wire v3 batches & the event-loop dispatcher ----------------------------
+
+// The v3 acceptance criterion, in-process half: a batch of N lines answers
+// bit-identically to the same N lines served as individual calls — same
+// estimates, same epoch, same estimator names — because the whole batch
+// runs against one acquired serving state.
+TEST(ServiceTest, BatchMatchesPerLineEstimates) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  const std::vector<std::string> lines = {
+      "(a)-[0]->(b)",
+      "(a)-[0]->(b); (b)-[1]->(c)",
+      "t 100 (a)-[2]->(b)",
+  };
+  auto batch = (*service)->EstimateBatch(lines);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const BatchEstimateItem& item = (*batch)[i];
+    ASSERT_TRUE(item.status.ok()) << item.status;
+    auto single = (*service)->EstimateLine(lines[i]);
+    ASSERT_TRUE(single.ok()) << single.status();
+    EXPECT_EQ(item.estimate.epoch, single->epoch);
+    EXPECT_EQ(item.estimate.state_version, single->state_version);
+    EXPECT_EQ(item.estimate.has_truth, single->has_truth);
+    ASSERT_EQ(item.estimate.results.size(), single->results.size());
+    for (size_t j = 0; j < single->results.size(); ++j) {
+      EXPECT_EQ(item.estimate.results[j].name, single->results[j].name);
+      EXPECT_TRUE(item.estimate.results[j].ok);
+      // Bit-identical, not approximately equal: deterministic estimators
+      // on the same serving state admit nothing in between.
+      EXPECT_EQ(item.estimate.results[j].estimate,
+                single->results[j].estimate);
+      EXPECT_EQ(item.estimate.results[j].qerror, single->results[j].qerror);
+    }
+  }
+}
+
+TEST(ServiceTest, BatchReportsPerLineErrorsWithoutSinkingNeighbors) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  auto batch = (*service)->EstimateBatch(
+      {"(a)-[0]->(b)", "garbage", "(a)-[99]->(b)", "(a)-[1]->(b)"});
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), 4u);
+  EXPECT_TRUE((*batch)[0].status.ok()) << (*batch)[0].status;
+  EXPECT_EQ((*batch)[1].status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ((*batch)[2].status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_TRUE((*batch)[3].status.ok()) << (*batch)[3].status;
+  // The two good lines still answered from one shared epoch.
+  EXPECT_EQ((*batch)[0].estimate.epoch, (*batch)[3].estimate.epoch);
+}
+
+TEST(ServiceTest, EmptyBatchIsRejectedWholesale) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  auto batch = (*service)->EstimateBatch(std::vector<std::string>{});
+  EXPECT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// The acceptance criterion, wire half: a v3 batch frame of N lines returns
+// results bit-identical to the same N lines sent as individual v1 frames.
+TEST(TcpServerTest, BatchMatchesSingleFramesOverLoopback) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  TcpServer server(**service);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::string> lines = {
+      "(a)-[0]->(b)",
+      "(a)-[0]->(b); (b)-[1]->(c)",
+      "garbage",
+      "t 50 (a)-[2]->(b)",
+  };
+  auto fd = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  wire::Request batch_request;
+  batch_request.type = wire::MessageType::kBatchEstimate;
+  batch_request.lines = lines;
+  auto batch = wire::RoundTrip(*fd, batch_request);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_TRUE(batch->status.ok()) << batch->status;
+  ASSERT_EQ(batch->batch.size(), lines.size());
+
+  // Same connection, same lines, one v1 frame each.
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto single =
+        wire::RoundTrip(*fd, {wire::MessageType::kEstimate, lines[i]});
+    ASSERT_TRUE(single.ok()) << single.status();
+    const BatchEstimateItem& item = batch->batch[i];
+    EXPECT_EQ(item.status.code(), single->status.code()) << lines[i];
+    if (!single->status.ok()) continue;
+    ASSERT_TRUE(item.status.ok()) << item.status;
+    EXPECT_EQ(item.estimate.epoch, single->estimate.epoch);
+    EXPECT_EQ(item.estimate.has_truth, single->estimate.has_truth);
+    ASSERT_EQ(item.estimate.results.size(), single->estimate.results.size());
+    for (size_t j = 0; j < item.estimate.results.size(); ++j) {
+      EXPECT_EQ(item.estimate.results[j].name,
+                single->estimate.results[j].name);
+      EXPECT_EQ(item.estimate.results[j].estimate,
+                single->estimate.results[j].estimate);
+      EXPECT_EQ(item.estimate.results[j].qerror,
+                single->estimate.results[j].qerror);
+    }
+  }
+  ::close(*fd);
+  server.Stop();
+}
+
+// Pipelining: many frames written back-to-back on one connection come back
+// as exactly one response per frame, in request order (the event loop
+// serializes each connection's dispatch).
+TEST(TcpServerTest, PipelinedFramesAnswerInOrder) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  ServerOptions server_options;
+  server_options.workers = 2;
+  TcpServer server(**service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  constexpr int kFrames = 20;
+  for (int i = 0; i < kFrames; ++i) {
+    wire::Request ping{wire::MessageType::kPing, "p" + std::to_string(i)};
+    ASSERT_TRUE(wire::WriteFrame(*fd, wire::EncodeRequest(ping)).ok());
+  }
+  for (int i = 0; i < kFrames; ++i) {
+    auto payload = wire::ReadFrame(*fd, ServerOptions().max_frame_bytes);
+    ASSERT_TRUE(payload.ok()) << payload.status() << " at frame " << i;
+    auto response = wire::DecodeResponse(*payload);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_TRUE(response->status.ok()) << response->status;
+    EXPECT_EQ(response->text, "p" + std::to_string(i));
+  }
+  ::close(*fd);
+  server.Stop();
+  EXPECT_GE(server.requests_handled(), static_cast<uint64_t>(kFrames));
+}
+
+// Per-connection pipeline cap: one write() carrying far more frames than
+// max_pipelined_requests gets the excess answered with in-order retryable
+// RESOURCE_EXHAUSTED frames — the connection survives and every frame gets
+// exactly one response.
+TEST(TcpServerTest, PipelineCapRejectsExcessFramesInOrder) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  ServerOptions server_options;
+  server_options.workers = 1;
+  server_options.max_pipelined_requests = 2;
+  TcpServer server(**service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+
+  // All frames in ONE buffer and one write: they reach the parser in one
+  // readiness callback, before any response drains the pipeline, so the
+  // cap engages deterministically.
+  constexpr int kFrames = 64;
+  std::string burst;
+  for (int i = 0; i < kFrames; ++i) {
+    wire::Request ping{wire::MessageType::kPing, "p" + std::to_string(i)};
+    const std::string payload = wire::EncodeRequest(ping);
+    const uint32_t length = static_cast<uint32_t>(payload.size());
+    burst.push_back(static_cast<char>(length & 0xff));
+    burst.push_back(static_cast<char>((length >> 8) & 0xff));
+    burst.push_back(static_cast<char>((length >> 16) & 0xff));
+    burst.push_back(static_cast<char>((length >> 24) & 0xff));
+    burst += payload;
+  }
+  size_t written = 0;
+  while (written < burst.size()) {
+    const ssize_t rc =
+        ::write(*fd, burst.data() + written, burst.size() - written);
+    ASSERT_GT(rc, 0);
+    written += static_cast<size_t>(rc);
+  }
+
+  int ok = 0;
+  int rejected = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    auto payload = wire::ReadFrame(*fd, ServerOptions().max_frame_bytes);
+    ASSERT_TRUE(payload.ok()) << payload.status() << " at frame " << i;
+    auto response = wire::DecodeResponse(*payload);
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (response->status.ok()) {
+      // One response per frame, in request order: the i-th response
+      // answers the i-th frame whether served or shed.
+      EXPECT_EQ(response->text, "p" + std::to_string(i));
+      ++ok;
+    } else {
+      EXPECT_EQ(response->status.code(),
+                util::StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  // The cap admitted at least its depth and shed most of the burst; exact
+  // counts depend on read coalescing, but the burst cannot all fit.
+  EXPECT_GE(ok, 2);
+  EXPECT_GE(rejected, kFrames / 2);
+  EXPECT_GE(server.overload_rejections(),
+            static_cast<uint64_t>(rejected));
+  ::close(*fd);
+  server.Stop();
+}
+
+// The headline property of the event loop: hundreds of concurrent
+// connections are cheap (fds + buffers, not threads). 200 connections on a
+// 2-thread worker pool all answer.
+TEST(TcpServerTest, ManyIdleConnectionsAllServe) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  ServerOptions server_options;
+  server_options.workers = 2;
+  TcpServer server(**service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kConns = 200;
+  std::vector<int> fds;
+  fds.reserve(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    auto fd = wire::DialTcp("127.0.0.1", server.port());
+    ASSERT_TRUE(fd.ok()) << fd.status() << " at connection " << i;
+    fds.push_back(*fd);
+  }
+  // Every connection is live — including the earliest ones, which have
+  // been sitting idle while the rest dialed.
+  for (int i = 0; i < kConns; ++i) {
+    auto ping = wire::RoundTrip(
+        fds[static_cast<size_t>(i)],
+        {wire::MessageType::kPing, "c" + std::to_string(i)});
+    ASSERT_TRUE(ping.ok()) << ping.status() << " at connection " << i;
+    EXPECT_EQ(ping->text, "c" + std::to_string(i));
+  }
+  for (int fd : fds) ::close(fd);
+  server.Stop();
+  EXPECT_GE(server.connections_accepted(), static_cast<uint64_t>(kConns));
+}
+
+// Connection cap: the accept path sheds connections over the limit with a
+// retryable error frame instead of letting them starve silently.
+TEST(TcpServerTest, ConnectionCapRejectsWithRetryableFrame) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  ServerOptions server_options;
+  server_options.workers = 1;
+  server_options.max_connections = 4;
+  TcpServer server(**service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<int> fds;
+  for (int i = 0; i < 4; ++i) {
+    auto fd = wire::DialTcp("127.0.0.1", server.port());
+    ASSERT_TRUE(fd.ok()) << fd.status();
+    fds.push_back(*fd);
+    // The ping proves the server registered this connection before the
+    // next dial, so the fifth one deterministically finds a full house.
+    auto ping = wire::RoundTrip(*fd, {wire::MessageType::kPing, "x"});
+    ASSERT_TRUE(ping.ok()) << ping.status();
+  }
+  auto fifth = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fifth.ok()) << fifth.status();
+  auto rejected =
+      wire::RoundTrip(*fifth, {wire::MessageType::kPing, "overflow"});
+  ASSERT_TRUE(rejected.ok()) << rejected.status();
+  EXPECT_EQ(rejected->status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected->status.message().find("retry"), std::string::npos);
+  ::close(*fifth);
+  EXPECT_GE(server.overload_rejections(), 1u);
+
+  // The four admitted connections still serve after the shed.
+  auto ping = wire::RoundTrip(fds[0], {wire::MessageType::kPing, "still"});
+  ASSERT_TRUE(ping.ok()) << ping.status();
+  EXPECT_EQ(ping->text, "still");
+  for (int fd : fds) ::close(fd);
+  server.Stop();
+}
+
+// The legacy dispatcher's accept-queue bound: with every worker occupied
+// and the queue full, the next connection gets the retryable error frame;
+// a freed worker then drains the queued connection.
+TEST(TcpServerTest, LegacyDispatcherBoundsAcceptQueue) {
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  ServerOptions server_options;
+  server_options.dispatch = ServerOptions::Dispatch::kThreadPerConnection;
+  server_options.workers = 1;
+  server_options.max_queued_connections = 1;
+  TcpServer server(**service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A occupies the only worker (the answered ping proves it was dequeued).
+  auto a = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(a.ok()) << a.status();
+  auto ping_a = wire::RoundTrip(*a, {wire::MessageType::kPing, "a"});
+  ASSERT_TRUE(ping_a.ok()) << ping_a.status();
+
+  // B fills the one queue slot; C overflows and is shed with the frame.
+  auto b = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(b.ok()) << b.status();
+  auto c = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(c.ok()) << c.status();
+  auto rejected = wire::RoundTrip(*c, {wire::MessageType::kPing, "c"});
+  ASSERT_TRUE(rejected.ok()) << rejected.status();
+  EXPECT_EQ(rejected->status.code(), util::StatusCode::kResourceExhausted);
+  ::close(*c);
+  EXPECT_GE(server.overload_rejections(), 1u);
+
+  // Closing A frees the worker; B drains from the queue and serves.
+  ::close(*a);
+  auto ping_b = wire::RoundTrip(*b, {wire::MessageType::kPing, "b"});
+  ASSERT_TRUE(ping_b.ok()) << ping_b.status();
+  EXPECT_EQ(ping_b->text, "b");
+  ::close(*b);
   server.Stop();
 }
 

@@ -1,10 +1,12 @@
 // Deterministic fuzz/property tests for the wire-protocol codecs:
 // encode -> decode must round-trip every request/response shape (the v2
-// `dataset` field included), and random byte mutations of valid frames —
-// or outright random bytes — must never crash the decoders (they return a
-// clean Status instead; ASan/UBSan in CI turns any lurking UB into a
-// failure). The seed is logged on every run so a failure reproduces with
-// CEGRAPH_FUZZ_SEED=<seed>.
+// `dataset` field and the v3 batch frames included), and random byte
+// mutations of valid frames — or outright random bytes — must never crash
+// the decoders (they return a clean Status instead; ASan/UBSan in CI turns
+// any lurking UB into a failure). Golden-byte tests pin the v1/v2 layouts:
+// adding the v3 batch type must not shift a single byte of the frames old
+// clients and servers exchange. The seed is logged on every run so a
+// failure reproduces with CEGRAPH_FUZZ_SEED=<seed>.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -17,6 +19,7 @@
 #include "service/request.h"
 #include "service/service.h"
 #include "service/wire.h"
+#include "util/serde.h"
 
 namespace cegraph::service::wire {
 namespace {
@@ -57,15 +60,44 @@ class Fuzz {
 };
 
 MessageType RandomType(Fuzz& fuzz) {
-  return static_cast<MessageType>(1 + fuzz.Index(6));
+  return static_cast<MessageType>(1 + fuzz.Index(7));
 }
 
 Request RandomRequest(Fuzz& fuzz) {
   Request request;
   request.type = RandomType(fuzz);
-  request.text = fuzz.Bytes(64);
+  if (request.type == MessageType::kBatchEstimate) {
+    // v3 frame: a counted line list travels instead of the text field.
+    const size_t lines = fuzz.Index(5);
+    for (size_t i = 0; i < lines; ++i) {
+      request.lines.push_back(fuzz.Bytes(64));
+    }
+  } else {
+    request.text = fuzz.Bytes(64);
+  }
   if (fuzz.Coin()) request.dataset = fuzz.Bytes(16);
   return request;
+}
+
+EstimateResponse RandomEstimate(Fuzz& fuzz) {
+  EstimateResponse estimate;
+  estimate.epoch = fuzz.U64();
+  estimate.state_version = fuzz.U64();
+  estimate.total_micros = fuzz.FiniteDouble();
+  estimate.has_truth = fuzz.Coin();
+  estimate.truth = fuzz.FiniteDouble();
+  const size_t results = fuzz.Index(5);
+  for (size_t i = 0; i < results; ++i) {
+    EstimatorResult result;
+    result.name = fuzz.Bytes(24);
+    result.ok = fuzz.Coin();
+    result.estimate = fuzz.FiniteDouble();
+    result.error = fuzz.Bytes(24);
+    result.micros = fuzz.FiniteDouble();
+    result.qerror = fuzz.FiniteDouble();
+    estimate.results.push_back(std::move(result));
+  }
+  return estimate;
 }
 
 Response RandomResponse(Fuzz& fuzz) {
@@ -77,25 +109,9 @@ Response RandomResponse(Fuzz& fuzz) {
                      fuzz.Bytes(48));
   } else {
     switch (response.type) {
-      case MessageType::kEstimate: {
-        response.estimate.epoch = fuzz.U64();
-        response.estimate.state_version = fuzz.U64();
-        response.estimate.total_micros = fuzz.FiniteDouble();
-        response.estimate.has_truth = fuzz.Coin();
-        response.estimate.truth = fuzz.FiniteDouble();
-        const size_t results = fuzz.Index(5);
-        for (size_t i = 0; i < results; ++i) {
-          EstimatorResult result;
-          result.name = fuzz.Bytes(24);
-          result.ok = fuzz.Coin();
-          result.estimate = fuzz.FiniteDouble();
-          result.error = fuzz.Bytes(24);
-          result.micros = fuzz.FiniteDouble();
-          result.qerror = fuzz.FiniteDouble();
-          response.estimate.results.push_back(std::move(result));
-        }
+      case MessageType::kEstimate:
+        response.estimate = RandomEstimate(fuzz);
         break;
-      }
       case MessageType::kApplyDeltas:
       case MessageType::kSwapSnapshot:
         response.swap.epoch = fuzz.U64();
@@ -138,6 +154,21 @@ Response RandomResponse(Fuzz& fuzz) {
       case MessageType::kShutdown:
         response.text = fuzz.Bytes(48);
         break;
+      case MessageType::kBatchEstimate: {
+        const size_t items = fuzz.Index(5);
+        for (size_t i = 0; i < items; ++i) {
+          BatchEstimateItem item;
+          if (fuzz.Coin()) {
+            item.status = util::Status(
+                static_cast<util::StatusCode>(1 + fuzz.Index(7)),
+                fuzz.Bytes(48));
+          } else {
+            item.estimate = RandomEstimate(fuzz);
+          }
+          response.batch.push_back(std::move(item));
+        }
+        break;
+      }
     }
   }
   if (fuzz.Coin()) response.dataset = fuzz.Bytes(16);
@@ -148,6 +179,28 @@ void ExpectEqual(const Request& a, const Request& b) {
   EXPECT_EQ(a.type, b.type);
   EXPECT_EQ(a.text, b.text);
   EXPECT_EQ(a.dataset, b.dataset);
+  ASSERT_EQ(a.lines.size(), b.lines.size());
+  for (size_t i = 0; i < a.lines.size(); ++i) {
+    EXPECT_EQ(a.lines[i], b.lines[i]);
+  }
+}
+
+void ExpectEqualEstimate(const EstimateResponse& a,
+                         const EstimateResponse& b) {
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.state_version, b.state_version);
+  EXPECT_EQ(a.total_micros, b.total_micros);
+  EXPECT_EQ(a.has_truth, b.has_truth);
+  EXPECT_EQ(a.truth, b.truth);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].name, b.results[i].name);
+    EXPECT_EQ(a.results[i].ok, b.results[i].ok);
+    EXPECT_EQ(a.results[i].estimate, b.results[i].estimate);
+    EXPECT_EQ(a.results[i].error, b.results[i].error);
+    EXPECT_EQ(a.results[i].micros, b.results[i].micros);
+    EXPECT_EQ(a.results[i].qerror, b.results[i].qerror);
+  }
 }
 
 void ExpectEqual(const Response& a, const Response& b) {
@@ -157,27 +210,9 @@ void ExpectEqual(const Response& a, const Response& b) {
   EXPECT_EQ(a.dataset, b.dataset);
   if (!a.status.ok()) return;  // bodies travel only on OK
   switch (a.type) {
-    case MessageType::kEstimate: {
-      EXPECT_EQ(a.estimate.epoch, b.estimate.epoch);
-      EXPECT_EQ(a.estimate.state_version, b.estimate.state_version);
-      EXPECT_EQ(a.estimate.total_micros, b.estimate.total_micros);
-      EXPECT_EQ(a.estimate.has_truth, b.estimate.has_truth);
-      EXPECT_EQ(a.estimate.truth, b.estimate.truth);
-      ASSERT_EQ(a.estimate.results.size(), b.estimate.results.size());
-      for (size_t i = 0; i < a.estimate.results.size(); ++i) {
-        EXPECT_EQ(a.estimate.results[i].name, b.estimate.results[i].name);
-        EXPECT_EQ(a.estimate.results[i].ok, b.estimate.results[i].ok);
-        EXPECT_EQ(a.estimate.results[i].estimate,
-                  b.estimate.results[i].estimate);
-        EXPECT_EQ(a.estimate.results[i].error,
-                  b.estimate.results[i].error);
-        EXPECT_EQ(a.estimate.results[i].micros,
-                  b.estimate.results[i].micros);
-        EXPECT_EQ(a.estimate.results[i].qerror,
-                  b.estimate.results[i].qerror);
-      }
+    case MessageType::kEstimate:
+      ExpectEqualEstimate(a.estimate, b.estimate);
       break;
-    }
     case MessageType::kApplyDeltas:
     case MessageType::kSwapSnapshot:
       EXPECT_EQ(a.swap.epoch, b.swap.epoch);
@@ -228,6 +263,16 @@ void ExpectEqual(const Response& a, const Response& b) {
     case MessageType::kPing:
     case MessageType::kShutdown:
       EXPECT_EQ(a.text, b.text);
+      break;
+    case MessageType::kBatchEstimate:
+      ASSERT_EQ(a.batch.size(), b.batch.size());
+      for (size_t i = 0; i < a.batch.size(); ++i) {
+        EXPECT_EQ(a.batch[i].status.code(), b.batch[i].status.code());
+        EXPECT_EQ(a.batch[i].status.message(), b.batch[i].status.message());
+        if (a.batch[i].status.ok()) {
+          ExpectEqualEstimate(a.batch[i].estimate, b.batch[i].estimate);
+        }
+      }
       break;
   }
 }
@@ -313,6 +358,124 @@ TEST(WireFuzzTest, V1FramesDecodeWithEmptyDataset) {
   auto decoded = DecodeRequest(payload);
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded->dataset.empty());
+}
+
+// ---- Golden v1/v2 byte layouts ----
+//
+// These frames are hand-assembled with util::serde::Writer — the same
+// primitive layer the codecs use, but never the codecs themselves. If the
+// v3 batch work (or anything later) shifts even one byte of the v1/v2
+// layouts, old clients and servers break; these tests pin both directions.
+
+TEST(WireFuzzTest, GoldenV1RequestBytesAreStable) {
+  Request request;
+  request.type = MessageType::kEstimate;
+  request.text = "(a)-[3]->(b)";
+
+  util::serde::Writer w;
+  w.WriteU8(1);  // kEstimate
+  w.WriteString("(a)-[3]->(b)");
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeRequest(request), golden);
+  auto decoded = DecodeRequest(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectEqual(request, *decoded);
+}
+
+TEST(WireFuzzTest, GoldenV2RequestBytesAreStable) {
+  Request request;
+  request.type = MessageType::kPing;
+  request.text = "hello";
+  request.dataset = "alpha";
+
+  util::serde::Writer w;
+  w.WriteU8(5);  // kPing
+  w.WriteString("hello");
+  w.WriteString("alpha");  // v2 trailing dataset
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeRequest(request), golden);
+  auto decoded = DecodeRequest(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectEqual(request, *decoded);
+}
+
+TEST(WireFuzzTest, GoldenV1ResponseBytesAreStable) {
+  Response response;
+  response.type = MessageType::kPing;
+  response.text = "pong";
+
+  util::serde::Writer w;
+  w.WriteU8(0);       // status code OK
+  w.WriteString("");  // status message
+  w.WriteU8(5);       // kPing
+  w.WriteString("pong");
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeResponse(response), golden);
+  auto decoded = DecodeResponse(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectEqual(response, *decoded);
+}
+
+TEST(WireFuzzTest, GoldenV2ErrorResponseBytesAreStable) {
+  Response response;
+  response.type = MessageType::kEstimate;
+  response.status = util::InvalidArgumentError("bad line");
+  response.dataset = "beta";
+
+  util::serde::Writer w;
+  w.WriteU8(static_cast<uint8_t>(util::StatusCode::kInvalidArgument));
+  w.WriteString("bad line");
+  w.WriteU8(1);           // kEstimate
+  w.WriteString("beta");  // v2 trailing dataset echo (no body on error)
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeResponse(response), golden);
+  auto decoded = DecodeResponse(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectEqual(response, *decoded);
+}
+
+TEST(WireFuzzTest, GoldenV3BatchRequestBytesAreStable) {
+  Request request;
+  request.type = MessageType::kBatchEstimate;
+  request.lines = {"(a)-[3]->(b)", "(a)-[1]->(b)"};
+  request.dataset = "alpha";
+
+  util::serde::Writer w;
+  w.WriteU8(7);   // kBatchEstimate
+  w.WriteU32(2);  // line count
+  w.WriteString("(a)-[3]->(b)");
+  w.WriteString("(a)-[1]->(b)");
+  w.WriteString("alpha");  // dataset still trails, v2-style
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeRequest(request), golden);
+  auto decoded = DecodeRequest(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectEqual(request, *decoded);
+}
+
+TEST(WireFuzzTest, BatchResponseRejectsImplausibleItemCount) {
+  // A batch response whose item count exceeds the remaining payload is
+  // corruption; the decoder must reject it before reserving memory for it.
+  util::serde::Writer w;
+  w.WriteU8(0);       // status code OK
+  w.WriteString("");  // status message
+  w.WriteU8(7);       // kBatchEstimate
+  w.WriteU32(0x7fffffff);
+  auto decoded = DecodeResponse(w.TakeBuffer());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireFuzzTest, BatchRequestRejectsImplausibleLineCount) {
+  util::serde::Writer w;
+  w.WriteU8(7);  // kBatchEstimate
+  w.WriteU32(0x7fffffff);
+  auto decoded = DecodeRequest(w.TakeBuffer());
+  EXPECT_FALSE(decoded.ok());
 }
 
 }  // namespace

@@ -1,22 +1,29 @@
 // cegraph_client — command-line client for the cegraph_serve daemon.
 //
 //   cegraph_client --port P [--host H] [--dataset NAME] \
-//                  --query "(a)-[3]->(b); ..."
+//                  --query "(a)-[3]->(b); ..." [--query "..." ...]
 //   cegraph_client --port P --workload FILE [--threads N] [--passes K]
-//                  [--quiet]
+//                  [--batch-size B] [--quiet]
 //   cegraph_client --port P --apply-deltas FILE
 //   cegraph_client --port P --swap-snapshot PATH
 //   cegraph_client --port P (--stats | --ping | --shutdown)
 //
 // --dataset routes the request to the named dataset of a multi-dataset
 // daemon (wire protocol v2); without it the server's default dataset
-// answers. --workload streams a saved workload file (query/workload_io.h
-// format, ground truth included) from N concurrent connections and prints
-// per-query results plus per-estimator aggregate q-error and latency.
-// --apply-deltas sends a delta text feed (dynamic/delta_io.h format)
-// inline; the server folds it into a new serving state and answers with
-// the post-swap epoch. --swap-snapshot names a *server-local* snapshot
-// path (monolithic file or shard manifest).
+// answers. --query may repeat: two or more queries travel together as ONE
+// wire-v3 batch frame over one connection and are answered in order from
+// a single serving epoch. --workload streams a saved workload file
+// (query/workload_io.h format, ground truth included) from N concurrent
+// connections — each thread reuses its one connection for its whole share
+// — and prints per-query results plus per-estimator aggregate q-error and
+// latency; --batch-size B > 1 packs each thread's share into v3 batch
+// frames of B lines. A RESOURCE_EXHAUSTED error frame (admission or
+// server overload) is retried with backoff up to --retries times before
+// counting as a failure. --apply-deltas sends a delta text feed
+// (dynamic/delta_io.h format) inline; the server folds it into a new
+// serving state and answers with the post-swap epoch. --swap-snapshot
+// names a *server-local* snapshot path (monolithic file or shard
+// manifest).
 //
 // Exit status is 0 iff every request succeeded. A server-side error frame
 // (unknown dataset, admission rejection, bad feed, ...) exits nonzero
@@ -26,6 +33,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -53,13 +61,33 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: cegraph_client --port P [--host H] [--dataset NAME] "
-      "<command>\n"
-      "  --query \"PATTERN\"            one estimation request\n"
-      "  --workload FILE [--threads N] [--passes K] [--quiet]\n"
+      "[--retries R] <command>\n"
+      "  --query \"PATTERN\"            one estimation request; repeat the\n"
+      "                               flag to send one v3 batch frame\n"
+      "  --workload FILE [--threads N] [--passes K] [--batch-size B]\n"
+      "                 [--quiet]\n"
       "  --apply-deltas FILE           send a delta feed, hot-swap\n"
       "  --swap-snapshot PATH          server-local snapshot/manifest path\n"
       "  --stats | --ping | --shutdown\n");
   return 2;
+}
+
+/// RoundTrip that retries the retryable refusal: a RESOURCE_EXHAUSTED
+/// error frame (admission or overload rejection) is resent after an
+/// exponential pause, up to `retries` times. Every other outcome —
+/// transport failure or any other server error — returns immediately.
+util::StatusOr<Response> RoundTripRetry(int fd, const Request& request,
+                                        int retries) {
+  for (int attempt = 0;; ++attempt) {
+    auto response = service::wire::RoundTrip(fd, request);
+    if (!response.ok()) return response;
+    if (response->status.code() != util::StatusCode::kResourceExhausted ||
+        attempt >= retries) {
+      return response;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1L << std::min(attempt, 6)));
+  }
 }
 
 /// Sends one request over a fresh connection. The outer StatusOr carries
@@ -67,10 +95,10 @@ int Usage() {
 /// OK result whose Response::status is non-OK, so callers can attribute
 /// failures correctly (the server's message, not a generic read error).
 util::StatusOr<Response> OneShot(const std::string& host, int port,
-                                 const Request& request) {
+                                 const Request& request, int retries) {
   auto fd = service::wire::DialTcp(host, port);
   if (!fd.ok()) return fd.status();
-  auto response = service::wire::RoundTrip(*fd, request);
+  auto response = RoundTripRetry(*fd, request, retries);
   ::close(*fd);
   return response;
 }
@@ -109,7 +137,7 @@ void PrintEstimate(const service::EstimateResponse& estimate,
 int RunWorkload(const std::string& host, int port,
                 const std::string& dataset,
                 const std::string& workload_file, int threads, int passes,
-                bool quiet) {
+                int batch_size, int retries, bool quiet) {
   auto workload = query::LoadWorkload(workload_file);
   if (!workload.ok()) {
     std::fprintf(stderr, "workload: %s\n",
@@ -159,56 +187,102 @@ int RunWorkload(const std::string& host, int port,
                    fd.status().ToString().c_str());
       return;
     }
-    size_t sent = 0;  ///< requests completed across passes
+    // This thread's stride-interleaved indices (one pass's worth).
+    std::vector<size_t> mine;
+    for (size_t i = static_cast<size_t>(tid); i < lines.size();
+         i += static_cast<size_t>(threads)) {
+      mine.push_back(i);
+    }
+    const size_t chunk =
+        batch_size > 1 ? static_cast<size_t>(batch_size) : 1;
+    size_t sent = 0;  ///< queries completed across passes
     for (int pass = 0; pass < passes; ++pass) {
-      for (size_t i = static_cast<size_t>(tid); i < lines.size();
-           i += static_cast<size_t>(threads)) {
-        Request request{MessageType::kEstimate, lines[i], dataset};
-        auto response = service::wire::RoundTrip(*fd, request);
+      for (size_t b = 0; b < mine.size(); b += chunk) {
+        const size_t n = std::min(chunk, mine.size() - b);
+        Request request;
+        request.dataset = dataset;
+        if (batch_size > 1) {
+          // v3 batch frame: n lines, one round trip, one serving epoch.
+          request.type = MessageType::kBatchEstimate;
+          request.lines.reserve(n);
+          for (size_t j = 0; j < n; ++j) {
+            request.lines.push_back(lines[mine[b + j]]);
+          }
+        } else {
+          request.type = MessageType::kEstimate;
+          request.text = lines[mine[b]];
+        }
+        auto response = RoundTripRetry(*fd, request, retries);
         if (!response.ok()) {
           // Transport failure: the connection is dead, so the rest of
           // this thread's share cannot be sent either — charge it all
           // instead of spamming a read error per remaining query.
           std::lock_guard<std::mutex> lock(mutex);
           errors += share * static_cast<size_t>(passes) - sent;
-          std::fprintf(stderr, "query %zu transport error: %s\n", i,
-                       response.status().ToString().c_str());
+          std::fprintf(stderr, "query %zu transport error: %s\n",
+                       mine[b], response.status().ToString().c_str());
           ::close(*fd);
           return;
         }
-        ++sent;
+        sent += n;
         std::lock_guard<std::mutex> lock(mutex);
         if (!response->status.ok()) {
-          ++errors;
-          std::fprintf(stderr, "query %zu server error: %s\n", i,
+          // Frame-level refusal (post-retry saturation, bad dataset, ...)
+          // fails every query the frame carried.
+          errors += n;
+          std::fprintf(stderr, "quer%s %zu%s server error: %s\n",
+                       n == 1 ? "y" : "ies", mine[b],
+                       n == 1 ? "" : "...",
                        response->status.ToString().c_str());
           continue;
         }
-        const service::EstimateResponse& e = response->estimate;
-        ++per_epoch[e.epoch];
-        for (const service::EstimatorResult& r : e.results) {
-          Accum& accum = per_estimator[r.name];
-          ++accum.requests;
-          accum.micros += r.micros;
-          if (!r.ok) {
-            ++accum.failures;
-          } else if (e.has_truth) {
-            accum.qerror_sum += r.qerror;
-            accum.qerror_max = std::max(accum.qerror_max, r.qerror);
-            ++accum.qerror_count;
-          }
+        if (batch_size > 1 && response->batch.size() != n) {
+          errors += n;
+          std::fprintf(stderr,
+                       "batch at query %zu: %zu items answered for %zu "
+                       "lines\n",
+                       mine[b], response->batch.size(), n);
+          continue;
         }
-        if (!quiet && pass == 0) {
-          std::printf("query %-4zu epoch %llu", i,
-                      static_cast<unsigned long long>(e.epoch));
+        for (size_t j = 0; j < n; ++j) {
+          const size_t i = mine[b + j];
+          const util::Status& item_status =
+              batch_size > 1 ? response->batch[j].status
+                             : response->status;
+          if (!item_status.ok()) {
+            ++errors;
+            std::fprintf(stderr, "query %zu server error: %s\n", i,
+                         item_status.ToString().c_str());
+            continue;
+          }
+          const service::EstimateResponse& e =
+              batch_size > 1 ? response->batch[j].estimate
+                             : response->estimate;
+          ++per_epoch[e.epoch];
           for (const service::EstimatorResult& r : e.results) {
-            if (r.ok) {
-              std::printf("  %s=%.4g", r.name.c_str(), r.estimate);
-            } else {
-              std::printf("  %s=ERR", r.name.c_str());
+            Accum& accum = per_estimator[r.name];
+            ++accum.requests;
+            accum.micros += r.micros;
+            if (!r.ok) {
+              ++accum.failures;
+            } else if (e.has_truth) {
+              accum.qerror_sum += r.qerror;
+              accum.qerror_max = std::max(accum.qerror_max, r.qerror);
+              ++accum.qerror_count;
             }
           }
-          std::printf("\n");
+          if (!quiet && pass == 0) {
+            std::printf("query %-4zu epoch %llu", i,
+                        static_cast<unsigned long long>(e.epoch));
+            for (const service::EstimatorResult& r : e.results) {
+              if (r.ok) {
+                std::printf("  %s=%.4g", r.name.c_str(), r.estimate);
+              } else {
+                std::printf("  %s=ERR", r.name.c_str());
+              }
+            }
+            std::printf("\n");
+          }
         }
       }
     }
@@ -219,8 +293,13 @@ int RunWorkload(const std::string& host, int port,
   worker(0);
   for (std::thread& t : pool) t.join();
 
-  std::printf("\n%zu queries x %d passes over %d connections; %zu errors\n",
-              lines.size(), passes, threads, errors);
+  std::printf(
+      "\n%zu queries x %d passes over %d connections%s; %zu errors\n",
+      lines.size(), passes, threads,
+      batch_size > 1
+          ? (" (batched x" + std::to_string(batch_size) + ")").c_str()
+          : "",
+      errors);
   std::printf("epochs observed:");
   for (const auto& [epoch, count] : per_epoch) {
     std::printf(" %llu(x%zu)", static_cast<unsigned long long>(epoch),
@@ -256,9 +335,10 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   std::string dataset;
-  std::string query_text, workload_file, deltas_file, snapshot_path;
+  std::vector<std::string> query_texts;
+  std::string workload_file, deltas_file, snapshot_path;
   bool stats = false, ping = false, shutdown = false, quiet = false;
-  int threads = 1, passes = 1;
+  int threads = 1, passes = 1, batch_size = 1, retries = 3;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -279,7 +359,8 @@ int main(int argc, char** argv) {
       if (!next(&value)) return Usage();
       port = std::atoi(value.c_str());
     } else if (arg == "--query") {
-      if (!next(&query_text)) return Usage();
+      if (!next(&value)) return Usage();
+      query_texts.push_back(value);
     } else if (arg == "--workload") {
       if (!next(&workload_file)) return Usage();
     } else if (arg == "--apply-deltas") {
@@ -292,6 +373,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--passes") {
       if (!next(&value)) return Usage();
       passes = std::atoi(value.c_str());
+    } else if (arg == "--batch-size") {
+      if (!next(&value)) return Usage();
+      batch_size = std::atoi(value.c_str());
+    } else if (arg == "--retries") {
+      if (!next(&value)) return Usage();
+      retries = std::atoi(value.c_str());
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--ping") {
@@ -309,12 +396,18 @@ int main(int argc, char** argv) {
 
   if (!workload_file.empty()) {
     return RunWorkload(host, port, dataset, workload_file, threads, passes,
-                       quiet);
+                       batch_size, retries, quiet);
   }
 
   Request request;
-  if (!query_text.empty()) {
-    request = {MessageType::kEstimate, query_text, dataset};
+  if (query_texts.size() == 1) {
+    request = {MessageType::kEstimate, query_texts.front(), dataset};
+  } else if (query_texts.size() > 1) {
+    // Several --query flags ride one v3 batch frame: one connection, one
+    // round trip, one serving epoch for all of them.
+    request.type = MessageType::kBatchEstimate;
+    request.dataset = dataset;
+    request.lines = query_texts;
   } else if (!deltas_file.empty()) {
     std::ifstream in(deltas_file);
     if (!in) {
@@ -339,7 +432,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  auto response = OneShot(host, port, request);
+  auto response = OneShot(host, port, request, retries);
   if (!response.ok()) {
     std::fprintf(stderr, "transport error: %s\n",
                  response.status().ToString().c_str());
@@ -356,6 +449,24 @@ int main(int argc, char** argv) {
     case MessageType::kEstimate:
       PrintEstimate(response->estimate, response->dataset);
       break;
+    case MessageType::kBatchEstimate: {
+      size_t item_errors = 0;
+      for (size_t i = 0; i < response->batch.size(); ++i) {
+        const service::BatchEstimateItem& item = response->batch[i];
+        std::printf("[%zu] %s\n", i,
+                    i < request.lines.size() ? request.lines[i].c_str()
+                                             : "?");
+        if (!item.status.ok()) {
+          ++item_errors;
+          std::fprintf(stderr, "[%zu] server error: %s\n", i,
+                       item.status.ToString().c_str());
+          continue;
+        }
+        PrintEstimate(item.estimate, response->dataset);
+      }
+      if (item_errors > 0) return 1;
+      break;
+    }
     case MessageType::kApplyDeltas:
     case MessageType::kSwapSnapshot: {
       const service::SwapReport& swap = response->swap;

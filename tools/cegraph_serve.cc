@@ -6,7 +6,16 @@
 //                 [--workers N] [--estimators a,b,c] [--snapshot FILE]
 //                 [--default-dataset NAME] [--markov-h H]
 //                 [--compact-trigger N] [--max-in-flight N]
+//                 [--dispatch epoll|threads] [--max-connections N]
 //                 [--prewarm SUITE] [--instances N] [--seed S]
+//
+// --dispatch selects the connection model: "epoll" (default) multiplexes
+// every connection through one event-loop thread and serves requests on
+// the fixed worker pool (thousands of idle connections cost fds, not
+// threads); "threads" is the legacy thread-per-connection dispatcher kept
+// for baseline comparisons. --max-connections caps concurrently open
+// epoll connections; the overflow is answered with a retryable
+// RESOURCE_EXHAUSTED error frame.
 //
 // --dataset is repeatable; each SPEC serves one dataset:
 //
@@ -69,6 +78,7 @@ int Usage() {
       "       [--workers N] [--estimators a,b,c] [--snapshot FILE]\n"
       "       [--default-dataset NAME] [--markov-h H]\n"
       "       [--compact-trigger N] [--max-in-flight N]\n"
+      "       [--dispatch epoll|threads] [--max-connections N]\n"
       "       [--prewarm SUITE] [--instances N] [--seed S]\n"
       "dataset SPEC: NAME | NAME=SOURCE | NAME[=SOURCE]@SNAPSHOT\n"
       "  (SOURCE: a built-in dataset name or a graph file path; '=' and\n"
@@ -167,6 +177,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-in-flight") {
       if (!next(&value)) return Usage();
       service_options.max_in_flight = std::atoi(value.c_str());
+    } else if (arg == "--max-connections") {
+      if (!next(&value)) return Usage();
+      server_options.max_connections = std::atoi(value.c_str());
+    } else if (arg == "--dispatch") {
+      if (!next(&value)) return Usage();
+      if (value == "epoll") {
+        server_options.dispatch = service::ServerOptions::Dispatch::kEventLoop;
+      } else if (value == "threads") {
+        server_options.dispatch =
+            service::ServerOptions::Dispatch::kThreadPerConnection;
+      } else {
+        std::fprintf(stderr, "--dispatch must be epoll or threads\n");
+        return Usage();
+      }
     } else if (arg == "--prewarm") {
       if (!next(&prewarm_suite)) return Usage();
     } else if (arg == "--instances") {
