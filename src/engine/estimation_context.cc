@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/serde.h"
+
 namespace cegraph::engine {
 
 const stats::MarkovTable& EstimationContext::markov(int h) const {
@@ -67,11 +69,28 @@ const stats::CharacteristicSets& EstimationContext::characteristic_sets()
 
 const stats::SummaryGraph& EstimationContext::summary_graph() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  MaterializePendingSummaryLocked();
   if (summary_ == nullptr) {
     summary_ = std::make_unique<stats::SummaryGraph>(
         *g_, options_.summary_buckets);
   }
   return *summary_;
+}
+
+void EstimationContext::MaterializePendingSummaryLocked() const {
+  if (pending_summary_owner_ == nullptr) return;
+  const std::string_view payload = pending_summary_;
+  const auto owner = std::move(pending_summary_owner_);  // outlives the parse
+  pending_summary_ = {};
+  pending_summary_owner_ = nullptr;
+  if (summary_ != nullptr) return;
+  util::serde::Reader sub(payload);
+  auto loaded = stats::SummaryGraph::Load(sub);
+  if (!loaded.ok() || !sub.AtEnd() ||
+      loaded->num_labels() != g_->num_labels()) {
+    return;  // fall back to a fresh build from the graph
+  }
+  summary_ = std::make_unique<stats::SummaryGraph>(std::move(*loaded));
 }
 
 const stats::DispersionCatalog& EstimationContext::dispersion_catalog()
@@ -169,6 +188,9 @@ util::StatusOr<dynamic::MaintenanceReport> EstimationContext::ApplyDeltas(
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // A pending arena summary describes the pre-delta graph: parse it now
+    // so the incremental maintenance below starts from the stored state.
+    MaterializePendingSummaryLocked();
 
     // Rebuild each constructed structure over the new graph, carrying the
     // entries the delta did not invalidate. The old graph stays alive for
@@ -271,6 +293,7 @@ EstimationContext::ForkWithDeltas(const std::vector<dynamic::EdgeDelta>& batch,
   const stats::SummaryGraph* summary = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    MaterializePendingSummaryLocked();
     for (const auto& [h, table] : markov_) markovs.emplace_back(h, table.get());
     rates = rates_.get();
     catalog = catalog_.get();

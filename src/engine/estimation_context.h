@@ -10,6 +10,7 @@
 #include "dynamic/delta_graph.h"
 #include "dynamic/stats_maintainer.h"
 #include "engine/ceg_cache.h"
+#include "engine/snapshot.h"
 #include "graph/graph.h"
 #include "query/workload.h"
 #include "stats/char_sets.h"
@@ -19,6 +20,10 @@
 #include "stats/markov_table.h"
 #include "stats/summary_graph.h"
 #include "util/status.h"
+
+namespace cegraph::util {
+class MappedArena;
+}
 
 namespace cegraph::engine {
 
@@ -255,8 +260,14 @@ class EstimationContext {
   /// versioned binary snapshot at `path`, stamped with the context's
   /// dynamic fingerprint (base fingerprint in the header; delta hash and
   /// epoch in a dynamic-state section when the context has applied
-  /// deltas). Implemented in engine/snapshot.cc.
-  util::Status SaveSnapshot(const std::string& path) const;
+  /// deltas). `format` picks the container: the serde-parsed v1/v2 layout
+  /// or the mmap-able arena (version 3, see engine/snapshot.h). Mapped
+  /// entries a context serves but has never copied into its memo caches
+  /// are not re-exported — Save persists computed entries, and missing
+  /// ones recompute lazily to identical values. Implemented in
+  /// engine/snapshot.cc.
+  util::Status SaveSnapshot(const std::string& path,
+                            SnapshotFormat format = SnapshotFormat::kV2) const;
 
   /// How one LoadSnapshot resolved.
   struct SnapshotLoadReport {
@@ -268,6 +279,19 @@ class EstimationContext {
     uint64_t snapshot_epoch = 0;
     size_t replayed_deltas = 0;
     size_t evicted_entries = 0;
+    /// True: arena indexes were attached in place (zero-copy; lookups
+    /// serve straight off the mapped bytes until first write). False: the
+    /// sections were parsed/materialized into the memo caches (v1/v2
+    /// files, and stale arena loads — the replay scrub only sees memo
+    /// entries).
+    bool mapped = false;
+    /// Total bytes of arena images backing this load (0 for pure v1/v2).
+    uint64_t mapped_bytes = 0;
+    /// Time opening + validating the container(s): mmap and header/index
+    /// checks for arenas, file reads and manifest hash checks for shards.
+    double map_millis = 0;
+    /// Time parsing/merging/attaching sections into the context.
+    double parse_millis = 0;
   };
 
   /// Persists the same statistics as a *sharded* snapshot: a manifest at
@@ -276,9 +300,11 @@ class EstimationContext {
   /// [0, num_shards) (the keyed sections split by key-hash range; see
   /// engine/snapshot.h). The union of all shards is entry-for-entry
   /// equivalent to SaveSnapshot's monolithic file; a fleet process loads
-  /// only its shard set. Implemented in engine/snapshot.cc.
-  util::Status SaveSnapshotShards(const std::string& manifest_path,
-                                  uint32_t num_shards) const;
+  /// only its shard set. `format` picks the shard files' container exactly
+  /// as in SaveSnapshot. Implemented in engine/snapshot.cc.
+  util::Status SaveSnapshotShards(
+      const std::string& manifest_path, uint32_t num_shards,
+      SnapshotFormat format = SnapshotFormat::kV2) const;
 
   /// Restores a sharded snapshot from the manifest at `manifest_path`,
   /// loading the common file plus the shard files named in `shards`
@@ -310,6 +336,21 @@ class EstimationContext {
   /// estimators. Implemented in engine/snapshot.cc.
   util::Status LoadSnapshot(const std::string& path,
                             SnapshotLoadReport* report = nullptr) const;
+
+  /// The zero-copy restore path: mmaps an arena (version 3) snapshot and
+  /// attaches its per-section hash indexes behind the stats structures'
+  /// lookup APIs — nothing is parsed up front, lookups serve straight off
+  /// the mapped page cache and copy into the memo caches on first use.
+  /// Freshness/options guards are identical to LoadSnapshot; stale arena
+  /// snapshots are materialized into the memo caches and scrubbed exactly
+  /// like a v2 load (the replay scrub only sees memo entries, so stale
+  /// indexes are never left attached). Shard-manifest paths are accepted
+  /// and resolve each file's format by magic; v1/v2 files fall back to the
+  /// parse path transparently. LoadSnapshot itself routes arena files
+  /// here, so callers only need this entry point to force the distinction
+  /// in reports/benchmarks. Implemented in engine/snapshot.cc.
+  util::Status LoadSnapshotMapped(const std::string& path,
+                                  SnapshotLoadReport* report = nullptr) const;
 
  private:
   /// The dynamic fingerprint after each epoch: epoch_history_[k] is the
@@ -345,6 +386,18 @@ class EstimationContext {
                                  bool validate_only = false,
                                  bool scrub_stale = true) const;
 
+  /// The arena-image twin of LoadSnapshotBytes: validates the meta
+  /// section and every index header first (`validate_only` stops there),
+  /// then either attaches the indexes in place (fresh) or materializes
+  /// them into the memo caches and scrubs (stale). The structures keep
+  /// `arena` alive through shared_ptr owners, so a hot-swap drops the
+  /// mapping only once the last reader is gone. Implemented in
+  /// engine/snapshot.cc.
+  util::Status LoadSnapshotArena(
+      const std::shared_ptr<const util::MappedArena>& arena,
+      SnapshotLoadReport* report, bool validate_only = false,
+      bool scrub_stale = true) const;
+
   /// The EpochMark of `epoch`, or null when it predates the trimmed
   /// history or postdates the current epoch.
   const EpochMark* MarkAt(uint64_t epoch) const {
@@ -377,6 +430,19 @@ class EstimationContext {
   mutable std::unique_ptr<stats::SummaryGraph> summary_;
   mutable std::unique_ptr<stats::DispersionCatalog> dispersion_;
   mutable CegCache ceg_cache_;
+
+  /// Unparsed summary-graph payload adopted from a mapped arena snapshot,
+  /// parsed on first use so arena open time stays O(sections). The owner
+  /// handle keeps the mapping alive until the parse (or forever, if the
+  /// summary is never touched). Guarded by mutex_; a null owner means no
+  /// payload is pending.
+  mutable std::string_view pending_summary_;
+  mutable std::shared_ptr<const void> pending_summary_owner_;
+
+  /// Parses pending_summary_ into summary_ (mutex_ must be held). A
+  /// payload that fails to parse is dropped: the summary is derived data,
+  /// so summary_graph() then falls back to building one from the graph.
+  void MaterializePendingSummaryLocked() const;
 };
 
 }  // namespace cegraph::engine

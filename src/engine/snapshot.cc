@@ -1,15 +1,18 @@
 #include "engine/snapshot.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <utility>
 
 #include "dynamic/stats_maintainer.h"
 #include "engine/estimation_context.h"
+#include "util/arena.h"
 #include "util/serde.h"
 #include "util/shard.h"
 
@@ -19,6 +22,9 @@ namespace {
 
 using util::serde::Reader;
 using util::serde::Writer;
+
+std::string EncodeDeltaLogPayload(
+    const std::vector<dynamic::EdgeDelta>& replay_log);
 
 util::StatusOr<std::string> ReadFileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -236,15 +242,8 @@ SectionList BuildDynamicSections(
   WriteFingerprint(payload, current_fp);
   sections.emplace_back(SnapshotSection::kDynamicState, payload.TakeBuffer());
   if (include_delta_log && log_trimmed == 0) {
-    Writer log;
-    log.WriteU64(replay_log.size());
-    for (const dynamic::EdgeDelta& d : replay_log) {
-      log.WriteU8(static_cast<uint8_t>(d.op));
-      log.WriteU32(d.edge.src);
-      log.WriteU32(d.edge.dst);
-      log.WriteU32(d.edge.label);
-    }
-    sections.emplace_back(SnapshotSection::kDeltaLog, log.TakeBuffer());
+    sections.emplace_back(SnapshotSection::kDeltaLog,
+                          EncodeDeltaLogPayload(replay_log));
   }
   return sections;
 }
@@ -277,6 +276,316 @@ std::string ResolveManifestFile(const std::string& manifest_path,
   return (std::filesystem::path(manifest_path).parent_path() / p).string();
 }
 
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The snapshot-vs-context options guard shared by every load path (see
+/// the comment in LoadSnapshotBytes for why markov_h is exempt).
+util::Status CheckSnapshotOptions(const SnapshotOptions& snap,
+                                  const ContextOptions& ctx) {
+  SnapshotOptions expected = OptionsOf(ctx);
+  SnapshotOptions actual = snap;
+  expected.markov_h = 0;
+  actual.markov_h = 0;
+  if (expected == actual) return util::Status::OK();
+  return util::FailedPreconditionError(
+      "snapshot built under different context options (summary buckets " +
+      std::to_string(snap.summary_buckets) + "/" +
+      std::to_string(ctx.summary_buckets) + ", materialize cap " +
+      std::to_string(snap.stats_materialize_cap) + "/" +
+      std::to_string(ctx.stats_materialize_cap) +
+      ", cycle-closing sampling " + std::to_string(snap.cc_walks_per_key) +
+      "x" + std::to_string(snap.cc_max_attempt_factor) + "/" +
+      std::to_string(snap.cc_max_mid_hops) + " seed " +
+      std::to_string(snap.cc_seed) + ")");
+}
+
+/// The "neither fresh nor stale-replayable" rejection shared by the v2 and
+/// arena load paths.
+util::Status FingerprintMismatchError(
+    const graph::GraphFingerprint& snap_current,
+    const graph::GraphFingerprint& snap_base, uint64_t snap_epoch,
+    const graph::GraphFingerprint& ctx_graph,
+    const graph::GraphFingerprint& ctx_base, uint64_t ctx_epoch,
+    bool has_delta_log) {
+  return util::FailedPreconditionError(
+      "snapshot fingerprint mismatch: statistics describe graph " +
+      DescribeFingerprint(snap_current) + " (base " +
+      DescribeFingerprint(snap_base) + ", epoch " +
+      std::to_string(snap_epoch) + "), context graph is " +
+      DescribeFingerprint(ctx_graph) + " (base " +
+      DescribeFingerprint(ctx_base) + ", epoch " +
+      std::to_string(ctx_epoch) + ") — " +
+      (has_delta_log
+           ? "replay the snapshot's embedded delta log onto its base "
+             "graph (ReadSnapshotDeltaLog + ApplyDeltas), or rebuild"
+           : "rebuild the snapshot for this graph state"));
+}
+
+/// The kDeltaLog payload (shared verbatim by the v2 and arena containers).
+std::string EncodeDeltaLogPayload(
+    const std::vector<dynamic::EdgeDelta>& replay_log) {
+  Writer log;
+  log.WriteU64(replay_log.size());
+  for (const dynamic::EdgeDelta& d : replay_log) {
+    log.WriteU8(static_cast<uint8_t>(d.op));
+    log.WriteU32(d.edge.src);
+    log.WriteU32(d.edge.dst);
+    log.WriteU32(d.edge.label);
+  }
+  return log.TakeBuffer();
+}
+
+util::StatusOr<std::vector<dynamic::EdgeDelta>> ParseDeltaLogPayload(
+    std::string_view payload) {
+  Reader sub(payload);
+  auto count = sub.ReadU64();
+  if (!count.ok()) return count.status();
+  // Each op is 13 bytes; bound before allocating.
+  if (*count > sub.remaining() / 13) {
+    return util::InvalidArgumentError("implausible delta-log length");
+  }
+  std::vector<dynamic::EdgeDelta> log;
+  log.reserve(static_cast<size_t>(*count));
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto op = sub.ReadU8();
+    if (!op.ok()) return op.status();
+    if (*op > 1) {
+      return util::InvalidArgumentError("unknown delta op in snapshot");
+    }
+    auto src = sub.ReadU32();
+    if (!src.ok()) return src.status();
+    auto dst = sub.ReadU32();
+    if (!dst.ok()) return dst.status();
+    auto label = sub.ReadU32();
+    if (!label.ok()) return label.status();
+    log.push_back({{*src, *dst, *label}, static_cast<dynamic::DeltaOp>(*op)});
+  }
+  return log;
+}
+
+// ---- Arena (version 3) container ----
+
+constexpr uint32_t SectionId(SnapshotSection s) {
+  return static_cast<uint32_t>(s);
+}
+
+/// The folded header carried by every arena file (kArenaMeta payload).
+struct ArenaMeta {
+  uint32_t snapshot_version = 0;
+  graph::GraphFingerprint fingerprint;  ///< base graph
+  SnapshotOptions options;
+  uint64_t delta_hash = 0;
+  uint64_t epoch = 0;
+  graph::GraphFingerprint current_fingerprint;
+};
+
+std::string EncodeArenaMeta(const graph::GraphFingerprint& base_fp,
+                            const SnapshotOptions& options,
+                            uint64_t delta_hash, uint64_t epoch,
+                            const graph::GraphFingerprint& current_fp) {
+  Writer w;
+  w.WriteU32(kSnapshotVersionArena);
+  WriteFingerprint(w, base_fp);
+  WriteOptions(w, options);
+  w.WriteU64(delta_hash);
+  w.WriteU64(epoch);
+  WriteFingerprint(w, current_fp);
+  return w.TakeBuffer();
+}
+
+util::StatusOr<ArenaMeta> ParseArenaMeta(std::string_view payload) {
+  Reader reader(payload);
+  ArenaMeta meta;
+  auto version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kSnapshotVersionArena) {
+    return util::InvalidArgumentError(
+        "unsupported arena snapshot version " + std::to_string(*version) +
+        " (this build reads version " +
+        std::to_string(kSnapshotVersionArena) + ")");
+  }
+  meta.snapshot_version = *version;
+  auto fp = ReadFingerprint(reader);
+  if (!fp.ok()) return fp.status();
+  meta.fingerprint = *fp;
+  auto options = ReadOptions(reader);
+  if (!options.ok()) return options.status();
+  meta.options = *options;
+  auto delta_hash = reader.ReadU64();
+  if (!delta_hash.ok()) return delta_hash.status();
+  meta.delta_hash = *delta_hash;
+  auto epoch = reader.ReadU64();
+  if (!epoch.ok()) return epoch.status();
+  meta.epoch = *epoch;
+  auto current = ReadFingerprint(reader);
+  if (!current.ok()) return current.status();
+  meta.current_fingerprint = *current;
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError(
+        "arena-meta section has trailing bytes");
+  }
+  return meta;
+}
+
+/// One complete arena file image. `include_keyed`/`include_summaries`
+/// select the section groups exactly like the v2 Build*Sections helpers
+/// (shard files carry keyed indexes, the common file the summaries); the
+/// meta section is always present, and the delta log travels only in
+/// monolithic/common files of untrimmed dynamic contexts.
+std::string EncodeArenaSnapshotFile(
+    const StatsRefs& s, uint32_t shard, uint32_t num_shards,
+    bool include_keyed, bool include_summaries,
+    const graph::GraphFingerprint& base_fp, const SnapshotOptions& options,
+    uint64_t delta_hash, uint64_t epoch,
+    const graph::GraphFingerprint& current_fp,
+    const std::vector<dynamic::EdgeDelta>& replay_log, size_t log_trimmed,
+    bool include_delta_log) {
+  util::ArenaBuilder arena;
+  arena.AddSection(
+      SectionId(SnapshotSection::kArenaMeta),
+      EncodeArenaMeta(base_fp, options, delta_hash, epoch, current_fp));
+  if (include_keyed) {
+    for (const auto& [h, table] : s.markovs) {
+      util::ArenaIndexBuilder index;
+      table->ExportArenaEntries(index, shard, num_shards);
+      Writer payload;
+      payload.WriteU32(static_cast<uint32_t>(h));
+      payload.WriteU32(0);  // pad: the index payload starts 8-aligned
+      payload.WriteRaw(index.Finish());
+      arena.AddSection(SectionId(SnapshotSection::kMarkov),
+                       payload.TakeBuffer());
+    }
+    if (s.rates != nullptr) {
+      util::ArenaIndexBuilder index;
+      s.rates->ExportArenaEntries(index, shard, num_shards);
+      arena.AddSection(SectionId(SnapshotSection::kClosingRates),
+                       index.Finish());
+    }
+    if (s.catalog != nullptr) {
+      util::ArenaIndexBuilder bases;
+      s.catalog->ExportArenaBases(bases, shard, num_shards);
+      arena.AddSection(SectionId(SnapshotSection::kDegreeCatalog),
+                       bases.Finish());
+      util::ArenaIndexBuilder joins;
+      s.catalog->ExportArenaJoins(joins, shard, num_shards);
+      arena.AddSection(SectionId(SnapshotSection::kDegreeJoins),
+                       joins.Finish());
+    }
+    if (s.dispersion != nullptr) {
+      util::ArenaIndexBuilder index;
+      s.dispersion->ExportArenaEntries(index, shard, num_shards);
+      arena.AddSection(SectionId(SnapshotSection::kDispersion),
+                       index.Finish());
+    }
+  }
+  if (include_summaries) {
+    if (s.char_sets != nullptr) {
+      arena.AddSection(SectionId(SnapshotSection::kCharSets),
+                       s.char_sets->SaveArena());
+    }
+    if (s.summary != nullptr) {
+      Writer payload;
+      s.summary->Save(payload);
+      arena.AddSection(SectionId(SnapshotSection::kSummaryGraph),
+                       payload.TakeBuffer());
+    }
+  }
+  if (epoch > 0 && include_delta_log && log_trimmed == 0) {
+    arena.AddSection(SectionId(SnapshotSection::kDeltaLog),
+                     EncodeDeltaLogPayload(replay_log));
+  }
+  return arena.Finish();
+}
+
+/// The arena branch of ReadSnapshotInfo: header from the meta section,
+/// entry counts from each index/section header, offsets from the arena's
+/// own section table.
+util::StatusOr<SnapshotInfo> ReadArenaSnapshotInfo(
+    const util::MappedArena& arena) {
+  const util::MappedArena::Section* meta_section =
+      arena.FindSection(SectionId(SnapshotSection::kArenaMeta));
+  if (meta_section == nullptr) {
+    return util::InvalidArgumentError(
+        "arena snapshot has no arena-meta section");
+  }
+  auto meta = ParseArenaMeta(arena.SectionBytes(*meta_section));
+  if (!meta.ok()) return meta.status();
+  SnapshotInfo info;
+  info.version = meta->snapshot_version;
+  info.fingerprint = meta->fingerprint;
+  info.options = meta->options;
+  info.file_bytes = arena.size();
+  info.delta_hash = meta->delta_hash;
+  info.epoch = meta->epoch;
+  info.current_fingerprint = meta->current_fingerprint;
+  for (const util::MappedArena::Section& s : arena.sections()) {
+    SnapshotSectionInfo section;
+    section.id = s.id;
+    section.name = SnapshotSectionName(s.id);
+    section.payload_bytes = s.bytes;
+    section.offset = s.offset;
+    const std::string_view payload = arena.SectionBytes(s);
+    switch (static_cast<SnapshotSection>(s.id)) {
+      case SnapshotSection::kMarkov: {
+        if (payload.size() < 8) {
+          return util::InvalidArgumentError(
+              "markov arena section truncated");
+        }
+        section.markov_h = util::LoadLittleU32(payload.data());
+        auto index = util::MappedIndex::Attach(payload.substr(8));
+        if (!index.ok()) return index.status();
+        section.entries = index->num_entries();
+        break;
+      }
+      case SnapshotSection::kClosingRates:
+      case SnapshotSection::kDegreeCatalog:
+      case SnapshotSection::kDegreeJoins:
+      case SnapshotSection::kDispersion: {
+        auto index = util::MappedIndex::Attach(payload);
+        if (!index.ok()) return index.status();
+        section.entries = index->num_entries();
+        break;
+      }
+      case SnapshotSection::kCharSets: {
+        if (payload.size() < 16) {
+          return util::InvalidArgumentError(
+              "char-sets arena section truncated");
+        }
+        section.entries = util::LoadLittleU64(payload.data() + 8);
+        break;
+      }
+      case SnapshotSection::kSummaryGraph: {
+        Reader sub(payload);
+        auto shape = sub.ReadU32();
+        if (!shape.ok()) return shape.status();
+        auto entries = sub.ReadU64();
+        if (!entries.ok()) return entries.status();
+        section.entries = *entries;
+        break;
+      }
+      case SnapshotSection::kDeltaLog: {
+        if (payload.size() < 8) {
+          return util::InvalidArgumentError(
+              "delta-log arena section truncated");
+        }
+        section.entries = util::LoadLittleU64(payload.data());
+        break;
+      }
+      case SnapshotSection::kArenaMeta:
+        section.entries = meta->epoch;
+        break;
+      default:
+        break;  // unknown section: size only
+    }
+    info.sections.push_back(std::move(section));
+  }
+  return info;
+}
+
 }  // namespace
 
 const char* SnapshotSectionName(uint32_t id) {
@@ -297,11 +606,20 @@ const char* SnapshotSectionName(uint32_t id) {
       return "dynamic-state";
     case SnapshotSection::kDeltaLog:
       return "delta-log";
+    case SnapshotSection::kArenaMeta:
+      return "arena-meta";
+    case SnapshotSection::kDegreeJoins:
+      return "degree-joins";
   }
   return "unknown";
 }
 
 util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  if (IsArenaSnapshot(path)) {
+    auto arena = util::MappedArena::MapFile(path);
+    if (!arena.ok()) return arena.status();
+    return ReadArenaSnapshotInfo(**arena);
+  }
   auto bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
   Reader reader(*bytes);
@@ -396,6 +714,15 @@ bool IsShardManifest(const std::string& path) {
          std::memcmp(magic, kShardManifestMagic, 8) == 0;
 }
 
+bool IsArenaSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8];
+  in.read(magic, 8);
+  return in.gcount() == 8 &&
+         std::memcmp(magic, util::kArenaMagic, 8) == 0;
+}
+
 util::StatusOr<ShardManifest> ReadShardManifest(const std::string& path) {
   auto bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
@@ -421,7 +748,7 @@ util::StatusOr<ShardManifest> ReadShardManifest(const std::string& path) {
   manifest.options = *options;
   auto snapshot_version = reader.ReadU32();
   if (!snapshot_version.ok()) return snapshot_version.status();
-  if (*snapshot_version < 1 || *snapshot_version > kSnapshotVersion) {
+  if (*snapshot_version < 1 || *snapshot_version > kSnapshotVersionArena) {
     return util::InvalidArgumentError(
         "manifest names unsupported snapshot version " +
         std::to_string(*snapshot_version));
@@ -546,6 +873,19 @@ namespace {
 
 util::StatusOr<std::vector<dynamic::EdgeDelta>> ParseSnapshotDeltaLog(
     std::string_view bytes) {
+  if (bytes.size() >= 8 &&
+      std::memcmp(bytes.data(), util::kArenaMagic, 8) == 0) {
+    auto arena = util::MappedArena::FromBytes(bytes);
+    if (!arena.ok()) return arena.status();
+    std::vector<dynamic::EdgeDelta> log;
+    for (const util::MappedArena::Section* s :
+         (*arena)->FindSections(SectionId(SnapshotSection::kDeltaLog))) {
+      auto parsed = ParseDeltaLogPayload((*arena)->SectionBytes(*s));
+      if (!parsed.ok()) return parsed.status();
+      for (const dynamic::EdgeDelta& d : *parsed) log.push_back(d);
+    }
+    return log;
+  }
   Reader reader(bytes);
   auto info = ReadHeader(reader);
   if (!info.ok()) return info.status();
@@ -562,36 +902,17 @@ util::StatusOr<std::vector<dynamic::EdgeDelta>> ParseSnapshotDeltaLog(
     if (static_cast<SnapshotSection>(*id) != SnapshotSection::kDeltaLog) {
       continue;
     }
-    Reader sub(*payload);
-    auto count = sub.ReadU64();
-    if (!count.ok()) return count.status();
-    // Each op is 13 bytes; bound before allocating.
-    if (*count > sub.remaining() / 13) {
-      return util::InvalidArgumentError("implausible delta-log length");
-    }
-    log.reserve(static_cast<size_t>(*count));
-    for (uint64_t i = 0; i < *count; ++i) {
-      auto op = sub.ReadU8();
-      if (!op.ok()) return op.status();
-      if (*op > 1) {
-        return util::InvalidArgumentError("unknown delta op in snapshot");
-      }
-      auto src = sub.ReadU32();
-      if (!src.ok()) return src.status();
-      auto dst = sub.ReadU32();
-      if (!dst.ok()) return dst.status();
-      auto label = sub.ReadU32();
-      if (!label.ok()) return label.status();
-      log.push_back({{*src, *dst, *label},
-                     static_cast<dynamic::DeltaOp>(*op)});
-    }
+    auto parsed = ParseDeltaLogPayload(*payload);
+    if (!parsed.ok()) return parsed.status();
+    for (const dynamic::EdgeDelta& d : *parsed) log.push_back(d);
   }
   return log;
 }
 
 }  // namespace
 
-util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
+util::Status EstimationContext::SaveSnapshot(const std::string& path,
+                                             SnapshotFormat format) const {
   // Collect stable pointers to everything built so far. Lazy fills only
   // ever *set* these unique_ptrs, and each Export takes its own cache
   // lock, so serialization can proceed outside the context mutex
@@ -604,6 +925,7 @@ util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
   StatsRefs refs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    MaterializePendingSummaryLocked();  // saved summaries must be concrete
     for (const auto& [h, table] : markov_) {
       refs.markovs.emplace_back(h, table.get());
     }
@@ -612,6 +934,16 @@ util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
     refs.char_sets = char_sets_.get();
     refs.summary = summary_.get();
     refs.dispersion = dispersion_.get();
+  }
+
+  if (format == SnapshotFormat::kArena) {
+    return WriteFileBytes(
+        path, EncodeArenaSnapshotFile(
+                  refs, 0, 0, /*include_keyed=*/true,
+                  /*include_summaries=*/true, base_fingerprint_,
+                  OptionsOf(options_), delta_hash_, epoch_,
+                  g_->fingerprint(), replay_log_, log_trimmed_,
+                  /*include_delta_log=*/true));
   }
 
   SectionList sections = BuildKeyedSections(refs, 0, 0);
@@ -631,7 +963,8 @@ util::Status EstimationContext::SaveSnapshot(const std::string& path) const {
 }
 
 util::Status EstimationContext::SaveSnapshotShards(
-    const std::string& manifest_path, uint32_t num_shards) const {
+    const std::string& manifest_path, uint32_t num_shards,
+    SnapshotFormat format) const {
   if (num_shards < 1 || num_shards > kMaxSnapshotShards) {
     return util::InvalidArgumentError(
         "shard count must be in 1.." + std::to_string(kMaxSnapshotShards) +
@@ -640,6 +973,7 @@ util::Status EstimationContext::SaveSnapshotShards(
   StatsRefs refs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    MaterializePendingSummaryLocked();  // saved summaries must be concrete
     for (const auto& [h, table] : markov_) {
       refs.markovs.emplace_back(h, table.get());
     }
@@ -649,32 +983,44 @@ util::Status EstimationContext::SaveSnapshotShards(
     refs.summary = summary_.get();
     refs.dispersion = dispersion_.get();
   }
+  const bool arena = format == SnapshotFormat::kArena;
   const uint32_t version =
-      epoch_ > 0 ? kSnapshotVersion : kSnapshotVersionStatic;
+      arena ? kSnapshotVersionArena
+            : (epoch_ > 0 ? kSnapshotVersion : kSnapshotVersionStatic);
   const SnapshotOptions options = OptionsOf(options_);
   const std::string base_name =
       std::filesystem::path(manifest_path).filename().string();
 
   // Every file carries the dynamic-state stamp (so each can be judged
-  // fresh/stale on its own); only the common file embeds the replay log.
+  // fresh/stale on its own; arena files fold it into kArenaMeta); only the
+  // common file embeds the replay log.
   const SectionList dynamic_stamp =
-      BuildDynamicSections(epoch_, delta_hash_, g_->fingerprint(),
-                           replay_log_, log_trimmed_,
-                           /*include_delta_log=*/false);
+      arena ? SectionList{}
+            : BuildDynamicSections(epoch_, delta_hash_, g_->fingerprint(),
+                                   replay_log_, log_trimmed_,
+                                   /*include_delta_log=*/false);
 
   // Common file: the whole-graph summaries + dynamic state + delta log.
   ShardFileInfo common;
   common.file = base_name + ".common";
   {
-    SectionList sections = BuildSummarySections(refs);
-    for (auto& section :
-         BuildDynamicSections(epoch_, delta_hash_, g_->fingerprint(),
-                              replay_log_, log_trimmed_,
-                              /*include_delta_log=*/true)) {
-      sections.push_back(std::move(section));
+    std::string bytes;
+    if (arena) {
+      bytes = EncodeArenaSnapshotFile(
+          refs, 0, 0, /*include_keyed=*/false, /*include_summaries=*/true,
+          base_fingerprint_, options, delta_hash_, epoch_, g_->fingerprint(),
+          replay_log_, log_trimmed_, /*include_delta_log=*/true);
+    } else {
+      SectionList sections = BuildSummarySections(refs);
+      for (auto& section :
+           BuildDynamicSections(epoch_, delta_hash_, g_->fingerprint(),
+                                replay_log_, log_trimmed_,
+                                /*include_delta_log=*/true)) {
+        sections.push_back(std::move(section));
+      }
+      bytes = EncodeSnapshotFile(version, base_fingerprint_, options,
+                                 sections);
     }
-    const std::string bytes =
-        EncodeSnapshotFile(version, base_fingerprint_, options, sections);
     common.bytes = bytes.size();
     common.hash = util::StableHash64(bytes);
     CEGRAPH_RETURN_IF_ERROR(WriteFileBytes(
@@ -693,10 +1039,19 @@ util::Status EstimationContext::SaveSnapshotShards(
     ShardFileInfo shard;
     shard.shard = k;
     shard.file = base_name + ".shard" + std::to_string(k);
-    SectionList sections = BuildKeyedSections(refs, k, num_shards);
-    for (const auto& section : dynamic_stamp) sections.push_back(section);
-    const std::string bytes =
-        EncodeSnapshotFile(version, base_fingerprint_, options, sections);
+    std::string bytes;
+    if (arena) {
+      bytes = EncodeArenaSnapshotFile(
+          refs, k, num_shards, /*include_keyed=*/true,
+          /*include_summaries=*/false, base_fingerprint_, options,
+          delta_hash_, epoch_, g_->fingerprint(), replay_log_, log_trimmed_,
+          /*include_delta_log=*/false);
+    } else {
+      SectionList sections = BuildKeyedSections(refs, k, num_shards);
+      for (const auto& section : dynamic_stamp) sections.push_back(section);
+      bytes = EncodeSnapshotFile(version, base_fingerprint_, options,
+                                 sections);
+    }
     shard.bytes = bytes.size();
     shard.hash = util::StableHash64(bytes);
     CEGRAPH_RETURN_IF_ERROR(WriteFileBytes(
@@ -731,9 +1086,40 @@ util::Status EstimationContext::LoadSnapshot(const std::string& path,
   // loads the union of all shards (fleet processes that want a subset call
   // LoadSnapshotShards with an explicit shard list).
   if (IsShardManifest(path)) return LoadSnapshotShards(path, {}, report);
+  // Arena (version 3) files route through the zero-copy mmap path, so
+  // existing call sites get mapped loads transparently.
+  if (IsArenaSnapshot(path)) return LoadSnapshotMapped(path, report);
+  const auto t_read = std::chrono::steady_clock::now();
   auto bytes = ReadFileBytes(path);
   if (!bytes.ok()) return bytes.status();
-  return LoadSnapshotBytes(*bytes, report);
+  const double read_millis = MillisSince(t_read);
+  const auto t_parse = std::chrono::steady_clock::now();
+  CEGRAPH_RETURN_IF_ERROR(LoadSnapshotBytes(*bytes, report));
+  if (report != nullptr) {
+    report->map_millis = read_millis;
+    report->parse_millis = MillisSince(t_parse);
+  }
+  return util::Status::OK();
+}
+
+util::Status EstimationContext::LoadSnapshotMapped(const std::string& path,
+                                                   SnapshotLoadReport* report)
+    const {
+  if (IsShardManifest(path)) return LoadSnapshotShards(path, {}, report);
+  // v1/v2 files fall back to the parse path (LoadSnapshot will not route
+  // them back here — the arena sniff fails for them).
+  if (!IsArenaSnapshot(path)) return LoadSnapshot(path, report);
+  const auto t_map = std::chrono::steady_clock::now();
+  auto arena = util::MappedArena::MapFile(path);
+  if (!arena.ok()) return arena.status();
+  const double map_millis = MillisSince(t_map);
+  const auto t_apply = std::chrono::steady_clock::now();
+  CEGRAPH_RETURN_IF_ERROR(LoadSnapshotArena(*arena, report));
+  if (report != nullptr) {
+    report->map_millis = map_millis;
+    report->parse_millis = MillisSince(t_apply);
+  }
+  return util::Status::OK();
 }
 
 util::Status EstimationContext::LoadSnapshotBytes(
@@ -747,23 +1133,7 @@ util::Status EstimationContext::LoadSnapshotBytes(
   // smaller materialize cap, rates from a different sampling setup, a
   // summary with a different bucket target). markov_h is exempt — Markov
   // sections carry their own h and their entries are exact counts.
-  SnapshotOptions expected = OptionsOf(options_);
-  SnapshotOptions actual = info->options;
-  expected.markov_h = 0;
-  actual.markov_h = 0;
-  if (!(expected == actual)) {
-    return util::FailedPreconditionError(
-        "snapshot built under different context options (summary buckets " +
-        std::to_string(info->options.summary_buckets) + "/" +
-        std::to_string(options_.summary_buckets) + ", materialize cap " +
-        std::to_string(info->options.stats_materialize_cap) + "/" +
-        std::to_string(options_.stats_materialize_cap) +
-        ", cycle-closing sampling " +
-        std::to_string(info->options.cc_walks_per_key) + "x" +
-        std::to_string(info->options.cc_max_attempt_factor) + "/" +
-        std::to_string(info->options.cc_max_mid_hops) + " seed " +
-        std::to_string(info->options.cc_seed) + ")");
-  }
+  CEGRAPH_RETURN_IF_ERROR(CheckSnapshotOptions(info->options, options_));
 
   auto section_count = reader.ReadU32();
   if (!section_count.ok()) return section_count.status();
@@ -824,18 +1194,9 @@ util::Status EstimationContext::LoadSnapshotBytes(
   const EpochMark* mark = MarkAt(snap_epoch);
   if (!fresh && (!(info->fingerprint == base_fingerprint_) ||
                  mark == nullptr || mark->delta_hash != snap_delta_hash)) {
-    return util::FailedPreconditionError(
-        "snapshot fingerprint mismatch: statistics describe graph " +
-        DescribeFingerprint(snap_current) + " (base " +
-        DescribeFingerprint(info->fingerprint) + ", epoch " +
-        std::to_string(snap_epoch) + "), context graph is " +
-        DescribeFingerprint(g_->fingerprint()) + " (base " +
-        DescribeFingerprint(base_fingerprint_) + ", epoch " +
-        std::to_string(epoch_) + ") — " +
-        (has_delta_log
-             ? "replay the snapshot's embedded delta log onto its base "
-               "graph (ReadSnapshotDeltaLog + ApplyDeltas), or rebuild"
-             : "rebuild the snapshot for this graph state"));
+    return FingerprintMismatchError(snap_current, info->fingerprint,
+                                    snap_epoch, g_->fingerprint(),
+                                    base_fingerprint_, epoch_, has_delta_log);
   }
   const bool stale = !fresh;
   if (report != nullptr) {
@@ -844,6 +1205,8 @@ util::Status EstimationContext::LoadSnapshotBytes(
     report->replayed_deltas =
         stale ? replay_log_.size() - (mark->log_size - log_trimmed_) : 0;
     report->evicted_entries = 0;
+    report->mapped = false;
+    report->mapped_bytes = 0;
   }
 
   // Two-phase apply: the staging pass parses and validates every section
@@ -936,6 +1299,10 @@ util::Status EstimationContext::LoadSnapshotBytes(
           if (!dry_run) {
             std::lock_guard<std::mutex> lock(mutex_);
             if (summary_ == nullptr) {
+              // Supersedes any summary still pending from an earlier
+              // mapped load.
+              pending_summary_ = {};
+              pending_summary_owner_.reset();
               summary_ = std::make_unique<stats::SummaryGraph>(
                   std::move(*loaded));
             }
@@ -967,6 +1334,287 @@ util::Status EstimationContext::LoadSnapshotBytes(
     // entries refreshed from the current graph). Entries the live context
     // had already computed for the current epoch can only be over-evicted
     // by this — they lazily recompute to the same values.
+    const std::vector<bool> changed = dynamic::ChangedLabelBitmap(
+        g_->num_labels(),
+        std::span<const dynamic::EdgeDelta>(replay_log_)
+            .subspan(mark->log_size - log_trimmed_));
+    size_t evicted = 0;
+    std::vector<const stats::MarkovTable*> tables;
+    const stats::CycleClosingRates* rates = nullptr;
+    const stats::StatsCatalog* catalog = nullptr;
+    const stats::DispersionCatalog* dispersion = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& [h, table] : markov_) tables.push_back(table.get());
+      rates = rates_.get();
+      catalog = catalog_.get();
+      dispersion = dispersion_.get();
+    }
+    for (const stats::MarkovTable* table : tables) {
+      evicted += dynamic::StatsMaintainer::ScrubMarkov(*table, changed);
+    }
+    if (rates != nullptr) {
+      evicted += dynamic::StatsMaintainer::ScrubClosingRates(*rates, changed);
+    }
+    if (catalog != nullptr) {
+      evicted += dynamic::StatsMaintainer::ScrubCatalog(*catalog, changed);
+    }
+    if (dispersion != nullptr) {
+      evicted +=
+          dynamic::StatsMaintainer::ScrubDispersion(*dispersion, changed);
+    }
+    if (report != nullptr) report->evicted_entries = evicted;
+  }
+  return util::Status::OK();
+}
+
+util::Status EstimationContext::LoadSnapshotArena(
+    const std::shared_ptr<const util::MappedArena>& arena,
+    SnapshotLoadReport* report, bool validate_only, bool scrub_stale) const {
+  const util::MappedArena::Section* meta_section =
+      arena->FindSection(SectionId(SnapshotSection::kArenaMeta));
+  if (meta_section == nullptr) {
+    return util::InvalidArgumentError(
+        "arena snapshot has no arena-meta section");
+  }
+  auto meta = ParseArenaMeta(arena->SectionBytes(*meta_section));
+  if (!meta.ok()) return meta.status();
+  CEGRAPH_RETURN_IF_ERROR(CheckSnapshotOptions(meta->options, options_));
+
+  // Same freshness judgment as the v2 path: content first (described graph
+  // == current graph), else stale-but-replayable via the epoch history.
+  const bool has_delta_log =
+      arena->FindSection(SectionId(SnapshotSection::kDeltaLog)) != nullptr;
+  const bool fresh = meta->current_fingerprint == g_->fingerprint();
+  const EpochMark* mark = MarkAt(meta->epoch);
+  if (!fresh && (!(meta->fingerprint == base_fingerprint_) ||
+                 mark == nullptr || mark->delta_hash != meta->delta_hash)) {
+    return FingerprintMismatchError(
+        meta->current_fingerprint, meta->fingerprint, meta->epoch,
+        g_->fingerprint(), base_fingerprint_, epoch_, has_delta_log);
+  }
+  const bool stale = !fresh;
+  if (report != nullptr) {
+    report->stale = stale;
+    report->snapshot_epoch = meta->epoch;
+    report->replayed_deltas =
+        stale ? replay_log_.size() - (mark->log_size - log_trimmed_) : 0;
+    report->evicted_entries = 0;
+    report->mapped = false;
+    report->mapped_bytes = arena->size();
+  }
+
+  // Stage everything into temporaries first: index headers attach (cheap
+  // validation), the summaries parse/validate fully. Nothing below touches
+  // the live caches until every section has passed, so a corrupt arena is
+  // a clean error that leaves the context exactly as it was.
+  struct AttachedSections {
+    std::vector<std::pair<uint32_t, util::MappedIndex>> markov;
+    std::optional<util::MappedIndex> rates;
+    std::optional<util::MappedIndex> bases;
+    std::optional<util::MappedIndex> joins;
+    std::optional<util::MappedIndex> dispersion;
+    std::optional<stats::CharacteristicSets> char_sets;
+    std::string_view summary_payload;
+  };
+  AttachedSections att;
+  for (const util::MappedArena::Section& s : arena->sections()) {
+    const std::string_view payload = arena->SectionBytes(s);
+    switch (static_cast<SnapshotSection>(s.id)) {
+      case SnapshotSection::kMarkov: {
+        if (payload.size() < 8) {
+          return util::InvalidArgumentError(
+              "markov arena section truncated");
+        }
+        const uint32_t h = util::LoadLittleU32(payload.data());
+        if (h < 1 || h > 16) {
+          return util::InvalidArgumentError(
+              "implausible Markov table size " + std::to_string(h));
+        }
+        auto index = util::MappedIndex::Attach(payload.substr(8));
+        if (!index.ok()) return index.status();
+        att.markov.emplace_back(h, *index);
+        break;
+      }
+      case SnapshotSection::kClosingRates: {
+        auto index = util::MappedIndex::Attach(payload);
+        if (!index.ok()) return index.status();
+        att.rates = *index;
+        break;
+      }
+      case SnapshotSection::kDegreeCatalog: {
+        auto index = util::MappedIndex::Attach(payload);
+        if (!index.ok()) return index.status();
+        att.bases = *index;
+        break;
+      }
+      case SnapshotSection::kDegreeJoins: {
+        auto index = util::MappedIndex::Attach(payload);
+        if (!index.ok()) return index.status();
+        att.joins = *index;
+        break;
+      }
+      case SnapshotSection::kDispersion: {
+        auto index = util::MappedIndex::Attach(payload);
+        if (!index.ok()) return index.status();
+        att.dispersion = *index;
+        break;
+      }
+      case SnapshotSection::kCharSets: {
+        // Stale loads skip the whole-graph summaries, exactly like v2:
+        // they describe the snapshot's epoch wholesale and rebuild lazily.
+        if (stale) break;
+        auto cs = stats::CharacteristicSets::AttachMapped(payload, arena);
+        if (!cs.ok()) return cs.status();
+        if (cs->num_graph_vertices() != g_->num_vertices()) {
+          return util::InvalidArgumentError(
+              "characteristic-set summary built over a different vertex "
+              "count");
+        }
+        // Serving opens leave the per-group scan deferred; the validation
+        // pass pays for it here so corruption is reported, not degraded.
+        if (validate_only) CEGRAPH_RETURN_IF_ERROR(cs->ValidateNow());
+        att.char_sets.emplace(std::move(*cs));
+        break;
+      }
+      case SnapshotSection::kSummaryGraph: {
+        if (stale) break;
+        // Fresh applies defer the parse to first summary_graph() use, so
+        // open time stays O(sections) however large the summary grew.
+        // Only the validation pass (cegraph_stats verify, the shard
+        // integrity walk) pays for a full decode here.
+        if (!validate_only) {
+          att.summary_payload = payload;
+          break;
+        }
+        Reader sub(payload);
+        auto loaded = stats::SummaryGraph::Load(sub);
+        if (!loaded.ok()) return loaded.status();
+        if (!sub.AtEnd()) {
+          return util::InvalidArgumentError(
+              "section summary-graph has trailing bytes (corrupted "
+              "snapshot)");
+        }
+        if (loaded->num_labels() != g_->num_labels()) {
+          return util::InvalidArgumentError(
+              "summary graph built over a different label count");
+        }
+        break;
+      }
+      default:
+        break;  // meta (parsed above), delta log, unknown sections
+    }
+  }
+
+  if (stale) {
+    // Stale loads go through the memo caches (the replay scrub only sees
+    // memo entries, so indexes at an older epoch must never stay
+    // attached). Dry-walk every index into throwaway structures first —
+    // Visit validates each record and the decoders each value — so the
+    // live walk below cannot fail halfway through a merge.
+    struct Staging {
+      std::unique_ptr<stats::MarkovTable> markov;
+      stats::CycleClosingRates rates;
+      stats::StatsCatalog catalog;
+      stats::DispersionCatalog dispersion;
+      explicit Staging(const graph::Graph& g)
+          : rates(g), catalog(g), dispersion(g) {}
+    };
+    Staging staging(*g_);
+    for (const auto& [h, index] : att.markov) {
+      staging.markov =
+          std::make_unique<stats::MarkovTable>(*g_, static_cast<int>(h));
+      CEGRAPH_RETURN_IF_ERROR(staging.markov->MaterializeFromIndex(index));
+    }
+    if (att.rates.has_value()) {
+      CEGRAPH_RETURN_IF_ERROR(staging.rates.MaterializeFromIndex(*att.rates));
+    }
+    if (att.bases.has_value()) {
+      CEGRAPH_RETURN_IF_ERROR(staging.catalog.MaterializeFromBases(*att.bases));
+    }
+    if (att.joins.has_value()) {
+      CEGRAPH_RETURN_IF_ERROR(staging.catalog.MaterializeFromJoins(*att.joins));
+    }
+    if (att.dispersion.has_value()) {
+      CEGRAPH_RETURN_IF_ERROR(
+          staging.dispersion.MaterializeFromIndex(*att.dispersion));
+    }
+  }
+  if (validate_only) return util::Status::OK();
+
+  if (fresh) {
+    // Attach in place: lookups serve straight off the mapped bytes and
+    // copy into the memo caches on first use. The shared arena handle
+    // keeps the mapping alive for as long as any structure holds it.
+    for (auto& [h, index] : att.markov) {
+      auto table = TryMarkov(static_cast<int>(h));
+      if (!table.ok()) return table.status();
+      (*table)->AttachMappedIndex(std::move(index), arena);
+    }
+    if (att.rates.has_value()) {
+      cycle_closing_rates().AttachMappedIndex(std::move(*att.rates), arena);
+    }
+    if (att.bases.has_value() || att.joins.has_value()) {
+      const stats::StatsCatalog& catalog = stats_catalog();
+      if (att.bases.has_value()) {
+        catalog.AttachMappedBases(std::move(*att.bases), arena);
+      }
+      if (att.joins.has_value()) {
+        catalog.AttachMappedJoins(std::move(*att.joins), arena);
+      }
+    }
+    if (att.dispersion.has_value()) {
+      dispersion_catalog().AttachMappedIndex(std::move(*att.dispersion),
+                                             arena);
+    }
+    if (att.char_sets.has_value()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Adopt only if not yet built, same rule as the v2 path: estimators
+      // may already hold a reference to an eagerly built summary, and the
+      // mapped one is identical by construction determinism anyway.
+      if (char_sets_ == nullptr) {
+        char_sets_ = std::make_unique<stats::CharacteristicSets>(
+            std::move(*att.char_sets));
+      }
+    }
+    if (!att.summary_payload.empty()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (summary_ == nullptr) {
+        pending_summary_ = att.summary_payload;
+        pending_summary_owner_ = arena;
+      }
+    }
+    if (report != nullptr) report->mapped = true;
+    return util::Status::OK();
+  }
+
+  // Stale: materialize every index into the live memo caches (the dry
+  // walk above guarantees this cannot fail), then run the same
+  // delta-replay scrub as the v2 path.
+  for (const auto& [h, index] : att.markov) {
+    auto table = TryMarkov(static_cast<int>(h));
+    if (!table.ok()) return table.status();
+    CEGRAPH_RETURN_IF_ERROR((*table)->MaterializeFromIndex(index));
+  }
+  if (att.rates.has_value()) {
+    CEGRAPH_RETURN_IF_ERROR(
+        cycle_closing_rates().MaterializeFromIndex(*att.rates));
+  }
+  if (att.bases.has_value() || att.joins.has_value()) {
+    const stats::StatsCatalog& catalog = stats_catalog();
+    if (att.bases.has_value()) {
+      CEGRAPH_RETURN_IF_ERROR(catalog.MaterializeFromBases(*att.bases));
+    }
+    if (att.joins.has_value()) {
+      CEGRAPH_RETURN_IF_ERROR(catalog.MaterializeFromJoins(*att.joins));
+    }
+  }
+  if (att.dispersion.has_value()) {
+    CEGRAPH_RETURN_IF_ERROR(
+        dispersion_catalog().MaterializeFromIndex(*att.dispersion));
+  }
+
+  if (scrub_stale) {
     const std::vector<bool> changed = dynamic::ChangedLabelBitmap(
         g_->num_labels(),
         std::span<const dynamic::EdgeDelta>(replay_log_)
@@ -1035,38 +1683,62 @@ util::Status EstimationContext::LoadSnapshotShards(
   // and match the manifest's size/content hash, so a corrupt or swapped
   // shard is a clean error and a failed load leaves the context untouched
   // (the per-file loads below each keep their own two-phase guarantee).
-  // The verified bytes are held and parsed directly — re-reading the file
-  // for the load would both double the I/O and open a window for the
-  // bytes on disk to change after verification.
+  // The format of each file is sniffed from its magic, so one manifest
+  // can mix arena and v2 files (e.g. shards rewritten one at a time
+  // during a format migration). Arena files are mapped, with the hash
+  // verified over the mapped view — no byte copy; v2 bytes are held and
+  // parsed directly — re-reading the file for the load would both double
+  // the I/O and open a window for the bytes on disk to change after
+  // verification.
+  struct ShardImage {
+    std::string bytes;                               // v2 files
+    std::shared_ptr<const util::MappedArena> arena;  // arena files
+  };
   std::vector<const ShardFileInfo*> infos = {&manifest->common};
   for (const uint32_t k : selected) infos.push_back(&manifest->shards[k]);
-  std::vector<std::string> images;
+  std::vector<ShardImage> images;
   images.reserve(infos.size());
+  const auto t_open = std::chrono::steady_clock::now();
   for (const ShardFileInfo* info : infos) {
-    auto bytes =
-        ReadFileBytes(ResolveManifestFile(manifest_path, info->file));
-    if (!bytes.ok()) {
-      return util::NotFoundError("manifest names missing shard file " +
-                                 info->file + ": " +
-                                 bytes.status().message());
+    const std::string path = ResolveManifestFile(manifest_path, info->file);
+    ShardImage image;
+    std::string_view view;
+    if (IsArenaSnapshot(path)) {
+      auto arena = util::MappedArena::MapFile(path);
+      if (!arena.ok()) {
+        return util::InvalidArgumentError("manifest shard file " +
+                                          info->file + ": " +
+                                          arena.status().message());
+      }
+      image.arena = std::move(*arena);
+      view = image.arena->bytes();
+    } else {
+      auto bytes = ReadFileBytes(path);
+      if (!bytes.ok()) {
+        return util::NotFoundError("manifest names missing shard file " +
+                                   info->file + ": " +
+                                   bytes.status().message());
+      }
+      image.bytes = std::move(*bytes);
+      view = image.bytes;
     }
-    if (bytes->size() != info->bytes ||
-        util::StableHash64(*bytes) != info->hash) {
+    if (view.size() != info->bytes ||
+        util::StableHash64(view) != info->hash) {
       return util::InvalidArgumentError(
           "shard file " + info->file +
           " does not match its manifest entry (corrupted or replaced; "
           "expected " + std::to_string(info->bytes) + " bytes, got " +
-          std::to_string(bytes->size()) + ")");
+          std::to_string(view.size()) + ")");
     }
     // A shard entry must be a snapshot, never another manifest — this is
     // what keeps manifest resolution strictly one level deep.
-    if (bytes->size() >= 8 &&
-        std::memcmp(bytes->data(), kShardManifestMagic, 8) == 0) {
+    if (view.size() >= 8 &&
+        std::memcmp(view.data(), kShardManifestMagic, 8) == 0) {
       return util::InvalidArgumentError(
           "manifest entry " + info->file +
           " is itself a shard manifest (manifests cannot nest)");
     }
-    images.push_back(std::move(*bytes));
+    images.push_back(std::move(image));
   }
 
   // Validate every image before applying any: the manifest hash is
@@ -1075,10 +1747,16 @@ util::Status EstimationContext::LoadSnapshotShards(
   // than after earlier files already landed in the live caches. Parsing
   // is deterministic, so the apply pass below cannot fail where this
   // pass succeeded, which is what makes the multi-file load atomic.
-  for (const std::string& image : images) {
-    CEGRAPH_RETURN_IF_ERROR(
-        LoadSnapshotBytes(image, nullptr, /*validate_only=*/true));
+  for (const ShardImage& image : images) {
+    if (image.arena != nullptr) {
+      CEGRAPH_RETURN_IF_ERROR(
+          LoadSnapshotArena(image.arena, nullptr, /*validate_only=*/true));
+    } else {
+      CEGRAPH_RETURN_IF_ERROR(
+          LoadSnapshotBytes(image.bytes, nullptr, /*validate_only=*/true));
+    }
   }
+  const double map_millis = MillisSince(t_open);
 
   // Apply: common first (it resolves freshness/staleness for the
   // artifact), then each selected shard. All files of one artifact carry
@@ -1086,11 +1764,17 @@ util::Status EstimationContext::LoadSnapshotShards(
   // live cache wholesale — runs once, on the last image, instead of once
   // per file.
   SnapshotLoadReport merged;
+  const auto t_apply = std::chrono::steady_clock::now();
   for (size_t i = 0; i < images.size(); ++i) {
     SnapshotLoadReport file_report;
-    auto loaded =
-        LoadSnapshotBytes(images[i], &file_report, /*validate_only=*/false,
-                          /*scrub_stale=*/i + 1 == images.size());
+    const bool last = i + 1 == images.size();
+    util::Status loaded =
+        images[i].arena != nullptr
+            ? LoadSnapshotArena(images[i].arena, &file_report,
+                                /*validate_only=*/false, /*scrub_stale=*/last)
+            : LoadSnapshotBytes(images[i].bytes, &file_report,
+                                /*validate_only=*/false,
+                                /*scrub_stale=*/last);
     if (!loaded.ok()) return loaded;
     if (i == 0) {
       merged = file_report;
@@ -1099,8 +1783,12 @@ util::Status EstimationContext::LoadSnapshotShards(
       merged.replayed_deltas =
           std::max(merged.replayed_deltas, file_report.replayed_deltas);
       merged.evicted_entries += file_report.evicted_entries;
+      merged.mapped |= file_report.mapped;
+      merged.mapped_bytes += file_report.mapped_bytes;
     }
   }
+  merged.map_millis = map_millis;
+  merged.parse_millis = MillisSince(t_apply);
   if (report != nullptr) *report = merged;
   return util::Status::OK();
 }

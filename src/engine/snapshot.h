@@ -44,9 +44,42 @@ namespace cegraph::engine {
 /// (ReadSnapshotDeltaLog + EstimationContext::ApplyDeltas) to reconstruct
 /// the exact graph state the statistics describe, then loads fresh.
 /// Contexts at epoch 0 keep writing version 1.
+///
+/// Version 3 (arena layout): a different *container* — the mmap-able
+/// arena of util/arena.h (magic "CEGARNA1", 8-byte-aligned sections, an
+/// explicit offset table) — carrying the same logical sections, re-encoded
+/// to be usable in place after mmap:
+///
+///   kArenaMeta      serde: u32 snapshot_version (3), base fingerprint,
+///                   options, u64 delta_hash, u64 epoch, current
+///                   fingerprint (the v1/v2 header + kDynamicState folded
+///                   into one section)
+///   kMarkov         u32 h, u32 pad, then an ArenaIndexBuilder payload
+///                   (key = canonical code, value = f64 cardinality);
+///                   one section per table size h
+///   kClosingRates   index payload (key = closing-key bytes, value = f64)
+///   kDegreeCatalog  index payload (key = 8 LE bytes of the u64 label,
+///                   value = DegreeMap) — the base-relation maps
+///   kDegreeJoins    index payload (key = canonical code, value =
+///                   u8 has_stats + QueryGraph + DegreeMap + f64) — the
+///                   materialized two-join statistics (v1/v2 pack both
+///                   catalogs into one kDegreeCatalog payload; the arena
+///                   keeps two indexes so either probes in place)
+///   kCharSets       CharacteristicSets::SaveArena flat layout
+///   kSummaryGraph   the v2 SummaryGraph::Save bytes (parsed on load; the
+///                   summary is small and its bucket tables are rebuilt
+///                   into pointers anyway)
+///   kDeltaLog       the v2 payload, verbatim
+///
+/// A fresh load attaches the keyed indexes behind the stats structures'
+/// lookup APIs (copy-on-miss into the memo caches; see util/arena.h), so
+/// time-to-first-estimate is the mmap plus header validation instead of a
+/// full parse. Stale-but-replayable loads materialize every index into the
+/// memo caches and then run the exact same delta-replay scrub as v2 loads.
 inline constexpr char kSnapshotMagic[] = "CEGSNAP1";  // 8 chars + NUL
-inline constexpr uint32_t kSnapshotVersion = 2;  ///< newest readable version
+inline constexpr uint32_t kSnapshotVersion = 2;  ///< newest v2-container version
 inline constexpr uint32_t kSnapshotVersionStatic = 1;  ///< epoch-0 files
+inline constexpr uint32_t kSnapshotVersionArena = 3;   ///< arena container
 
 /// The context options echoed into the header: everything that changes the
 /// content (not just the coverage) of stored statistics. markov_h is
@@ -79,6 +112,19 @@ enum class SnapshotSection : uint32_t {
   /// Net replay log: u64 count + count × { u8 op, u32 src, u32 dst,
   /// u32 label } (v2).
   kDeltaLog = 8,
+  /// Arena-only: the folded header (snapshot version, base fingerprint,
+  /// options, delta hash, epoch, current fingerprint). See the version-3
+  /// notes above.
+  kArenaMeta = 9,
+  /// Arena-only: the two-join half of the degree catalog (v1/v2 pack it
+  /// into kDegreeCatalog).
+  kDegreeJoins = 10,
+};
+
+/// Which on-disk container SaveSnapshot / SaveSnapshotShards emit.
+enum class SnapshotFormat {
+  kV2,     ///< serde-parsed container (version 1 or 2, per context epoch)
+  kArena,  ///< mmap-able arena container (version 3)
 };
 
 /// Human-readable name for a section id ("markov", "closing-rates", ...);
@@ -118,6 +164,12 @@ const char* SnapshotSectionName(uint32_t id);
 // corrupt or swapped-out shard is rejected with a clear error before any
 // section is parsed. A manifest must list every shard id 0..num_shards-1
 // exactly once — missing, duplicate or out-of-range ids fail ReadShardManifest.
+//
+// Each referenced file's container format is sniffed by magic at load, so
+// one manifest may mix arena (version 3) and v2 files: arena files are
+// mmap'd and their bytes hash-verified in place, v2 files are read and
+// parsed as before. `snapshot_version` records the format the manifest was
+// *written* with and is informational for mixed sets.
 inline constexpr char kShardManifestMagic[] = "CEGMANI1";  // 8 chars + NUL
 inline constexpr uint32_t kShardManifestVersion = 1;
 /// Upper bound on num_shards — far beyond any sane fleet, just a
@@ -135,7 +187,7 @@ struct ShardFileInfo {
 /// Parsed shard manifest.
 struct ShardManifest {
   uint32_t version = 0;           ///< manifest format version
-  uint32_t snapshot_version = 0;  ///< version of the shard files (1 or 2)
+  uint32_t snapshot_version = 0;  ///< version of the shard files (1, 2 or 3)
   graph::GraphFingerprint fingerprint;
   SnapshotOptions options;
   uint32_t num_shards = 0;
@@ -148,6 +200,11 @@ struct ShardManifest {
 /// anywhere a monolithic snapshot path is accepted). False for unreadable
 /// files.
 bool IsShardManifest(const std::string& path);
+
+/// True iff the file at `path` starts with the arena magic "CEGARNA1" —
+/// i.e. it is a version-3 snapshot that LoadSnapshot will route through the
+/// mmap path. False for unreadable files.
+bool IsArenaSnapshot(const std::string& path);
 
 /// Reads and validates the manifest at `path`: magic/version, and that the
 /// shard list covers 0..num_shards-1 exactly once (a missing id, a
@@ -165,6 +222,9 @@ struct SnapshotSectionInfo {
   uint64_t entries = 0;
   /// Only meaningful for kMarkov sections: the table size h.
   uint32_t markov_h = 0;
+  /// Absolute byte offset of the payload in the file. Zero for v1/v2
+  /// containers (sections are length-prefixed, not offset-addressed).
+  uint64_t offset = 0;
 };
 
 /// Parsed snapshot header + section table, without applying anything to a

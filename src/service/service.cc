@@ -16,6 +16,18 @@ double NowMicros() {
       .count();
 }
 
+SnapshotLoadBreakdown BreakdownOf(
+    const engine::EstimationContext::SnapshotLoadReport& report) {
+  SnapshotLoadBreakdown out;
+  out.loaded = true;
+  out.mapped = report.mapped;
+  out.mapped_bytes = report.mapped_bytes;
+  out.map_millis = report.map_millis;
+  out.parse_millis = report.parse_millis;
+  out.snapshot_epoch = report.snapshot_epoch;
+  return out;
+}
+
 }  // namespace
 
 util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
@@ -34,7 +46,8 @@ util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
       service->base_graph_, service->options_.context);
   if (!service->options_.initial_snapshot.empty()) {
     const std::string& path = service->options_.initial_snapshot;
-    auto loaded = context->LoadSnapshot(path);
+    engine::EstimationContext::SnapshotLoadReport load_report;
+    auto loaded = context->LoadSnapshot(path, &load_report);
     if (!loaded.ok() &&
         loaded.code() == util::StatusCode::kFailedPrecondition) {
       // The artifact may describe a later epoch of this base graph:
@@ -42,10 +55,11 @@ util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
       auto log = engine::ReadSnapshotDeltaLog(path);
       if (log.ok() && !log->empty()) {
         auto applied = context->ApplyDeltas(*log);
-        if (applied.ok()) loaded = context->LoadSnapshot(path);
+        if (applied.ok()) loaded = context->LoadSnapshot(path, &load_report);
       }
     }
     if (!loaded.ok()) return loaded;
+    service->last_load_ = BreakdownOf(load_report);  // pre-publication
   }
   if (!service->options_.prewarm_workload.empty()) {
     context->Prewarm(service->options_.prewarm_workload);
@@ -373,6 +387,11 @@ util::StatusOr<SwapReport> EstimationService::HotSwapSnapshot(
   if (!loaded.ok()) return loaded;
   report.snapshot_stale = load_report.stale;
   report.snapshot_replayed_deltas += load_report.replayed_deltas;
+  report.snapshot_load = BreakdownOf(load_report);
+  {
+    std::lock_guard<std::mutex> lock(load_mutex_);
+    last_load_ = report.snapshot_load;
+  }
 
   // Satellite contract: every successful hot-swap trims the new state's
   // replay log so a churning service's log and epoch history stay bounded.
@@ -449,6 +468,10 @@ ServiceStats EstimationService::Stats() const {
           static_cast<double>(truth_requests);
     }
     stats.estimators.push_back(std::move(out));
+  }
+  {
+    std::lock_guard<std::mutex> lock(load_mutex_);
+    stats.snapshot_load = last_load_;
   }
   return stats;
 }

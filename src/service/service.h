@@ -66,6 +66,19 @@ struct ServiceOptions {
   std::string initial_snapshot;
 };
 
+/// Breakdown of the snapshot load behind a state: how the artifact was
+/// opened (mmap vs parse) and how long each phase took. All zero until a
+/// snapshot load has happened. Mirrors
+/// engine::EstimationContext::SnapshotLoadReport.
+struct SnapshotLoadBreakdown {
+  bool loaded = false;        ///< a snapshot load backed this state
+  bool mapped = false;        ///< arena sections attached zero-copy
+  uint64_t mapped_bytes = 0;  ///< arena bytes backing the load
+  double map_millis = 0;      ///< open phase: mmap / read + integrity checks
+  double parse_millis = 0;    ///< apply phase: parse / attach / merge
+  uint64_t snapshot_epoch = 0;
+};
+
 /// What one delta application / hot-swap did.
 struct SwapReport {
   uint64_t epoch = 0;    ///< epoch of the newly published state
@@ -77,6 +90,8 @@ struct SwapReport {
   /// embedded deltas were replayed to reconstruct its graph.
   bool snapshot_stale = false;
   size_t snapshot_replayed_deltas = 0;
+  /// Snapshot swaps only: open/apply phase breakdown of the load.
+  SnapshotLoadBreakdown snapshot_load;
 };
 
 /// Aggregate accounting, cheap enough to sample per scrape.
@@ -104,6 +119,9 @@ struct ServiceStats {
     double mean_qerror = 0;
   };
   std::vector<EstimatorAccounting> estimators;
+  /// The most recent snapshot load (Create's initial load or the latest
+  /// HotSwapSnapshot); `loaded` false when the service never loaded one.
+  SnapshotLoadBreakdown snapshot_load;
 };
 
 /// A long-lived, concurrently readable estimation server over one base
@@ -248,6 +266,12 @@ class EstimationService {
   std::vector<dynamic::EdgeDelta> pending_;
   bool stopping_ = false;
   std::thread maintainer_;
+
+  /// Latest snapshot-load breakdown (written at Create / HotSwapSnapshot,
+  /// sampled by Stats); own mutex because maintenance_mutex_ is held for
+  /// the whole — potentially long — swap.
+  mutable std::mutex load_mutex_;
+  SnapshotLoadBreakdown last_load_;
 
   // Accounting. All-relaxed atomics: the estimate hot path must stay
   // lock-free (the worker-scaling gate of bench_service_throughput), so

@@ -95,6 +95,38 @@ util::StatusOr<EstimateResponse> DecodeEstimate(Reader& r) {
   return estimate;
 }
 
+void EncodeLoadBreakdown(Writer& w, const SnapshotLoadBreakdown& load) {
+  w.WriteU8(load.loaded ? 1 : 0);
+  w.WriteU8(load.mapped ? 1 : 0);
+  w.WriteU64(load.mapped_bytes);
+  w.WriteDouble(load.map_millis);
+  w.WriteDouble(load.parse_millis);
+  w.WriteU64(load.snapshot_epoch);
+}
+
+util::StatusOr<SnapshotLoadBreakdown> DecodeLoadBreakdown(Reader& r) {
+  SnapshotLoadBreakdown load;
+  auto loaded = r.ReadU8();
+  if (!loaded.ok()) return loaded.status();
+  load.loaded = *loaded != 0;
+  auto mapped = r.ReadU8();
+  if (!mapped.ok()) return mapped.status();
+  load.mapped = *mapped != 0;
+  auto bytes = r.ReadU64();
+  if (!bytes.ok()) return bytes.status();
+  load.mapped_bytes = *bytes;
+  auto map_millis = r.ReadDouble();
+  if (!map_millis.ok()) return map_millis.status();
+  load.map_millis = *map_millis;
+  auto parse_millis = r.ReadDouble();
+  if (!parse_millis.ok()) return parse_millis.status();
+  load.parse_millis = *parse_millis;
+  auto epoch = r.ReadU64();
+  if (!epoch.ok()) return epoch.status();
+  load.snapshot_epoch = *epoch;
+  return load;
+}
+
 void EncodeSwap(Writer& w, const SwapReport& swap) {
   w.WriteU64(swap.epoch);
   w.WriteU64(swap.version);
@@ -106,6 +138,7 @@ void EncodeSwap(Writer& w, const SwapReport& swap) {
   w.WriteU64(swap.maintenance.total_evicted());
   w.WriteU8(swap.snapshot_stale ? 1 : 0);
   w.WriteU64(swap.snapshot_replayed_deltas);
+  EncodeLoadBreakdown(w, swap.snapshot_load);
 }
 
 util::StatusOr<SwapReport> DecodeSwap(Reader& r) {
@@ -142,6 +175,9 @@ util::StatusOr<SwapReport> DecodeSwap(Reader& r) {
   auto replayed = r.ReadU64();
   if (!replayed.ok()) return replayed.status();
   swap.snapshot_replayed_deltas = *replayed;
+  auto load = DecodeLoadBreakdown(r);
+  if (!load.ok()) return load.status();
+  swap.snapshot_load = *load;
   return swap;
 }
 
@@ -166,6 +202,9 @@ void EncodeStats(Writer& w, const ServiceStats& stats) {
     w.WriteDouble(e.mean_micros);
     w.WriteDouble(e.mean_qerror);
   }
+  // Snapshot-load observability (arena snapshots): how the state behind
+  // this scrape was loaded and what each phase cost.
+  EncodeLoadBreakdown(w, stats.snapshot_load);
 }
 
 util::StatusOr<ServiceStats> DecodeStats(Reader& r) {
@@ -232,6 +271,9 @@ util::StatusOr<ServiceStats> DecodeStats(Reader& r) {
     e.mean_qerror = *qerror;
     stats.estimators.push_back(std::move(e));
   }
+  auto load = DecodeLoadBreakdown(r);
+  if (!load.ok()) return load.status();
+  stats.snapshot_load = *load;
   return stats;
 }
 

@@ -1,8 +1,18 @@
 #include "stats/char_sets.h"
 
 #include <cmath>
+#include <utility>
 
 namespace cegraph::stats {
+
+namespace {
+
+// Fixed strides of the flat arena layout (see char_sets.h).
+constexpr size_t kCsHeaderBytes = 32;
+constexpr size_t kCsGroupStride = 40;
+constexpr size_t kCsEdgeStride = 16;
+
+}  // namespace
 
 CharacteristicSets::CharacteristicSets(const graph::Graph& g)
     : num_vertices_(g.num_vertices()) {
@@ -25,6 +35,39 @@ CharacteristicSets::CharacteristicSets(const graph::Graph& g)
 
 void CharacteristicSets::Save(util::serde::Writer& writer) const {
   writer.WriteU32(num_vertices_);
+  if (mapped()) {
+    // Transcribe the mapped layout into the v2 shape. Group order and
+    // per-group label order are preserved, so a save-load round trip stays
+    // bit-identical to saving the owned original. Malformed group data
+    // (deferred scan failed) degrades to an empty summary.
+    if (!MappedGroupsValid()) {
+      writer.WriteU64(0);
+      return;
+    }
+    writer.WriteU64(mapped_num_groups_);
+    const char* base = mapped_.data();
+    for (uint64_t gi = 0; gi < mapped_num_groups_; ++gi) {
+      const char* ge = base + kCsHeaderBytes + gi * kCsGroupStride;
+      const uint64_t vertex_count = util::LoadLittleU64(ge);
+      const uint64_t set_start = util::LoadLittleU64(ge + 8);
+      const uint64_t set_count = util::LoadLittleU64(ge + 16);
+      const uint64_t edges_start = util::LoadLittleU64(ge + 24);
+      writer.WriteU64(set_count);
+      for (uint64_t i = 0; i < set_count; ++i) {
+        writer.WriteU32(util::LoadLittleU32(base + mapped_labels_off_ +
+                                            (set_start + i) * 4));
+      }
+      writer.WriteU64(vertex_count);
+      writer.WriteU64(set_count);  // edges mirror the char set 1:1
+      for (uint64_t i = 0; i < set_count; ++i) {
+        const char* ee =
+            base + mapped_edges_off_ + (edges_start + i) * kCsEdgeStride;
+        writer.WriteU32(util::LoadLittleU32(ee));
+        writer.WriteU64(util::LoadLittleU64(ee + 8));
+      }
+    }
+    return;
+  }
   writer.WriteU64(groups_.size());
   for (const Group& group : groups_) {
     writer.WriteU64(group.char_set.size());
@@ -76,11 +119,204 @@ util::StatusOr<CharacteristicSets> CharacteristicSets::Load(
   return cs;
 }
 
+std::string CharacteristicSets::SaveArena() const {
+  if (mapped()) return std::string(mapped_);
+  util::serde::Writer w;
+  w.WriteU64(num_vertices_);
+  w.WriteU64(groups_.size());
+  uint64_t labels_count = 0;
+  uint64_t edges_count = 0;
+  for (const Group& group : groups_) {
+    labels_count += group.char_set.size();
+    edges_count += group.label_edges.size();
+  }
+  w.WriteU64(labels_count);
+  w.WriteU64(edges_count);
+  uint64_t set_start = 0;
+  uint64_t edges_start = 0;
+  for (const Group& group : groups_) {
+    w.WriteU64(group.vertex_count);
+    w.WriteU64(set_start);
+    w.WriteU64(group.char_set.size());
+    w.WriteU64(edges_start);
+    w.WriteU64(group.label_edges.size());
+    set_start += group.char_set.size();
+    edges_start += group.label_edges.size();
+  }
+  for (const Group& group : groups_) {
+    for (graph::Label l : group.char_set) w.WriteU32(l);
+  }
+  if (labels_count % 2 != 0) w.WriteU32(0);  // pad labels blob to 8
+  for (const Group& group : groups_) {
+    for (const auto& [l, edges] : group.label_edges) {
+      w.WriteU32(l);
+      w.WriteU32(0);  // reserved
+      w.WriteU64(edges);
+    }
+  }
+  return w.TakeBuffer();
+}
+
+util::StatusOr<CharacteristicSets> CharacteristicSets::AttachMapped(
+    std::string_view payload, std::shared_ptr<const void> owner) {
+  auto malformed = [](const char* what) {
+    return util::InvalidArgumentError(
+        std::string("char-sets arena section: ") + what);
+  };
+  if (payload.size() < kCsHeaderBytes) return malformed("truncated header");
+  const char* base = payload.data();
+  const uint64_t num_vertices = util::LoadLittleU64(base);
+  const uint64_t num_groups = util::LoadLittleU64(base + 8);
+  const uint64_t labels_count = util::LoadLittleU64(base + 16);
+  const uint64_t edges_count = util::LoadLittleU64(base + 24);
+  if (num_vertices > 0xffffffffull) return malformed("vertex count overflow");
+  // Sizes are recomputed bottom-up with overflow-safe division checks.
+  const size_t avail = payload.size() - kCsHeaderBytes;
+  if (num_groups > avail / kCsGroupStride) {
+    return malformed("group table exceeds payload");
+  }
+  const size_t labels_off = kCsHeaderBytes + num_groups * kCsGroupStride;
+  if (labels_count > (payload.size() - labels_off) / 4) {
+    return malformed("labels blob exceeds payload");
+  }
+  const size_t labels_bytes = (labels_count * 4 + 7) / 8 * 8;
+  const size_t edges_off = labels_off + labels_bytes;
+  if (edges_off > payload.size() ||
+      edges_count > (payload.size() - edges_off) / kCsEdgeStride) {
+    return malformed("edges blob exceeds payload");
+  }
+
+  CharacteristicSets cs;
+  cs.num_vertices_ = static_cast<uint32_t>(num_vertices);
+  cs.mapped_ = payload;
+  cs.mapped_owner_ = std::move(owner);
+  cs.mapped_num_groups_ = num_groups;
+  cs.mapped_labels_off_ = labels_off;
+  cs.mapped_edges_off_ = edges_off;
+  // The per-group scan is deferred to first use (see CheckMappedGroups)
+  // so an arena open pays O(1) here however many groups the graph has.
+  cs.mapped_gate_ = std::make_shared<MappedGate>();
+  return cs;
+}
+
+util::Status CharacteristicSets::CheckMappedGroups() const {
+  auto malformed = [](const char* what) {
+    return util::InvalidArgumentError(
+        std::string("char-sets arena section: ") + what);
+  };
+  const char* base = mapped_.data();
+  const uint64_t labels_count = util::LoadLittleU64(base + 16);
+  const uint64_t edges_count = util::LoadLittleU64(base + 24);
+  // Strict per-group label ordering and an exact 1:1 labels/edges
+  // correspondence (what the graph-scan constructor guarantees), so the
+  // mapped EstimateStar can run check-free once this scan passed.
+  for (uint64_t gi = 0; gi < mapped_num_groups_; ++gi) {
+    const char* ge = base + kCsHeaderBytes + gi * kCsGroupStride;
+    const uint64_t vertex_count = util::LoadLittleU64(ge);
+    const uint64_t set_start = util::LoadLittleU64(ge + 8);
+    const uint64_t set_count = util::LoadLittleU64(ge + 16);
+    const uint64_t edges_start = util::LoadLittleU64(ge + 24);
+    const uint64_t group_edges = util::LoadLittleU64(ge + 32);
+    if (vertex_count == 0) return malformed("group with no vertices");
+    if (set_start > labels_count || set_count > labels_count - set_start) {
+      return malformed("group label range out of bounds");
+    }
+    if (edges_start > edges_count ||
+        group_edges > edges_count - edges_start) {
+      return malformed("group edge range out of bounds");
+    }
+    if (group_edges != set_count) {
+      return malformed("label/edge arity mismatch");
+    }
+    uint32_t prev = 0;
+    for (uint64_t i = 0; i < set_count; ++i) {
+      const uint32_t l = util::LoadLittleU32(base + mapped_labels_off_ +
+                                             (set_start + i) * 4);
+      const uint32_t el = util::LoadLittleU32(
+          base + mapped_edges_off_ + (edges_start + i) * kCsEdgeStride);
+      if (l != el) return malformed("label/edge key mismatch");
+      if (i > 0 && l <= prev) return malformed("labels not ascending");
+      prev = l;
+    }
+  }
+  return util::Status::OK();
+}
+
+bool CharacteristicSets::MappedGroupsValid() const {
+  if (!mapped()) return true;
+  std::call_once(mapped_gate_->once, [&] {
+    util::Status checked = CheckMappedGroups();
+    if (!checked.ok()) mapped_gate_->error = checked.ToString();
+    mapped_gate_->valid.store(checked.ok(), std::memory_order_release);
+  });
+  return mapped_gate_->valid.load(std::memory_order_acquire);
+}
+
+util::Status CharacteristicSets::ValidateNow() const {
+  if (MappedGroupsValid()) return util::Status::OK();
+  return util::InvalidArgumentError(mapped_gate_->error);
+}
+
 double CharacteristicSets::EstimateStar(
     const std::vector<graph::Label>& labels) const {
   // Count multiplicity per distinct label.
   std::map<graph::Label, int> need;
   for (graph::Label l : labels) ++need[l];
+
+  if (mapped()) {
+    // The mapped twin of the owned loop below: same group order, same
+    // need-map iteration, same float-op order — bit-identical estimates.
+    // A payload that fails the (deferred, latched) group scan serves as
+    // an empty summary: degraded, but never an out-of-bounds read.
+    if (!MappedGroupsValid()) return 0;
+    const char* base = mapped_.data();
+    double total = 0;
+    for (uint64_t gi = 0; gi < mapped_num_groups_; ++gi) {
+      const char* ge = base + kCsHeaderBytes + gi * kCsGroupStride;
+      const uint64_t vertex_count = util::LoadLittleU64(ge);
+      const uint64_t set_start = util::LoadLittleU64(ge + 8);
+      const uint64_t set_count = util::LoadLittleU64(ge + 16);
+      const uint64_t edges_start = util::LoadLittleU64(ge + 24);
+      // Binary search the group's sorted label array; a hit's position
+      // also indexes the 1:1 edges array (validated at attach).
+      auto find_pos = [&](graph::Label l) -> int64_t {
+        uint64_t lo = 0, hi = set_count;
+        while (lo < hi) {
+          const uint64_t mid = (lo + hi) / 2;
+          const uint32_t at = util::LoadLittleU32(
+              base + mapped_labels_off_ + (set_start + mid) * 4);
+          if (at == l) return static_cast<int64_t>(mid);
+          if (at < l) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        return -1;
+      };
+      bool covers = true;
+      for (const auto& [l, cnt] : need) {
+        if (find_pos(l) < 0) {
+          covers = false;
+          break;
+        }
+      }
+      if (!covers) continue;
+      double contribution = static_cast<double>(vertex_count);
+      for (const auto& [l, cnt] : need) {
+        const uint64_t edges = util::LoadLittleU64(
+            base + mapped_edges_off_ +
+            (edges_start + static_cast<uint64_t>(find_pos(l))) *
+                kCsEdgeStride +
+            8);
+        const double avg = static_cast<double>(edges) /
+                           static_cast<double>(vertex_count);
+        contribution *= std::pow(avg, cnt);
+      }
+      total += contribution;
+    }
+    return total;
+  }
 
   double total = 0;
   for (const Group& group : groups_) {

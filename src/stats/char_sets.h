@@ -1,12 +1,18 @@
 #ifndef CEGRAPH_STATS_CHAR_SETS_H_
 #define CEGRAPH_STATS_CHAR_SETS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/arena.h"
 #include "util/serde.h"
 #include "util/status.h"
 
@@ -39,18 +45,87 @@ class CharacteristicSets {
   double EstimateStar(const std::vector<graph::Label>& labels) const;
 
   /// Serializes the whole summary (it is eager, so unlike the lazy memo
-  /// caches this is a full Save, not an entry export).
+  /// caches this is a full Save, not an entry export). Works for mapped
+  /// instances too (the mapped layout is transcribed), so a context loaded
+  /// from an arena can still be re-saved as v2.
   void Save(util::serde::Writer& writer) const;
 
   /// Reconstructs a summary previously written by Save. Fails on
   /// truncated/corrupted input.
   static util::StatusOr<CharacteristicSets> Load(util::serde::Reader& reader);
 
+  // ---- Mapped-backing surface (arena snapshot v3) ----
+  // CharacteristicSets is eager and read-only between rebuilds, so its
+  // mapped mode is total: EstimateStar iterates the arena bytes in place
+  // (same group order, same float-op order as the owned path — estimates
+  // stay bit-identical). The flat layout:
+  //
+  //   u64 num_vertices, u64 num_groups, u64 labels_count, u64 edges_count
+  //   group table: num_groups x { u64 vertex_count, u64 set_start,
+  //       u64 set_count, u64 edges_start, u64 edges_count }   (40 bytes)
+  //   labels blob: labels_count x u32 (each group's char-set labels,
+  //       strictly ascending), zero-padded to 8
+  //   edges blob: edges_count x { u32 label, u32 reserved, u64 count }
+  //       (strictly ascending per group)
+  //
+  // AttachMapped checks the header and blob extents up front (O(1), so
+  // arena opens stay O(sections)); the per-group scan that lets
+  // EstimateStar run check-free is deferred and latched on first use.
+
+  /// Serializes into the flat arena layout above. For a mapped instance
+  /// this is a byte copy of the attached payload.
+  std::string SaveArena() const;
+
+  /// Wraps a payload previously written by SaveArena; `owner` keeps the
+  /// mapping alive. Fails with a clean Status on any structural defect of
+  /// the header or blob extents; per-group defects surface via
+  /// ValidateNow (eagerly) or degrade reads to an empty summary (lazily).
+  static util::StatusOr<CharacteristicSets> AttachMapped(
+      std::string_view payload, std::shared_ptr<const void> owner);
+
+  /// Forces the deferred per-group validation of a mapped instance and
+  /// reports the result (always OK for owned instances). Validation-only
+  /// snapshot passes call this for full rigor; serving paths instead pay
+  /// the one-time scan on first EstimateStar/Save.
+  util::Status ValidateNow() const;
+
+  bool mapped() const { return mapped_owner_ != nullptr; }
+
+  /// Group count regardless of backing (groups().size() is owned-only).
+  size_t num_groups() const {
+    return mapped() ? mapped_num_groups_ : groups_.size();
+  }
+
  private:
   CharacteristicSets() : num_vertices_(0) {}
 
+  /// Runs (or reuses) the deferred per-group scan; false means the group
+  /// data is malformed and readers must treat the summary as empty.
+  bool MappedGroupsValid() const;
+  /// The scan itself: strict per-group label ordering and an exact 1:1
+  /// labels/edges correspondence, with a precise error on failure.
+  util::Status CheckMappedGroups() const;
+
   uint32_t num_vertices_;
   std::vector<Group> groups_;
+
+  // Mapped backing (valid iff mapped_owner_ != nullptr). Raw offsets into
+  // mapped_; header and blob extents validated by AttachMapped, group
+  // records by the latched deferred scan.
+  std::string_view mapped_;
+  std::shared_ptr<const void> mapped_owner_;
+  uint64_t mapped_num_groups_ = 0;
+  size_t mapped_labels_off_ = 0;  ///< byte offset of the labels blob
+  size_t mapped_edges_off_ = 0;   ///< byte offset of the edges blob
+
+  /// Latch for the deferred scan (heap-held so instances stay movable;
+  /// shared across copies, which alias the same immutable payload).
+  struct MappedGate {
+    std::once_flag once;
+    std::atomic<bool> valid{false};
+    std::string error;  ///< written inside the once, read-only after
+  };
+  std::shared_ptr<MappedGate> mapped_gate_;
 };
 
 }  // namespace cegraph::stats

@@ -54,10 +54,67 @@ uint64_t ShardHash(const ClosingKey& key) {
 }  // namespace
 
 double CycleClosingRates::Rate(const ClosingKey& key) const {
+  if (const double* hit = cache_.Find(key)) return *hit;
+  if (double mapped_rate; FindMapped(key, &mapped_rate)) {
+    return cache_.Insert(key, mapped_rate);
+  }
   // Sampling runs outside the cache lock; each key's walks derive a
   // deterministic stream, so a race on a cold key recomputes the identical
   // value.
   return cache_.GetOrCompute(key, [&] { return Sample(key); });
+}
+
+bool CycleClosingRates::FindMapped(const ClosingKey& key, double* rate) const {
+  if (mapped_.empty()) return false;
+  util::serde::Writer key_bytes;
+  WriteClosingKey(key_bytes, key);
+  for (const auto& [index, owner] : mapped_) {
+    auto hit = index.Find(key_bytes.buffer());
+    if (!hit.ok()) continue;  // clean miss or corrupt index: resample
+    util::serde::Reader reader(*hit);
+    auto decoded = reader.ReadDouble();
+    if (!decoded.ok() || !reader.AtEnd()) continue;
+    *rate = *decoded;
+    return true;
+  }
+  return false;
+}
+
+void CycleClosingRates::ExportArenaEntries(util::ArenaIndexBuilder& builder,
+                                           uint32_t shard,
+                                           uint32_t num_shards) const {
+  cache_.ForEach([&](const ClosingKey& key, const double& rate) {
+    util::serde::Writer key_bytes;
+    WriteClosingKey(key_bytes, key);
+    if (util::InShard(util::StableHash64(key_bytes.buffer()), shard,
+                      num_shards)) {
+      util::serde::Writer v;
+      v.WriteDouble(rate);
+      builder.Add(key_bytes.TakeBuffer(), v.TakeBuffer());
+    }
+  });
+}
+
+util::Status CycleClosingRates::MaterializeFromIndex(
+    const util::MappedIndex& index) const {
+  util::Status decode = util::Status::OK();
+  util::Status walk =
+      index.Visit([&](std::string_view key_bytes, std::string_view value) {
+        if (!decode.ok()) return;
+        util::serde::Reader key_reader(key_bytes);
+        auto key = ReadClosingKey(key_reader);
+        util::serde::Reader value_reader(value);
+        auto rate = value_reader.ReadDouble();
+        if (!key.ok() || !key_reader.AtEnd() || !rate.ok() ||
+            !value_reader.AtEnd()) {
+          decode = util::InvalidArgumentError(
+              "cycle-closing arena entry malformed");
+          return;
+        }
+        cache_.Insert(*key, *rate);
+      });
+  if (!walk.ok()) return walk;
+  return decode;
 }
 
 void CycleClosingRates::ExportEntries(util::serde::Writer& writer,

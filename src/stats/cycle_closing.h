@@ -2,8 +2,12 @@
 #define CEGRAPH_STATS_CYCLE_CLOSING_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "graph/graph.h"
+#include "util/arena.h"
 #include "util/keyed_cache.h"
 #include "util/random.h"
 #include "util/serde.h"
@@ -124,12 +128,41 @@ class CycleClosingRates {
   /// truncated/corrupted input.
   util::Status ImportEntries(util::serde::Reader& reader) const;
 
+  // ---- Mapped-backing surface (arena snapshot v3) ----
+  // See MarkovTable: memo first, then mapped probe with copy-on-miss;
+  // attach/detach run quiesced. Index keys are the serialized
+  // WriteClosingKey bytes, values 8-byte LE doubles. Rate() has no Status
+  // channel, so a corrupted index degrades to a resample (deterministic,
+  // so still the cold value), never an error.
+
+  /// Serializes entries into an arena hash index (same shard filter as
+  /// ExportEntries).
+  void ExportArenaEntries(util::ArenaIndexBuilder& builder, uint32_t shard = 0,
+                          uint32_t num_shards = 0) const;
+
+  /// Attaches one mapped index; `owner` keeps the mapping alive.
+  void AttachMappedIndex(util::MappedIndex index,
+                         std::shared_ptr<const void> owner) const {
+    mapped_.emplace_back(std::move(index), std::move(owner));
+  }
+
+  /// Drops all mapped backing (pre-scrub; see MarkovTable).
+  void DetachMappedIndexes() const { mapped_.clear(); }
+
+  size_t num_mapped_indexes() const { return mapped_.size(); }
+
+  /// Decodes every entry of `index` into the memo cache.
+  util::Status MaterializeFromIndex(const util::MappedIndex& index) const;
+
  private:
   double Sample(const ClosingKey& key) const;
+  bool FindMapped(const ClosingKey& key, double* rate) const;
 
   const graph::Graph& g_;
   CycleClosingOptions options_;
   util::KeyedCache<ClosingKey, double, ClosingKeyHash> cache_;
+  mutable std::vector<std::pair<util::MappedIndex, std::shared_ptr<const void>>>
+      mapped_;
 };
 
 }  // namespace cegraph::stats

@@ -112,7 +112,10 @@ DegreeMap BaseRelationMap(const graph::Graph& g, graph::Label l) {
 const DegreeMap& StatsCatalog::BaseRelation(graph::Label l) const {
   // Compute outside the lock (check-compute-insert like every other memo
   // cache here); a race on a cold label recomputes the same values.
-  return base_cache_.GetOrCompute(l, [&] { return BaseRelationMap(g_, l); });
+  return base_cache_.GetOrCompute(l, [&] {
+    if (DegreeMap mapped; FindMappedBase(l, &mapped)) return mapped;
+    return BaseRelationMap(g_, l);
+  });
 }
 
 void StatsCatalog::RefreshBaseRelation(graph::Label l) const {
@@ -123,6 +126,10 @@ const StatsCatalog::JoinStats* StatsCatalog::TwoJoin(
     const query::QueryGraph& pattern) const {
   const std::string key = pattern.CanonicalCode();
   if (const auto* hit = join_cache_.Find(key)) return hit->get();
+  // Copy-on-miss from mapped snapshot bytes (over-cap verdicts included).
+  if (std::unique_ptr<JoinStats> mapped; FindMappedJoin(key, &mapped)) {
+    return join_cache_.Insert(key, std::move(mapped)).get();
+  }
 
   matching::Matcher matcher(g_);
   matching::MatchOptions options;
@@ -311,6 +318,170 @@ util::Status StatsCatalog::ImportEntries(util::serde::Reader& reader) const {
     join_cache_.Insert(*key, std::move(js));
   }
   return util::Status::OK();
+}
+
+namespace {
+
+/// Arena index key of base relation `l`: the 8 LE bytes StableHash64's
+/// u64 overload hashes, so index-probe hash == shard hash of the label.
+std::string LabelKeyBytes(graph::Label l) {
+  std::string bytes(8, '\0');
+  const uint64_t v = l;
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  return bytes;
+}
+
+util::StatusOr<graph::Label> LabelFromKeyBytes(std::string_view bytes) {
+  if (bytes.size() != 8) {
+    return util::InvalidArgumentError("base-relation arena key malformed");
+  }
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = v << 8 | static_cast<uint8_t>(bytes[i]);
+  }
+  if (v > 0xffffffffull) {
+    return util::InvalidArgumentError("base-relation label out of range");
+  }
+  return static_cast<graph::Label>(v);
+}
+
+/// The one serialized shape of a two-join value (shared by the arena
+/// export, mapped probe and materialization): u8 has_stats, then the
+/// JoinStats fields exactly as the v2 section orders them.
+void WriteJoinValue(util::serde::Writer& writer,
+                    const StatsCatalog::JoinStats* js) {
+  writer.WriteU8(js != nullptr ? 1 : 0);  // 0 = over-cap verdict
+  if (js != nullptr) {
+    WriteQueryGraph(writer, js->representative);
+    WriteDegreeMap(writer, js->deg);
+    writer.WriteDouble(js->cardinality);
+  }
+}
+
+/// Decoded two-join value; a held nullptr is the over-cap verdict.
+util::StatusOr<std::unique_ptr<StatsCatalog::JoinStats>> ReadJoinValue(
+    std::string_view value) {
+  util::serde::Reader reader(value);
+  auto has_stats = reader.ReadU8();
+  if (!has_stats.ok()) return has_stats.status();
+  if (*has_stats == 0) {
+    if (!reader.AtEnd()) {
+      return util::InvalidArgumentError("two-join arena entry malformed");
+    }
+    return std::unique_ptr<StatsCatalog::JoinStats>(nullptr);
+  }
+  auto representative = ReadQueryGraph(reader);
+  if (!representative.ok()) return representative.status();
+  auto dm = ReadDegreeMap(reader);
+  if (!dm.ok()) return dm.status();
+  auto cardinality = reader.ReadDouble();
+  if (!cardinality.ok()) return cardinality.status();
+  if (!reader.AtEnd()) {
+    return util::InvalidArgumentError("two-join arena entry malformed");
+  }
+  auto js = std::make_unique<StatsCatalog::JoinStats>();
+  js->representative = std::move(*representative);
+  js->deg = *dm;
+  js->cardinality = *cardinality;
+  return js;
+}
+
+}  // namespace
+
+bool StatsCatalog::FindMappedBase(graph::Label l, DegreeMap* dm) const {
+  if (mapped_bases_.empty()) return false;
+  const std::string key = LabelKeyBytes(l);
+  for (const auto& [index, owner] : mapped_bases_) {
+    auto hit = index.Find(key);
+    if (!hit.ok()) continue;  // clean miss or corrupt index: recompute
+    util::serde::Reader reader(*hit);
+    auto decoded = ReadDegreeMap(reader);
+    if (!decoded.ok() || !reader.AtEnd()) continue;
+    *dm = *decoded;
+    return true;
+  }
+  return false;
+}
+
+bool StatsCatalog::FindMappedJoin(const std::string& key,
+                                  std::unique_ptr<JoinStats>* stats) const {
+  for (const auto& [index, owner] : mapped_joins_) {
+    auto hit = index.Find(key);
+    if (!hit.ok()) continue;  // clean miss or corrupt index: recompute
+    auto decoded = ReadJoinValue(*hit);
+    if (!decoded.ok()) continue;
+    *stats = std::move(*decoded);
+    return true;
+  }
+  return false;
+}
+
+void StatsCatalog::ExportArenaBases(util::ArenaIndexBuilder& builder,
+                                    uint32_t shard,
+                                    uint32_t num_shards) const {
+  base_cache_.ForEach([&](const graph::Label& l, const DegreeMap& dm) {
+    if (util::InShard(util::StableHash64(static_cast<uint64_t>(l)), shard,
+                      num_shards)) {
+      util::serde::Writer v;
+      WriteDegreeMap(v, dm);
+      builder.Add(LabelKeyBytes(l), v.TakeBuffer());
+    }
+  });
+}
+
+void StatsCatalog::ExportArenaJoins(util::ArenaIndexBuilder& builder,
+                                    uint32_t shard,
+                                    uint32_t num_shards) const {
+  join_cache_.ForEach(
+      [&](const std::string& key, const std::unique_ptr<JoinStats>& js) {
+        if (util::InShard(util::StableHash64(key), shard, num_shards)) {
+          util::serde::Writer v;
+          WriteJoinValue(v, js.get());
+          builder.Add(key, v.TakeBuffer());
+        }
+      });
+}
+
+util::Status StatsCatalog::MaterializeFromBases(
+    const util::MappedIndex& index) const {
+  util::Status decode = util::Status::OK();
+  util::Status walk =
+      index.Visit([&](std::string_view key, std::string_view value) {
+        if (!decode.ok()) return;
+        auto label = LabelFromKeyBytes(key);
+        util::serde::Reader reader(value);
+        auto dm = ReadDegreeMap(reader);
+        if (!label.ok() || !dm.ok() || !reader.AtEnd()) {
+          decode = util::InvalidArgumentError(
+              "base-relation arena entry malformed");
+          return;
+        }
+        if (*label >= g_.num_labels()) {
+          decode =
+              util::InvalidArgumentError("base-relation label out of range");
+          return;
+        }
+        base_cache_.Insert(*label, *dm);
+      });
+  if (!walk.ok()) return walk;
+  return decode;
+}
+
+util::Status StatsCatalog::MaterializeFromJoins(
+    const util::MappedIndex& index) const {
+  util::Status decode = util::Status::OK();
+  util::Status walk =
+      index.Visit([&](std::string_view key, std::string_view value) {
+        if (!decode.ok()) return;
+        auto decoded = ReadJoinValue(value);
+        if (!decoded.ok()) {
+          decode = decoded.status();
+          return;
+        }
+        join_cache_.Insert(std::string(key), std::move(*decoded));
+      });
+  if (!walk.ok()) return walk;
+  return decode;
 }
 
 util::StatusOr<DegreeStats> DegreeStats::Build(const StatsCatalog& catalog,

@@ -5,10 +5,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "query/query_graph.h"
+#include "util/arena.h"
 #include "util/keyed_cache.h"
 #include "util/serde.h"
 #include "util/status.h"
@@ -135,9 +137,55 @@ class StatsCatalog {
   /// truncated/corrupted input.
   util::Status ImportEntries(util::serde::Reader& reader) const;
 
+  // ---- Mapped-backing surface (arena snapshot v3) ----
+  // See MarkovTable: memo first, then mapped probe with copy-on-miss;
+  // attach/detach run quiesced. Unlike the v2 section (one payload holding
+  // both caches), the arena keeps two separate hash indexes — base
+  // relations (key = 8-byte LE label, value = DegreeMap) and two-joins
+  // (key = canonical code, value = u8 has_stats + JoinStats fields) — so
+  // each is probed in place without scanning the other.
+
+  void ExportArenaBases(util::ArenaIndexBuilder& builder, uint32_t shard = 0,
+                        uint32_t num_shards = 0) const;
+  void ExportArenaJoins(util::ArenaIndexBuilder& builder, uint32_t shard = 0,
+                        uint32_t num_shards = 0) const;
+
+  void AttachMappedBases(util::MappedIndex index,
+                         std::shared_ptr<const void> owner) const {
+    mapped_bases_.emplace_back(std::move(index), std::move(owner));
+  }
+  void AttachMappedJoins(util::MappedIndex index,
+                         std::shared_ptr<const void> owner) const {
+    mapped_joins_.emplace_back(std::move(index), std::move(owner));
+  }
+
+  /// Drops all mapped backing (pre-scrub; see MarkovTable).
+  void DetachMappedIndexes() const {
+    mapped_bases_.clear();
+    mapped_joins_.clear();
+  }
+
+  size_t num_mapped_indexes() const {
+    return mapped_bases_.size() + mapped_joins_.size();
+  }
+
+  /// Decode every entry of a mapped index into the corresponding memo.
+  util::Status MaterializeFromBases(const util::MappedIndex& index) const;
+  util::Status MaterializeFromJoins(const util::MappedIndex& index) const;
+
  private:
+  bool FindMappedBase(graph::Label l, DegreeMap* dm) const;
+  /// True when the mapped indexes hold a verdict for `key`; `*stats` is
+  /// null for an over-cap verdict.
+  bool FindMappedJoin(const std::string& key,
+                      std::unique_ptr<JoinStats>* stats) const;
+
   const graph::Graph& g_;
   uint64_t materialize_cap_;
+  mutable std::vector<std::pair<util::MappedIndex, std::shared_ptr<const void>>>
+      mapped_bases_;
+  mutable std::vector<std::pair<util::MappedIndex, std::shared_ptr<const void>>>
+      mapped_joins_;
   /// Returned references/pointers stay valid because the caches never
   /// erase (unordered_map node stability). A null JoinStats pointer is a
   /// cached "too large to materialize" verdict.

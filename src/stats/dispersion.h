@@ -1,10 +1,14 @@
 #ifndef CEGRAPH_STATS_DISPERSION_H_
 #define CEGRAPH_STATS_DISPERSION_H_
 
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/graph.h"
 #include "query/query_graph.h"
+#include "util/arena.h"
 #include "util/keyed_cache.h"
 #include "util/serde.h"
 #include "util/status.h"
@@ -96,10 +100,38 @@ class DispersionCatalog {
   /// truncated/corrupted input.
   util::Status ImportEntries(util::serde::Reader& reader) const;
 
+  // ---- Mapped-backing surface (arena snapshot v3) ----
+  // See MarkovTable: memo first, then mapped probe with copy-on-miss;
+  // attach/detach run quiesced. Index keys are the marked canonical codes,
+  // values the three dispersion doubles.
+
+  /// Serializes entries into an arena hash index (same shard filter as
+  /// ExportEntries).
+  void ExportArenaEntries(util::ArenaIndexBuilder& builder, uint32_t shard = 0,
+                          uint32_t num_shards = 0) const;
+
+  /// Attaches one mapped index; `owner` keeps the mapping alive.
+  void AttachMappedIndex(util::MappedIndex index,
+                         std::shared_ptr<const void> owner) const {
+    mapped_.emplace_back(std::move(index), std::move(owner));
+  }
+
+  /// Drops all mapped backing (pre-scrub; see MarkovTable).
+  void DetachMappedIndexes() const { mapped_.clear(); }
+
+  size_t num_mapped_indexes() const { return mapped_.size(); }
+
+  /// Decodes every entry of `index` into the memo cache.
+  util::Status MaterializeFromIndex(const util::MappedIndex& index) const;
+
  private:
+  bool FindMapped(const std::string& key, ExtensionDispersion* d) const;
+
   const graph::Graph& g_;
   uint64_t materialize_cap_;
   util::KeyedCache<std::string, ExtensionDispersion> cache_;
+  mutable std::vector<std::pair<util::MappedIndex, std::shared_ptr<const void>>>
+      mapped_;
 };
 
 }  // namespace cegraph::stats

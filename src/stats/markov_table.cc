@@ -21,11 +21,59 @@ util::StatusOr<double> MarkovTable::Cardinality(
   }
   const std::string key = pattern.CanonicalCode();
   if (const double* hit = cache_.Find(key)) return *hit;
+  // Copy-on-miss from mapped snapshot bytes: a hit is decoded off the
+  // arena and memoized, so the page-cache probe is paid once per entry.
+  if (double mapped_value; FindMapped(key, &mapped_value)) {
+    return cache_.Insert(key, mapped_value);
+  }
   // Count outside the lock: exact matching dominates, and two threads
   // racing on the same cold pattern just compute the same value twice.
   auto count = matcher_.Count(pattern);
   if (!count.ok()) return count.status();
   return cache_.Insert(key, *count);
+}
+
+bool MarkovTable::FindMapped(const std::string& key, double* value) const {
+  for (const auto& [index, owner] : mapped_) {
+    auto hit = index.Find(key);
+    if (!hit.ok()) continue;  // clean miss or corrupt index: recompute
+    util::serde::Reader reader(*hit);
+    auto decoded = reader.ReadDouble();
+    if (!decoded.ok() || !reader.AtEnd()) continue;
+    *value = *decoded;
+    return true;
+  }
+  return false;
+}
+
+void MarkovTable::ExportArenaEntries(util::ArenaIndexBuilder& builder,
+                                     uint32_t shard,
+                                     uint32_t num_shards) const {
+  cache_.ForEach([&](const std::string& key, const double& value) {
+    if (util::InShard(util::StableHash64(key), shard, num_shards)) {
+      util::serde::Writer v;
+      v.WriteDouble(value);
+      builder.Add(key, v.TakeBuffer());
+    }
+  });
+}
+
+util::Status MarkovTable::MaterializeFromIndex(
+    const util::MappedIndex& index) const {
+  util::Status decode = util::Status::OK();
+  util::Status walk =
+      index.Visit([&](std::string_view key, std::string_view value) {
+        if (!decode.ok()) return;
+        util::serde::Reader reader(value);
+        auto decoded = reader.ReadDouble();
+        if (!decoded.ok() || !reader.AtEnd()) {
+          decode = util::InvalidArgumentError("markov arena entry malformed");
+          return;
+        }
+        cache_.Insert(std::string(key), *decoded);
+      });
+  if (!walk.ok()) return walk;
+  return decode;
 }
 
 size_t MarkovTable::ApproximateSizeBytes() const {

@@ -1,0 +1,336 @@
+#include "util/arena.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/shard.h"
+
+namespace cegraph::util {
+
+namespace {
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PadTo(std::string& out, size_t align) {
+  while (out.size() % align != 0) out.push_back('\0');
+}
+
+size_t AlignUp(size_t n, size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+constexpr size_t kHeaderBytes = 8 + 4 * 4;   // magic + 4 u32 words
+constexpr size_t kTableEntryBytes = 24;      // id, reserved, offset, bytes
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ArenaBuilder
+
+void ArenaBuilder::AddSection(uint32_t id, std::string payload) {
+  sections_.emplace_back(id, std::move(payload));
+}
+
+std::string ArenaBuilder::Finish() {
+  std::string out;
+  out.append(kArenaMagic, sizeof(kArenaMagic));
+  AppendU32(out, kArenaEndianWord);
+  AppendU32(out, kArenaVersion);
+  AppendU32(out, static_cast<uint32_t>(sections_.size()));
+  AppendU32(out, 0);  // reserved
+
+  // Lay payloads out after the table, each at the next 8-aligned offset.
+  size_t offset = AlignUp(kHeaderBytes + sections_.size() * kTableEntryBytes,
+                          kArenaAlign);
+  for (const auto& [id, payload] : sections_) {
+    AppendU32(out, id);
+    AppendU32(out, 0);  // reserved
+    AppendU64(out, offset);
+    AppendU64(out, payload.size());
+    offset = AlignUp(offset + payload.size(), kArenaAlign);
+  }
+  PadTo(out, kArenaAlign);
+  for (auto& [id, payload] : sections_) {
+    out.append(payload);
+    PadTo(out, kArenaAlign);
+    payload.clear();
+  }
+  sections_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MappedArena
+
+Status MappedArena::Validate() {
+  if (size_ < kHeaderBytes) {
+    return InvalidArgumentError("arena: file shorter than header");
+  }
+  if (std::memcmp(data_, kArenaMagic, sizeof(kArenaMagic)) != 0) {
+    return InvalidArgumentError("arena: bad magic (not an arena snapshot)");
+  }
+  const uint32_t endian = LoadLittleU32(data_ + 8);
+  if (endian != kArenaEndianWord) {
+    return InvalidArgumentError(
+        "arena: endian check word mismatch (foreign-endian writer?)");
+  }
+  const uint32_t version = LoadLittleU32(data_ + 12);
+  if (version != kArenaVersion) {
+    return InvalidArgumentError("arena: unsupported container version " +
+                                std::to_string(version));
+  }
+  const uint32_t count = LoadLittleU32(data_ + 16);
+  const size_t table_bytes = static_cast<size_t>(count) * kTableEntryBytes;
+  if (count > (size_ - kHeaderBytes) / kTableEntryBytes) {
+    return OutOfRangeError("arena: section table exceeds file");
+  }
+  sections_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const char* e = data_ + kHeaderBytes + i * kTableEntryBytes;
+    Section s;
+    s.id = LoadLittleU32(e);
+    s.offset = LoadLittleU64(e + 8);
+    s.bytes = LoadLittleU64(e + 16);
+    if (s.offset % kArenaAlign != 0) {
+      return InvalidArgumentError("arena: section " + std::to_string(s.id) +
+                                  " payload misaligned");
+    }
+    if (s.offset < kHeaderBytes + table_bytes || s.offset > size_ ||
+        s.bytes > size_ - s.offset) {
+      return OutOfRangeError("arena: section " + std::to_string(s.id) +
+                             " out of file bounds");
+    }
+    sections_.push_back(s);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const MappedArena>> MappedArena::MapFile(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return NotFoundError("arena: cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return InternalError("arena: cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  // mmap rejects zero-length maps; an empty file is simply not an arena.
+  if (size == 0) {
+    ::close(fd);
+    return InvalidArgumentError("arena: " + path + " is empty");
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (addr == MAP_FAILED) {
+    return InternalError("arena: mmap failed for " + path);
+  }
+  std::shared_ptr<MappedArena> arena(new MappedArena());
+  arena->data_ = static_cast<const char*>(addr);
+  arena->size_ = size;
+  arena->mapped_ = true;
+  if (Status st_v = arena->Validate(); !st_v.ok()) return st_v;
+  return std::shared_ptr<const MappedArena>(std::move(arena));
+}
+
+StatusOr<std::shared_ptr<const MappedArena>> MappedArena::FromBytes(
+    std::string_view image) {
+  std::shared_ptr<MappedArena> arena(new MappedArena());
+  arena->owned_ = std::make_unique<char[]>(image.size() + 1);
+  std::memcpy(arena->owned_.get(), image.data(), image.size());
+  arena->data_ = arena->owned_.get();
+  arena->size_ = image.size();
+  if (Status st = arena->Validate(); !st.ok()) return st;
+  return std::shared_ptr<const MappedArena>(std::move(arena));
+}
+
+MappedArena::~MappedArena() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+const MappedArena::Section* MappedArena::FindSection(uint32_t id) const {
+  for (const Section& s : sections_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const MappedArena::Section*> MappedArena::FindSections(
+    uint32_t id) const {
+  std::vector<const Section*> out;
+  for (const Section& s : sections_) {
+    if (s.id == id) out.push_back(&s);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ArenaIndexBuilder
+
+void ArenaIndexBuilder::Add(std::string key, std::string value) {
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string ArenaIndexBuilder::Finish() {
+  // Stable file bytes: entry order (and therefore slot contents) must not
+  // depend on the hash-map iteration order the caller exported from.
+  std::sort(entries_.begin(), entries_.end());
+
+  uint64_t num_slots = 0;
+  if (!entries_.empty()) {
+    num_slots = 8;
+    while (num_slots * 7 < entries_.size() * 10) num_slots *= 2;  // load<=0.7
+  }
+
+  // Entry blob + per-entry offsets.
+  std::string blob;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    offsets.push_back(blob.size());
+    AppendU32(blob, static_cast<uint32_t>(key.size()));
+    AppendU32(blob, static_cast<uint32_t>(value.size()));
+    blob.append(key);
+    PadTo(blob, kArenaAlign);
+    blob.append(value);
+    PadTo(blob, kArenaAlign);
+  }
+
+  // Slot table: linear probing over a power-of-two array.
+  std::vector<std::pair<uint64_t, uint64_t>> slots(
+      num_slots, {0, kEmptySlotOffset});
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const uint64_t h = StableHash64(entries_[i].first);
+    uint64_t slot = h & (num_slots - 1);
+    while (slots[slot].second != kEmptySlotOffset) {
+      slot = (slot + 1) & (num_slots - 1);
+    }
+    slots[slot] = {h, offsets[i]};
+  }
+
+  std::string out;
+  AppendU64(out, entries_.size());
+  AppendU64(out, num_slots);
+  AppendU64(out, blob.size());
+  for (const auto& [hash, offset] : slots) {
+    AppendU64(out, hash);
+    AppendU64(out, offset);
+  }
+  out.append(blob);
+  entries_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MappedIndex
+
+StatusOr<MappedIndex> MappedIndex::Attach(std::string_view payload) {
+  MappedIndex index;
+  if (payload.size() < 24) {
+    return OutOfRangeError("arena index: payload shorter than header");
+  }
+  index.payload_ = payload;
+  index.num_entries_ = LoadLittleU64(payload.data());
+  index.num_slots_ = LoadLittleU64(payload.data() + 8);
+  index.entries_bytes_ = LoadLittleU64(payload.data() + 16);
+  if (index.num_slots_ != 0 &&
+      (index.num_slots_ & (index.num_slots_ - 1)) != 0) {
+    return InvalidArgumentError("arena index: slot count not a power of two");
+  }
+  if (index.num_entries_ != 0 && index.num_slots_ == 0) {
+    return InvalidArgumentError("arena index: entries without slots");
+  }
+  if (index.num_slots_ > (payload.size() - 24) / 16) {
+    return OutOfRangeError("arena index: slot table exceeds payload");
+  }
+  index.slots_offset_ = 24;
+  index.entries_offset_ = 24 + static_cast<size_t>(index.num_slots_) * 16;
+  if (index.entries_bytes_ > payload.size() - index.entries_offset_) {
+    return OutOfRangeError("arena index: entry blob exceeds payload");
+  }
+  return index;
+}
+
+StatusOr<std::string_view> MappedIndex::Find(std::string_view key) const {
+  if (num_slots_ == 0) return NotFoundError("arena index: empty");
+  const uint64_t h = StableHash64(key);
+  const uint64_t mask = num_slots_ - 1;
+  for (uint64_t probe = 0; probe <= mask; ++probe) {
+    const uint64_t slot = (h + probe) & mask;
+    const char* sp = payload_.data() + slots_offset_ + slot * 16;
+    const uint64_t slot_hash = LoadLittleU64(sp);
+    const uint64_t entry_offset = LoadLittleU64(sp + 8);
+    if (entry_offset == kEmptySlotOffset) {
+      return NotFoundError("arena index: key absent");
+    }
+    if (slot_hash != h) continue;
+    // Bounds-check the record before touching it: a corrupted offset must
+    // come back as a Status, never a wild read.
+    if (entry_offset % kArenaAlign != 0 || entry_offset >= entries_bytes_ ||
+        entries_bytes_ - entry_offset < 8) {
+      return OutOfRangeError("arena index: slot offset out of range");
+    }
+    const char* e = payload_.data() + entries_offset_ + entry_offset;
+    const uint32_t key_bytes = LoadLittleU32(e);
+    const uint32_t value_bytes = LoadLittleU32(e + 4);
+    const uint64_t key_end = entry_offset + 8 + uint64_t{key_bytes};
+    const uint64_t value_start =
+        AlignUp(static_cast<size_t>(key_end), kArenaAlign);
+    if (key_end > entries_bytes_ ||
+        value_start + uint64_t{value_bytes} > entries_bytes_) {
+      return OutOfRangeError("arena index: entry record out of range");
+    }
+    if (std::string_view(e + 8, key_bytes) != key) continue;
+    return std::string_view(
+        payload_.data() + entries_offset_ + value_start, value_bytes);
+  }
+  return OutOfRangeError("arena index: probe wrapped (corrupt slot table)");
+}
+
+Status MappedIndex::Visit(
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  uint64_t offset = 0;
+  uint64_t seen = 0;
+  while (offset < entries_bytes_) {
+    if (offset % kArenaAlign != 0 || offset + 8 > entries_bytes_) {
+      return OutOfRangeError("arena index: truncated entry record");
+    }
+    const char* e = payload_.data() + entries_offset_ + offset;
+    const uint32_t key_bytes = LoadLittleU32(e);
+    const uint32_t value_bytes = LoadLittleU32(e + 4);
+    const uint64_t key_end = offset + 8 + uint64_t{key_bytes};
+    const uint64_t value_start =
+        AlignUp(static_cast<size_t>(key_end), kArenaAlign);
+    const uint64_t value_end = value_start + uint64_t{value_bytes};
+    if (key_end > entries_bytes_ || value_end > entries_bytes_) {
+      return OutOfRangeError("arena index: entry record out of range");
+    }
+    fn(std::string_view(e + 8, key_bytes),
+       std::string_view(payload_.data() + entries_offset_ + value_start,
+                        value_bytes));
+    offset = AlignUp(static_cast<size_t>(value_end), kArenaAlign);
+    ++seen;
+    if (seen > num_entries_) {
+      return InvalidArgumentError("arena index: more records than declared");
+    }
+  }
+  if (seen != num_entries_) {
+    return InvalidArgumentError("arena index: fewer records than declared");
+  }
+  return Status::OK();
+}
+
+}  // namespace cegraph::util

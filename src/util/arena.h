@@ -1,0 +1,204 @@
+#ifndef CEGRAPH_UTIL_ARENA_H_
+#define CEGRAPH_UTIL_ARENA_H_
+
+/// The mmap-able arena container behind snapshot format v3 (see
+/// docs/snapshot_format.md): a flat file of 8-byte-aligned sections whose
+/// payloads are usable *in place* after mmap — fixed little-endian words,
+/// offset-based (never pointer-based) references, and per-section
+/// open-addressed hash indexes written at build time. A restarting server
+/// maps the file and serves lookups straight off the page cache; nothing is
+/// parsed up front.
+///
+/// Layout (all integers little-endian, all offsets relative to file start):
+///
+///   bytes 0..7    magic "CEGARNA1"
+///   u32           endian check word 0x01020304 (reads back 0x04030201 on a
+///                 foreign-endian writer — rejected cleanly at open)
+///   u32           arena container version (kArenaVersion)
+///   u32           section count
+///   u32           reserved (0)
+///   section table: count x { u32 id, u32 reserved, u64 offset, u64 bytes }
+///   payloads, each starting at an 8-byte-aligned offset, zero-padded
+///
+/// The reader (`MappedArena`) validates the header and every table entry at
+/// open — magic, endianness, version, alignment, and that each section lies
+/// inside the file — so later in-place accesses can trust section bounds.
+/// Per-access offsets *inside* a section (hash-index slots, entry records)
+/// are still bounds-checked at use: a corrupted index degrades to a clean
+/// Status error (or a recompute, on no-Status call paths), never UB.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cegraph::util {
+
+inline constexpr char kArenaMagic[8] = {'C', 'E', 'G', 'A', 'R', 'N', 'A', '1'};
+inline constexpr uint32_t kArenaEndianWord = 0x01020304u;
+inline constexpr uint32_t kArenaVersion = 1;
+inline constexpr size_t kArenaAlign = 8;
+
+/// Little-endian word loads over mapped bytes. Bytewise composition keeps
+/// them correct on any host endianness and UBSan-clean at any alignment
+/// (compilers fold them to single loads on little-endian targets).
+inline uint32_t LoadLittleU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return uint32_t{b[0]} | uint32_t{b[1]} << 8 | uint32_t{b[2]} << 16 |
+         uint32_t{b[3]} << 24;
+}
+
+inline uint64_t LoadLittleU64(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | b[i];
+  return v;
+}
+
+/// Builds an arena file image in memory: append sections, then `Finish()`.
+/// Section payloads are padded so every payload starts 8-byte aligned.
+class ArenaBuilder {
+ public:
+  /// Appends one section. Ids need not be unique in the container format,
+  /// but snapshot v3 readers look sections up by id and use the *first*
+  /// match except where the format explicitly allows repeats (Markov
+  /// tables carry one section per history length).
+  void AddSection(uint32_t id, std::string payload);
+
+  /// Serializes header + table + payloads. The builder is consumed.
+  std::string Finish();
+
+  size_t section_count() const { return sections_.size(); }
+
+ private:
+  std::vector<std::pair<uint32_t, std::string>> sections_;
+};
+
+/// A validated, read-only view of an arena image: either an mmap'd file
+/// (unmapped on destruction) or an owned aligned byte buffer. Stats
+/// structures that serve off mapped sections keep the arena alive through a
+/// shared_ptr, so a hot-swap can drop the old mapping only once the last
+/// reader is gone.
+class MappedArena {
+ public:
+  struct Section {
+    uint32_t id = 0;
+    uint64_t offset = 0;  ///< absolute offset of the payload in the image
+    uint64_t bytes = 0;
+  };
+
+  /// mmap's `path` read-only and validates the header/table.
+  static StatusOr<std::shared_ptr<const MappedArena>> MapFile(
+      const std::string& path);
+
+  /// Wraps an in-memory image (copied into an aligned owned buffer) — for
+  /// shard loads that already read the bytes to verify manifest hashes, and
+  /// for corruption tests that mutate images byte-by-byte.
+  static StatusOr<std::shared_ptr<const MappedArena>> FromBytes(
+      std::string_view image);
+
+  ~MappedArena();
+  MappedArena(const MappedArena&) = delete;
+  MappedArena& operator=(const MappedArena&) = delete;
+
+  std::string_view bytes() const { return {data_, size_}; }
+  size_t size() const { return size_; }
+  bool mapped_from_file() const { return mapped_; }
+
+  const std::vector<Section>& sections() const { return sections_; }
+
+  /// First section with `id`, or null.
+  const Section* FindSection(uint32_t id) const;
+
+  /// All sections with `id`, in file order (Markov history sections).
+  std::vector<const Section*> FindSections(uint32_t id) const;
+
+  /// The payload bytes of `s`. Bounds were validated at open.
+  std::string_view SectionBytes(const Section& s) const {
+    return {data_ + s.offset, s.bytes};
+  }
+
+ private:
+  MappedArena() = default;
+
+  /// Header/table validation shared by both open paths.
+  Status Validate();
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;           ///< true: munmap in dtor
+  std::unique_ptr<char[]> owned_; ///< FromBytes backing store
+  std::vector<Section> sections_;
+};
+
+/// Builds the open-addressed hash index payload used by every keyed arena
+/// section. Entries are deduplicated-by-caller key/value byte strings;
+/// `Finish()` sorts them (stable file bytes independent of insertion
+/// order), sizes a power-of-two slot array at <=70% load, and emits:
+///
+///   u64 num_entries
+///   u64 num_slots            (power of two; 0 when the index is empty)
+///   u64 entries_bytes
+///   slots: num_slots x { u64 hash, u64 entry_offset }   (offset into the
+///          entry blob; kEmptySlotOffset marks an empty slot)
+///   entry blob: entries_bytes bytes of 8-aligned records
+///          { u32 key_bytes, u32 value_bytes, key (padded to 8),
+///            value (padded to 8) }
+///
+/// Hashes are util::StableHash64 over the key bytes — the same function the
+/// sharding layer pins forever — so an index probe and a shard-membership
+/// test agree on every key.
+class ArenaIndexBuilder {
+ public:
+  void Add(std::string key, std::string value);
+  size_t size() const { return entries_.size(); }
+  std::string Finish();
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+inline constexpr uint64_t kEmptySlotOffset = ~uint64_t{0};
+
+/// Read side of ArenaIndexBuilder: probes the mapped payload in place.
+/// Every offset the probe touches is bounds-checked against the section, so
+/// corrupted slot tables surface as OutOfRange/InvalidArgument, not UB.
+class MappedIndex {
+ public:
+  MappedIndex() = default;
+
+  /// Validates the fixed header (counts vs payload size, power-of-two slot
+  /// array). Entry records are checked lazily, per probe.
+  static StatusOr<MappedIndex> Attach(std::string_view payload);
+
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Value bytes for `key`; NotFound on a clean miss, OutOfRange /
+  /// InvalidArgument when the index bytes are corrupt. The returned view
+  /// borrows the mapped payload.
+  StatusOr<std::string_view> Find(std::string_view key) const;
+
+  /// Sequential walk of the entry blob (materialize-all for stale loads,
+  /// cross-format verification). Stops with an error on a malformed record.
+  Status Visit(
+      const std::function<void(std::string_view key, std::string_view value)>&
+          fn) const;
+
+ private:
+  std::string_view payload_;
+  uint64_t num_entries_ = 0;
+  uint64_t num_slots_ = 0;
+  uint64_t entries_bytes_ = 0;
+  size_t slots_offset_ = 0;
+  size_t entries_offset_ = 0;
+};
+
+}  // namespace cegraph::util
+
+#endif  // CEGRAPH_UTIL_ARENA_H_

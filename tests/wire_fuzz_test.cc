@@ -100,6 +100,17 @@ EstimateResponse RandomEstimate(Fuzz& fuzz) {
   return estimate;
 }
 
+SnapshotLoadBreakdown RandomLoadBreakdown(Fuzz& fuzz) {
+  SnapshotLoadBreakdown load;
+  load.loaded = fuzz.Coin();
+  load.mapped = fuzz.Coin();
+  load.mapped_bytes = fuzz.U64();
+  load.map_millis = fuzz.FiniteDouble();
+  load.parse_millis = fuzz.FiniteDouble();
+  load.snapshot_epoch = fuzz.U64();
+  return load;
+}
+
 Response RandomResponse(Fuzz& fuzz) {
   Response response;
   response.type = RandomType(fuzz);
@@ -124,6 +135,7 @@ Response RandomResponse(Fuzz& fuzz) {
         response.swap.maintenance.ceg_evicted = fuzz.U32();
         response.swap.snapshot_stale = fuzz.Coin();
         response.swap.snapshot_replayed_deltas = fuzz.U32();
+        response.swap.snapshot_load = RandomLoadBreakdown(fuzz);
         break;
       case MessageType::kStats: {
         response.stats.served = fuzz.U64();
@@ -148,6 +160,7 @@ Response RandomResponse(Fuzz& fuzz) {
           e.mean_qerror = fuzz.FiniteDouble();
           response.stats.estimators.push_back(std::move(e));
         }
+        response.stats.snapshot_load = RandomLoadBreakdown(fuzz);
         break;
       }
       case MessageType::kPing:
@@ -203,6 +216,16 @@ void ExpectEqualEstimate(const EstimateResponse& a,
   }
 }
 
+void ExpectEqualLoad(const SnapshotLoadBreakdown& a,
+                     const SnapshotLoadBreakdown& b) {
+  EXPECT_EQ(a.loaded, b.loaded);
+  EXPECT_EQ(a.mapped, b.mapped);
+  EXPECT_EQ(a.mapped_bytes, b.mapped_bytes);
+  EXPECT_EQ(a.map_millis, b.map_millis);
+  EXPECT_EQ(a.parse_millis, b.parse_millis);
+  EXPECT_EQ(a.snapshot_epoch, b.snapshot_epoch);
+}
+
 void ExpectEqual(const Response& a, const Response& b) {
   EXPECT_EQ(a.status.code(), b.status.code());
   EXPECT_EQ(a.status.message(), b.status.message());
@@ -231,6 +254,7 @@ void ExpectEqual(const Response& a, const Response& b) {
       EXPECT_EQ(a.swap.snapshot_stale, b.swap.snapshot_stale);
       EXPECT_EQ(a.swap.snapshot_replayed_deltas,
                 b.swap.snapshot_replayed_deltas);
+      ExpectEqualLoad(a.swap.snapshot_load, b.swap.snapshot_load);
       break;
     case MessageType::kStats: {
       EXPECT_EQ(a.stats.served, b.stats.served);
@@ -258,6 +282,7 @@ void ExpectEqual(const Response& a, const Response& b) {
         EXPECT_EQ(a.stats.estimators[i].mean_qerror,
                   b.stats.estimators[i].mean_qerror);
       }
+      ExpectEqualLoad(a.stats.snapshot_load, b.stats.snapshot_load);
       break;
     }
     case MessageType::kPing:

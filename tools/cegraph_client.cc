@@ -511,6 +511,18 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(e.failures),
                     e.mean_micros, e.mean_qerror);
       }
+      if (s.snapshot_load.loaded) {
+        std::printf("snapshot load: %s, open %.2f ms, %s %.2f ms, "
+                    "%llu bytes mapped, epoch %llu\n",
+                    s.snapshot_load.mapped ? "mapped (arena)" : "parsed",
+                    s.snapshot_load.map_millis,
+                    s.snapshot_load.mapped ? "attach" : "apply",
+                    s.snapshot_load.parse_millis,
+                    static_cast<unsigned long long>(
+                        s.snapshot_load.mapped_bytes),
+                    static_cast<unsigned long long>(
+                        s.snapshot_load.snapshot_epoch));
+      }
       break;
     }
     case MessageType::kPing:
