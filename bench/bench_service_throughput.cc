@@ -1,6 +1,6 @@
 // bench_service_throughput — serving-layer acceptance gates.
 //
-// Three questions about the estimation service, all PASS-gated:
+// Four questions about the estimation service, all PASS-gated:
 //
 //  1. Does TCP loopback serving throughput scale with server worker
 //     threads? 8 pipelining client connections hammer the same warmed
@@ -30,6 +30,12 @@
 //     SKIPped with a note. A wire-v3 batch run (batch 16) is reported
 //     for reference, unmeasured by the gate.
 //
+//  4. Is the observability layer actually free enough to leave on? The
+//     same warmed service is measured with metrics enabled and with
+//     obs::SetMetricsEnabled(false) (what CEGRAPH_METRICS=off does),
+//     best of 3 runs each; the gate is enabled >= 95% of disabled
+//     throughput — the histograms and stage traces must cost < 5%.
+//
 // Usage: bench_service_throughput [instances_per_template] [dataset]
 #include <sys/resource.h>
 #include <unistd.h>
@@ -46,6 +52,7 @@
 #include "bench_common.h"
 #include "dynamic/delta_io.h"
 #include "harness/service_driver.h"
+#include "obs/metrics.h"
 #include "query/workload_io.h"
 #include "service/server.h"
 #include "service/service.h"
@@ -521,5 +528,49 @@ int main(int argc, char** argv) {
     }
   }
 
-  return scaling_pass && swap_pass && conn_pass ? 0 : 1;
+  // ---- Gate 4: instrumentation overhead stays under 5% ----
+  bool overhead_pass = false;
+  {
+    auto service = service::EstimationService::Create(
+        graph::Graph(data.graph), options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "service: %s\n",
+                   service.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& line : lines) {
+      (void)(*service)->EstimateLine(line);
+    }
+
+    // Best-of-3 per mode, interleaved so thermal / scheduler drift hits
+    // both modes alike. SetMetricsEnabled(false) is exactly what
+    // CEGRAPH_METRICS=off sets at startup.
+    double best_on = 0;
+    double best_off = 0;
+    size_t overhead_errors = 0;
+    for (int round = 0; round < 3; ++round) {
+      obs::SetMetricsEnabled(true);
+      const TcpRunResult on =
+          MeasureTcpThroughput(**service, 4, 8, lines, 1.0);
+      obs::SetMetricsEnabled(false);
+      const TcpRunResult off =
+          MeasureTcpThroughput(**service, 4, 8, lines, 1.0);
+      best_on = std::max(best_on, on.rps());
+      best_off = std::max(best_off, off.rps());
+      overhead_errors += on.errors + off.errors;
+    }
+    obs::SetMetricsEnabled(true);
+
+    const double ratio = best_off > 0 ? best_on / best_off : 0;
+    overhead_pass =
+        overhead_errors == 0 && best_off > 0 && ratio >= 0.95;
+    std::printf("\nmetrics on %.0f req/s vs off %.0f req/s "
+                "(best of 3 each)\n",
+                best_on, best_off);
+    std::printf("[%s] instrumentation overhead: enabled/disabled ratio "
+                "%.3f (>= 0.95 required), %zu transport errors\n",
+                overhead_pass ? "PASS" : "FAIL", ratio, overhead_errors);
+  }
+
+  return scaling_pass && swap_pass && conn_pass && overhead_pass ? 0 : 1;
 }

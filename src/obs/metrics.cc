@@ -1,0 +1,340 @@
+#include "obs/metrics.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace cegraph::obs {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("CEGRAPH_METRICS");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  return !(value == "off" || value == "0" || value == "false");
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{EnabledFromEnv()};
+  return enabled;
+}
+
+void AtomicDoubleAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicDoubleMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (current < value &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatDouble(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+double HistogramSnapshot::BucketUpperBound(size_t i) {
+  if (i + 1 >= kHistogramBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (i == 0) return 1.0;
+  return std::exp2(static_cast<double>(i) / 4.0);
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // [0,1) and any NaN guarded by caller
+  // Bucket i >= 1 covers [2^((i-1)/4), 2^(i/4)).
+  const double idx = std::floor(4.0 * std::log2(value));
+  if (idx >= static_cast<double>(kHistogramBuckets - 1)) {
+    return kHistogramBuckets - 1;
+  }
+  size_t bucket = 1 + static_cast<size_t>(idx);
+  // log2 rounding at exact powers can land one bucket off; nudge so the
+  // invariant BucketUpperBound(bucket-1) <= value < BucketUpperBound(bucket)
+  // holds exactly.
+  while (bucket > 1 &&
+         value < HistogramSnapshot::BucketUpperBound(bucket - 1)) {
+    --bucket;
+  }
+  while (bucket + 1 < kHistogramBuckets &&
+         value >= HistogramSnapshot::BucketUpperBound(bucket)) {
+    ++bucket;
+  }
+  return std::min(bucket, kHistogramBuckets - 1);
+}
+
+void Histogram::Record(double value) {
+  if (!(value >= 0) || !std::isfinite(value)) return;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicDoubleAdd(sum_, value);
+  AtomicDoubleMax(max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+double HistogramSnapshot::Quantile(double p) const {
+  // Resolve against the bucket counts, not `count` — the two can be
+  // torn by one mid-record (see the header's consistency note).
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  const double rank = p * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double bound = BucketUpperBound(i);
+      return std::min(bound, max);
+    }
+  }
+  return max;
+}
+
+QuantileSummary HistogramSnapshot::Summary() const {
+  QuantileSummary s;
+  s.count = count;
+  s.mean = count > 0 ? sum / static_cast<double>(count) : 0;
+  s.p50 = Quantile(0.50);
+  s.p90 = Quantile(0.90);
+  s.p99 = Quantile(0.99);
+  s.max = max;
+  return s;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+// --- PromWriter -------------------------------------------------------------
+
+void PromWriter::TypeHeader(const std::string& name, const char* type) {
+  if (std::find(typed_.begin(), typed_.end(), name) != typed_.end()) return;
+  typed_.push_back(name);
+  out_->append("# TYPE ");
+  out_->append(name);
+  out_->push_back(' ');
+  out_->append(type);
+  out_->push_back('\n');
+}
+
+namespace {
+void AppendSeries(std::string* out, const std::string& name,
+                  const std::string& labels, const std::string& value) {
+  out->append(name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  out->append(value);
+  out->push_back('\n');
+}
+}  // namespace
+
+void PromWriter::WriteCounter(const std::string& name,
+                              const std::string& labels, uint64_t value) {
+  TypeHeader(name, "counter");
+  AppendSeries(out_, name, labels, std::to_string(value));
+}
+
+void PromWriter::WriteGauge(const std::string& name,
+                            const std::string& labels, double value) {
+  TypeHeader(name, "gauge");
+  AppendSeries(out_, name, labels, FormatDouble(value));
+}
+
+void PromWriter::WriteHistogram(const std::string& name,
+                                const std::string& labels,
+                                const HistogramSnapshot& snapshot) {
+  TypeHeader(name, "histogram");
+  const std::string sep = labels.empty() ? "" : ",";
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += snapshot.buckets[i];
+    // Skip interior empty buckets to keep the page small; always emit
+    // the +Inf edge so the series is well-formed.
+    if (snapshot.buckets[i] == 0 && i + 1 < kHistogramBuckets) continue;
+    const double bound = HistogramSnapshot::BucketUpperBound(i);
+    const std::string le =
+        std::isinf(bound) ? "+Inf" : FormatDouble(bound);
+    AppendSeries(out_, name + "_bucket",
+                 labels + sep + "le=\"" + le + "\"",
+                 std::to_string(cumulative));
+  }
+  AppendSeries(out_, name + "_sum", labels, FormatDouble(snapshot.sum));
+  AppendSeries(out_, name + "_count", labels,
+               std::to_string(snapshot.count));
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+uint64_t MetricsRegistry::AddCollector(Collector collector) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t id = next_id_++;
+  collectors_.emplace_back(id, std::move(collector));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.erase(
+      std::remove_if(collectors_.begin(), collectors_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      collectors_.end());
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  // Copy the collector list so a collector that (un)registers another
+  // component mid-render cannot deadlock or invalidate iteration.
+  std::vector<std::pair<uint64_t, Collector>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collectors = collectors_;
+  }
+  std::string out;
+  PromWriter writer(&out);
+  for (const auto& [id, collector] : collectors) collector(writer);
+  return out;
+}
+
+size_t MetricsRegistry::collector_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return collectors_.size();
+}
+
+// --- MetricsHttpServer ------------------------------------------------------
+
+util::Status MetricsHttpServer::Start(const std::string& host, int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::InternalError("metrics: socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::InvalidArgumentError("metrics: bad host '" + host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::InternalError("metrics: cannot listen on " + host + ":" +
+                               std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  stopping_.store(false);
+  thread_ = std::thread([this] { Serve(); });
+  return util::Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  // Unblock accept(): shutdown + close makes the blocked call return.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void MetricsHttpServer::Serve() {
+  while (!stopping_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    // Read (and discard) the request line + headers; we serve one page
+    // regardless of path, so parsing would only add failure modes.
+    char buf[1024];
+    (void)::recv(client, buf, sizeof(buf), 0);
+    const std::string body = MetricsRegistry::Global().RenderPrometheus();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t rc =
+          ::send(client, response.data() + sent, response.size() - sent,
+                 MSG_NOSIGNAL);
+      if (rc <= 0) break;
+      sent += static_cast<size_t>(rc);
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace cegraph::obs

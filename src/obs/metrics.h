@@ -1,0 +1,195 @@
+#pragma once
+// Lock-free observability primitives for the serving stack.
+//
+// Everything on the record path is a relaxed atomic operation on
+// pre-registered storage: counters and gauges are single fetch_add's,
+// histograms are one bucket increment plus a count/sum update, and none
+// of them allocate, lock, or touch shared mutable state beyond their own
+// cache lines. Aggregation (snapshots, quantiles, Prometheus rendering)
+// happens on the scrape/stats path, which may be arbitrarily slow.
+//
+// Readout consistency is deliberately loose: a snapshot taken while
+// writers are recording may see a count that is one ahead of the bucket
+// sums (torn between the two relaxed stores). That is the standard
+// monitoring trade-off — the alternative is a lock on every estimate.
+//
+// The whole layer can be disabled at runtime (CEGRAPH_METRICS=off, or
+// SetMetricsEnabled(false)); the hot-path check is one relaxed bool load.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cegraph::obs {
+
+/// Process-wide instrumentation switch. Defaults to on; the environment
+/// variable CEGRAPH_METRICS set to "off", "0" or "false" disables it, as
+/// does SetMetricsEnabled(false) (used by the overhead bench). Counters
+/// that double as serving accounting (served/rejected/...) stay live
+/// regardless; only the histogram/stage-trace layer honors the switch.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// A monotonically increasing relaxed-atomic counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A settable instantaneous value (queue depths, in-flight weight).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time quantile readout of a histogram.
+struct QuantileSummary {
+  uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Number of log-spaced buckets in every Histogram. Bucket 0 covers
+/// [0, 1); bucket i >= 1 covers [2^((i-1)/4), 2^(i/4)) — four buckets
+/// per octave, ~19% relative resolution, spanning values up to
+/// 2^((kHistogramBuckets-2)/4) ~ 3e9 before the overflow bucket.
+inline constexpr size_t kHistogramBuckets = 128;
+
+/// A plain (non-atomic) copy of a histogram's state: mergeable,
+/// quantile-readable, safe to ship across threads by value.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;
+  double max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  /// Upper bound of bucket i (the `le` edge): 1 for bucket 0, 2^(i/4)
+  /// for the rest; +inf for the last (overflow) bucket.
+  static double BucketUpperBound(size_t i);
+
+  /// The value at or below which a fraction p in (0, 1] of recorded
+  /// samples fall, resolved to the containing bucket's upper bound and
+  /// clamped to the observed max (exact for the overflow bucket).
+  /// Returns 0 when the histogram is empty.
+  double Quantile(double p) const;
+
+  QuantileSummary Summary() const;
+
+  /// Accumulates `other` into this snapshot (counts, sum, max).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// A lock-free log-bucketed histogram. Record() is three relaxed atomic
+/// RMWs (bucket, count, sum) plus a CAS loop for max; no allocation.
+/// Negative and non-finite values are dropped (a NaN latency is a bug
+/// upstream, not a sample).
+class Histogram {
+ public:
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// The bucket a value lands in; exposed for the boundary tests.
+  static size_t BucketIndex(double value);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> max_{0};
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+/// Appends metric series in the Prometheus text exposition format.
+/// Emits one `# TYPE` header per metric name per render (shared across
+/// collectors), cumulative `_bucket{le=...}` series plus `_sum`/`_count`
+/// for histograms. `labels` is the inner label list without braces, e.g.
+/// `dataset="alpha",estimator="molp"`; pass "" for none.
+class PromWriter {
+ public:
+  explicit PromWriter(std::string* out) : out_(out) {}
+  void WriteCounter(const std::string& name, const std::string& labels,
+                    uint64_t value);
+  void WriteGauge(const std::string& name, const std::string& labels,
+                  double value);
+  void WriteHistogram(const std::string& name, const std::string& labels,
+                      const HistogramSnapshot& snapshot);
+
+ private:
+  void TypeHeader(const std::string& name, const char* type);
+  std::string* out_;
+  std::vector<std::string> typed_;
+};
+
+/// The process-wide registry. Components register a collector callback
+/// at construction (cheap: one mutex acquisition, never on the request
+/// path) and remove it in their destructor; a scrape renders every live
+/// collector into one text page. Collectors must tolerate being called
+/// from an arbitrary thread at any time between Add and Remove.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  using Collector = std::function<void(PromWriter&)>;
+
+  /// Registers `collector`; returns a handle for RemoveCollector.
+  uint64_t AddCollector(Collector collector);
+  void RemoveCollector(uint64_t id);
+
+  /// Renders every registered collector as one Prometheus text page.
+  std::string RenderPrometheus() const;
+
+  size_t collector_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t next_id_ = 1;
+  std::vector<std::pair<uint64_t, Collector>> collectors_;
+};
+
+/// A deliberately tiny HTTP/1.0 exporter: one blocking accept loop on a
+/// side thread, answering every GET with the registry's text page
+/// (200, text/plain, Connection: close). No keep-alive, no TLS, no
+/// routing beyond "anything answers /metrics content" — it exists so a
+/// scraper or `curl` can reach the registry without linking anything.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds and starts serving; port 0 picks an ephemeral port (see
+  /// port()).
+  util::Status Start(const std::string& host, int port);
+  void Stop();
+  int port() const { return port_; }
+
+ private:
+  void Serve();
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace cegraph::obs

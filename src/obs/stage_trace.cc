@@ -1,0 +1,51 @@
+#include "obs/stage_trace.h"
+
+#include <cstdio>
+
+namespace cegraph::obs {
+
+namespace {
+thread_local StageTrace* g_current_trace = nullptr;
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kParse:
+      return "parse";
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kAcquireState:
+      return "acquire_state";
+    case Stage::kEstimate:
+      return "estimate";
+    case Stage::kEncode:
+      return "encode";
+    case Stage::kWrite:
+      return "write";
+  }
+  return "unknown";
+}
+
+StageTrace* StageTrace::Current() { return g_current_trace; }
+
+StageTrace::Scope::Scope(StageTrace* trace) : previous_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+StageTrace::Scope::~Scope() { g_current_trace = previous_; }
+
+std::string StageTrace::Format() const {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < kStageCount; ++i) {
+    if (!out.empty()) out.push_back(' ');
+    std::snprintf(buf, sizeof(buf), "%s=%.1fus",
+                  StageName(static_cast<Stage>(i)), micros_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cegraph::obs

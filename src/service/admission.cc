@@ -7,6 +7,8 @@ AdmissionController::Ticket AdmissionController::TryAdmit(int64_t weight) {
   if (capacity_ <= 0) {
     in_flight_.fetch_add(weight, std::memory_order_relaxed);
     admitted_.fetch_add(1, std::memory_order_relaxed);
+    admitted_weight_.fetch_add(static_cast<uint64_t>(weight),
+                               std::memory_order_relaxed);
     return Ticket(this, weight);
   }
   int64_t current = in_flight_.load(std::memory_order_relaxed);
@@ -18,11 +20,15 @@ AdmissionController::Ticket AdmissionController::TryAdmit(int64_t weight) {
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
       admitted_.fetch_add(1, std::memory_order_relaxed);
+      admitted_weight_.fetch_add(static_cast<uint64_t>(weight),
+                                 std::memory_order_relaxed);
       UpdatePeak(current + weight);
       return Ticket(this, weight);
     }
   }
   rejected_.fetch_add(1, std::memory_order_relaxed);
+  rejected_weight_.fetch_add(static_cast<uint64_t>(weight),
+                             std::memory_order_relaxed);
   return Ticket();
 }
 

@@ -84,6 +84,15 @@ class AdmissionController {
   uint64_t rejected() const {
     return rejected_.load(std::memory_order_relaxed);
   }
+  /// Total capacity units granted to admitted requests / refused to
+  /// rejected ones — the weight-denominated view of admitted()/rejected()
+  /// (a rejected batch of 64 lines adds 64 here but 1 there).
+  uint64_t admitted_weight() const {
+    return admitted_weight_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected_weight() const {
+    return rejected_weight_.load(std::memory_order_relaxed);
+  }
   int64_t peak_in_flight() const {
     return peak_.load(std::memory_order_relaxed);
   }
@@ -99,6 +108,8 @@ class AdmissionController {
   std::atomic<int64_t> peak_{0};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> admitted_weight_{0};
+  std::atomic<uint64_t> rejected_weight_{0};
 };
 
 }  // namespace cegraph::service

@@ -29,6 +29,11 @@ util::StatusOr<std::unique_ptr<DatasetCatalog>> DatasetCatalog::Create(
   }
   auto catalog = std::make_unique<DatasetCatalog>();
   for (DatasetSpec& spec : specs) {
+    // Stamp the dataset name onto the service's Prometheus series so a
+    // multi-tenant page stays disambiguated.
+    if (spec.options.metrics_label.empty()) {
+      spec.options.metrics_label = spec.name;
+    }
     auto service = EstimationService::Create(std::move(spec.graph),
                                              std::move(spec.options));
     if (!service.ok()) {

@@ -6,16 +6,27 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include <sstream>
 #include <utility>
 
 #include "dynamic/delta_io.h"
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
 
 namespace cegraph::service {
 
 namespace {
+
+/// Monotonic microseconds for queue-wait / stage timing.
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// epoll user-data tags for the two non-connection fds; connection ids
 /// start at 2 (see next_conn_id_).
@@ -111,6 +122,7 @@ util::Status TcpServer::Start() {
     for (int i = 0; i < workers; ++i) {
       workers_.emplace_back([this] { EventWorkerLoop(); });
     }
+    RegisterMetrics();
     return util::Status::OK();
   }
 
@@ -121,6 +133,7 @@ util::Status TcpServer::Start() {
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  RegisterMetrics();
   return util::Status::OK();
 }
 
@@ -141,6 +154,13 @@ void TcpServer::Stop() {
     // deliver its response — the drain contract: every request the
     // server accepted is answered.
     for (const int fd : active_) ::shutdown(fd, SHUT_RD);
+  }
+  // The collector reads only atomics (plus work_mutex_ for queue depth),
+  // so unregistering before the joins is safe; it must be gone before the
+  // members it captures are destroyed.
+  if (metrics_collector_id_ != 0) {
+    obs::MetricsRegistry::Global().RemoveCollector(metrics_collector_id_);
+    metrics_collector_id_ = 0;
   }
   event_stop_.store(true, std::memory_order_release);
   {
@@ -256,6 +276,7 @@ void TcpServer::IoLoop() {
   }
   for (auto& entry : conns_) ::close(entry.second->fd);
   conns_.clear();
+  connections_active_.store(0, std::memory_order_relaxed);
 }
 
 void TcpServer::HandleAccept() {
@@ -269,7 +290,7 @@ void TcpServer::HandleAccept() {
     wire::SetTcpNoDelay(fd);
     if (options_.max_connections > 0 &&
         conns_.size() >= static_cast<size_t>(options_.max_connections)) {
-      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      shed_connection_cap_.fetch_add(1, std::memory_order_relaxed);
       // The accepted fd is still blocking (O_NONBLOCK does not inherit
       // through accept), so the refusal frame can be written inline.
       (void)wire::WriteFrame(
@@ -295,6 +316,7 @@ void TcpServer::HandleAccept() {
       continue;
     }
     conns_.emplace(conn->id, std::move(conn));
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -304,6 +326,7 @@ void TcpServer::HandleReadable(Conn& conn) {
   for (;;) {
     const ssize_t n = ::read(conn.fd, buf, sizeof buf);
     if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
       conn.in.append(buf, static_cast<size_t>(n));
       if (static_cast<size_t>(n) < sizeof buf) break;  // socket drained
       continue;
@@ -352,7 +375,7 @@ void TcpServer::ParseFrames(Conn& conn) {
     conn.in_pos += length;
     if (pipeline_cap > 0 &&
         conn.pending.size() >= static_cast<size_t>(pipeline_cap)) {
-      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      shed_pipeline_cap_.fetch_add(1, std::memory_order_relaxed);
       conn.pending.push_back(
           {EncodeOverloadReject("connection pipeline full (" +
                                 std::to_string(pipeline_cap) +
@@ -382,6 +405,7 @@ void TcpServer::PumpConn(Conn& conn) {
     WorkItem item;
     item.conn_id = conn.id;
     item.payload = std::move(front.payload);
+    item.enqueue_micros = NowMicros();
     conn.pending.pop_front();
     conn.busy = true;
     {
@@ -399,6 +423,7 @@ void TcpServer::FlushConn(Conn& conn) {
     const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
                               conn.out.size() - conn.out_pos);
     if (n > 0) {
+      bytes_out_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
       conn.out_pos += static_cast<size_t>(n);
       continue;
     }
@@ -425,6 +450,12 @@ void TcpServer::UpdateInterest(Conn& conn) {
   if (!conn.draining && backlog < kOutHighWater) want |= EPOLLIN;
   if (backlog > 0) want |= EPOLLOUT;
   if (want == conn.epoll_events) return;
+  if ((conn.epoll_events & EPOLLIN) != 0 && (want & EPOLLIN) == 0 &&
+      !conn.draining) {
+    // Reads were on and are being turned off by the high-water check
+    // alone: the peer is not draining its socket fast enough.
+    backpressure_events_.fetch_add(1, std::memory_order_relaxed);
+  }
   epoll_event ev{};
   ev.events = want;
   ev.data.u64 = conn.id;
@@ -435,6 +466,7 @@ void TcpServer::UpdateInterest(Conn& conn) {
 void TcpServer::CloseConn(Conn& conn) {
   (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
   ::close(conn.fd);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
   conns_.erase(conn.id);  // destroys `conn`
 }
 
@@ -444,11 +476,17 @@ void TcpServer::HandleCompletions() {
     std::lock_guard<std::mutex> lock(completion_mutex_);
     batch.swap(completions_);
   }
+  const bool metrics = obs::MetricsEnabled();
+  const int64_t now = NowMicros();
   for (Completion& done : batch) {
     const auto it = conns_.find(done.conn_id);
     if (it != conns_.end()) {
       Conn& conn = *it->second;
       conn.busy = false;
+      if (metrics && done.handoff_micros > 0) {
+        stage_hist_[static_cast<size_t>(obs::Stage::kWrite)].Record(
+            static_cast<double>(now - done.handoff_micros));
+      }
       conn.out.append(done.frame);
       if (done.shutdown) conn.close_after_flush = true;
       PumpConn(conn);
@@ -477,9 +515,20 @@ void TcpServer::EventWorkerLoop() {
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
 
+    // The per-request stage trace: installed thread-locally so the
+    // service and admission layers below record into it without plumbing.
+    const bool metrics = obs::MetricsEnabled();
+    obs::StageTrace trace;
+    obs::StageTrace::Scope scope(metrics ? &trace : nullptr);
+    const int64_t t_start = NowMicros();
+    trace.Add(obs::Stage::kQueueWait,
+              static_cast<double>(t_start - item.enqueue_micros));
+
     wire::Response response;
     bool shutdown = false;
     auto request = wire::DecodeRequest(item.payload);
+    trace.Add(obs::Stage::kParse, static_cast<double>(NowMicros() - t_start));
+    CountFrame(request);
     if (!request.ok()) {
       response.status = request.status();
     } else {
@@ -492,14 +541,71 @@ void TcpServer::EventWorkerLoop() {
 
     Completion done;
     done.conn_id = item.conn_id;
+    const int64_t t_encode = NowMicros();
     AppendFrame(done.frame, wire::EncodeResponse(response));
     done.shutdown = shutdown;
+    const int64_t t_done = NowMicros();
+    trace.Add(obs::Stage::kEncode, static_cast<double>(t_done - t_encode));
+    done.handoff_micros = t_done;
+
+    if (metrics) {
+      // kWrite is recorded by the I/O thread from handoff_micros; every
+      // other stage the worker observed lands here.
+      for (size_t i = 0; i < obs::kStageCount; ++i) {
+        const double micros = trace.micros(static_cast<obs::Stage>(i));
+        if (micros > 0) stage_hist_[i].Record(micros);
+      }
+    }
+    MaybeLogSlowRequest(item, trace, t_done);
+
     {
       std::lock_guard<std::mutex> lock(completion_mutex_);
       completions_.push_back(std::move(done));
     }
     WakeIo();
   }
+}
+
+void TcpServer::CountFrame(const util::StatusOr<wire::Request>& request) {
+  if (!request.ok()) {
+    frames_other_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  switch (request->type) {
+    case wire::MessageType::kEstimate:
+      frames_estimate_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case wire::MessageType::kBatchEstimate:
+      frames_batch_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      frames_other_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void TcpServer::MaybeLogSlowRequest(const WorkItem& item,
+                                    const obs::StageTrace& trace,
+                                    int64_t done_micros) {
+  if (options_.slow_request_millis <= 0 || item.enqueue_micros <= 0) return;
+  const int64_t total_micros = done_micros - item.enqueue_micros;
+  if (total_micros <
+      static_cast<int64_t>(options_.slow_request_millis) * 1000) {
+    return;
+  }
+  // Rate-limit to ~1 line/second: a saturated server producing only slow
+  // requests must not also saturate its own stderr.
+  int64_t last = last_slow_log_micros_.load(std::memory_order_relaxed);
+  if (done_micros - last < 1000000 ||
+      !last_slow_log_micros_.compare_exchange_strong(
+          last, done_micros, std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr,
+               "[cegraph_serve] slow request: %.1f ms (conn %llu): %s\n",
+               static_cast<double>(total_micros) / 1000.0,
+               static_cast<unsigned long long>(item.conn_id),
+               trace.Format().c_str());
 }
 
 void TcpServer::WakeIo() {
@@ -537,7 +643,7 @@ void TcpServer::AcceptLoop() {
       }
     }
     if (reject) {
-      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      shed_queue_cap_.fetch_add(1, std::memory_order_relaxed);
       (void)wire::WriteFrame(
           fd, EncodeOverloadReject(
                   "server accept queue full (" +
@@ -561,7 +667,9 @@ void TcpServer::WorkerLoop() {
       queue_.pop_front();
       active_.insert(fd);
     }
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
     ServeConnection(fd);
+    connections_active_.fetch_sub(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       active_.erase(fd);
@@ -586,15 +694,19 @@ void TcpServer::ServeConnection(int fd) {
       return;
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_.fetch_add(payload->size() + 4, std::memory_order_relaxed);
 
     wire::Response response;
     auto request = wire::DecodeRequest(*payload);
+    CountFrame(request);
     if (!request.ok()) {
       response.status = request.status();
     } else {
       response = Dispatch(*request);
     }
-    if (!wire::WriteFrame(fd, wire::EncodeResponse(response)).ok()) return;
+    const std::string encoded = wire::EncodeResponse(response);
+    if (!wire::WriteFrame(fd, encoded).ok()) return;
+    bytes_out_.fetch_add(encoded.size() + 4, std::memory_order_relaxed);
 
     // Only an *accepted* shutdown drains the server (a dataset-qualified
     // one was answered with an error frame above and must not).
@@ -694,9 +806,16 @@ wire::Response TcpServer::Dispatch(const wire::Request& request) {
       }
       break;
     }
-    case wire::MessageType::kStats:
-      response.stats = service->Stats();
+    case wire::MessageType::kStats: {
+      ServiceStats stats = service->Stats();
+      // "v4" in the request text is the client's opt-in to the trailing
+      // observability extension; older clients leave it empty and get a
+      // byte-identical v3 response.
+      if (request.text == "v4") stats.v4_wire = true;
+      FillServerCounters(stats);
+      response.stats = std::move(stats);
       break;
+    }
     case wire::MessageType::kPing:
       response.text = request.text.empty() ? "pong" : request.text;
       break;
@@ -705,6 +824,73 @@ wire::Response TcpServer::Dispatch(const wire::Request& request) {
       break;
   }
   return response;
+}
+
+void TcpServer::FillServerCounters(ServiceStats& stats) const {
+  auto& s = stats.server;
+  s.present = true;
+  s.connections_accepted = connections_.load(std::memory_order_relaxed);
+  s.connections_active = connections_active_.load(std::memory_order_relaxed);
+  s.shed_connection_cap = shed_connection_cap();
+  s.shed_pipeline_cap = shed_pipeline_cap();
+  s.shed_queue_cap = shed_queue_cap();
+  s.backpressure_events = backpressure_events();
+  s.bytes_in = bytes_in();
+  s.bytes_out = bytes_out();
+  s.frames_estimate = frames_estimate_.load(std::memory_order_relaxed);
+  s.frames_batch = frames_batch_.load(std::memory_order_relaxed);
+  s.frames_other = frames_other_.load(std::memory_order_relaxed);
+}
+
+void TcpServer::RegisterMetrics() {
+  const std::string label =
+      "listen=\"" + options_.host + ":" + std::to_string(port_) + "\"";
+  metrics_collector_id_ = obs::MetricsRegistry::Global().AddCollector(
+      [this, label](obs::PromWriter& w) {
+        w.WriteCounter("cegraph_server_connections_accepted_total", label,
+                       connections_.load(std::memory_order_relaxed));
+        w.WriteGauge(
+            "cegraph_server_connections_active", label,
+            static_cast<double>(
+                connections_active_.load(std::memory_order_relaxed)));
+        w.WriteCounter("cegraph_server_requests_total", label,
+                       requests_.load(std::memory_order_relaxed));
+        w.WriteCounter("cegraph_server_shed_total",
+                       label + ",reason=\"connection_cap\"",
+                       shed_connection_cap());
+        w.WriteCounter("cegraph_server_shed_total",
+                       label + ",reason=\"pipeline_cap\"",
+                       shed_pipeline_cap());
+        w.WriteCounter("cegraph_server_shed_total",
+                       label + ",reason=\"queue_cap\"", shed_queue_cap());
+        w.WriteCounter("cegraph_server_backpressure_events_total", label,
+                       backpressure_events());
+        w.WriteCounter("cegraph_server_bytes_in_total", label, bytes_in());
+        w.WriteCounter("cegraph_server_bytes_out_total", label, bytes_out());
+        w.WriteCounter("cegraph_server_frames_total",
+                       label + ",type=\"estimate\"",
+                       frames_estimate_.load(std::memory_order_relaxed));
+        w.WriteCounter("cegraph_server_frames_total",
+                       label + ",type=\"batch\"",
+                       frames_batch_.load(std::memory_order_relaxed));
+        w.WriteCounter("cegraph_server_frames_total",
+                       label + ",type=\"other\"",
+                       frames_other_.load(std::memory_order_relaxed));
+        size_t depth = 0;
+        {
+          std::lock_guard<std::mutex> lock(work_mutex_);
+          depth = work_.size();
+        }
+        w.WriteGauge("cegraph_server_worker_queue_depth", label,
+                     static_cast<double>(depth));
+        for (size_t i = 0; i < obs::kStageCount; ++i) {
+          w.WriteHistogram(
+              "cegraph_server_stage_micros",
+              label + ",stage=\"" +
+                  obs::StageName(static_cast<obs::Stage>(i)) + "\"",
+              stage_hist_[i].Snapshot());
+        }
+      });
 }
 
 }  // namespace cegraph::service

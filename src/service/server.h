@@ -1,6 +1,7 @@
 #ifndef CEGRAPH_SERVICE_SERVER_H_
 #define CEGRAPH_SERVICE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -13,6 +14,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/stage_trace.h"
 #include "service/catalog.h"
 #include "service/service.h"
 #include "service/wire.h"
@@ -61,6 +64,12 @@ struct ServerOptions {
   /// connection is answered with a retryable RESOURCE_EXHAUSTED error
   /// frame and closed. <= 0 = unbounded.
   int max_queued_connections = 1024;
+
+  /// kEventLoop: requests slower than this (queue wait through handoff,
+  /// as seen by the worker) are logged to stderr with their per-stage
+  /// breakdown, rate-limited to about one line per second so a saturated
+  /// server cannot flood its own log. <= 0 disables the slow log.
+  int slow_request_millis = 0;
 };
 
 /// The request dispatcher of `cegraph_serve`, reusable in-process
@@ -112,14 +121,44 @@ class TcpServer {
     return requests_.load(std::memory_order_relaxed);
   }
   /// Connections or pipelined frames refused with a retryable error frame
-  /// (connection cap, pipeline cap, or the legacy queue cap).
+  /// — the sum of the three per-bound shed counters below.
   uint64_t overload_rejections() const {
-    return overload_rejections_.load(std::memory_order_relaxed);
+    return shed_connection_cap() + shed_pipeline_cap() + shed_queue_cap();
+  }
+  /// Accepts refused at the kEventLoop --max-connections bound.
+  uint64_t shed_connection_cap() const {
+    return shed_connection_cap_.load(std::memory_order_relaxed);
+  }
+  /// Pipelined frames refused at the per-connection pipeline depth.
+  uint64_t shed_pipeline_cap() const {
+    return shed_pipeline_cap_.load(std::memory_order_relaxed);
+  }
+  /// Legacy accept-queue refusals (kThreadPerConnection only).
+  uint64_t shed_queue_cap() const {
+    return shed_queue_cap_.load(std::memory_order_relaxed);
+  }
+  /// Times a connection's out-buffer crossed the high-water mark and the
+  /// I/O thread stopped reading it (backpressure engaged).
+  uint64_t backpressure_events() const {
+    return backpressure_events_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_in() const {
+    return bytes_in_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_out() const {
+    return bytes_out_.load(std::memory_order_relaxed);
   }
 
  private:
   // ---- shared ----
   wire::Response Dispatch(const wire::Request& request);
+  /// Stamps this server's counters into a stats response (Dispatch's
+  /// kStats path; `present` marks them valid for the wire encoder).
+  void FillServerCounters(ServiceStats& stats) const;
+  /// Counts one decoded request frame by type.
+  void CountFrame(const util::StatusOr<wire::Request>& request);
+  /// Registers / removes the server's Prometheus collector.
+  void RegisterMetrics();
   void NotifyShutdownRequested();
   /// The pre-encoded retryable refusal payload for overload rejections.
   std::string EncodeOverloadReject(const std::string& what);
@@ -157,13 +196,20 @@ class TcpServer {
   struct WorkItem {
     uint64_t conn_id = 0;
     std::string payload;
+    int64_t enqueue_micros = 0;  ///< queued-for-workers timestamp
   };
   /// An encoded response frame travelling worker -> I/O thread.
   struct Completion {
     uint64_t conn_id = 0;
     std::string frame;  ///< length prefix + payload, ready for the socket
     bool shutdown = false;
+    int64_t handoff_micros = 0;  ///< worker pushed it; kWrite = until queued
   };
+
+  /// Emits the rate-limited slow-request stderr line when the request
+  /// exceeded options_.slow_request_millis.
+  void MaybeLogSlowRequest(const WorkItem& item, const obs::StageTrace& trace,
+                           int64_t done_micros);
 
   void IoLoop();
   void EventWorkerLoop();
@@ -227,7 +273,25 @@ class TcpServer {
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> overload_rejections_{0};
+
+  // Observability counters (all relaxed; see the accessor docs).
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> shed_connection_cap_{0};
+  std::atomic<uint64_t> shed_pipeline_cap_{0};
+  std::atomic<uint64_t> shed_queue_cap_{0};
+  std::atomic<uint64_t> backpressure_events_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> frames_estimate_{0};
+  std::atomic<uint64_t> frames_batch_{0};
+  std::atomic<uint64_t> frames_other_{0};
+  /// Per-stage latency distributions across every event-loop request
+  /// (indexed by obs::Stage). Recorded only when obs::MetricsEnabled().
+  std::array<obs::Histogram, obs::kStageCount> stage_hist_;
+  /// Slow-log rate limiting: micros timestamp of the last emitted line.
+  std::atomic<int64_t> last_slow_log_micros_{0};
+  /// Collector handle in MetricsRegistry::Global() (0 = not registered).
+  uint64_t metrics_collector_id_ = 0;
 };
 
 }  // namespace cegraph::service

@@ -1,10 +1,12 @@
 #include "service/service.h"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "engine/snapshot.h"
 #include "harness/qerror.h"
+#include "obs/stage_trace.h"
 
 namespace cegraph::service {
 
@@ -65,9 +67,13 @@ util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
     context->Prewarm(service->options_.prewarm_workload);
   }
 
+  if (service->last_load_.loaded) {
+    service->snapshot_loads_.fetch_add(1, std::memory_order_relaxed);
+  }
   auto state = service->MakeState(std::move(context), 0);
   if (!state.ok()) return state.status();
   service->state_.store(std::move(*state), std::memory_order_release);
+  service->RegisterMetrics();
 
   if (service->options_.compact_trigger_ops > 0) {
     service->maintainer_ = std::thread([raw = service.get()] {
@@ -91,6 +97,9 @@ EstimationService::EstimationService(
       accounting_(options_.estimators.size()) {}
 
 EstimationService::~EstimationService() {
+  if (metrics_collector_id_ != 0) {
+    obs::MetricsRegistry::Global().RemoveCollector(metrics_collector_id_);
+  }
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     stopping_ = true;
@@ -129,8 +138,13 @@ void EstimationService::Publish(std::shared_ptr<const ServingState> state) {
 
 util::StatusOr<EstimateResponse> EstimationService::Estimate(
     const EstimateRequest& request) const {
+  obs::StageTrace* trace = obs::StageTrace::Current();
+  const double a0 = trace != nullptr ? NowMicros() : 0;
   AdmissionController::Ticket ticket =
       admission_.TryAdmit(RequestWeight(request.query));
+  if (trace != nullptr) {
+    trace->Add(obs::Stage::kAdmission, NowMicros() - a0);
+  }
   if (!ticket) {
     return util::ResourceExhaustedError(
         "service saturated (" + std::to_string(admission_.capacity()) +
@@ -140,7 +154,11 @@ util::StatusOr<EstimateResponse> EstimationService::Estimate(
   // The whole request runs against this one state: same graph, same
   // statistics, same estimator instances, one epoch. The shared_ptr keeps
   // it alive even if the maintainer publishes successors mid-request.
+  const double s0 = trace != nullptr ? NowMicros() : 0;
   const std::shared_ptr<const ServingState> state = AcquireState();
+  if (trace != nullptr) {
+    trace->Add(obs::Stage::kAcquireState, NowMicros() - s0);
+  }
   return EstimateOnState(*state, request);
 }
 
@@ -184,21 +202,33 @@ util::StatusOr<EstimateResponse> EstimationService::EstimateOnState(
     response.results.push_back(std::move(result));
   }
   response.total_micros = NowMicros() - t0;
+  if (obs::StageTrace* trace = obs::StageTrace::Current()) {
+    trace->Add(obs::Stage::kEstimate, response.total_micros);
+  }
 
+  const bool metrics = obs::MetricsEnabled();
   served_.fetch_add(1, std::memory_order_relaxed);
   latency_micros_total_.fetch_add(
       static_cast<uint64_t>(response.total_micros),
       std::memory_order_relaxed);
+  if (metrics) request_latency_hist_.Record(response.total_micros);
   for (size_t i = 0; i < response.results.size(); ++i) {
     EstimatorAccum& accum = accounting_[i];
     const EstimatorResult& result = response.results[i];
     accum.requests.fetch_add(1, std::memory_order_relaxed);
     accum.micros.fetch_add(result.micros, std::memory_order_relaxed);
+    if (metrics) accum.latency_hist.Record(result.micros);
     if (!result.ok) {
       accum.failures.fetch_add(1, std::memory_order_relaxed);
-    } else if (response.has_truth) {
+    } else if (response.has_truth && std::isfinite(result.qerror) &&
+               result.qerror > 0) {
+      // Only usable samples reach the aggregate: harness::QError returns
+      // +inf for a zero estimate against nonzero truth and NaN for
+      // nonpositive truth — one such request must not poison the mean
+      // (or the histogram) forever.
       accum.truth_requests.fetch_add(1, std::memory_order_relaxed);
       accum.qerror_sum.fetch_add(result.qerror, std::memory_order_relaxed);
+      if (metrics) accum.qerror_hist.Record(result.qerror);
     }
   }
   return response;
@@ -255,11 +285,19 @@ EstimationService::EstimateBatch(
   }
   // The frame is admitted (or shed) as one unit, priced by everything it
   // carries — a rejected batch costs the service nothing.
+  obs::StageTrace* trace = obs::StageTrace::Current();
+  const double a0 = trace != nullptr ? NowMicros() : 0;
   AdmissionController::Ticket ticket = admission_.TryAdmit(weight);
+  if (trace != nullptr) {
+    trace->Add(obs::Stage::kAdmission, NowMicros() - a0);
+  }
   if (!ticket) {
     return util::ResourceExhaustedError(
         "service saturated (" + std::to_string(admission_.capacity()) +
         " weight units in flight); retry the batch");
+  }
+  if (obs::MetricsEnabled()) {
+    batch_lines_hist_.Record(static_cast<double>(lines.size()));
   }
   std::vector<const EstimateRequest*> pointers(parsed.size(), nullptr);
   std::vector<util::Status> errors(parsed.size());
@@ -288,6 +326,9 @@ EstimationService::EstimateBatch(
     return util::ResourceExhaustedError(
         "service saturated (" + std::to_string(admission_.capacity()) +
         " weight units in flight); retry the batch");
+  }
+  if (obs::MetricsEnabled()) {
+    batch_lines_hist_.Record(static_cast<double>(requests.size()));
   }
   std::vector<util::Status> errors(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -348,8 +389,12 @@ util::StatusOr<SwapReport> EstimationService::ApplyBatchLocked(
 
   SwapReport report;
   report.applied_ops = batch.size();
+  const double f0 = NowMicros();
   auto fork = current->engine->context().ForkWithDeltas(
       batch, &report.maintenance);
+  if (obs::MetricsEnabled()) {
+    fold_millis_hist_.Record((NowMicros() - f0) / 1000.0);
+  }
   if (!fork.ok()) return fork.status();
   report.trimmed_log_ops = TrimForRetention(**fork);
 
@@ -388,6 +433,7 @@ util::StatusOr<SwapReport> EstimationService::HotSwapSnapshot(
   report.snapshot_stale = load_report.stale;
   report.snapshot_replayed_deltas += load_report.replayed_deltas;
   report.snapshot_load = BreakdownOf(load_report);
+  snapshot_loads_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(load_mutex_);
     last_load_ = report.snapshot_load;
@@ -467,13 +513,101 @@ ServiceStats EstimationService::Stats() const {
           accounting_[i].qerror_sum.load(std::memory_order_relaxed) /
           static_cast<double>(truth_requests);
     }
+    out.latency = accounting_[i].latency_hist.Snapshot().Summary();
+    out.qerror = accounting_[i].qerror_hist.Snapshot().Summary();
     stats.estimators.push_back(std::move(out));
+  }
+  stats.latency = request_latency_hist_.Snapshot().Summary();
+  stats.batch_lines = batch_lines_hist_.Snapshot().Summary();
+  stats.fold_millis = fold_millis_hist_.Snapshot().Summary();
+  stats.admitted_weight = admission_.admitted_weight();
+  stats.rejected_weight = admission_.rejected_weight();
+  stats.snapshot_loads = snapshot_loads_.load(std::memory_order_relaxed);
+  for (const auto& cache : state->engine->context().CollectCacheStats()) {
+    ServiceStats::CacheRow row;
+    row.name = cache.name;
+    row.entries = cache.entries;
+    row.hits = cache.counters.hits;
+    row.misses = cache.counters.misses;
+    row.evictions = cache.counters.evictions;
+    stats.caches.push_back(std::move(row));
   }
   {
     std::lock_guard<std::mutex> lock(load_mutex_);
     stats.snapshot_load = last_load_;
   }
   return stats;
+}
+
+void EstimationService::RegisterMetrics() {
+  const std::string dataset_label =
+      options_.metrics_label.empty()
+          ? std::string()
+          : "dataset=\"" + options_.metrics_label + "\"";
+  metrics_collector_id_ = obs::MetricsRegistry::Global().AddCollector(
+      [this, dataset_label](obs::PromWriter& w) {
+        const std::string& l = dataset_label;
+        const std::string sep = l.empty() ? "" : ",";
+        w.WriteCounter("cegraph_requests_served_total", l, served_.load());
+        w.WriteCounter("cegraph_request_errors_total", l,
+                       request_errors_.load());
+        w.WriteCounter("cegraph_admission_rejected_total", l,
+                       admission_.rejected());
+        w.WriteCounter("cegraph_admitted_weight_units_total", l,
+                       admission_.admitted_weight());
+        w.WriteCounter("cegraph_rejected_weight_units_total", l,
+                       admission_.rejected_weight());
+        w.WriteGauge("cegraph_in_flight_weight", l,
+                     static_cast<double>(admission_.in_flight()));
+        w.WriteCounter("cegraph_swaps_total", l, swaps_.load());
+        w.WriteHistogram("cegraph_request_latency_micros", l,
+                         request_latency_hist_.Snapshot());
+        w.WriteHistogram("cegraph_batch_lines", l,
+                         batch_lines_hist_.Snapshot());
+        w.WriteHistogram("cegraph_fold_millis", l,
+                         fold_millis_hist_.Snapshot());
+        const auto state = AcquireState();
+        w.WriteGauge("cegraph_serving_epoch", l,
+                     static_cast<double>(state->epoch));
+        w.WriteGauge("cegraph_serving_version", l,
+                     static_cast<double>(state->version));
+        {
+          std::lock_guard<std::mutex> lock(pending_mutex_);
+          w.WriteGauge("cegraph_pending_delta_ops", l,
+                       static_cast<double>(pending_.size()));
+        }
+        w.WriteCounter("cegraph_snapshot_loads_total", l,
+                       snapshot_loads_.load());
+        {
+          std::lock_guard<std::mutex> lock(load_mutex_);
+          w.WriteGauge("cegraph_snapshot_load_map_millis", l,
+                       last_load_.map_millis);
+          w.WriteGauge("cegraph_snapshot_load_parse_millis", l,
+                       last_load_.parse_millis);
+          w.WriteGauge("cegraph_snapshot_load_mapped_bytes", l,
+                       static_cast<double>(last_load_.mapped_bytes));
+        }
+        for (size_t i = 0; i < accounting_.size(); ++i) {
+          const std::string el =
+              l + sep + "estimator=\"" + options_.estimators[i] + "\"";
+          w.WriteHistogram("cegraph_estimator_latency_micros", el,
+                           accounting_[i].latency_hist.Snapshot());
+          w.WriteHistogram("cegraph_estimator_qerror", el,
+                           accounting_[i].qerror_hist.Snapshot());
+          w.WriteCounter("cegraph_estimator_failures_total", el,
+                         accounting_[i].failures.load());
+        }
+        for (const auto& cache : state->engine->context().CollectCacheStats()) {
+          const std::string cl = l + sep + "cache=\"" + cache.name + "\"";
+          w.WriteGauge("cegraph_cache_entries", cl,
+                       static_cast<double>(cache.entries));
+          w.WriteCounter("cegraph_cache_hits_total", cl, cache.counters.hits);
+          w.WriteCounter("cegraph_cache_misses_total", cl,
+                         cache.counters.misses);
+          w.WriteCounter("cegraph_cache_evictions_total", cl,
+                         cache.counters.evictions);
+        }
+      });
 }
 
 }  // namespace cegraph::service

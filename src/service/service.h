@@ -15,6 +15,7 @@
 #include "dynamic/stats_maintainer.h"
 #include "engine/engine.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "service/admission.h"
 #include "service/request.h"
 #include "util/status.h"
@@ -64,6 +65,11 @@ struct ServiceOptions {
   /// may describe a later epoch of the base graph — its embedded delta
   /// log is replayed, exactly like `cegraph_stats` consumers do.
   std::string initial_snapshot;
+  /// Label stamped as `dataset="..."` on every Prometheus series this
+  /// service exports (the catalog sets it to the dataset name). Empty =
+  /// unlabeled series; the service still registers with the global
+  /// MetricsRegistry either way.
+  std::string metrics_label;
 };
 
 /// Breakdown of the snapshot load behind a state: how the artifact was
@@ -114,14 +120,59 @@ struct ServiceStats {
     uint64_t requests = 0;
     uint64_t failures = 0;
     double mean_micros = 0;
-    /// Mean q-error over requests that carried ground truth (and
-    /// succeeded); 0 when none did.
+    /// Mean q-error over requests that carried ground truth and produced
+    /// a usable sample (finite, positive); 0 when none did. Failed or
+    /// degenerate estimates (0 / inf / NaN q-error) are excluded — an
+    /// error must not skew the aggregate.
     double mean_qerror = 0;
+    /// Distribution readouts (v4 wire extension / Prometheus). Zero when
+    /// the metrics layer is disabled.
+    obs::QuantileSummary latency;  ///< per-call micros
+    obs::QuantileSummary qerror;   ///< truth-carrying successes only
   };
   std::vector<EstimatorAccounting> estimators;
   /// The most recent snapshot load (Create's initial load or the latest
   /// HotSwapSnapshot); `loaded` false when the service never loaded one.
   SnapshotLoadBreakdown snapshot_load;
+
+  // --- v4 observability extension (docs/wire_protocol.md §v4) ---
+  /// True when this stats object carries (or should carry, on encode)
+  /// the v4 trailing extension. Decoders set it when the extension was
+  /// present; the server sets it when the client opted in.
+  bool v4_wire = false;
+  obs::QuantileSummary latency;     ///< request latency micros
+  obs::QuantileSummary batch_lines; ///< lines per v3 batch frame
+  obs::QuantileSummary fold_millis; ///< delta fold / compaction durations
+  uint64_t admitted_weight = 0;     ///< capacity units granted
+  uint64_t rejected_weight = 0;     ///< capacity units refused
+  uint64_t snapshot_loads = 0;      ///< successful snapshot loads
+  /// Statistics-cache residency and hit/miss/evict counters of the
+  /// current serving state (CegCache + every KeyedCache).
+  struct CacheRow {
+    std::string name;
+    uint64_t entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  std::vector<CacheRow> caches;
+  /// TCP-server-level counters, injected by the server when answering a
+  /// stats frame (`present` false for the embedded in-process service).
+  struct ServerCounters {
+    bool present = false;
+    uint64_t connections_accepted = 0;
+    uint64_t connections_active = 0;
+    uint64_t shed_connection_cap = 0;  ///< rejections at --max-connections
+    uint64_t shed_pipeline_cap = 0;    ///< rejections at the pipeline depth
+    uint64_t shed_queue_cap = 0;       ///< legacy accept-queue rejections
+    uint64_t backpressure_events = 0;  ///< out-buffer high-water crossings
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    uint64_t frames_estimate = 0;
+    uint64_t frames_batch = 0;
+    uint64_t frames_other = 0;
+  };
+  ServerCounters server;
 };
 
 /// A long-lived, concurrently readable estimation server over one base
@@ -246,6 +297,10 @@ class EstimationService {
   /// Publishes and bumps the swap counter.
   void Publish(std::shared_ptr<const ServingState> state);
 
+  /// Registers this service's Prometheus collector with the global
+  /// registry (labeled by options_.metrics_label).
+  void RegisterMetrics();
+
   /// Maintainer body for one pending batch. Caller holds maintenance_mutex_.
   util::StatusOr<SwapReport> ApplyBatchLocked(
       std::vector<dynamic::EdgeDelta> batch);
@@ -286,10 +341,25 @@ class EstimationService {
     std::atomic<double> micros{0};
     std::atomic<uint64_t> truth_requests{0};
     std::atomic<double> qerror_sum{0};
+    /// Distribution counterparts of the means above; recorded only when
+    /// obs::MetricsEnabled() (the histograms are the new per-request
+    /// cost the overhead gate bounds).
+    obs::Histogram latency_hist;
+    obs::Histogram qerror_hist;
   };
   /// Sized once at construction (vector growth would need moves, which
   /// atomics forbid).
   mutable std::vector<EstimatorAccum> accounting_;
+
+  /// Request-level distributions (see EstimatorAccum note on gating).
+  mutable obs::Histogram request_latency_hist_;
+  mutable obs::Histogram batch_lines_hist_;
+  obs::Histogram fold_millis_hist_;
+  std::atomic<uint64_t> snapshot_loads_{0};
+  /// Handle of this service's collector in MetricsRegistry::Global()
+  /// (0 = not registered). Registered at the end of Create, removed
+  /// first thing in the destructor.
+  uint64_t metrics_collector_id_ = 0;
 };
 
 }  // namespace cegraph::service

@@ -277,6 +277,165 @@ util::StatusOr<ServiceStats> DecodeStats(Reader& r) {
   return stats;
 }
 
+// ---- v4 stats extension ----------------------------------------------------
+//
+// The extension travels as one trailing *string* after the optional v2
+// dataset echo, so every pre-v4 field keeps its byte layout. Its content
+// is the magic FF 43 47 34, u8 ext version, then the observability block
+// (quantile summaries are u64 count + five f64s). Bytes beyond the v1
+// block inside the string are ignored — a future ext version can append
+// without breaking this decoder.
+
+constexpr char kStatsExtMagic[4] = {'\xff', 'C', 'G', '4'};
+
+bool IsStatsExt(std::string_view s) {
+  return s.size() >= sizeof(kStatsExtMagic) &&
+         std::memcmp(s.data(), kStatsExtMagic, sizeof(kStatsExtMagic)) == 0;
+}
+
+void EncodeSummary(Writer& w, const obs::QuantileSummary& s) {
+  w.WriteU64(s.count);
+  w.WriteDouble(s.mean);
+  w.WriteDouble(s.p50);
+  w.WriteDouble(s.p90);
+  w.WriteDouble(s.p99);
+  w.WriteDouble(s.max);
+}
+
+util::StatusOr<obs::QuantileSummary> DecodeSummary(Reader& r) {
+  obs::QuantileSummary s;
+  auto count = r.ReadU64();
+  if (!count.ok()) return count.status();
+  s.count = *count;
+  for (double* field : {&s.mean, &s.p50, &s.p90, &s.p99, &s.max}) {
+    auto value = r.ReadDouble();
+    if (!value.ok()) return value.status();
+    *field = *value;
+  }
+  return s;
+}
+
+std::string EncodeStatsExt(const ServiceStats& stats) {
+  Writer w;
+  w.WriteRaw(std::string_view(kStatsExtMagic, sizeof(kStatsExtMagic)));
+  w.WriteU8(1);  // ext version
+  EncodeSummary(w, stats.latency);
+  EncodeSummary(w, stats.batch_lines);
+  EncodeSummary(w, stats.fold_millis);
+  w.WriteU64(stats.admitted_weight);
+  w.WriteU64(stats.rejected_weight);
+  w.WriteU64(stats.snapshot_loads);
+  w.WriteU8(stats.server.present ? 1 : 0);
+  w.WriteU64(stats.server.connections_accepted);
+  w.WriteU64(stats.server.connections_active);
+  w.WriteU64(stats.server.shed_connection_cap);
+  w.WriteU64(stats.server.shed_pipeline_cap);
+  w.WriteU64(stats.server.shed_queue_cap);
+  w.WriteU64(stats.server.backpressure_events);
+  w.WriteU64(stats.server.bytes_in);
+  w.WriteU64(stats.server.bytes_out);
+  w.WriteU64(stats.server.frames_estimate);
+  w.WriteU64(stats.server.frames_batch);
+  w.WriteU64(stats.server.frames_other);
+  w.WriteU32(static_cast<uint32_t>(stats.caches.size()));
+  for (const ServiceStats::CacheRow& cache : stats.caches) {
+    w.WriteString(cache.name);
+    w.WriteU64(cache.entries);
+    w.WriteU64(cache.hits);
+    w.WriteU64(cache.misses);
+    w.WriteU64(cache.evictions);
+  }
+  // Per-estimator summaries ride index-aligned with the v3 estimator
+  // list — no names repeated.
+  w.WriteU32(static_cast<uint32_t>(stats.estimators.size()));
+  for (const ServiceStats::EstimatorAccounting& e : stats.estimators) {
+    EncodeSummary(w, e.latency);
+    EncodeSummary(w, e.qerror);
+  }
+  return w.TakeBuffer();
+}
+
+util::Status DecodeStatsExt(std::string_view ext, ServiceStats& stats) {
+  Reader r(ext.substr(sizeof(kStatsExtMagic)));
+  auto version = r.ReadU8();
+  if (!version.ok()) return version.status();
+  if (*version < 1) {
+    return util::InvalidArgumentError("bad stats extension version " +
+                                      std::to_string(*version));
+  }
+  auto latency = DecodeSummary(r);
+  if (!latency.ok()) return latency.status();
+  stats.latency = *latency;
+  auto batch_lines = DecodeSummary(r);
+  if (!batch_lines.ok()) return batch_lines.status();
+  stats.batch_lines = *batch_lines;
+  auto fold_millis = DecodeSummary(r);
+  if (!fold_millis.ok()) return fold_millis.status();
+  stats.fold_millis = *fold_millis;
+  auto admitted = r.ReadU64();
+  if (!admitted.ok()) return admitted.status();
+  stats.admitted_weight = *admitted;
+  auto rejected = r.ReadU64();
+  if (!rejected.ok()) return rejected.status();
+  stats.rejected_weight = *rejected;
+  auto loads = r.ReadU64();
+  if (!loads.ok()) return loads.status();
+  stats.snapshot_loads = *loads;
+  auto present = r.ReadU8();
+  if (!present.ok()) return present.status();
+  stats.server.present = *present != 0;
+  for (uint64_t* field :
+       {&stats.server.connections_accepted, &stats.server.connections_active,
+        &stats.server.shed_connection_cap, &stats.server.shed_pipeline_cap,
+        &stats.server.shed_queue_cap, &stats.server.backpressure_events,
+        &stats.server.bytes_in, &stats.server.bytes_out,
+        &stats.server.frames_estimate, &stats.server.frames_batch,
+        &stats.server.frames_other}) {
+    auto value = r.ReadU64();
+    if (!value.ok()) return value.status();
+    *field = *value;
+  }
+  auto cache_count = r.ReadU32();
+  if (!cache_count.ok()) return cache_count.status();
+  if (*cache_count > r.remaining()) {
+    return util::InvalidArgumentError(
+        "cache row count exceeds stats extension");
+  }
+  stats.caches.reserve(*cache_count);
+  for (uint32_t i = 0; i < *cache_count; ++i) {
+    ServiceStats::CacheRow cache;
+    auto name = r.ReadString();
+    if (!name.ok()) return name.status();
+    cache.name = std::move(*name);
+    for (uint64_t* field : {&cache.entries, &cache.hits, &cache.misses,
+                            &cache.evictions}) {
+      auto value = r.ReadU64();
+      if (!value.ok()) return value.status();
+      *field = *value;
+    }
+    stats.caches.push_back(std::move(cache));
+  }
+  auto est_count = r.ReadU32();
+  if (!est_count.ok()) return est_count.status();
+  if (*est_count != stats.estimators.size()) {
+    // The summaries are index-aligned with the v3 estimator list; a
+    // mismatch means the frame was assembled inconsistently.
+    return util::InvalidArgumentError(
+        "stats extension estimator count mismatch");
+  }
+  for (uint32_t i = 0; i < *est_count; ++i) {
+    auto est_latency = DecodeSummary(r);
+    if (!est_latency.ok()) return est_latency.status();
+    stats.estimators[i].latency = *est_latency;
+    auto est_qerror = DecodeSummary(r);
+    if (!est_qerror.ok()) return est_qerror.status();
+    stats.estimators[i].qerror = *est_qerror;
+  }
+  // Trailing bytes inside the ext string are a future version's fields.
+  stats.v4_wire = true;
+  return util::Status::OK();
+}
+
 void EncodeBatch(Writer& w, const std::vector<BatchEstimateItem>& batch) {
   w.WriteU32(static_cast<uint32_t>(batch.size()));
   for (const BatchEstimateItem& item : batch) {
@@ -408,6 +567,12 @@ std::string EncodeResponse(const Response& response) {
   // v2 echo, encoded only when the server resolved an explicit dataset
   // (responses to v1 requests stay byte-identical to v1 frames).
   if (!response.dataset.empty()) w.WriteString(response.dataset);
+  // v4 opt-in: the trailing stats extension, only on OK stats responses
+  // whose request asked for it.
+  if (response.status.ok() && response.type == MessageType::kStats &&
+      response.stats.v4_wire) {
+    w.WriteString(EncodeStatsExt(response.stats));
+  }
   return w.TakeBuffer();
 }
 
@@ -464,7 +629,32 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
       auto stats = DecodeStats(r);
       if (!stats.ok()) return stats.status();
       response.stats = std::move(*stats);
-      break;
+      // A stats response may carry up to two trailing strings: the v2
+      // dataset echo and/or the v4 extension (which always starts with
+      // the 0xFF magic, impossible for a dataset name).
+      if (!r.AtEnd()) {
+        auto first = r.ReadString();
+        if (!first.ok()) return first.status();
+        if (IsStatsExt(*first)) {
+          CEGRAPH_RETURN_IF_ERROR(DecodeStatsExt(*first, response.stats));
+        } else {
+          response.dataset = std::move(*first);
+          if (!r.AtEnd()) {
+            auto second = r.ReadString();
+            if (!second.ok()) return second.status();
+            if (!IsStatsExt(*second)) {
+              return util::InvalidArgumentError(
+                  "trailing bytes in response frame");
+            }
+            CEGRAPH_RETURN_IF_ERROR(DecodeStatsExt(*second, response.stats));
+          }
+        }
+        if (!r.AtEnd()) {
+          return util::InvalidArgumentError(
+              "trailing bytes in response frame");
+        }
+      }
+      return response;
     }
     case MessageType::kPing:
     case MessageType::kShutdown: {

@@ -39,21 +39,37 @@ namespace cegraph::service::wire {
 /// same order, all priced into admission as a single unit and served from
 /// a single epoch — so an optimizer prices a whole join tree in one round
 /// trip. v1/v2 frames are untouched, byte for byte, in both directions.
+///
+/// Version 4 adds an *opt-in* observability extension to kStats
+/// responses: a client that sets the stats request's `text` to "v4" gets
+/// one extra trailing string after the optional dataset echo, starting
+/// with the magic bytes FF 43 47 34 ("\xFF" "CG4") and carrying quantile
+/// summaries (request latency, batch sizes, fold durations, per-estimator
+/// latency/q-error), admission weight counters, cache rows and the TCP
+/// server's counters. Clients that do not opt in — and every pre-v4
+/// frame — stay byte-identical to v3 in both directions; the magic byte
+/// 0xFF cannot start a dataset name, which is how the decoder tells the
+/// two trailing strings apart.
 
 /// Upper bound on one frame's payload; larger length prefixes are treated
 /// as corruption and fail the connection.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
 
 /// Protocol revision implemented by this build (documentation constant;
-/// frames themselves are versionless — v2/v3 are strict, self-delimiting
-/// extensions of v1, distinguished per frame by type and trailing field).
-inline constexpr uint32_t kProtocolVersion = 3;
+/// frames themselves are versionless — v2/v3/v4 are strict,
+/// self-delimiting extensions of v1, distinguished per frame by type and
+/// trailing fields).
+inline constexpr uint32_t kProtocolVersion = 4;
+
+/// The v4 stats-extension opt-in token: a kStats request whose `text`
+/// equals this receives the trailing observability extension.
+inline constexpr std::string_view kStatsV4Token = "v4";
 
 enum class MessageType : uint8_t {
   kEstimate = 1,      ///< text: one request line (service::ParseRequestLine)
   kApplyDeltas = 2,   ///< text: a delta feed (dynamic delta text format)
   kSwapSnapshot = 3,  ///< text: server-local snapshot path
-  kStats = 4,         ///< text unused
+  kStats = 4,         ///< text: "" (v3 reply) or "v4" (stats extension)
   kPing = 5,          ///< text echoed back
   kShutdown = 6,      ///< text unused; server drains and exits
   kBatchEstimate = 7, ///< v3: `lines` carries N estimate lines

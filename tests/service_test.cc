@@ -23,6 +23,7 @@
 #include "engine/snapshot.h"
 #include "graph/generators.h"
 #include "harness/service_driver.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 #include "query/workload.h"
 #include "service/admission.h"
@@ -1394,6 +1395,218 @@ TEST(TcpServerTest, LegacyDispatcherBoundsAcceptQueue) {
   ASSERT_TRUE(ping_b.ok()) << ping_b.status();
   EXPECT_EQ(ping_b->text, "b");
   ::close(*b);
+  server.Stop();
+}
+
+// --- Observability ----------------------------------------------------------
+
+TEST(ServiceTest, UnusableQErrorSamplesDoNotPoisonAggregates) {
+  obs::SetMetricsEnabled(true);
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+
+  ASSERT_TRUE((*service)->EstimateLine("t 100 (a)-[0]->(b)").ok());
+  const ServiceStats before = (*service)->Stats();
+  ASSERT_FALSE(before.estimators.empty());
+  EXPECT_TRUE(std::isfinite(before.estimators[0].mean_qerror));
+  EXPECT_GE(before.estimators[0].mean_qerror, 1.0);
+  const uint64_t samples_before = before.estimators[0].qerror.count;
+  EXPECT_GT(samples_before, 0u);
+
+  // truth == 0 parses, but no q-error is defined against it (the harness
+  // yields NaN): the request must count toward latency accounting while
+  // leaving the q-error mean and histogram untouched — one such line
+  // must not poison the aggregate forever.
+  auto zero_truth = (*service)->EstimateLine("t 0 (a)-[0]->(b)");
+  ASSERT_TRUE(zero_truth.ok()) << zero_truth.status();
+  EXPECT_TRUE(zero_truth->has_truth);
+
+  const ServiceStats after = (*service)->Stats();
+  EXPECT_TRUE(std::isfinite(after.estimators[0].mean_qerror));
+  EXPECT_EQ(after.estimators[0].mean_qerror,
+            before.estimators[0].mean_qerror);
+  EXPECT_EQ(after.estimators[0].qerror.count, samples_before);
+  EXPECT_EQ(after.estimators[0].requests,
+            before.estimators[0].requests + 1);
+}
+
+TEST(ServiceTest, StatsQuantileSummariesPopulatedAndOrdered) {
+  obs::SetMetricsEnabled(true);
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        (*service)->EstimateLine("t 50 (a)-[0]->(b); (b)-[1]->(c)").ok());
+  }
+
+  const ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.latency.count, 20u);
+  EXPECT_LE(stats.latency.p50, stats.latency.p90);
+  EXPECT_LE(stats.latency.p90, stats.latency.p99);
+  EXPECT_LE(stats.latency.p99, stats.latency.max);
+  for (const ServiceStats::EstimatorAccounting& e : stats.estimators) {
+    EXPECT_EQ(e.latency.count, e.requests) << e.name;
+    EXPECT_LE(e.qerror.count, e.requests) << e.name;
+    if (e.qerror.count > 0) {
+      // Q-errors are >= 1 by definition; the bucketed quantiles resolve
+      // to upper bounds and can only stay at or above that floor.
+      EXPECT_GE(e.qerror.p50, 1.0) << e.name;
+      EXPECT_LE(e.qerror.p50, e.qerror.max) << e.name;
+    }
+  }
+}
+
+TEST(ServiceTest, RegistersPrometheusCollector) {
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const size_t before = registry.collector_count();
+  {
+    ServiceOptions options = DeterministicOptions();
+    options.metrics_label = "obs_test_ds";
+    auto service = EstimationService::Create(SmallGraph(), options);
+    ASSERT_TRUE(service.ok()) << service.status();
+    EXPECT_EQ(registry.collector_count(), before + 1);
+    ASSERT_TRUE((*service)->EstimateLine("(a)-[0]->(b)").ok());
+
+    const std::string page = registry.RenderPrometheus();
+    EXPECT_NE(
+        page.find(
+            "cegraph_requests_served_total{dataset=\"obs_test_ds\"} 1"),
+        std::string::npos);
+    EXPECT_NE(page.find("cegraph_request_latency_micros_count"
+                        "{dataset=\"obs_test_ds\"} 1"),
+              std::string::npos);
+    EXPECT_NE(page.find("cegraph_estimator_latency_micros_bucket"),
+              std::string::npos);
+    EXPECT_NE(page.find("cegraph_cache_entries"), std::string::npos);
+  }
+  // The destructor must deregister — a dead collector on the global
+  // registry is a use-after-free on the next scrape.
+  EXPECT_EQ(registry.collector_count(), before);
+}
+
+TEST(TcpServerTest, StatsV4ExtensionOverLoopback) {
+  obs::SetMetricsEnabled(true);
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  ServerOptions server_options;
+  server_options.workers = 2;
+  TcpServer server(**service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  for (int i = 0; i < 5; ++i) {
+    auto estimate = wire::RoundTrip(
+        *fd, {wire::MessageType::kEstimate, "t 100 (a)-[0]->(b)"});
+    ASSERT_TRUE(estimate.ok()) << estimate.status();
+    ASSERT_TRUE(estimate->status.ok()) << estimate->status;
+  }
+
+  // A plain stats request gets the v3 reply — no extension, so old
+  // clients see byte-compatible frames.
+  auto v3 = wire::RoundTrip(*fd, {wire::MessageType::kStats, ""});
+  ASSERT_TRUE(v3.ok()) << v3.status();
+  ASSERT_TRUE(v3->status.ok()) << v3->status;
+  EXPECT_FALSE(v3->stats.v4_wire);
+  EXPECT_FALSE(v3->stats.server.present);
+  EXPECT_GE(v3->stats.served, 5u);
+
+  // Opting in via text == "v4" unlocks the full observability block.
+  auto v4 = wire::RoundTrip(
+      *fd,
+      {wire::MessageType::kStats, std::string(wire::kStatsV4Token)});
+  ASSERT_TRUE(v4.ok()) << v4.status();
+  ASSERT_TRUE(v4->status.ok()) << v4->status;
+  EXPECT_TRUE(v4->stats.v4_wire);
+  ASSERT_TRUE(v4->stats.server.present);
+  EXPECT_GE(v4->stats.server.connections_accepted, 1u);
+  EXPECT_GE(v4->stats.server.frames_estimate, 5u);
+  EXPECT_GT(v4->stats.server.bytes_in, 0u);
+  EXPECT_GT(v4->stats.server.bytes_out, 0u);
+  EXPECT_GE(v4->stats.latency.count, 5u);
+  EXPECT_GE(v4->stats.admitted_weight, 5u);
+  EXPECT_FALSE(v4->stats.caches.empty());
+  ASSERT_EQ(v4->stats.estimators.size(), 4u);
+  for (const ServiceStats::EstimatorAccounting& e : v4->stats.estimators) {
+    EXPECT_EQ(e.latency.count, e.requests) << e.name;
+    // Only estimators with usable truth samples carry q-error quantiles;
+    // when they do, the summary must agree with the v3 mean's presence.
+    if (e.mean_qerror > 0) EXPECT_GE(e.qerror.count, 1u) << e.name;
+  }
+
+  ::close(*fd);
+  server.Stop();
+}
+
+TEST(TcpServerTest, ShedCountersTravelInV4Stats) {
+  // Overflow the pipeline cap, then read the per-bound shed breakdown
+  // back through the wire: the v4 block must attribute the rejections to
+  // the pipeline bound, not lump them into one opaque total.
+  obs::SetMetricsEnabled(true);
+  auto service = EstimationService::Create(SmallGraph(),
+                                           DeterministicOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  ServerOptions server_options;
+  server_options.workers = 1;
+  server_options.max_pipelined_requests = 2;
+  TcpServer server(**service, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = wire::DialTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  // Blast 32 pings in one buffer and one write so they hit the parser in
+  // a single readiness callback; anything beyond the 2-frame pipeline
+  // window is shed with a RESOURCE_EXHAUSTED frame.
+  constexpr int kFrames = 32;
+  std::string burst;
+  for (int i = 0; i < kFrames; ++i) {
+    const std::string payload =
+        wire::EncodeRequest({wire::MessageType::kPing, "p"});
+    const uint32_t length = static_cast<uint32_t>(payload.size());
+    burst.push_back(static_cast<char>(length & 0xff));
+    burst.push_back(static_cast<char>((length >> 8) & 0xff));
+    burst.push_back(static_cast<char>((length >> 16) & 0xff));
+    burst.push_back(static_cast<char>((length >> 24) & 0xff));
+    burst += payload;
+  }
+  size_t written = 0;
+  while (written < burst.size()) {
+    const ssize_t rc =
+        ::write(*fd, burst.data() + written, burst.size() - written);
+    ASSERT_GT(rc, 0);
+    written += static_cast<size_t>(rc);
+  }
+  uint64_t shed_seen = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    auto payload = wire::ReadFrame(*fd, ServerOptions().max_frame_bytes);
+    ASSERT_TRUE(payload.ok()) << payload.status() << " at frame " << i;
+    auto response = wire::DecodeResponse(*payload);
+    ASSERT_TRUE(response.ok()) << response.status();
+    if (!response->status.ok()) {
+      EXPECT_EQ(response->status.code(),
+                util::StatusCode::kResourceExhausted);
+      ++shed_seen;
+    }
+  }
+  EXPECT_GT(shed_seen, 0u);
+  EXPECT_EQ(server.shed_pipeline_cap(), shed_seen);
+  EXPECT_EQ(server.overload_rejections(), shed_seen);
+
+  auto v4 = wire::RoundTrip(
+      *fd,
+      {wire::MessageType::kStats, std::string(wire::kStatsV4Token)});
+  ASSERT_TRUE(v4.ok()) << v4.status();
+  ASSERT_TRUE(v4->status.ok()) << v4->status;
+  ASSERT_TRUE(v4->stats.server.present);
+  EXPECT_EQ(v4->stats.server.shed_pipeline_cap, shed_seen);
+  EXPECT_EQ(v4->stats.server.shed_connection_cap, 0u);
+  EXPECT_EQ(v4->stats.server.shed_queue_cap, 0u);
+
+  ::close(*fd);
   server.Stop();
 }
 

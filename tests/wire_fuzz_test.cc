@@ -3,10 +3,11 @@
 // `dataset` field and the v3 batch frames included), and random byte
 // mutations of valid frames — or outright random bytes — must never crash
 // the decoders (they return a clean Status instead; ASan/UBSan in CI turns
-// any lurking UB into a failure). Golden-byte tests pin the v1/v2 layouts:
-// adding the v3 batch type must not shift a single byte of the frames old
-// clients and servers exchange. The seed is logged on every run so a
-// failure reproduces with CEGRAPH_FUZZ_SEED=<seed>.
+// any lurking UB into a failure). Golden-byte tests pin the v1/v2/v3
+// layouts: adding the v3 batch type (and later the v4 stats extension)
+// must not shift a single byte of the frames old clients and servers
+// exchange. The seed is logged on every run so a failure reproduces with
+// CEGRAPH_FUZZ_SEED=<seed>.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/request.h"
 #include "service/service.h"
 #include "service/wire.h"
@@ -100,6 +102,25 @@ EstimateResponse RandomEstimate(Fuzz& fuzz) {
   return estimate;
 }
 
+/// A dataset echo that can never collide with the v4 stats-extension
+/// magic: the wire spec reserves leading 0xFF for extension strings.
+std::string RandomDataset(Fuzz& fuzz) {
+  std::string dataset = fuzz.Bytes(16);
+  if (!dataset.empty() && dataset[0] == '\xff') dataset[0] = 'd';
+  return dataset;
+}
+
+obs::QuantileSummary RandomSummary(Fuzz& fuzz) {
+  obs::QuantileSummary s;
+  s.count = fuzz.U64();
+  s.mean = fuzz.FiniteDouble();
+  s.p50 = fuzz.FiniteDouble();
+  s.p90 = fuzz.FiniteDouble();
+  s.p99 = fuzz.FiniteDouble();
+  s.max = fuzz.FiniteDouble();
+  return s;
+}
+
 SnapshotLoadBreakdown RandomLoadBreakdown(Fuzz& fuzz) {
   SnapshotLoadBreakdown load;
   load.loaded = fuzz.Coin();
@@ -161,6 +182,43 @@ Response RandomResponse(Fuzz& fuzz) {
           response.stats.estimators.push_back(std::move(e));
         }
         response.stats.snapshot_load = RandomLoadBreakdown(fuzz);
+        if (fuzz.Coin()) {
+          // v4: the observability extension rides as a trailing string.
+          response.stats.v4_wire = true;
+          response.stats.latency = RandomSummary(fuzz);
+          response.stats.batch_lines = RandomSummary(fuzz);
+          response.stats.fold_millis = RandomSummary(fuzz);
+          response.stats.admitted_weight = fuzz.U64();
+          response.stats.rejected_weight = fuzz.U64();
+          response.stats.snapshot_loads = fuzz.U64();
+          response.stats.server.present = fuzz.Coin();
+          response.stats.server.connections_accepted = fuzz.U64();
+          response.stats.server.connections_active = fuzz.U64();
+          response.stats.server.shed_connection_cap = fuzz.U64();
+          response.stats.server.shed_pipeline_cap = fuzz.U64();
+          response.stats.server.shed_queue_cap = fuzz.U64();
+          response.stats.server.backpressure_events = fuzz.U64();
+          response.stats.server.bytes_in = fuzz.U64();
+          response.stats.server.bytes_out = fuzz.U64();
+          response.stats.server.frames_estimate = fuzz.U64();
+          response.stats.server.frames_batch = fuzz.U64();
+          response.stats.server.frames_other = fuzz.U64();
+          const size_t caches = fuzz.Index(4);
+          for (size_t i = 0; i < caches; ++i) {
+            ServiceStats::CacheRow cache;
+            cache.name = fuzz.Bytes(24);
+            cache.entries = fuzz.U64();
+            cache.hits = fuzz.U64();
+            cache.misses = fuzz.U64();
+            cache.evictions = fuzz.U64();
+            response.stats.caches.push_back(std::move(cache));
+          }
+          for (ServiceStats::EstimatorAccounting& e :
+               response.stats.estimators) {
+            e.latency = RandomSummary(fuzz);
+            e.qerror = RandomSummary(fuzz);
+          }
+        }
         break;
       }
       case MessageType::kPing:
@@ -184,8 +242,18 @@ Response RandomResponse(Fuzz& fuzz) {
       }
     }
   }
-  if (fuzz.Coin()) response.dataset = fuzz.Bytes(16);
+  if (fuzz.Coin()) response.dataset = RandomDataset(fuzz);
   return response;
+}
+
+void ExpectEqualSummary(const obs::QuantileSummary& a,
+                        const obs::QuantileSummary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.max, b.max);
 }
 
 void ExpectEqual(const Request& a, const Request& b) {
@@ -283,6 +351,51 @@ void ExpectEqual(const Response& a, const Response& b) {
                   b.stats.estimators[i].mean_qerror);
       }
       ExpectEqualLoad(a.stats.snapshot_load, b.stats.snapshot_load);
+      EXPECT_EQ(a.stats.v4_wire, b.stats.v4_wire);
+      if (a.stats.v4_wire) {
+        ExpectEqualSummary(a.stats.latency, b.stats.latency);
+        ExpectEqualSummary(a.stats.batch_lines, b.stats.batch_lines);
+        ExpectEqualSummary(a.stats.fold_millis, b.stats.fold_millis);
+        EXPECT_EQ(a.stats.admitted_weight, b.stats.admitted_weight);
+        EXPECT_EQ(a.stats.rejected_weight, b.stats.rejected_weight);
+        EXPECT_EQ(a.stats.snapshot_loads, b.stats.snapshot_loads);
+        EXPECT_EQ(a.stats.server.present, b.stats.server.present);
+        EXPECT_EQ(a.stats.server.connections_accepted,
+                  b.stats.server.connections_accepted);
+        EXPECT_EQ(a.stats.server.connections_active,
+                  b.stats.server.connections_active);
+        EXPECT_EQ(a.stats.server.shed_connection_cap,
+                  b.stats.server.shed_connection_cap);
+        EXPECT_EQ(a.stats.server.shed_pipeline_cap,
+                  b.stats.server.shed_pipeline_cap);
+        EXPECT_EQ(a.stats.server.shed_queue_cap,
+                  b.stats.server.shed_queue_cap);
+        EXPECT_EQ(a.stats.server.backpressure_events,
+                  b.stats.server.backpressure_events);
+        EXPECT_EQ(a.stats.server.bytes_in, b.stats.server.bytes_in);
+        EXPECT_EQ(a.stats.server.bytes_out, b.stats.server.bytes_out);
+        EXPECT_EQ(a.stats.server.frames_estimate,
+                  b.stats.server.frames_estimate);
+        EXPECT_EQ(a.stats.server.frames_batch,
+                  b.stats.server.frames_batch);
+        EXPECT_EQ(a.stats.server.frames_other,
+                  b.stats.server.frames_other);
+        ASSERT_EQ(a.stats.caches.size(), b.stats.caches.size());
+        for (size_t i = 0; i < a.stats.caches.size(); ++i) {
+          EXPECT_EQ(a.stats.caches[i].name, b.stats.caches[i].name);
+          EXPECT_EQ(a.stats.caches[i].entries, b.stats.caches[i].entries);
+          EXPECT_EQ(a.stats.caches[i].hits, b.stats.caches[i].hits);
+          EXPECT_EQ(a.stats.caches[i].misses, b.stats.caches[i].misses);
+          EXPECT_EQ(a.stats.caches[i].evictions,
+                    b.stats.caches[i].evictions);
+        }
+        for (size_t i = 0; i < a.stats.estimators.size(); ++i) {
+          ExpectEqualSummary(a.stats.estimators[i].latency,
+                             b.stats.estimators[i].latency);
+          ExpectEqualSummary(a.stats.estimators[i].qerror,
+                             b.stats.estimators[i].qerror);
+        }
+      }
       break;
     }
     case MessageType::kPing:
@@ -481,6 +594,215 @@ TEST(WireFuzzTest, GoldenV3BatchRequestBytesAreStable) {
   auto decoded = DecodeRequest(golden);
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   ExpectEqual(request, *decoded);
+}
+
+// ---- v4 stats extension ----
+
+void WriteGoldenSummary(util::serde::Writer& w, uint64_t count,
+                        double mean, double p50, double p90, double p99,
+                        double max) {
+  w.WriteU64(count);
+  w.WriteDouble(mean);
+  w.WriteDouble(p50);
+  w.WriteDouble(p90);
+  w.WriteDouble(p99);
+  w.WriteDouble(max);
+}
+
+/// The v3 stats body for a server with one estimator and fixed numbers —
+/// shared by the golden v3 and golden v4 tests below.
+void WriteGoldenStatsBody(util::serde::Writer& w) {
+  w.WriteU64(100);  // served
+  w.WriteU64(3);    // rejected
+  w.WriteU64(2);    // request_errors
+  w.WriteU64(1);    // swaps
+  w.WriteU64(9);    // epoch
+  w.WriteU64(4);    // version
+  w.WriteU64(0);    // pending_delta_ops
+  w.WriteU64(0);    // replay_log_ops
+  w.WriteU64(9);    // min_replayable_epoch
+  w.WriteU64(0);    // in_flight
+  w.WriteU64(8);    // peak_in_flight
+  w.WriteDouble(12.5);  // mean_latency_micros
+  w.WriteU32(1);        // estimator count
+  w.WriteString("molp");
+  w.WriteU64(100);     // requests
+  w.WriteU64(0);       // failures
+  w.WriteDouble(7.0);  // mean_micros
+  w.WriteDouble(1.5);  // mean_qerror
+  w.WriteU8(0);        // load.loaded
+  w.WriteU8(0);        // load.mapped
+  w.WriteU64(0);       // load.mapped_bytes
+  w.WriteDouble(0);    // load.map_millis
+  w.WriteDouble(0);    // load.parse_millis
+  w.WriteU64(0);       // load.snapshot_epoch
+}
+
+ServiceStats GoldenStats() {
+  ServiceStats stats;
+  stats.served = 100;
+  stats.rejected = 3;
+  stats.request_errors = 2;
+  stats.swaps = 1;
+  stats.epoch = 9;
+  stats.version = 4;
+  stats.min_replayable_epoch = 9;
+  stats.peak_in_flight = 8;
+  stats.mean_latency_micros = 12.5;
+  ServiceStats::EstimatorAccounting e;
+  e.name = "molp";
+  e.requests = 100;
+  e.mean_micros = 7.0;
+  e.mean_qerror = 1.5;
+  stats.estimators.push_back(std::move(e));
+  return stats;
+}
+
+TEST(WireFuzzTest, GoldenV3StatsResponseBytesAreStable) {
+  // A v3 stats reply (no extension requested) must stay byte-identical
+  // to the pre-v4 layout, and decode with v4_wire unset.
+  Response response;
+  response.type = MessageType::kStats;
+  response.stats = GoldenStats();
+
+  util::serde::Writer w;
+  w.WriteU8(0);       // status code OK
+  w.WriteString("");  // status message
+  w.WriteU8(4);       // kStats
+  WriteGoldenStatsBody(w);
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeResponse(response), golden);
+  auto decoded = DecodeResponse(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_FALSE(decoded->stats.v4_wire);
+  ExpectEqual(response, *decoded);
+}
+
+TEST(WireFuzzTest, GoldenV4StatsExtensionBytesAreStable) {
+  Response response;
+  response.type = MessageType::kStats;
+  response.stats = GoldenStats();
+  response.stats.v4_wire = true;
+  response.stats.latency = {100, 12.5, 10.0, 20.0, 40.0, 80.0};
+  response.stats.admitted_weight = 97;
+  response.stats.rejected_weight = 3;
+  response.stats.snapshot_loads = 1;
+  response.stats.server.present = true;
+  response.stats.server.connections_accepted = 5;
+  response.stats.server.connections_active = 2;
+  response.stats.server.bytes_in = 4096;
+  response.stats.server.bytes_out = 8192;
+  response.stats.server.frames_estimate = 100;
+  ServiceStats::CacheRow cache;
+  cache.name = "ceg";
+  cache.entries = 10;
+  cache.hits = 90;
+  cache.misses = 10;
+  response.stats.caches.push_back(std::move(cache));
+  response.stats.estimators[0].latency = {100, 7.0, 6.0, 9.0, 11.0, 13.0};
+  response.stats.estimators[0].qerror = {100, 1.5, 1.2, 2.0, 3.0, 4.0};
+
+  util::serde::Writer ext;
+  ext.WriteRaw(std::string_view("\xff" "CG4", 4));
+  ext.WriteU8(1);  // ext version
+  WriteGoldenSummary(ext, 100, 12.5, 10.0, 20.0, 40.0, 80.0);  // latency
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);                   // batch_lines
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);                   // fold_millis
+  ext.WriteU64(97);  // admitted_weight
+  ext.WriteU64(3);   // rejected_weight
+  ext.WriteU64(1);   // snapshot_loads
+  ext.WriteU8(1);    // server.present
+  ext.WriteU64(5);   // connections_accepted
+  ext.WriteU64(2);   // connections_active
+  ext.WriteU64(0);   // shed_connection_cap
+  ext.WriteU64(0);   // shed_pipeline_cap
+  ext.WriteU64(0);   // shed_queue_cap
+  ext.WriteU64(0);   // backpressure_events
+  ext.WriteU64(4096);  // bytes_in
+  ext.WriteU64(8192);  // bytes_out
+  ext.WriteU64(100);   // frames_estimate
+  ext.WriteU64(0);     // frames_batch
+  ext.WriteU64(0);     // frames_other
+  ext.WriteU32(1);     // cache rows
+  ext.WriteString("ceg");
+  ext.WriteU64(10);  // entries
+  ext.WriteU64(90);  // hits
+  ext.WriteU64(10);  // misses
+  ext.WriteU64(0);   // evictions
+  ext.WriteU32(1);   // estimator summaries, index-aligned
+  WriteGoldenSummary(ext, 100, 7.0, 6.0, 9.0, 11.0, 13.0);
+  WriteGoldenSummary(ext, 100, 1.5, 1.2, 2.0, 3.0, 4.0);
+
+  util::serde::Writer w;
+  w.WriteU8(0);       // status code OK
+  w.WriteString("");  // status message
+  w.WriteU8(4);       // kStats
+  WriteGoldenStatsBody(w);
+  w.WriteString(ext.TakeBuffer());  // the extension trails as a string
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeResponse(response), golden);
+  auto decoded = DecodeResponse(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->stats.v4_wire);
+  ExpectEqual(response, *decoded);
+}
+
+TEST(WireFuzzTest, StatsExtToleratesTrailingBytesInsideExtString) {
+  // Bytes a future ext version appends inside the string must be ignored
+  // by this decoder (forward compatibility), unlike trailing frame bytes.
+  util::serde::Writer w;
+  w.WriteU8(0);
+  w.WriteString("");
+  w.WriteU8(4);
+  WriteGoldenStatsBody(w);
+  util::serde::Writer ext;
+  ext.WriteRaw(std::string_view("\xff" "CG4", 4));
+  ext.WriteU8(2);  // a future version...
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);
+  for (int i = 0; i < 3; ++i) ext.WriteU64(0);
+  ext.WriteU8(0);  // server absent (counters still follow, fixed layout)
+  for (int i = 0; i < 11; ++i) ext.WriteU64(0);
+  ext.WriteU32(0);  // caches
+  ext.WriteU32(1);  // estimator summaries
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);
+  ext.WriteRaw("future-fields-go-here");  // ...with appended fields
+  w.WriteString(ext.TakeBuffer());
+  auto decoded = DecodeResponse(w.TakeBuffer());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->stats.v4_wire);
+  EXPECT_EQ(decoded->stats.served, 100u);
+}
+
+TEST(WireFuzzTest, StatsExtRejectsEstimatorCountMismatch) {
+  // The per-estimator summaries are index-aligned with the v3 list; an
+  // ext claiming a different count is a malformed frame, not a v3 reply.
+  Response response;
+  response.type = MessageType::kStats;
+  response.stats = GoldenStats();  // one estimator
+  util::serde::Writer w;
+  w.WriteU8(0);
+  w.WriteString("");
+  w.WriteU8(4);
+  WriteGoldenStatsBody(w);
+  util::serde::Writer ext;
+  ext.WriteRaw(std::string_view("\xff" "CG4", 4));
+  ext.WriteU8(1);
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);
+  WriteGoldenSummary(ext, 0, 0, 0, 0, 0, 0);
+  for (int i = 0; i < 3; ++i) ext.WriteU64(0);
+  ext.WriteU8(0);
+  for (int i = 0; i < 11; ++i) ext.WriteU64(0);
+  ext.WriteU32(0);  // caches
+  ext.WriteU32(3);  // three summaries against one estimator
+  w.WriteString(ext.TakeBuffer());
+  auto decoded = DecodeResponse(w.TakeBuffer());
+  EXPECT_FALSE(decoded.ok());
 }
 
 TEST(WireFuzzTest, BatchResponseRejectsImplausibleItemCount) {

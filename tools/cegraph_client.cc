@@ -6,7 +6,17 @@
 //                  [--batch-size B] [--quiet]
 //   cegraph_client --port P --apply-deltas FILE
 //   cegraph_client --port P --swap-snapshot PATH
-//   cegraph_client --port P (--stats | --ping | --shutdown)
+//   cegraph_client --port P (--stats [--watch] [--interval S]
+//                            | --ping | --shutdown)
+//
+// --stats requests the wire-v4 observability extension (the request's
+// text field carries "v4"): besides the v3 counters it prints latency /
+// batch-size / fold-duration quantiles, per-estimator latency and
+// q-error distributions, admission weight units, the server's shed /
+// backpressure / byte / frame counters and the serving state's cache
+// rows. Against a pre-v4 server the extra tables are simply absent.
+// --watch re-samples every --interval seconds (default 2) and annotates
+// counters with their delta since the previous sample; stop with ^C.
 //
 // --dataset routes the request to the named dataset of a multi-dataset
 // daemon (wire protocol v2); without it the server's default dataset
@@ -68,8 +78,150 @@ int Usage() {
       "                 [--quiet]\n"
       "  --apply-deltas FILE           send a delta feed, hot-swap\n"
       "  --swap-snapshot PATH          server-local snapshot/manifest path\n"
-      "  --stats | --ping | --shutdown\n");
+      "  --stats [--watch] [--interval S] | --ping | --shutdown\n");
   return 2;
+}
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+/// "N (+D)" when a previous sample exists, plain "N" otherwise.
+std::string WithDelta(uint64_t now, const uint64_t* prev) {
+  if (prev == nullptr) return U64(now);
+  return U64(now) + " (+" + U64(now >= *prev ? now - *prev : 0) + ")";
+}
+
+void AddSummaryRow(util::TablePrinter& table, const std::string& name,
+                   const cegraph::obs::QuantileSummary& s) {
+  table.AddRow({name, U64(s.count), util::TablePrinter::Num(s.mean),
+                util::TablePrinter::Num(s.p50),
+                util::TablePrinter::Num(s.p90),
+                util::TablePrinter::Num(s.p99),
+                util::TablePrinter::Num(s.max)});
+}
+
+/// Prints one stats response; `prev` (the previous --watch sample, may be
+/// null) turns monotonic counters into "N (+delta)" annotations.
+void PrintStats(const Response& response, const service::ServiceStats* prev) {
+  const service::ServiceStats& s = response.stats;
+  if (!response.dataset.empty()) {
+    std::printf("dataset %s\n", response.dataset.c_str());
+  }
+  std::printf(
+      "served %s, rejected %s, request errors %s\n"
+      "epoch %llu (state v%llu), %llu swaps, %zu pending delta ops\n"
+      "replay log %zu ops (min replayable epoch %llu)\n"
+      "in flight %lld (peak %lld), mean latency %.1f us\n",
+      WithDelta(s.served, prev ? &prev->served : nullptr).c_str(),
+      WithDelta(s.rejected, prev ? &prev->rejected : nullptr).c_str(),
+      WithDelta(s.request_errors, prev ? &prev->request_errors : nullptr)
+          .c_str(),
+      static_cast<unsigned long long>(s.epoch),
+      static_cast<unsigned long long>(s.version),
+      static_cast<unsigned long long>(s.swaps), s.pending_delta_ops,
+      s.replay_log_ops,
+      static_cast<unsigned long long>(s.min_replayable_epoch),
+      static_cast<long long>(s.in_flight),
+      static_cast<long long>(s.peak_in_flight), s.mean_latency_micros);
+  for (const auto& e : s.estimators) {
+    std::printf("  %-14s %llu requests, %llu failures, %.1f us, mean "
+                "q-error %.3g\n",
+                e.name.c_str(),
+                static_cast<unsigned long long>(e.requests),
+                static_cast<unsigned long long>(e.failures), e.mean_micros,
+                e.mean_qerror);
+  }
+  if (s.snapshot_load.loaded) {
+    std::printf("snapshot load: %s, open %.2f ms, %s %.2f ms, "
+                "%llu bytes mapped, epoch %llu\n",
+                s.snapshot_load.mapped ? "mapped (arena)" : "parsed",
+                s.snapshot_load.map_millis,
+                s.snapshot_load.mapped ? "attach" : "apply",
+                s.snapshot_load.parse_millis,
+                static_cast<unsigned long long>(
+                    s.snapshot_load.mapped_bytes),
+                static_cast<unsigned long long>(
+                    s.snapshot_load.snapshot_epoch));
+  }
+  if (!s.v4_wire) return;  // pre-v4 server: nothing below travelled
+
+  std::printf("weight units: admitted %s, rejected %s; snapshot loads %s\n",
+              WithDelta(s.admitted_weight,
+                        prev ? &prev->admitted_weight : nullptr)
+                  .c_str(),
+              WithDelta(s.rejected_weight,
+                        prev ? &prev->rejected_weight : nullptr)
+                  .c_str(),
+              WithDelta(s.snapshot_loads,
+                        prev ? &prev->snapshot_loads : nullptr)
+                  .c_str());
+  if (s.server.present) {
+    const auto& sv = s.server;
+    const service::ServiceStats::ServerCounters* pv =
+        prev != nullptr && prev->server.present ? &prev->server : nullptr;
+    std::printf(
+        "server: connections %s accepted, %llu active; backpressure %s\n"
+        "  shed: admission %s, connection cap %s, pipeline cap %s, "
+        "queue cap %s\n"
+        "  bytes in %s out %s; frames estimate %s batch %s other %s\n",
+        WithDelta(sv.connections_accepted,
+                  pv ? &pv->connections_accepted : nullptr)
+            .c_str(),
+        static_cast<unsigned long long>(sv.connections_active),
+        WithDelta(sv.backpressure_events,
+                  pv ? &pv->backpressure_events : nullptr)
+            .c_str(),
+        WithDelta(s.rejected, prev ? &prev->rejected : nullptr).c_str(),
+        WithDelta(sv.shed_connection_cap,
+                  pv ? &pv->shed_connection_cap : nullptr)
+            .c_str(),
+        WithDelta(sv.shed_pipeline_cap,
+                  pv ? &pv->shed_pipeline_cap : nullptr)
+            .c_str(),
+        WithDelta(sv.shed_queue_cap, pv ? &pv->shed_queue_cap : nullptr)
+            .c_str(),
+        WithDelta(sv.bytes_in, pv ? &pv->bytes_in : nullptr).c_str(),
+        WithDelta(sv.bytes_out, pv ? &pv->bytes_out : nullptr).c_str(),
+        WithDelta(sv.frames_estimate, pv ? &pv->frames_estimate : nullptr)
+            .c_str(),
+        WithDelta(sv.frames_batch, pv ? &pv->frames_batch : nullptr)
+            .c_str(),
+        WithDelta(sv.frames_other, pv ? &pv->frames_other : nullptr)
+            .c_str());
+  }
+
+  util::TablePrinter dist(
+      {"distribution", "count", "mean", "p50", "p90", "p99", "max"});
+  AddSummaryRow(dist, "latency us", s.latency);
+  AddSummaryRow(dist, "batch lines", s.batch_lines);
+  AddSummaryRow(dist, "fold ms", s.fold_millis);
+  dist.Print(std::cout);
+
+  if (!s.estimators.empty()) {
+    util::TablePrinter est({"estimator", "lat p50", "lat p90", "lat p99",
+                            "lat max", "qerr p50", "qerr p90", "qerr p99",
+                            "qerr max"});
+    for (const auto& e : s.estimators) {
+      est.AddRow({e.name, util::TablePrinter::Num(e.latency.p50),
+                  util::TablePrinter::Num(e.latency.p90),
+                  util::TablePrinter::Num(e.latency.p99),
+                  util::TablePrinter::Num(e.latency.max),
+                  util::TablePrinter::Num(e.qerror.p50),
+                  util::TablePrinter::Num(e.qerror.p90),
+                  util::TablePrinter::Num(e.qerror.p99),
+                  util::TablePrinter::Num(e.qerror.max)});
+    }
+    est.Print(std::cout);
+  }
+
+  if (!s.caches.empty()) {
+    util::TablePrinter caches(
+        {"cache", "entries", "hits", "misses", "evictions"});
+    for (const auto& c : s.caches) {
+      caches.AddRow({c.name, U64(c.entries), U64(c.hits), U64(c.misses),
+                     U64(c.evictions)});
+    }
+    caches.Print(std::cout);
+  }
 }
 
 /// RoundTrip that retries the retryable refusal: a RESOURCE_EXHAUSTED
@@ -338,7 +490,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> query_texts;
   std::string workload_file, deltas_file, snapshot_path;
   bool stats = false, ping = false, shutdown = false, quiet = false;
-  int threads = 1, passes = 1, batch_size = 1, retries = 3;
+  bool watch = false;
+  int threads = 1, passes = 1, batch_size = 1, retries = 3, interval = 2;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -381,6 +534,11 @@ int main(int argc, char** argv) {
       retries = std::atoi(value.c_str());
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--watch") {
+      watch = true;
+    } else if (arg == "--interval") {
+      if (!next(&value)) return Usage();
+      interval = std::atoi(value.c_str());
     } else if (arg == "--ping") {
       ping = true;
     } else if (arg == "--shutdown") {
@@ -420,7 +578,9 @@ int main(int argc, char** argv) {
   } else if (!snapshot_path.empty()) {
     request = {MessageType::kSwapSnapshot, snapshot_path, dataset};
   } else if (stats) {
-    request = {MessageType::kStats, "", dataset};
+    // "v4" opts into the observability extension; a pre-v4 server just
+    // echoes a v3 stats body and the extra tables stay absent.
+    request = {MessageType::kStats, "v4", dataset};
   } else if (ping) {
     // A dataset-qualified ping doubles as a routing probe: the server
     // validates the name without touching the service.
@@ -430,6 +590,34 @@ int main(int argc, char** argv) {
     request = {MessageType::kShutdown, ""};
   } else {
     return Usage();
+  }
+
+  if (stats && watch) {
+    // Re-sample forever (until ^C or the server goes away), annotating
+    // monotonic counters with their delta since the previous sample.
+    service::ServiceStats prev;
+    bool have_prev = false;
+    for (int sample = 0;; ++sample) {
+      auto response = OneShot(host, port, request, retries);
+      if (!response.ok()) {
+        std::fprintf(stderr, "transport error: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      if (!response->status.ok()) {
+        std::fprintf(stderr, "server error: %s\n",
+                     response->status.ToString().c_str());
+        return 1;
+      }
+      std::printf("%s--- sample %d (every %ds) ---\n",
+                  sample == 0 ? "" : "\n", sample, interval);
+      PrintStats(*response, have_prev ? &prev : nullptr);
+      std::fflush(stdout);
+      prev = response->stats;
+      have_prev = true;
+      std::this_thread::sleep_for(
+          std::chrono::seconds(interval < 1 ? 1 : interval));
+    }
   }
 
   auto response = OneShot(host, port, request, retries);
@@ -482,49 +670,9 @@ int main(int argc, char** argv) {
           swap.snapshot_stale ? " (stale snapshot, deltas replayed)" : "");
       break;
     }
-    case MessageType::kStats: {
-      const service::ServiceStats& s = response->stats;
-      if (!response->dataset.empty()) {
-        std::printf("dataset %s\n", response->dataset.c_str());
-      }
-      std::printf(
-          "served %llu, rejected %llu, request errors %llu\n"
-          "epoch %llu (state v%llu), %llu swaps, %zu pending delta ops\n"
-          "replay log %zu ops (min replayable epoch %llu)\n"
-          "in flight %lld (peak %lld), mean latency %.1f us\n",
-          static_cast<unsigned long long>(s.served),
-          static_cast<unsigned long long>(s.rejected),
-          static_cast<unsigned long long>(s.request_errors),
-          static_cast<unsigned long long>(s.epoch),
-          static_cast<unsigned long long>(s.version),
-          static_cast<unsigned long long>(s.swaps), s.pending_delta_ops,
-          s.replay_log_ops,
-          static_cast<unsigned long long>(s.min_replayable_epoch),
-          static_cast<long long>(s.in_flight),
-          static_cast<long long>(s.peak_in_flight),
-          s.mean_latency_micros);
-      for (const auto& e : s.estimators) {
-        std::printf("  %-14s %llu requests, %llu failures, %.1f us, mean "
-                    "q-error %.3g\n",
-                    e.name.c_str(),
-                    static_cast<unsigned long long>(e.requests),
-                    static_cast<unsigned long long>(e.failures),
-                    e.mean_micros, e.mean_qerror);
-      }
-      if (s.snapshot_load.loaded) {
-        std::printf("snapshot load: %s, open %.2f ms, %s %.2f ms, "
-                    "%llu bytes mapped, epoch %llu\n",
-                    s.snapshot_load.mapped ? "mapped (arena)" : "parsed",
-                    s.snapshot_load.map_millis,
-                    s.snapshot_load.mapped ? "attach" : "apply",
-                    s.snapshot_load.parse_millis,
-                    static_cast<unsigned long long>(
-                        s.snapshot_load.mapped_bytes),
-                    static_cast<unsigned long long>(
-                        s.snapshot_load.snapshot_epoch));
-      }
+    case MessageType::kStats:
+      PrintStats(*response, nullptr);
       break;
-    }
     case MessageType::kPing:
     case MessageType::kShutdown:
       std::printf("%s\n", response->text.c_str());

@@ -8,6 +8,15 @@
 //                 [--compact-trigger N] [--max-in-flight N]
 //                 [--dispatch epoll|threads] [--max-connections N]
 //                 [--prewarm SUITE] [--instances N] [--seed S]
+//                 [--metrics-port P] [--slow-millis M]
+//
+// --metrics-port starts a Prometheus text exporter on a side thread
+// (`curl http://127.0.0.1:<port>/metrics`); 0 picks an ephemeral port.
+// The daemon prints `metrics on 127.0.0.1:<port>` so scripts can scrape
+// it. Without the flag no exporter runs. --slow-millis M logs requests
+// slower than M milliseconds to stderr with their per-stage breakdown
+// (rate-limited; see docs/observability.md). CEGRAPH_METRICS=off
+// disables the histogram/trace layer entirely.
 //
 // --dispatch selects the connection model: "epoll" (default) multiplexes
 // every connection through one event-loop thread and serves requests on
@@ -56,6 +65,7 @@
 
 #include "engine/snapshot.h"
 #include "graph/datasets.h"
+#include "obs/metrics.h"
 #include "graph/graph_io.h"
 #include "query/templates.h"
 #include "query/workload.h"
@@ -81,6 +91,7 @@ int Usage() {
       "       [--compact-trigger N] [--max-in-flight N]\n"
       "       [--dispatch epoll|threads] [--max-connections N]\n"
       "       [--prewarm SUITE] [--instances N] [--seed S]\n"
+      "       [--metrics-port P] [--slow-millis M]\n"
       "dataset SPEC: NAME | NAME=SOURCE | NAME[=SOURCE]@SNAPSHOT\n"
       "  (SOURCE: a built-in dataset name or a graph file path; '=' and\n"
       "   '@' are reserved separators and cannot appear in the paths)\n"
@@ -140,6 +151,7 @@ int main(int argc, char** argv) {
   service::ServiceOptions service_options;
   int instances = 2;
   uint64_t seed = 1;
+  int metrics_port = -1;  ///< -1 = no exporter; 0 = ephemeral
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -181,6 +193,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-connections") {
       if (!next(&value)) return Usage();
       server_options.max_connections = std::atoi(value.c_str());
+    } else if (arg == "--metrics-port") {
+      if (!next(&value)) return Usage();
+      metrics_port = std::atoi(value.c_str());
+    } else if (arg == "--slow-millis") {
+      if (!next(&value)) return Usage();
+      server_options.slow_request_millis = std::atoi(value.c_str());
     } else if (arg == "--dispatch") {
       if (!next(&value)) return Usage();
       if (value == "epoll") {
@@ -328,6 +346,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
     return 1;
   }
+
+  // Optional Prometheus exporter, started after the server so its page
+  // already carries every dataset's and the server's collectors.
+  obs::MetricsHttpServer metrics_server;
+  if (metrics_port >= 0) {
+    if (auto started = metrics_server.Start("127.0.0.1", metrics_port);
+        !started.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics on 127.0.0.1:%d\n", metrics_server.port());
+  }
   std::printf("serving %zu estimators (", service_options.estimators.size());
   for (size_t i = 0; i < service_options.estimators.size(); ++i) {
     std::printf("%s%s", i == 0 ? "" : ",",
@@ -354,6 +384,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s — draining\n",
               g_signal != 0 ? "signal received" : "shutdown requested");
+  metrics_server.Stop();
   server.Stop();
 
   for (const std::string& name : (*catalog)->names()) {
