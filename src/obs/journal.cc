@@ -1,0 +1,245 @@
+#include "obs/journal.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace cegraph::obs {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendStringField(std::string* out, std::string_view key,
+                       std::string_view value) {
+  out->push_back('"');
+  AppendEscaped(out, key);
+  out->append("\":\"");
+  AppendEscaped(out, value);
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append("null");  // JSON has no inf/nan
+    return;
+  }
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    out->append(std::to_string(static_cast<int64_t>(v)));
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string FormatJournalLine(const JournalEvent& event) {
+  std::string out;
+  out.reserve(128);
+  out.append("{\"ts_micros\":");
+  out.append(std::to_string(event.unix_micros));
+  out.append(",");
+  AppendStringField(&out, "type", event.type);
+  if (!event.dataset.empty()) {
+    out.push_back(',');
+    AppendStringField(&out, "dataset", event.dataset);
+  }
+  if (event.request_id != 0) {
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(event.request_id));
+    out.push_back(',');
+    AppendStringField(&out, "request_id", hex);
+  }
+  for (const auto& [key, value] : event.text) {
+    out.push_back(',');
+    AppendStringField(&out, key, value);
+  }
+  for (const auto& [key, value] : event.num) {
+    out.append(",\"");
+    AppendEscaped(&out, key);
+    out.append("\":");
+    AppendNumber(&out, value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+Journal::Journal(size_t capacity) {
+  capacity_ = RoundUpPowerOfTwo(capacity < 2 ? 2 : capacity);
+  mask_ = capacity_ - 1;
+  cells_ = std::make_unique<Cell[]>(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+}
+
+Journal::~Journal() { Stop(); }
+
+bool Journal::Emit(JournalEvent event) {
+  if (event.unix_micros == 0) event.unix_micros = NowMicros();
+  // Vyukov bounded-queue enqueue: claim a cell whose sequence equals the
+  // ticket, move the event in, publish by bumping the sequence.
+  size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  Cell* cell;
+  for (;;) {
+    cell = &cells_[pos & mask_];
+    const size_t seq = cell->sequence.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    } else if (dif < 0) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // ring full: drop, never block
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+  cell->event = std::move(event);
+  cell->sequence.store(pos + 1, std::memory_order_release);
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  drain_cv_.notify_one();
+  return true;
+}
+
+bool Journal::Dequeue(JournalEvent* out) {
+  // Single consumer (the drain thread, or Stop after the join).
+  size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  Cell* cell = &cells_[pos & mask_];
+  const size_t seq = cell->sequence.load(std::memory_order_acquire);
+  const intptr_t dif =
+      static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+  if (dif != 0) return false;  // empty (or producer mid-publish)
+  dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+  *out = std::move(cell->event);
+  cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+  return true;
+}
+
+size_t Journal::DrainOnce() {
+  if (file_ == nullptr) return 0;
+  size_t lines = 0;
+  JournalEvent event;
+  while (Dequeue(&event)) {
+    const std::string line = FormatJournalLine(event);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    ++lines;
+  }
+  if (lines > 0) {
+    std::fflush(file_);
+    written_.fetch_add(lines, std::memory_order_relaxed);
+  }
+  return lines;
+}
+
+void Journal::DrainLoop() {
+  for (;;) {
+    const size_t drained = DrainOnce();
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    if (drained > 0) flush_cv_.notify_all();
+    if (stopping_) {
+      lock.unlock();
+      while (DrainOnce() > 0) {
+      }
+      std::lock_guard<std::mutex> relock(drain_mutex_);
+      flush_cv_.notify_all();
+      return;
+    }
+    if (drained == 0) {
+      drain_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+}
+
+util::Status Journal::Start(const std::string& path) {
+  if (file_ != nullptr) {
+    return util::InvalidArgumentError("journal already started");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return util::InternalError("journal: cannot open '" + path + "'");
+  }
+  path_ = path;
+  file_ = file;
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    stopping_ = false;
+  }
+  drain_thread_ = std::thread([this] { DrainLoop(); });
+  return util::Status::OK();
+}
+
+void Journal::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    stopping_ = true;
+  }
+  drain_cv_.notify_all();
+  if (drain_thread_.joinable()) drain_thread_.join();
+  if (file_ != nullptr) {
+    while (DrainOnce() > 0) {
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void Journal::Flush() {
+  const uint64_t target = emitted_.load(std::memory_order_relaxed);
+  drain_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  flush_cv_.wait(lock, [&] {
+    return written_.load(std::memory_order_relaxed) >= target || stopping_;
+  });
+}
+
+}  // namespace cegraph::obs

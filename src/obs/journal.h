@@ -1,0 +1,108 @@
+#pragma once
+// Structured event journal: significant serving events (swaps, folds,
+// sheds, slow requests, drift flips) flow through a bounded lock-free
+// MPSC ring and a background thread drains them to a JSONL file
+// (`cegraph_serve --journal FILE`). Producers never block and never do
+// I/O: a full ring drops the event and counts the drop instead — the
+// journal is an observability aid, not a write-ahead log.
+//
+// One line per event, one JSON object per line:
+//
+//   {"ts_micros":1754649600000000,"type":"swap","dataset":"alpha",
+//    "request_id":"00000000000000ff","epoch":2,"version":3}
+//
+// `ts_micros` is wall-clock microseconds; `dataset` / `request_id` are
+// omitted when empty / zero; every other field comes from the event's
+// own text/num lists, in emission order. Keys are expected to be plain
+// identifiers; values are escaped.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cegraph::obs {
+
+struct JournalEvent {
+  int64_t unix_micros = 0;  ///< stamped at Emit() when left 0
+  std::string type;         ///< "swap", "fold", "shed", "slow_request", "drift", ...
+  std::string dataset;      ///< empty when the event is not dataset-scoped
+  uint64_t request_id = 0;  ///< 0 = none; rendered as 16 hex chars
+  std::vector<std::pair<std::string, std::string>> text;
+  std::vector<std::pair<std::string, double>> num;
+};
+
+/// Renders one event as a single-line JSON object (no trailing newline).
+/// Exposed for the schema tests.
+std::string FormatJournalLine(const JournalEvent& event);
+
+class Journal {
+ public:
+  /// `capacity` (rounded up to a power of two) bounds how many events
+  /// can be buffered between drains; beyond it, Emit drops.
+  explicit Journal(size_t capacity = 4096);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens `path` for append and starts the drain thread. Events
+  /// emitted before Start sit in the ring (bounded, drop-counted) and
+  /// are written once the drain starts.
+  util::Status Start(const std::string& path);
+
+  /// Drains everything buffered, flushes, and joins the drain thread.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Enqueues the event (stamping unix_micros if unset). Lock-free;
+  /// returns false — and counts the drop — when the ring is full.
+  bool Emit(JournalEvent event);
+
+  /// Blocks until every event emitted before the call is on disk.
+  /// Requires a running drain thread.
+  void Flush();
+
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t written() const { return written_.load(std::memory_order_relaxed); }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence{0};
+    JournalEvent event;
+  };
+
+  bool Dequeue(JournalEvent* out);
+  void DrainLoop();
+  /// Writes every currently-buffered event; returns lines written.
+  size_t DrainOnce();
+
+  size_t capacity_ = 0;  // power of two
+  size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  std::atomic<size_t> enqueue_pos_{0};
+  std::atomic<size_t> dequeue_pos_{0};
+
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> written_{0};
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::thread drain_thread_;
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;   // wakes the drain thread
+  std::condition_variable flush_cv_;   // wakes Flush waiters
+  bool stopping_ = false;              // guarded by drain_mutex_
+};
+
+}  // namespace cegraph::obs

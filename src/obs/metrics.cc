@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <string_view>
 
 namespace cegraph::obs {
 
@@ -102,6 +103,13 @@ void Histogram::Record(double value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicDoubleAdd(sum_, value);
   AtomicDoubleMax(max_, value);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -258,6 +266,11 @@ size_t MetricsRegistry::collector_count() const {
 
 // --- MetricsHttpServer ------------------------------------------------------
 
+void MetricsHttpServer::SetHealthBody(
+    std::function<std::string()> health_body) {
+  health_body_ = std::move(health_body);
+}
+
 util::Status MetricsHttpServer::Start(const std::string& host, int port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -312,19 +325,47 @@ void MetricsHttpServer::Serve() {
       if (stopping_.load()) return;
       continue;
     }
-    // Read (and discard) the request line + headers; we serve one page
-    // regardless of path, so parsing would only add failure modes.
+    // One read is enough for the tiny requests a scraper or a health
+    // check sends; only the request line's path matters.
     char buf[1024];
-    (void)::recv(client, buf, sizeof(buf), 0);
-    const std::string body = MetricsRegistry::Global().RenderPrometheus();
-    std::string response =
-        "HTTP/1.0 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4\r\n"
-        "Content-Length: " +
-        std::to_string(body.size()) +
-        "\r\n"
-        "Connection: close\r\n\r\n" +
-        body;
+    const ssize_t got = ::recv(client, buf, sizeof(buf) - 1, 0);
+    std::string path;
+    if (got > 0) {
+      buf[got] = '\0';
+      const std::string_view line(buf);
+      const size_t method_end = line.find(' ');
+      if (method_end != std::string_view::npos) {
+        const size_t path_end = line.find_first_of(" \r\n", method_end + 1);
+        path = std::string(line.substr(
+            method_end + 1, path_end == std::string_view::npos
+                                ? std::string_view::npos
+                                : path_end - method_end - 1));
+        const size_t query = path.find('?');
+        if (query != std::string::npos) path.resize(query);
+      }
+    }
+    const char* status = "200 OK";
+    const char* content_type = "text/plain; charset=utf-8";
+    std::string body;
+    if (path == "/metrics") {
+      content_type = "text/plain; version=0.0.4";
+      body = MetricsRegistry::Global().RenderPrometheus();
+    } else if (path == "/healthz") {
+      body = health_body_ ? health_body_() : std::string("ok\n");
+    } else {
+      status = "404 Not Found";
+      body = "not found: '" + path + "' (try /metrics or /healthz)\n";
+    }
+    std::string response = "HTTP/1.0 " + std::string(status) +
+                           "\r\n"
+                           "Content-Type: " +
+                           content_type +
+                           "\r\n"
+                           "Content-Length: " +
+                           std::to_string(body.size()) +
+                           "\r\n"
+                           "Connection: close\r\n\r\n" +
+                           body;
     size_t sent = 0;
     while (sent < response.size()) {
       const ssize_t rc =

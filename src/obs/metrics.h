@@ -108,6 +108,11 @@ class Histogram {
   HistogramSnapshot Snapshot() const;
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
+  /// Zeroes every field (relaxed stores). Only sound when recorders are
+  /// excluded by protocol — the windowed ring's rotation marker does
+  /// exactly that; do not call it on a live shared histogram.
+  void Reset();
+
   /// The bucket a value lands in; exposed for the boundary tests.
   static size_t BucketIndex(double value);
 
@@ -166,16 +171,23 @@ class MetricsRegistry {
 };
 
 /// A deliberately tiny HTTP/1.0 exporter: one blocking accept loop on a
-/// side thread, answering every GET with the registry's text page
-/// (200, text/plain, Connection: close). No keep-alive, no TLS, no
-/// routing beyond "anything answers /metrics content" — it exists so a
-/// scraper or `curl` can reach the registry without linking anything.
+/// side thread (no keep-alive, no TLS), routing exactly two paths —
+/// `/metrics` answers with the registry's text page and `/healthz` with
+/// a liveness body (200, text/plain, Connection: close); anything else
+/// is a 404 with a body naming the two. It exists so a scraper, a
+/// load-balancer check or `curl` can reach the process without linking
+/// anything.
 class MetricsHttpServer {
  public:
   MetricsHttpServer() = default;
   ~MetricsHttpServer() { Stop(); }
   MetricsHttpServer(const MetricsHttpServer&) = delete;
   MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Supplies the `/healthz` body (e.g. "ok\nepoch 3\nversion 7\n").
+  /// Called on the serve thread per request; without one the body is
+  /// "ok\n". Set before Start.
+  void SetHealthBody(std::function<std::string()> health_body);
 
   /// Binds and starts serving; port 0 picks an ephemeral port (see
   /// port()).
@@ -186,6 +198,7 @@ class MetricsHttpServer {
  private:
   void Serve();
 
+  std::function<std::string()> health_body_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,204 @@
+#include "obs/scorecard.h"
+
+#include <algorithm>
+
+namespace cegraph::obs {
+
+struct Scorecard::Entry {
+  std::string key;
+  std::string display;
+  WindowedHistogram qerror;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> under{0};
+  std::atomic<uint64_t> over{0};
+  std::atomic<double> baseline{0};  // 0 = lazily stamped on first window
+  std::atomic<bool> drifted{false};
+  std::atomic<double> worst_q{0};  // pre-check so the lock is rare
+  mutable std::mutex worst_mutex;
+  ScorecardExemplar worst;  // guarded by worst_mutex
+
+  Entry(std::string k, std::string d, const WindowSpec& spec)
+      : key(std::move(k)), display(std::move(d)), qerror(spec) {}
+};
+
+Scorecard::Scorecard(ScorecardOptions options) : options_(options) {
+  if (options_.max_classes < 1) options_.max_classes = 1;
+  if (options_.drift_ratio < 1.0) options_.drift_ratio = 1.0;
+}
+
+void Scorecard::SetDriftCallback(DriftCallback callback) {
+  std::lock_guard<std::mutex> lock(callback_mutex_);
+  drift_callback_ = std::move(callback);
+}
+
+size_t Scorecard::class_count() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return classes_.size();
+}
+
+size_t Scorecard::drifted_classes() const {
+  const int64_t n = drifted_count_.load(std::memory_order_relaxed);
+  return n > 0 ? static_cast<size_t>(n) : 0;
+}
+
+std::shared_ptr<Scorecard::Entry> Scorecard::FindOrCreate(
+    const ScorecardSample& sample) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = classes_.find(sample.class_key);
+    if (it != classes_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = classes_.find(sample.class_key);
+  if (it != classes_.end()) return it->second;
+  if (classes_.size() >= options_.max_classes) EvictOneLocked();
+  auto entry = std::make_shared<Entry>(
+      std::string(sample.class_key),
+      std::string(sample.display.empty() ? sample.line : sample.display),
+      options_.window);
+  classes_.emplace(entry->key, entry);
+  return entry;
+}
+
+void Scorecard::EvictOneLocked() {
+  // Deterministic: fewest hits goes first; ties break toward the
+  // lexicographically greatest key, so repeated runs evict identically.
+  auto victim = classes_.end();
+  for (auto it = classes_.begin(); it != classes_.end(); ++it) {
+    if (victim == classes_.end()) {
+      victim = it;
+      continue;
+    }
+    const uint64_t h = it->second->hits.load(std::memory_order_relaxed);
+    const uint64_t vh = victim->second->hits.load(std::memory_order_relaxed);
+    if (h < vh || (h == vh && it->first > victim->first)) victim = it;
+  }
+  if (victim == classes_.end()) return;
+  if (victim->second->drifted.load(std::memory_order_relaxed)) {
+    drifted_count_.fetch_add(-1, std::memory_order_relaxed);
+  }
+  classes_.erase(victim);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Scorecard::RecordAt(const ScorecardSample& sample, int64_t now_sec) {
+  if (!(sample.qerror > 0)) return;
+  const std::shared_ptr<Entry> entry = FindOrCreate(sample);
+  entry->qerror.RecordAt(sample.qerror, now_sec);
+  const uint64_t hit = entry->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (sample.estimate < sample.truth) {
+    entry->under.fetch_add(1, std::memory_order_relaxed);
+  } else if (sample.estimate > sample.truth) {
+    entry->over.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (sample.qerror > entry->worst_q.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(entry->worst_mutex);
+    if (sample.qerror > entry->worst.qerror) {
+      entry->worst.qerror = sample.qerror;
+      entry->worst.line = std::string(sample.line);
+      entry->worst.estimate = sample.estimate;
+      entry->worst.truth = sample.truth;
+      entry->worst.estimator = std::string(sample.estimator);
+      entry->worst_q.store(sample.qerror, std::memory_order_relaxed);
+    }
+  }
+  // Drift is a window-merge + quantile walk — too heavy per sample, so
+  // re-evaluate every 8th hit.
+  if ((hit & 7u) == 0) EvaluateDrift(*entry, now_sec);
+}
+
+void Scorecard::EvaluateDrift(Entry& entry, int64_t now_sec) {
+  const HistogramSnapshot window =
+      entry.qerror.SnapshotWindowAt(options_.window.span_seconds(), now_sec);
+  if (window.count < options_.drift_min_samples) return;
+  const double median = window.Quantile(0.5);
+  if (!(median > 0)) return;
+  const double baseline = entry.baseline.load(std::memory_order_relaxed);
+  if (!(baseline > 0)) {
+    // No baseline yet (boot, or the class appeared after the last
+    // stamp): the first full-enough window becomes the baseline.
+    double expected = baseline;
+    entry.baseline.compare_exchange_strong(expected, median,
+                                           std::memory_order_relaxed);
+    return;
+  }
+  const double ratio =
+      median > baseline ? median / baseline : baseline / median;
+  const bool drifted = ratio > options_.drift_ratio;
+  bool was = entry.drifted.load(std::memory_order_relaxed);
+  if (drifted == was) return;
+  if (!entry.drifted.compare_exchange_strong(was, drifted,
+                                             std::memory_order_relaxed)) {
+    return;  // another thread flipped it first
+  }
+  drifted_count_.fetch_add(drifted ? 1 : -1, std::memory_order_relaxed);
+  if (!drifted) return;
+  DriftCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(callback_mutex_);
+    callback = drift_callback_;
+  }
+  if (callback) {
+    callback(BuildReport(entry, options_.window.span_seconds(), now_sec));
+  }
+}
+
+void Scorecard::StampBaselineAt(int64_t now_sec) {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (auto& [key, entry] : classes_) {
+    const HistogramSnapshot window = entry->qerror.SnapshotWindowAt(
+        options_.window.span_seconds(), now_sec);
+    double baseline = 0;
+    if (window.count >= options_.drift_min_samples) {
+      const double median = window.Quantile(0.5);
+      if (median > 0) baseline = median;
+    }
+    entry->baseline.store(baseline, std::memory_order_relaxed);
+    if (entry->drifted.exchange(false, std::memory_order_relaxed)) {
+      drifted_count_.fetch_add(-1, std::memory_order_relaxed);
+    }
+  }
+}
+
+ScorecardClassReport Scorecard::BuildReport(const Entry& entry,
+                                            int64_t window_seconds,
+                                            int64_t now_sec) const {
+  ScorecardClassReport report;
+  report.key = entry.key;
+  report.display = entry.display;
+  report.hits = entry.hits.load(std::memory_order_relaxed);
+  report.under = entry.under.load(std::memory_order_relaxed);
+  report.over = entry.over.load(std::memory_order_relaxed);
+  report.qerror =
+      entry.qerror.SnapshotWindowAt(window_seconds, now_sec).Summary();
+  report.baseline_median = entry.baseline.load(std::memory_order_relaxed);
+  report.drifted = entry.drifted.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(entry.worst_mutex);
+    report.worst = entry.worst;
+  }
+  return report;
+}
+
+std::vector<ScorecardClassReport> Scorecard::ReportAt(int64_t window_seconds,
+                                                      int64_t now_sec) const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    entries.reserve(classes_.size());
+    for (const auto& [key, entry] : classes_) entries.push_back(entry);
+  }
+  std::vector<ScorecardClassReport> reports;
+  reports.reserve(entries.size());
+  for (const auto& entry : entries) {
+    reports.push_back(BuildReport(*entry, window_seconds, now_sec));
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const ScorecardClassReport& a, const ScorecardClassReport& b) {
+              if (a.hits != b.hits) return a.hits > b.hits;
+              return a.key < b.key;
+            });
+  return reports;
+}
+
+}  // namespace cegraph::obs

@@ -56,6 +56,12 @@ class StageTrace {
     StageTrace* previous_;
   };
 
+  /// The client-supplied end-to-end request id (wire v5), stamped by the
+  /// server's worker after decode; 0 = the request carried none. Carried
+  /// here so the slow-request log and journal can correlate one request
+  /// across client, server and log lines without extra plumbing.
+  uint64_t request_id = 0;
+
   void Add(Stage stage, double micros) {
     micros_[static_cast<size_t>(stage)] += micros;
   }

@@ -1,0 +1,76 @@
+#include "obs/windowed.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace cegraph::obs {
+
+WindowedHistogram::WindowedHistogram(WindowSpec spec) : spec_(spec) {
+  if (spec_.slot_seconds < 1) spec_.slot_seconds = 1;
+  if (spec_.slots < 2) spec_.slots = 2;
+  ring_ = std::make_unique<Slot[]>(spec_.slots);
+}
+
+int64_t WindowedHistogram::NowSec() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void WindowedHistogram::RecordAt(double value, int64_t now_sec) {
+  if (now_sec < 0) return;
+  const int64_t slot_index = now_sec / spec_.slot_seconds;
+  Slot& slot = ring_[static_cast<size_t>(slot_index) % spec_.slots];
+  for (;;) {
+    int64_t stamp = slot.stamp.load(std::memory_order_acquire);
+    if (stamp == slot_index) break;
+    if (stamp > slot_index) return;  // the ring already moved past us
+    if (stamp < kEmptySlot) {
+      // Mid-reset by another writer. Toward a newer slot: our sample
+      // aged out of the ring; toward ours (or an older one): spin until
+      // the reset publishes and re-evaluate.
+      if (-stamp - 2 > slot_index) return;
+      continue;
+    }
+    // Stale or never-used slot: claim the rotation. The resetting
+    // marker keeps concurrent recorders out until the wipe is done, so
+    // their samples cannot be erased under them.
+    if (slot.stamp.compare_exchange_weak(stamp, -(slot_index + 2),
+                                         std::memory_order_acq_rel)) {
+      slot.hist.Reset();
+      slot.stamp.store(slot_index, std::memory_order_release);
+      break;
+    }
+  }
+  slot.hist.Record(value);
+}
+
+HistogramSnapshot WindowedHistogram::SnapshotWindowAt(int64_t window_seconds,
+                                                      int64_t now_sec) const {
+  HistogramSnapshot merged;
+  if (now_sec < 0 || window_seconds <= 0) return merged;
+  const int64_t current = now_sec / spec_.slot_seconds;
+  int64_t window_slots =
+      (window_seconds + spec_.slot_seconds - 1) / spec_.slot_seconds;
+  window_slots =
+      std::min<int64_t>(window_slots, static_cast<int64_t>(spec_.slots));
+  for (size_t i = 0; i < spec_.slots; ++i) {
+    const int64_t stamp = ring_[i].stamp.load(std::memory_order_acquire);
+    if (stamp < 0) continue;
+    if (stamp > current || stamp <= current - window_slots) continue;
+    merged.Merge(ring_[i].hist.Snapshot());
+  }
+  return merged;
+}
+
+double WindowedHistogram::RatePerSecAt(int64_t window_seconds,
+                                       int64_t now_sec) const {
+  if (window_seconds <= 0) return 0;
+  const int64_t effective = std::min(window_seconds, spec_.span_seconds());
+  const HistogramSnapshot snapshot =
+      SnapshotWindowAt(window_seconds, now_sec);
+  return static_cast<double>(snapshot.count) /
+         static_cast<double>(effective);
+}
+
+}  // namespace cegraph::obs

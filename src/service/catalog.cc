@@ -23,17 +23,21 @@ util::Status ValidateName(const std::string& name) {
 }  // namespace
 
 util::StatusOr<std::unique_ptr<DatasetCatalog>> DatasetCatalog::Create(
-    std::vector<DatasetSpec> specs, std::string default_dataset) {
+    std::vector<DatasetSpec> specs, std::string default_dataset,
+    obs::Journal* journal) {
   if (specs.empty()) {
     return util::InvalidArgumentError("catalog needs at least one dataset");
   }
   auto catalog = std::make_unique<DatasetCatalog>();
   for (DatasetSpec& spec : specs) {
-    // Stamp the dataset name onto the service's Prometheus series so a
-    // multi-tenant page stays disambiguated.
+    // Stamp the dataset name onto the service's Prometheus series (and
+    // journal events) so a multi-tenant page stays disambiguated, and
+    // hand every dataset the shared event journal unless the spec wired
+    // its own.
     if (spec.options.metrics_label.empty()) {
       spec.options.metrics_label = spec.name;
     }
+    if (spec.options.journal == nullptr) spec.options.journal = journal;
     auto service = EstimationService::Create(std::move(spec.graph),
                                              std::move(spec.options));
     if (!service.ok()) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/journal.h"
 #include "service/service.h"
 #include "util/status.h"
 
@@ -34,9 +35,14 @@ class DatasetCatalog {
  public:
   /// Builds one service per spec (names must be unique and non-empty) and
   /// routes requests without a dataset to `default_dataset` (empty = the
-  /// first spec's name).
+  /// first spec's name). A non-null `journal` (borrowed; must outlive the
+  /// catalog) becomes the default event journal of every spec that did
+  /// not set its own — each dataset's events carry its name in the
+  /// `dataset` field, so one shared JSONL file stays disambiguated, the
+  /// same way metrics_label keeps the Prometheus page disambiguated.
   static util::StatusOr<std::unique_ptr<DatasetCatalog>> Create(
-      std::vector<DatasetSpec> specs, std::string default_dataset = "");
+      std::vector<DatasetSpec> specs, std::string default_dataset = "",
+      obs::Journal* journal = nullptr);
 
   /// An empty catalog, to be filled with AddOwned/AddBorrowed before any
   /// serving thread touches it.

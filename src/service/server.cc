@@ -229,6 +229,15 @@ std::string TcpServer::EncodeOverloadReject(const std::string& what) {
   return wire::EncodeResponse(response);
 }
 
+void TcpServer::EmitShedEvent(const char* reason, int cap) {
+  if (options_.journal == nullptr) return;
+  obs::JournalEvent event;
+  event.type = "shed";
+  event.text.emplace_back("reason", reason);
+  event.num.emplace_back("cap", static_cast<double>(cap));
+  (void)options_.journal->Emit(std::move(event));
+}
+
 // ---- event loop (kEventLoop) ----
 
 void TcpServer::IoLoop() {
@@ -291,6 +300,7 @@ void TcpServer::HandleAccept() {
     if (options_.max_connections > 0 &&
         conns_.size() >= static_cast<size_t>(options_.max_connections)) {
       shed_connection_cap_.fetch_add(1, std::memory_order_relaxed);
+      EmitShedEvent("connection_cap", options_.max_connections);
       // The accepted fd is still blocking (O_NONBLOCK does not inherit
       // through accept), so the refusal frame can be written inline.
       (void)wire::WriteFrame(
@@ -376,6 +386,7 @@ void TcpServer::ParseFrames(Conn& conn) {
     if (pipeline_cap > 0 &&
         conn.pending.size() >= static_cast<size_t>(pipeline_cap)) {
       shed_pipeline_cap_.fetch_add(1, std::memory_order_relaxed);
+      EmitShedEvent("pipeline_cap", pipeline_cap);
       conn.pending.push_back(
           {EncodeOverloadReject("connection pipeline full (" +
                                 std::to_string(pipeline_cap) +
@@ -532,6 +543,7 @@ void TcpServer::EventWorkerLoop() {
     if (!request.ok()) {
       response.status = request.status();
     } else {
+      trace.request_id = request->request_id;
       response = Dispatch(*request);
       // Only an *accepted* shutdown drains the server (a dataset-
       // qualified one was answered with an error frame and must not).
@@ -593,19 +605,47 @@ void TcpServer::MaybeLogSlowRequest(const WorkItem& item,
       static_cast<int64_t>(options_.slow_request_millis) * 1000) {
     return;
   }
-  // Rate-limit to ~1 line/second: a saturated server producing only slow
-  // requests must not also saturate its own stderr.
-  int64_t last = last_slow_log_micros_.load(std::memory_order_relaxed);
-  if (done_micros - last < 1000000 ||
-      !last_slow_log_micros_.compare_exchange_strong(
-          last, done_micros, std::memory_order_relaxed)) {
-    return;
+  // Rate-limit to ~slow_log_per_sec lines/second: a saturated server
+  // producing only slow requests must not also saturate its own stderr
+  // (or journal). <= 0 removes the limiter.
+  if (options_.slow_log_per_sec > 0) {
+    const int64_t min_gap_micros =
+        static_cast<int64_t>(1e6 / options_.slow_log_per_sec);
+    int64_t last = last_slow_log_micros_.load(std::memory_order_relaxed);
+    if (done_micros - last < min_gap_micros ||
+        !last_slow_log_micros_.compare_exchange_strong(
+            last, done_micros, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  char rid[32];
+  rid[0] = '\0';
+  if (trace.request_id != 0) {
+    std::snprintf(rid, sizeof rid, " rid=%016llx",
+                  static_cast<unsigned long long>(trace.request_id));
   }
   std::fprintf(stderr,
-               "[cegraph_serve] slow request: %.1f ms (conn %llu): %s\n",
+               "[cegraph_serve] slow request: %.1f ms (conn %llu%s): %s\n",
                static_cast<double>(total_micros) / 1000.0,
-               static_cast<unsigned long long>(item.conn_id),
+               static_cast<unsigned long long>(item.conn_id), rid,
                trace.Format().c_str());
+  if (options_.journal != nullptr) {
+    obs::JournalEvent event;
+    event.type = "slow_request";
+    event.request_id = trace.request_id;
+    event.num.emplace_back("total_millis",
+                           static_cast<double>(total_micros) / 1000.0);
+    event.num.emplace_back("conn", static_cast<double>(item.conn_id));
+    for (size_t i = 0; i < obs::kStageCount; ++i) {
+      const obs::Stage stage = static_cast<obs::Stage>(i);
+      const double micros = trace.micros(stage);
+      if (micros > 0) {
+        event.num.emplace_back(std::string(obs::StageName(stage)) + "_micros",
+                               micros);
+      }
+    }
+    (void)options_.journal->Emit(std::move(event));
+  }
 }
 
 void TcpServer::WakeIo() {
@@ -644,6 +684,7 @@ void TcpServer::AcceptLoop() {
     }
     if (reject) {
       shed_queue_cap_.fetch_add(1, std::memory_order_relaxed);
+      EmitShedEvent("queue_cap", options_.max_queued_connections);
       (void)wire::WriteFrame(
           fd, EncodeOverloadReject(
                   "server accept queue full (" +
@@ -726,6 +767,10 @@ void TcpServer::ServeConnection(int fd) {
 wire::Response TcpServer::Dispatch(const wire::Request& request) {
   wire::Response response;
   response.type = request.type;
+  // v5: a client-stamped request id is echoed verbatim on every
+  // response, success or error, so the client can correlate pipelined
+  // frames with the server's slow log and journal.
+  response.request_id = request.request_id;
 
   // Routing: kShutdown is server-level by definition — a dataset-
   // qualified shutdown is rejected rather than silently draining every
@@ -807,11 +852,13 @@ wire::Response TcpServer::Dispatch(const wire::Request& request) {
       break;
     }
     case wire::MessageType::kStats: {
-      ServiceStats stats = service->Stats();
       // "v4" in the request text is the client's opt-in to the trailing
-      // observability extension; older clients leave it empty and get a
-      // byte-identical v3 response.
-      if (request.text == "v4") stats.v4_wire = true;
+      // observability extension; "v5" additionally gets the per-class
+      // accuracy scorecard extension. Older clients leave the text empty
+      // and get a byte-identical v3 response.
+      const bool v5 = request.text == wire::kStatsV5Token;
+      ServiceStats stats = service->Stats(/*with_scorecard=*/v5);
+      if (v5 || request.text == wire::kStatsV4Token) stats.v4_wire = true;
       FillServerCounters(stats);
       response.stats = std::move(stats);
       break;

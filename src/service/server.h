@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/stage_trace.h"
 #include "service/catalog.h"
@@ -67,9 +68,18 @@ struct ServerOptions {
 
   /// kEventLoop: requests slower than this (queue wait through handoff,
   /// as seen by the worker) are logged to stderr with their per-stage
-  /// breakdown, rate-limited to about one line per second so a saturated
-  /// server cannot flood its own log. <= 0 disables the slow log.
+  /// breakdown and request id, rate-limited by slow_log_per_sec so a
+  /// saturated server cannot flood its own log. <= 0 disables the slow
+  /// log.
   int slow_request_millis = 0;
+  /// Cap on slow-request log lines (and journal "slow_request" events)
+  /// per second. <= 0 removes the limiter entirely — every slow request
+  /// is logged.
+  double slow_log_per_sec = 1.0;
+  /// Optional structured event journal (borrowed; must outlive the
+  /// server). The server emits "shed" events at every overload-rejection
+  /// site and "slow_request" events alongside the stderr slow log.
+  obs::Journal* journal = nullptr;
 };
 
 /// The request dispatcher of `cegraph_serve`, reusable in-process
@@ -162,6 +172,8 @@ class TcpServer {
   void NotifyShutdownRequested();
   /// The pre-encoded retryable refusal payload for overload rejections.
   std::string EncodeOverloadReject(const std::string& what);
+  /// Journals one overload rejection (no-op without a journal).
+  void EmitShedEvent(const char* reason, int cap);
 
   // ---- event loop (kEventLoop) ----
   /// One connection's multiplexing state. Owned and mutated by the I/O

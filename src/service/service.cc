@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <utility>
@@ -30,6 +31,26 @@ SnapshotLoadBreakdown BreakdownOf(
   return out;
 }
 
+/// Prometheus label values must escape backslash, quote and newline.
+/// Scorecard class displays are patterns / template names, so this is
+/// usually the identity — but a hostile workload line must not be able
+/// to break the exposition format.
+std::string PromLabelEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
@@ -43,6 +64,16 @@ util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
   }
   std::unique_ptr<EstimationService> service(
       new EstimationService(std::move(base_graph), std::move(options)));
+  service->scorecard_.SetDriftCallback(
+      [raw = service.get()](const obs::ScorecardClassReport& report) {
+        obs::JournalEvent event;
+        event.type = "drift";
+        event.text.emplace_back("class", report.display);
+        event.num.emplace_back("baseline_median", report.baseline_median);
+        event.num.emplace_back("window_p50", report.qerror.p50);
+        event.num.emplace_back("hits", static_cast<double>(report.hits));
+        raw->EmitJournal(std::move(event));
+      });
 
   auto context = std::make_unique<engine::EstimationContext>(
       service->base_graph_, service->options_.context);
@@ -74,6 +105,19 @@ util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
   if (!state.ok()) return state.status();
   service->state_.store(std::move(*state), std::memory_order_release);
   service->RegisterMetrics();
+  if (service->last_load_.loaded) {
+    obs::JournalEvent event;
+    event.type = "snapshot_load";
+    event.num.emplace_back(
+        "snapshot_epoch",
+        static_cast<double>(service->last_load_.snapshot_epoch));
+    event.num.emplace_back("mapped",
+                           service->last_load_.mapped ? 1.0 : 0.0);
+    event.num.emplace_back("map_millis", service->last_load_.map_millis);
+    event.num.emplace_back("parse_millis",
+                           service->last_load_.parse_millis);
+    service->EmitJournal(std::move(event));
+  }
 
   if (service->options_.compact_trigger_ops > 0) {
     service->maintainer_ = std::thread([raw = service.get()] {
@@ -94,7 +138,8 @@ EstimationService::EstimationService(
     : base_graph_(std::move(base_graph)),
       options_(std::move(options)),
       admission_(options_.max_in_flight),
-      accounting_(options_.estimators.size()) {}
+      accounting_(options_.estimators.size()),
+      scorecard_(options_.scorecard) {}
 
 EstimationService::~EstimationService() {
   if (metrics_collector_id_ != 0) {
@@ -211,7 +256,10 @@ util::StatusOr<EstimateResponse> EstimationService::EstimateOnState(
   latency_micros_total_.fetch_add(
       static_cast<uint64_t>(response.total_micros),
       std::memory_order_relaxed);
-  if (metrics) request_latency_hist_.Record(response.total_micros);
+  if (metrics) {
+    request_latency_hist_.Record(response.total_micros);
+    request_latency_window_.Record(response.total_micros);
+  }
   for (size_t i = 0; i < response.results.size(); ++i) {
     EstimatorAccum& accum = accounting_[i];
     const EstimatorResult& result = response.results[i];
@@ -231,7 +279,53 @@ util::StatusOr<EstimateResponse> EstimationService::EstimateOnState(
       if (metrics) accum.qerror_hist.Record(result.qerror);
     }
   }
+  if (metrics && response.has_truth) RecordScorecard(request, response);
   return response;
+}
+
+void EstimationService::RecordScorecard(
+    const EstimateRequest& request, const EstimateResponse& response) const {
+  // Class identity: isomorphism-canonical shape (memoized on the query —
+  // the CEG cache already computed it on this path) plus the sorted label
+  // multiset the canonical code abstracts away.
+  std::string key = request.query.CanonicalCode();
+  std::vector<uint32_t> labels;
+  labels.reserve(request.query.edges().size());
+  for (const query::QueryEdge& e : request.query.edges()) {
+    labels.push_back(e.label);
+  }
+  std::sort(labels.begin(), labels.end());
+  key += '|';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += std::to_string(labels[i]);
+  }
+  const std::string_view display = request.template_name.empty()
+                                       ? std::string_view(request.pattern)
+                                       : std::string_view(
+                                             request.template_name);
+  const int64_t now_sec = obs::WindowedHistogram::NowSec();
+  for (const EstimatorResult& result : response.results) {
+    // Same usability bar as the mean/histogram aggregates above.
+    if (!result.ok || !std::isfinite(result.qerror) || result.qerror <= 0) {
+      continue;
+    }
+    obs::ScorecardSample sample;
+    sample.class_key = key;
+    sample.display = display;
+    sample.line = request.pattern;
+    sample.estimator = result.name;
+    sample.qerror = result.qerror;
+    sample.estimate = result.estimate;
+    sample.truth = response.truth;
+    scorecard_.RecordAt(sample, now_sec);
+  }
+}
+
+void EstimationService::EmitJournal(obs::JournalEvent event) const {
+  if (options_.journal == nullptr) return;
+  if (event.dataset.empty()) event.dataset = options_.metrics_label;
+  options_.journal->Emit(std::move(event));
 }
 
 util::StatusOr<EstimateResponse> EstimationService::EstimateLine(
@@ -392,9 +486,8 @@ util::StatusOr<SwapReport> EstimationService::ApplyBatchLocked(
   const double f0 = NowMicros();
   auto fork = current->engine->context().ForkWithDeltas(
       batch, &report.maintenance);
-  if (obs::MetricsEnabled()) {
-    fold_millis_hist_.Record((NowMicros() - f0) / 1000.0);
-  }
+  const double fold_millis = (NowMicros() - f0) / 1000.0;
+  if (obs::MetricsEnabled()) fold_millis_hist_.Record(fold_millis);
   if (!fork.ok()) return fork.status();
   report.trimmed_log_ops = TrimForRetention(**fork);
 
@@ -403,6 +496,15 @@ util::StatusOr<SwapReport> EstimationService::ApplyBatchLocked(
   report.epoch = (*next)->epoch;
   report.version = (*next)->version;
   Publish(std::move(*next));
+  // A fold keeps the estimates' regime: the scorecard baselines stand.
+  obs::JournalEvent event;
+  event.type = "fold";
+  event.num.emplace_back("epoch", static_cast<double>(report.epoch));
+  event.num.emplace_back("version", static_cast<double>(report.version));
+  event.num.emplace_back("applied_ops",
+                         static_cast<double>(report.applied_ops));
+  event.num.emplace_back("fold_millis", fold_millis);
+  EmitJournal(std::move(event));
   return report;
 }
 
@@ -449,6 +551,22 @@ util::StatusOr<SwapReport> EstimationService::HotSwapSnapshot(
   report.epoch = (*next)->epoch;
   report.version = (*next)->version;
   Publish(std::move(*next));
+  // The swap rebased the service onto a new artifact: whatever the
+  // estimates do now is the new normal, so drift is measured against a
+  // baseline stamped from here on.
+  scorecard_.StampBaseline();
+  obs::JournalEvent event;
+  event.type = "swap";
+  event.num.emplace_back("epoch", static_cast<double>(report.epoch));
+  event.num.emplace_back("version", static_cast<double>(report.version));
+  event.num.emplace_back(
+      "replayed_deltas",
+      static_cast<double>(report.snapshot_replayed_deltas));
+  event.num.emplace_back("stale", report.snapshot_stale ? 1.0 : 0.0);
+  event.num.emplace_back("map_millis", report.snapshot_load.map_millis);
+  event.num.emplace_back("parse_millis",
+                         report.snapshot_load.parse_millis);
+  EmitJournal(std::move(event));
   return report;
 }
 
@@ -471,7 +589,7 @@ void EstimationService::MaintainerLoop() {
   }
 }
 
-ServiceStats EstimationService::Stats() const {
+ServiceStats EstimationService::Stats(bool with_scorecard) const {
   ServiceStats stats;
   stats.served = served_.load(std::memory_order_relaxed);
   stats.rejected = admission_.rejected();
@@ -535,6 +653,15 @@ ServiceStats EstimationService::Stats() const {
   {
     std::lock_guard<std::mutex> lock(load_mutex_);
     stats.snapshot_load = last_load_;
+  }
+  stats.any_drift = scorecard_.AnyDrift();
+  stats.scorecard_window_seconds =
+      options_.scorecard.window.span_seconds();
+  stats.latency_1m = request_latency_window_.SnapshotWindow(60).Summary();
+  stats.rate_1m = request_latency_window_.RatePerSec(60);
+  if (with_scorecard) {
+    stats.scorecard = scorecard_.Report(stats.scorecard_window_seconds);
+    stats.scorecard_wire = true;
   }
   return stats;
 }
@@ -606,6 +733,50 @@ void EstimationService::RegisterMetrics() {
                          cache.counters.misses);
           w.WriteCounter("cegraph_cache_evictions_total", cl,
                          cache.counters.evictions);
+        }
+        // Windowed views: what the service did *lately*, next to the
+        // lifetime histograms above.
+        struct WindowView {
+          int64_t seconds;
+          const char* name;
+        };
+        static constexpr WindowView kWindows[] = {
+            {60, "1m"}, {300, "5m"}, {900, "15m"}};
+        for (const WindowView& view : kWindows) {
+          const std::string wl =
+              l + sep + "window=\"" + view.name + "\"";
+          const obs::QuantileSummary s =
+              request_latency_window_.SnapshotWindow(view.seconds)
+                  .Summary();
+          w.WriteGauge("cegraph_request_rate_per_sec", wl,
+                       request_latency_window_.RatePerSec(view.seconds));
+          w.WriteGauge("cegraph_request_latency_recent_p50_micros", wl,
+                       s.p50);
+          w.WriteGauge("cegraph_request_latency_recent_p99_micros", wl,
+                       s.p99);
+        }
+        // Per-query-class scorecards. The drifted-classes gauge is the
+        // CI tripwire: nonzero means some class's windowed median left
+        // its baseline regime.
+        w.WriteGauge("cegraph_scorecard_classes", l,
+                     static_cast<double>(scorecard_.class_count()));
+        w.WriteGauge("cegraph_scorecard_drifted_classes", l,
+                     static_cast<double>(scorecard_.drifted_classes()));
+        w.WriteCounter("cegraph_scorecard_evictions_total", l,
+                       scorecard_.evictions());
+        for (const obs::ScorecardClassReport& row : scorecard_.Report(
+                 options_.scorecard.window.span_seconds())) {
+          const std::string rl = l + sep + "class=\"" +
+                                 PromLabelEscape(row.display) + "\"";
+          w.WriteCounter("cegraph_scorecard_hits_total", rl, row.hits);
+          w.WriteCounter("cegraph_scorecard_under_total", rl, row.under);
+          w.WriteCounter("cegraph_scorecard_over_total", rl, row.over);
+          w.WriteGauge("cegraph_scorecard_qerror_p50", rl,
+                       row.qerror.p50);
+          w.WriteGauge("cegraph_scorecard_qerror_p99", rl,
+                       row.qerror.p99);
+          w.WriteGauge("cegraph_scorecard_drifted", rl,
+                       row.drifted ? 1.0 : 0.0);
         }
       });
 }

@@ -15,7 +15,10 @@
 #include "dynamic/stats_maintainer.h"
 #include "engine/engine.h"
 #include "graph/graph.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/scorecard.h"
+#include "obs/windowed.h"
 #include "service/admission.h"
 #include "service/request.h"
 #include "util/status.h"
@@ -70,6 +73,14 @@ struct ServiceOptions {
   /// unlabeled series; the service still registers with the global
   /// MetricsRegistry either way.
   std::string metrics_label;
+  /// Per-query-class accuracy scorecards (windowed q-error, under/over
+  /// split, worst exemplar, drift). Recording happens only for
+  /// truth-carrying requests and only when obs::MetricsEnabled().
+  obs::ScorecardOptions scorecard;
+  /// Structured event journal (swaps, folds, drift flips land here when
+  /// set). Borrowed, not owned; must outlive the service. The daemon
+  /// wires one per process via `cegraph_serve --journal FILE`.
+  obs::Journal* journal = nullptr;
 };
 
 /// Breakdown of the snapshot load behind a state: how the artifact was
@@ -173,6 +184,21 @@ struct ServiceStats {
     uint64_t frames_other = 0;
   };
   ServerCounters server;
+
+  // --- v5 scorecard extension (docs/wire_protocol.md §v5) ---
+  /// True when this stats object carries (or should carry, on encode)
+  /// the v5 trailing scorecard extension; implies v4_wire on encode.
+  bool scorecard_wire = false;
+  bool any_drift = false;  ///< any class currently flagged as drifted
+  /// Window the scorecard rows (and latency_1m below) were read over.
+  int64_t scorecard_window_seconds = 0;
+  /// Request latency over the trailing minute — the "what is the server
+  /// doing *lately*" counterpart of the lifetime `latency` summary.
+  obs::QuantileSummary latency_1m;
+  double rate_1m = 0;  ///< served requests/sec over the trailing minute
+  /// Per-query-class rows, sorted by hits descending (ties: key
+  /// ascending). Filled only by Stats(/*with_scorecard=*/true).
+  std::vector<obs::ScorecardClassReport> scorecard;
 };
 
 /// A long-lived, concurrently readable estimation server over one base
@@ -264,7 +290,11 @@ class EstimationService {
   }
 
   uint64_t epoch() const { return AcquireState()->epoch; }
-  ServiceStats Stats() const;
+  /// Aggregate accounting. `with_scorecard` additionally materializes
+  /// the per-class scorecard rows (a window merge per class — cheap per
+  /// scrape, not per request) and marks the result for the v5 wire
+  /// extension.
+  ServiceStats Stats(bool with_scorecard = false) const;
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -355,6 +385,20 @@ class EstimationService {
   mutable obs::Histogram request_latency_hist_;
   mutable obs::Histogram batch_lines_hist_;
   obs::Histogram fold_millis_hist_;
+  /// Windowed twin of request_latency_hist_: recent (1m/5m/15m)
+  /// latency quantiles and request rates for Prometheus and the stats
+  /// extension.
+  mutable obs::WindowedHistogram request_latency_window_;
+  /// Per-query-class accuracy accounting; baseline re-stamped at
+  /// snapshot load / hot swap (never at delta folds — a fold is the
+  /// same regime, a swap is a new one).
+  mutable obs::Scorecard scorecard_;
+  /// Attributes every usable truth-carrying estimator result of
+  /// `response` to the request's query class.
+  void RecordScorecard(const EstimateRequest& request,
+                       const EstimateResponse& response) const;
+  /// Emits to options_.journal when set (dataset stamped); else no-op.
+  void EmitJournal(obs::JournalEvent event) const;
   std::atomic<uint64_t> snapshot_loads_{0};
   /// Handle of this service's collector in MetricsRegistry::Global()
   /// (0 = not registered). Registered at the end of Create, removed

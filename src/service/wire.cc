@@ -287,10 +287,20 @@ util::StatusOr<ServiceStats> DecodeStats(Reader& r) {
 // without breaking this decoder.
 
 constexpr char kStatsExtMagic[4] = {'\xff', 'C', 'G', '4'};
+/// v5 per-query-class scorecard extension (kStats responses, opt-in).
+constexpr char kScorecardExtMagic[4] = {'\xff', 'C', 'G', '5'};
+/// v5 end-to-end request id (any request; echoed on the response).
+constexpr char kRequestIdExtMagic[4] = {'\xff', 'C', 'G', 'R'};
 
-bool IsStatsExt(std::string_view s) {
-  return s.size() >= sizeof(kStatsExtMagic) &&
-         std::memcmp(s.data(), kStatsExtMagic, sizeof(kStatsExtMagic)) == 0;
+bool HasMagic(std::string_view s, const char (&magic)[4]) {
+  return s.size() >= sizeof(magic) &&
+         std::memcmp(s.data(), magic, sizeof(magic)) == 0;
+}
+
+/// True for any 0xFF-led trailing string: an extension field, never a
+/// dataset name.
+bool IsExtensionField(std::string_view s) {
+  return !s.empty() && s[0] == '\xff';
 }
 
 void EncodeSummary(Writer& w, const obs::QuantileSummary& s) {
@@ -436,6 +446,133 @@ util::Status DecodeStatsExt(std::string_view ext, ServiceStats& stats) {
   return util::Status::OK();
 }
 
+// ---- v5 request-id extension -----------------------------------------------
+
+std::string EncodeRequestIdExt(uint64_t id) {
+  Writer w;
+  w.WriteRaw(
+      std::string_view(kRequestIdExtMagic, sizeof(kRequestIdExtMagic)));
+  w.WriteU8(1);  // ext version
+  w.WriteU64(id);
+  return w.TakeBuffer();
+}
+
+util::StatusOr<uint64_t> DecodeRequestIdExt(std::string_view ext) {
+  Reader r(ext.substr(sizeof(kRequestIdExtMagic)));
+  auto version = r.ReadU8();
+  if (!version.ok()) return version.status();
+  if (*version < 1) {
+    return util::InvalidArgumentError("bad request-id extension version " +
+                                      std::to_string(*version));
+  }
+  auto id = r.ReadU64();
+  if (!id.ok()) return id.status();
+  // Trailing bytes inside the ext string are a future version's fields.
+  return *id;
+}
+
+// ---- v5 scorecard extension ------------------------------------------------
+
+std::string EncodeScorecardExt(const ServiceStats& stats) {
+  Writer w;
+  w.WriteRaw(
+      std::string_view(kScorecardExtMagic, sizeof(kScorecardExtMagic)));
+  w.WriteU8(1);  // ext version
+  w.WriteU8(stats.any_drift ? 1 : 0);
+  w.WriteU64(static_cast<uint64_t>(stats.scorecard_window_seconds));
+  EncodeSummary(w, stats.latency_1m);
+  w.WriteDouble(stats.rate_1m);
+  w.WriteU32(static_cast<uint32_t>(stats.scorecard.size()));
+  for (const obs::ScorecardClassReport& row : stats.scorecard) {
+    w.WriteString(row.key);
+    w.WriteString(row.display);
+    w.WriteU64(row.hits);
+    w.WriteU64(row.under);
+    w.WriteU64(row.over);
+    EncodeSummary(w, row.qerror);
+    w.WriteDouble(row.baseline_median);
+    w.WriteU8(row.drifted ? 1 : 0);
+    w.WriteDouble(row.worst.qerror);
+    w.WriteString(row.worst.line);
+    w.WriteDouble(row.worst.estimate);
+    w.WriteDouble(row.worst.truth);
+    w.WriteString(row.worst.estimator);
+  }
+  return w.TakeBuffer();
+}
+
+util::Status DecodeScorecardExt(std::string_view ext, ServiceStats& stats) {
+  Reader r(ext.substr(sizeof(kScorecardExtMagic)));
+  auto version = r.ReadU8();
+  if (!version.ok()) return version.status();
+  if (*version < 1) {
+    return util::InvalidArgumentError("bad scorecard extension version " +
+                                      std::to_string(*version));
+  }
+  auto drift = r.ReadU8();
+  if (!drift.ok()) return drift.status();
+  stats.any_drift = *drift != 0;
+  auto window = r.ReadU64();
+  if (!window.ok()) return window.status();
+  stats.scorecard_window_seconds = static_cast<int64_t>(*window);
+  auto latency = DecodeSummary(r);
+  if (!latency.ok()) return latency.status();
+  stats.latency_1m = *latency;
+  auto rate = r.ReadDouble();
+  if (!rate.ok()) return rate.status();
+  stats.rate_1m = *rate;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  if (*count > r.remaining()) {
+    return util::InvalidArgumentError(
+        "scorecard class count exceeds extension payload");
+  }
+  stats.scorecard.clear();
+  stats.scorecard.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    obs::ScorecardClassReport row;
+    auto key = r.ReadString();
+    if (!key.ok()) return key.status();
+    row.key = std::move(*key);
+    auto display = r.ReadString();
+    if (!display.ok()) return display.status();
+    row.display = std::move(*display);
+    for (uint64_t* field : {&row.hits, &row.under, &row.over}) {
+      auto value = r.ReadU64();
+      if (!value.ok()) return value.status();
+      *field = *value;
+    }
+    auto qerror = DecodeSummary(r);
+    if (!qerror.ok()) return qerror.status();
+    row.qerror = *qerror;
+    auto baseline = r.ReadDouble();
+    if (!baseline.ok()) return baseline.status();
+    row.baseline_median = *baseline;
+    auto drifted = r.ReadU8();
+    if (!drifted.ok()) return drifted.status();
+    row.drifted = *drifted != 0;
+    auto worst_q = r.ReadDouble();
+    if (!worst_q.ok()) return worst_q.status();
+    row.worst.qerror = *worst_q;
+    auto line = r.ReadString();
+    if (!line.ok()) return line.status();
+    row.worst.line = std::move(*line);
+    auto estimate = r.ReadDouble();
+    if (!estimate.ok()) return estimate.status();
+    row.worst.estimate = *estimate;
+    auto truth = r.ReadDouble();
+    if (!truth.ok()) return truth.status();
+    row.worst.truth = *truth;
+    auto estimator = r.ReadString();
+    if (!estimator.ok()) return estimator.status();
+    row.worst.estimator = std::move(*estimator);
+    stats.scorecard.push_back(std::move(row));
+  }
+  // Trailing bytes inside the ext string are a future version's fields.
+  stats.scorecard_wire = true;
+  return util::Status::OK();
+}
+
 void EncodeBatch(Writer& w, const std::vector<BatchEstimateItem>& batch) {
   w.WriteU32(static_cast<uint32_t>(batch.size()));
   for (const BatchEstimateItem& item : batch) {
@@ -492,6 +629,10 @@ std::string EncodeRequest(const Request& request) {
   // v2 trailing field, encoded only when set: a request without a dataset
   // stays byte-identical to a v1 frame (old servers keep accepting it).
   if (!request.dataset.empty()) w.WriteString(request.dataset);
+  // v5 trailing field, same contract: no id, no bytes.
+  if (request.request_id != 0) {
+    w.WriteString(EncodeRequestIdExt(request.request_id));
+  }
   return w.TakeBuffer();
 }
 
@@ -526,14 +667,27 @@ util::StatusOr<Request> DecodeRequest(std::string_view payload) {
     if (!text.ok()) return text.status();
     request.text = std::move(*text);
   }
-  if (!r.AtEnd()) {
-    // v2 frame: the trailing dataset field.
-    auto dataset = r.ReadString();
-    if (!dataset.ok()) return dataset.status();
-    request.dataset = std::move(*dataset);
-    if (!r.AtEnd()) {
-      return util::InvalidArgumentError("trailing bytes in request frame");
+  // v5 trailing-field sequence: at most one dataset name (v2), any
+  // number of 0xFF-led extension strings — known ones decoded, unknown
+  // ones skipped so a newer peer's extras don't fail the frame.
+  bool have_dataset = false;
+  while (!r.AtEnd()) {
+    auto field = r.ReadString();
+    if (!field.ok()) return field.status();
+    if (IsExtensionField(*field)) {
+      if (HasMagic(*field, kRequestIdExtMagic)) {
+        auto id = DecodeRequestIdExt(*field);
+        if (!id.ok()) return id.status();
+        request.request_id = *id;
+      }
+      continue;
     }
+    if (have_dataset) {
+      return util::InvalidArgumentError(
+          "duplicate dataset field in request frame");
+    }
+    have_dataset = true;
+    request.dataset = std::move(*field);
   }
   return request;
 }
@@ -568,10 +722,20 @@ std::string EncodeResponse(const Response& response) {
   // (responses to v1 requests stay byte-identical to v1 frames).
   if (!response.dataset.empty()) w.WriteString(response.dataset);
   // v4 opt-in: the trailing stats extension, only on OK stats responses
-  // whose request asked for it.
+  // whose request asked for it. The v5 scorecard opt-in implies it.
   if (response.status.ok() && response.type == MessageType::kStats &&
-      response.stats.v4_wire) {
+      (response.stats.v4_wire || response.stats.scorecard_wire)) {
     w.WriteString(EncodeStatsExt(response.stats));
+  }
+  // v5 opt-in: the trailing scorecard extension.
+  if (response.status.ok() && response.type == MessageType::kStats &&
+      response.stats.scorecard_wire) {
+    w.WriteString(EncodeScorecardExt(response.stats));
+  }
+  // v5 echo, same contract as the dataset echo: only when the request
+  // carried an id.
+  if (response.request_id != 0) {
+    w.WriteString(EncodeRequestIdExt(response.request_id));
   }
   return w.TakeBuffer();
 }
@@ -590,14 +754,37 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
   }
   Response response;
   response.type = static_cast<MessageType>(*type);
-  // v2 trailing dataset echo, shared by the error and OK paths.
-  auto read_trailing_dataset = [&r, &response]() -> util::Status {
-    if (r.AtEnd()) return util::Status::OK();
-    auto dataset = r.ReadString();
-    if (!dataset.ok()) return dataset.status();
-    response.dataset = std::move(*dataset);
-    if (!r.AtEnd()) {
-      return util::InvalidArgumentError("trailing bytes in response frame");
+  // v5 trailing-field sequence (shared by the error and OK paths): at
+  // most one dataset echo (v2), any number of 0xFF-led extension
+  // strings — the stats/scorecard extensions on kStats frames, the
+  // request-id echo on any frame; unknown magics are a newer peer's
+  // fields and are skipped.
+  auto read_trailing_fields = [&r, &response]() -> util::Status {
+    bool have_dataset = false;
+    while (!r.AtEnd()) {
+      auto field = r.ReadString();
+      if (!field.ok()) return field.status();
+      if (IsExtensionField(*field)) {
+        if (response.type == MessageType::kStats &&
+            HasMagic(*field, kStatsExtMagic)) {
+          CEGRAPH_RETURN_IF_ERROR(DecodeStatsExt(*field, response.stats));
+        } else if (response.type == MessageType::kStats &&
+                   HasMagic(*field, kScorecardExtMagic)) {
+          CEGRAPH_RETURN_IF_ERROR(
+              DecodeScorecardExt(*field, response.stats));
+        } else if (HasMagic(*field, kRequestIdExtMagic)) {
+          auto id = DecodeRequestIdExt(*field);
+          if (!id.ok()) return id.status();
+          response.request_id = *id;
+        }
+        continue;
+      }
+      if (have_dataset) {
+        return util::InvalidArgumentError(
+            "duplicate dataset field in response frame");
+      }
+      have_dataset = true;
+      response.dataset = std::move(*field);
     }
     return util::Status::OK();
   };
@@ -608,7 +795,7 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
     }
     response.status = util::Status(static_cast<util::StatusCode>(*code),
                                    std::move(*message));
-    CEGRAPH_RETURN_IF_ERROR(read_trailing_dataset());
+    CEGRAPH_RETURN_IF_ERROR(read_trailing_fields());
     return response;
   }
   switch (response.type) {
@@ -629,32 +816,7 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
       auto stats = DecodeStats(r);
       if (!stats.ok()) return stats.status();
       response.stats = std::move(*stats);
-      // A stats response may carry up to two trailing strings: the v2
-      // dataset echo and/or the v4 extension (which always starts with
-      // the 0xFF magic, impossible for a dataset name).
-      if (!r.AtEnd()) {
-        auto first = r.ReadString();
-        if (!first.ok()) return first.status();
-        if (IsStatsExt(*first)) {
-          CEGRAPH_RETURN_IF_ERROR(DecodeStatsExt(*first, response.stats));
-        } else {
-          response.dataset = std::move(*first);
-          if (!r.AtEnd()) {
-            auto second = r.ReadString();
-            if (!second.ok()) return second.status();
-            if (!IsStatsExt(*second)) {
-              return util::InvalidArgumentError(
-                  "trailing bytes in response frame");
-            }
-            CEGRAPH_RETURN_IF_ERROR(DecodeStatsExt(*second, response.stats));
-          }
-        }
-        if (!r.AtEnd()) {
-          return util::InvalidArgumentError(
-              "trailing bytes in response frame");
-        }
-      }
-      return response;
+      break;
     }
     case MessageType::kPing:
     case MessageType::kShutdown: {
@@ -670,7 +832,7 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
       break;
     }
   }
-  CEGRAPH_RETURN_IF_ERROR(read_trailing_dataset());
+  CEGRAPH_RETURN_IF_ERROR(read_trailing_fields());
   return response;
 }
 

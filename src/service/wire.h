@@ -50,26 +50,50 @@ namespace cegraph::service::wire {
 /// frame — stay byte-identical to v3 in both directions; the magic byte
 /// 0xFF cannot start a dataset name, which is how the decoder tells the
 /// two trailing strings apart.
+///
+/// Version 5 generalizes that trick: trailing strings after the request
+/// body / response body are now a *sequence* of fields, each either the
+/// (at most one) dataset name or a 0xFF-magic-led extension, in any
+/// order; unknown 0xFF magics are skipped, so later revisions can add
+/// extensions without breaking v5 peers. Two extensions ship with v5:
+///
+///   FF 43 47 52 ("\xFF" "CGR")  request-id: u8 ext version, u64 id. A
+///     client stamps any request with a nonzero id; the server echoes it
+///     on the response and threads it through the slow-request log, the
+///     stage trace and the journal — one id, end to end. Requests
+///     without an id stay byte-identical to v4 frames.
+///
+///   FF 43 47 35 ("\xFF" "CG5")  scorecard: per-query-class windowed
+///     accuracy rows (hits, under/over split, q-error quantiles,
+///     baseline median, drift verdict, worst exemplar) plus the drift
+///     gauge and recent request latency/rate. Sent on kStats responses
+///     whose request `text` is "v5" (which implies the v4 extension
+///     too).
 
 /// Upper bound on one frame's payload; larger length prefixes are treated
 /// as corruption and fail the connection.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
 
 /// Protocol revision implemented by this build (documentation constant;
-/// frames themselves are versionless — v2/v3/v4 are strict,
+/// frames themselves are versionless — v2..v5 are strict,
 /// self-delimiting extensions of v1, distinguished per frame by type and
 /// trailing fields).
-inline constexpr uint32_t kProtocolVersion = 4;
+inline constexpr uint32_t kProtocolVersion = 5;
 
 /// The v4 stats-extension opt-in token: a kStats request whose `text`
 /// equals this receives the trailing observability extension.
 inline constexpr std::string_view kStatsV4Token = "v4";
 
+/// The v5 scorecard opt-in token: a kStats request whose `text` equals
+/// this receives the v4 observability extension *and* the v5 scorecard
+/// extension.
+inline constexpr std::string_view kStatsV5Token = "v5";
+
 enum class MessageType : uint8_t {
   kEstimate = 1,      ///< text: one request line (service::ParseRequestLine)
   kApplyDeltas = 2,   ///< text: a delta feed (dynamic delta text format)
   kSwapSnapshot = 3,  ///< text: server-local snapshot path
-  kStats = 4,         ///< text: "" (v3 reply) or "v4" (stats extension)
+  kStats = 4,         ///< text: "" (v3), "v4" (stats ext), "v5" (+scorecard)
   kPing = 5,          ///< text echoed back
   kShutdown = 6,      ///< text unused; server drains and exits
   kBatchEstimate = 7, ///< v3: `lines` carries N estimate lines
@@ -86,6 +110,9 @@ struct Request {
   /// (Declared last so pre-v3 `{type, text, dataset}` aggregate
   /// initialization keeps meaning what it says.)
   std::vector<std::string> lines;
+  /// v5: client-generated end-to-end request id; 0 = none (and encodes
+  /// as a pre-v5 frame, byte for byte).
+  uint64_t request_id = 0;
 };
 
 /// The decoded answer to one request. `status` is the request-level
@@ -107,6 +134,9 @@ struct Response {
   /// when the request named one, so v1 clients (which reject trailing
   /// bytes) never see it.
   std::string dataset;
+  /// v5 echo: the request's id, returned verbatim. Servers set it only
+  /// when the request carried one, so pre-v5 clients never see it.
+  uint64_t request_id = 0;
 };
 
 std::string EncodeRequest(const Request& request);

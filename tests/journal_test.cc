@@ -1,0 +1,120 @@
+// Journal: JSONL line schema (escaping, field omission), bounded-ring
+// overflow accounting (drop, never block), and the drain thread's
+// flush/stop contract.
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cegraph::obs {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(JournalTest, FormatsOneJsonObjectPerEvent) {
+  JournalEvent event;
+  event.unix_micros = 1754649600000000;
+  event.type = "swap";
+  event.dataset = "alpha";
+  event.request_id = 0xff;
+  event.text.emplace_back("trigger", "deltas");
+  event.num.emplace_back("epoch", 2.0);
+  event.num.emplace_back("fold_millis", 1.5);
+  EXPECT_EQ(FormatJournalLine(event),
+            "{\"ts_micros\":1754649600000000,\"type\":\"swap\","
+            "\"dataset\":\"alpha\",\"request_id\":\"00000000000000ff\","
+            "\"trigger\":\"deltas\",\"epoch\":2,\"fold_millis\":1.5}");
+}
+
+TEST(JournalTest, OmitsEmptyDatasetAndZeroRequestIdAndEscapes) {
+  JournalEvent event;
+  event.unix_micros = 7;
+  event.type = "slow_request";
+  event.text.emplace_back("line", "say \"hi\"\\\n\ttab");
+  EXPECT_EQ(FormatJournalLine(event),
+            "{\"ts_micros\":7,\"type\":\"slow_request\","
+            "\"line\":\"say \\\"hi\\\"\\\\\\n\\ttab\"}");
+}
+
+TEST(JournalTest, FullRingDropsAndCountsInsteadOfBlocking) {
+  Journal journal(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    JournalEvent event;
+    event.unix_micros = i + 1;
+    event.type = "shed";
+    journal.Emit(std::move(event));
+  }
+  EXPECT_EQ(journal.emitted(), 4u);
+  EXPECT_EQ(journal.dropped(), 6u);
+
+  // The four buffered events survive until the drain starts; drops are
+  // accounted, not retried.
+  const std::string path = ::testing::TempDir() + "journal_overflow.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(journal.Start(path).ok());
+  journal.Flush();
+  journal.Stop();
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(journal.written(), 4u);
+  EXPECT_EQ(journal.dropped(), 6u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\":\"shed\""), std::string::npos);
+  }
+}
+
+TEST(JournalTest, DrainsEventsEmittedWhileRunning) {
+  const std::string path = ::testing::TempDir() + "journal_live.jsonl";
+  std::remove(path.c_str());
+  Journal journal(64);
+  ASSERT_TRUE(journal.Start(path).ok());
+  for (int i = 0; i < 16; ++i) {
+    JournalEvent event;
+    event.type = i % 2 == 0 ? "fold" : "swap";
+    event.dataset = "alpha";
+    event.num.emplace_back("i", static_cast<double>(i));
+    ASSERT_TRUE(journal.Emit(std::move(event)));
+  }
+  journal.Flush();
+  EXPECT_EQ(journal.written(), 16u);
+  EXPECT_EQ(journal.dropped(), 0u);
+  journal.Stop();
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 16u);
+  // Drain preserves emission order (the ring is FIFO).
+  EXPECT_NE(lines[0].find("\"i\":0"), std::string::npos);
+  EXPECT_NE(lines[15].find("\"i\":15"), std::string::npos);
+}
+
+TEST(JournalTest, RingReusableAfterDrainFreesCells) {
+  const std::string path = ::testing::TempDir() + "journal_reuse.jsonl";
+  std::remove(path.c_str());
+  Journal journal(4);
+  ASSERT_TRUE(journal.Start(path).ok());
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      JournalEvent event;
+      event.type = "shed";
+      journal.Emit(std::move(event));
+    }
+    journal.Flush();
+  }
+  journal.Stop();
+  EXPECT_EQ(journal.dropped(), 0u);
+  EXPECT_EQ(ReadLines(path).size(), 15u);
+}
+
+}  // namespace
+}  // namespace cegraph::obs

@@ -251,7 +251,7 @@ TEST(MetricsRegistryTest, AddRenderRemove) {
 }
 
 // Speaks just enough HTTP to act as a scraper against the exporter.
-std::string HttpGet(int port) {
+std::string HttpGet(int port, const std::string& path = "/metrics") {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
   sockaddr_in addr{};
@@ -260,7 +260,7 @@ std::string HttpGet(int port) {
   ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
   EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
-  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
   EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
             static_cast<ssize_t>(request.size()));
   std::string response;
@@ -295,6 +295,41 @@ TEST(MetricsHttpServerTest, ServesRegistryPage) {
   server.Stop();
   server.Stop();
   reg.RemoveCollector(id);
+}
+
+TEST(MetricsHttpServerTest, RoutesHealthzAndUnknownPaths) {
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start("127.0.0.1", 0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  // /healthz answers 200 with a minimal default body...
+  std::string response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("ok"), std::string::npos);
+
+  // ...and with the wired body once the host installs one.
+  server.SetHealthBody(
+      [] { return std::string("ok\nepoch 7\nversion v5\n"); });
+  response = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("epoch 7"), std::string::npos);
+  EXPECT_NE(response.find("version v5"), std::string::npos);
+
+  // Query strings are stripped before routing.
+  response = HttpGet(server.port(), "/healthz?verbose=1");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("epoch 7"), std::string::npos);
+
+  // Unknown paths 404 with a hint body instead of an empty hangup.
+  response = HttpGet(server.port(), "/nope");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  EXPECT_NE(response.find("not found: '/nope'"), std::string::npos);
+
+  // /metrics still serves the registry page alongside the new routes.
+  response = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("200"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  server.Stop();
 }
 
 // ---------------------------------------------------------------------

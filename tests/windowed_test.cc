@@ -1,0 +1,95 @@
+// WindowedHistogram: deterministic rotation via injected time, window
+// merges, ring wrap-around, and the concurrency contract — samples
+// racing a slot rotation are never lost (the reset marker keeps
+// recorders out until the wipe has published).
+#include "obs/windowed.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cegraph::obs {
+namespace {
+
+TEST(WindowedHistogramTest, MergesOnlySlotsInsideTheWindow) {
+  WindowedHistogram hist({/*slot_seconds=*/1, /*slots=*/8});
+  for (int64_t t = 0; t < 8; ++t) {
+    hist.RecordAt(static_cast<double>(t + 1), t);
+  }
+  EXPECT_EQ(hist.SnapshotWindowAt(8, 7).count, 8u);
+  EXPECT_EQ(hist.SnapshotWindowAt(1, 7).count, 1u);   // current slot only
+  EXPECT_EQ(hist.SnapshotWindowAt(4, 7).count, 4u);   // t = 4..7
+  EXPECT_DOUBLE_EQ(hist.SnapshotWindowAt(4, 7).sum, 5 + 6 + 7 + 8);
+  // A longer window clamps to the ring span.
+  EXPECT_EQ(hist.SnapshotWindowAt(100, 7).count, 8u);
+}
+
+TEST(WindowedHistogramTest, WrapRecyclesTheOldestSlot) {
+  WindowedHistogram hist({1, 4});
+  for (int64_t t = 0; t < 4; ++t) hist.RecordAt(1.0, t);
+  EXPECT_EQ(hist.SnapshotWindowAt(4, 3).count, 4u);
+  // t=4 reuses the ring position of t=0: the old samples age out.
+  hist.RecordAt(1.0, 4);
+  const HistogramSnapshot window = hist.SnapshotWindowAt(4, 4);
+  EXPECT_EQ(window.count, 4u);  // t = 1, 2, 3, 4
+}
+
+TEST(WindowedHistogramTest, SamplesOlderThanTheSlotTenantAreDropped) {
+  WindowedHistogram hist({1, 4});
+  hist.RecordAt(1.0, 10);  // ring position 10 % 4 == 2
+  hist.RecordAt(1.0, 2);   // same position, older tenant: dropped
+  EXPECT_EQ(hist.SnapshotWindowAt(4, 10).count, 1u);
+}
+
+TEST(WindowedHistogramTest, CoarseSlotsShareOneBucket) {
+  WindowedHistogram hist({/*slot_seconds=*/10, /*slots=*/3});
+  hist.RecordAt(1.0, 0);
+  hist.RecordAt(1.0, 9);   // same 10-second slot
+  hist.RecordAt(1.0, 10);  // next slot
+  EXPECT_EQ(hist.SnapshotWindowAt(10, 10).count, 1u);
+  EXPECT_EQ(hist.SnapshotWindowAt(20, 10).count, 3u);
+}
+
+TEST(WindowedHistogramTest, WindowQuantilesForgetTheOldRegime) {
+  WindowedHistogram hist({1, 900});
+  for (int i = 0; i < 10; ++i) hist.RecordAt(1000.0, 0);
+  for (int i = 0; i < 10; ++i) hist.RecordAt(2.0, 100);
+  // The full window still sees both regimes...
+  EXPECT_EQ(hist.SnapshotWindowAt(900, 100).count, 20u);
+  // ...but a recent window reports only the new one.
+  const HistogramSnapshot recent = hist.SnapshotWindowAt(50, 100);
+  EXPECT_EQ(recent.count, 10u);
+  EXPECT_LE(recent.Summary().p99, 2.0);
+  EXPECT_DOUBLE_EQ(hist.RatePerSecAt(50, 100), 10.0 / 50.0);
+}
+
+TEST(WindowedHistogramTest, ConcurrentRecordAcrossSlotBoundariesLosesNothing) {
+  // Four threads hammer all eight slots in interleaved order, so the
+  // first record in each slot races the others through the rotation
+  // CAS. Every sample must land: a lost sample means the reset wiped a
+  // concurrent record.
+  WindowedHistogram hist({1, 8});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Thread-dependent slot order maximizes same-slot first-record
+        // races without ever wrapping the ring.
+        hist.RecordAt(1.0, static_cast<int64_t>((i + t * 3) % 8));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot window = hist.SnapshotWindowAt(8, 7);
+  EXPECT_EQ(window.count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(window.sum, static_cast<double>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace cegraph::obs

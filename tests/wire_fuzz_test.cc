@@ -65,6 +65,14 @@ MessageType RandomType(Fuzz& fuzz) {
   return static_cast<MessageType>(1 + fuzz.Index(7));
 }
 
+/// A dataset name that can never collide with an extension string: the
+/// wire spec reserves leading 0xFF for extensions, in both directions.
+std::string RandomDataset(Fuzz& fuzz) {
+  std::string dataset = fuzz.Bytes(16);
+  if (!dataset.empty() && dataset[0] == '\xff') dataset[0] = 'd';
+  return dataset;
+}
+
 Request RandomRequest(Fuzz& fuzz) {
   Request request;
   request.type = RandomType(fuzz);
@@ -77,7 +85,9 @@ Request RandomRequest(Fuzz& fuzz) {
   } else {
     request.text = fuzz.Bytes(64);
   }
-  if (fuzz.Coin()) request.dataset = fuzz.Bytes(16);
+  if (fuzz.Coin()) request.dataset = RandomDataset(fuzz);
+  // v5: the optional end-to-end request id.
+  if (fuzz.Coin()) request.request_id = fuzz.U64();
   return request;
 }
 
@@ -100,14 +110,6 @@ EstimateResponse RandomEstimate(Fuzz& fuzz) {
     estimate.results.push_back(std::move(result));
   }
   return estimate;
-}
-
-/// A dataset echo that can never collide with the v4 stats-extension
-/// magic: the wire spec reserves leading 0xFF for extension strings.
-std::string RandomDataset(Fuzz& fuzz) {
-  std::string dataset = fuzz.Bytes(16);
-  if (!dataset.empty() && dataset[0] == '\xff') dataset[0] = 'd';
-  return dataset;
 }
 
 obs::QuantileSummary RandomSummary(Fuzz& fuzz) {
@@ -218,6 +220,35 @@ Response RandomResponse(Fuzz& fuzz) {
             e.latency = RandomSummary(fuzz);
             e.qerror = RandomSummary(fuzz);
           }
+          if (fuzz.Coin()) {
+            // v5: the scorecard extension rides as another trailing
+            // string (opting in implies the v4 extension, so it only
+            // appears inside this branch).
+            response.stats.scorecard_wire = true;
+            response.stats.any_drift = fuzz.Coin();
+            response.stats.scorecard_window_seconds =
+                static_cast<int64_t>(fuzz.U32());
+            response.stats.latency_1m = RandomSummary(fuzz);
+            response.stats.rate_1m = fuzz.FiniteDouble();
+            const size_t classes = fuzz.Index(4);
+            for (size_t i = 0; i < classes; ++i) {
+              obs::ScorecardClassReport row;
+              row.key = fuzz.Bytes(24);
+              row.display = fuzz.Bytes(24);
+              row.hits = fuzz.U64();
+              row.under = fuzz.U64();
+              row.over = fuzz.U64();
+              row.qerror = RandomSummary(fuzz);
+              row.baseline_median = fuzz.FiniteDouble();
+              row.drifted = fuzz.Coin();
+              row.worst.qerror = fuzz.FiniteDouble();
+              row.worst.line = fuzz.Bytes(48);
+              row.worst.estimate = fuzz.FiniteDouble();
+              row.worst.truth = fuzz.FiniteDouble();
+              row.worst.estimator = fuzz.Bytes(16);
+              response.stats.scorecard.push_back(std::move(row));
+            }
+          }
         }
         break;
       }
@@ -243,6 +274,8 @@ Response RandomResponse(Fuzz& fuzz) {
     }
   }
   if (fuzz.Coin()) response.dataset = RandomDataset(fuzz);
+  // v5: the request-id echo travels on error responses too.
+  if (fuzz.Coin()) response.request_id = fuzz.U64();
   return response;
 }
 
@@ -260,6 +293,7 @@ void ExpectEqual(const Request& a, const Request& b) {
   EXPECT_EQ(a.type, b.type);
   EXPECT_EQ(a.text, b.text);
   EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.request_id, b.request_id);
   ASSERT_EQ(a.lines.size(), b.lines.size());
   for (size_t i = 0; i < a.lines.size(); ++i) {
     EXPECT_EQ(a.lines[i], b.lines[i]);
@@ -299,6 +333,7 @@ void ExpectEqual(const Response& a, const Response& b) {
   EXPECT_EQ(a.status.message(), b.status.message());
   EXPECT_EQ(a.type, b.type);
   EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.request_id, b.request_id);
   if (!a.status.ok()) return;  // bodies travel only on OK
   switch (a.type) {
     case MessageType::kEstimate:
@@ -394,6 +429,32 @@ void ExpectEqual(const Response& a, const Response& b) {
                              b.stats.estimators[i].latency);
           ExpectEqualSummary(a.stats.estimators[i].qerror,
                              b.stats.estimators[i].qerror);
+        }
+      }
+      EXPECT_EQ(a.stats.scorecard_wire, b.stats.scorecard_wire);
+      if (a.stats.scorecard_wire) {
+        EXPECT_EQ(a.stats.any_drift, b.stats.any_drift);
+        EXPECT_EQ(a.stats.scorecard_window_seconds,
+                  b.stats.scorecard_window_seconds);
+        ExpectEqualSummary(a.stats.latency_1m, b.stats.latency_1m);
+        EXPECT_EQ(a.stats.rate_1m, b.stats.rate_1m);
+        ASSERT_EQ(a.stats.scorecard.size(), b.stats.scorecard.size());
+        for (size_t i = 0; i < a.stats.scorecard.size(); ++i) {
+          const obs::ScorecardClassReport& x = a.stats.scorecard[i];
+          const obs::ScorecardClassReport& y = b.stats.scorecard[i];
+          EXPECT_EQ(x.key, y.key);
+          EXPECT_EQ(x.display, y.display);
+          EXPECT_EQ(x.hits, y.hits);
+          EXPECT_EQ(x.under, y.under);
+          EXPECT_EQ(x.over, y.over);
+          ExpectEqualSummary(x.qerror, y.qerror);
+          EXPECT_EQ(x.baseline_median, y.baseline_median);
+          EXPECT_EQ(x.drifted, y.drifted);
+          EXPECT_EQ(x.worst.qerror, y.worst.qerror);
+          EXPECT_EQ(x.worst.line, y.worst.line);
+          EXPECT_EQ(x.worst.estimate, y.worst.estimate);
+          EXPECT_EQ(x.worst.truth, y.worst.truth);
+          EXPECT_EQ(x.worst.estimator, y.worst.estimator);
         }
       }
       break;
@@ -747,6 +808,180 @@ TEST(WireFuzzTest, GoldenV4StatsExtensionBytesAreStable) {
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_TRUE(decoded->stats.v4_wire);
   ExpectEqual(response, *decoded);
+}
+
+// ---- v5 request-id and scorecard extensions ----
+
+TEST(WireFuzzTest, GoldenV5RequestIdRequestBytesAreStable) {
+  Request request;
+  request.type = MessageType::kEstimate;
+  request.text = "(a)-[3]->(b)";
+  request.dataset = "alpha";
+  request.request_id = 0xDEADBEEFCAFEF00Dull;
+
+  util::serde::Writer ext;
+  ext.WriteRaw(std::string_view("\xff" "CGR", 4));
+  ext.WriteU8(1);  // ext version
+  ext.WriteU64(0xDEADBEEFCAFEF00Dull);
+
+  util::serde::Writer w;
+  w.WriteU8(1);  // kEstimate
+  w.WriteString("(a)-[3]->(b)");
+  w.WriteString("alpha");  // v2 dataset still precedes the extension
+  w.WriteString(ext.TakeBuffer());
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeRequest(request), golden);
+  auto decoded = DecodeRequest(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectEqual(request, *decoded);
+}
+
+TEST(WireFuzzTest, GoldenV5RequestIdEchoOnErrorResponseBytesAreStable) {
+  // The id echo travels on error responses too — that is what makes it
+  // useful for correlating a shed or failed request with the journal.
+  Response response;
+  response.type = MessageType::kEstimate;
+  response.status = util::ResourceExhaustedError("saturated");
+  response.request_id = 0x42;
+
+  util::serde::Writer ext;
+  ext.WriteRaw(std::string_view("\xff" "CGR", 4));
+  ext.WriteU8(1);
+  ext.WriteU64(0x42);
+
+  util::serde::Writer w;
+  w.WriteU8(static_cast<uint8_t>(util::StatusCode::kResourceExhausted));
+  w.WriteString("saturated");
+  w.WriteU8(1);  // kEstimate
+  w.WriteString(ext.TakeBuffer());
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeResponse(response), golden);
+  auto decoded = DecodeResponse(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectEqual(response, *decoded);
+}
+
+TEST(WireFuzzTest, GoldenV5ScorecardExtensionBytesAreStable) {
+  Response response;
+  response.type = MessageType::kStats;
+  response.stats = GoldenStats();
+  response.stats.v4_wire = true;  // the v5 opt-in implies v4
+  response.stats.scorecard_wire = true;
+  response.stats.any_drift = true;
+  response.stats.scorecard_window_seconds = 900;
+  response.stats.latency_1m = {60, 11.0, 10.0, 18.0, 30.0, 55.0};
+  response.stats.rate_1m = 2.5;
+  obs::ScorecardClassReport row;
+  row.key = "c1|3,5";
+  row.display = "fork_2";
+  row.hits = 40;
+  row.under = 30;
+  row.over = 8;
+  row.qerror = {40, 4.0, 3.0, 8.0, 16.0, 20.0};
+  row.baseline_median = 1.5;
+  row.drifted = true;
+  row.worst.qerror = 20.0;
+  row.worst.line = "(a)-[3]->(b); (a)-[5]->(c)";
+  row.worst.estimate = 2000;
+  row.worst.truth = 100;
+  row.worst.estimator = "cs";
+  response.stats.scorecard.push_back(std::move(row));
+
+  util::serde::Writer v4ext;
+  v4ext.WriteRaw(std::string_view("\xff" "CG4", 4));
+  v4ext.WriteU8(1);
+  WriteGoldenSummary(v4ext, 0, 0, 0, 0, 0, 0);  // latency
+  WriteGoldenSummary(v4ext, 0, 0, 0, 0, 0, 0);  // batch_lines
+  WriteGoldenSummary(v4ext, 0, 0, 0, 0, 0, 0);  // fold_millis
+  v4ext.WriteU64(0);  // admitted_weight
+  v4ext.WriteU64(0);  // rejected_weight
+  v4ext.WriteU64(0);  // snapshot_loads
+  v4ext.WriteU8(0);   // server.present
+  for (int i = 0; i < 11; ++i) v4ext.WriteU64(0);  // server counters
+  v4ext.WriteU32(0);  // cache rows
+  v4ext.WriteU32(1);  // estimator summaries
+  WriteGoldenSummary(v4ext, 0, 0, 0, 0, 0, 0);
+  WriteGoldenSummary(v4ext, 0, 0, 0, 0, 0, 0);
+
+  util::serde::Writer v5ext;
+  v5ext.WriteRaw(std::string_view("\xff" "CG5", 4));
+  v5ext.WriteU8(1);    // ext version
+  v5ext.WriteU8(1);    // any_drift
+  v5ext.WriteU64(900);  // scorecard_window_seconds
+  WriteGoldenSummary(v5ext, 60, 11.0, 10.0, 18.0, 30.0, 55.0);
+  v5ext.WriteDouble(2.5);  // rate_1m
+  v5ext.WriteU32(1);       // class count
+  v5ext.WriteString("c1|3,5");
+  v5ext.WriteString("fork_2");
+  v5ext.WriteU64(40);  // hits
+  v5ext.WriteU64(30);  // under
+  v5ext.WriteU64(8);   // over
+  WriteGoldenSummary(v5ext, 40, 4.0, 3.0, 8.0, 16.0, 20.0);
+  v5ext.WriteDouble(1.5);  // baseline_median
+  v5ext.WriteU8(1);        // drifted
+  v5ext.WriteDouble(20.0);  // worst.qerror
+  v5ext.WriteString("(a)-[3]->(b); (a)-[5]->(c)");
+  v5ext.WriteDouble(2000);  // worst.estimate
+  v5ext.WriteDouble(100);   // worst.truth
+  v5ext.WriteString("cs");
+
+  util::serde::Writer w;
+  w.WriteU8(0);       // status code OK
+  w.WriteString("");  // status message
+  w.WriteU8(4);       // kStats
+  WriteGoldenStatsBody(w);
+  w.WriteString(v4ext.TakeBuffer());  // v5 opt-in sends both extensions
+  w.WriteString(v5ext.TakeBuffer());
+  const std::string golden = w.TakeBuffer();
+
+  EXPECT_EQ(EncodeResponse(response), golden);
+  auto decoded = DecodeResponse(golden);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->stats.v4_wire);
+  EXPECT_TRUE(decoded->stats.scorecard_wire);
+  ExpectEqual(response, *decoded);
+}
+
+TEST(WireFuzzTest, UnknownTrailingExtensionsAreSkipped) {
+  // A newer peer's extension (any 0xFF-led magic this build does not
+  // know) must be skipped, not fail the frame — in both directions.
+  util::serde::Writer unknown;
+  unknown.WriteRaw(std::string_view("\xff" "CGZ", 4));
+  unknown.WriteU64(123456789);
+
+  util::serde::Writer wr;
+  wr.WriteU8(5);  // kPing
+  wr.WriteString("hello");
+  wr.WriteString("alpha");
+  wr.WriteString(unknown.buffer());
+  auto request = DecodeRequest(wr.TakeBuffer());
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->dataset, "alpha");
+  EXPECT_EQ(request->request_id, 0u);
+
+  util::serde::Writer ws;
+  ws.WriteU8(0);
+  ws.WriteString("");
+  ws.WriteU8(5);  // kPing
+  ws.WriteString("pong");
+  ws.WriteString(unknown.buffer());
+  ws.WriteString("beta");  // dataset after the extension: order-free
+  auto response = DecodeResponse(ws.TakeBuffer());
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->text, "pong");
+  EXPECT_EQ(response->dataset, "beta");
+}
+
+TEST(WireFuzzTest, RequestRejectsDuplicateDatasetFields) {
+  util::serde::Writer w;
+  w.WriteU8(5);  // kPing
+  w.WriteString("hello");
+  w.WriteString("alpha");
+  w.WriteString("beta");
+  auto decoded = DecodeRequest(w.TakeBuffer());
+  EXPECT_FALSE(decoded.ok());
 }
 
 TEST(WireFuzzTest, StatsExtToleratesTrailingBytesInsideExtString) {

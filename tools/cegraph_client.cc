@@ -6,8 +6,9 @@
 //                  [--batch-size B] [--quiet]
 //   cegraph_client --port P --apply-deltas FILE
 //   cegraph_client --port P --swap-snapshot PATH
-//   cegraph_client --port P (--stats [--watch] [--interval S]
-//                            | --ping | --shutdown)
+//   cegraph_client --port P (--stats | --scorecard) [--watch]
+//                  [--interval S]
+//   cegraph_client --port P (--ping | --shutdown)
 //
 // --stats requests the wire-v4 observability extension (the request's
 // text field carries "v4"): besides the v3 counters it prints latency /
@@ -15,8 +16,19 @@
 // q-error distributions, admission weight units, the server's shed /
 // backpressure / byte / frame counters and the serving state's cache
 // rows. Against a pre-v4 server the extra tables are simply absent.
-// --watch re-samples every --interval seconds (default 2) and annotates
-// counters with their delta since the previous sample; stop with ^C.
+// --scorecard requests "v5" on top: the per-query-class accuracy
+// scorecard (windowed q-error quantiles, under/over split, drift
+// verdict vs the baseline stamped at the last snapshot load/hot swap)
+// with each class's worst exemplar, plus the recent (1m) request
+// latency and rate. --watch re-samples every --interval seconds
+// (default 2) and annotates counters with their delta since the
+// previous sample — "(reset)" marks a counter that went backwards
+// (server restart) — reconnecting through transport errors; stop with
+// ^C.
+//
+// --request-id N stamps the wire-v5 end-to-end request id (decimal or
+// 0x-hex) on the request; the server echoes it and threads it through
+// its slow-request log and journal, and the client prints the echo.
 //
 // --dataset routes the request to the named dataset of a multi-dataset
 // daemon (wire protocol v2); without it the server's default dataset
@@ -78,16 +90,21 @@ int Usage() {
       "                 [--quiet]\n"
       "  --apply-deltas FILE           send a delta feed, hot-swap\n"
       "  --swap-snapshot PATH          server-local snapshot/manifest path\n"
-      "  --stats [--watch] [--interval S] | --ping | --shutdown\n");
+      "  --stats | --scorecard  [--watch] [--interval S]\n"
+      "  --ping | --shutdown\n"
+      "  --request-id N                stamp an end-to-end request id\n");
   return 2;
 }
 
 std::string U64(uint64_t v) { return std::to_string(v); }
 
-/// "N (+D)" when a previous sample exists, plain "N" otherwise.
+/// "N (+D)" when a previous sample exists, plain "N" otherwise. A
+/// counter that went *backwards* (the server restarted between samples)
+/// is marked "(reset)" instead of faking a zero delta.
 std::string WithDelta(uint64_t now, const uint64_t* prev) {
   if (prev == nullptr) return U64(now);
-  return U64(now) + " (+" + U64(now >= *prev ? now - *prev : 0) + ")";
+  if (now < *prev) return U64(now) + " (reset)";
+  return U64(now) + " (+" + U64(now - *prev) + ")";
 }
 
 void AddSummaryRow(util::TablePrinter& table, const std::string& name,
@@ -221,6 +238,38 @@ void PrintStats(const Response& response, const service::ServiceStats* prev) {
                      U64(c.evictions)});
     }
     caches.Print(std::cout);
+  }
+
+  if (!s.scorecard_wire) return;  // pre-v5 server / --stats: no scorecard
+
+  std::printf(
+      "\nscorecard (window %llds): recent rate %.1f req/s, "
+      "latency p50 %.1f us p99 %.1f us (1m); drift: %s\n",
+      static_cast<long long>(s.scorecard_window_seconds), s.rate_1m,
+      s.latency_1m.p50, s.latency_1m.p99, s.any_drift ? "YES" : "none");
+  if (s.scorecard.empty()) {
+    std::printf("no truth-carrying estimates in the window yet\n");
+    return;
+  }
+  util::TablePrinter classes({"class", "hits", "under", "over", "qerr p50",
+                              "qerr p99", "qerr max", "baseline", "drift"});
+  for (const auto& c : s.scorecard) {
+    classes.AddRow(
+        {c.display, U64(c.hits), U64(c.under), U64(c.over),
+         util::TablePrinter::Num(c.qerror.p50),
+         util::TablePrinter::Num(c.qerror.p99),
+         util::TablePrinter::Num(c.qerror.max),
+         c.baseline_median > 0 ? util::TablePrinter::Num(c.baseline_median)
+                               : "-",
+         c.drifted ? "YES" : "-"});
+  }
+  classes.Print(std::cout);
+  for (const auto& c : s.scorecard) {
+    if (c.worst.qerror <= 0) continue;
+    std::printf("  %s worst q-error %.3g (%s: estimate %.4g, truth %.4g): "
+                "%s\n",
+                c.display.c_str(), c.worst.qerror, c.worst.estimator.c_str(),
+                c.worst.estimate, c.worst.truth, c.worst.line.c_str());
   }
 }
 
@@ -490,8 +539,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> query_texts;
   std::string workload_file, deltas_file, snapshot_path;
   bool stats = false, ping = false, shutdown = false, quiet = false;
-  bool watch = false;
+  bool watch = false, scorecard = false;
   int threads = 1, passes = 1, batch_size = 1, retries = 3, interval = 2;
+  uint64_t request_id = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -534,6 +584,11 @@ int main(int argc, char** argv) {
       retries = std::atoi(value.c_str());
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--scorecard") {
+      scorecard = true;
+    } else if (arg == "--request-id") {
+      if (!next(&value)) return Usage();
+      request_id = std::strtoull(value.c_str(), nullptr, 0);
     } else if (arg == "--watch") {
       watch = true;
     } else if (arg == "--interval") {
@@ -577,6 +632,10 @@ int main(int argc, char** argv) {
     request = {MessageType::kApplyDeltas, text.str(), dataset};
   } else if (!snapshot_path.empty()) {
     request = {MessageType::kSwapSnapshot, snapshot_path, dataset};
+  } else if (scorecard) {
+    // "v5" opts into the v4 observability extension *and* the per-class
+    // accuracy scorecard; a pre-v5 server just echoes a v3 stats body.
+    request = {MessageType::kStats, "v5", dataset};
   } else if (stats) {
     // "v4" opts into the observability extension; a pre-v4 server just
     // echoes a v3 stats body and the extra tables stay absent.
@@ -591,20 +650,34 @@ int main(int argc, char** argv) {
   } else {
     return Usage();
   }
+  request.request_id = request_id;
 
-  if (stats && watch) {
-    // Re-sample forever (until ^C or the server goes away), annotating
-    // monotonic counters with their delta since the previous sample.
+  if ((stats || scorecard) && watch) {
+    // Re-sample forever (until ^C), annotating monotonic counters with
+    // their delta since the previous sample. Each sample is its own
+    // connection, so a restarted server only costs failed samples, not
+    // the watch: transport errors are reported and retried on the same
+    // cadence, and the delta baseline is dropped — the first sample
+    // after a reconnect prints plain counters (or "(reset)" markers).
     service::ServiceStats prev;
     bool have_prev = false;
     for (int sample = 0;; ++sample) {
+      auto pause = [interval] {
+        std::this_thread::sleep_for(
+            std::chrono::seconds(interval < 1 ? 1 : interval));
+      };
       auto response = OneShot(host, port, request, retries);
       if (!response.ok()) {
-        std::fprintf(stderr, "transport error: %s\n",
-                     response.status().ToString().c_str());
-        return 1;
+        std::fprintf(stderr, "transport error: %s (retrying in %ds)\n",
+                     response.status().ToString().c_str(),
+                     interval < 1 ? 1 : interval);
+        have_prev = false;
+        pause();
+        continue;
       }
       if (!response->status.ok()) {
+        // A server-side error frame (unknown dataset, ...) is a request
+        // problem, not an outage — retrying would loop on it forever.
         std::fprintf(stderr, "server error: %s\n",
                      response->status.ToString().c_str());
         return 1;
@@ -615,8 +688,7 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       prev = response->stats;
       have_prev = true;
-      std::this_thread::sleep_for(
-          std::chrono::seconds(interval < 1 ? 1 : interval));
+      pause();
     }
   }
 
@@ -625,6 +697,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "transport error: %s\n",
                  response.status().ToString().c_str());
     return 1;
+  }
+  if (response->request_id != 0) {
+    // The v5 echo — the same 16 hex chars the server's slow log and
+    // journal print, so one grep correlates all three.
+    std::printf("request id %016llx\n",
+                static_cast<unsigned long long>(response->request_id));
   }
   if (!response->status.ok()) {
     // The server answered with an error frame: its own message is the

@@ -9,14 +9,23 @@
 //                 [--dispatch epoll|threads] [--max-connections N]
 //                 [--prewarm SUITE] [--instances N] [--seed S]
 //                 [--metrics-port P] [--slow-millis M]
+//                 [--slow-log-per-sec X] [--journal FILE]
 //
 // --metrics-port starts a Prometheus text exporter on a side thread
-// (`curl http://127.0.0.1:<port>/metrics`); 0 picks an ephemeral port.
-// The daemon prints `metrics on 127.0.0.1:<port>` so scripts can scrape
+// (`curl http://127.0.0.1:<port>/metrics`; `/healthz` answers with the
+// default dataset's epoch/version); 0 picks an ephemeral port. The
+// daemon prints `metrics on 127.0.0.1:<port>` so scripts can scrape
 // it. Without the flag no exporter runs. --slow-millis M logs requests
 // slower than M milliseconds to stderr with their per-stage breakdown
-// (rate-limited; see docs/observability.md). CEGRAPH_METRICS=off
-// disables the histogram/trace layer entirely.
+// and request id, rate-limited to --slow-log-per-sec lines per second
+// (default 1; <= 0 unlimited — see docs/observability.md).
+// CEGRAPH_METRICS=off disables the histogram/trace layer entirely.
+//
+// --journal FILE appends one JSON object per significant serving event
+// (snapshot loads, hot swaps, delta folds, accuracy drift flips,
+// overload sheds, slow requests) to FILE — the structured counterpart
+// of the human log lines, shared by every dataset and the server
+// itself. See docs/observability.md for the schema.
 //
 // --dispatch selects the connection model: "epoll" (default) multiplexes
 // every connection through one event-loop thread and serves requests on
@@ -65,6 +74,7 @@
 
 #include "engine/snapshot.h"
 #include "graph/datasets.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "graph/graph_io.h"
 #include "query/templates.h"
@@ -92,6 +102,7 @@ int Usage() {
       "       [--dispatch epoll|threads] [--max-connections N]\n"
       "       [--prewarm SUITE] [--instances N] [--seed S]\n"
       "       [--metrics-port P] [--slow-millis M]\n"
+      "       [--slow-log-per-sec X] [--journal FILE]\n"
       "dataset SPEC: NAME | NAME=SOURCE | NAME[=SOURCE]@SNAPSHOT\n"
       "  (SOURCE: a built-in dataset name or a graph file path; '=' and\n"
       "   '@' are reserved separators and cannot appear in the paths)\n"
@@ -146,7 +157,7 @@ util::StatusOr<graph::Graph> LoadSource(const std::string& source) {
 int main(int argc, char** argv) {
   std::vector<std::string> dataset_specs;
   std::string graph_file, estimators_csv, legacy_snapshot, prewarm_suite;
-  std::string default_dataset;
+  std::string default_dataset, journal_path;
   service::ServerOptions server_options;
   service::ServiceOptions service_options;
   int instances = 2;
@@ -199,6 +210,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--slow-millis") {
       if (!next(&value)) return Usage();
       server_options.slow_request_millis = std::atoi(value.c_str());
+    } else if (arg == "--slow-log-per-sec") {
+      if (!next(&value)) return Usage();
+      server_options.slow_log_per_sec = std::atof(value.c_str());
+    } else if (arg == "--journal") {
+      if (!next(&journal_path)) return Usage();
     } else if (arg == "--dispatch") {
       if (!next(&value)) return Usage();
       if (value == "epoll") {
@@ -302,8 +318,22 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto catalog =
-      service::DatasetCatalog::Create(std::move(specs), default_dataset);
+  // The shared event journal, started before the catalog so snapshot-load
+  // events from service construction are captured. Declared before the
+  // catalog/server locals that borrow it, so it is destroyed (and
+  // drained) after them.
+  obs::Journal journal;
+  if (!journal_path.empty()) {
+    if (auto started = journal.Start(journal_path); !started.ok()) {
+      std::fprintf(stderr, "journal: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("journal to %s\n", journal_path.c_str());
+  }
+  obs::Journal* journal_ptr = journal_path.empty() ? nullptr : &journal;
+
+  auto catalog = service::DatasetCatalog::Create(std::move(specs),
+                                                 default_dataset, journal_ptr);
   if (!catalog.ok()) {
     std::fprintf(stderr, "catalog: %s\n",
                  catalog.status().ToString().c_str());
@@ -341,6 +371,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  server_options.journal = journal_ptr;
   service::TcpServer server(**catalog, server_options);
   if (auto started = server.Start(); !started.ok()) {
     std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
@@ -351,6 +382,18 @@ int main(int argc, char** argv) {
   // already carries every dataset's and the server's collectors.
   obs::MetricsHttpServer metrics_server;
   if (metrics_port >= 0) {
+    // /healthz answers with the default dataset's serving line so load
+    // balancers and smoke tests get liveness + epoch in one probe.
+    metrics_server.SetHealthBody([catalog = catalog->get()] {
+      std::string body = "ok\n";
+      if (auto resolved = catalog->Resolve(""); resolved.ok()) {
+        const service::ServiceStats stats = (*resolved)->Stats();
+        body += "dataset " + catalog->default_dataset() + "\n";
+        body += "epoch " + std::to_string(stats.epoch) + "\n";
+        body += "version " + std::to_string(stats.version) + "\n";
+      }
+      return body;
+    });
     if (auto started = metrics_server.Start("127.0.0.1", metrics_port);
         !started.ok()) {
       std::fprintf(stderr, "metrics: %s\n", started.ToString().c_str());
@@ -386,6 +429,12 @@ int main(int argc, char** argv) {
               g_signal != 0 ? "signal received" : "shutdown requested");
   metrics_server.Stop();
   server.Stop();
+  if (journal_ptr != nullptr) {
+    journal.Stop();
+    std::printf("journal: %llu events written, %llu dropped\n",
+                static_cast<unsigned long long>(journal.written()),
+                static_cast<unsigned long long>(journal.dropped()));
+  }
 
   for (const std::string& name : (*catalog)->names()) {
     auto resolved = (*catalog)->Resolve(name);
