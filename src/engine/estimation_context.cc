@@ -102,6 +102,22 @@ const stats::DispersionCatalog& EstimationContext::dispersion_catalog()
   return *dispersion_;
 }
 
+std::shared_ptr<learn::FeedbackStore> EstimationContext::feedback_store_ptr()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (feedback_ == nullptr) {
+    feedback_ = std::make_shared<learn::FeedbackStore>();
+    feedback_->SetStamp(feedback_stamp());
+  }
+  return feedback_;
+}
+
+void EstimationContext::AdoptFeedbackStore(
+    std::shared_ptr<learn::FeedbackStore> store) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  feedback_ = std::move(store);
+}
+
 namespace {
 
 /// The four keyed-cache statistics structures rebuilt over a new graph
@@ -328,6 +344,15 @@ EstimationContext::ForkWithDeltas(const std::vector<dynamic::EdgeDelta>& batch,
                              !net.empty() &&
                                  options_.cycle_closing.max_mid_hops > 0);
   report.ceg_evicted = fork->ceg_cache_.evictions();
+
+  // Learned corrections migrate by *sharing*: the store is keyed to the
+  // base fingerprint (unchanged across delta epochs), its truths stay
+  // truths of the same dataset, and sharing means a serving chain keeps
+  // learning monotonically across hot folds instead of resetting.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fork->feedback_ = feedback_;
+  }
 
   if (report_out != nullptr) *report_out = report;
   return fork;

@@ -12,6 +12,7 @@
 #include "engine/ceg_cache.h"
 #include "engine/snapshot.h"
 #include "graph/graph.h"
+#include "learn/feedback_store.h"
 #include "query/workload.h"
 #include "stats/char_sets.h"
 #include "stats/cycle_closing.h"
@@ -168,6 +169,33 @@ class EstimationContext {
 
   /// The shared CEG build cache.
   CegCache& ceg_cache() const { return ceg_cache_; }
+
+  /// The learned-feedback store (per-class multiplicative q-error
+  /// corrections; see learn/feedback_store.h). Created lazily on first
+  /// use, stamped with a digest of the *base* graph fingerprint so
+  /// snapshot loads can discard corrections learned against a different
+  /// graph. ForkWithDeltas shares the pointer across epochs — delta
+  /// batches never invalidate corrections, because the base graph (and
+  /// hence the stamp) is unchanged; only a different dataset does.
+  learn::FeedbackStore& feedback_store() const {
+    return *feedback_store_ptr();
+  }
+  std::shared_ptr<learn::FeedbackStore> feedback_store_ptr() const;
+
+  /// Replaces this context's feedback store wholesale. The serving layer
+  /// uses this to (a) seed a fresh context with its configured learner
+  /// knobs before a snapshot load and (b) carry the live store across a
+  /// hot-swap, so learning survives state replacement.
+  void AdoptFeedbackStore(std::shared_ptr<learn::FeedbackStore> store) const;
+
+  /// The stamp feedback payloads are guarded by: a 64-bit digest of the
+  /// base fingerprint.
+  uint64_t feedback_stamp() const {
+    return learn::StampFingerprint(
+        base_fingerprint_.num_vertices, base_fingerprint_.num_labels,
+        base_fingerprint_.num_vertex_labels, base_fingerprint_.num_edges,
+        base_fingerprint_.edge_hash);
+  }
 
   // ---- Dynamic layer ----
 
@@ -430,6 +458,10 @@ class EstimationContext {
   mutable std::unique_ptr<stats::SummaryGraph> summary_;
   mutable std::unique_ptr<stats::DispersionCatalog> dispersion_;
   mutable CegCache ceg_cache_;
+
+  /// Learned-feedback corrections, shared across ForkWithDeltas epochs
+  /// (guarded by mutex_ for creation; the store itself is thread-safe).
+  mutable std::shared_ptr<learn::FeedbackStore> feedback_;
 
   /// Unparsed summary-graph payload adopted from a mapped arena snapshot,
   /// parsed on first use so arena open time stays O(sections). The owner

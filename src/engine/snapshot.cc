@@ -169,6 +169,7 @@ struct StatsRefs {
   const stats::CharacteristicSets* char_sets = nullptr;
   const stats::SummaryGraph* summary = nullptr;
   const stats::DispersionCatalog* dispersion = nullptr;
+  std::shared_ptr<const learn::FeedbackStore> feedback;
 };
 
 using SectionList = std::vector<std::pair<SnapshotSection, std::string>>;
@@ -219,6 +220,15 @@ SectionList BuildSummarySections(const StatsRefs& s) {
     s.summary->Save(payload);
     sections.emplace_back(SnapshotSection::kSummaryGraph,
                           payload.TakeBuffer());
+  }
+  // The learned-feedback store rides with the summaries: it is
+  // whole-store state (not key-separable), so it travels in monolithic
+  // files and the manifest's common file, never in shard files. Empty
+  // stores write nothing — a snapshot saved before any truth arrived is
+  // byte-identical to a pre-feedback snapshot.
+  if (s.feedback != nullptr && s.feedback->class_count() > 0) {
+    sections.emplace_back(SnapshotSection::kFeedback,
+                          s.feedback->Serialize());
   }
   return sections;
 }
@@ -493,6 +503,13 @@ std::string EncodeArenaSnapshotFile(
       arena.AddSection(SectionId(SnapshotSection::kSummaryGraph),
                        payload.TakeBuffer());
     }
+    // Same placement rule as the v2 BuildSummarySections: the feedback
+    // store is whole-store state, so it travels with the summaries
+    // (monolithic + common files), and an empty store writes nothing.
+    if (s.feedback != nullptr && s.feedback->class_count() > 0) {
+      arena.AddSection(SectionId(SnapshotSection::kFeedback),
+                       s.feedback->Serialize());
+    }
   }
   if (epoch > 0 && include_delta_log && log_trimmed == 0) {
     arena.AddSection(SectionId(SnapshotSection::kDeltaLog),
@@ -578,6 +595,9 @@ util::StatusOr<SnapshotInfo> ReadArenaSnapshotInfo(
       case SnapshotSection::kArenaMeta:
         section.entries = meta->epoch;
         break;
+      case SnapshotSection::kFeedback:
+        section.entries = learn::FeedbackStore::CountSerializedClasses(payload);
+        break;
       default:
         break;  // unknown section: size only
     }
@@ -610,6 +630,8 @@ const char* SnapshotSectionName(uint32_t id) {
       return "arena-meta";
     case SnapshotSection::kDegreeJoins:
       return "degree-joins";
+    case SnapshotSection::kFeedback:
+      return "feedback";
   }
   return "unknown";
 }
@@ -694,6 +716,9 @@ util::StatusOr<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
         section.entries = *entries;
         break;
       }
+      case SnapshotSection::kFeedback:
+        section.entries = learn::FeedbackStore::CountSerializedClasses(*payload);
+        break;
       default:
         break;  // unknown section: size only
     }
@@ -934,6 +959,7 @@ util::Status EstimationContext::SaveSnapshot(const std::string& path,
     refs.char_sets = char_sets_.get();
     refs.summary = summary_.get();
     refs.dispersion = dispersion_.get();
+    refs.feedback = feedback_;
   }
 
   if (format == SnapshotFormat::kArena) {
@@ -982,6 +1008,7 @@ util::Status EstimationContext::SaveSnapshotShards(
     refs.char_sets = char_sets_.get();
     refs.summary = summary_.get();
     refs.dispersion = dispersion_.get();
+    refs.feedback = feedback_;
   }
   const bool arena = format == SnapshotFormat::kArena;
   const uint32_t version =
@@ -1316,6 +1343,21 @@ util::Status EstimationContext::LoadSnapshotBytes(
           break;
         case SnapshotSection::kDynamicState:
           continue;  // already parsed above
+        case SnapshotSection::kFeedback: {
+          // Deserialize carries its own drift guard: a payload stamped
+          // for a different base graph is a clean discard, not an error.
+          // The dry run parses into a throwaway store so a corrupt
+          // payload cannot leave a partial import in the live one.
+          if (dry_run) {
+            learn::FeedbackStore probe;
+            CEGRAPH_RETURN_IF_ERROR(
+                probe.Deserialize(payload, feedback_stamp()));
+          } else {
+            CEGRAPH_RETURN_IF_ERROR(
+                feedback_store_ptr()->Deserialize(payload, feedback_stamp()));
+          }
+          continue;  // Deserialize consumes the payload itself
+        }
         default:
           continue;  // unknown section: written by a newer build, skip
       }
@@ -1416,6 +1458,7 @@ util::Status EstimationContext::LoadSnapshotArena(
     std::optional<util::MappedIndex> dispersion;
     std::optional<stats::CharacteristicSets> char_sets;
     std::string_view summary_payload;
+    std::string_view feedback_payload;
   };
   AttachedSections att;
   for (const util::MappedArena::Section& s : arena->sections()) {
@@ -1501,6 +1544,17 @@ util::Status EstimationContext::LoadSnapshotArena(
         }
         break;
       }
+      case SnapshotSection::kFeedback: {
+        // Validate up front with a throwaway store (its Deserialize is
+        // the stamp-aware drift guard, so a stale-graph payload passes
+        // as a clean no-op); the live import happens after the whole
+        // walk succeeds, matching the stage-then-apply contract.
+        learn::FeedbackStore probe;
+        CEGRAPH_RETURN_IF_ERROR(
+            probe.Deserialize(payload, feedback_stamp()));
+        att.feedback_payload = payload;
+        break;
+      }
       default:
         break;  // meta (parsed above), delta log, unknown sections
     }
@@ -1541,6 +1595,14 @@ util::Status EstimationContext::LoadSnapshotArena(
     }
   }
   if (validate_only) return util::Status::OK();
+
+  // The feedback store imports on both the fresh and stale branches: its
+  // stamp binds to the *base* fingerprint, which a stale-but-replayable
+  // snapshot shares with this context by construction.
+  if (!att.feedback_payload.empty()) {
+    CEGRAPH_RETURN_IF_ERROR(feedback_store_ptr()->Deserialize(
+        att.feedback_payload, feedback_stamp()));
+  }
 
   if (fresh) {
     // Attach in place: lookups serve straight off the mapped bytes and

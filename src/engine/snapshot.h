@@ -119,6 +119,13 @@ enum class SnapshotSection : uint32_t {
   /// Arena-only: the two-join half of the degree catalog (v1/v2 pack it
   /// into kDegreeCatalog).
   kDegreeJoins = 10,
+  /// Learned-feedback store (learn::FeedbackStore::Serialize): the
+  /// per-query-class q-error correction state, guarded by its own
+  /// base-fingerprint stamp so a load against a different graph
+  /// discards it cleanly. Same payload in v1/v2 and arena containers
+  /// (the store is small and rebuilt into a hash table on load anyway).
+  /// Older readers skip the unknown id.
+  kFeedback = 11,
 };
 
 /// Which on-disk container SaveSnapshot / SaveSnapshotShards emit.

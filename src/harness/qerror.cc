@@ -18,4 +18,13 @@ double SignedLogQError(double estimate, double truth) {
   return estimate < truth ? -magnitude : magnitude;
 }
 
+bool UsableQError(double qerror) {
+  return std::isfinite(qerror) && qerror > 0;
+}
+
+bool UsableQError(double estimate, double truth) {
+  return truth > 0 && estimate > 0 && std::isfinite(estimate) &&
+         std::isfinite(truth);
+}
+
 }  // namespace cegraph::harness

@@ -13,6 +13,20 @@ double QError(double estimate, double truth);
 /// worst overestimation and 0 is a perfect estimate.
 double SignedLogQError(double estimate, double truth);
 
+/// True iff `qerror` is a *usable* accuracy sample: finite and positive.
+/// QError's failure encodings — NaN for a non-positive truth, +infinity
+/// for a zero/negative estimate against a non-empty query — both fail
+/// this test, so one guard keeps every aggregate (service accounting,
+/// scorecards, workload summaries, learned corrections) free of
+/// NaN/infinity poisoning. Every recording site must route through this
+/// helper instead of re-deriving the predicate.
+bool UsableQError(double qerror);
+
+/// Convenience overload for call sites that hold the raw pair instead of
+/// a precomputed q-error: usable iff truth > 0 and the estimate is
+/// positive and finite (equivalent to UsableQError(QError(e, t))).
+bool UsableQError(double estimate, double truth);
+
 }  // namespace cegraph::harness
 
 #endif  // CEGRAPH_HARNESS_QERROR_H_

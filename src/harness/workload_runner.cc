@@ -99,6 +99,11 @@ SuiteResult WorkloadRunner::RunSuite(
     ++result.queries_used;
     for (size_t i = 0; i < n_est; ++i) {
       if (pq.estimates[i] < 0) continue;
+      // A zero-truth query (or a degenerate estimate) has no finite
+      // q-error; admitting it would poison the box stats with NaN.
+      if (!UsableQError(pq.estimates[i], workload[qi].true_cardinality)) {
+        continue;
+      }
       signed_logs[i].push_back(SignedLogQError(
           pq.estimates[i], workload[qi].true_cardinality));
     }
@@ -179,6 +184,9 @@ SuiteResult WorkloadRunner::RunOptimisticSuite(
       seconds[i] += pq.seconds[i];
       if (pq.estimates[i] < 0) {
         ++failures[i];
+        continue;
+      }
+      if (!UsableQError(pq.estimates[i], workload[qi].true_cardinality)) {
         continue;
       }
       signed_logs[i].push_back(SignedLogQError(

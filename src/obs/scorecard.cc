@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "harness/qerror.h"
+
 namespace cegraph::obs {
 
 struct Scorecard::Entry {
@@ -13,6 +15,11 @@ struct Scorecard::Entry {
   std::atomic<uint64_t> over{0};
   std::atomic<double> baseline{0};  // 0 = lazily stamped on first window
   std::atomic<bool> drifted{false};
+  /// Latches the drift callback per baseline stamp: set on the first
+  /// drift flip, re-armed only by StampBaselineAt. Without it, a median
+  /// oscillating around the threshold would re-emit a journal event on
+  /// every false->true flip of `drifted` against the same baseline.
+  std::atomic<bool> drift_fired{false};
   std::atomic<double> worst_q{0};  // pre-check so the lock is rare
   mutable std::mutex worst_mutex;
   ScorecardExemplar worst;  // guarded by worst_mutex
@@ -82,7 +89,7 @@ void Scorecard::EvictOneLocked() {
 }
 
 void Scorecard::RecordAt(const ScorecardSample& sample, int64_t now_sec) {
-  if (!(sample.qerror > 0)) return;
+  if (!harness::UsableQError(sample.qerror)) return;
   const std::shared_ptr<Entry> entry = FindOrCreate(sample);
   entry->qerror.RecordAt(sample.qerror, now_sec);
   const uint64_t hit = entry->hits.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -133,6 +140,9 @@ void Scorecard::EvaluateDrift(Entry& entry, int64_t now_sec) {
   }
   drifted_count_.fetch_add(drifted ? 1 : -1, std::memory_order_relaxed);
   if (!drifted) return;
+  if (entry.drift_fired.exchange(true, std::memory_order_relaxed)) {
+    return;  // already fired against this baseline stamp
+  }
   DriftCallback callback;
   {
     std::lock_guard<std::mutex> lock(callback_mutex_);
@@ -157,6 +167,8 @@ void Scorecard::StampBaselineAt(int64_t now_sec) {
     if (entry->drifted.exchange(false, std::memory_order_relaxed)) {
       drifted_count_.fetch_add(-1, std::memory_order_relaxed);
     }
+    // New baseline regime: the one-shot drift tripwire re-arms.
+    entry->drift_fired.store(false, std::memory_order_relaxed);
   }
 }
 

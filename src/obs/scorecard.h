@@ -16,7 +16,9 @@
 // at snapshot load / hot swap (or lazily, once the class has enough
 // samples); when the windowed median later moves more than
 // `drift_ratio`x away from the baseline, the class flips drifted and
-// the callback fires once per flip (journal event + gauge).
+// the callback fires once per (class, baseline stamp) — a median
+// oscillating around the threshold cannot re-emit; the tripwire
+// re-arms only at the next baseline re-stamp (journal event + gauge).
 
 #include <cstdint>
 #include <functional>
@@ -100,8 +102,10 @@ class Scorecard {
   void StampBaseline() { StampBaselineAt(WindowedHistogram::NowSec()); }
   void StampBaselineAt(int64_t now_sec);
 
-  /// Fired once per class flip into drift (not on recovery). Called
-  /// from the recording thread; keep it cheap (a journal Emit is).
+  /// Fired once per (class, baseline stamp) on the flip into drift
+  /// (never on recovery, never again until StampBaseline re-arms the
+  /// class). Called from the recording thread; keep it cheap (a
+  /// journal Emit is).
   void SetDriftCallback(DriftCallback callback);
 
   size_t class_count() const;

@@ -19,6 +19,12 @@ struct EstimateRequest {
   std::string pattern;        ///< the pattern text as received
   std::string template_name;  ///< empty for ad-hoc patterns
   std::optional<double> truth;
+  /// Per-request opt-out of learned feedback corrections (in-process
+  /// flag, not a wire field): the estimate serves raw even when the
+  /// service runs with feedback on and the class has an active
+  /// correction. Learning still happens — opting out of the answer does
+  /// not opt out of contributing truth.
+  bool no_correction = false;
 };
 
 /// Parses one request line. Two shapes are accepted:
@@ -42,8 +48,18 @@ struct EstimatorResult {
   std::string error;     ///< set iff !ok
   double micros = 0;     ///< estimation latency of this estimator
   /// QError(estimate, truth); 0 when the request carried no truth or the
-  /// estimator failed.
+  /// estimator failed. Computed over the *served* estimate — corrected
+  /// when a learned correction was applied.
   double qerror = 0;
+  /// The estimator's own output before any learned correction; equals
+  /// `estimate` when none was applied. Learning always consumes this
+  /// value, never the corrected one (a corrected estimate feeding its
+  /// own correction would double-apply on convergence).
+  double raw_estimate = 0;
+  /// The multiplicative correction factor applied (1.0 = none).
+  double correction = 1.0;
+  /// True when `estimate` = raw_estimate x correction was served.
+  bool corrected = false;
 };
 
 /// The full answer to one EstimateRequest. Every field is computed against

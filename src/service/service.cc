@@ -51,6 +51,32 @@ std::string PromLabelEscape(std::string_view s) {
   return out;
 }
 
+/// Query-class identity shared by the scorecard and the feedback store:
+/// isomorphism-canonical shape (memoized on the query — the CEG cache
+/// already computed it on this path) plus the sorted label multiset the
+/// canonical code abstracts away.
+std::string QueryClassCode(const query::QueryGraph& query) {
+  std::string key = query.CanonicalCode();
+  std::vector<uint32_t> labels;
+  labels.reserve(query.edges().size());
+  for (const query::QueryEdge& e : query.edges()) {
+    labels.push_back(e.label);
+  }
+  std::sort(labels.begin(), labels.end());
+  key += '|';
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += std::to_string(labels[i]);
+  }
+  return key;
+}
+
+std::string_view DisplayOf(const EstimateRequest& request) {
+  return request.template_name.empty()
+             ? std::string_view(request.pattern)
+             : std::string_view(request.template_name);
+}
+
 }  // namespace
 
 util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
@@ -77,6 +103,15 @@ util::StatusOr<std::unique_ptr<EstimationService>> EstimationService::Create(
 
   auto context = std::make_unique<engine::EstimationContext>(
       service->base_graph_, service->options_.context);
+  {
+    // Seed the feedback store with the service's learner knobs *before*
+    // any snapshot load, so a persisted kFeedback section merges into a
+    // store configured the way this service will keep learning.
+    auto feedback = std::make_shared<learn::FeedbackStore>(
+        service->options_.feedback_options);
+    feedback->SetStamp(context->feedback_stamp());
+    context->AdoptFeedbackStore(std::move(feedback));
+  }
   if (!service->options_.initial_snapshot.empty()) {
     const std::string& path = service->options_.initial_snapshot;
     engine::EstimationContext::SnapshotLoadReport load_report;
@@ -159,6 +194,9 @@ util::StatusOr<std::shared_ptr<ServingState>> EstimationService::MakeState(
   state->epoch = context->epoch();
   state->version = version;
   state->names = options_.estimators;
+  // Pin the context's feedback store on the state so serve-time lookups
+  // and recording never touch the context mutex.
+  state->feedback = context->feedback_store_ptr();
   state->engine =
       std::make_unique<engine::EstimationEngine>(std::move(context));
   auto suite = state->engine->Estimators(state->names);
@@ -228,6 +266,17 @@ util::StatusOr<EstimateResponse> EstimationService::EstimateOnState(
     response.has_truth = true;
     response.truth = *request.truth;
   }
+
+  // Learned-feedback serve path, resolved once per request: with
+  // feedback off the store is never consulted, so serving is
+  // bit-identical to a pre-feedback build.
+  learn::FeedbackStore* feedback = nullptr;
+  std::string class_code;
+  if (options_.feedback != FeedbackMode::kOff && state.feedback != nullptr) {
+    feedback = state.feedback.get();
+    class_code = QueryClassCode(request.query);
+  }
+
   response.results.reserve(state.suite.size());
   for (size_t i = 0; i < state.suite.size(); ++i) {
     EstimatorResult result;
@@ -238,7 +287,25 @@ util::StatusOr<EstimateResponse> EstimationService::EstimateOnState(
     if (estimate.ok()) {
       result.ok = true;
       result.estimate = *estimate;
+      result.raw_estimate = *estimate;
+      if (feedback != nullptr) {
+        // CorrectionFor answers 1.0 below the confidence gate, so a
+        // class without support serves raw without a branch here.
+        const double correction = feedback->CorrectionFor(
+            learn::FeedbackStore::ClassKey(result.name, class_code));
+        if (correction != 1.0) {
+          if (request.no_correction) {
+            corrections_suppressed_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            result.estimate = result.raw_estimate * correction;
+            result.correction = correction;
+            result.corrected = true;
+            corrections_applied_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
       if (response.has_truth) {
+        // Over the *served* estimate — corrected when one applied.
         result.qerror = harness::QError(result.estimate, response.truth);
       }
     } else {
@@ -268,8 +335,7 @@ util::StatusOr<EstimateResponse> EstimationService::EstimateOnState(
     if (metrics) accum.latency_hist.Record(result.micros);
     if (!result.ok) {
       accum.failures.fetch_add(1, std::memory_order_relaxed);
-    } else if (response.has_truth && std::isfinite(result.qerror) &&
-               result.qerror > 0) {
+    } else if (response.has_truth && harness::UsableQError(result.qerror)) {
       // Only usable samples reach the aggregate: harness::QError returns
       // +inf for a zero estimate against nonzero truth and NaN for
       // nonpositive truth — one such request must not poison the mean
@@ -280,34 +346,67 @@ util::StatusOr<EstimateResponse> EstimationService::EstimateOnState(
     }
   }
   if (metrics && response.has_truth) RecordScorecard(request, response);
+  if (feedback != nullptr && response.has_truth) {
+    // Pre/post-correction windowed q-error: the live readout of whether
+    // the loop helps. Both sides use the same usable samples, so the
+    // comparison is apples to apples.
+    if (metrics) {
+      for (const EstimatorResult& result : response.results) {
+        if (!result.ok ||
+            !harness::UsableQError(result.raw_estimate, response.truth)) {
+          continue;
+        }
+        qerror_raw_window_.Record(
+            harness::QError(result.raw_estimate, response.truth));
+        qerror_corrected_window_.Record(
+            harness::QError(result.estimate, response.truth));
+      }
+    }
+    // Learning always consumes RAW estimates (kFrozen applies but does
+    // not learn). Off the hot path: per-class mutex only.
+    if (options_.feedback == FeedbackMode::kOn) {
+      RecordFeedback(*feedback, request, response, class_code);
+    }
+  }
   return response;
+}
+
+void EstimationService::RecordFeedback(learn::FeedbackStore& store,
+                                       const EstimateRequest& request,
+                                       const EstimateResponse& response,
+                                       const std::string& class_code) const {
+  const std::string_view display = DisplayOf(request);
+  for (const EstimatorResult& result : response.results) {
+    // Same usability bar as every other truth consumer (satellite
+    // contract: one guard, harness::UsableQError, everywhere).
+    if (!result.ok ||
+        !harness::UsableQError(result.raw_estimate, response.truth)) {
+      continue;
+    }
+    auto update = store.Record(
+        learn::FeedbackStore::ClassKey(result.name, class_code), display,
+        result.raw_estimate, response.truth);
+    if (!update.has_value()) continue;
+    obs::JournalEvent event;
+    event.type = "correction_update";
+    event.text.emplace_back("class", update->display);
+    event.text.emplace_back("key", update->key);
+    event.num.emplace_back("correction", update->correction);
+    event.num.emplace_back("samples",
+                           static_cast<double>(update->samples));
+    event.num.emplace_back("activated", update->activated ? 1.0 : 0.0);
+    EmitJournal(std::move(event));
+  }
 }
 
 void EstimationService::RecordScorecard(
     const EstimateRequest& request, const EstimateResponse& response) const {
-  // Class identity: isomorphism-canonical shape (memoized on the query —
-  // the CEG cache already computed it on this path) plus the sorted label
-  // multiset the canonical code abstracts away.
-  std::string key = request.query.CanonicalCode();
-  std::vector<uint32_t> labels;
-  labels.reserve(request.query.edges().size());
-  for (const query::QueryEdge& e : request.query.edges()) {
-    labels.push_back(e.label);
-  }
-  std::sort(labels.begin(), labels.end());
-  key += '|';
-  for (size_t i = 0; i < labels.size(); ++i) {
-    if (i > 0) key += ',';
-    key += std::to_string(labels[i]);
-  }
-  const std::string_view display = request.template_name.empty()
-                                       ? std::string_view(request.pattern)
-                                       : std::string_view(
-                                             request.template_name);
+  const std::string key = QueryClassCode(request.query);
+  const std::string_view display = DisplayOf(request);
   const int64_t now_sec = obs::WindowedHistogram::NowSec();
   for (const EstimatorResult& result : response.results) {
     // Same usability bar as the mean/histogram aggregates above.
-    if (!result.ok || !std::isfinite(result.qerror) || result.qerror <= 0) {
+    if (!result.ok || !harness::UsableQError(result.qerror)) {
       continue;
     }
     obs::ScorecardSample sample;
@@ -517,6 +616,22 @@ util::StatusOr<SwapReport> EstimationService::HotSwapSnapshot(
   // until the single publish below.
   auto context = std::make_unique<engine::EstimationContext>(
       base_graph_, options_.context);
+  {
+    // A snapshot swap rebases statistics, not learned truth: the live
+    // feedback store carries over (same base graph, same stamp), and any
+    // kFeedback section in the artifact merges in underneath it —
+    // existing classes win, so live learning is never rolled back.
+    const std::shared_ptr<const ServingState> serving = AcquireState();
+    if (serving->feedback != nullptr &&
+        serving->feedback->stamp() == context->feedback_stamp()) {
+      context->AdoptFeedbackStore(serving->feedback);
+    } else {
+      auto feedback = std::make_shared<learn::FeedbackStore>(
+          options_.feedback_options);
+      feedback->SetStamp(context->feedback_stamp());
+      context->AdoptFeedbackStore(std::move(feedback));
+    }
+  }
   SwapReport report;
   engine::EstimationContext::SnapshotLoadReport load_report;
   auto loaded = context->LoadSnapshot(path, &load_report);
@@ -663,6 +778,23 @@ ServiceStats EstimationService::Stats(bool with_scorecard) const {
     stats.scorecard = scorecard_.Report(stats.scorecard_window_seconds);
     stats.scorecard_wire = true;
   }
+  stats.feedback_mode = options_.feedback;
+  stats.corrections_applied =
+      corrections_applied_.load(std::memory_order_relaxed);
+  stats.corrections_suppressed =
+      corrections_suppressed_.load(std::memory_order_relaxed);
+  if (state->feedback != nullptr) {
+    stats.feedback_classes = state->feedback->class_count();
+    stats.feedback_active = state->feedback->active_count();
+    stats.feedback_evictions = state->feedback->evictions();
+  }
+  stats.qerror_raw_1m = qerror_raw_window_.SnapshotWindow(60).Summary();
+  stats.qerror_corrected_1m =
+      qerror_corrected_window_.SnapshotWindow(60).Summary();
+  if (with_scorecard && state->feedback != nullptr) {
+    stats.corrections = state->feedback->Report();
+    stats.corrections_wire = true;
+  }
   return stats;
 }
 
@@ -778,6 +910,32 @@ void EstimationService::RegisterMetrics() {
           w.WriteGauge("cegraph_scorecard_drifted", rl,
                        row.drifted ? 1.0 : 0.0);
         }
+        // Learned-feedback loop: class census, apply/suppress counters
+        // and the trailing-minute pre/post-correction q-error medians
+        // (the one-glance "is the loop helping" pair).
+        const auto feedback = state->feedback;
+        if (feedback != nullptr) {
+          w.WriteGauge("cegraph_feedback_classes", l,
+                       static_cast<double>(feedback->class_count()));
+          w.WriteGauge("cegraph_feedback_active_classes", l,
+                       static_cast<double>(feedback->active_count()));
+          w.WriteCounter("cegraph_feedback_evictions_total", l,
+                         feedback->evictions());
+        }
+        w.WriteCounter("cegraph_corrections_applied_total", l,
+                       corrections_applied_.load());
+        w.WriteCounter("cegraph_corrections_suppressed_total", l,
+                       corrections_suppressed_.load());
+        const obs::QuantileSummary raw_1m =
+            qerror_raw_window_.SnapshotWindow(60).Summary();
+        const obs::QuantileSummary corrected_1m =
+            qerror_corrected_window_.SnapshotWindow(60).Summary();
+        w.WriteGauge("cegraph_qerror_precorrection_p50", l, raw_1m.p50);
+        w.WriteGauge("cegraph_qerror_precorrection_p99", l, raw_1m.p99);
+        w.WriteGauge("cegraph_qerror_postcorrection_p50", l,
+                     corrected_1m.p50);
+        w.WriteGauge("cegraph_qerror_postcorrection_p99", l,
+                     corrected_1m.p99);
       });
 }
 

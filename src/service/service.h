@@ -15,6 +15,7 @@
 #include "dynamic/stats_maintainer.h"
 #include "engine/engine.h"
 #include "graph/graph.h"
+#include "learn/feedback_store.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/scorecard.h"
@@ -37,8 +38,20 @@ struct ServingState {
   /// `engine` and live exactly as long as this state.
   std::vector<const CardinalityEstimator*> suite;
   std::vector<std::string> names;
+  /// The context's learned-feedback store, pinned here so serve-time
+  /// lookups and recording skip the context mutex. Shared across delta
+  /// folds (ForkWithDeltas carries the pointer) and across hot-swaps of
+  /// same-base-graph snapshots, so learning survives both.
+  std::shared_ptr<learn::FeedbackStore> feedback;
   uint64_t epoch = 0;          ///< engine->context().epoch()
   uint64_t version = 0;        ///< hot-swap generation (0 = initial state)
+};
+
+/// How the service uses the learned-feedback store (docs/learned_feedback.md).
+enum class FeedbackMode {
+  kOff,     ///< no corrections applied, no learning (pre-feedback behavior)
+  kOn,      ///< corrections applied when a class has support; truths recorded
+  kFrozen,  ///< corrections applied; learning paused (truths not recorded)
 };
 
 struct ServiceOptions {
@@ -81,6 +94,12 @@ struct ServiceOptions {
   /// set). Borrowed, not owned; must outlive the service. The daemon
   /// wires one per process via `cegraph_serve --journal FILE`.
   obs::Journal* journal = nullptr;
+  /// Learned-feedback corrections (AQO-style estimate->truth loop; see
+  /// docs/learned_feedback.md). kOff keeps serving bit-identical to a
+  /// pre-feedback build. The daemon wires `cegraph_serve --feedback`.
+  FeedbackMode feedback = FeedbackMode::kOff;
+  /// Knobs of the per-class correction learner (gate, decay, bounds).
+  learn::FeedbackOptions feedback_options;
 };
 
 /// Breakdown of the snapshot load behind a state: how the artifact was
@@ -199,6 +218,25 @@ struct ServiceStats {
   /// Per-query-class rows, sorted by hits descending (ties: key
   /// ascending). Filled only by Stats(/*with_scorecard=*/true).
   std::vector<obs::ScorecardClassReport> scorecard;
+
+  // --- v5 corrections extension (docs/wire_protocol.md §corrections) ---
+  /// True when this stats object carries (or should carry, on encode)
+  /// the corrections trailing extension; rides the same v5 opt-in as
+  /// the scorecard.
+  bool corrections_wire = false;
+  FeedbackMode feedback_mode = FeedbackMode::kOff;
+  uint64_t feedback_classes = 0;    ///< classes with any observations
+  uint64_t feedback_active = 0;     ///< classes past the confidence gate
+  uint64_t feedback_evictions = 0;  ///< classes dropped at the bound
+  uint64_t corrections_applied = 0;    ///< served estimates scaled
+  uint64_t corrections_suppressed = 0; ///< active correction skipped (opt-out)
+  /// Trailing-minute q-error of truth-carrying results, before and
+  /// after correction — the live readout of whether the loop helps.
+  obs::QuantileSummary qerror_raw_1m;
+  obs::QuantileSummary qerror_corrected_1m;
+  /// Per-class learned corrections, sorted by hits descending (ties:
+  /// key ascending). Filled only by Stats(/*with_scorecard=*/true).
+  std::vector<learn::FeedbackClassReport> corrections;
 };
 
 /// A long-lived, concurrently readable estimation server over one base
@@ -397,6 +435,22 @@ class EstimationService {
   /// `response` to the request's query class.
   void RecordScorecard(const EstimateRequest& request,
                        const EstimateResponse& response) const;
+  /// Feeds every usable truth-carrying result's RAW estimate into the
+  /// feedback store (kOn only) and emits `correction_update` journal
+  /// events for gate crossings / large moves. `class_code` is the
+  /// query-class identity QueryClassCode computed once per request.
+  void RecordFeedback(learn::FeedbackStore& store,
+                      const EstimateRequest& request,
+                      const EstimateResponse& response,
+                      const std::string& class_code) const;
+  /// Per-request correction accounting (relaxed; see EstimatorAccum).
+  mutable std::atomic<uint64_t> corrections_applied_{0};
+  mutable std::atomic<uint64_t> corrections_suppressed_{0};
+  /// Trailing-window q-error of truth-carrying results before/after
+  /// correction (recorded only when feedback is not kOff and
+  /// obs::MetricsEnabled()).
+  mutable obs::WindowedHistogram qerror_raw_window_;
+  mutable obs::WindowedHistogram qerror_corrected_window_;
   /// Emits to options_.journal when set (dataset stamped); else no-op.
   void EmitJournal(obs::JournalEvent event) const;
   std::atomic<uint64_t> snapshot_loads_{0};

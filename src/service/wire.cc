@@ -289,6 +289,9 @@ util::StatusOr<ServiceStats> DecodeStats(Reader& r) {
 constexpr char kStatsExtMagic[4] = {'\xff', 'C', 'G', '4'};
 /// v5 per-query-class scorecard extension (kStats responses, opt-in).
 constexpr char kScorecardExtMagic[4] = {'\xff', 'C', 'G', '5'};
+/// Learned-feedback corrections extension (kStats responses, rides the
+/// same v5 opt-in as the scorecard).
+constexpr char kCorrectionsExtMagic[4] = {'\xff', 'C', 'G', '6'};
 /// v5 end-to-end request id (any request; echoed on the response).
 constexpr char kRequestIdExtMagic[4] = {'\xff', 'C', 'G', 'R'};
 
@@ -573,6 +576,98 @@ util::Status DecodeScorecardExt(std::string_view ext, ServiceStats& stats) {
   return util::Status::OK();
 }
 
+// ---- v5 corrections extension ----------------------------------------------
+
+std::string EncodeCorrectionsExt(const ServiceStats& stats) {
+  Writer w;
+  w.WriteRaw(
+      std::string_view(kCorrectionsExtMagic, sizeof(kCorrectionsExtMagic)));
+  w.WriteU8(1);  // ext version
+  w.WriteU8(static_cast<uint8_t>(stats.feedback_mode));
+  w.WriteU64(stats.feedback_classes);
+  w.WriteU64(stats.feedback_active);
+  w.WriteU64(stats.feedback_evictions);
+  w.WriteU64(stats.corrections_applied);
+  w.WriteU64(stats.corrections_suppressed);
+  EncodeSummary(w, stats.qerror_raw_1m);
+  EncodeSummary(w, stats.qerror_corrected_1m);
+  w.WriteU32(static_cast<uint32_t>(stats.corrections.size()));
+  for (const learn::FeedbackClassReport& row : stats.corrections) {
+    w.WriteString(row.key);
+    w.WriteString(row.display);
+    w.WriteU64(row.hits);
+    w.WriteU64(row.samples);
+    w.WriteDouble(row.correction);
+    w.WriteU8(row.active ? 1 : 0);
+  }
+  return w.TakeBuffer();
+}
+
+util::Status DecodeCorrectionsExt(std::string_view ext,
+                                  ServiceStats& stats) {
+  Reader r(ext.substr(sizeof(kCorrectionsExtMagic)));
+  auto version = r.ReadU8();
+  if (!version.ok()) return version.status();
+  if (*version < 1) {
+    return util::InvalidArgumentError(
+        "bad corrections extension version " + std::to_string(*version));
+  }
+  auto mode = r.ReadU8();
+  if (!mode.ok()) return mode.status();
+  if (*mode > static_cast<uint8_t>(FeedbackMode::kFrozen)) {
+    return util::InvalidArgumentError("unknown feedback mode " +
+                                      std::to_string(*mode));
+  }
+  stats.feedback_mode = static_cast<FeedbackMode>(*mode);
+  for (uint64_t* field :
+       {&stats.feedback_classes, &stats.feedback_active,
+        &stats.feedback_evictions, &stats.corrections_applied,
+        &stats.corrections_suppressed}) {
+    auto value = r.ReadU64();
+    if (!value.ok()) return value.status();
+    *field = *value;
+  }
+  auto raw = DecodeSummary(r);
+  if (!raw.ok()) return raw.status();
+  stats.qerror_raw_1m = *raw;
+  auto corrected = DecodeSummary(r);
+  if (!corrected.ok()) return corrected.status();
+  stats.qerror_corrected_1m = *corrected;
+  auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  if (*count > r.remaining()) {
+    return util::InvalidArgumentError(
+        "correction class count exceeds extension payload");
+  }
+  stats.corrections.clear();
+  stats.corrections.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    learn::FeedbackClassReport row;
+    auto key = r.ReadString();
+    if (!key.ok()) return key.status();
+    row.key = std::move(*key);
+    auto display = r.ReadString();
+    if (!display.ok()) return display.status();
+    row.display = std::move(*display);
+    auto hits = r.ReadU64();
+    if (!hits.ok()) return hits.status();
+    row.hits = *hits;
+    auto samples = r.ReadU64();
+    if (!samples.ok()) return samples.status();
+    row.samples = *samples;
+    auto correction = r.ReadDouble();
+    if (!correction.ok()) return correction.status();
+    row.correction = *correction;
+    auto active = r.ReadU8();
+    if (!active.ok()) return active.status();
+    row.active = *active != 0;
+    stats.corrections.push_back(std::move(row));
+  }
+  // Trailing bytes inside the ext string are a future version's fields.
+  stats.corrections_wire = true;
+  return util::Status::OK();
+}
+
 void EncodeBatch(Writer& w, const std::vector<BatchEstimateItem>& batch) {
   w.WriteU32(static_cast<uint32_t>(batch.size()));
   for (const BatchEstimateItem& item : batch) {
@@ -732,6 +827,12 @@ std::string EncodeResponse(const Response& response) {
       response.stats.scorecard_wire) {
     w.WriteString(EncodeScorecardExt(response.stats));
   }
+  // Corrections extension, same opt-in; sent only when the service
+  // filled corrections state (a feedback-aware v5 server).
+  if (response.status.ok() && response.type == MessageType::kStats &&
+      response.stats.corrections_wire) {
+    w.WriteString(EncodeCorrectionsExt(response.stats));
+  }
   // v5 echo, same contract as the dataset echo: only when the request
   // carried an id.
   if (response.request_id != 0) {
@@ -772,6 +873,10 @@ util::StatusOr<Response> DecodeResponse(std::string_view payload) {
                    HasMagic(*field, kScorecardExtMagic)) {
           CEGRAPH_RETURN_IF_ERROR(
               DecodeScorecardExt(*field, response.stats));
+        } else if (response.type == MessageType::kStats &&
+                   HasMagic(*field, kCorrectionsExtMagic)) {
+          CEGRAPH_RETURN_IF_ERROR(
+              DecodeCorrectionsExt(*field, response.stats));
         } else if (HasMagic(*field, kRequestIdExtMagic)) {
           auto id = DecodeRequestIdExt(*field);
           if (!id.ok()) return id.status();

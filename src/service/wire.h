@@ -69,6 +69,13 @@ namespace cegraph::service::wire {
 ///     gauge and recent request latency/rate. Sent on kStats responses
 ///     whose request `text` is "v5" (which implies the v4 extension
 ///     too).
+///
+///   FF 43 47 36 ("\xFF" "CG6")  corrections: the learned-feedback
+///     loop's state — feedback mode, class census, applied/suppressed
+///     counters, trailing-minute pre/post-correction q-error summaries
+///     and per-class correction rows (key, display, hits, samples,
+///     factor, active). Rides the same "v5" kStats opt-in as the
+///     scorecard; feedback-unaware peers skip the unknown magic.
 
 /// Upper bound on one frame's payload; larger length prefixes are treated
 /// as corruption and fail the connection.

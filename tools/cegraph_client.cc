@@ -6,8 +6,8 @@
 //                  [--batch-size B] [--quiet]
 //   cegraph_client --port P --apply-deltas FILE
 //   cegraph_client --port P --swap-snapshot PATH
-//   cegraph_client --port P (--stats | --scorecard) [--watch]
-//                  [--interval S]
+//   cegraph_client --port P (--stats | --scorecard | --corrections)
+//                  [--watch] [--interval S]
 //   cegraph_client --port P (--ping | --shutdown)
 //
 // --stats requests the wire-v4 observability extension (the request's
@@ -24,7 +24,11 @@
 // (default 2) and annotates counters with their delta since the
 // previous sample — "(reset)" marks a counter that went backwards
 // (server restart) — reconnecting through transport errors; stop with
-// ^C.
+// ^C. --corrections also requests "v5" and prints the learned-feedback
+// loop's state (wire-v5 corrections extension): feedback mode,
+// applied/suppressed counters, trailing-minute pre- vs post-correction
+// q-error medians and the per-class correction table. Against a
+// feedback-unaware server the section is simply absent.
 //
 // --request-id N stamps the wire-v5 end-to-end request id (decimal or
 // 0x-hex) on the request; the server echoes it and threads it through
@@ -60,14 +64,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "harness/qerror.h"
 #include "query/workload_io.h"
 #include "service/wire.h"
 #include "util/table_printer.h"
@@ -90,7 +97,7 @@ int Usage() {
       "                 [--quiet]\n"
       "  --apply-deltas FILE           send a delta feed, hot-swap\n"
       "  --swap-snapshot PATH          server-local snapshot/manifest path\n"
-      "  --stats | --scorecard  [--watch] [--interval S]\n"
+      "  --stats | --scorecard | --corrections  [--watch] [--interval S]\n"
       "  --ping | --shutdown\n"
       "  --request-id N                stamp an end-to-end request id\n");
   return 2;
@@ -249,34 +256,93 @@ void PrintStats(const Response& response, const service::ServiceStats* prev) {
       s.latency_1m.p50, s.latency_1m.p99, s.any_drift ? "YES" : "none");
   if (s.scorecard.empty()) {
     std::printf("no truth-carrying estimates in the window yet\n");
+  } else {
+    util::TablePrinter classes({"class", "hits", "under", "over", "qerr p50",
+                                "qerr p99", "qerr max", "baseline", "drift"});
+    for (const auto& c : s.scorecard) {
+      classes.AddRow(
+          {c.display, U64(c.hits), U64(c.under), U64(c.over),
+           util::TablePrinter::Num(c.qerror.p50),
+           util::TablePrinter::Num(c.qerror.p99),
+           util::TablePrinter::Num(c.qerror.max),
+           c.baseline_median > 0 ? util::TablePrinter::Num(c.baseline_median)
+                                 : "-",
+           c.drifted ? "YES" : "-"});
+    }
+    classes.Print(std::cout);
+    for (const auto& c : s.scorecard) {
+      if (c.worst.qerror <= 0) continue;
+      std::printf("  %s worst q-error %.3g (%s: estimate %.4g, truth %.4g): "
+                  "%s\n",
+                  c.display.c_str(), c.worst.qerror, c.worst.estimator.c_str(),
+                  c.worst.estimate, c.worst.truth, c.worst.line.c_str());
+    }
+  }
+
+  if (!s.corrections_wire) return;  // feedback-unaware server
+  const char* mode = s.feedback_mode == service::FeedbackMode::kOn ? "on"
+                     : s.feedback_mode == service::FeedbackMode::kFrozen
+                         ? "frozen"
+                         : "off";
+  std::printf(
+      "\ncorrections (feedback %s): %llu classes (%llu active, %s evicted), "
+      "applied %s, suppressed %s\n"
+      "q-error 1m: pre-correction p50 %.3g p99 %.3g, "
+      "post-correction p50 %.3g p99 %.3g\n",
+      mode, static_cast<unsigned long long>(s.feedback_classes),
+      static_cast<unsigned long long>(s.feedback_active),
+      WithDelta(s.feedback_evictions,
+                prev ? &prev->feedback_evictions : nullptr)
+          .c_str(),
+      WithDelta(s.corrections_applied,
+                prev ? &prev->corrections_applied : nullptr)
+          .c_str(),
+      WithDelta(s.corrections_suppressed,
+                prev ? &prev->corrections_suppressed : nullptr)
+          .c_str(),
+      s.qerror_raw_1m.p50, s.qerror_raw_1m.p99, s.qerror_corrected_1m.p50,
+      s.qerror_corrected_1m.p99);
+  if (s.corrections.empty()) {
+    std::printf("no correction classes learned yet\n");
     return;
   }
-  util::TablePrinter classes({"class", "hits", "under", "over", "qerr p50",
-                              "qerr p99", "qerr max", "baseline", "drift"});
-  for (const auto& c : s.scorecard) {
-    classes.AddRow(
-        {c.display, U64(c.hits), U64(c.under), U64(c.over),
-         util::TablePrinter::Num(c.qerror.p50),
-         util::TablePrinter::Num(c.qerror.p99),
-         util::TablePrinter::Num(c.qerror.max),
-         c.baseline_median > 0 ? util::TablePrinter::Num(c.baseline_median)
-                               : "-",
-         c.drifted ? "YES" : "-"});
+  util::TablePrinter table(
+      {"class", "estimator", "hits", "samples", "correction", "active"});
+  for (const auto& c : s.corrections) {
+    // The class key is "estimator|template|labels"; keep the estimator
+    // column separate so one query class's rows group visually.
+    const std::string::size_type bar = c.key.find('|');
+    table.AddRow({c.display,
+                  bar == std::string::npos ? c.key : c.key.substr(0, bar),
+                  U64(c.hits), U64(c.samples),
+                  util::TablePrinter::Num(c.correction),
+                  c.active ? "YES" : "-"});
   }
-  classes.Print(std::cout);
-  for (const auto& c : s.scorecard) {
-    if (c.worst.qerror <= 0) continue;
-    std::printf("  %s worst q-error %.3g (%s: estimate %.4g, truth %.4g): "
-                "%s\n",
-                c.display.c_str(), c.worst.qerror, c.worst.estimator.c_str(),
-                c.worst.estimate, c.worst.truth, c.worst.line.c_str());
-  }
+  table.Print(std::cout);
+}
+
+/// Per-attempt retry pause: exponential from 1 ms, clamped to a 2 s
+/// ceiling (large --retries values must widen the tail, not the pause),
+/// with ±25% jitter so a fleet of clients rejected together does not
+/// re-stampede the server on a synchronized schedule.
+std::chrono::milliseconds RetryPause(int attempt) {
+  constexpr long kMaxPauseMs = 2000;
+  const long base =
+      attempt >= 11 ? kMaxPauseMs
+                    : std::min(kMaxPauseMs, 1L << std::min(attempt, 11));
+  thread_local std::mt19937 rng(
+      std::random_device{}() ^
+      static_cast<unsigned>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  std::uniform_int_distribution<long> jitter(-base / 4, base / 4);
+  return std::chrono::milliseconds(std::max(1L, base + jitter(rng)));
 }
 
 /// RoundTrip that retries the retryable refusal: a RESOURCE_EXHAUSTED
-/// error frame (admission or overload rejection) is resent after an
-/// exponential pause, up to `retries` times. Every other outcome —
-/// transport failure or any other server error — returns immediately.
+/// error frame (admission or overload rejection) is resent after a
+/// capped, jittered exponential pause (RetryPause), up to `retries`
+/// times. Every other outcome — transport failure or any other server
+/// error — returns immediately.
 util::StatusOr<Response> RoundTripRetry(int fd, const Request& request,
                                         int retries) {
   for (int attempt = 0;; ++attempt) {
@@ -286,8 +352,7 @@ util::StatusOr<Response> RoundTripRetry(int fd, const Request& request,
         attempt >= retries) {
       return response;
     }
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(1L << std::min(attempt, 6)));
+    std::this_thread::sleep_for(RetryPause(attempt));
   }
 }
 
@@ -466,7 +531,7 @@ int RunWorkload(const std::string& host, int port,
             accum.micros += r.micros;
             if (!r.ok) {
               ++accum.failures;
-            } else if (e.has_truth) {
+            } else if (e.has_truth && harness::UsableQError(r.qerror)) {
               accum.qerror_sum += r.qerror;
               accum.qerror_max = std::max(accum.qerror_max, r.qerror);
               ++accum.qerror_count;
@@ -539,7 +604,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> query_texts;
   std::string workload_file, deltas_file, snapshot_path;
   bool stats = false, ping = false, shutdown = false, quiet = false;
-  bool watch = false, scorecard = false;
+  bool watch = false, scorecard = false, corrections = false;
   int threads = 1, passes = 1, batch_size = 1, retries = 3, interval = 2;
   uint64_t request_id = 0;
 
@@ -586,6 +651,8 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (arg == "--scorecard") {
       scorecard = true;
+    } else if (arg == "--corrections") {
+      corrections = true;
     } else if (arg == "--request-id") {
       if (!next(&value)) return Usage();
       request_id = std::strtoull(value.c_str(), nullptr, 0);
@@ -632,9 +699,10 @@ int main(int argc, char** argv) {
     request = {MessageType::kApplyDeltas, text.str(), dataset};
   } else if (!snapshot_path.empty()) {
     request = {MessageType::kSwapSnapshot, snapshot_path, dataset};
-  } else if (scorecard) {
+  } else if (scorecard || corrections) {
     // "v5" opts into the v4 observability extension *and* the per-class
-    // accuracy scorecard; a pre-v5 server just echoes a v3 stats body.
+    // accuracy scorecard *and* the corrections extension; a pre-v5
+    // server just echoes a v3 stats body.
     request = {MessageType::kStats, "v5", dataset};
   } else if (stats) {
     // "v4" opts into the observability extension; a pre-v4 server just
@@ -652,7 +720,7 @@ int main(int argc, char** argv) {
   }
   request.request_id = request_id;
 
-  if ((stats || scorecard) && watch) {
+  if ((stats || scorecard || corrections) && watch) {
     // Re-sample forever (until ^C), annotating monotonic counters with
     // their delta since the previous sample. Each sample is its own
     // connection, so a restarted server only costs failed samples, not

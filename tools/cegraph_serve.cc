@@ -10,6 +10,14 @@
 //                 [--prewarm SUITE] [--instances N] [--seed S]
 //                 [--metrics-port P] [--slow-millis M]
 //                 [--slow-log-per-sec X] [--journal FILE]
+//                 [--feedback on|off|frozen]
+//
+// --feedback turns on the learned-feedback loop (docs/learned_feedback.md):
+// truth-carrying requests teach per-query-class multiplicative
+// corrections that are applied at serve time once a class has enough
+// samples. "frozen" applies what was learned (or loaded from a
+// snapshot's feedback section) without learning further; the default
+// "off" serves bit-identical to a pre-feedback build.
 //
 // --metrics-port starts a Prometheus text exporter on a side thread
 // (`curl http://127.0.0.1:<port>/metrics`; `/healthz` answers with the
@@ -103,6 +111,7 @@ int Usage() {
       "       [--prewarm SUITE] [--instances N] [--seed S]\n"
       "       [--metrics-port P] [--slow-millis M]\n"
       "       [--slow-log-per-sec X] [--journal FILE]\n"
+      "       [--feedback on|off|frozen]\n"
       "dataset SPEC: NAME | NAME=SOURCE | NAME[=SOURCE]@SNAPSHOT\n"
       "  (SOURCE: a built-in dataset name or a graph file path; '=' and\n"
       "   '@' are reserved separators and cannot appear in the paths)\n"
@@ -215,6 +224,18 @@ int main(int argc, char** argv) {
       server_options.slow_log_per_sec = std::atof(value.c_str());
     } else if (arg == "--journal") {
       if (!next(&journal_path)) return Usage();
+    } else if (arg == "--feedback") {
+      if (!next(&value)) return Usage();
+      if (value == "on") {
+        service_options.feedback = service::FeedbackMode::kOn;
+      } else if (value == "off") {
+        service_options.feedback = service::FeedbackMode::kOff;
+      } else if (value == "frozen") {
+        service_options.feedback = service::FeedbackMode::kFrozen;
+      } else {
+        std::fprintf(stderr, "--feedback must be on, off or frozen\n");
+        return Usage();
+      }
     } else if (arg == "--dispatch") {
       if (!next(&value)) return Usage();
       if (value == "epoll") {
